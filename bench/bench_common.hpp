@@ -1,0 +1,45 @@
+// Shared conventions of the experiment binaries.
+//
+// Every tab_* binary regenerates one experiment from DESIGN.md's
+// per-experiment index: it prints a header naming the paper artifact, runs
+// the sweep, prints an aligned table, and honors `--csv <path>` via
+// BenchArgs.  Experiment sizes are chosen so the full suite runs in minutes
+// on one core; the scaling *shapes* — not absolute constants — carry the
+// paper's claims.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "noisypull/noisypull.hpp"
+
+namespace noisypull::bench {
+
+inline void header(const std::string& id, const std::string& claim) {
+  std::printf("=== %s ===\n%s\n\n", id.c_str(), claim.c_str());
+}
+
+// Default calibrated schedule constant (see DESIGN.md, substitutions).
+inline constexpr double kC1 = 2.0;
+
+inline ProtocolFactory sf_factory(const PopulationConfig& pop, std::uint64_t h,
+                                  double delta, double c1 = kC1) {
+  return [pop, h, delta, c1](Rng&) -> std::unique_ptr<PullProtocol> {
+    return std::make_unique<SourceFilter>(pop, h, delta, c1);
+  };
+}
+
+inline ProtocolFactory ssf_factory(const PopulationConfig& pop,
+                                   std::uint64_t h, double delta,
+                                   CorruptionPolicy policy, double c1 = kC1) {
+  return [pop, h, delta, policy, c1](Rng& init) -> std::unique_ptr<PullProtocol> {
+    auto ssf =
+        std::make_unique<SelfStabilizingSourceFilter>(pop, h, delta, c1);
+    corrupt_population(*ssf, policy, pop.correct_opinion(), init);
+    return ssf;
+  };
+}
+
+}  // namespace noisypull::bench

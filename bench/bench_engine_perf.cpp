@@ -1,0 +1,101 @@
+// PERF — google-benchmark micro-benchmarks of the simulation substrate:
+// the binomial sampler across regimes, noise application, and full engine
+// rounds as a function of (n, h).  These document why the aggregate engine
+// makes the paper's h = n regime tractable: its round cost is independent
+// of h, while the exact engine pays Θ(n·h).
+#include <benchmark/benchmark.h>
+
+#include "noisypull/noisypull.hpp"
+
+namespace {
+
+using namespace noisypull;
+
+void BM_BinomialSmallNp(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sample_binomial(rng, 20, 0.2));
+  }
+}
+BENCHMARK(BM_BinomialSmallNp);
+
+void BM_BinomialBtrs(benchmark::State& state) {
+  Rng rng(2);
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sample_binomial(rng, n, 0.3));
+  }
+}
+BENCHMARK(BM_BinomialBtrs)->Arg(1000)->Arg(1000000)->Arg(1000000000);
+
+void BM_Multinomial4(benchmark::State& state) {
+  Rng rng(3);
+  const double w[4] = {0.4, 0.3, 0.2, 0.1};
+  std::uint64_t c[4];
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    sample_multinomial(rng, n, w, c);
+    benchmark::DoNotOptimize(c[0]);
+  }
+}
+BENCHMARK(BM_Multinomial4)->Arg(100)->Arg(100000);
+
+void BM_NoiseCorrupt(benchmark::State& state) {
+  Rng rng(4);
+  const auto noise = NoiseMatrix::uniform(4, 0.1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(noise.corrupt(2, rng));
+  }
+}
+BENCHMARK(BM_NoiseCorrupt);
+
+// One full SF round under each engine.  Aggregate: O(n·|Σ|) regardless of
+// h.  Exact: Θ(n·h) — run only at small sizes.
+void BM_AggregateEngineRound(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const auto h = static_cast<std::uint64_t>(state.range(1));
+  const PopulationConfig pop{.n = n, .s1 = 1, .s0 = 0};
+  const double delta = 0.2;
+  SourceFilter sf(pop, h, delta, 2.0);
+  AggregateEngine engine;
+  const auto noise = NoiseMatrix::uniform(2, delta);
+  Rng rng(5);
+  std::uint64_t round = 0;
+  for (auto _ : state) {
+    engine.step(sf, noise, h, round++ % sf.planned_rounds(), rng);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_AggregateEngineRound)
+    ->Args({1000, 1})
+    ->Args({1000, 1000})
+    ->Args({100000, 100000})
+    ->Args({1000000, 1000000})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ExactEngineRound(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const auto h = static_cast<std::uint64_t>(state.range(1));
+  const PopulationConfig pop{.n = n, .s1 = 1, .s0 = 0};
+  const double delta = 0.2;
+  SourceFilter sf(pop, h, delta, 2.0);
+  ExactEngine engine;
+  const auto noise = NoiseMatrix::uniform(2, delta);
+  Rng rng(6);
+  std::uint64_t round = 0;
+  for (auto _ : state) {
+    engine.step(sf, noise, h, round++ % sf.planned_rounds(), rng);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * h));
+}
+BENCHMARK(BM_ExactEngineRound)
+    ->Args({1000, 1})
+    ->Args({1000, 100})
+    ->Args({10000, 10})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// FIG1 — reproduces Figure 1 of the paper: the uniform-noise level
+// f(δ) (Definition 7) as a function of δ for alphabet sizes d = 2 and d = 4.
+//
+// The paper plots the two curves on δ ∈ [0, 1/d); we print the same series
+// numerically and additionally *verify Theorem 8 empirically*: for random
+// δ-upper-bounded noise matrices N, the artificial-noise matrix P = N⁻¹·T is
+// stochastic and N·P deviates from the f(δ)-uniform matrix by < 1e-9.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace noisypull;
+  using namespace noisypull::bench;
+  const auto args = BenchArgs::parse(argc, argv);
+
+  header("FIG1 / fig1_noise_reduction",
+         "Figure 1: f(delta) for d = 2 and d = 4; plus an empirical check of "
+         "Theorem 8 on random delta-upper-bounded matrices.");
+
+  // --- the Figure 1 series -------------------------------------------------
+  Table curve({"delta", "f(delta) d=2", "f(delta) d=4"});
+  for (double delta : linear_grid(0.0, 0.48, 25)) {
+    const double f2 =
+        delta < 0.5 ? uniform_noise_level(2, delta) : 0.5;
+    curve.cell(delta, 4).cell(f2, 4);
+    if (delta < 0.25) {
+      curve.cell(uniform_noise_level(4, delta), 4);
+    } else {
+      curve.cell("-");  // outside the domain [0, 1/4)
+    }
+    curve.end_row();
+  }
+  args.emit(curve, "_curve");
+
+  // --- Theorem 8 verification ---------------------------------------------
+  Rng rng(2025);
+  Table verify({"d", "delta", "instances", "max |NP - T| entry",
+                "P stochastic"});
+  for (std::size_t d : {2u, 3u, 4u, 5u, 8u}) {
+    for (double frac : {0.25, 0.5, 0.9}) {
+      const double delta = frac / static_cast<double>(d);
+      double worst = 0.0;
+      bool all_stochastic = true;
+      const int kInstances = 200;
+      for (int i = 0; i < kInstances; ++i) {
+        const auto n = NoiseMatrix::random_upper_bounded(d, delta, rng);
+        const auto red = reduce_to_uniform(n, delta);
+        all_stochastic = all_stochastic && red.artificial.is_stochastic(1e-9);
+        const auto target =
+            NoiseMatrix::uniform(d, red.delta_prime).matrix();
+        worst =
+            std::max(worst, red.effective.matrix().max_abs_diff(target));
+      }
+      verify.cell(static_cast<std::uint64_t>(d))
+          .cell(delta, 4)
+          .cell(static_cast<std::uint64_t>(kInstances))
+          .cell(worst, 12)
+          .cell(all_stochastic ? "yes" : "NO")
+          .end_row();
+    }
+  }
+  args.emit(verify, "_theorem8");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// ASYNC — scheduler robustness: the self-stabilizing setting is motivated by
+// agents lacking a common clock (§1.3).  The SequentialEngine activates
+// agents one at a time (random or adversarially fixed order) with live
+// displays, the population-protocol-style semantics.  SSF must converge
+// under every schedule; SF — which leans on synchronized phases — is run
+// for contrast under the same schedules from a clean simultaneous start,
+// where sequential activation within a round is harmless.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace noisypull;
+
+const char* order_name(SequentialEngine::Order order) {
+  switch (order) {
+    case SequentialEngine::Order::Random:
+      return "sequential-random";
+    case SequentialEngine::Order::FixedAscending:
+      return "sequential-ascending";
+    case SequentialEngine::Order::FixedDescending:
+      return "sequential-descending";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace noisypull;
+  using namespace noisypull::bench;
+  const auto args = BenchArgs::parse(argc, argv);
+
+  header("ASYNC / tab_async_schedules",
+         "Scheduler robustness: SSF (from wrong-consensus corruption) and "
+         "SF (clean start) under synchronous vs sequential activation.");
+
+  const std::uint64_t n = 1500;
+  const double delta_ssf = 0.05;
+  const double delta_sf = 0.15;
+  const std::uint64_t reps = 8;
+  const PopulationConfig pop{.n = n, .s1 = 2, .s0 = 0};
+
+  const SequentialEngine::Order orders[] = {
+      SequentialEngine::Order::Random,
+      SequentialEngine::Order::FixedAscending,
+      SequentialEngine::Order::FixedDescending};
+
+  Table table({"schedule", "SSF success", "SSF first-correct", "SF success"});
+
+  // Synchronous reference row.
+  {
+    const SelfStabilizingSourceFilter ref(pop, n, delta_ssf, kC1);
+    const auto ssf_results = run_repetitions(
+        ssf_factory(pop, n, delta_ssf, CorruptionPolicy::WrongConsensus),
+        NoiseMatrix::uniform(4, delta_ssf), pop.correct_opinion(),
+        RunConfig{.h = n, .max_rounds = ref.convergence_deadline()},
+        RepeatOptions{.repetitions = reps, .seed = 18000});
+    const auto sf_results = run_repetitions(
+        sf_factory(pop, n, delta_sf), NoiseMatrix::uniform(2, delta_sf),
+        pop.correct_opinion(), RunConfig{.h = n},
+        RepeatOptions{.repetitions = reps, .seed = 18100});
+    table.cell("synchronous")
+        .cell(success_rate(ssf_results), 2)
+        .cell(mean_convergence_round(ssf_results), 1)
+        .cell(success_rate(sf_results), 2)
+        .end_row();
+  }
+
+  for (const auto order : orders) {
+    const SelfStabilizingSourceFilter ref(pop, n, delta_ssf, kC1);
+    double ssf_ok = 0.0, ssf_first = 0.0, sf_ok = 0.0;
+    std::uint64_t converged = 0;
+    for (std::uint64_t rep = 0; rep < reps; ++rep) {
+      {
+        SelfStabilizingSourceFilter ssf(pop, n, delta_ssf, kC1);
+        Rng init(18200 + rep);
+        corrupt_population(ssf, CorruptionPolicy::WrongConsensus,
+                           pop.correct_opinion(), init);
+        SequentialEngine engine(order);
+        Rng rng(18300 + rep);
+        const auto r = run(ssf, engine, NoiseMatrix::uniform(4, delta_ssf),
+                           pop.correct_opinion(),
+                           RunConfig{.h = n,
+                                     .max_rounds = ref.convergence_deadline()},
+                           rng);
+        ssf_ok += r.all_correct_at_end ? 1 : 0;
+        if (r.first_all_correct != kNever) {
+          ssf_first += static_cast<double>(r.first_all_correct);
+          ++converged;
+        }
+      }
+      {
+        SourceFilter sf(pop, n, delta_sf, kC1);
+        SequentialEngine engine(order);
+        Rng rng(18400 + rep);
+        const auto r = run(sf, engine, NoiseMatrix::uniform(2, delta_sf),
+                           pop.correct_opinion(), RunConfig{.h = n}, rng);
+        sf_ok += r.all_correct_at_end ? 1 : 0;
+      }
+    }
+    table.cell(order_name(order))
+        .cell(ssf_ok / static_cast<double>(reps), 2)
+        .cell(converged ? ssf_first / static_cast<double>(converged) : -1.0,
+              1)
+        .cell(sf_ok / static_cast<double>(reps), 2)
+        .end_row();
+  }
+  args.emit(table);
+  std::printf(
+      "expected shape: SSF succeeds under every schedule (its design never\n"
+      "references a global clock); SF also tolerates within-round sequential\n"
+      "activation given its simultaneous wake-up, as the listening phases\n"
+      "only read population-level histograms.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// SEP — the separation story of §1.2/§3: classic PULL dynamics (voter,
+// local majority, repeated majority without source filtering) cannot
+// reliably follow a single noisy source, while SF can — and SF's advantage
+// is what the Ω(n) vs O(log n) separation is about.
+//
+// Every baseline gets the same generous round budget that SF needs, times
+// 3; we report success rates and (where meaningful) convergence rounds.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace noisypull;
+
+ProtocolFactory voter_factory(const PopulationConfig& pop) {
+  return [pop](Rng& init) -> std::unique_ptr<PullProtocol> {
+    return std::make_unique<VoterProtocol>(pop, init);
+  };
+}
+
+ProtocolFactory majority_factory(const PopulationConfig& pop) {
+  return [pop](Rng& init) -> std::unique_ptr<PullProtocol> {
+    return std::make_unique<MajorityDynamics>(pop, init);
+  };
+}
+
+ProtocolFactory repeated_factory(const PopulationConfig& pop,
+                                 std::uint64_t window) {
+  return [pop, window](Rng& init) -> std::unique_ptr<PullProtocol> {
+    return std::make_unique<RepeatedMajority>(pop, window, init);
+  };
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace noisypull;
+  using namespace noisypull::bench;
+  const auto args = BenchArgs::parse(argc, argv);
+
+  header("SEP / tab_baseline_separation",
+         "Baselines vs SF with a single noisy source: copy/majority "
+         "dynamics lock onto an arbitrary value; SF follows the source.");
+
+  const double delta = 0.15;
+  const auto noise = NoiseMatrix::uniform(2, delta);
+  const std::uint64_t reps = 8;
+
+  Table table({"n", "h", "protocol", "success", "mean first-correct",
+               "budget"});
+  for (std::uint64_t n : {500ULL, 2000ULL}) {
+    const PopulationConfig pop{.n = n, .s1 = 1, .s0 = 0};
+    for (std::uint64_t h : {std::uint64_t{16}, n}) {
+      // SF defines the reference budget.
+      SourceFilter ref(pop, h, delta, kC1);
+      const std::uint64_t budget = 3 * ref.planned_rounds();
+
+      struct Row {
+        const char* name;
+        ProtocolFactory factory;
+      };
+      const Row rows[] = {
+          {"SF", sf_factory(pop, h, delta)},
+          {"voter", voter_factory(pop)},
+          {"majority", majority_factory(pop)},
+          {"repeated-majority", repeated_factory(pop, ref.schedule().m)},
+      };
+      for (const auto& row : rows) {
+        const std::uint64_t max_rounds =
+            std::string(row.name) == "SF" ? 0 : budget;
+        const auto results = run_repetitions(
+            row.factory, noise, pop.correct_opinion(),
+            RunConfig{.h = h, .max_rounds = max_rounds},
+            RepeatOptions{.repetitions = reps,
+                          .seed = 12000 + n + h * 3});
+        table.cell(n)
+            .cell(h)
+            .cell(row.name)
+            .cell(success_rate(results), 2)
+            .cell(mean_convergence_round(results) >
+                          static_cast<double>(budget)
+                      ? -1.0
+                      : mean_convergence_round(results),
+                  1)
+            .cell(max_rounds == 0 ? ref.planned_rounds() : budget)
+            .end_row();
+      }
+    }
+  }
+  args.emit(table);
+  std::printf(
+      "expected shape: SF success ~1 everywhere; voter/majority/repeated-\n"
+      "majority succeed only ~coin-flip often (they reach *some* consensus\n"
+      "fast, but not the source's) — the separation that motivates SF's\n"
+      "listening phase.  (first-correct = -1 means never converged.)\n");
+  return 0;
+}

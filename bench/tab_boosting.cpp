@@ -1,0 +1,96 @@
+// LEM33 — the majority-boosting trajectory.  Lemma 33 proves that, per
+// sub-phase, the advantage A_ℓ = #correct − n/2 multiplies by ≥ 1.2 until it
+// saturates at n/√(8πe); Lemma 34 concludes A_L ≥ n/√(8πe) and Lemma 35
+// finishes the job in the long final sub-phase.
+//
+// To make the geometric growth visible we pick h = w, so each sub-phase
+// aggregates exactly w = 100e/(1−2δ)² messages (at h = n a single sub-phase
+// already jumps to consensus — majority over n samples is too strong to show
+// the per-step factor).  We record the per-round correct count of one run,
+// slice it at sub-phase boundaries, and print A_ℓ with its growth factor
+// until saturation, plus the saturation ceiling the lemma names.
+#include "bench_common.hpp"
+
+#include <cmath>
+
+int main(int argc, char** argv) {
+  using namespace noisypull;
+  using namespace noisypull::bench;
+  const auto args = BenchArgs::parse(argc, argv);
+
+  header("LEM33 / tab_boosting",
+         "Lemma 33: A_(l+1) >= min(1.2*A_l, n/sqrt(8*pi*e)) — the boosting "
+         "phase amplifies the weak-opinion advantage geometrically.");
+
+  const std::uint64_t n = 20000;
+  const double delta = 0.2;
+  const PopulationConfig pop{.n = n, .s1 = 1, .s0 = 0};
+  const auto noise = NoiseMatrix::uniform(2, delta);
+
+  // One sub-phase = exactly w messages: set h = w.
+  const auto probe = make_sf_schedule(pop, 1, delta, kC1);
+  const std::uint64_t h = probe.w;
+
+  SourceFilter sf(pop, h, delta, kC1);
+  AggregateEngine engine;
+  Rng rng(31337);
+  const auto result = run(sf, engine, noise, pop.correct_opinion(),
+                          RunConfig{.h = h, .record_trajectory = true}, rng);
+
+  const auto& sched = sf.schedule();
+  const double ceiling =
+      static_cast<double>(n) / std::sqrt(8 * M_PI * std::exp(1.0));
+
+  Table table({"sub-phase", "round", "correct", "A_l = correct - n/2",
+               "A_l / A_(l-1)"});
+  double prev_a = 0.0;
+  std::uint64_t sub = 0;
+  int saturated_rows = 0;
+  for (std::uint64_t t = sched.boosting_start() - 1;
+       t + 1 < result.trajectory.size(); ++t) {
+    const bool boundary =
+        (t == sched.boosting_start() - 1) || sf.is_subphase_end(t);
+    if (!boundary) continue;
+    const double correct = static_cast<double>(result.trajectory[t]);
+    const double a = correct - static_cast<double>(n) / 2;
+    ++sub;
+    if (saturated_rows >= 3) {
+      prev_a = a;
+      continue;  // trajectory is pinned at n; skip to the final row
+    }
+    if (result.trajectory[t] == n) ++saturated_rows;
+    std::string factor = "-";
+    if (sub > 1 && prev_a > 0) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.2f", a / prev_a);
+      factor = buf;
+    }
+    table.cell(sub == 1 ? std::string("listening end")
+                        : std::to_string(sub - 1))
+        .cell(t)
+        .cell(result.trajectory[t])
+        .cell(a, 1)
+        .cell(factor)
+        .end_row();
+    prev_a = a;
+  }
+  // Final row: the long last sub-phase's outcome.
+  const std::uint64_t last = result.trajectory.size() - 1;
+  table.cell("final")
+      .cell(last)
+      .cell(result.trajectory[last])
+      .cell(static_cast<double>(result.trajectory[last]) -
+                static_cast<double>(n) / 2,
+            1)
+      .cell("-")
+      .end_row();
+  args.emit(table);
+  std::printf(
+      "saturation ceiling n/sqrt(8*pi*e) = %.1f; converged: %s\n"
+      "expected shape: growth factor >= 1.2 while A_l is below the ceiling\n"
+      "(the lemma is a worst-case guarantee — measured factors are much\n"
+      "larger, so boosting saturates within a few sub-phases), then\n"
+      "saturation near n/2 and full consensus at the end.\n",
+      ceiling, result.all_correct_at_end ? "yes" : "no");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// CONF — conflicting sources / plurality consensus (§1.3–1.4): with s1
+// sources for 1 and s0 for 0, the population must converge to the strict
+// plurality, even at bias 1, and including the outvoted sources themselves.
+//
+// Sweeps (s1, s0) pairs at several population sizes, for SF and for SSF.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace noisypull;
+  using namespace noisypull::bench;
+  const auto args = BenchArgs::parse(argc, argv);
+
+  header("CONF / tab_conflicting_sources",
+         "Conflicting sources: convergence to the plurality opinion among "
+         "sources, for bias down to s = 1 (zealot consensus).");
+
+  const double delta = 0.15;
+  const double delta_ssf = 0.05;
+  const std::uint64_t reps = 12;
+
+  struct Pair {
+    std::uint64_t s1, s0;
+  };
+  const Pair pairs[] = {{1, 0}, {2, 1}, {6, 5}, {20, 19}, {30, 10}, {0, 3}};
+
+  Table table({"n", "s1", "s0", "bias", "correct op", "SF success",
+               "SSF success"});
+  for (std::uint64_t n : {1000ULL, 4000ULL}) {
+    for (const auto& pr : pairs) {
+      const PopulationConfig pop{.n = n, .s1 = pr.s1, .s0 = pr.s0};
+      const auto sf_results = run_repetitions(
+          sf_factory(pop, n, delta), NoiseMatrix::uniform(2, delta),
+          pop.correct_opinion(), RunConfig{.h = n},
+          RepeatOptions{.repetitions = reps,
+                        .seed = 10000 + n + pr.s1 * 7 + pr.s0});
+      const SelfStabilizingSourceFilter ref(pop, n, delta_ssf, kC1);
+      const auto ssf_results = run_repetitions(
+          ssf_factory(pop, n, delta_ssf, CorruptionPolicy::RandomState),
+          NoiseMatrix::uniform(4, delta_ssf), pop.correct_opinion(),
+          RunConfig{.h = n, .max_rounds = ref.convergence_deadline()},
+          RepeatOptions{.repetitions = reps,
+                        .seed = 11000 + n + pr.s1 * 7 + pr.s0});
+      table.cell(n)
+          .cell(pr.s1)
+          .cell(pr.s0)
+          .cell(pop.bias())
+          .cell(static_cast<std::uint64_t>(pop.correct_opinion()))
+          .cell(success_rate(sf_results), 2)
+          .cell(success_rate(ssf_results), 2)
+          .end_row();
+    }
+  }
+  args.emit(table);
+  std::printf(
+      "expected shape: success ~1 across the board — the plurality wins\n"
+      "regardless of how small the margin is or which opinion is correct\n"
+      "(SSF runs from randomized adversarial initial states).\n");
+  return 0;
+}

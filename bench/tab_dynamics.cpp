@@ -1,0 +1,119 @@
+// DYN — time-resolved dynamics of one SF run and one SSF recovery, the
+// "what does a run look like" series underlying every other table: per
+// checkpoint, the number of correct opinions, correct weak opinions, and
+// the display histogram.  This is the companion to the quickstart example,
+// at experiment scale and with the internals exposed.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace noisypull;
+
+std::uint64_t correct_weak(const SourceFilter& sf, Opinion correct) {
+  std::uint64_t count = 0;
+  for (std::uint64_t i = 0; i < sf.num_agents(); ++i) {
+    count += sf.weak_opinion(i) == correct ? 1 : 0;
+  }
+  return count;
+}
+
+std::uint64_t displays_of(const PullProtocol& p, std::uint64_t round,
+                          Symbol s) {
+  std::uint64_t count = 0;
+  for (std::uint64_t i = 0; i < p.num_agents(); ++i) {
+    count += p.display(i, round) == s ? 1 : 0;
+  }
+  return count;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace noisypull;
+  using namespace noisypull::bench;
+  const auto args = BenchArgs::parse(argc, argv);
+
+  header("DYN / tab_dynamics",
+         "Time-resolved internals of one SF run (n = 10000, delta = 0.2, "
+         "s = 1, h = n) and one SSF recovery from wrong consensus.");
+
+  // --- SF -------------------------------------------------------------
+  {
+    const std::uint64_t n = 10000;
+    const double delta = 0.2;
+    const PopulationConfig pop{.n = n, .s1 = 1, .s0 = 0};
+    const auto noise = NoiseMatrix::uniform(2, delta);
+    SourceFilter sf(pop, n, delta, kC1);
+    AggregateEngine engine;
+    Rng rng(2025);
+
+    const auto& sched = sf.schedule();
+    Table table({"round", "phase", "displays of 1", "correct opinions",
+                 "correct weak opinions"});
+    for (std::uint64_t t = 0; t < sched.total_rounds(); ++t) {
+      const bool checkpoint =
+          t == 0 || t == sched.phase_rounds - 1 ||
+          t == sched.phase_rounds || t + 1 == sched.boosting_start() ||
+          (t >= sched.boosting_start() &&
+           (t - sched.boosting_start()) % 10 == 0) ||
+          t + 1 == sched.total_rounds();
+      std::uint64_t ones = 0;
+      if (checkpoint) ones = displays_of(sf, t, 1);
+      engine.step(sf, noise, n, t, rng);
+      if (!checkpoint) continue;
+      const char* phase = t < sched.phase_rounds ? "listen-0"
+                          : t < sched.boosting_start() ? "listen-1"
+                                                       : "boost";
+      table.cell(t)
+          .cell(phase)
+          .cell(ones)
+          .cell(count_correct(sf, pop.correct_opinion()))
+          .cell(correct_weak(sf, pop.correct_opinion()))
+          .end_row();
+    }
+    args.emit(table, "_sf");
+    std::printf(
+        "reading guide: displays-of-1 is ~s1 in Phase 0 and ~n in Phase 1\n"
+        "(the neutral cover); weak opinions form at the listening/boosting\n"
+        "boundary with a slight majority, and boosting drives opinions to\n"
+        "n within a few sub-phases.\n\n");
+  }
+
+  // --- SSF --------------------------------------------------------------
+  {
+    const std::uint64_t n = 10000;
+    const double delta = 0.05;
+    const PopulationConfig pop{.n = n, .s1 = 2, .s0 = 0};
+    const auto noise = NoiseMatrix::uniform(4, delta);
+    SelfStabilizingSourceFilter ssf(pop, n, delta, kC1);
+    Rng init(11);
+    corrupt_population(ssf, CorruptionPolicy::WrongConsensus,
+                       pop.correct_opinion(), init);
+    AggregateEngine engine;
+    Rng rng(12);
+
+    Table table({"round", "correct opinions", "displays (0,wrong)",
+                 "displays (0,correct)"});
+    const Symbol wrong_sym = SelfStabilizingSourceFilter::encode(
+        false, pop.correct_opinion() ^ 1);
+    const Symbol correct_sym =
+        SelfStabilizingSourceFilter::encode(false, pop.correct_opinion());
+    for (std::uint64_t t = 0; t < ssf.convergence_deadline(); ++t) {
+      const std::uint64_t wrong_d = displays_of(ssf, t, wrong_sym);
+      const std::uint64_t correct_d = displays_of(ssf, t, correct_sym);
+      engine.step(ssf, noise, n, t, rng);
+      table.cell(t)
+          .cell(count_correct(ssf, pop.correct_opinion()))
+          .cell(wrong_d)
+          .cell(correct_d)
+          .end_row();
+    }
+    args.emit(table, "_ssf");
+    std::printf(
+        "reading guide: the run starts with every display backing the wrong\n"
+        "opinion (the adversary's consensus); within two update cycles the\n"
+        "source-tagged messages flip the weak opinions, and opinions follow\n"
+        "on the next cycle — the Theorem 5 recovery in motion.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+// THM4-D — noise dependence of Theorem 4: the dominant term of Eq. 19 grows
+// as δ/(1−2δ)², diverging as δ → 1/2.  We sweep δ for uniform noise and
+// also run three *non-uniform* (δ-upper-bounded) channels through the
+// Theorem 8 reduction to show the same protocol handles them.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace noisypull;
+  using namespace noisypull::bench;
+  const auto args = BenchArgs::parse(argc, argv);
+
+  header("THM4-D / tab_thm4_scaling_delta",
+         "Theorem 4: T grows like delta/(1-2delta)^2; delta-upper-bounded "
+         "noise reduces to f(delta)-uniform noise (Theorem 8) and converges "
+         "too.");
+
+  const std::uint64_t n = 4096;
+  const PopulationConfig pop{.n = n, .s1 = 1, .s0 = 0};
+
+  Table table({"delta", "success", "rounds T", "first-correct",
+               "T/(d/(1-2d)^2 + c)"});
+  for (double delta : {0.0, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4,
+                       0.45}) {
+    const auto results = run_repetitions(
+        sf_factory(pop, n, delta), NoiseMatrix::uniform(2, delta),
+        pop.correct_opinion(), RunConfig{.h = n},
+        RepeatOptions{.repetitions = 8,
+                      .seed = 3000 + static_cast<int>(delta * 100)});
+    const double t = static_cast<double>(results.front().rounds_run);
+    const double shape =
+        delta / ((1 - 2 * delta) * (1 - 2 * delta)) + 1.0;  // +1: log n floor
+    table.cell(delta, 2)
+        .cell(success_rate(results), 2)
+        .cell(t, 0)
+        .cell(mean_convergence_round(results), 1)
+        .cell(t / shape, 1)
+        .end_row();
+  }
+  args.emit(table, "_uniform");
+
+  // Non-uniform channels handled via the Theorem 8 reduction: agents apply
+  // the artificial noise P, and SF is tuned to the composed level f(δ).
+  Table reduced({"channel", "tightest delta", "f(delta)", "success",
+                 "rounds T"});
+  struct Channel {
+    const char* name;
+    Matrix m;
+  };
+  const Channel channels[] = {
+      {"asymmetric mild", Matrix{0.95, 0.05, 0.15, 0.85}},
+      {"asymmetric strong", Matrix{0.9, 0.1, 0.3, 0.7}},
+      {"one-sided", Matrix{1.0, 0.0, 0.25, 0.75}},
+  };
+  for (const auto& ch : channels) {
+    const NoiseMatrix raw(ch.m);
+    const auto red = reduce_to_uniform(raw);
+    const auto results = run_repetitions(
+        sf_factory(pop, n, red.delta_prime), raw, pop.correct_opinion(),
+        RunConfig{.h = n},
+        RepeatOptions{.repetitions = 8,
+                      .seed = 4000,
+                      .artificial_noise = red.artificial});
+    const double t = static_cast<double>(results.front().rounds_run);
+    reduced.cell(ch.name)
+        .cell(raw.tightest_upper_bound(), 3)
+        .cell(red.delta_prime, 3)
+        .cell(success_rate(results), 2)
+        .cell(t, 0)
+        .end_row();
+  }
+  args.emit(reduced, "_reduced");
+  std::printf(
+      "expected shape: T/(d/(1-2d)^2 + c) roughly flat across delta; the\n"
+      "reduced non-uniform channels succeed like their uniform equivalents.\n");
+  return 0;
+}

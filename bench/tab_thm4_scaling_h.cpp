@@ -1,0 +1,40 @@
+// THM4-H — the paper's central message: "increasing the sample size can
+// linearly accelerate information spreading".  Fixed n, sweep h in powers
+// of 4; Theorem 4 predicts T ≈ C/h + O(log n), so T·h should stay roughly
+// constant until the additive log n floor is reached.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace noisypull;
+  using namespace noisypull::bench;
+  const auto args = BenchArgs::parse(argc, argv);
+
+  header("THM4-H / tab_thm4_scaling_h",
+         "Theorem 4: rounds scale as m/h — a linear speedup in the sample "
+         "size h, saturating at the O(log n) floor.");
+
+  const std::uint64_t n = 4096;
+  const double delta = 0.2;
+  const PopulationConfig pop{.n = n, .s1 = 1, .s0 = 0};
+  const auto noise = NoiseMatrix::uniform(2, delta);
+
+  Table table({"h", "success", "rounds T", "first-correct", "T*h"});
+  for (std::uint64_t h : geometric_grid(4, n, 4.0)) {
+    const auto results = run_repetitions(
+        sf_factory(pop, h, delta), noise, pop.correct_opinion(),
+        RunConfig{.h = h},
+        RepeatOptions{.repetitions = 8, .seed = 500 + h});
+    const double t = static_cast<double>(results.front().rounds_run);
+    table.cell(h)
+        .cell(success_rate(results), 2)
+        .cell(t, 0)
+        .cell(mean_convergence_round(results), 1)
+        .cell(t * static_cast<double>(h), 0)
+        .end_row();
+  }
+  args.emit(table);
+  std::printf(
+      "expected shape: T drops ~linearly in h (T*h near-constant) until the\n"
+      "h log n term of Eq. 19 dominates; success stays ~1 throughout.\n");
+  return 0;
+}

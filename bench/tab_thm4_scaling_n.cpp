@@ -1,0 +1,59 @@
+// THM4-N — Theorem 4's convergence-time scaling in n, and the headline
+// remark: with h = n the noisy information spreading problem is solved in
+// O(log n) rounds (vs Ω(n/h·...) in general).
+//
+// For each n we run SF with h ∈ {1 (small n only), √n, n} at constant noise
+// δ and a single source, and report the measured total running time T
+// (which for SF is the deterministic schedule length) together with the
+// first round at which the whole population is correct, plus the
+// normalizations the theorem predicts to be ~flat:
+//   h = n   → T / ln n           (logarithmic time),
+//   h = √n  → T·h / (n·ln n)     (linear speedup in h).
+#include "bench_common.hpp"
+
+#include <cmath>
+
+int main(int argc, char** argv) {
+  using namespace noisypull;
+  using namespace noisypull::bench;
+  const auto args = BenchArgs::parse(argc, argv);
+
+  header("THM4-N / tab_thm4_scaling_n",
+         "Theorem 4: T = O((1/h)(n delta/(s^2(1-2delta)^2)+...)log n + log n);"
+         " at h = n the time is O(log n).");
+
+  const double delta = 0.2;
+  const std::uint64_t reps = 8;
+
+  Table table({"n", "h", "success", "rounds T", "first-correct",
+               "T*h/(n ln n)", "T/ln n"});
+  for (std::uint64_t n : {250ULL, 500ULL, 1000ULL, 2000ULL, 4000ULL,
+                          8000ULL, 16000ULL}) {
+    const PopulationConfig pop{.n = n, .s1 = 1, .s0 = 0};
+    const double logn = std::log(static_cast<double>(n));
+    std::vector<std::uint64_t> hs = {
+        static_cast<std::uint64_t>(std::llround(std::sqrt(n))), n};
+    if (n <= 500) hs.insert(hs.begin(), 1);  // h = 1 is Θ(n log n) rounds
+    for (std::uint64_t h : hs) {
+      const auto results = run_repetitions(
+          sf_factory(pop, h, delta), NoiseMatrix::uniform(2, delta),
+          pop.correct_opinion(), RunConfig{.h = h},
+          RepeatOptions{.repetitions = reps, .seed = 1000 + n + h});
+      const double t = static_cast<double>(results.front().rounds_run);
+      table.cell(n)
+          .cell(h)
+          .cell(success_rate(results), 2)
+          .cell(t, 0)
+          .cell(mean_convergence_round(results), 1)
+          .cell(t * static_cast<double>(h) / (static_cast<double>(n) * logn),
+                3)
+          .cell(t / logn, 2)
+          .end_row();
+    }
+  }
+  args.emit(table);
+  std::printf(
+      "expected shape: success ~1 everywhere; T*h/(n ln n) roughly flat for\n"
+      "h <= sqrt(n); T/ln n roughly flat (and small) for h = n.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// THM5 — the self-stabilizing theorem: SSF converges w.h.p. within
+// O(δ·n·log n/(h(1−4δ)²) + n/h) rounds from *any* adversarial initial
+// configuration, and remains correct for polynomially many rounds.
+//
+// Two tables: (a) recovery across every corruption policy at fixed size,
+// with a stability window of 3 deadlines; (b) scaling of the convergence
+// round with n at h = n under the hardest (wrong-consensus) corruption.
+#include "bench_common.hpp"
+
+#include <cmath>
+
+int main(int argc, char** argv) {
+  using namespace noisypull;
+  using namespace noisypull::bench;
+  const auto args = BenchArgs::parse(argc, argv);
+
+  header("THM5 / tab_thm5_selfstab",
+         "Theorem 5: SSF converges from adversarial states in "
+         "O(delta n log n/(h(1-4delta)^2) + n/h) rounds and stays correct.");
+
+  const double delta = 0.05;
+  const auto noise = NoiseMatrix::uniform(4, delta);
+
+  // (a) every corruption policy, n = 2000, h = n.
+  {
+    const PopulationConfig pop{.n = 2000, .s1 = 2, .s0 = 0};
+    const SelfStabilizingSourceFilter ref(pop, pop.n, delta, kC1);
+    Table table({"corruption", "success", "stable", "mean first-correct",
+                 "deadline"});
+    for (const auto policy : kAllCorruptionPolicies) {
+      const auto results = run_repetitions(
+          ssf_factory(pop, pop.n, delta, policy), noise,
+          pop.correct_opinion(),
+          RunConfig{.h = pop.n,
+                    .max_rounds = ref.convergence_deadline(),
+                    .stability_window = 3 * ref.convergence_deadline()},
+          RepeatOptions{.repetitions = 6,
+                        .seed = 8000 + static_cast<int>(policy)});
+      table.cell(to_string(policy))
+          .cell(success_rate(results), 2)
+          .cell(success_rate(results, /*require_stability=*/true), 2)
+          .cell(mean_convergence_round(results), 1)
+          .cell(ref.convergence_deadline())
+          .end_row();
+    }
+    args.emit(table, "_policies");
+  }
+
+  // (b) scaling in n under wrong-consensus corruption.
+  {
+    Table table({"n", "success", "mean first-correct", "deadline",
+                 "first-correct/ln n"});
+    for (std::uint64_t n : {500ULL, 1000ULL, 2000ULL, 4000ULL, 8000ULL}) {
+      const PopulationConfig pop{.n = n, .s1 = 2, .s0 = 0};
+      const SelfStabilizingSourceFilter ref(pop, n, delta, kC1);
+      const auto results = run_repetitions(
+          ssf_factory(pop, n, delta, CorruptionPolicy::WrongConsensus),
+          noise, pop.correct_opinion(),
+          RunConfig{.h = n, .max_rounds = ref.convergence_deadline()},
+          RepeatOptions{.repetitions = 6, .seed = 8100 + n});
+      const double fc = mean_convergence_round(results);
+      table.cell(n)
+          .cell(success_rate(results), 2)
+          .cell(fc, 1)
+          .cell(ref.convergence_deadline())
+          .cell(fc / std::log(static_cast<double>(n)), 2)
+          .end_row();
+    }
+    args.emit(table, "_scaling");
+  }
+  std::printf(
+      "expected shape: success and stability ~1 for every corruption\n"
+      "policy; at h = n the recovery round grows only logarithmically\n"
+      "(the Theorem 5 bound divided by h = n).\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// LEM28/36 — the weak-opinion guarantee: after the listening stage each
+// agent's weak opinion is correct with probability ≥ 1/2 + 4√(log n / n).
+//
+// We measure the empirical per-agent advantage P(weak correct) − 1/2 for SF
+// (after Phase 1) and for SSF (after two update cycles) across n, and print
+// it next to the √(log n/n) yardstick.  The advantage must stay positive
+// and shrink at roughly that rate.
+#include "bench_common.hpp"
+
+#include <cmath>
+
+namespace {
+
+using namespace noisypull;
+
+// Fraction of correct weak opinions after SF's listening phases, pooled
+// over repetitions.
+double sf_weak_fraction(const PopulationConfig& pop, double delta,
+                        std::uint64_t seed, int reps) {
+  const auto noise = NoiseMatrix::uniform(2, delta);
+  std::uint64_t correct = 0, total = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    SourceFilter sf(pop, pop.n, delta, noisypull::bench::kC1);
+    AggregateEngine engine;
+    Rng rng(seed + rep);
+    for (std::uint64_t t = 0; t < sf.schedule().boosting_start(); ++t) {
+      engine.step(sf, noise, pop.n, t, rng);
+    }
+    for (std::uint64_t i = 0; i < pop.n; ++i) {
+      correct += sf.weak_opinion(i) == pop.correct_opinion() ? 1 : 0;
+    }
+    total += pop.n;
+  }
+  return static_cast<double>(correct) / static_cast<double>(total);
+}
+
+// Fraction of correct weak opinions after 3 SSF update cycles.
+double ssf_weak_fraction(const PopulationConfig& pop, double delta,
+                         std::uint64_t seed, int reps) {
+  const auto noise = NoiseMatrix::uniform(4, delta);
+  std::uint64_t correct = 0, total = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    SelfStabilizingSourceFilter ssf(pop, pop.n, delta,
+                                    noisypull::bench::kC1);
+    AggregateEngine engine;
+    Rng rng(seed + rep);
+    const std::uint64_t cycle =
+        (ssf.memory_budget() + pop.n - 1) / pop.n;
+    for (std::uint64_t t = 0; t < 3 * cycle; ++t) {
+      engine.step(ssf, noise, pop.n, t, rng);
+    }
+    for (std::uint64_t i = 0; i < pop.n; ++i) {
+      correct += ssf.weak_opinion(i) == pop.correct_opinion() ? 1 : 0;
+    }
+    total += pop.n;
+  }
+  return static_cast<double>(correct) / static_cast<double>(total);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace noisypull;
+  using namespace noisypull::bench;
+  const auto args = BenchArgs::parse(argc, argv);
+
+  header("LEM28/LEM36 / tab_weak_opinion",
+         "Lemmas 28 & 36: weak opinions are correct with probability at "
+         "least 1/2 + 4 sqrt(log n / n) after the listening stage.");
+
+  const double delta = 0.2;
+  const double delta_ssf = 0.05;
+
+  Table table({"n", "SF advantage", "SF exact (Lemma 28)", "SSF advantage",
+               "sqrt(ln n / n)", "SF adv / yardstick",
+               "SSF adv / yardstick"});
+  for (std::uint64_t n : {500ULL, 1000ULL, 2000ULL, 4000ULL, 8000ULL,
+                          16000ULL}) {
+    const PopulationConfig pop{.n = n, .s1 = 1, .s0 = 0};
+    const double sf_adv =
+        sf_weak_fraction(pop, delta, 9000 + n, 4) - 0.5;
+    const double ssf_adv =
+        ssf_weak_fraction(pop, delta_ssf, 9500 + n, 4) - 0.5;
+    // Closed-form prediction from the Section 5.3.1 message distributions,
+    // at the messages-per-phase the protocol actually collects.
+    const auto sched = make_sf_schedule(pop, pop.n, delta, kC1);
+    const double exact_adv =
+        sf_weak_opinion_exact(n, sched.phase_rounds * pop.n, delta, 1, 0) -
+        0.5;
+    const double yard =
+        std::sqrt(std::log(static_cast<double>(n)) / static_cast<double>(n));
+    table.cell(n)
+        .cell(sf_adv, 4)
+        .cell(exact_adv, 4)
+        .cell(ssf_adv, 4)
+        .cell(yard, 4)
+        .cell(sf_adv / yard, 2)
+        .cell(ssf_adv / yard, 2)
+        .end_row();
+  }
+  args.emit(table);
+  std::printf(
+      "expected shape: both advantages positive at every n and shrinking;\n"
+      "the advantage/yardstick ratio stays bounded away from 0 (the\n"
+      "Omega(sqrt(log n/n)) guarantee of the lemmas).\n");
+  return 0;
+}

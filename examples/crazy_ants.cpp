@@ -1,0 +1,89 @@
+// Cooperative transport by "crazy ants" (Paratrechina longicornis).
+//
+// The paper's motivating scenario (§1.1): a group of ants carries a food
+// load; each carrier senses the *cumulative* force of all carriers through
+// the object — a noisy observation of the whole population, i.e. the noisy
+// PULL(h) model with h ≈ n.  Occasionally a single informed ant joins and
+// must steer the group toward the nest.  The question the paper answers:
+// can one informed ant redirect the whole group *quickly*?
+//
+// This example maps the scenario onto the library:
+//   * opinion 1 = "pull toward the nest", opinion 0 = "pull away";
+//   * the informed ant is a single source with preference 1;
+//   * force sensing is a PULL(h) observation with h = group size;
+//   * δ models mechanical/sensory noise in reading the load's motion.
+// We compare the SF strategy against the voter-style dynamics (each ant
+// aligns with a random sensed force contribution, the Gelblum et al. model)
+// for growing group sizes, printing rounds-to-alignment for each.
+//
+// Build & run:  ./build/examples/crazy_ants
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "noisypull/noisypull.hpp"
+
+namespace {
+
+using namespace noisypull;
+
+// Rounds until the whole group pulls toward the nest, kNever-safe.
+double sf_alignment_rounds(std::uint64_t n, double delta, std::uint64_t seed) {
+  const PopulationConfig pop{.n = n, .s1 = 1, .s0 = 0};
+  const auto noise = NoiseMatrix::uniform(2, delta);
+  const auto results = run_repetitions(
+      [&](Rng&) -> std::unique_ptr<PullProtocol> {
+        return std::make_unique<SourceFilter>(pop, n, delta, 2.0);
+      },
+      noise, pop.correct_opinion(), RunConfig{.h = n},
+      RepeatOptions{.repetitions = 8, .seed = seed});
+  return mean_convergence_round(results);
+}
+
+double voter_alignment_rounds(std::uint64_t n, double delta,
+                              std::uint64_t seed, std::uint64_t budget) {
+  const PopulationConfig pop{.n = n, .s1 = 1, .s0 = 0};
+  const auto noise = NoiseMatrix::uniform(2, delta);
+  const auto results = run_repetitions(
+      [&](Rng& init) -> std::unique_ptr<PullProtocol> {
+        return std::make_unique<VoterProtocol>(pop, init);
+      },
+      noise, pop.correct_opinion(),
+      RunConfig{.h = n, .max_rounds = budget},
+      RepeatOptions{.repetitions = 8, .seed = seed});
+  return mean_convergence_round(results);
+}
+
+}  // namespace
+
+int main() {
+  using namespace noisypull;
+  const double delta = 0.2;  // sensing noise
+
+  std::printf("Cooperative transport: one informed ant steering the group\n");
+  std::printf("(sensing = noisy PULL(h=n), delta = %.2f; voter = align with\n"
+              " a random sensed contribution, SF = listen-then-boost)\n\n",
+              delta);
+
+  Table table({"ants", "SF rounds to alignment", "voter rounds (budgeted)",
+               "voter aligned?"});
+  for (std::uint64_t n : {50ULL, 100ULL, 200ULL, 400ULL, 800ULL}) {
+    const double sf_rounds = sf_alignment_rounds(n, delta, 11 + n);
+    // Give the voter dynamics a generous budget of 20·n rounds.
+    const double voter_budget = static_cast<double>(20 * n);
+    const double voter_rounds =
+        voter_alignment_rounds(n, delta, 13 + n, 20 * n);
+    const bool voter_ok = voter_rounds < voter_budget;
+    table.cell(n)
+        .cell(sf_rounds, 1)
+        .cell(voter_ok ? voter_rounds : voter_budget, 1)
+        .cell(voter_ok ? "sometimes" : "no")
+        .end_row();
+  }
+  table.print(std::cout);
+  std::printf("\nSF alignment time grows ~logarithmically with group size;\n"
+              "the voter-style dynamics does not reliably follow the single\n"
+              "informed ant — matching the paper's message that sensing the\n"
+              "average tendency (large h) makes fast steering possible.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Self-stabilizing alarm propagation in a sensor field.
+//
+// Scenario: a field of 3,000 cheap sensors must agree on a binary alarm
+// state broadcast by two calibrated anchor nodes.  Sensors reboot, get
+// reflashed, or are tampered with — so the network cannot assume a clean,
+// synchronized start.  This is exactly the self-stabilizing setting of
+// Theorem 5: an adversary sets every internal state at time 0, messages are
+// corrupted (here δ = 5% per 2-bit message), and the population must still
+// converge to the anchors' value and hold it.
+//
+// The example runs SSF from every corruption policy the library models and
+// also shows the 1-bit ablation (no source tag) failing under the same
+// attack — the reason SSF pays for a second message bit.
+//
+// Build & run:  ./build/examples/resilient_sensor_field
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "noisypull/noisypull.hpp"
+
+int main() {
+  using namespace noisypull;
+
+  const PopulationConfig pop{.n = 3'000, .s1 = 2, .s0 = 0};
+  const double delta = 0.05;
+  const auto noise4 = NoiseMatrix::uniform(4, delta);
+
+  SelfStabilizingSourceFilter reference(pop, pop.n, delta, 2.0);
+  std::printf("sensor field n = %llu, two anchors, delta = %.2f\n",
+              static_cast<unsigned long long>(pop.n), delta);
+  std::printf("SSF memory budget m = %llu messages, deadline %llu rounds\n\n",
+              static_cast<unsigned long long>(reference.memory_budget()),
+              static_cast<unsigned long long>(
+                  reference.convergence_deadline()));
+
+  Table table({"corruption at t=0", "recovered", "first all-correct round",
+               "held for 2x deadline"});
+  for (const auto policy : kAllCorruptionPolicies) {
+    SelfStabilizingSourceFilter ssf(pop, pop.n, delta, 2.0);
+    Rng init(31 + static_cast<int>(policy));
+    corrupt_population(ssf, policy, pop.correct_opinion(), init);
+
+    AggregateEngine engine;
+    Rng rng(41 + static_cast<int>(policy));
+    const auto result =
+        run(ssf, engine, noise4, pop.correct_opinion(),
+            RunConfig{.h = pop.n,
+                      .max_rounds = ssf.convergence_deadline(),
+                      .stability_window = 2 * ssf.convergence_deadline()},
+            rng);
+    table.cell(to_string(policy))
+        .cell(result.all_correct_at_end ? "yes" : "no")
+        .cell(result.first_all_correct == kNever
+                  ? std::string("never")
+                  : std::to_string(result.first_all_correct))
+        .cell(result.stable ? "yes" : "no")
+        .end_row();
+  }
+  table.print(std::cout);
+
+  // The ablation: drop the source-tag bit and repeat the hardest attack.
+  std::printf("\nwithout the source-tag bit (1-bit messages), the same "
+              "wrong-consensus attack sticks:\n");
+  const auto noise2 = NoiseMatrix::uniform(2, delta);
+  TaglessSsf tagless(pop, pop.n, reference.memory_budget());
+  Rng init(51);
+  corrupt_population(tagless, CorruptionPolicy::WrongConsensus,
+                     pop.correct_opinion(), init);
+  AggregateEngine engine;
+  Rng rng(52);
+  const auto result =
+      run(tagless, engine, noise2, pop.correct_opinion(),
+          RunConfig{.h = pop.n, .max_rounds = reference.convergence_deadline()},
+          rng);
+  std::printf("tagless recovered: %s (%llu/%llu correct)\n",
+              result.all_correct_at_end ? "yes" : "no",
+              static_cast<unsigned long long>(result.correct_at_end),
+              static_cast<unsigned long long>(pop.n));
+  return 0;
+}

@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Render the paper-style figures from the bench harness' CSV exports.
+
+Usage:
+    # 1. export the data
+    mkdir -p results
+    ./build/bench/fig1_noise_reduction --csv results/fig1
+    ./build/bench/tab_thm4_scaling_n   --csv results/thm4n
+    ./build/bench/tab_thm4_scaling_h   --csv results/thm4h
+    ./build/bench/tab_churn            --csv results/churn
+    # 2. plot (requires matplotlib)
+    python3 scripts/plot_results.py results/
+
+Produces PNGs next to the CSVs: fig1.png (the paper's Figure 1), plus
+scaling and churn plots.  Every plot is optional — the script renders
+whatever CSVs it finds and skips the rest.
+"""
+import csv
+import pathlib
+import sys
+
+
+def read_csv(path):
+    with open(path, newline="") as fh:
+        rows = list(csv.reader(fh))
+    header, data = rows[0], rows[1:]
+    return header, data
+
+
+def numeric(value):
+    try:
+        return float(value)
+    except ValueError:
+        return None
+
+
+def plot_fig1(plt, directory):
+    path = directory / "fig1_curve.csv"
+    if not path.exists():
+        return
+    _, data = read_csv(path)
+    delta = [float(r[0]) for r in data]
+    f2 = [numeric(r[1]) for r in data]
+    f4 = [numeric(r[2]) for r in data]
+    fig, ax = plt.subplots(figsize=(5, 4))
+    ax.plot(delta, f2, label="d = 2")
+    pts4 = [(d, v) for d, v in zip(delta, f4) if v is not None]
+    ax.plot([p[0] for p in pts4], [p[1] for p in pts4], label="d = 4")
+    ax.plot([0, 0.5], [0, 0.5], ":", color="gray", label="f(δ) = δ")
+    ax.set_xlabel("δ")
+    ax.set_ylabel("f(δ)")
+    ax.set_title("Figure 1: uniform-noise level f(δ) (Definition 7)")
+    ax.legend()
+    fig.tight_layout()
+    fig.savefig(directory / "fig1.png", dpi=150)
+    print(f"wrote {directory / 'fig1.png'}")
+
+
+def plot_scaling_n(plt, directory):
+    path = directory / "thm4n.csv"
+    if not path.exists():
+        return
+    _, data = read_csv(path)
+    series = {}
+    for row in data:
+        n, h = float(row[0]), float(row[1])
+        kind = "h = n" if n == h else ("h = 1" if h == 1 else "h = sqrt(n)")
+        series.setdefault(kind, []).append((n, float(row[3])))
+    fig, ax = plt.subplots(figsize=(5, 4))
+    for kind, pts in sorted(series.items()):
+        pts.sort()
+        ax.loglog([p[0] for p in pts], [p[1] for p in pts], "o-", label=kind)
+    ax.set_xlabel("n")
+    ax.set_ylabel("rounds T")
+    ax.set_title("Theorem 4: convergence time vs n")
+    ax.legend()
+    fig.tight_layout()
+    fig.savefig(directory / "thm4_scaling_n.png", dpi=150)
+    print(f"wrote {directory / 'thm4_scaling_n.png'}")
+
+
+def plot_scaling_h(plt, directory):
+    path = directory / "thm4h.csv"
+    if not path.exists():
+        return
+    _, data = read_csv(path)
+    h = [float(r[0]) for r in data]
+    t = [float(r[2]) for r in data]
+    fig, ax = plt.subplots(figsize=(5, 4))
+    ax.loglog(h, t, "o-")
+    ax.loglog(h, [t[0] * h[0] / x for x in h], ":", color="gray",
+              label="T ∝ 1/h")
+    ax.set_xlabel("sample size h")
+    ax.set_ylabel("rounds T")
+    ax.set_title("Theorem 4: linear speedup in h")
+    ax.legend()
+    fig.tight_layout()
+    fig.savefig(directory / "thm4_scaling_h.png", dpi=150)
+    print(f"wrote {directory / 'thm4_scaling_h.png'}")
+
+
+def plot_churn(plt, directory):
+    path = directory / "churn.csv"
+    if not path.exists():
+        return
+    _, data = read_csv(path)
+    rate = [float(r[0]) for r in data]
+    frac = [float(r[2]) for r in data]
+    fig, ax = plt.subplots(figsize=(5, 4))
+    ax.plot(rate, frac, "o-")
+    ax.set_xscale("symlog", linthresh=1e-3)
+    ax.set_xlabel("per-round churn rate")
+    ax.set_ylabel("steady-state correct fraction")
+    ax.set_title("SSF under continuous churn")
+    fig.tight_layout()
+    fig.savefig(directory / "churn.png", dpi=150)
+    print(f"wrote {directory / 'churn.png'}")
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__)
+        return 2
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib is required: pip install matplotlib")
+        return 1
+    directory = pathlib.Path(sys.argv[1])
+    if not directory.is_dir():
+        print(f"not a directory: {directory}")
+        return 2
+    plot_fig1(plt, directory)
+    plot_scaling_n(plt, directory)
+    plot_scaling_h(plt, directory)
+    plot_churn(plt, directory)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

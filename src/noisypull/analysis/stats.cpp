@@ -1,0 +1,91 @@
+#include "noisypull/analysis/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "noisypull/common/check.hpp"
+
+namespace noisypull {
+
+Summary summarize(std::span<const double> values) {
+  NOISYPULL_CHECK(!values.empty(), "cannot summarize an empty sample");
+  Summary s;
+  s.count = values.size();
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  s.mean = sum / static_cast<double>(s.count);
+  double ss = 0.0;
+  for (double v : values) ss += (v - s.mean) * (v - s.mean);
+  s.stddev = s.count > 1
+                 ? std::sqrt(ss / static_cast<double>(s.count - 1))
+                 : 0.0;
+  s.ci95_half_width =
+      1.959964 * s.stddev / std::sqrt(static_cast<double>(s.count));
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.median = quantile(sorted, 0.5);
+  return s;
+}
+
+double quantile(std::span<const double> values, double p) {
+  NOISYPULL_CHECK(!values.empty(), "cannot take a quantile of empty sample");
+  NOISYPULL_CHECK(p >= 0.0 && p <= 1.0, "quantile p must be in [0,1]");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Interval wilson_interval(std::uint64_t successes, std::uint64_t trials) {
+  NOISYPULL_CHECK(trials >= 1, "Wilson interval needs at least one trial");
+  NOISYPULL_CHECK(successes <= trials, "more successes than trials");
+  const double z = 1.959964;
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2 * n)) / denom;
+  const double half =
+      z * std::sqrt(p * (1 - p) / n + z2 / (4 * n * n)) / denom;
+  return Interval{std::max(0.0, center - half), std::min(1.0, center + half)};
+}
+
+double chi_square_statistic(std::span<const std::uint64_t> observed,
+                            std::span<const double> expected_probs) {
+  NOISYPULL_CHECK(observed.size() == expected_probs.size(),
+                  "observed/expected size mismatch");
+  NOISYPULL_CHECK(!observed.empty(), "empty chi-square input");
+  std::uint64_t total = 0;
+  for (auto o : observed) total += o;
+  NOISYPULL_CHECK(total > 0, "no observations");
+  double stat = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    const double expected = expected_probs[i] * static_cast<double>(total);
+    if (expected <= 0.0) {
+      NOISYPULL_CHECK(observed[i] == 0,
+                      "observed mass in a zero-probability cell");
+      continue;
+    }
+    const double diff = static_cast<double>(observed[i]) - expected;
+    stat += diff * diff / expected;
+  }
+  return stat;
+}
+
+double chi_square_critical_999(std::size_t degrees_of_freedom) {
+  // chi2.isf(0.001, df) for df = 1..16.
+  static constexpr double kCritical[] = {
+      10.828, 13.816, 16.266, 18.467, 20.515, 22.458, 24.322, 26.124,
+      27.877, 29.588, 31.264, 32.909, 34.528, 36.123, 37.697, 39.252};
+  NOISYPULL_CHECK(degrees_of_freedom >= 1 && degrees_of_freedom <= 16,
+                  "df outside the tabulated range");
+  return kCritical[degrees_of_freedom - 1];
+}
+
+}  // namespace noisypull

@@ -1,0 +1,44 @@
+// Summary statistics for experiment reporting.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace noisypull {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample standard deviation (n−1 denominator)
+  double ci95_half_width = 0.0;  // normal-approximation 95% CI on the mean
+  double min = 0.0;
+  double median = 0.0;
+  double max = 0.0;
+};
+
+// Computes a Summary of `values`; requires at least one value.
+Summary summarize(std::span<const double> values);
+
+// p-quantile (0 ≤ p ≤ 1) by linear interpolation of the sorted sample.
+double quantile(std::span<const double> values, double p);
+
+// Wilson score interval for a binomial proportion at 95% confidence:
+// returns {lower, upper} for `successes` out of `trials` (trials ≥ 1).
+struct Interval {
+  double lower = 0.0;
+  double upper = 0.0;
+};
+Interval wilson_interval(std::uint64_t successes, std::uint64_t trials);
+
+// Pearson chi-square statistic of observed counts against expected
+// probabilities (same length, probabilities summing to ~1).  Used by the
+// statistical tests that cross-validate samplers and engines.
+double chi_square_statistic(std::span<const std::uint64_t> observed,
+                            std::span<const double> expected_probs);
+
+// 99.9% critical values of the chi-square distribution for small degrees of
+// freedom (1..16) — enough for alphabet-sized goodness-of-fit tests.
+double chi_square_critical_999(std::size_t degrees_of_freedom);
+
+}  // namespace noisypull

@@ -1,0 +1,35 @@
+#include "noisypull/analysis/sweep.hpp"
+
+#include <cmath>
+
+#include "noisypull/common/check.hpp"
+
+namespace noisypull {
+
+std::vector<std::uint64_t> geometric_grid(std::uint64_t lo, std::uint64_t hi,
+                                          double factor) {
+  NOISYPULL_CHECK(lo >= 1 && lo <= hi, "invalid geometric grid bounds");
+  NOISYPULL_CHECK(factor > 1.0, "geometric grid factor must exceed 1");
+  std::vector<std::uint64_t> grid;
+  double value = static_cast<double>(lo);
+  while (value <= static_cast<double>(hi) + 0.5) {
+    const auto v = static_cast<std::uint64_t>(std::llround(value));
+    if (grid.empty() || grid.back() != v) grid.push_back(v);
+    value *= factor;
+  }
+  return grid;
+}
+
+std::vector<double> linear_grid(double lo, double hi, std::size_t points) {
+  NOISYPULL_CHECK(points >= 2, "linear grid needs at least 2 points");
+  NOISYPULL_CHECK(lo <= hi, "invalid linear grid bounds");
+  std::vector<double> grid(points);
+  const double step = (hi - lo) / static_cast<double>(points - 1);
+  for (std::size_t i = 0; i < points; ++i) {
+    grid[i] = lo + step * static_cast<double>(i);
+  }
+  grid.back() = hi;  // avoid accumulation drift on the endpoint
+  return grid;
+}
+
+}  // namespace noisypull

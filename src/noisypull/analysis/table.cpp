@@ -1,0 +1,106 @@
+#include "noisypull/analysis/table.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "noisypull/common/check.hpp"
+
+namespace noisypull {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  NOISYPULL_CHECK(!headers_.empty(), "table needs at least one column");
+}
+
+Table& Table::cell(std::string value) {
+  NOISYPULL_CHECK(current_.size() < headers_.size(),
+                  "row has more cells than headers");
+  current_.push_back(std::move(value));
+  return *this;
+}
+
+Table& Table::cell(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return cell(os.str());
+}
+
+Table& Table::cell(std::uint64_t value) { return cell(std::to_string(value)); }
+Table& Table::cell(std::int64_t value) { return cell(std::to_string(value)); }
+
+void Table::end_row() {
+  NOISYPULL_CHECK(current_.size() == headers_.size(),
+                  "row does not fill every column");
+  rows_.push_back(std::move(current_));
+  current_.clear();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "| " : " | ") << std::setw(static_cast<int>(width[c]))
+         << cells[c];
+    }
+    os << " |\n";
+  };
+  line(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << (c == 0 ? "|" : "|") << std::string(width[c] + 2, '-');
+  }
+  os << "|\n";
+  for (const auto& row : rows_) line(row);
+}
+
+void Table::write_csv(std::ostream& os) const {
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) os << ",";
+      os << cells[c];
+    }
+    os << "\n";
+  };
+  line(headers_);
+  for (const auto& row : rows_) line(row);
+}
+
+bool Table::write_csv_file(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) return false;
+  write_csv(file);
+  return static_cast<bool>(file);
+}
+
+BenchArgs BenchArgs::parse(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--csv" && i + 1 < argc) {
+      args.csv = true;
+      args.csv_path = argv[++i];
+    }
+  }
+  return args;
+}
+
+void BenchArgs::emit(const Table& table, const std::string& suffix) const {
+  table.print(std::cout);
+  std::cout << "\n";
+  if (csv) {
+    const std::string path = csv_path + suffix + ".csv";
+    if (!table.write_csv_file(path)) {
+      std::cerr << "warning: could not write " << path << "\n";
+    }
+  }
+}
+
+}  // namespace noisypull

@@ -1,0 +1,59 @@
+// Fixed-width table printing and CSV export for the bench harness.
+//
+// Every tab_* bench prints its results as an aligned text table (the "rows
+// the paper reports") and can mirror them to CSV for plotting.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace noisypull {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Cell setters for the row being built; call end_row() to commit it.
+  Table& cell(std::string value);
+  Table& cell(double value, int precision = 3);
+  Table& cell(std::uint64_t value);
+  Table& cell(std::int64_t value);
+  void end_row();
+
+  std::size_t num_rows() const noexcept { return rows_.size(); }
+  const std::vector<std::string>& headers() const noexcept { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const noexcept {
+    return rows_;
+  }
+
+  // Aligned, pipe-separated rendering.
+  void print(std::ostream& os) const;
+
+  // RFC-4180-ish CSV (values here never contain commas or quotes).
+  void write_csv(std::ostream& os) const;
+
+  // Writes CSV to `path`; returns false (without throwing) on I/O failure.
+  bool write_csv_file(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::string> current_;
+};
+
+// Shared argv convention of the bench binaries: `--csv <path>` mirrors the
+// printed table(s) to CSV files (a numeric suffix is appended when a binary
+// emits several tables).
+struct BenchArgs {
+  bool csv = false;
+  std::string csv_path;
+
+  static BenchArgs parse(int argc, char** argv);
+
+  // Prints the table and, if requested, writes `<csv_path><suffix>.csv`.
+  void emit(const Table& table, const std::string& suffix = "") const;
+};
+
+}  // namespace noisypull

@@ -1,0 +1,41 @@
+#include "noisypull/baselines/majority_dynamics.hpp"
+
+#include "noisypull/common/check.hpp"
+
+namespace noisypull {
+
+MajorityDynamics::MajorityDynamics(const PopulationConfig& pop, Rng& init_rng)
+    : pop_(pop), opinions_(pop.n) {
+  pop_.validate();
+  for (std::uint64_t i = 0; i < pop_.n; ++i) {
+    opinions_[i] = pop_.is_source(i) ? pop_.source_preference(i)
+                                     : (init_rng.next_bool() ? 1 : 0);
+  }
+}
+
+Symbol MajorityDynamics::display(std::uint64_t agent,
+                                 std::uint64_t /*round*/) const {
+  NOISYPULL_CHECK(agent < pop_.n, "agent index out of range");
+  return opinions_[agent];
+}
+
+void MajorityDynamics::update(std::uint64_t agent, std::uint64_t /*round*/,
+                              const SymbolCounts& obs, Rng& rng) {
+  NOISYPULL_CHECK(agent < pop_.n, "agent index out of range");
+  NOISYPULL_CHECK(obs.size == 2, "majority dynamics expects binary alphabet");
+  if (pop_.is_source(agent)) return;  // zealot
+  if (obs[1] > obs[0]) {
+    opinions_[agent] = 1;
+  } else if (obs[1] < obs[0]) {
+    opinions_[agent] = 0;
+  } else {
+    opinions_[agent] = rng.next_bool() ? 1 : 0;
+  }
+}
+
+Opinion MajorityDynamics::opinion(std::uint64_t agent) const {
+  NOISYPULL_CHECK(agent < pop_.n, "agent index out of range");
+  return opinions_[agent];
+}
+
+}  // namespace noisypull

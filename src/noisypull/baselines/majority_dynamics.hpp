@@ -1,0 +1,35 @@
+// Memoryless local-majority baseline.
+//
+// Each round every non-source adopts the majority of its h noisy
+// observations (ties → fair coin); sources are zealots.  This is the
+// standard majority/median opinion dynamics studied in the consensus
+// literature (Becchetti et al. 2020): it converges extremely fast to *some*
+// consensus, but with a small source bias it locks onto the wrong value with
+// probability close to 1/2 — exactly the failure mode SF's listening phase
+// and SSF's source tag are designed to avoid.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "noisypull/model/protocol.hpp"
+
+namespace noisypull {
+
+class MajorityDynamics final : public PullProtocol {
+ public:
+  MajorityDynamics(const PopulationConfig& pop, Rng& init_rng);
+
+  std::size_t alphabet_size() const override { return 2; }
+  std::uint64_t num_agents() const override { return pop_.n; }
+  Symbol display(std::uint64_t agent, std::uint64_t round) const override;
+  void update(std::uint64_t agent, std::uint64_t round,
+              const SymbolCounts& obs, Rng& rng) override;
+  Opinion opinion(std::uint64_t agent) const override;
+
+ private:
+  const PopulationConfig pop_;
+  std::vector<Opinion> opinions_;
+};
+
+}  // namespace noisypull

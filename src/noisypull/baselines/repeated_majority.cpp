@@ -1,0 +1,48 @@
+#include "noisypull/baselines/repeated_majority.hpp"
+
+#include "noisypull/common/check.hpp"
+
+namespace noisypull {
+
+RepeatedMajority::RepeatedMajority(const PopulationConfig& pop,
+                                   std::uint64_t window, Rng& init_rng)
+    : pop_(pop), window_(window), agents_(pop.n) {
+  pop_.validate();
+  NOISYPULL_CHECK(window >= 1, "window must be at least 1");
+  for (std::uint64_t i = 0; i < pop_.n; ++i) {
+    agents_[i].current = pop_.is_source(i) ? pop_.source_preference(i)
+                                           : (init_rng.next_bool() ? 1 : 0);
+  }
+}
+
+Symbol RepeatedMajority::display(std::uint64_t agent,
+                                 std::uint64_t /*round*/) const {
+  NOISYPULL_CHECK(agent < pop_.n, "agent index out of range");
+  return agents_[agent].current;
+}
+
+void RepeatedMajority::update(std::uint64_t agent, std::uint64_t /*round*/,
+                              const SymbolCounts& obs, Rng& rng) {
+  NOISYPULL_CHECK(agent < pop_.n, "agent index out of range");
+  NOISYPULL_CHECK(obs.size == 2, "repeated majority expects binary alphabet");
+  if (pop_.is_source(agent)) return;  // zealot
+  AgentState& a = agents_[agent];
+  a.zeros += obs[0];
+  a.ones += obs[1];
+  if (a.zeros + a.ones < window_) return;
+  if (a.ones > a.zeros) {
+    a.current = 1;
+  } else if (a.ones < a.zeros) {
+    a.current = 0;
+  } else {
+    a.current = rng.next_bool() ? 1 : 0;
+  }
+  a.zeros = a.ones = 0;
+}
+
+Opinion RepeatedMajority::opinion(std::uint64_t agent) const {
+  NOISYPULL_CHECK(agent < pop_.n, "agent index out of range");
+  return agents_[agent].current;
+}
+
+}  // namespace noisypull

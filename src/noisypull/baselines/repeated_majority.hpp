@@ -1,0 +1,45 @@
+// Repeated-majority baseline: accumulate k observations, adopt the majority.
+//
+// The "natural first attempt" at beating observation noise: smooth over a
+// window of k messages instead of one round.  Non-sources display their
+// current opinion throughout (no neutral listening phase), so the window
+// mixes source signal with the echo of other uninformed agents.  For small
+// bias s the echo dominates and the population locks onto a random value —
+// empirically motivating why SF withholds opinions while listening.
+// Sources are zealots.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "noisypull/model/protocol.hpp"
+
+namespace noisypull {
+
+class RepeatedMajority final : public PullProtocol {
+ public:
+  // `window` is k, the number of observations aggregated per decision.
+  RepeatedMajority(const PopulationConfig& pop, std::uint64_t window,
+                   Rng& init_rng);
+
+  std::size_t alphabet_size() const override { return 2; }
+  std::uint64_t num_agents() const override { return pop_.n; }
+  Symbol display(std::uint64_t agent, std::uint64_t round) const override;
+  void update(std::uint64_t agent, std::uint64_t round,
+              const SymbolCounts& obs, Rng& rng) override;
+  Opinion opinion(std::uint64_t agent) const override;
+
+  std::uint64_t window() const noexcept { return window_; }
+
+ private:
+  const PopulationConfig pop_;
+  const std::uint64_t window_;
+
+  struct AgentState {
+    std::uint64_t zeros = 0, ones = 0;
+    Opinion current = 0;
+  };
+  std::vector<AgentState> agents_;
+};
+
+}  // namespace noisypull

@@ -1,0 +1,39 @@
+#include "noisypull/baselines/voter.hpp"
+
+#include "noisypull/common/check.hpp"
+
+namespace noisypull {
+
+VoterProtocol::VoterProtocol(const PopulationConfig& pop, Rng& init_rng)
+    : pop_(pop), opinions_(pop.n) {
+  pop_.validate();
+  for (std::uint64_t i = 0; i < pop_.n; ++i) {
+    opinions_[i] = pop_.is_source(i) ? pop_.source_preference(i)
+                                     : (init_rng.next_bool() ? 1 : 0);
+  }
+}
+
+Symbol VoterProtocol::display(std::uint64_t agent,
+                              std::uint64_t /*round*/) const {
+  NOISYPULL_CHECK(agent < pop_.n, "agent index out of range");
+  return opinions_[agent];
+}
+
+void VoterProtocol::update(std::uint64_t agent, std::uint64_t /*round*/,
+                           const SymbolCounts& obs, Rng& rng) {
+  NOISYPULL_CHECK(agent < pop_.n, "agent index out of range");
+  NOISYPULL_CHECK(obs.size == 2, "voter expects a binary alphabet");
+  if (pop_.is_source(agent)) return;  // zealot
+  // Adopt one of the h observations uniformly at random: the chance of
+  // adopting 1 is obs[1] / (obs[0] + obs[1]).
+  const std::uint64_t total = obs.total();
+  if (total == 0) return;
+  opinions_[agent] = rng.next_below(total) < obs[1] ? 1 : 0;
+}
+
+Opinion VoterProtocol::opinion(std::uint64_t agent) const {
+  NOISYPULL_CHECK(agent < pop_.n, "agent index out of range");
+  return opinions_[agent];
+}
+
+}  // namespace noisypull

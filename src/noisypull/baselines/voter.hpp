@@ -1,0 +1,39 @@
+// Voter-model baseline ("copy a random observed opinion").
+//
+// The classic rumor-spreading mechanism in PULL models is to copy the
+// opinion of a sampled agent (Karp et al. 2000); with zealot sources this is
+// the voter-with-zealots dynamics the paper's crazy-ant discussion builds on
+// (Gelblum et al. 2015).  Under noisy observations and a small source bias
+// this dynamics is slow and unreliable — it is the contrast class for the
+// Ω(n) lower-bound narrative (bench tab_baseline_separation).
+//
+// Behaviour per round: a non-source adopts a uniformly random one of its h
+// (noisy) observations; sources are zealots, always displaying and keeping
+// their preference.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "noisypull/model/protocol.hpp"
+
+namespace noisypull {
+
+class VoterProtocol final : public PullProtocol {
+ public:
+  // Non-source initial opinions are drawn uniformly by `init_rng`.
+  VoterProtocol(const PopulationConfig& pop, Rng& init_rng);
+
+  std::size_t alphabet_size() const override { return 2; }
+  std::uint64_t num_agents() const override { return pop_.n; }
+  Symbol display(std::uint64_t agent, std::uint64_t round) const override;
+  void update(std::uint64_t agent, std::uint64_t round,
+              const SymbolCounts& obs, Rng& rng) override;
+  Opinion opinion(std::uint64_t agent) const override;
+
+ private:
+  const PopulationConfig pop_;
+  std::vector<Opinion> opinions_;
+};
+
+}  // namespace noisypull

@@ -1,0 +1,43 @@
+// Precondition checking for public API boundaries.
+//
+// The library validates constructor / function preconditions with
+// NOISYPULL_CHECK, which throws std::invalid_argument with a readable
+// message.  Internal invariants (bugs, never user-triggerable) use
+// NOISYPULL_ASSERT, which aborts.  Neither is used for control flow.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace noisypull::detail {
+
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "noisypull: precondition violated: (" << expr << ") at " << file << ":"
+     << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+}  // namespace noisypull::detail
+
+// Checks a user-facing precondition; throws std::invalid_argument on failure.
+// The message argument is a string (or anything streamable via std::string).
+#define NOISYPULL_CHECK(expr, msg)                                       \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::noisypull::detail::throw_check_failure(#expr, __FILE__, __LINE__, \
+                                               (msg));                   \
+    }                                                                    \
+  } while (false)
+
+// Internal invariant; failure indicates a library bug.
+#define NOISYPULL_ASSERT(expr)                                            \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::noisypull::detail::throw_check_failure(#expr, __FILE__, __LINE__, \
+                                               "internal invariant");     \
+    }                                                                     \
+  } while (false)

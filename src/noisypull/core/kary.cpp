@@ -1,0 +1,188 @@
+#include "noisypull/core/kary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "noisypull/common/check.hpp"
+
+namespace noisypull {
+
+void KaryPopulation::validate() const {
+  NOISYPULL_CHECK(n >= 2, "population needs at least 2 agents");
+  NOISYPULL_CHECK(sources.size() >= 2 && sources.size() <= kMaxAlphabet,
+                  "need between 2 and kMaxAlphabet opinions");
+  NOISYPULL_CHECK(num_sources() >= 1, "at least one source is required");
+  NOISYPULL_CHECK(num_sources() <= n, "more sources than agents");
+}
+
+std::uint64_t KaryPopulation::num_sources() const noexcept {
+  std::uint64_t total = 0;
+  for (auto s : sources) total += s;
+  return total;
+}
+
+Opinion KaryPopulation::plurality_opinion() const {
+  validate();
+  std::size_t best = 0;
+  for (std::size_t o = 1; o < sources.size(); ++o) {
+    if (sources[o] > sources[best]) best = o;
+  }
+  for (std::size_t o = 0; o < sources.size(); ++o) {
+    NOISYPULL_CHECK(o == best || sources[o] < sources[best],
+                    "plurality opinion undefined on a tie");
+  }
+  return static_cast<Opinion>(best);
+}
+
+std::uint64_t KaryPopulation::bias() const {
+  validate();
+  std::uint64_t top = 0, second = 0;
+  for (auto s : sources) {
+    if (s >= top) {
+      second = top;
+      top = s;
+    } else if (s > second) {
+      second = s;
+    }
+  }
+  return top - second;
+}
+
+Opinion KaryPopulation::source_preference(std::uint64_t agent) const {
+  NOISYPULL_CHECK(is_source(agent), "agent is not a source");
+  std::uint64_t cumulative = 0;
+  for (std::size_t o = 0; o < sources.size(); ++o) {
+    cumulative += sources[o];
+    if (agent < cumulative) return static_cast<Opinion>(o);
+  }
+  NOISYPULL_ASSERT(false);
+  return 0;
+}
+
+KarySourceFilter::KarySourceFilter(KaryPopulation pop, std::uint64_t h,
+                                   double delta, double c1)
+    : pop_(std::move(pop)), h_(h), agents_(pop_.n) {
+  pop_.validate();
+  const auto k = static_cast<double>(pop_.num_opinions());
+  NOISYPULL_CHECK(h >= 1, "sample size h must be at least 1");
+  NOISYPULL_CHECK(delta >= 0.0 && delta < 1.0 / k,
+                  "k-ary SF requires delta in [0, 1/k)");
+  NOISYPULL_CHECK(c1 > 0.0, "c1 must be positive");
+  NOISYPULL_CHECK(pop_.bias() >= 1, "plurality must be strict");
+
+  // The k-ary analogue of Eq. 19, with the binary margin (1−2δ) replaced by
+  // (1−kδ) and the total source count S = Σ sources[o].
+  const double nd = static_cast<double>(pop_.n);
+  const double sd = static_cast<double>(pop_.bias());
+  const double total_sources = static_cast<double>(pop_.num_sources());
+  const double logn = std::log(nd);
+  const double margin = 1.0 - k * delta;
+  const double inner =
+      nd * delta / (std::min(sd * sd, nd) * margin * margin) +
+      std::sqrt(nd) / sd + total_sources / (sd * sd);
+  m_ = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(
+             c1 * (inner + static_cast<double>(h)) * logn)));
+  phase_rounds_ = (m_ + h - 1) / h;
+  w_ = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(100.0 * std::exp(1.0) / (margin * margin))));
+  subphase_rounds_ = (w_ + h - 1) / h;
+  num_subphases_ = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(10.0 * logn)));
+  final_rounds_ = phase_rounds_;
+
+  // Sources start with their preference as the current opinion.
+  for (std::uint64_t i = 0; i < pop_.num_sources(); ++i) {
+    agents_[i].current = pop_.source_preference(i);
+    agents_[i].weak = agents_[i].current;
+  }
+}
+
+std::uint64_t KarySourceFilter::planned_rounds() const {
+  return listening_rounds() + num_subphases_ * subphase_rounds_ +
+         final_rounds_;
+}
+
+Symbol KarySourceFilter::display(std::uint64_t agent,
+                                 std::uint64_t round) const {
+  NOISYPULL_CHECK(agent < pop_.n, "agent index out of range");
+  if (round < listening_rounds()) {
+    if (pop_.is_source(agent)) return pop_.source_preference(agent);
+    return static_cast<Symbol>(round / phase_rounds_);  // cover symbol j
+  }
+  return agents_[agent].current;
+}
+
+Opinion KarySourceFilter::argmax_with_ties(
+    const std::array<std::uint64_t, kMaxAlphabet>& v, Rng& rng) const {
+  const std::size_t k = pop_.num_opinions();
+  std::uint64_t best = 0;
+  for (std::size_t o = 0; o < k; ++o) best = std::max(best, v[o]);
+  std::uint64_t ties = 0;
+  for (std::size_t o = 0; o < k; ++o) ties += v[o] == best ? 1 : 0;
+  std::uint64_t pick = rng.next_below(ties);
+  for (std::size_t o = 0; o < k; ++o) {
+    if (v[o] == best) {
+      if (pick == 0) return static_cast<Opinion>(o);
+      --pick;
+    }
+  }
+  NOISYPULL_ASSERT(false);
+  return 0;
+}
+
+bool KarySourceFilter::is_subphase_end(std::uint64_t round) const noexcept {
+  const std::uint64_t start = listening_rounds();
+  if (round < start) return false;
+  const std::uint64_t short_span = num_subphases_ * subphase_rounds_;
+  const std::uint64_t off = round - start;
+  if (off < short_span) return (off + 1) % subphase_rounds_ == 0;
+  return off + 1 == short_span + final_rounds_;
+}
+
+void KarySourceFilter::update(std::uint64_t agent, std::uint64_t round,
+                              const SymbolCounts& obs, Rng& rng) {
+  NOISYPULL_CHECK(agent < pop_.n, "agent index out of range");
+  NOISYPULL_CHECK(obs.size == pop_.num_opinions(),
+                  "observation alphabet mismatch");
+  AgentState& a = agents_[agent];
+  const std::size_t k = pop_.num_opinions();
+
+  if (round < listening_rounds()) {
+    const std::size_t cover = round / phase_rounds_;
+    for (std::size_t o = 0; o < k; ++o) {
+      if (o != cover) a.score[o] += obs[o];
+    }
+    if (round + 1 == listening_rounds()) {
+      a.weak = argmax_with_ties(a.score, rng);
+      a.current = a.weak;
+      a.tally.fill(0);
+    }
+    return;
+  }
+  if (round >= planned_rounds()) return;
+  for (std::size_t o = 0; o < k; ++o) a.tally[o] += obs[o];
+  if (is_subphase_end(round)) {
+    a.current = argmax_with_ties(a.tally, rng);
+    a.tally.fill(0);
+  }
+}
+
+Opinion KarySourceFilter::opinion(std::uint64_t agent) const {
+  NOISYPULL_CHECK(agent < pop_.n, "agent index out of range");
+  return agents_[agent].current;
+}
+
+Opinion KarySourceFilter::weak_opinion(std::uint64_t agent) const {
+  NOISYPULL_CHECK(agent < pop_.n, "agent index out of range");
+  return agents_[agent].weak;
+}
+
+std::uint64_t KarySourceFilter::score(std::uint64_t agent, Opinion o) const {
+  NOISYPULL_CHECK(agent < pop_.n, "agent index out of range");
+  NOISYPULL_CHECK(o < pop_.num_opinions(), "opinion out of range");
+  return agents_[agent].score[o];
+}
+
+}  // namespace noisypull

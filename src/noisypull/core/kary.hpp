@@ -1,0 +1,105 @@
+// K-ary Source Filter: plurality spreading over a multi-valued opinion set.
+//
+// The paper assumes binary opinions "for simplicity" (§1.2) and converges to
+// the plurality preference among sources.  This module generalizes SF to k
+// opinions, Σ = {0, …, k−1}, keeping the paper's design: a neutral listening
+// stage whose symmetry cancels in expectation, followed by plurality
+// boosting.
+//
+// Listening stage — k phases of ⌈m/h⌉ rounds.  In phase j every non-source
+// displays the cover symbol j while sources display their preference; every
+// agent adds, for each σ ≠ j, its observed count of σ into score[σ].  Since
+// each symbol σ is excluded from exactly the one phase in which non-sources
+// display it, E[score[σ]] = (k−1)·m·(δ + (1−kδ)·s_σ/n): identical across
+// symbols except for the source term, so argmax score is an unbiased
+// estimator of the sources' plurality — the k-ary weak opinion.  (For k = 2
+// this is exactly Algorithm 1's Counter1-vs-Counter0 comparison.)
+//
+// Boosting stage — as in SF, with majority replaced by plurality: L =
+// ⌈10·ln n⌉ sub-phases of w = 100e/(1−kδ)² messages plus a final sub-phase
+// of m messages; at each sub-phase end an agent adopts the plurality of the
+// sub-phase's observations (ties broken uniformly among the tied symbols).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "noisypull/core/schedule.hpp"
+#include "noisypull/model/protocol.hpp"
+
+namespace noisypull {
+
+// Population with k-valued source preferences.  Agents are laid out with
+// all sources first, grouped by preference in increasing opinion order.
+struct KaryPopulation {
+  std::uint64_t n = 0;
+  std::vector<std::uint64_t> sources;  // sources[o] = # sources preferring o
+
+  void validate() const;
+
+  std::size_t num_opinions() const noexcept { return sources.size(); }
+  std::uint64_t num_sources() const noexcept;
+
+  // The strict plurality preference; throws if the top count is tied.
+  Opinion plurality_opinion() const;
+
+  // Gap between the largest and second-largest source counts (the k-ary
+  // analogue of the paper's bias s).
+  std::uint64_t bias() const;
+
+  bool is_source(std::uint64_t agent) const noexcept {
+    return agent < num_sources();
+  }
+  // Preference of a source agent (by the grouped layout).
+  Opinion source_preference(std::uint64_t agent) const;
+};
+
+class KarySourceFilter final : public PullProtocol {
+ public:
+  // Schedule derived from the k-ary analogue of Eq. 19, with (1−2δ)
+  // replaced by (1−kδ); requires δ ∈ [0, 1/k).
+  KarySourceFilter(KaryPopulation pop, std::uint64_t h, double delta,
+                   double c1 = 2.0);
+
+  std::size_t alphabet_size() const override { return pop_.num_opinions(); }
+  std::uint64_t num_agents() const override { return pop_.n; }
+  Symbol display(std::uint64_t agent, std::uint64_t round) const override;
+  void update(std::uint64_t agent, std::uint64_t round,
+              const SymbolCounts& obs, Rng& rng) override;
+  Opinion opinion(std::uint64_t agent) const override;
+  std::uint64_t planned_rounds() const override;
+
+  const KaryPopulation& population() const noexcept { return pop_; }
+  std::uint64_t phase_rounds() const noexcept { return phase_rounds_; }
+  std::uint64_t listening_rounds() const noexcept {
+    return phase_rounds_ * pop_.num_opinions();
+  }
+  std::uint64_t message_budget() const noexcept { return m_; }
+
+  Opinion weak_opinion(std::uint64_t agent) const;
+  std::uint64_t score(std::uint64_t agent, Opinion o) const;
+
+ private:
+  const KaryPopulation pop_;
+  const std::uint64_t h_;
+  std::uint64_t m_ = 0;
+  std::uint64_t phase_rounds_ = 0;
+  std::uint64_t w_ = 0;
+  std::uint64_t subphase_rounds_ = 0;
+  std::uint64_t num_subphases_ = 0;
+  std::uint64_t final_rounds_ = 0;
+
+  struct AgentState {
+    std::array<std::uint64_t, kMaxAlphabet> score{};  // listening scores
+    std::array<std::uint64_t, kMaxAlphabet> tally{};  // boosting tallies
+    Opinion weak = 0;
+    Opinion current = 0;
+  };
+  std::vector<AgentState> agents_;
+
+  bool is_subphase_end(std::uint64_t round) const noexcept;
+  Opinion argmax_with_ties(const std::array<std::uint64_t, kMaxAlphabet>& v,
+                           Rng& rng) const;
+};
+
+}  // namespace noisypull

@@ -1,0 +1,109 @@
+#include "noisypull/core/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "noisypull/common/check.hpp"
+
+namespace noisypull {
+namespace {
+
+std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+std::uint64_t to_count(double x) {
+  NOISYPULL_CHECK(x >= 0.0 && x < 9.0e18, "parameter out of range");
+  return static_cast<std::uint64_t>(std::ceil(x));
+}
+
+std::uint64_t bits_for(std::uint64_t v) noexcept {
+  std::uint64_t bits = 1;
+  while (v > 1) {
+    v >>= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+}  // namespace
+
+SfSchedule make_sf_schedule_with_m(const PopulationConfig& pop,
+                                   std::uint64_t h, double delta,
+                                   std::uint64_t m) {
+  pop.validate();
+  NOISYPULL_CHECK(h >= 1, "sample size h must be at least 1");
+  NOISYPULL_CHECK(delta >= 0.0 && delta < 0.5,
+                  "SF requires delta in [0, 1/2)");
+  NOISYPULL_CHECK(m >= 1, "message budget m must be at least 1");
+
+  const double nd = static_cast<double>(pop.n);
+  const double one_minus = 1.0 - 2.0 * delta;
+
+  SfSchedule s;
+  s.h = h;
+  s.m = m;
+  s.phase_rounds = ceil_div(m, h);
+  s.w = std::max<std::uint64_t>(
+      1, to_count(100.0 * std::exp(1.0) / (one_minus * one_minus)));
+  s.subphase_rounds = ceil_div(s.w, h);
+  s.num_subphases = std::max<std::uint64_t>(1, to_count(10.0 * std::log(nd)));
+  s.final_rounds = s.phase_rounds;
+  return s;
+}
+
+SfSchedule make_sf_schedule(const PopulationConfig& pop, std::uint64_t h,
+                            double delta, double c1) {
+  pop.validate();
+  NOISYPULL_CHECK(delta >= 0.0 && delta < 0.5,
+                  "SF requires delta in [0, 1/2)");
+  NOISYPULL_CHECK(c1 > 0.0, "c1 must be positive");
+  NOISYPULL_CHECK(pop.bias() >= 1, "SF requires bias s >= 1");
+
+  const double nd = static_cast<double>(pop.n);
+  const double sd = static_cast<double>(pop.bias());
+  const double srcs = static_cast<double>(pop.num_sources());
+  const double logn = std::log(nd);
+  const double one_minus = 1.0 - 2.0 * delta;
+
+  const double term_noise =
+      nd * delta * logn / (std::min(sd * sd, nd) * one_minus * one_minus);
+  const double term_sqrt = std::sqrt(nd) * logn / sd;
+  const double term_src = srcs * logn / (sd * sd);
+  const double term_h = static_cast<double>(h) * logn;
+
+  const std::uint64_t m = std::max<std::uint64_t>(
+      1, to_count(c1 * (term_noise + term_sqrt + term_src + term_h)));
+  return make_sf_schedule_with_m(pop, h, delta, m);
+}
+
+std::uint64_t ssf_memory_budget(const PopulationConfig& pop, double delta,
+                                double c1) {
+  pop.validate();
+  NOISYPULL_CHECK(delta >= 0.0 && delta < 0.25,
+                  "SSF requires delta in [0, 1/4)");
+  NOISYPULL_CHECK(c1 > 0.0, "c1 must be positive");
+  const double nd = static_cast<double>(pop.n);
+  const double one_minus = 1.0 - 4.0 * delta;
+  const double m =
+      c1 * (delta * nd * std::log(nd) / (one_minus * one_minus) + nd);
+  return std::max<std::uint64_t>(1, to_count(m));
+}
+
+std::uint64_t sf_state_bits(const SfSchedule& s) noexcept {
+  // Two listening counters bounded by the messages a phase delivers, one
+  // (ones, total) pair for boosting bounded by max(w, m) + h slack, the
+  // round/phase position, and two opinion bits.
+  const std::uint64_t phase_msgs = s.phase_rounds * s.h;
+  const std::uint64_t boost_msgs = std::max(s.subphase_rounds, s.final_rounds) * s.h;
+  return 2 * bits_for(phase_msgs) + 2 * bits_for(boost_msgs) +
+         bits_for(s.total_rounds()) + 2;
+}
+
+std::uint64_t ssf_state_bits(std::uint64_t m, std::uint64_t h) noexcept {
+  // Four symbol counters bounded by m + h (the overshoot before an update
+  // round), plus weak-opinion and opinion bits.
+  return 4 * bits_for(m + h) + 2;
+}
+
+}  // namespace noisypull

@@ -1,0 +1,86 @@
+// Source Filter (SF) — Algorithm 1 of the paper (Theorem 4).
+//
+// Alphabet Σ = {0,1}; simultaneous wake-up.  Three phases:
+//   Phase 0 (⌈m/h⌉ rounds):  sources display their preference, non-sources
+//     display 0; every agent counts observed 1s (Counter1).
+//   Phase 1 (⌈m/h⌉ rounds):  sources display their preference, non-sources
+//     display 1; every agent counts observed 0s (Counter0).
+//   Weak opinion Ŷ = 1{Counter1 > Counter0}, ties broken by a fair coin.
+//   Majority boosting:  L = ⌈10·ln n⌉ sub-phases of ⌈w/h⌉ rounds each with
+//     w = 100e/(1−2δ)², plus a final sub-phase of ⌈m/h⌉ rounds.  Every agent
+//     displays its opinion and, at the end of each sub-phase, adopts the
+//     majority of the messages received during that sub-phase.
+//
+// The neutral displays of non-sources in Phases 0/1 cancel in expectation
+// (the noise being uniform), letting the source bias "stand out"; the weak
+// opinions are mutually independent and correct with probability
+// ≥ 1/2 + 4√(log n / n) (Lemma 28), which boosting amplifies to w.h.p.
+// consensus (Lemmas 31–35).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "noisypull/core/schedule.hpp"
+#include "noisypull/model/protocol.hpp"
+
+namespace noisypull {
+
+class SourceFilter : public PullProtocol {
+ public:
+  // Builds SF with the Theorem 4 schedule (see make_sf_schedule).
+  SourceFilter(const PopulationConfig& pop, std::uint64_t h, double delta,
+               double c1 = 2.0);
+
+  // Builds SF with an explicit, already-computed schedule.
+  SourceFilter(const PopulationConfig& pop, SfSchedule schedule);
+
+  std::size_t alphabet_size() const override { return 2; }
+  std::uint64_t num_agents() const override { return pop_.n; }
+  Symbol display(std::uint64_t agent, std::uint64_t round) const override;
+  void update(std::uint64_t agent, std::uint64_t round,
+              const SymbolCounts& obs, Rng& rng) override;
+  Opinion opinion(std::uint64_t agent) const override;
+  std::uint64_t planned_rounds() const override {
+    return schedule_.total_rounds();
+  }
+
+  const SfSchedule& schedule() const noexcept { return schedule_; }
+  const PopulationConfig& population() const noexcept { return pop_; }
+
+  // Weak opinion Ŷ of an agent (meaningful once Phase 1 has ended).
+  Opinion weak_opinion(std::uint64_t agent) const;
+
+  // Listening-phase counters, exposed for tests and the LEM28 experiment.
+  std::uint64_t counter1(std::uint64_t agent) const;
+  std::uint64_t counter0(std::uint64_t agent) const;
+
+  // True while `round` lies in the boosting phase and is the last round of a
+  // sub-phase (the rounds at which opinions change).  Used by experiments
+  // that record the A_ℓ trajectory (Lemma 33).
+  bool is_subphase_end(std::uint64_t round) const noexcept;
+
+ protected:
+  // Display of a non-source agent; overridden by the ablation variants.
+  virtual Symbol nonsource_listen_display(std::uint64_t agent,
+                                          std::uint64_t round) const;
+
+  const PopulationConfig pop_;
+  const SfSchedule schedule_;
+
+  struct AgentState {
+    std::uint64_t counter1 = 0;    // 1s observed in Phase 0
+    std::uint64_t counter0 = 0;    // 0s observed in Phase 1
+    std::uint64_t boost_ones = 0;  // 1s observed in the current sub-phase
+    std::uint64_t boost_total = 0;
+    Opinion weak = 0;
+    Opinion current = 0;
+  };
+  std::vector<AgentState> agents_;
+
+ private:
+  void finish_listening(AgentState& a, Rng& rng);
+  void finish_subphase(AgentState& a, Rng& rng);
+};
+
+}  // namespace noisypull

@@ -1,0 +1,89 @@
+#include "noisypull/core/ssf.hpp"
+
+#include "noisypull/common/check.hpp"
+
+namespace noisypull {
+
+SelfStabilizingSourceFilter::SelfStabilizingSourceFilter(
+    const PopulationConfig& pop, std::uint64_t h, double delta, double c1)
+    : SelfStabilizingSourceFilter(pop, h, ssf_memory_budget(pop, delta, c1),
+                                  ExplicitBudget{}) {}
+
+SelfStabilizingSourceFilter::SelfStabilizingSourceFilter(
+    const PopulationConfig& pop, std::uint64_t h, std::uint64_t m,
+    ExplicitBudget)
+    : pop_(pop), h_(h), m_(m), agents_(pop.n) {
+  pop_.validate();
+  NOISYPULL_CHECK(h >= 1, "sample size h must be at least 1");
+  NOISYPULL_CHECK(m >= 1, "memory budget m must be at least 1");
+}
+
+Symbol SelfStabilizingSourceFilter::display(std::uint64_t agent,
+                                            std::uint64_t /*round*/) const {
+  NOISYPULL_CHECK(agent < pop_.n, "agent index out of range");
+  if (pop_.is_source(agent)) {
+    return encode(true, pop_.source_preference(agent));
+  }
+  return encode(false, agents_[agent].weak);
+}
+
+Opinion SelfStabilizingSourceFilter::majority(std::uint64_t ones,
+                                              std::uint64_t zeros, Rng& rng) {
+  if (ones > zeros) return 1;
+  if (ones < zeros) return 0;
+  return rng.next_bool() ? 1 : 0;
+}
+
+void SelfStabilizingSourceFilter::update(std::uint64_t agent,
+                                         std::uint64_t /*round*/,
+                                         const SymbolCounts& obs, Rng& rng) {
+  NOISYPULL_CHECK(agent < pop_.n, "agent index out of range");
+  NOISYPULL_CHECK(obs.size == 4, "SSF expects the {0,1}^2 alphabet");
+  AgentState& a = agents_[agent];
+  for (std::size_t s = 0; s < 4; ++s) {
+    a.mem[s] += obs[s];
+    a.mem_total += obs[s];
+  }
+  if (a.mem_total < m_) return;
+
+  // Update round: recompute weak opinion and opinion, then empty the memory.
+  // Messages tagged as coming from a source are symbols (1,0)=2 and (1,1)=3.
+  a.weak = majority(a.mem[3], a.mem[2], rng);
+  a.current = majority(a.mem[1] + a.mem[3], a.mem[0] + a.mem[2], rng);
+  a.mem.fill(0);
+  a.mem_total = 0;
+}
+
+Opinion SelfStabilizingSourceFilter::opinion(std::uint64_t agent) const {
+  NOISYPULL_CHECK(agent < pop_.n, "agent index out of range");
+  return agents_[agent].current;
+}
+
+Opinion SelfStabilizingSourceFilter::weak_opinion(std::uint64_t agent) const {
+  NOISYPULL_CHECK(agent < pop_.n, "agent index out of range");
+  return agents_[agent].weak;
+}
+
+void SelfStabilizingSourceFilter::corrupt(std::uint64_t agent,
+                                          const SymbolCounts& memory,
+                                          Opinion weak, Opinion opinion) {
+  NOISYPULL_CHECK(agent < pop_.n, "agent index out of range");
+  NOISYPULL_CHECK(memory.size == 4, "SSF memory has 4 symbols");
+  AgentState& a = agents_[agent];
+  a.mem_total = 0;
+  for (std::size_t s = 0; s < 4; ++s) {
+    a.mem[s] = memory[s];
+    a.mem_total += memory[s];
+  }
+  a.weak = weak & 1;
+  a.current = opinion & 1;
+}
+
+SymbolCounts SelfStabilizingSourceFilter::memory(std::uint64_t agent) const {
+  NOISYPULL_CHECK(agent < pop_.n, "agent index out of range");
+  SymbolCounts out(4);
+  for (std::size_t s = 0; s < 4; ++s) out[s] = agents_[agent].mem[s];
+  return out;
+}
+
+}  // namespace noisypull

@@ -1,0 +1,102 @@
+// Self-stabilizing Source Filter (SSF) — Algorithm 2 of the paper (Thm 5).
+//
+// Alphabet Σ = {0,1}² encoded as symbol = first_bit·2 + second_bit, so
+//   (0,0) → 0, (0,1) → 1, (1,0) → 2, (1,1) → 3.
+// The first bit tags the sender as a source; the second bit carries the
+// source's preference (sources) or the sender's weak opinion (non-sources).
+//
+// Every round each agent appends its h observations to a memory multiset
+// (stored as per-symbol counts — order is irrelevant).  Whenever the memory
+// holds at least m messages (an "update round", every ⌈m/h⌉ rounds once the
+// memory has been emptied once):
+//   weak opinion ← majority of second bits among messages with first bit 1,
+//   opinion      ← majority of second bits of all messages,
+//   memory       ← ∅,                                (ties → fair coin)
+//
+// The protocol requires no clocks, identifiers, or knowledge of the bias s;
+// an adversary may arbitrarily corrupt memories, weak opinions and opinions
+// at time 0 (see corrupt()/sim/adversary.hpp).  After at most two update
+// cycles every memory contains only genuinely sampled messages, weak
+// opinions are independent and correct with probability ≥ 1/2 + 4√(log n/n)
+// (Lemma 36), and all opinions are correct w.h.p. from round 3⌈m/h⌉ on,
+// staying correct for polynomially many rounds (Lemmas 39–40).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "noisypull/core/schedule.hpp"
+#include "noisypull/model/protocol.hpp"
+
+namespace noisypull {
+
+class SelfStabilizingSourceFilter : public PullProtocol {
+ public:
+  // Symbol helpers for the {0,1}² alphabet.
+  static constexpr Symbol encode(bool source_tag, Opinion second) noexcept {
+    return static_cast<Symbol>((source_tag ? 2 : 0) | (second & 1));
+  }
+  static constexpr bool first_bit(Symbol s) noexcept { return (s & 2) != 0; }
+  static constexpr Opinion second_bit(Symbol s) noexcept { return s & 1; }
+
+  // Builds SSF with the Theorem 5 memory budget (see ssf_memory_budget).
+  SelfStabilizingSourceFilter(const PopulationConfig& pop, std::uint64_t h,
+                              double delta, double c1 = 2.0);
+
+  // Builds SSF with an explicit memory budget m (tests / ablations).
+  static SelfStabilizingSourceFilter with_memory_budget(
+      const PopulationConfig& pop, std::uint64_t h, std::uint64_t m) {
+    return SelfStabilizingSourceFilter(pop, h, m, ExplicitBudget{});
+  }
+
+  std::size_t alphabet_size() const override { return 4; }
+  std::uint64_t num_agents() const override { return pop_.n; }
+  Symbol display(std::uint64_t agent, std::uint64_t round) const override;
+  void update(std::uint64_t agent, std::uint64_t round,
+              const SymbolCounts& obs, Rng& rng) override;
+  Opinion opinion(std::uint64_t agent) const override;
+
+  const PopulationConfig& population() const noexcept { return pop_; }
+  std::uint64_t memory_budget() const noexcept { return m_; }
+
+  // A round count by which Theorem 5 predicts w.h.p. convergence: the
+  // analysis needs all agents past their third update (t ≥ 3⌈m/h⌉); one
+  // extra cycle absorbs adversarially inflated memories.
+  std::uint64_t convergence_deadline() const noexcept {
+    const std::uint64_t cycle = (m_ + h_ - 1) / h_;
+    return 4 * cycle + 1;
+  }
+
+  Opinion weak_opinion(std::uint64_t agent) const;
+
+  // Adversarial state injection (the self-stabilization model): overwrites
+  // the agent's memory counts, weak opinion and opinion.  Sourcehood and
+  // preferences are not corruptible (they are inputs, per Section 1.3).
+  void corrupt(std::uint64_t agent, const SymbolCounts& memory, Opinion weak,
+               Opinion opinion);
+
+  // Memory contents, exposed for tests.
+  SymbolCounts memory(std::uint64_t agent) const;
+
+ protected:
+  const PopulationConfig pop_;
+  const std::uint64_t h_;
+  const std::uint64_t m_;
+
+  struct AgentState {
+    std::array<std::uint64_t, 4> mem{};  // multiset as per-symbol counts
+    std::uint64_t mem_total = 0;
+    Opinion weak = 0;
+    Opinion current = 0;
+  };
+  std::vector<AgentState> agents_;
+
+ private:
+  struct ExplicitBudget {};
+  SelfStabilizingSourceFilter(const PopulationConfig& pop, std::uint64_t h,
+                              std::uint64_t m, ExplicitBudget);
+
+  static Opinion majority(std::uint64_t ones, std::uint64_t zeros, Rng& rng);
+};
+
+}  // namespace noisypull

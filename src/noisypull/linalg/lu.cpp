@@ -1,0 +1,89 @@
+#include "noisypull/linalg/lu.hpp"
+
+#include <cmath>
+#include <span>
+
+#include "noisypull/common/check.hpp"
+
+namespace noisypull {
+
+std::vector<double> LuDecomposition::solve(std::span<const double> b) const {
+  const std::size_t n = lu.rows();
+  NOISYPULL_CHECK(b.size() == n, "rhs size mismatch in LU solve");
+  std::vector<double> x(n);
+  // Apply permutation, then forward-substitute through unit-lower L.
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[perm[i]];
+    for (std::size_t j = 0; j < i; ++j) sum -= lu(i, j) * x[j];
+    x[i] = sum;
+  }
+  // Back-substitute through U.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = x[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) sum -= lu(ii, j) * x[j];
+    x[ii] = sum / lu(ii, ii);
+  }
+  return x;
+}
+
+double LuDecomposition::determinant() const noexcept {
+  double det = perm_sign;
+  for (std::size_t i = 0; i < lu.rows(); ++i) det *= lu(i, i);
+  return det;
+}
+
+std::optional<LuDecomposition> lu_decompose(const Matrix& a,
+                                            double pivot_tol) {
+  NOISYPULL_CHECK(a.is_square(), "LU requires a square matrix");
+  const std::size_t n = a.rows();
+  LuDecomposition d{a, {}, 1};
+  d.perm.resize(n);
+  for (std::size_t i = 0; i < n; ++i) d.perm[i] = i;
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot: find the largest magnitude entry in this column.
+    std::size_t pivot_row = col;
+    double pivot_mag = std::fabs(d.lu(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double mag = std::fabs(d.lu(r, col));
+      if (mag > pivot_mag) {
+        pivot_mag = mag;
+        pivot_row = r;
+      }
+    }
+    if (pivot_mag < pivot_tol) return std::nullopt;  // singular
+    if (pivot_row != col) {
+      for (std::size_t j = 0; j < n; ++j) {
+        std::swap(d.lu(col, j), d.lu(pivot_row, j));
+      }
+      std::swap(d.perm[col], d.perm[pivot_row]);
+      d.perm_sign = -d.perm_sign;
+    }
+    const double pivot = d.lu(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = d.lu(r, col) / pivot;
+      d.lu(r, col) = factor;
+      for (std::size_t j = col + 1; j < n; ++j) {
+        d.lu(r, j) -= factor * d.lu(col, j);
+      }
+    }
+  }
+  return d;
+}
+
+std::optional<Matrix> invert(const Matrix& a, double pivot_tol) {
+  const auto d = lu_decompose(a, pivot_tol);
+  if (!d) return std::nullopt;
+  const std::size_t n = a.rows();
+  Matrix inv(n, n);
+  std::vector<double> e(n, 0.0);
+  for (std::size_t col = 0; col < n; ++col) {
+    e[col] = 1.0;
+    const auto x = d->solve(e);
+    e[col] = 0.0;
+    for (std::size_t i = 0; i < n; ++i) inv(i, col) = x[i];
+  }
+  return inv;
+}
+
+}  // namespace noisypull

@@ -1,0 +1,38 @@
+// LU decomposition with partial pivoting, for inverting noise matrices.
+//
+// Corollary 14 of the paper proves that every δ-upper-bounded noise matrix is
+// invertible with ‖N⁻¹‖∞ ≤ (d−1)/(1−dδ); the artificial-noise construction
+// (Proposition 16) needs the actual inverse, P = N⁻¹·T.  Matrices here are
+// tiny (d ≤ 8 in practice), so a dense LU with partial pivoting is both exact
+// enough and simple.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "noisypull/linalg/matrix.hpp"
+
+namespace noisypull {
+
+// Factorization result: P·A = L·U packed into one matrix (unit lower
+// triangle implicit), plus the row permutation and its sign.
+struct LuDecomposition {
+  Matrix lu;                       // packed L (strict lower) and U (upper)
+  std::vector<std::size_t> perm;   // row permutation applied to A
+  int perm_sign = 1;               // +1 / -1, parity of the permutation
+
+  // Solves A·x = b for the factored A.  b.size() must equal the dimension.
+  std::vector<double> solve(std::span<const double> b) const;
+
+  double determinant() const noexcept;
+};
+
+// Factors a square matrix.  Returns std::nullopt if A is singular to working
+// precision (a pivot smaller than `pivot_tol` in magnitude is encountered).
+std::optional<LuDecomposition> lu_decompose(const Matrix& a,
+                                            double pivot_tol = 1e-12);
+
+// Inverts a square matrix via LU.  Returns std::nullopt if singular.
+std::optional<Matrix> invert(const Matrix& a, double pivot_tol = 1e-12);
+
+}  // namespace noisypull

@@ -1,0 +1,237 @@
+#include "noisypull/model/engine.hpp"
+
+#include <array>
+#include <span>
+
+#include "noisypull/common/check.hpp"
+#include "noisypull/rng/binomial.hpp"
+
+namespace noisypull {
+namespace {
+
+// Display histogram: c[σ] = number of agents displaying σ this round.
+std::array<std::uint64_t, kMaxAlphabet> display_histogram(
+    const PullProtocol& protocol, std::uint64_t round) {
+  std::array<std::uint64_t, kMaxAlphabet> c{};
+  const std::uint64_t n = protocol.num_agents();
+  const std::size_t d = protocol.alphabet_size();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const Symbol s = protocol.display(i, round);
+    NOISYPULL_ASSERT(s < d);
+    ++c[s];
+  }
+  return c;
+}
+
+}  // namespace
+
+void ExactEngine::set_artificial_noise(std::optional<Matrix> p) {
+  if (p) {
+    artificial_.emplace(std::move(*p));
+  } else {
+    artificial_.reset();
+  }
+}
+
+void ExactEngine::step(PullProtocol& protocol, const NoiseMatrix& noise,
+                       std::uint64_t h, std::uint64_t round, Rng& rng) {
+  const std::uint64_t n = protocol.num_agents();
+  const std::size_t d = protocol.alphabet_size();
+  NOISYPULL_CHECK(noise.alphabet_size() == d,
+                  "noise matrix alphabet does not match protocol");
+  NOISYPULL_CHECK(h >= 1, "sample size h must be at least 1");
+
+  // Snapshot displays: all messages of a round are chosen before any
+  // observation of that round is delivered (model step 1 precedes step 4).
+  displays_.resize(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    displays_[i] = protocol.display(i, round);
+    NOISYPULL_ASSERT(displays_[i] < d);
+  }
+
+  SymbolCounts obs(d);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    obs.clear();
+    for (std::uint64_t k = 0; k < h; ++k) {
+      const std::uint64_t j = rng.next_below(n);  // with replacement; may be i
+      Symbol received = noise.corrupt(displays_[j], rng);
+      if (artificial_) received = artificial_->corrupt(received, rng);
+      ++obs[received];
+    }
+    protocol.update(i, round, obs, rng);
+  }
+}
+
+void AggregateEngine::set_artificial_noise(std::optional<Matrix> p) {
+  artificial_ = std::move(p);
+}
+
+void AggregateEngine::step(PullProtocol& protocol, const NoiseMatrix& noise,
+                           std::uint64_t h, std::uint64_t round, Rng& rng) {
+  const std::uint64_t n = protocol.num_agents();
+  const std::size_t d = protocol.alphabet_size();
+  NOISYPULL_CHECK(noise.alphabet_size() == d,
+                  "noise matrix alphabet does not match protocol");
+  NOISYPULL_CHECK(h >= 1, "sample size h must be at least 1");
+
+  const auto c = display_histogram(protocol, round);
+
+  // One observation is distributed as: pick a displayed symbol σ with
+  // probability c[σ]/n, then corrupt through the (possibly composed)
+  // channel.  So q[σ'] ∝ Σ_σ c[σ]·channel(σ,σ').
+  Matrix channel = noise.matrix();
+  if (artificial_) channel = channel * *artificial_;
+
+  std::array<double, kMaxAlphabet> q{};
+  for (std::size_t to = 0; to < d; ++to) {
+    double w = 0.0;
+    for (std::size_t from = 0; from < d; ++from) {
+      w += static_cast<double>(c[from]) * channel(from, to);
+    }
+    q[to] = w;
+  }
+
+  SymbolCounts obs(d);
+  const std::span<const double> weights(q.data(), d);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    obs.clear();
+    sample_multinomial(rng, h, weights,
+                       std::span<std::uint64_t>(obs.c.data(), d));
+    protocol.update(i, round, obs, rng);
+  }
+}
+
+HeterogeneousEngine::HeterogeneousEngine(std::vector<NoiseMatrix> per_agent)
+    : per_agent_(std::move(per_agent)) {
+  NOISYPULL_CHECK(!per_agent_.empty(), "need at least one noise matrix");
+  const std::size_t d = per_agent_.front().alphabet_size();
+  for (const auto& m : per_agent_) {
+    NOISYPULL_CHECK(m.alphabet_size() == d,
+                    "per-agent noise matrices must share one alphabet");
+  }
+}
+
+void HeterogeneousEngine::set_artificial_noise(std::optional<Matrix> p) {
+  artificial_ = std::move(p);
+  cache_valid_ = false;
+}
+
+void HeterogeneousEngine::rebuild_channel_cache() {
+  const std::size_t d = per_agent_.front().alphabet_size();
+  channels_.resize(per_agent_.size() * d * d);
+  for (std::size_t i = 0; i < per_agent_.size(); ++i) {
+    Matrix channel = per_agent_[i].matrix();
+    if (artificial_) channel = channel * *artificial_;
+    for (std::size_t from = 0; from < d; ++from) {
+      for (std::size_t to = 0; to < d; ++to) {
+        channels_[(i * d + from) * d + to] = channel(from, to);
+      }
+    }
+  }
+  cache_valid_ = true;
+}
+
+double HeterogeneousEngine::worst_upper_bound() const noexcept {
+  double worst = 0.0;
+  for (const auto& m : per_agent_) {
+    worst = std::max(worst, m.tightest_upper_bound());
+  }
+  return worst;
+}
+
+void HeterogeneousEngine::step(PullProtocol& protocol,
+                               const NoiseMatrix& noise, std::uint64_t h,
+                               std::uint64_t round, Rng& rng) {
+  const std::uint64_t n = protocol.num_agents();
+  const std::size_t d = protocol.alphabet_size();
+  NOISYPULL_CHECK(noise.alphabet_size() == d,
+                  "noise matrix alphabet does not match protocol");
+  NOISYPULL_CHECK(per_agent_.size() == n,
+                  "need exactly one noise matrix per agent");
+  NOISYPULL_CHECK(per_agent_.front().alphabet_size() == d,
+                  "per-agent noise alphabet does not match protocol");
+  NOISYPULL_CHECK(h >= 1, "sample size h must be at least 1");
+
+  const auto c = display_histogram(protocol, round);
+  if (!cache_valid_) rebuild_channel_cache();
+
+  SymbolCounts obs(d);
+  std::array<double, kMaxAlphabet> q{};
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const double* channel = &channels_[i * d * d];
+    for (std::size_t to = 0; to < d; ++to) {
+      double w = 0.0;
+      for (std::size_t from = 0; from < d; ++from) {
+        w += static_cast<double>(c[from]) * channel[from * d + to];
+      }
+      q[to] = w;
+    }
+    obs.clear();
+    sample_multinomial(rng, h, std::span<const double>(q.data(), d),
+                       std::span<std::uint64_t>(obs.c.data(), d));
+    protocol.update(i, round, obs, rng);
+  }
+}
+
+void SequentialEngine::set_artificial_noise(std::optional<Matrix> p) {
+  artificial_ = std::move(p);
+}
+
+void SequentialEngine::step(PullProtocol& protocol, const NoiseMatrix& noise,
+                            std::uint64_t h, std::uint64_t round, Rng& rng) {
+  const std::uint64_t n = protocol.num_agents();
+  const std::size_t d = protocol.alphabet_size();
+  NOISYPULL_CHECK(noise.alphabet_size() == d,
+                  "noise matrix alphabet does not match protocol");
+  NOISYPULL_CHECK(h >= 1, "sample size h must be at least 1");
+
+  auto c = display_histogram(protocol, round);
+
+  Matrix channel = noise.matrix();
+  if (artificial_) channel = channel * *artificial_;
+
+  perm_.resize(n);
+  for (std::uint64_t i = 0; i < n; ++i) perm_[i] = i;
+  switch (order_) {
+    case Order::Random:
+      for (std::uint64_t i = n; i > 1; --i) {  // Fisher–Yates
+        std::swap(perm_[i - 1], perm_[rng.next_below(i)]);
+      }
+      break;
+    case Order::FixedAscending:
+      break;
+    case Order::FixedDescending:
+      for (std::uint64_t i = 0; i < n / 2; ++i) {
+        std::swap(perm_[i], perm_[n - 1 - i]);
+      }
+      break;
+  }
+
+  SymbolCounts obs(d);
+  std::array<double, kMaxAlphabet> q{};
+  for (std::uint64_t idx = 0; idx < n; ++idx) {
+    const std::uint64_t agent = perm_[idx];
+    // Observation law against the *current* display histogram.
+    for (std::size_t to = 0; to < d; ++to) {
+      double w = 0.0;
+      for (std::size_t from = 0; from < d; ++from) {
+        w += static_cast<double>(c[from]) * channel(from, to);
+      }
+      q[to] = w;
+    }
+    obs.clear();
+    sample_multinomial(rng, h, std::span<const double>(q.data(), d),
+                       std::span<std::uint64_t>(obs.c.data(), d));
+    // Update immediately; keep the histogram in sync with display changes.
+    const Symbol before = protocol.display(agent, round);
+    protocol.update(agent, round, obs, rng);
+    const Symbol after = protocol.display(agent, round);
+    if (after != before) {
+      NOISYPULL_ASSERT(c[before] > 0);
+      --c[before];
+      ++c[after];
+    }
+  }
+}
+
+}  // namespace noisypull

@@ -1,0 +1,126 @@
+// Round engines for the noisy PULL(h) model.
+//
+// ExactEngine is the literal model: each agent draws h uniform indices with
+// replacement (possibly itself) and each sampled message passes through the
+// noise channel independently.  Θ(n·h) work per round — the ground truth used
+// by tests and small runs.
+//
+// AggregateEngine exploits that protocols consume observation *counts*: the h
+// observations of one agent are i.i.d. categorical draws whose distribution
+// is q = cᵀN / n, where c is the population's display histogram this round.
+// The count vector is therefore exactly Multinomial(h, q); drawing it
+// directly is identical in distribution and costs O(|Σ|) per agent, making
+// n = 10⁶ with h = n feasible.  Tests cross-validate the two engines
+// statistically (tests/test_engines.cpp).
+//
+// Both engines can apply an "artificial noise" matrix P to every observation
+// (Definition 6) — ExactEngine by literally re-corrupting each message,
+// AggregateEngine by composing the channel to N·P — which is how Theorem 8's
+// reduction is exercised end to end.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "noisypull/model/protocol.hpp"
+#include "noisypull/noise/noise_matrix.hpp"
+#include "noisypull/rng/rng.hpp"
+
+namespace noisypull {
+
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  // Executes one full round: displays → sampling → noise → updates.
+  // `h` is the sample size of the PULL(h) model.
+  virtual void step(PullProtocol& protocol, const NoiseMatrix& noise,
+                    std::uint64_t h, std::uint64_t round, Rng& rng) = 0;
+
+  // Installs artificial noise applied after the channel (Definition 6), or
+  // removes it when called with std::nullopt.
+  virtual void set_artificial_noise(std::optional<Matrix> p) = 0;
+};
+
+class ExactEngine final : public Engine {
+ public:
+  void step(PullProtocol& protocol, const NoiseMatrix& noise, std::uint64_t h,
+            std::uint64_t round, Rng& rng) override;
+  void set_artificial_noise(std::optional<Matrix> p) override;
+
+ private:
+  std::optional<NoiseMatrix> artificial_;
+  std::vector<Symbol> displays_;  // scratch, reused across rounds
+};
+
+class AggregateEngine final : public Engine {
+ public:
+  void step(PullProtocol& protocol, const NoiseMatrix& noise, std::uint64_t h,
+            std::uint64_t round, Rng& rng) override;
+  void set_artificial_noise(std::optional<Matrix> p) override;
+
+ private:
+  std::optional<Matrix> artificial_;
+};
+
+// Asynchronous (sequential-activation) engine: instead of the synchronous
+// display-snapshot semantics, agents are activated one at a time within a
+// round — each samples h *live* displays (reflecting all updates performed
+// earlier in the same round) and updates immediately.  This is the
+// population-protocol-style scheduler; protocols without a global clock
+// (SSF, the baselines) should behave the same under it, while SF's phase
+// synchrony is not required to survive it.  The display histogram is
+// maintained incrementally, so a round still costs O(n·|Σ|).
+class SequentialEngine final : public Engine {
+ public:
+  enum class Order {
+    Random,           // fresh uniform permutation per round
+    FixedAscending,   // 0, 1, ..., n−1 (adversarially regular)
+    FixedDescending,  // n−1, ..., 0 (sources activate last)
+  };
+
+  explicit SequentialEngine(Order order = Order::Random) : order_(order) {}
+
+  void step(PullProtocol& protocol, const NoiseMatrix& noise, std::uint64_t h,
+            std::uint64_t round, Rng& rng) override;
+  void set_artificial_noise(std::optional<Matrix> p) override;
+
+ private:
+  Order order_;
+  std::optional<Matrix> artificial_;
+  std::vector<std::uint64_t> perm_;  // scratch
+};
+
+// Heterogeneous-noise engine: each *receiving* agent has its own channel
+// matrix (the paper assumes one common N; real sensor populations don't).
+// Observation i's law is q_i ∝ cᵀ·N_i, so the aggregate trick still applies
+// per receiver at O(|Σ|²) each.  The `noise` argument passed to step() is
+// only validated for alphabet compatibility — the per-agent matrices given
+// at construction are what corrupt observations.  The THM4-D style
+// robustness claim this enables: SF tuned to the worst agent's δ_max still
+// converges when most agents are much cleaner (bench tab_heterogeneous).
+class HeterogeneousEngine final : public Engine {
+ public:
+  // One noise matrix per agent (size must equal the protocol's n; all
+  // matrices must share the protocol's alphabet).
+  explicit HeterogeneousEngine(std::vector<NoiseMatrix> per_agent);
+
+  void step(PullProtocol& protocol, const NoiseMatrix& noise, std::uint64_t h,
+            std::uint64_t round, Rng& rng) override;
+  void set_artificial_noise(std::optional<Matrix> p) override;
+
+  // Tightest δ such that every per-agent matrix is δ-upper-bounded — the
+  // level a protocol must be tuned to.
+  double worst_upper_bound() const noexcept;
+
+ private:
+  void rebuild_channel_cache();
+
+  std::vector<NoiseMatrix> per_agent_;
+  std::optional<Matrix> artificial_;
+  std::vector<double> channels_;  // n·d·d flattened effective channels
+  bool cache_valid_ = false;
+};
+
+}  // namespace noisypull

@@ -1,0 +1,76 @@
+// Core value types of the noisy PULL(h) model (Section 1.3 of the paper).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <numeric>
+
+#include "noisypull/common/check.hpp"
+#include "noisypull/noise/noise_matrix.hpp"
+
+namespace noisypull {
+
+// A binary opinion (the paper's Y^(i) ∈ {0,1}).
+using Opinion = std::uint8_t;
+
+// Per-symbol observation tallies an agent receives in one round (or phase).
+// All protocols in the paper are functions of these counts only, which is
+// what makes the aggregate engine exact (see engine.hpp).
+struct SymbolCounts {
+  std::array<std::uint64_t, kMaxAlphabet> c{};
+  std::size_t size = 0;
+
+  explicit SymbolCounts(std::size_t alphabet = 2) : size(alphabet) {
+    NOISYPULL_CHECK(alphabet >= 2 && alphabet <= kMaxAlphabet,
+                    "unsupported alphabet size");
+  }
+
+  std::uint64_t operator[](std::size_t s) const noexcept { return c[s]; }
+  std::uint64_t& operator[](std::size_t s) noexcept { return c[s]; }
+
+  std::uint64_t total() const noexcept {
+    return std::accumulate(c.begin(), c.begin() + size, std::uint64_t{0});
+  }
+
+  void clear() noexcept { c.fill(0); }
+};
+
+// Population layout.  Agents are indexed 0..n-1; by convention the first s1
+// agents are sources preferring opinion 1, the next s0 are sources preferring
+// opinion 0, and the remainder are non-sources.  Placement is irrelevant in a
+// well-mixed population (sampling is uniform over all agents).
+struct PopulationConfig {
+  std::uint64_t n = 0;   // total number of agents
+  std::uint64_t s1 = 0;  // sources preferring opinion 1
+  std::uint64_t s0 = 0;  // sources preferring opinion 0
+
+  void validate() const {
+    NOISYPULL_CHECK(n >= 2, "population needs at least 2 agents");
+    NOISYPULL_CHECK(s0 + s1 <= n, "more sources than agents");
+    NOISYPULL_CHECK(s0 + s1 >= 1, "at least one source is required");
+  }
+
+  std::uint64_t num_sources() const noexcept { return s0 + s1; }
+
+  // The paper's bias s = |s1 − s0|.
+  std::uint64_t bias() const noexcept {
+    return s1 >= s0 ? s1 - s0 : s0 - s1;
+  }
+
+  // Majority preference among sources; requires a strict majority.
+  Opinion correct_opinion() const {
+    NOISYPULL_CHECK(s0 != s1, "correct opinion undefined when s0 == s1");
+    return s1 > s0 ? Opinion{1} : Opinion{0};
+  }
+
+  bool is_source(std::uint64_t agent) const noexcept {
+    return agent < s0 + s1;
+  }
+
+  // Preference of a source agent (undefined semantics for non-sources).
+  Opinion source_preference(std::uint64_t agent) const noexcept {
+    return agent < s1 ? Opinion{1} : Opinion{0};
+  }
+};
+
+}  // namespace noisypull

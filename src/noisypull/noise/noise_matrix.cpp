@@ -1,0 +1,112 @@
+#include "noisypull/noise/noise_matrix.hpp"
+
+#include <array>
+#include <span>
+
+#include "noisypull/common/check.hpp"
+#include "noisypull/rng/binomial.hpp"
+
+namespace noisypull {
+
+NoiseMatrix::NoiseMatrix(Matrix m) : m_(std::move(m)) {
+  NOISYPULL_CHECK(m_.is_square(), "noise matrix must be square");
+  NOISYPULL_CHECK(m_.rows() >= 2, "alphabet must have at least 2 symbols");
+  NOISYPULL_CHECK(m_.rows() <= kMaxAlphabet, "alphabet larger than supported");
+  NOISYPULL_CHECK(m_.is_stochastic(1e-9), "noise matrix must be stochastic");
+}
+
+NoiseMatrix NoiseMatrix::uniform(std::size_t d, double delta) {
+  NOISYPULL_CHECK(d >= 2, "alphabet must have at least 2 symbols");
+  NOISYPULL_CHECK(delta >= 0.0 && delta <= 1.0 / static_cast<double>(d),
+                  "uniform noise level must be in [0, 1/d]");
+  Matrix m(d, d);
+  const double diag = 1.0 - static_cast<double>(d - 1) * delta;
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = 0; j < d; ++j) m(i, j) = (i == j) ? diag : delta;
+  }
+  return NoiseMatrix(std::move(m));
+}
+
+NoiseMatrix NoiseMatrix::random_upper_bounded(std::size_t d, double delta,
+                                              Rng& rng) {
+  NOISYPULL_CHECK(d >= 2, "alphabet must have at least 2 symbols");
+  NOISYPULL_CHECK(delta >= 0.0 && delta <= 1.0 / static_cast<double>(d),
+                  "upper-bound noise level must be in [0, 1/d]");
+  Matrix m(d, d);
+  for (std::size_t i = 0; i < d; ++i) {
+    double off_sum = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      if (i == j) continue;
+      m(i, j) = rng.next_double() * delta;
+      off_sum += m(i, j);
+    }
+    m(i, i) = 1.0 - off_sum;  // ≥ 1−(d−1)δ since each off entry ≤ δ
+  }
+  return NoiseMatrix(std::move(m));
+}
+
+bool NoiseMatrix::is_lower_bounded(double delta, double tol) const noexcept {
+  const std::size_t d = alphabet_size();
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      if (m_(i, j) < delta - tol) return false;
+    }
+  }
+  return true;
+}
+
+bool NoiseMatrix::is_upper_bounded(double delta, double tol) const noexcept {
+  const std::size_t d = alphabet_size();
+  const double diag_min = 1.0 - static_cast<double>(d - 1) * delta;
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      if (i == j) {
+        if (m_(i, j) < diag_min - tol) return false;
+      } else if (m_(i, j) > delta + tol) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool NoiseMatrix::is_uniform(double delta, double tol) const noexcept {
+  const std::size_t d = alphabet_size();
+  const double diag = 1.0 - static_cast<double>(d - 1) * delta;
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      const double want = (i == j) ? diag : delta;
+      if (m_(i, j) < want - tol || m_(i, j) > want + tol) return false;
+    }
+  }
+  return true;
+}
+
+double NoiseMatrix::tightest_upper_bound() const noexcept {
+  const std::size_t d = alphabet_size();
+  double delta = 0.0;
+  for (std::size_t i = 0; i < d; ++i) {
+    delta = std::max(delta, (1.0 - m_(i, i)) / static_cast<double>(d - 1));
+    for (std::size_t j = 0; j < d; ++j) {
+      if (i != j) delta = std::max(delta, m_(i, j));
+    }
+  }
+  return delta;
+}
+
+double NoiseMatrix::tightest_lower_bound() const noexcept {
+  double delta = 1.0;
+  for (double v : m_.data()) delta = std::min(delta, v);
+  return delta;
+}
+
+Symbol NoiseMatrix::corrupt(Symbol displayed, Rng& rng) const {
+  const std::size_t d = alphabet_size();
+  NOISYPULL_CHECK(displayed < d, "displayed symbol outside alphabet");
+  std::array<double, kMaxAlphabet> row{};
+  for (std::size_t j = 0; j < d; ++j) row[j] = m_(displayed, j);
+  return static_cast<Symbol>(
+      sample_discrete(rng, std::span<const double>(row.data(), d)));
+}
+
+}  // namespace noisypull

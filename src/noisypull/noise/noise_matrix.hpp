@@ -1,0 +1,73 @@
+// Noise matrices of the noisy PULL(h) model (Definition 1 of the paper).
+//
+// A noise matrix N is a stochastic |Σ|×|Σ| matrix: when an agent samples a
+// message σ, it observes σ' with probability N[σ][σ'].  The paper's three
+// regularity classes are:
+//   δ-lower-bounded : every entry ≥ δ,
+//   δ-upper-bounded : diagonal ≥ 1−(|Σ|−1)δ and off-diagonal ≤ δ  (Eq. 1),
+//   δ-uniform       : equality in Eq. (1).
+// This type wraps a stochastic Matrix, exposes those predicates, the tightest
+// δ for each class, constructors for the canonical families, a generator of
+// random δ-upper-bounded matrices (used by property tests and FIG1), and
+// per-message sampling for the exact engine.
+#pragma once
+
+#include <cstdint>
+
+#include "noisypull/linalg/matrix.hpp"
+#include "noisypull/rng/rng.hpp"
+
+namespace noisypull {
+
+using Symbol = std::uint8_t;
+
+// Alphabets in this library are index sets {0, ..., size-1}; protocols define
+// the meaning of each index (for SSF, symbol = first_bit*2 + second_bit).
+inline constexpr std::size_t kMaxAlphabet = 8;
+
+class NoiseMatrix {
+ public:
+  // Wraps an arbitrary stochastic matrix.  Throws if `m` is not square,
+  // not stochastic, or larger than kMaxAlphabet.
+  explicit NoiseMatrix(Matrix m);
+
+  // The δ-uniform matrix on an alphabet of size d: diagonal 1−(d−1)δ,
+  // off-diagonal δ.  Requires d ≥ 2 and δ ∈ [0, 1/d].
+  static NoiseMatrix uniform(std::size_t d, double delta);
+
+  // Identity channel (noiseless), i.e. 0-uniform.
+  static NoiseMatrix noiseless(std::size_t d) { return uniform(d, 0.0); }
+
+  // A random δ-upper-bounded matrix: each off-diagonal entry drawn uniformly
+  // from [0, δ], diagonal set to complete the row.  Requires δ ∈ [0, 1/d].
+  static NoiseMatrix random_upper_bounded(std::size_t d, double delta,
+                                          Rng& rng);
+
+  std::size_t alphabet_size() const noexcept { return m_.rows(); }
+
+  double operator()(Symbol from, Symbol to) const noexcept {
+    return m_(from, to);
+  }
+  const Matrix& matrix() const noexcept { return m_; }
+
+  // Definition 1 predicates (with numeric tolerance).
+  bool is_lower_bounded(double delta, double tol = 1e-12) const noexcept;
+  bool is_upper_bounded(double delta, double tol = 1e-12) const noexcept;
+  bool is_uniform(double delta, double tol = 1e-9) const noexcept;
+
+  // The smallest δ for which this matrix is δ-upper-bounded:
+  //   max( max off-diagonal entry, max over rows of (1−diag)/(d−1) ).
+  double tightest_upper_bound() const noexcept;
+
+  // The largest δ for which this matrix is δ-lower-bounded (its min entry).
+  double tightest_lower_bound() const noexcept;
+
+  // Samples the observed symbol for a displayed symbol (one use of the
+  // channel), i.e. a draw from row `displayed`.
+  Symbol corrupt(Symbol displayed, Rng& rng) const;
+
+ private:
+  Matrix m_;
+};
+
+}  // namespace noisypull

@@ -1,0 +1,57 @@
+#include "noisypull/noise/reduction.hpp"
+
+#include <cmath>
+
+#include "noisypull/common/check.hpp"
+#include "noisypull/linalg/lu.hpp"
+
+namespace noisypull {
+
+double uniform_noise_level(std::size_t d, double delta) {
+  NOISYPULL_CHECK(d >= 2, "alphabet must have at least 2 symbols");
+  NOISYPULL_CHECK(delta >= 0.0 && delta < 1.0 / static_cast<double>(d),
+                  "f(delta) requires delta in [0, 1/d)");
+  if (delta == 0.0) return 0.0;
+  const double dd = static_cast<double>(d);
+  const double dm1 = dd - 1.0;
+  return 1.0 / (dd + 0.5 / (dm1 * dm1) * (1.0 - dd * delta) / delta);
+}
+
+NoiseReduction reduce_to_uniform(const NoiseMatrix& n) {
+  return reduce_to_uniform(n, n.tightest_upper_bound());
+}
+
+NoiseReduction reduce_to_uniform(const NoiseMatrix& n, double delta) {
+  const std::size_t d = n.alphabet_size();
+  NOISYPULL_CHECK(delta < 1.0 / static_cast<double>(d),
+                  "noise level must be below 1/d for a uniform reduction");
+  NOISYPULL_CHECK(n.is_upper_bounded(delta, 1e-9),
+                  "matrix is not delta-upper-bounded at the given level");
+
+  const double delta_prime = uniform_noise_level(d, delta);
+  const Matrix t = NoiseMatrix::uniform(d, delta_prime).matrix();
+
+  // Corollary 14 guarantees invertibility for every δ-upper-bounded matrix.
+  const auto n_inv = invert(n.matrix());
+  NOISYPULL_ASSERT(n_inv.has_value());
+  Matrix p = *n_inv * t;
+
+  // Proposition 16 guarantees P is stochastic; scrub the float fuzz that the
+  // LU solve leaves behind so downstream samplers see clean probabilities.
+  for (std::size_t i = 0; i < d; ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      NOISYPULL_ASSERT(p(i, j) > -1e-9);
+      if (p(i, j) < 0.0) p(i, j) = 0.0;
+      row += p(i, j);
+    }
+    NOISYPULL_ASSERT(std::fabs(row - 1.0) < 1e-6);
+    for (std::size_t j = 0; j < d; ++j) p(i, j) /= row;
+  }
+
+  NoiseMatrix effective(n.matrix() * p);
+  NOISYPULL_ASSERT(effective.is_uniform(delta_prime, 1e-6));
+  return NoiseReduction{std::move(p), delta_prime, std::move(effective)};
+}
+
+}  // namespace noisypull

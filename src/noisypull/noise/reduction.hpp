@@ -1,0 +1,34 @@
+// Reduction from δ-upper-bounded to δ'-uniform noise (Section 4, Theorem 8).
+//
+// Agents cannot choose the channel N, but they can degrade their *own*
+// observations: replacing each received message σ by a draw from row σ of an
+// "artificial noise" matrix P turns the end-to-end channel into N·P.
+// Proposition 16 shows that choosing P = N⁻¹·T, where T is the δ'-uniform
+// matrix with δ' = f(δ) (Definition 7), makes P stochastic — hence
+// implementable by agents — and the composed channel exactly δ'-uniform.
+// This lets the protocols (and their analysis) assume uniform noise.
+#pragma once
+
+#include "noisypull/noise/noise_matrix.hpp"
+
+namespace noisypull {
+
+// Definition 7: f(0) = 0 and, for δ ∈ (0, 1/d),
+//   f(δ) = ( d + ½·(d−1)⁻²·(1−dδ)/δ )⁻¹.
+// Claim 15: f is continuous and increasing on [0, 1/d) with δ ≤ f(δ) < 1/d.
+double uniform_noise_level(std::size_t d, double delta);
+
+struct NoiseReduction {
+  Matrix artificial;      // P: the artificial noise each agent applies
+  double delta_prime;     // δ' = f(δ): level of the composed uniform channel
+  NoiseMatrix effective;  // N·P, equal to the δ'-uniform matrix
+};
+
+// Builds the Theorem 8 reduction for a noise matrix N that is
+// δ-upper-bounded, with δ = N.tightest_upper_bound() by default or an
+// explicit (not smaller) level.  Throws if N is not δ-upper-bounded for the
+// given δ, or if δ ≥ 1/d (no uniform reduction exists at that level).
+NoiseReduction reduce_to_uniform(const NoiseMatrix& n);
+NoiseReduction reduce_to_uniform(const NoiseMatrix& n, double delta);
+
+}  // namespace noisypull

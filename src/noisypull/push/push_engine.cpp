@@ -1,0 +1,102 @@
+#include "noisypull/push/push_engine.hpp"
+
+#include <array>
+#include <span>
+
+#include "noisypull/common/check.hpp"
+#include "noisypull/rng/binomial.hpp"
+
+namespace noisypull {
+namespace {
+
+// Histogram of symbols chosen by this round's senders.
+std::array<std::uint64_t, kMaxAlphabet> sent_histogram(
+    const PushProtocol& protocol, std::uint64_t round,
+    std::uint64_t* num_senders) {
+  std::array<std::uint64_t, kMaxAlphabet> c{};
+  const std::uint64_t n = protocol.num_agents();
+  const std::size_t d = protocol.alphabet_size();
+  std::uint64_t senders = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (!protocol.sends(i, round)) continue;
+    const Symbol s = protocol.message(i, round);
+    NOISYPULL_ASSERT(s < d);
+    ++c[s];
+    ++senders;
+  }
+  *num_senders = senders;
+  return c;
+}
+
+}  // namespace
+
+void ExactPushEngine::step(PushProtocol& protocol, const NoiseMatrix& noise,
+                           std::uint64_t h, std::uint64_t round, Rng& rng) {
+  const std::uint64_t n = protocol.num_agents();
+  const std::size_t d = protocol.alphabet_size();
+  NOISYPULL_CHECK(noise.alphabet_size() == d,
+                  "noise matrix alphabet does not match protocol");
+  NOISYPULL_CHECK(h >= 1, "push fan-out h must be at least 1");
+
+  inbox_.assign(n, SymbolCounts(d));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (!protocol.sends(i, round)) continue;
+    const Symbol msg = protocol.message(i, round);
+    for (std::uint64_t k = 0; k < h; ++k) {
+      const std::uint64_t receiver = rng.next_below(n);
+      ++inbox_[receiver][noise.corrupt(msg, rng)];
+    }
+  }
+  for (std::uint64_t i = 0; i < n; ++i) {
+    protocol.deliver(i, round, inbox_[i], rng);
+  }
+}
+
+void AggregatePushEngine::step(PushProtocol& protocol,
+                               const NoiseMatrix& noise, std::uint64_t h,
+                               std::uint64_t round, Rng& rng) {
+  const std::uint64_t n = protocol.num_agents();
+  const std::size_t d = protocol.alphabet_size();
+  NOISYPULL_CHECK(noise.alphabet_size() == d,
+                  "noise matrix alphabet does not match protocol");
+  NOISYPULL_CHECK(h >= 1, "push fan-out h must be at least 1");
+
+  std::uint64_t senders = 0;
+  const auto c = sent_histogram(protocol, round, &senders);
+  const std::uint64_t total_messages = senders * h;
+
+  // Total delivered copies per observed symbol: Multinomial(M, q) with
+  // q[σ'] ∝ Σ_σ c[σ]·N(σ,σ').
+  std::array<std::uint64_t, kMaxAlphabet> totals{};
+  if (total_messages > 0) {
+    std::array<double, kMaxAlphabet> q{};
+    for (std::size_t to = 0; to < d; ++to) {
+      for (std::size_t from = 0; from < d; ++from) {
+        q[to] += static_cast<double>(c[from]) * noise(from, to);
+      }
+    }
+    sample_multinomial(rng, total_messages,
+                       std::span<const double>(q.data(), d),
+                       std::span<std::uint64_t>(totals.data(), d));
+  }
+
+  // Occupancy split: receivers are uniform i.i.d. per copy, so sweep the
+  // agents and peel Binomial(remaining, 1/(n−i)) per symbol.
+  auto remaining = totals;
+  SymbolCounts received(d);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    received.clear();
+    const double inv = 1.0 / static_cast<double>(n - i);
+    for (std::size_t s = 0; s < d; ++s) {
+      if (remaining[s] == 0) continue;
+      const std::uint64_t take =
+          (i + 1 == n) ? remaining[s]
+                       : sample_binomial(rng, remaining[s], inv);
+      received[s] = take;
+      remaining[s] -= take;
+    }
+    protocol.deliver(i, round, received, rng);
+  }
+}
+
+}  // namespace noisypull

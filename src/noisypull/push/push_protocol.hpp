@@ -1,0 +1,48 @@
+// The noisy PUSH(h) model (Section 1.5 of the paper).
+//
+// In PUSH, each agent may *send* its message to h agents chosen uniformly at
+// random (with replacement) per round; receivers get independently corrupted
+// copies.  The crucial structural difference from PULL — the reason for the
+// exponential separation proved in [Boczkowski et al. 2018] vs [Feinerman,
+// Haeupler, Korman 2017] — is that *intent is reliable*: a receiver cannot
+// trust a message's content, but it can trust that somebody chose to send
+// it.  Silence is therefore a noise-free signal, which PULL lacks.
+//
+// This interface mirrors PullProtocol but adds that choice: an agent either
+// sends a symbol or stays silent, and deliveries can be empty.
+#pragma once
+
+#include <cstdint>
+
+#include "noisypull/model/types.hpp"
+#include "noisypull/rng/rng.hpp"
+
+namespace noisypull {
+
+class PushProtocol {
+ public:
+  virtual ~PushProtocol() = default;
+
+  virtual std::size_t alphabet_size() const = 0;
+  virtual std::uint64_t num_agents() const = 0;
+
+  // Whether `agent` transmits this round (silent agents send nothing, and
+  // receivers can rely on that).
+  virtual bool sends(std::uint64_t agent, std::uint64_t round) const = 0;
+
+  // The symbol pushed by a sending agent (unspecified for silent agents).
+  virtual Symbol message(std::uint64_t agent, std::uint64_t round) const = 0;
+
+  // Delivers the (possibly empty) multiset of noisy messages that reached
+  // `agent` this round.  Unlike PULL, received.total() is random: it is the
+  // number of senders whose h pushes happened to land on this agent.
+  virtual void deliver(std::uint64_t agent, std::uint64_t round,
+                       const SymbolCounts& received, Rng& rng) = 0;
+
+  virtual Opinion opinion(std::uint64_t agent) const = 0;
+
+  // Rounds the protocol is designed to run, or 0 if unbounded.
+  virtual std::uint64_t planned_rounds() const { return 0; }
+};
+
+}  // namespace noisypull

@@ -1,0 +1,128 @@
+#include "noisypull/push/push_spread.hpp"
+
+#include <cmath>
+
+#include "noisypull/common/check.hpp"
+
+namespace noisypull {
+
+PushSpread::PushSpread(const PopulationConfig& pop, std::uint64_t h,
+                       double delta, double c_growth, double c_cleanup)
+    : pop_(pop), agents_(pop.n) {
+  pop_.validate();
+  NOISYPULL_CHECK(h >= 1, "push fan-out h must be at least 1");
+  NOISYPULL_CHECK(delta >= 0.0 && delta < 0.5,
+                  "PushSpread requires delta in [0, 1/2)");
+  NOISYPULL_CHECK(c_growth > 0.0 && c_cleanup > 0.0,
+                  "phase constants must be positive");
+
+  const double margin = 1.0 - 2.0 * delta;
+  // Smallest odd window k with k·margin² ≥ 4: makes the post-activation
+  // re-estimation map expansive around 1/2, so the cascade's polynomial
+  // tilt gets boosted to a fixed point near 1 (see header).
+  std::uint64_t k =
+      static_cast<std::uint64_t>(std::ceil(4.0 / (margin * margin)));
+  if (k % 2 == 0) ++k;
+  k_ = std::max<std::uint64_t>(k, 3);
+
+  const double logn = std::log(static_cast<double>(pop.n));
+  // Growth = activation cascade (~log2 n rounds) plus a dozen refresh
+  // cycles of k_/h rounds each for the boosting iterations to converge.
+  const std::uint64_t refresh_rounds = (k_ + h - 1) / h;
+  growth_rounds_ = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(c_growth * logn)) +
+             12 * refresh_rounds);
+  cleanup_rounds_ = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(c_cleanup * logn / (margin * margin *
+                                           static_cast<double>(h)))) +
+             2);
+
+  // Sources are active from round 0 and never change their estimate.
+  for (std::uint64_t i = 0; i < pop.num_sources(); ++i) {
+    agents_[i].active = true;
+    agents_[i].estimate = pop.source_preference(i);
+  }
+}
+
+bool PushSpread::sends(std::uint64_t agent, std::uint64_t round) const {
+  NOISYPULL_CHECK(agent < pop_.n, "agent index out of range");
+  (void)round;
+  return agents_[agent].active;  // silence of the uninformed is the signal
+}
+
+Symbol PushSpread::message(std::uint64_t agent, std::uint64_t /*round*/) const {
+  NOISYPULL_CHECK(agent < pop_.n, "agent index out of range");
+  if (pop_.is_source(agent)) return pop_.source_preference(agent);
+  return agents_[agent].estimate;
+}
+
+Opinion PushSpread::majority(std::uint64_t ones, std::uint64_t zeros,
+                             Rng& rng) {
+  if (ones > zeros) return 1;
+  if (ones < zeros) return 0;
+  return rng.next_bool() ? 1 : 0;
+}
+
+void PushSpread::deliver(std::uint64_t agent, std::uint64_t round,
+                         const SymbolCounts& received, Rng& rng) {
+  NOISYPULL_CHECK(agent < pop_.n, "agent index out of range");
+  NOISYPULL_CHECK(received.size == 2, "PushSpread expects binary alphabet");
+  AgentState& a = agents_[agent];
+
+  if (round + 1 == growth_rounds_) {
+    // Last growth round: reset tallies so the cleanup majority only sees
+    // cleanup-phase messages (activation is still allowed below).
+    if (!a.active && received.total() > 0) {
+      a.active = true;
+      a.estimate = majority(received[1], received[0], rng);
+    }
+    a.zeros = a.ones = 0;
+    return;
+  }
+
+  if (round < growth_rounds_) {
+    if (!a.active) {
+      if (received.total() == 0) return;
+      // First contact: adopt the majority of this round's deliveries.
+      a.active = true;
+      a.estimate = majority(received[1], received[0], rng);
+      return;
+    }
+    if (pop_.is_source(agent)) return;  // sources never re-estimate
+    a.zeros += received[0];
+    a.ones += received[1];
+    if (a.zeros + a.ones >= k_) {
+      a.estimate = majority(a.ones, a.zeros, rng);
+      a.zeros = a.ones = 0;
+    }
+    return;
+  }
+
+  // Cleanup phase: accumulate everything; decide on the very last round.
+  // Any agent somehow still silent activates on its first cleanup message.
+  if (!a.active) {
+    if (received.total() == 0) return;
+    a.active = true;
+  }
+  a.zeros += received[0];
+  a.ones += received[1];
+  if (round + 1 == planned_rounds() && !pop_.is_source(agent)) {
+    if (a.zeros + a.ones > 0) {
+      a.estimate = majority(a.ones, a.zeros, rng);
+    }
+  }
+}
+
+Opinion PushSpread::opinion(std::uint64_t agent) const {
+  NOISYPULL_CHECK(agent < pop_.n, "agent index out of range");
+  return agents_[agent].estimate;
+}
+
+std::uint64_t PushSpread::active_count() const noexcept {
+  std::uint64_t count = 0;
+  for (const auto& a : agents_) count += a.active ? 1 : 0;
+  return count;
+}
+
+}  // namespace noisypull

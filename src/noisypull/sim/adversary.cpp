@@ -1,0 +1,122 @@
+#include "noisypull/sim/adversary.hpp"
+
+#include "noisypull/common/check.hpp"
+
+namespace noisypull {
+
+const char* to_string(CorruptionPolicy policy) noexcept {
+  switch (policy) {
+    case CorruptionPolicy::None:
+      return "none";
+    case CorruptionPolicy::RandomState:
+      return "random-state";
+    case CorruptionPolicy::WrongConsensus:
+      return "wrong-consensus";
+    case CorruptionPolicy::OverflowMemory:
+      return "overflow-memory";
+    case CorruptionPolicy::DesyncClocks:
+      return "desync-clocks";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Shared per-agent corruption; `stagger` drives the DesyncClocks fill level
+// (the agent index for whole-population corruption, a random value for
+// churn).
+void corrupt_one(SelfStabilizingSourceFilter& protocol, std::uint64_t agent,
+                 CorruptionPolicy policy, Opinion correct,
+                 std::uint64_t stagger, Rng& rng) {
+  const std::uint64_t m = protocol.memory_budget();
+  const Opinion wrong = correct ^ 1;
+  const Symbol fake_source_wrong =
+      SelfStabilizingSourceFilter::encode(true, wrong);
+
+  SymbolCounts mem(4);
+  Opinion weak = 0;
+  Opinion opinion = 0;
+  switch (policy) {
+    case CorruptionPolicy::None:
+      return;
+    case CorruptionPolicy::RandomState: {
+      std::uint64_t total = m > 1 ? rng.next_below(m) : 0;
+      while (total-- > 0) ++mem[rng.next_below(4)];
+      weak = rng.next_bool() ? 1 : 0;
+      opinion = rng.next_bool() ? 1 : 0;
+      break;
+    }
+    case CorruptionPolicy::WrongConsensus: {
+      // Memory one message short of an update, all of it fake source
+      // messages supporting the wrong opinion; the agent already believes
+      // the wrong value.
+      mem[fake_source_wrong] = m > 0 ? m - 1 : 0;
+      weak = wrong;
+      opinion = wrong;
+      break;
+    }
+    case CorruptionPolicy::OverflowMemory: {
+      mem[fake_source_wrong] = 10 * m + 7;
+      mem[SelfStabilizingSourceFilter::encode(false, wrong)] = 10 * m + 7;
+      weak = wrong;
+      opinion = wrong;
+      break;
+    }
+    case CorruptionPolicy::DesyncClocks: {
+      // Stagger fill levels so that update rounds are spread over a whole
+      // cycle; content is wrong-leaning noise.
+      const std::uint64_t fill = (m * (stagger % 97)) / 97;
+      mem[fake_source_wrong] = fill / 2;
+      mem[SelfStabilizingSourceFilter::encode(false, wrong)] =
+          fill - fill / 2;
+      weak = wrong;
+      opinion = wrong;
+      break;
+    }
+  }
+  protocol.corrupt(agent, mem, weak, opinion);
+}
+
+}  // namespace
+
+void corrupt_population(SelfStabilizingSourceFilter& protocol,
+                        CorruptionPolicy policy, Opinion correct, Rng& rng) {
+  const std::uint64_t n = protocol.num_agents();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    corrupt_one(protocol, i, policy, correct, i, rng);
+  }
+}
+
+void corrupt_agent(SelfStabilizingSourceFilter& protocol, std::uint64_t agent,
+                   CorruptionPolicy policy, Opinion correct, Rng& rng) {
+  corrupt_one(protocol, agent, policy, correct, rng.next_below(97), rng);
+}
+
+void corrupt_population(TaglessSsf& protocol, CorruptionPolicy policy,
+                        Opinion correct, Rng& rng) {
+  const std::uint64_t n = protocol.num_agents();
+  const Opinion wrong = correct ^ 1;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    switch (policy) {
+      case CorruptionPolicy::None:
+        continue;
+      case CorruptionPolicy::RandomState: {
+        const Opinion w = rng.next_bool() ? 1 : 0;
+        protocol.corrupt(i, rng.next_below(64), rng.next_below(64), w, w);
+        break;
+      }
+      case CorruptionPolicy::WrongConsensus:
+        protocol.corrupt(i, wrong ? 1 : 0, wrong ? 0 : 1, wrong, wrong);
+        break;
+      case CorruptionPolicy::OverflowMemory:
+        protocol.corrupt(i, wrong ? 0 : 1000000, wrong ? 1000000 : 0, wrong,
+                         wrong);
+        break;
+      case CorruptionPolicy::DesyncClocks:
+        protocol.corrupt(i, (i % 89), (i % 13), wrong, wrong);
+        break;
+    }
+  }
+}
+
+}  // namespace noisypull

@@ -1,0 +1,56 @@
+// Self-stabilization adversary (Section 1.3, "Self-stabilizing setting").
+//
+// At time 0 the adversary may arbitrarily set every agent's internal state —
+// memory multisets with fake "earlier" samples, weak opinions, opinions —
+// but not the agents' sourcehood, preferences, or knowledge of n and N.
+// These policies cover the qualitatively distinct attacks:
+//
+//   None                 clean start (the non-adversarial baseline),
+//   RandomState          i.i.d. random memories (random sizes < m) and bits,
+//   WrongConsensus       everyone already "agrees" on the incorrect opinion,
+//                        memories pre-loaded with fake source messages
+//                        supporting it — the hardest semantic corruption,
+//   OverflowMemory       memories inflated far beyond m with wrong-opinion
+//                        messages (forces immediate, poisoned updates),
+//   DesyncClocks         memories filled to different levels so agents'
+//                        update rounds are maximally out of phase (the
+//                        no-common-clock aspect SSF must tolerate).
+#pragma once
+
+#include "noisypull/core/ssf.hpp"
+#include "noisypull/core/variants.hpp"
+#include "noisypull/rng/rng.hpp"
+
+namespace noisypull {
+
+enum class CorruptionPolicy {
+  None,
+  RandomState,
+  WrongConsensus,
+  OverflowMemory,
+  DesyncClocks,
+};
+
+const char* to_string(CorruptionPolicy policy) noexcept;
+
+// All policies, in a stable order (for sweeps over adversaries).
+inline constexpr CorruptionPolicy kAllCorruptionPolicies[] = {
+    CorruptionPolicy::None, CorruptionPolicy::RandomState,
+    CorruptionPolicy::WrongConsensus, CorruptionPolicy::OverflowMemory,
+    CorruptionPolicy::DesyncClocks};
+
+// Applies the policy to every agent of an SSF instance.  `correct` is the
+// ground-truth opinion (the adversary pushes toward 1 − correct).
+void corrupt_population(SelfStabilizingSourceFilter& protocol,
+                        CorruptionPolicy policy, Opinion correct, Rng& rng);
+
+// Applies the policy to a single agent (used by the churn runner, which
+// keeps resetting random agents while the protocol runs).
+void corrupt_agent(SelfStabilizingSourceFilter& protocol, std::uint64_t agent,
+                   CorruptionPolicy policy, Opinion correct, Rng& rng);
+
+// Same attacks against the 1-bit ablation protocol.
+void corrupt_population(TaglessSsf& protocol, CorruptionPolicy policy,
+                        Opinion correct, Rng& rng);
+
+}  // namespace noisypull

@@ -1,0 +1,47 @@
+#include "noisypull/sim/churn.hpp"
+
+#include "noisypull/common/check.hpp"
+
+namespace noisypull {
+
+ChurnResult run_with_churn(SelfStabilizingSourceFilter& protocol,
+                           Engine& engine, const NoiseMatrix& noise,
+                           Opinion correct, std::uint64_t h,
+                           std::uint64_t warmup, std::uint64_t measure,
+                           const ChurnConfig& churn, Rng& rng) {
+  NOISYPULL_CHECK(churn.rate >= 0.0 && churn.rate <= 1.0,
+                  "churn rate must be in [0, 1]");
+  NOISYPULL_CHECK(measure >= 1, "need at least one measured round");
+
+  const std::uint64_t n = protocol.num_agents();
+  const std::uint64_t sources = protocol.population().num_sources();
+  ChurnResult result;
+  double fraction_sum = 0.0;
+
+  for (std::uint64_t t = 0; t < warmup + measure; ++t) {
+    // Churn strikes between rounds: each eligible agent resets with
+    // probability `rate` (binomially thinned for speed).
+    if (churn.rate > 0.0) {
+      const std::uint64_t first = churn.churn_sources ? 0 : sources;
+      for (std::uint64_t i = first; i < n; ++i) {
+        if (!rng.bernoulli(churn.rate)) continue;
+        corrupt_agent(protocol, i, churn.policy, correct, rng);
+        ++result.resets;
+      }
+    }
+    engine.step(protocol, noise, h, t, rng);
+    if (t >= warmup) {
+      const double fraction =
+          static_cast<double>(count_correct(protocol, correct)) /
+          static_cast<double>(n);
+      fraction_sum += fraction;
+      result.min_correct_fraction =
+          std::min(result.min_correct_fraction, fraction);
+    }
+    ++result.rounds_run;
+  }
+  result.mean_correct_fraction = fraction_sum / static_cast<double>(measure);
+  return result;
+}
+
+}  // namespace noisypull

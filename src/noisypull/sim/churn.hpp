@@ -1,0 +1,44 @@
+// Continuous-churn stress for the self-stabilizing protocol.
+//
+// Theorem 5's adversary strikes once, at time 0.  A natural robustness
+// question for a deployed system is *continuous* churn: in every round each
+// non-source agent independently has its state destroyed (rebooted,
+// reflashed, tampered) with probability `rate`.  Perfect consensus is then
+// impossible — freshly churned agents hold garbage until their next update
+// round — so the meaningful metric is the steady-state fraction of correct
+// agents.  The churn experiment (bench tab_churn) maps that fraction as a
+// function of the churn rate and locates the rate at which SSF's
+// self-correction collapses (roughly when an agent's expected lifetime drops
+// below one memory cycle m/h).
+#pragma once
+
+#include "noisypull/core/ssf.hpp"
+#include "noisypull/model/engine.hpp"
+#include "noisypull/sim/adversary.hpp"
+#include "noisypull/sim/runner.hpp"
+
+namespace noisypull {
+
+struct ChurnConfig {
+  double rate = 0.0;  // per-agent, per-round reset probability
+  CorruptionPolicy policy = CorruptionPolicy::RandomState;
+  bool churn_sources = false;  // sources' sourcehood is never corruptible;
+                               // this resets only their mutable state
+};
+
+struct ChurnResult {
+  std::uint64_t rounds_run = 0;
+  std::uint64_t resets = 0;             // total churn events applied
+  double mean_correct_fraction = 0.0;   // averaged over the measure window
+  double min_correct_fraction = 1.0;    // worst round in the measure window
+};
+
+// Runs SSF under churn for `warmup + measure` rounds; statistics are taken
+// over the final `measure` rounds (steady state).
+ChurnResult run_with_churn(SelfStabilizingSourceFilter& protocol,
+                           Engine& engine, const NoiseMatrix& noise,
+                           Opinion correct, std::uint64_t h,
+                           std::uint64_t warmup, std::uint64_t measure,
+                           const ChurnConfig& churn, Rng& rng);
+
+}  // namespace noisypull

@@ -1,0 +1,93 @@
+#include "noisypull/sim/repeat.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "noisypull/common/check.hpp"
+
+namespace noisypull {
+
+std::vector<RunResult> run_repetitions(const ProtocolFactory& make_protocol,
+                                       const NoiseMatrix& noise,
+                                       Opinion correct, const RunConfig& cfg,
+                                       const RepeatOptions& opts) {
+  NOISYPULL_CHECK(opts.repetitions >= 1, "need at least one repetition");
+  std::vector<RunResult> results(opts.repetitions);
+
+  unsigned threads = opts.threads;
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  threads = static_cast<unsigned>(
+      std::min<std::uint64_t>(threads, opts.repetitions));
+
+  std::atomic<std::uint64_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  auto worker = [&] {
+    try {
+      std::unique_ptr<Engine> engine;
+      if (opts.use_aggregate_engine) {
+        engine = std::make_unique<AggregateEngine>();
+      } else {
+        engine = std::make_unique<ExactEngine>();
+      }
+      if (opts.artificial_noise) {
+        engine->set_artificial_noise(*opts.artificial_noise);
+      }
+      for (;;) {
+        const std::uint64_t r = next.fetch_add(1);
+        if (r >= opts.repetitions) return;
+        Rng init_rng(opts.seed, 2 * r);
+        Rng run_rng(opts.seed, 2 * r + 1);
+        auto protocol = make_protocol(init_rng);
+        results[r] = run(*protocol, *engine, noise, correct, cfg, run_rng);
+      }
+    } catch (...) {
+      // Record the first failure and let the other workers drain; the
+      // exception is rethrown on the caller's thread after join.
+      const std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+      next.store(opts.repetitions);  // stop handing out work
+    }
+  };
+
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+double success_rate(const std::vector<RunResult>& results,
+                    bool require_stability) {
+  NOISYPULL_CHECK(!results.empty(), "no results to aggregate");
+  std::uint64_t good = 0;
+  for (const auto& r : results) {
+    const bool ok =
+        require_stability ? r.stable : r.all_correct_at_end;
+    if (ok) ++good;
+  }
+  return static_cast<double>(good) / static_cast<double>(results.size());
+}
+
+double mean_convergence_round(const std::vector<RunResult>& results) {
+  NOISYPULL_CHECK(!results.empty(), "no results to aggregate");
+  double sum = 0.0;
+  std::uint64_t count = 0;
+  for (const auto& r : results) {
+    if (r.first_all_correct != kNever) {
+      sum += static_cast<double>(r.first_all_correct);
+      ++count;
+    }
+  }
+  if (count == 0) return static_cast<double>(kNever);
+  return sum / static_cast<double>(count);
+}
+
+}  // namespace noisypull

@@ -1,0 +1,54 @@
+// Seeded, optionally multi-threaded repetition harness.
+//
+// Every experiment in bench/ estimates success probabilities and convergence
+// times from R independent runs.  Each repetition r derives two independent
+// RNG substreams from (seed, r): one for protocol construction (initial
+// opinions, adversarial corruption) and one for the run itself, so results
+// are bit-reproducible regardless of thread count or scheduling.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "noisypull/sim/runner.hpp"
+
+namespace noisypull {
+
+struct RepeatOptions {
+  std::uint64_t repetitions = 32;
+  std::uint64_t seed = 1;
+
+  // true → AggregateEngine (default; exact in distribution, O(n·|Σ|)/round),
+  // false → ExactEngine (literal per-message simulation).
+  bool use_aggregate_engine = true;
+
+  // 0 → std::thread::hardware_concurrency().
+  unsigned threads = 0;
+
+  // Artificial noise matrix P applied by agents to every observation
+  // (Definition 6 / Theorem 8 reduction), if any.
+  std::optional<Matrix> artificial_noise;
+};
+
+// Builds a fresh protocol instance for one repetition.  `init_rng` must be
+// used for all randomness of construction/corruption.
+using ProtocolFactory =
+    std::function<std::unique_ptr<PullProtocol>(Rng& init_rng)>;
+
+// Runs R independent repetitions; result[r] is repetition r's RunResult.
+std::vector<RunResult> run_repetitions(const ProtocolFactory& make_protocol,
+                                       const NoiseMatrix& noise,
+                                       Opinion correct, const RunConfig& cfg,
+                                       const RepeatOptions& opts);
+
+// Fraction of runs with all_correct_at_end (and stable, when a stability
+// window was configured).
+double success_rate(const std::vector<RunResult>& results,
+                    bool require_stability = false);
+
+// Mean first_all_correct over converged runs; kNever if none converged.
+double mean_convergence_round(const std::vector<RunResult>& results);
+
+}  // namespace noisypull

@@ -1,0 +1,83 @@
+#include "noisypull/sim/runner.hpp"
+
+#include "noisypull/common/check.hpp"
+
+namespace noisypull {
+namespace {
+
+template <typename Protocol>
+std::uint64_t count_correct_impl(const Protocol& protocol, Opinion correct) {
+  std::uint64_t count = 0;
+  const std::uint64_t n = protocol.num_agents();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (protocol.opinion(i) == correct) ++count;
+  }
+  return count;
+}
+
+// Shared run loop: the PULL and PUSH engines expose the same step()
+// signature, so the bookkeeping (trajectory, streaks, stability) is common.
+template <typename Protocol, typename EngineT>
+RunResult run_impl(Protocol& protocol, EngineT& engine,
+                   const NoiseMatrix& noise, Opinion correct,
+                   const RunConfig& cfg, Rng& rng) {
+  std::uint64_t rounds = cfg.max_rounds;
+  if (rounds == 0) rounds = protocol.planned_rounds();
+  NOISYPULL_CHECK(rounds > 0,
+                  "max_rounds is 0 and the protocol has no planned horizon");
+
+  const std::uint64_t n = protocol.num_agents();
+  RunResult result;
+  if (cfg.record_trajectory) result.trajectory.reserve(rounds);
+
+  std::uint64_t streak_start = kNever;  // start of the current all-correct run
+  for (std::uint64_t t = 0; t < rounds; ++t) {
+    engine.step(protocol, noise, cfg.h, t, rng);
+    const std::uint64_t good = count_correct_impl(protocol, correct);
+    if (cfg.record_trajectory) result.trajectory.push_back(good);
+    if (good == n) {
+      if (streak_start == kNever) streak_start = t;
+    } else {
+      streak_start = kNever;
+    }
+  }
+  result.rounds_run = rounds;
+  result.correct_at_end = count_correct_impl(protocol, correct);
+  result.all_correct_at_end = result.correct_at_end == n;
+  result.first_all_correct = streak_start;
+
+  if (cfg.stability_window > 0) {
+    bool held = result.all_correct_at_end;
+    for (std::uint64_t t = rounds; held && t < rounds + cfg.stability_window;
+         ++t) {
+      engine.step(protocol, noise, cfg.h, t, rng);
+      held = count_correct_impl(protocol, correct) == n;
+      ++result.rounds_run;
+    }
+    result.stable = held;
+  }
+  return result;
+}
+
+}  // namespace
+
+std::uint64_t count_correct(const PullProtocol& protocol, Opinion correct) {
+  return count_correct_impl(protocol, correct);
+}
+
+std::uint64_t count_correct(const PushProtocol& protocol, Opinion correct) {
+  return count_correct_impl(protocol, correct);
+}
+
+RunResult run(PullProtocol& protocol, Engine& engine, const NoiseMatrix& noise,
+              Opinion correct, const RunConfig& cfg, Rng& rng) {
+  return run_impl(protocol, engine, noise, correct, cfg, rng);
+}
+
+RunResult run_push(PushProtocol& protocol, PushEngine& engine,
+                   const NoiseMatrix& noise, Opinion correct,
+                   const RunConfig& cfg, Rng& rng) {
+  return run_impl(protocol, engine, noise, correct, cfg, rng);
+}
+
+}  // namespace noisypull

@@ -1,0 +1,66 @@
+// Simulation run loop and convergence measurement (Definition 2).
+//
+// A run executes a protocol under an engine for a given number of rounds and
+// reports when (if ever) the whole population — sources included — holds the
+// correct opinion, and whether that consensus then persists through an
+// optional stability window (the "remains with it" part of the paper's
+// self-stabilizing convergence definition).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "noisypull/model/engine.hpp"
+#include "noisypull/model/protocol.hpp"
+#include "noisypull/push/push_engine.hpp"
+
+namespace noisypull {
+
+inline constexpr std::uint64_t kNever =
+    std::numeric_limits<std::uint64_t>::max();
+
+struct RunConfig {
+  std::uint64_t h = 1;  // sample size of the PULL(h) model
+
+  // Rounds to execute; 0 means "use protocol.planned_rounds()" (which must
+  // then be non-zero).
+  std::uint64_t max_rounds = 0;
+
+  // Extra rounds executed after max_rounds during which consensus must hold
+  // every round for the run to count as stable.  0 disables the check.
+  std::uint64_t stability_window = 0;
+
+  // Record, for every executed round, how many agents hold the correct
+  // opinion (used by the boosting-trajectory experiment).
+  bool record_trajectory = false;
+};
+
+struct RunResult {
+  bool all_correct_at_end = false;
+  bool stable = false;  // meaningful only if stability_window > 0
+  std::uint64_t rounds_run = 0;
+
+  // First round index r such that all opinions were correct at the end of
+  // every round from r through the end of the run (kNever if none).
+  std::uint64_t first_all_correct = kNever;
+
+  std::uint64_t correct_at_end = 0;       // # agents correct after last round
+  std::vector<std::uint64_t> trajectory;  // per-round correct counts (opt-in)
+};
+
+// Number of agents currently holding `correct`.
+std::uint64_t count_correct(const PullProtocol& protocol, Opinion correct);
+std::uint64_t count_correct(const PushProtocol& protocol, Opinion correct);
+
+// Executes the run.  `correct` is the ground-truth opinion the population
+// must converge to (PopulationConfig::correct_opinion() in all experiments).
+RunResult run(PullProtocol& protocol, Engine& engine, const NoiseMatrix& noise,
+              Opinion correct, const RunConfig& cfg, Rng& rng);
+
+// PUSH-model counterpart of run(); cfg.h is the per-sender fan-out.
+RunResult run_push(PushProtocol& protocol, PushEngine& engine,
+                   const NoiseMatrix& noise, Opinion correct,
+                   const RunConfig& cfg, Rng& rng);
+
+}  // namespace noisypull

@@ -1,0 +1,177 @@
+#include "noisypull/theory/bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "noisypull/common/check.hpp"
+
+namespace noisypull {
+
+double theorem3_lower_bound(std::uint64_t n, std::uint64_t h, double delta,
+                            std::uint64_t bias, std::size_t alphabet) {
+  NOISYPULL_CHECK(n >= 2 && h >= 1 && bias >= 1 && alphabet >= 2,
+                  "invalid lower-bound parameters");
+  NOISYPULL_CHECK(delta >= 0.0 && delta <= 1.0 / static_cast<double>(alphabet),
+                  "delta outside [0, 1/|Sigma|]");
+  const double nd = static_cast<double>(n);
+  const double sd = static_cast<double>(bias);
+  const double margin = 1.0 - delta * static_cast<double>(alphabet);
+  if (margin <= 0.0) return 0.0;  // degenerate channel: bound is vacuous
+  return nd * delta / (sd * sd * margin * margin * static_cast<double>(h));
+}
+
+double theorem4_upper_bound(std::uint64_t n, std::uint64_t h, double delta,
+                            std::uint64_t s1, std::uint64_t s0) {
+  NOISYPULL_CHECK(n >= 2 && h >= 1, "invalid upper-bound parameters");
+  NOISYPULL_CHECK(delta >= 0.0 && delta < 0.5, "delta outside [0, 1/2)");
+  const std::uint64_t bias = s1 >= s0 ? s1 - s0 : s0 - s1;
+  NOISYPULL_CHECK(bias >= 1, "Theorem 4 requires bias >= 1");
+  const double nd = static_cast<double>(n);
+  const double sd = static_cast<double>(bias);
+  const double logn = std::log(nd);
+  const double one_minus = 1.0 - 2.0 * delta;
+  const double inner =
+      nd * delta / (std::min(sd * sd, nd) * one_minus * one_minus) +
+      std::sqrt(nd) / sd + static_cast<double>(s0 + s1) / (sd * sd);
+  return inner * logn / static_cast<double>(h) + logn;
+}
+
+double theorem5_upper_bound(std::uint64_t n, std::uint64_t h, double delta) {
+  NOISYPULL_CHECK(n >= 2 && h >= 1, "invalid upper-bound parameters");
+  NOISYPULL_CHECK(delta >= 0.0 && delta < 0.25, "delta outside [0, 1/4)");
+  const double nd = static_cast<double>(n);
+  const double one_minus = 1.0 - 4.0 * delta;
+  return delta * nd * std::log(nd) /
+             (static_cast<double>(h) * one_minus * one_minus) +
+         nd / static_cast<double>(h);
+}
+
+double claim19_lower_bound(std::uint64_t n, double p) {
+  NOISYPULL_CHECK(p >= 0.0 && p <= 1.0, "p outside [0,1]");
+  const double np = static_cast<double>(n) * p;
+  NOISYPULL_CHECK(np <= 1.0, "Claim 19 requires np <= 1");
+  return np / std::exp(1.0);
+}
+
+double lemma21_g(double theta, std::uint64_t m) {
+  NOISYPULL_CHECK(m >= 1, "m must be positive");
+  NOISYPULL_CHECK(theta >= 0.0 && theta <= 0.5, "theta outside [0, 1/2]");
+  const double md = static_cast<double>(m);
+  const double scale = std::sqrt(2.0 / M_PI);
+  const double half_exp = (md - 1.0) / 2.0;
+  if (theta < 1.0 / std::sqrt(md)) {
+    return scale * theta * std::pow(1.0 - theta * theta, half_exp);
+  }
+  return scale / std::sqrt(md) * std::pow(1.0 - 1.0 / md, half_exp);
+}
+
+double lemma22_lower_bound(double theta, std::uint64_t m) {
+  NOISYPULL_CHECK(m >= 1, "m must be positive");
+  NOISYPULL_CHECK(theta >= 0.0 && theta < 0.5, "theta outside [0, 1/2)");
+  const double md = static_cast<double>(m);
+  return std::sqrt(2.0 / (M_PI * std::exp(1.0))) *
+         std::min(std::sqrt(md) * theta, 1.0);
+}
+
+double binomial_pmf(std::uint64_t n, std::uint64_t k, double p) {
+  NOISYPULL_CHECK(k <= n, "k > n in binomial pmf");
+  NOISYPULL_CHECK(p >= 0.0 && p <= 1.0, "p outside [0,1]");
+  if (p == 0.0) return k == 0 ? 1.0 : 0.0;
+  if (p == 1.0) return k == n ? 1.0 : 0.0;
+  const double nd = static_cast<double>(n);
+  const double kd = static_cast<double>(k);
+  const double log_pmf = std::lgamma(nd + 1) - std::lgamma(kd + 1) -
+                         std::lgamma(nd - kd + 1) + kd * std::log(p) +
+                         (nd - kd) * std::log1p(-p);
+  return std::exp(log_pmf);
+}
+
+double rademacher_sum_advantage_exact(double theta, std::uint64_t m) {
+  NOISYPULL_CHECK(m >= 1, "m must be positive");
+  // X > 0  ⇔  B > m/2 for B = (#successes); X < 0 ⇔ B < m/2.
+  const double p = 0.5 + theta;
+  double above = 0.0, below = 0.0;
+  for (std::uint64_t k = 0; k <= m; ++k) {
+    const double pmf = binomial_pmf(m, k, p);
+    const double twice = 2.0 * static_cast<double>(k);
+    if (twice > m) {
+      above += pmf;
+    } else if (twice < m) {
+      below += pmf;
+    }
+  }
+  return above - below;
+}
+
+double sf_weak_opinion_exact(std::uint64_t n, std::uint64_t m, double delta,
+                             std::uint64_t s1, std::uint64_t s0) {
+  NOISYPULL_CHECK(n >= 2 && m >= 1, "invalid population / budget");
+  NOISYPULL_CHECK(s1 > s0, "assumes the correct opinion is 1 (s1 > s0)");
+  NOISYPULL_CHECK(s0 + s1 <= n, "more sources than agents");
+  NOISYPULL_CHECK(delta >= 0.0 && delta <= 0.5, "delta outside [0, 1/2]");
+  const double nd = static_cast<double>(n);
+  const double pa1 = (static_cast<double>(s1) / nd) * (1.0 - delta) +
+                     (1.0 - static_cast<double>(s1) / nd) * delta;
+  const double pb0 = (static_cast<double>(s0) / nd) * (1.0 - delta) +
+                     (1.0 - static_cast<double>(s0) / nd) * delta;
+  // P(C1 > C0) + ½·P(C1 = C0) over the independent binomials, using the
+  // running cdf of C0.
+  double cdf_b_below = 0.0;  // P(C0 < k), updated as k advances
+  double result = 0.0;
+  double pmf_b_prev = binomial_pmf(m, 0, pb0);  // P(C0 = k−1) at k = 1
+  for (std::uint64_t k = 0; k <= m; ++k) {
+    const double pmf_a = binomial_pmf(m, k, pa1);
+    const double pmf_b = binomial_pmf(m, k, pb0);
+    if (k > 0) {
+      cdf_b_below += pmf_b_prev;
+    }
+    result += pmf_a * (cdf_b_below + 0.5 * pmf_b);
+    pmf_b_prev = pmf_b;
+  }
+  return result;
+}
+
+double ssf_weak_opinion_exact(std::uint64_t n, std::uint64_t m, double delta,
+                              std::uint64_t s1, std::uint64_t s0) {
+  NOISYPULL_CHECK(n >= 2 && m >= 1, "invalid population / budget");
+  NOISYPULL_CHECK(s1 > s0, "assumes the correct opinion is 1 (s1 > s0)");
+  NOISYPULL_CHECK(s0 + s1 <= n, "more sources than agents");
+  NOISYPULL_CHECK(delta >= 0.0 && delta <= 0.25, "delta outside [0, 1/4]");
+  const double nd = static_cast<double>(n);
+  const double p_plus = (static_cast<double>(s1) / nd) * (1.0 - 3 * delta) +
+                        (1.0 - static_cast<double>(s1) / nd) * delta;
+  const double p_minus = (static_cast<double>(s0) / nd) * (1.0 - 3 * delta) +
+                         (1.0 - static_cast<double>(s0) / nd) * delta;
+  const double p_nz = p_plus + p_minus;
+  if (p_nz == 0.0) return 0.5;  // no tagged messages ever: pure coin
+  const double q = p_plus / p_nz;  // P(+1 | non-zero), Lemma 20's p
+
+  // Condition on K = #non-zero slots ~ Binomial(m, p_nz); given K, the
+  // +1 count is Binomial(K, q) (Lemma 20), and the weak opinion is correct
+  // iff it exceeds K/2 (tie → coin).
+  double result = 0.0;
+  for (std::uint64_t k = 0; k <= m; ++k) {
+    const double pk = binomial_pmf(m, k, p_nz);
+    if (pk < 1e-18) continue;  // negligible tail (sum error < m·1e-18)
+    double win = 0.0;
+    for (std::uint64_t a = 0; a <= k; ++a) {
+      const double pa = binomial_pmf(k, a, q);
+      if (2 * a > k) {
+        win += pa;
+      } else if (2 * a == k) {
+        win += 0.5 * pa;
+      }
+    }
+    result += pk * win;
+  }
+  return result;
+}
+
+double weak_opinion_condition_margin(double p, double ell, std::uint64_t n) {
+  NOISYPULL_CHECK(ell >= 0.0, "ell must be non-negative");
+  NOISYPULL_CHECK(n >= 2, "population too small");
+  const double nd = static_cast<double>(n);
+  return (p - 0.5) * std::sqrt(ell) - std::sqrt(std::log(nd) / nd);
+}
+
+}  // namespace noisypull

@@ -1,0 +1,74 @@
+// Closed-form expressions of the paper's bounds and probability lemmas.
+//
+// This module turns the statements of Theorems 3–5 and the probability
+// toolbox of Section 5.1 (Claim 19, Lemmas 21–23) into callable code, so
+// that benches can print predicted-vs-measured columns and tests can verify
+// the *inequalities themselves* numerically against exact binomial
+// computations.  All Θ-expressions omit the unspecified constants; callers
+// compare shapes, not absolute values.
+#pragma once
+
+#include <cstdint>
+
+namespace noisypull {
+
+// Theorem 3 (Boczkowski et al. 2018): rumor spreading in the noisy PULL(h)
+// model with δ-lower-bounded noise needs Ω(nδ / (s²·(1−δ|Σ|)²·h)) rounds.
+double theorem3_lower_bound(std::uint64_t n, std::uint64_t h, double delta,
+                            std::uint64_t bias, std::size_t alphabet);
+
+// Theorem 4 upper bound (without the constant):
+//   (1/h)·( nδ/(min{s²,n}(1−2δ)²) + √n/s + (s0+s1)/s² )·log n + log n.
+double theorem4_upper_bound(std::uint64_t n, std::uint64_t h, double delta,
+                            std::uint64_t s1, std::uint64_t s0);
+
+// Theorem 5 upper bound (without the constant):
+//   δ·n·log n/(h(1−4δ)²) + n/h.
+double theorem5_upper_bound(std::uint64_t n, std::uint64_t h, double delta);
+
+// Claim 19: X ~ Binomial(n, p) with np ≤ 1 satisfies P(X = 1) ≥ np/e.
+double claim19_lower_bound(std::uint64_t n, double p);
+
+// Lemma 21's g(θ, m): a lower bound on P(B ≥ m/2) − P(B < m/2) for
+// B ~ Binomial(m, 1/2 + θ):
+//   g(θ, m) = θ·(1−θ²)^((m−1)/2)·√(2/π)                    if θ < 1/√m,
+//   g(θ, m) = (1/√m)·(1−1/m)^((m−1)/2)·√(2/π)              otherwise.
+double lemma21_g(double theta, std::uint64_t m);
+
+// Lemma 22: X a sum of m i.i.d. Rad(1/2+θ) satisfies
+//   P(X > 0) − P(X < 0) ≥ √(2/(πe)) · min(√m·θ, 1).
+double lemma22_lower_bound(double theta, std::uint64_t m);
+
+// Exact value of P(X > 0) − P(X < 0) for a sum of m Rad(1/2+θ) variables,
+// computed from the binomial pmf (used by the validation tests/bench).
+double rademacher_sum_advantage_exact(double theta, std::uint64_t m);
+
+// Exact P(X = k) for X ~ Binomial(n, p), via lgamma (numerically stable).
+double binomial_pmf(std::uint64_t n, std::uint64_t k, double p);
+
+// Eq. (2) of Section 2.3: the sufficient condition (p − 1/2)·√ℓ ≥ √(log n/n)
+// for weak opinions to carry a detectable bias.  Returns the left-hand side
+// minus the right-hand side (≥ 0 means the condition holds).
+double weak_opinion_condition_margin(double p, double ell, std::uint64_t n);
+
+// Exact probability that an SF weak opinion is correct (the quantity Lemma
+// 28 lower-bounds by 1/2 + 4√(log n/n)), computed from the message
+// distributions of Section 5.3.1: Counter1 ~ Binomial(m, pA1) with
+// pA1 = (s1/n)(1−δ) + (1−s1/n)δ, Counter0 ~ Binomial(m, pB0) with
+// pB0 = (s0/n)(1−δ) + (1−s0/n)δ (independent), weak opinion = 1 iff
+// Counter1 > Counter0, ties broken by a fair coin.  Assumes correct opinion
+// 1 (s1 > s0).  O(m) time.  Requires δ ∈ [0, 1/2] and m ≥ 1.
+double sf_weak_opinion_exact(std::uint64_t n, std::uint64_t m, double delta,
+                             std::uint64_t s1, std::uint64_t s0);
+
+// Exact probability that an SSF weak opinion is correct (Lemma 36's
+// quantity), from the Eq. 33 message distributions: each of the m memory
+// slots is +1 w.p. p⁺ = (s1/n)(1−3δ) + (1−s1/n)δ (a tagged correct
+// message), −1 w.p. p⁻ = (s0/n)(1−3δ) + (1−s0/n)δ, else 0; the weak
+// opinion is correct iff #(+1) > #(−1), ties by coin.  Computed by
+// conditioning on the number of non-zero slots (O(m²) lgamma evaluations —
+// intended for m up to a few thousand).  Assumes s1 > s0, δ ∈ [0, 1/4].
+double ssf_weak_opinion_exact(std::uint64_t n, std::uint64_t m, double delta,
+                              std::uint64_t s1, std::uint64_t s0);
+
+}  // namespace noisypull

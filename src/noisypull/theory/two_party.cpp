@@ -1,0 +1,69 @@
+#include "noisypull/theory/two_party.hpp"
+
+#include <cmath>
+
+#include "noisypull/common/check.hpp"
+#include "noisypull/theory/bounds.hpp"
+
+namespace noisypull {
+
+double two_party_error_exact(std::uint64_t m, double delta) {
+  NOISYPULL_CHECK(m >= 1, "need at least one message");
+  NOISYPULL_CHECK(delta >= 0.0 && delta <= 0.5, "delta outside [0, 1/2]");
+  // Majority decoding errs when more than m/2 copies are flipped; a tie
+  // errs with probability 1/2.
+  double error = 0.0;
+  for (std::uint64_t k = 0; k <= m; ++k) {
+    const double pmf = binomial_pmf(m, k, delta);
+    if (2 * k > m) {
+      error += pmf;
+    } else if (2 * k == m) {
+      error += 0.5 * pmf;
+    }
+  }
+  return error;
+}
+
+std::uint64_t two_party_messages_needed(double x, double delta,
+                                        std::uint64_t limit) {
+  NOISYPULL_CHECK(x > 0.0 && x <= 0.5, "reliability target outside (0, 1/2]");
+  NOISYPULL_CHECK(delta >= 0.0 && delta < 0.5, "delta outside [0, 1/2)");
+  NOISYPULL_CHECK(limit >= 1, "limit must be positive");
+  // Majority error is not monotone in m across parities (adding one message
+  // can create ties), but it is monotone along odd m; scan odd values by
+  // doubling then binary-search the odd lattice.
+  auto error_at = [&](std::uint64_t m) { return two_party_error_exact(m, delta); };
+  if (error_at(1) <= x) return 1;
+  std::uint64_t lo = 1, hi = 3;
+  while (hi <= limit && error_at(hi) > x) {
+    lo = hi;
+    hi = 2 * hi + 1;  // stays odd
+  }
+  if (hi > limit) return limit;
+  // Binary search odd m in (lo, hi]: smallest odd m with error ≤ x.
+  while (hi - lo > 2) {
+    std::uint64_t mid = lo + (hi - lo) / 2;
+    if (mid % 2 == 0) ++mid;
+    if (mid >= hi) mid = hi - 2;
+    if (error_at(mid) <= x) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+double pull_rounds_via_two_party(std::uint64_t n, std::uint64_t h,
+                                 std::uint64_t s, double delta, double x) {
+  NOISYPULL_CHECK(n >= 2 && h >= 1 && s >= 1, "invalid model parameters");
+  NOISYPULL_CHECK(s <= n, "more sources than agents");
+  const double useful_per_round = static_cast<double>(h) *
+                                  static_cast<double>(s) /
+                                  static_cast<double>(n);
+  const double messages =
+      static_cast<double>(two_party_messages_needed(x, delta));
+  return messages / useful_per_round;
+}
+
+}  // namespace noisypull

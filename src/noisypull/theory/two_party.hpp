@@ -1,0 +1,39 @@
+// The (m, x, δ)-Two-Party abstraction behind the lower bounds (Footnote 3).
+//
+// Clementi et al. [19] prove their Ω(n log n) w.h.p. lower bound by reducing
+// noisy bit dissemination to a two-party problem: party B (the source) must
+// transfer one bit to party A over m messages, each flipped independently
+// with probability δ, with failure probability at most x.  Since party A in
+// the PULL(h) model receives h messages per round — of which only a ~s/n
+// fraction touch the source at all — the number of *useful* messages per
+// round is ~h·s/n, and the two-party message requirement translates into a
+// round lower bound of the Theorem 3 shape.
+//
+// This module provides the optimal two-party decoder (majority), its exact
+// error probability, the minimum m achieving a target reliability, and the
+// heuristic translation to PULL(h) rounds — used by tab_two_party to render
+// the lower-bound mechanism as numbers.
+#pragma once
+
+#include <cstdint>
+
+namespace noisypull {
+
+// Exact error probability of majority decoding over m copies of a bit, each
+// flipped independently with probability δ (ties → coin).  δ ∈ [0, 1/2].
+double two_party_error_exact(std::uint64_t m, double delta);
+
+// Minimal m such that two_party_error_exact(m, δ) ≤ x, found by scanning /
+// doubling (exact, no bounds).  Requires x ∈ (0, 1/2], δ ∈ [0, 1/2); returns
+// the smallest such m, or `limit` if none ≤ limit exists.
+std::uint64_t two_party_messages_needed(double x, double delta,
+                                        std::uint64_t limit = 1u << 26);
+
+// Heuristic round requirement for PULL(h) implied by the two-party view:
+// party A needs two_party_messages_needed(x, δ) source-touching samples and
+// collects ~h·s/n of them per round.  (An illustration of the Footnote 3
+// mechanism, not a formal bound — Theorem 3 is the formal statement.)
+double pull_rounds_via_two_party(std::uint64_t n, std::uint64_t h,
+                                 std::uint64_t s, double delta, double x);
+
+}  // namespace noisypull

@@ -1,0 +1,106 @@
+#include "noisypull/sim/adversary.hpp"
+
+#include <gtest/gtest.h>
+
+namespace noisypull {
+namespace {
+
+using Ssf = SelfStabilizingSourceFilter;
+
+PopulationConfig pop(std::uint64_t n, std::uint64_t s1, std::uint64_t s0) {
+  return PopulationConfig{.n = n, .s1 = s1, .s0 = s0};
+}
+
+TEST(Adversary, PolicyNames) {
+  EXPECT_STREQ(to_string(CorruptionPolicy::None), "none");
+  EXPECT_STREQ(to_string(CorruptionPolicy::RandomState), "random-state");
+  EXPECT_STREQ(to_string(CorruptionPolicy::WrongConsensus), "wrong-consensus");
+  EXPECT_STREQ(to_string(CorruptionPolicy::OverflowMemory), "overflow-memory");
+  EXPECT_STREQ(to_string(CorruptionPolicy::DesyncClocks), "desync-clocks");
+}
+
+TEST(Adversary, NoneLeavesStateUntouched) {
+  const auto p = pop(20, 1, 0);
+  Ssf ssf = Ssf::with_memory_budget(p, 2, 50);
+  Rng rng(1);
+  corrupt_population(ssf, CorruptionPolicy::None, 1, rng);
+  for (std::uint64_t i = 0; i < p.n; ++i) {
+    EXPECT_EQ(ssf.memory(i).total(), 0u);
+    EXPECT_EQ(ssf.weak_opinion(i), 0);
+    EXPECT_EQ(ssf.opinion(i), 0);
+  }
+}
+
+TEST(Adversary, WrongConsensusFillsMemoriesWithFakeSourceMessages) {
+  const auto p = pop(20, 1, 0);  // correct = 1 → adversary pushes 0
+  Ssf ssf = Ssf::with_memory_budget(p, 2, 50);
+  Rng rng(2);
+  corrupt_population(ssf, CorruptionPolicy::WrongConsensus, 1, rng);
+  const Symbol fake = Ssf::encode(true, 0);
+  for (std::uint64_t i = 0; i < p.n; ++i) {
+    EXPECT_EQ(ssf.memory(i)[fake], 49u);  // m − 1
+    EXPECT_EQ(ssf.memory(i).total(), 49u);
+    EXPECT_EQ(ssf.weak_opinion(i), 0);
+    EXPECT_EQ(ssf.opinion(i), 0);
+  }
+}
+
+TEST(Adversary, OverflowMemoryExceedsBudget) {
+  const auto p = pop(10, 1, 0);
+  Ssf ssf = Ssf::with_memory_budget(p, 2, 50);
+  Rng rng(3);
+  corrupt_population(ssf, CorruptionPolicy::OverflowMemory, 1, rng);
+  for (std::uint64_t i = 0; i < p.n; ++i) {
+    EXPECT_GT(ssf.memory(i).total(), 10 * 50u);
+  }
+}
+
+TEST(Adversary, RandomStateStaysBelowBudgetAndVaries) {
+  const auto p = pop(200, 1, 0);
+  Ssf ssf = Ssf::with_memory_budget(p, 2, 64);
+  Rng rng(4);
+  corrupt_population(ssf, CorruptionPolicy::RandomState, 1, rng);
+  std::uint64_t distinct_totals = 0;
+  std::uint64_t prev = ~0ULL;
+  for (std::uint64_t i = 0; i < p.n; ++i) {
+    const auto total = ssf.memory(i).total();
+    EXPECT_LT(total, 64u);
+    if (total != prev) ++distinct_totals;
+    prev = total;
+  }
+  EXPECT_GT(distinct_totals, 10u);  // genuinely randomized
+}
+
+TEST(Adversary, DesyncClocksStaggersFillLevels) {
+  const auto p = pop(200, 1, 0);
+  Ssf ssf = Ssf::with_memory_budget(p, 2, 97);
+  Rng rng(5);
+  corrupt_population(ssf, CorruptionPolicy::DesyncClocks, 1, rng);
+  std::uint64_t min_total = ~0ULL, max_total = 0;
+  for (std::uint64_t i = 0; i < p.n; ++i) {
+    const auto total = ssf.memory(i).total();
+    min_total = std::min(min_total, total);
+    max_total = std::max(max_total, total);
+    EXPECT_LE(total, 97u);
+  }
+  EXPECT_EQ(min_total, 0u);
+  EXPECT_GT(max_total, 60u);  // levels spread across the cycle
+}
+
+TEST(Adversary, TaglessOverloadCoversAllPolicies) {
+  const auto p = pop(50, 1, 0);
+  for (const auto policy : kAllCorruptionPolicies) {
+    TaglessSsf tagless(p, 2, 50);
+    Rng rng(6);
+    corrupt_population(tagless, policy, 1, rng);
+    // Smoke: state is valid enough to keep running.
+    Rng run_rng(7);
+    SymbolCounts obs(2);
+    obs[1] = 2;
+    tagless.update(3, 0, obs, run_rng);
+    EXPECT_LE(tagless.opinion(3), 1);
+  }
+}
+
+}  // namespace
+}  // namespace noisypull

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "noisypull/baselines/majority_dynamics.hpp"
+#include "noisypull/baselines/repeated_majority.hpp"
+#include "noisypull/baselines/voter.hpp"
+#include "noisypull/model/engine.hpp"
+#include "noisypull/sim/runner.hpp"
+
+namespace noisypull {
+namespace {
+
+PopulationConfig pop(std::uint64_t n, std::uint64_t s1, std::uint64_t s0) {
+  return PopulationConfig{.n = n, .s1 = s1, .s0 = s0};
+}
+
+SymbolCounts obs2(std::uint64_t zeros, std::uint64_t ones) {
+  SymbolCounts c(2);
+  c[0] = zeros;
+  c[1] = ones;
+  return c;
+}
+
+TEST(Voter, SourcesAreZealots) {
+  const auto p = pop(10, 1, 1);
+  Rng init(1);
+  VoterProtocol voter(p, init);
+  Rng rng(2);
+  voter.update(0, 0, obs2(5, 0), rng);  // all-0 observations
+  voter.update(1, 0, obs2(0, 5), rng);  // all-1 observations
+  EXPECT_EQ(voter.opinion(0), 1);  // 1-source unchanged
+  EXPECT_EQ(voter.opinion(1), 0);  // 0-source unchanged
+}
+
+TEST(Voter, AdoptsUnanimousObservation) {
+  const auto p = pop(10, 1, 0);
+  Rng init(3);
+  VoterProtocol voter(p, init);
+  Rng rng(4);
+  voter.update(5, 0, obs2(0, 7), rng);
+  EXPECT_EQ(voter.opinion(5), 1);
+  voter.update(5, 1, obs2(7, 0), rng);
+  EXPECT_EQ(voter.opinion(5), 0);
+}
+
+TEST(Voter, AdoptionProbabilityIsObservedFraction) {
+  const auto p = pop(10, 1, 0);
+  int ones = 0;
+  const int kReps = 5000;
+  for (int rep = 0; rep < kReps; ++rep) {
+    Rng init(100 + rep);
+    VoterProtocol voter(p, init);
+    Rng rng(7000 + rep);
+    voter.update(5, 0, obs2(3, 1), rng);  // 25% ones
+    ones += voter.opinion(5);
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / kReps, 0.25, 0.03);
+}
+
+TEST(Voter, DisplayEqualsOpinion) {
+  const auto p = pop(10, 2, 0);
+  Rng init(5);
+  VoterProtocol voter(p, init);
+  for (std::uint64_t i = 0; i < p.n; ++i) {
+    EXPECT_EQ(voter.display(i, 0), voter.opinion(i));
+  }
+}
+
+TEST(Voter, ConvergesWithoutNoiseFromAllSourcePopulation) {
+  // With many sources and no noise the voter model spreads quickly.
+  const auto p = pop(100, 30, 0);
+  const auto noise = NoiseMatrix::noiseless(2);
+  Rng init(6);
+  VoterProtocol voter(p, init);
+  AggregateEngine engine;
+  Rng rng(7);
+  const auto result =
+      run(voter, engine, noise, p.correct_opinion(),
+          RunConfig{.h = 1, .max_rounds = 3000}, rng);
+  EXPECT_TRUE(result.all_correct_at_end);
+}
+
+TEST(MajorityDynamics, SourcesAreZealots) {
+  const auto p = pop(10, 1, 1);
+  Rng init(8);
+  MajorityDynamics md(p, init);
+  Rng rng(9);
+  md.update(0, 0, obs2(9, 0), rng);
+  EXPECT_EQ(md.opinion(0), 1);
+}
+
+TEST(MajorityDynamics, AdoptsObservedMajority) {
+  const auto p = pop(10, 1, 0);
+  Rng init(10);
+  MajorityDynamics md(p, init);
+  Rng rng(11);
+  md.update(4, 0, obs2(2, 5), rng);
+  EXPECT_EQ(md.opinion(4), 1);
+  md.update(4, 1, obs2(5, 2), rng);
+  EXPECT_EQ(md.opinion(4), 0);
+}
+
+TEST(MajorityDynamics, TieBreaksAreFair) {
+  const auto p = pop(10, 1, 0);
+  int ones = 0;
+  const int kReps = 2000;
+  for (int rep = 0; rep < kReps; ++rep) {
+    Rng init(12);
+    MajorityDynamics md(p, init);
+    Rng rng(9000 + rep);
+    md.update(4, 0, obs2(3, 3), rng);
+    ones += md.opinion(4);
+  }
+  EXPECT_GT(ones, kReps / 2 - 150);
+  EXPECT_LT(ones, kReps / 2 + 150);
+}
+
+TEST(MajorityDynamics, ReachesSomeConsensusFastButNotReliablyTheCorrectOne) {
+  // With a single source among n = 400 and h = n, majority dynamics locks
+  // onto whatever the initial random majority was — the correct opinion
+  // only ~half the time.  (This is the failure mode SF avoids.)
+  const auto p = pop(400, 1, 0);
+  const auto noise = NoiseMatrix::uniform(2, 0.1);
+  int correct = 0;
+  const int kReps = 20;
+  for (int rep = 0; rep < kReps; ++rep) {
+    Rng init(2000 + rep);
+    MajorityDynamics md(p, init);
+    AggregateEngine engine;
+    Rng rng(3000 + rep);
+    const auto result = run(md, engine, noise, p.correct_opinion(),
+                            RunConfig{.h = p.n, .max_rounds = 60}, rng);
+    correct += result.all_correct_at_end ? 1 : 0;
+  }
+  EXPECT_GT(correct, 1);       // it does sometimes land on the source's value
+  EXPECT_LT(correct, kReps - 1);  // ...but nowhere near reliably
+}
+
+TEST(RepeatedMajority, WindowAccumulatesAcrossRounds) {
+  const auto p = pop(10, 1, 0);
+  Rng init(13);
+  RepeatedMajority rm(p, 6, init);
+  EXPECT_EQ(rm.window(), 6u);
+  Rng rng(14);
+  rm.update(4, 0, obs2(0, 3), rng);
+  const Opinion before = rm.opinion(4);
+  rm.update(4, 1, obs2(0, 2), rng);
+  EXPECT_EQ(rm.opinion(4), before);  // 5 < 6: no decision yet
+  rm.update(4, 2, obs2(0, 1), rng);
+  EXPECT_EQ(rm.opinion(4), 1);  // 6 ones vs 0 zeros
+}
+
+TEST(RepeatedMajority, ZealotsIgnoreObservations) {
+  const auto p = pop(10, 1, 0);
+  Rng init(15);
+  RepeatedMajority rm(p, 2, init);
+  Rng rng(16);
+  rm.update(0, 0, obs2(10, 0), rng);
+  EXPECT_EQ(rm.opinion(0), 1);
+}
+
+TEST(RepeatedMajority, InputValidation) {
+  const auto p = pop(10, 1, 0);
+  Rng init(17);
+  EXPECT_THROW(RepeatedMajority(p, 0, init), std::invalid_argument);
+  RepeatedMajority rm(p, 2, init);
+  Rng rng(18);
+  SymbolCounts wrong(4);
+  EXPECT_THROW(rm.update(0, 0, wrong, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace noisypull

@@ -1,0 +1,225 @@
+#include "noisypull/rng/binomial.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "noisypull/analysis/stats.hpp"
+
+namespace noisypull {
+namespace {
+
+TEST(Binomial, EdgeCases) {
+  Rng rng(1);
+  EXPECT_EQ(sample_binomial(rng, 0, 0.5), 0u);
+  EXPECT_EQ(sample_binomial(rng, 100, 0.0), 0u);
+  EXPECT_EQ(sample_binomial(rng, 100, 1.0), 100u);
+  EXPECT_THROW(sample_binomial(rng, 10, -0.1), std::invalid_argument);
+  EXPECT_THROW(sample_binomial(rng, 10, 1.1), std::invalid_argument);
+}
+
+TEST(Binomial, AlwaysWithinRange) {
+  Rng rng(2);
+  for (double p : {0.01, 0.3, 0.5, 0.7, 0.99}) {
+    for (std::uint64_t n : {1ULL, 5ULL, 50ULL, 5000ULL}) {
+      for (int i = 0; i < 200; ++i) {
+        EXPECT_LE(sample_binomial(rng, n, p), n);
+      }
+    }
+  }
+}
+
+struct MomentCase {
+  std::uint64_t n;
+  double p;
+};
+
+class BinomialMoments : public ::testing::TestWithParam<MomentCase> {};
+
+TEST_P(BinomialMoments, MeanAndVarianceMatch) {
+  const auto [n, p] = GetParam();
+  Rng rng(1000 + n);
+  const int kDraws = 40000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = static_cast<double>(sample_binomial(rng, n, p));
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / kDraws;
+  const double var = sum_sq / kDraws - mean * mean;
+  const double want_mean = static_cast<double>(n) * p;
+  const double want_var = static_cast<double>(n) * p * (1 - p);
+  // 6-sigma tolerance on the sample mean; looser on variance.
+  EXPECT_NEAR(mean, want_mean, 6 * std::sqrt(want_var / kDraws) + 1e-9);
+  EXPECT_NEAR(var, want_var, 0.1 * want_var + 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Regimes, BinomialMoments,
+    ::testing::Values(MomentCase{1, 0.5},       // Bernoulli
+                      MomentCase{8, 0.25},      // BINV
+                      MomentCase{40, 0.1},      // BINV boundary
+                      MomentCase{100, 0.3},     // BTRS
+                      MomentCase{100, 0.7},     // BTRS via symmetry
+                      MomentCase{10000, 0.02},  // BTRS, small p, large n
+                      MomentCase{100000, 0.5},  // BTRS, large everything
+                      MomentCase{33, 0.999}));  // near-certain
+
+TEST(Binomial, SmallNGoodnessOfFit) {
+  // Exact chi-square goodness-of-fit against the Binomial(6, 0.35) pmf;
+  // exercises the inversion sampler cell by cell.
+  Rng rng(42);
+  constexpr std::uint64_t kN = 6;
+  constexpr double kP = 0.35;
+  std::array<std::uint64_t, kN + 1> observed{};
+  const int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) ++observed[sample_binomial(rng, kN, kP)];
+
+  std::array<double, kN + 1> pmf{};
+  for (std::uint64_t k = 0; k <= kN; ++k) {
+    double c = 1.0;
+    for (std::uint64_t j = 0; j < k; ++j) {
+      c *= static_cast<double>(kN - j) / static_cast<double>(j + 1);
+    }
+    pmf[k] = c * std::pow(kP, static_cast<double>(k)) *
+             std::pow(1 - kP, static_cast<double>(kN - k));
+  }
+  const double stat = chi_square_statistic(observed, pmf);
+  EXPECT_LT(stat, chi_square_critical_999(kN));
+}
+
+TEST(Binomial, BtrsGoodnessOfFitBinned) {
+  // BTRS draws from Binomial(400, 0.4), binned into 8 equiprobable-ish
+  // intervals around the mean; chi-square against exact binned pmf.
+  Rng rng(4242);
+  constexpr std::uint64_t kN = 400;
+  constexpr double kP = 0.4;
+  // Bin edges chosen around mean 160, sd ~9.8.
+  const std::array<std::uint64_t, 7> edges = {146, 153, 157, 160, 163, 167, 174};
+  std::array<std::uint64_t, 8> observed{};
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    const std::uint64_t x = sample_binomial(rng, kN, kP);
+    std::size_t bin = 0;
+    while (bin < edges.size() && x > edges[bin]) ++bin;
+    ++observed[bin];
+  }
+  // Exact binned probabilities via log-pmf accumulation.
+  std::array<double, 8> expected{};
+  double logc = 0.0;  // log C(n,0)
+  for (std::uint64_t k = 0; k <= kN; ++k) {
+    const double logp = logc + static_cast<double>(k) * std::log(kP) +
+                        static_cast<double>(kN - k) * std::log(1 - kP);
+    std::size_t bin = 0;
+    while (bin < edges.size() && k > edges[bin]) ++bin;
+    expected[bin] += std::exp(logp);
+    logc += std::log(static_cast<double>(kN - k)) -
+            std::log(static_cast<double>(k + 1));
+  }
+  const double stat = chi_square_statistic(observed, expected);
+  EXPECT_LT(stat, chi_square_critical_999(7));
+}
+
+TEST(Multinomial, CountsSumToN) {
+  Rng rng(3);
+  const std::vector<double> w = {1.0, 2.0, 3.0, 4.0};
+  std::vector<std::uint64_t> counts(4);
+  for (std::uint64_t n : {0ULL, 1ULL, 7ULL, 1000ULL, 123456ULL}) {
+    sample_multinomial(rng, n, w, counts);
+    std::uint64_t total = 0;
+    for (auto c : counts) total += c;
+    EXPECT_EQ(total, n);
+  }
+}
+
+TEST(Multinomial, MarginalMeansMatch) {
+  Rng rng(4);
+  const std::vector<double> w = {0.5, 0.2, 0.3};
+  std::vector<std::uint64_t> counts(3);
+  std::array<double, 3> sums{};
+  const int kDraws = 20000;
+  constexpr std::uint64_t kN = 100;
+  for (int i = 0; i < kDraws; ++i) {
+    sample_multinomial(rng, kN, w, counts);
+    for (int j = 0; j < 3; ++j) sums[j] += static_cast<double>(counts[j]);
+  }
+  for (int j = 0; j < 3; ++j) {
+    const double mean = sums[j] / kDraws;
+    const double want = kN * w[j];
+    EXPECT_NEAR(mean, want, 6 * std::sqrt(kN * w[j] * (1 - w[j]) / kDraws));
+  }
+}
+
+TEST(Multinomial, ZeroWeightCellsStayEmpty) {
+  Rng rng(5);
+  const std::vector<double> w = {0.0, 1.0, 0.0};
+  std::vector<std::uint64_t> counts(3);
+  sample_multinomial(rng, 1000, w, counts);
+  EXPECT_EQ(counts[0], 0u);
+  EXPECT_EQ(counts[1], 1000u);
+  EXPECT_EQ(counts[2], 0u);
+}
+
+TEST(Multinomial, InputValidation) {
+  Rng rng(6);
+  std::vector<std::uint64_t> counts(2);
+  const std::vector<double> bad_size = {1.0};
+  EXPECT_THROW(sample_multinomial(rng, 1, bad_size, counts),
+               std::invalid_argument);
+  const std::vector<double> negative = {1.0, -1.0};
+  EXPECT_THROW(sample_multinomial(rng, 1, negative, counts),
+               std::invalid_argument);
+  const std::vector<double> zeros = {0.0, 0.0};
+  EXPECT_THROW(sample_multinomial(rng, 1, zeros, counts),
+               std::invalid_argument);
+  // n == 0 with zero weights is allowed (no mass to place).
+  sample_multinomial(rng, 0, zeros, counts);
+  EXPECT_EQ(counts[0] + counts[1], 0u);
+}
+
+TEST(Discrete, DistributionMatchesWeights) {
+  Rng rng(7);
+  const std::vector<double> w = {2.0, 1.0, 1.0};
+  std::array<std::uint64_t, 3> counts{};
+  const int kDraws = 80000;
+  for (int i = 0; i < kDraws; ++i) ++counts[sample_discrete(rng, w)];
+  const std::array<double, 3> probs = {0.5, 0.25, 0.25};
+  EXPECT_LT(chi_square_statistic(counts, probs), chi_square_critical_999(2));
+}
+
+TEST(Discrete, SingleOutcome) {
+  Rng rng(8);
+  const std::vector<double> w = {0.0, 5.0};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sample_discrete(rng, w), 1u);
+}
+
+TEST(Discrete, InputValidation) {
+  Rng rng(9);
+  const std::vector<double> empty;
+  EXPECT_THROW(sample_discrete(rng, empty), std::invalid_argument);
+  const std::vector<double> zeros = {0.0, 0.0};
+  EXPECT_THROW(sample_discrete(rng, zeros), std::invalid_argument);
+}
+
+TEST(Binomial, SymmetryBetweenPAndOneMinusP) {
+  // X ~ B(n,p) and n - X' with X' ~ B(n,1-p) must have identical moments.
+  Rng rng_a(10), rng_b(11);
+  constexpr std::uint64_t kN = 50;
+  constexpr double kP = 0.85;
+  const int kDraws = 40000;
+  double mean_a = 0.0, mean_b = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    mean_a += static_cast<double>(sample_binomial(rng_a, kN, kP));
+    mean_b +=
+        static_cast<double>(kN - sample_binomial(rng_b, kN, 1.0 - kP));
+  }
+  mean_a /= kDraws;
+  mean_b /= kDraws;
+  EXPECT_NEAR(mean_a, mean_b, 0.15);
+}
+
+}  // namespace
+}  // namespace noisypull

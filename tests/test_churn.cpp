@@ -1,0 +1,115 @@
+#include "noisypull/sim/churn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace noisypull {
+namespace {
+
+PopulationConfig pop(std::uint64_t n, std::uint64_t s1, std::uint64_t s0) {
+  return PopulationConfig{.n = n, .s1 = s1, .s0 = s0};
+}
+
+TEST(Churn, ZeroRateBehavesLikePlainRun) {
+  const auto p = pop(300, 2, 0);
+  const double delta = 0.05;
+  SelfStabilizingSourceFilter ssf(p, p.n, delta, 2.0);
+  AggregateEngine engine;
+  Rng rng(1);
+  const auto result = run_with_churn(
+      ssf, engine, NoiseMatrix::uniform(4, delta), p.correct_opinion(), p.n,
+      /*warmup=*/ssf.convergence_deadline(), /*measure=*/20,
+      ChurnConfig{.rate = 0.0}, rng);
+  EXPECT_EQ(result.resets, 0u);
+  EXPECT_DOUBLE_EQ(result.mean_correct_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(result.min_correct_fraction, 1.0);
+}
+
+TEST(Churn, ResetsHappenAtTheConfiguredRate) {
+  const auto p = pop(1000, 2, 0);
+  const double delta = 0.05;
+  SelfStabilizingSourceFilter ssf(p, p.n, delta, 2.0);
+  AggregateEngine engine;
+  Rng rng(2);
+  const double rate = 0.01;
+  const std::uint64_t rounds = 50;
+  const auto result = run_with_churn(
+      ssf, engine, NoiseMatrix::uniform(4, delta), p.correct_opinion(), p.n,
+      /*warmup=*/rounds - 10, /*measure=*/10, ChurnConfig{.rate = rate}, rng);
+  // Expected resets ≈ rate · (n − sources) · rounds = 499; allow 5 sigma.
+  const double expect =
+      rate * static_cast<double>(p.n - p.num_sources()) * rounds;
+  EXPECT_NEAR(static_cast<double>(result.resets), expect,
+              5 * std::sqrt(expect));
+}
+
+TEST(Churn, ModerateChurnKeepsMostAgentsCorrect) {
+  // With per-round reset probability well below one per memory cycle, the
+  // steady state stays overwhelmingly correct.
+  const auto p = pop(1000, 2, 0);
+  const double delta = 0.05;
+  SelfStabilizingSourceFilter ssf(p, p.n, delta, 2.0);
+  AggregateEngine engine;
+  Rng rng(3);
+  const auto result = run_with_churn(
+      ssf, engine, NoiseMatrix::uniform(4, delta), p.correct_opinion(), p.n,
+      /*warmup=*/3 * ssf.convergence_deadline(), /*measure=*/40,
+      ChurnConfig{.rate = 0.005, .policy = CorruptionPolicy::WrongConsensus},
+      rng);
+  EXPECT_GT(result.mean_correct_fraction, 0.9);
+  EXPECT_GT(result.resets, 0u);
+}
+
+TEST(Churn, ExtremeChurnDegradesCorrectness) {
+  // Resetting a third of the population every round must visibly hurt.
+  const auto p = pop(600, 2, 0);
+  const double delta = 0.05;
+  SelfStabilizingSourceFilter ssf(p, p.n, delta, 2.0);
+  AggregateEngine engine;
+  Rng rng(4);
+  const auto result = run_with_churn(
+      ssf, engine, NoiseMatrix::uniform(4, delta), p.correct_opinion(), p.n,
+      /*warmup=*/3 * ssf.convergence_deadline(), /*measure=*/40,
+      ChurnConfig{.rate = 0.33, .policy = CorruptionPolicy::WrongConsensus},
+      rng);
+  EXPECT_LT(result.mean_correct_fraction, 0.9);
+}
+
+TEST(Churn, InputValidation) {
+  const auto p = pop(100, 1, 0);
+  SelfStabilizingSourceFilter ssf(p, p.n, 0.05, 2.0);
+  AggregateEngine engine;
+  Rng rng(5);
+  const auto noise = NoiseMatrix::uniform(4, 0.05);
+  EXPECT_THROW(run_with_churn(ssf, engine, noise, 1, p.n, 1, 0,
+                              ChurnConfig{.rate = 0.1}, rng),
+               std::invalid_argument);
+  EXPECT_THROW(run_with_churn(ssf, engine, noise, 1, p.n, 1, 1,
+                              ChurnConfig{.rate = 1.5}, rng),
+               std::invalid_argument);
+}
+
+TEST(Churn, SourceChurnOptionResetsSourceState) {
+  // churn_sources = true with rate 1 resets everyone's mutable state every
+  // round; sources still display their (uncorruptible) preference, so the
+  // population keeps receiving the signal.
+  const auto p = pop(200, 2, 0);
+  const double delta = 0.05;
+  SelfStabilizingSourceFilter ssf(p, p.n, delta, 2.0);
+  AggregateEngine engine;
+  Rng rng(6);
+  const auto result = run_with_churn(
+      ssf, engine, NoiseMatrix::uniform(4, delta), p.correct_opinion(), p.n,
+      /*warmup=*/5, /*measure=*/5,
+      ChurnConfig{.rate = 1.0,
+                  .policy = CorruptionPolicy::RandomState,
+                  .churn_sources = true},
+      rng);
+  EXPECT_EQ(result.resets, 10 * p.n);
+  EXPECT_EQ(ssf.display(0, 0),
+            SelfStabilizingSourceFilter::encode(true, 1));
+}
+
+}  // namespace
+}  // namespace noisypull

@@ -1,0 +1,271 @@
+#include "noisypull/model/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "noisypull/analysis/stats.hpp"
+
+namespace noisypull {
+namespace {
+
+// Minimal protocol for engine testing: fixed displays, records observations.
+class StaticDisplayProtocol : public PullProtocol {
+ public:
+  StaticDisplayProtocol(std::vector<Symbol> displays, std::size_t alphabet)
+      : displays_(std::move(displays)),
+        alphabet_(alphabet),
+        last_obs_(displays_.size(), SymbolCounts(alphabet)) {}
+
+  std::size_t alphabet_size() const override { return alphabet_; }
+  std::uint64_t num_agents() const override { return displays_.size(); }
+  Symbol display(std::uint64_t agent, std::uint64_t) const override {
+    return displays_[agent];
+  }
+  void update(std::uint64_t agent, std::uint64_t, const SymbolCounts& obs,
+              Rng&) override {
+    last_obs_[agent] = obs;
+  }
+  Opinion opinion(std::uint64_t) const override { return 0; }
+
+  const SymbolCounts& last_obs(std::uint64_t agent) const {
+    return last_obs_[agent];
+  }
+
+  std::vector<Symbol> displays_;
+  std::size_t alphabet_;
+  std::vector<SymbolCounts> last_obs_;
+};
+
+std::vector<Symbol> half_and_half(std::uint64_t n) {
+  std::vector<Symbol> d(n);
+  for (std::uint64_t i = 0; i < n; ++i) d[i] = i < n / 2 ? 0 : 1;
+  return d;
+}
+
+class EngineKind : public ::testing::TestWithParam<bool> {
+ protected:
+  std::unique_ptr<Engine> make_engine() const {
+    if (GetParam()) return std::make_unique<AggregateEngine>();
+    return std::make_unique<ExactEngine>();
+  }
+};
+
+TEST_P(EngineKind, ObservationTotalsEqualH) {
+  StaticDisplayProtocol protocol(half_and_half(10), 2);
+  const auto noise = NoiseMatrix::uniform(2, 0.2);
+  auto engine = make_engine();
+  Rng rng(1);
+  for (std::uint64_t h : {1ULL, 3ULL, 17ULL, 100ULL}) {
+    engine->step(protocol, noise, h, 0, rng);
+    for (std::uint64_t i = 0; i < 10; ++i) {
+      EXPECT_EQ(protocol.last_obs(i).total(), h);
+    }
+  }
+}
+
+TEST_P(EngineKind, ObservedDistributionMatchesTheory) {
+  // 30% of agents display 1; uniform noise δ = 0.1.  One observation is 1
+  // with probability 0.3·0.9 + 0.7·0.1 = 0.34.
+  const std::uint64_t n = 10;
+  std::vector<Symbol> displays(n, 0);
+  displays[0] = displays[1] = displays[2] = 1;
+  StaticDisplayProtocol protocol(std::move(displays), 2);
+  const auto noise = NoiseMatrix::uniform(2, 0.1);
+  auto engine = make_engine();
+  Rng rng(7);
+
+  std::array<std::uint64_t, 2> totals{};
+  const int kRounds = 300;
+  const std::uint64_t kH = 50;
+  for (int t = 0; t < kRounds; ++t) {
+    engine->step(protocol, noise, kH, t, rng);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      totals[0] += protocol.last_obs(i)[0];
+      totals[1] += protocol.last_obs(i)[1];
+    }
+  }
+  const std::array<double, 2> probs = {0.66, 0.34};
+  EXPECT_LT(chi_square_statistic(totals, probs), chi_square_critical_999(1));
+}
+
+TEST_P(EngineKind, FourSymbolDistributionMatchesTheory) {
+  // Alphabet of 4 (the SSF case): half the agents display symbol 0, half
+  // symbol 3; δ-uniform noise with δ = 0.05.
+  const std::uint64_t n = 8;
+  std::vector<Symbol> displays(n, 0);
+  for (std::uint64_t i = n / 2; i < n; ++i) displays[i] = 3;
+  StaticDisplayProtocol protocol(std::move(displays), 4);
+  const auto noise = NoiseMatrix::uniform(4, 0.05);
+  auto engine = make_engine();
+  Rng rng(11);
+
+  std::array<std::uint64_t, 4> totals{};
+  const int kRounds = 200;
+  const std::uint64_t kH = 64;
+  for (int t = 0; t < kRounds; ++t) {
+    engine->step(protocol, noise, kH, t, rng);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      for (int s = 0; s < 4; ++s) totals[s] += protocol.last_obs(i)[s];
+    }
+  }
+  // q = ½·row(0) + ½·row(3) = {0.45, 0.05, 0.05, 0.45}.
+  const std::array<double, 4> probs = {0.45, 0.05, 0.05, 0.45};
+  EXPECT_LT(chi_square_statistic(totals, probs), chi_square_critical_999(3));
+}
+
+TEST_P(EngineKind, ArtificialNoiseComposesChannel) {
+  // Artificial noise = full scramble (rows = {0.5, 0.5}) makes observations
+  // uniform regardless of displays.
+  StaticDisplayProtocol protocol(std::vector<Symbol>(10, 1), 2);
+  const auto noise = NoiseMatrix::uniform(2, 0.1);
+  auto engine = make_engine();
+  engine->set_artificial_noise(Matrix{0.5, 0.5, 0.5, 0.5});
+  Rng rng(13);
+
+  std::array<std::uint64_t, 2> totals{};
+  for (int t = 0; t < 300; ++t) {
+    engine->step(protocol, noise, 20, t, rng);
+    for (std::uint64_t i = 0; i < 10; ++i) {
+      totals[0] += protocol.last_obs(i)[0];
+      totals[1] += protocol.last_obs(i)[1];
+    }
+  }
+  const std::array<double, 2> probs = {0.5, 0.5};
+  EXPECT_LT(chi_square_statistic(totals, probs), chi_square_critical_999(1));
+
+  // Clearing the artificial noise restores the raw channel: all displays
+  // are 1, so P(observe 1) = 0.9.
+  engine->set_artificial_noise(std::nullopt);
+  totals = {0, 0};
+  for (int t = 0; t < 300; ++t) {
+    engine->step(protocol, noise, 20, t, rng);
+    for (std::uint64_t i = 0; i < 10; ++i) {
+      totals[0] += protocol.last_obs(i)[0];
+      totals[1] += protocol.last_obs(i)[1];
+    }
+  }
+  const std::array<double, 2> raw = {0.1, 0.9};
+  EXPECT_LT(chi_square_statistic(totals, raw), chi_square_critical_999(1));
+}
+
+TEST_P(EngineKind, RejectsAlphabetMismatch) {
+  StaticDisplayProtocol protocol(half_and_half(4), 2);
+  const auto noise = NoiseMatrix::uniform(3, 0.1);
+  auto engine = make_engine();
+  Rng rng(1);
+  EXPECT_THROW(engine->step(protocol, noise, 1, 0, rng),
+               std::invalid_argument);
+}
+
+TEST_P(EngineKind, RejectsZeroSampleSize) {
+  StaticDisplayProtocol protocol(half_and_half(4), 2);
+  const auto noise = NoiseMatrix::uniform(2, 0.1);
+  auto engine = make_engine();
+  Rng rng(1);
+  EXPECT_THROW(engine->step(protocol, noise, 0, 0, rng),
+               std::invalid_argument);
+}
+
+TEST_P(EngineKind, DeterministicGivenSeed) {
+  const auto noise = NoiseMatrix::uniform(2, 0.2);
+  auto run_once = [&](std::uint64_t seed) {
+    StaticDisplayProtocol protocol(half_and_half(20), 2);
+    auto engine = make_engine();
+    Rng rng(seed);
+    std::vector<std::uint64_t> trace;
+    for (int t = 0; t < 10; ++t) {
+      engine->step(protocol, noise, 9, t, rng);
+      for (std::uint64_t i = 0; i < 20; ++i) {
+        trace.push_back(protocol.last_obs(i)[1]);
+      }
+    }
+    return trace;
+  };
+  EXPECT_EQ(run_once(5), run_once(5));
+  EXPECT_NE(run_once(5), run_once(6));
+}
+
+INSTANTIATE_TEST_SUITE_P(BothEngines, EngineKind, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Aggregate" : "Exact";
+                         });
+
+TEST(ExactEngine, DisplaysAreSnapshottedBeforeUpdates) {
+  // A protocol that rewrites its display during update: if the engine did
+  // not snapshot displays, later agents would observe the new value.
+  class FlippingProtocol : public PullProtocol {
+   public:
+    std::size_t alphabet_size() const override { return 2; }
+    std::uint64_t num_agents() const override { return 2; }
+    Symbol display(std::uint64_t agent, std::uint64_t) const override {
+      return value_[agent];
+    }
+    void update(std::uint64_t agent, std::uint64_t, const SymbolCounts& obs,
+                Rng&) override {
+      last_obs_[agent] = obs;
+      value_[agent] = 1;  // everyone switches to displaying 1
+    }
+    Opinion opinion(std::uint64_t) const override { return 0; }
+
+    std::array<Symbol, 2> value_ = {0, 1};
+    std::array<SymbolCounts, 2> last_obs_ = {SymbolCounts(2),
+                                             SymbolCounts(2)};
+  };
+
+  FlippingProtocol protocol;
+  ExactEngine engine;
+  const auto noise = NoiseMatrix::noiseless(2);
+  Rng rng(3);
+  engine.step(protocol, noise, 256, 0, rng);
+  // Agent 1 updates after agent 0 flipped its value; with a snapshot it must
+  // still have seen agent 0's original 0s (256 draws from {0,1} miss agent 0
+  // with probability 2^-256).
+  EXPECT_GT(protocol.last_obs_[1][0], 0u);
+}
+
+TEST(Engines, ExactAndAggregateAgreeInDistribution) {
+  // The central cross-validation: per-round observation counts of one agent
+  // must follow the same law under both engines.  We compare the count-of-1s
+  // histograms with h = 8 over many rounds via chi-square on 9 cells.
+  const std::uint64_t n = 6;
+  const std::uint64_t h = 8;
+  std::vector<Symbol> displays = {0, 0, 0, 0, 1, 1};  // c = (4, 2)
+  const auto noise = NoiseMatrix::uniform(2, 0.25);
+  // P(observe 1) = (2/6)·0.75 + (4/6)·0.25 = 5/12.
+  const double p1 = 5.0 / 12.0;
+
+  auto histogram = [&](Engine& engine, std::uint64_t seed) {
+    StaticDisplayProtocol protocol(displays, 2);
+    Rng rng(seed);
+    std::array<std::uint64_t, 9> hist{};
+    for (int t = 0; t < 30000; ++t) {
+      engine.step(protocol, noise, h, t, rng);
+      ++hist[protocol.last_obs(0)[1]];
+    }
+    return hist;
+  };
+
+  std::array<double, 9> pmf{};
+  for (std::uint64_t k = 0; k <= 8; ++k) {
+    double c = 1.0;
+    for (std::uint64_t j = 0; j < k; ++j) {
+      c *= static_cast<double>(8 - j) / static_cast<double>(j + 1);
+    }
+    pmf[k] = c * std::pow(p1, static_cast<double>(k)) *
+             std::pow(1 - p1, static_cast<double>(8 - k));
+  }
+
+  ExactEngine exact;
+  AggregateEngine aggregate;
+  const auto hist_exact = histogram(exact, 100);
+  const auto hist_aggregate = histogram(aggregate, 200);
+  EXPECT_LT(chi_square_statistic(hist_exact, pmf), chi_square_critical_999(8));
+  EXPECT_LT(chi_square_statistic(hist_aggregate, pmf),
+            chi_square_critical_999(8));
+}
+
+}  // namespace
+}  // namespace noisypull

@@ -1,0 +1,249 @@
+// Randomized invariant fuzzing: every protocol is fed adversarially random
+// observation streams (arbitrary counts, arbitrary rounds) and must keep its
+// structural invariants — valid outputs, bounded memories, schedule-locked
+// state transitions — regardless of what the "network" delivers.  These
+// complement the distribution-level tests: they hold for *every* input, not
+// just model-generated ones.
+#include <gtest/gtest.h>
+
+#include "noisypull/noisypull.hpp"
+
+namespace noisypull {
+namespace {
+
+PopulationConfig pop(std::uint64_t n, std::uint64_t s1, std::uint64_t s0) {
+  return PopulationConfig{.n = n, .s1 = s1, .s0 = s0};
+}
+
+SymbolCounts random_obs(Rng& rng, std::size_t alphabet,
+                        std::uint64_t max_total) {
+  SymbolCounts obs(alphabet);
+  const std::uint64_t total = rng.next_below(max_total + 1);
+  for (std::uint64_t i = 0; i < total; ++i) {
+    ++obs[rng.next_below(alphabet)];
+  }
+  return obs;
+}
+
+TEST(FuzzInvariants, SourceFilterStateStaysConsistent) {
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto p = pop(20 + rng.next_below(30), 1 + rng.next_below(3),
+                       rng.next_below(2));
+    const std::uint64_t h = 1 + rng.next_below(8);
+    const auto sched =
+        make_sf_schedule_with_m(p, h, 0.1, 1 + rng.next_below(40));
+    SourceFilter sf(p, sched);
+
+    std::uint64_t prev_c1 = 0, prev_c0 = 0;
+    const std::uint64_t agent = rng.next_below(p.n);
+    for (std::uint64_t t = 0; t < sched.total_rounds() + 10; ++t) {
+      const Symbol d = sf.display(agent, t);
+      ASSERT_LT(d, 2u);  // displays always within the alphabet
+      sf.update(agent, t, random_obs(rng, 2, 3 * h), rng);
+      ASSERT_LE(sf.opinion(agent), 1u);
+      ASSERT_LE(sf.weak_opinion(agent), 1u);
+      // Listening counters are monotone and only move in their own phase.
+      const std::uint64_t c1 = sf.counter1(agent), c0 = sf.counter0(agent);
+      ASSERT_GE(c1, prev_c1);
+      ASSERT_GE(c0, prev_c0);
+      if (t < sched.phase_rounds) {
+        ASSERT_EQ(c0, 0u);  // Counter0 untouched during Phase 0
+      }
+      if (t >= sched.boosting_start()) {
+        ASSERT_EQ(c1, prev_c1);  // counters frozen after listening
+        ASSERT_EQ(c0, prev_c0);
+      }
+      prev_c1 = c1;
+      prev_c0 = c0;
+    }
+  }
+}
+
+TEST(FuzzInvariants, SourceFilterSourceDisplaysNeverWaver) {
+  // During the listening stage a source's display is its preference no
+  // matter what it observes.
+  Rng rng(2);
+  const auto p = pop(30, 2, 1);
+  const auto sched = make_sf_schedule_with_m(p, 2, 0.2, 20);
+  SourceFilter sf(p, sched);
+  for (std::uint64_t t = 0; t < sched.boosting_start(); ++t) {
+    for (std::uint64_t src = 0; src < p.num_sources(); ++src) {
+      ASSERT_EQ(sf.display(src, t), p.source_preference(src));
+      sf.update(src, t, random_obs(rng, 2, 8), rng);
+    }
+  }
+}
+
+TEST(FuzzInvariants, SsfMemoryNeverExceedsBudgetPlusDelivery) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto p = pop(10 + rng.next_below(20), 1, 0);
+    const std::uint64_t m = 1 + rng.next_below(50);
+    auto ssf = SelfStabilizingSourceFilter::with_memory_budget(
+        p, 1 + rng.next_below(4), m);
+    const std::uint64_t agent = rng.next_below(p.n);
+    const std::uint64_t max_batch = 10;
+    for (std::uint64_t t = 0; t < 200; ++t) {
+      ssf.update(agent, t, random_obs(rng, 4, max_batch), rng);
+      // After an update the memory is either still filling (< m) or was
+      // just flushed (0); it can never sit at ≥ m.
+      ASSERT_LT(ssf.memory(agent).total(), m);
+      ASSERT_LE(ssf.opinion(agent), 1u);
+      ASSERT_LE(ssf.weak_opinion(agent), 1u);
+      ASSERT_LT(ssf.display(agent, t), 4u);
+    }
+  }
+}
+
+TEST(FuzzInvariants, SsfCorruptThenRunNeverBreaks) {
+  // Arbitrary corrupt() payloads (including absurd counts) followed by
+  // arbitrary deliveries keep the state machine healthy.
+  Rng rng(4);
+  const auto p = pop(25, 2, 1);
+  auto ssf = SelfStabilizingSourceFilter::with_memory_budget(p, 2, 30);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::uint64_t agent = rng.next_below(p.n);
+    SymbolCounts mem(4);
+    for (int s = 0; s < 4; ++s) mem[s] = rng.next_below(1000000);
+    ssf.corrupt(agent, mem, rng.next_below(2) & 1, rng.next_below(2) & 1);
+    ssf.update(agent, trial, random_obs(rng, 4, 10), rng);
+    ASSERT_LT(ssf.memory(agent).total(), 30u + 1000000u * 4);
+    ASSERT_LE(ssf.opinion(agent), 1u);
+  }
+}
+
+TEST(FuzzInvariants, KaryOutputsStayInOpinionSet) {
+  Rng rng(5);
+  for (int trial = 0; trial < 15; ++trial) {
+    const std::size_t k = 2 + rng.next_below(5);
+    std::vector<std::uint64_t> sources(k, 0);
+    sources[rng.next_below(k)] = 1 + rng.next_below(3);
+    KaryPopulation p{.n = 30 + rng.next_below(30), .sources = sources};
+    KarySourceFilter ksf(p, 1 + rng.next_below(5), 0.5 / static_cast<double>(k));
+    const std::uint64_t agent = rng.next_below(p.n);
+    for (std::uint64_t t = 0; t < ksf.planned_rounds() + 5; ++t) {
+      ASSERT_LT(ksf.display(agent, t), k);
+      ksf.update(agent, t, random_obs(rng, k, 12), rng);
+      ASSERT_LT(ksf.opinion(agent), k);
+      ASSERT_LT(ksf.weak_opinion(agent), k);
+      for (std::size_t o = 0; o < k; ++o) {
+        (void)ksf.score(agent, static_cast<Opinion>(o));  // must not throw
+      }
+    }
+  }
+}
+
+TEST(FuzzInvariants, KaryScoresFrozenAfterListening) {
+  Rng rng(6);
+  KaryPopulation p{.n = 40, .sources = {0, 2, 1}};
+  KarySourceFilter ksf(p, 3, 0.05);
+  const std::uint64_t agent = 20;
+  for (std::uint64_t t = 0; t < ksf.listening_rounds(); ++t) {
+    ksf.update(agent, t, random_obs(rng, 3, 9), rng);
+  }
+  std::array<std::uint64_t, 3> frozen{};
+  for (std::size_t o = 0; o < 3; ++o) frozen[o] = ksf.score(agent, o);
+  for (std::uint64_t t = ksf.listening_rounds();
+       t < ksf.planned_rounds() + 5; ++t) {
+    ksf.update(agent, t, random_obs(rng, 3, 9), rng);
+    for (std::size_t o = 0; o < 3; ++o) {
+      ASSERT_EQ(ksf.score(agent, o), frozen[o]);
+    }
+  }
+}
+
+TEST(FuzzInvariants, PushSpreadSilentAgentsStaySilentWithoutContact) {
+  Rng rng(7);
+  const auto p = pop(40, 1, 0);
+  PushSpread ps(p, 2, 0.1);
+  SymbolCounts empty(2);
+  for (std::uint64_t t = 0; t < ps.planned_rounds(); ++t) {
+    for (std::uint64_t i = p.num_sources(); i < p.n; ++i) {
+      ps.deliver(i, t, empty, rng);
+      ASSERT_FALSE(ps.sends(i, t + 1));
+    }
+  }
+  ASSERT_EQ(ps.active_count(), p.num_sources());
+}
+
+TEST(FuzzInvariants, PushSpreadActivationIsMonotone) {
+  Rng rng(8);
+  const auto p = pop(40, 1, 0);
+  PushSpread ps(p, 2, 0.1);
+  std::uint64_t prev_active = ps.active_count();
+  for (std::uint64_t t = 0; t < 60; ++t) {
+    for (std::uint64_t i = 0; i < p.n; ++i) {
+      ps.deliver(i, t, random_obs(rng, 2, 3), rng);
+      ASSERT_LE(ps.opinion(i), 1u);
+    }
+    const std::uint64_t active = ps.active_count();
+    ASSERT_GE(active, prev_active);  // activation never reverts
+    prev_active = active;
+  }
+}
+
+TEST(FuzzInvariants, BaselinesOutputValidOpinionsUnderGarbageStreams) {
+  Rng rng(9);
+  const auto p = pop(30, 2, 1);
+  Rng init(10);
+  VoterProtocol voter(p, init);
+  MajorityDynamics majority(p, init);
+  RepeatedMajority repeated(p, 7, init);
+  TaglessSsf tagless(p, 2, 9);
+  for (std::uint64_t t = 0; t < 100; ++t) {
+    const std::uint64_t agent = rng.next_below(p.n);
+    const auto obs = random_obs(rng, 2, 15);
+    if (obs.total() > 0) voter.update(agent, t, obs, rng);
+    majority.update(agent, t, obs, rng);
+    repeated.update(agent, t, obs, rng);
+    tagless.update(agent, t, obs, rng);
+    ASSERT_LE(voter.opinion(agent), 1u);
+    ASSERT_LE(majority.opinion(agent), 1u);
+    ASSERT_LE(repeated.opinion(agent), 1u);
+    ASSERT_LE(tagless.opinion(agent), 1u);
+    // Zealots never move, no matter the stream.
+    ASSERT_EQ(voter.opinion(0), 1u);
+    ASSERT_EQ(majority.opinion(0), 1u);
+    ASSERT_EQ(repeated.opinion(0), 1u);
+  }
+}
+
+TEST(FuzzInvariants, EnginesAcceptAnyDisplayChurn) {
+  // A protocol that re-randomizes its displays every update: engines must
+  // keep their internal histograms consistent (the SequentialEngine
+  // maintains its incrementally).
+  class Chaotic : public PullProtocol {
+   public:
+    explicit Chaotic(std::uint64_t n) : values_(n, 0) {}
+    std::size_t alphabet_size() const override { return 2; }
+    std::uint64_t num_agents() const override { return values_.size(); }
+    Symbol display(std::uint64_t agent, std::uint64_t) const override {
+      return values_[agent];
+    }
+    void update(std::uint64_t agent, std::uint64_t, const SymbolCounts&,
+                Rng& rng) override {
+      values_[agent] = rng.next_bool() ? 1 : 0;
+    }
+    Opinion opinion(std::uint64_t agent) const override {
+      return values_[agent];
+    }
+    std::vector<Symbol> values_;
+  };
+
+  const auto noise = NoiseMatrix::uniform(2, 0.3);
+  for (int kind = 0; kind < 3; ++kind) {
+    Chaotic protocol(50);
+    std::unique_ptr<Engine> engine;
+    if (kind == 0) engine = std::make_unique<ExactEngine>();
+    if (kind == 1) engine = std::make_unique<AggregateEngine>();
+    if (kind == 2) engine = std::make_unique<SequentialEngine>();
+    Rng rng(11 + kind);
+    for (std::uint64_t t = 0; t < 50; ++t) {
+      ASSERT_NO_THROW(engine->step(protocol, noise, 5, t, rng));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace noisypull

@@ -1,0 +1,179 @@
+#include "noisypull/core/kary.hpp"
+
+#include <gtest/gtest.h>
+
+#include "noisypull/model/engine.hpp"
+#include "noisypull/sim/runner.hpp"
+
+namespace noisypull {
+namespace {
+
+KaryPopulation kpop(std::uint64_t n, std::vector<std::uint64_t> sources) {
+  return KaryPopulation{.n = n, .sources = std::move(sources)};
+}
+
+SymbolCounts obs(std::initializer_list<std::uint64_t> counts) {
+  SymbolCounts c(counts.size());
+  std::size_t i = 0;
+  for (auto v : counts) c[i++] = v;
+  return c;
+}
+
+TEST(KaryPopulation, Accessors) {
+  const auto p = kpop(100, {2, 5, 1});
+  EXPECT_EQ(p.num_opinions(), 3u);
+  EXPECT_EQ(p.num_sources(), 8u);
+  EXPECT_EQ(p.plurality_opinion(), 1);
+  EXPECT_EQ(p.bias(), 3u);  // 5 − 2
+  EXPECT_TRUE(p.is_source(7));
+  EXPECT_FALSE(p.is_source(8));
+  // Grouped layout: agents 0–1 prefer 0, 2–6 prefer 1, 7 prefers 2.
+  EXPECT_EQ(p.source_preference(0), 0);
+  EXPECT_EQ(p.source_preference(1), 0);
+  EXPECT_EQ(p.source_preference(2), 1);
+  EXPECT_EQ(p.source_preference(6), 1);
+  EXPECT_EQ(p.source_preference(7), 2);
+  EXPECT_THROW(p.source_preference(8), std::invalid_argument);
+}
+
+TEST(KaryPopulation, Validation) {
+  EXPECT_THROW(kpop(100, {1}).validate(), std::invalid_argument);
+  EXPECT_THROW(kpop(100, {0, 0}).validate(), std::invalid_argument);
+  EXPECT_THROW(kpop(2, {2, 3}).validate(), std::invalid_argument);
+  EXPECT_THROW(kpop(100, {2, 2}).plurality_opinion(), std::invalid_argument);
+  EXPECT_EQ(kpop(100, {2, 2}).bias(), 0u);
+}
+
+TEST(KarySourceFilter, ListeningDisplaysCoverSymbols) {
+  const auto p = kpop(60, {0, 1, 0});
+  KarySourceFilter ksf(p, 4, 0.05);
+  const std::uint64_t pr = ksf.phase_rounds();
+  // Source (agent 0, preference 1) always shows its preference.
+  EXPECT_EQ(ksf.display(0, 0), 1);
+  EXPECT_EQ(ksf.display(0, pr), 1);
+  EXPECT_EQ(ksf.display(0, 2 * pr), 1);
+  // Non-sources show the cover symbol of the current phase.
+  EXPECT_EQ(ksf.display(30, 0), 0);
+  EXPECT_EQ(ksf.display(30, pr), 1);
+  EXPECT_EQ(ksf.display(30, 2 * pr), 2);
+}
+
+TEST(KarySourceFilter, ScoresExcludeTheCoverSymbol) {
+  const auto p = kpop(60, {0, 1, 0});
+  KarySourceFilter ksf(p, 1, 0.05);
+  Rng rng(1);
+  const std::uint64_t pr = ksf.phase_rounds();
+  // Phase 0 (cover 0): observing symbol 0 adds nothing; 1 and 2 count.
+  ksf.update(30, 0, obs({5, 3, 2}), rng);
+  EXPECT_EQ(ksf.score(30, 0), 0u);
+  EXPECT_EQ(ksf.score(30, 1), 3u);
+  EXPECT_EQ(ksf.score(30, 2), 2u);
+  // Phase 1 (cover 1): symbol 1 is excluded now.
+  ksf.update(30, pr, obs({1, 9, 1}), rng);
+  EXPECT_EQ(ksf.score(30, 0), 1u);
+  EXPECT_EQ(ksf.score(30, 1), 3u);
+  EXPECT_EQ(ksf.score(30, 2), 3u);
+}
+
+TEST(KarySourceFilter, WeakOpinionIsArgmaxAtListeningEnd) {
+  const auto p = kpop(60, {0, 1, 0});
+  KarySourceFilter ksf(p, 1, 0.05);
+  Rng rng(2);
+  const std::uint64_t end = ksf.listening_rounds();
+  for (std::uint64_t t = 0; t < end; ++t) {
+    // Symbol 2 dominates in every phase where it counts.
+    ksf.update(30, t, obs({1, 1, 3}), rng);
+  }
+  EXPECT_EQ(ksf.weak_opinion(30), 2);
+  EXPECT_EQ(ksf.opinion(30), 2);
+}
+
+TEST(KarySourceFilter, BoostingAdoptsSubphasePlurality) {
+  const auto p = kpop(60, {0, 1, 0});
+  KarySourceFilter ksf(p, 60, 0.05);  // h = n → sub-phase length 1 round
+  Rng rng(3);
+  const std::uint64_t end = ksf.listening_rounds();
+  for (std::uint64_t t = 0; t < end; ++t) {
+    ksf.update(30, t, obs({0, 0, 3}), rng);
+  }
+  ASSERT_EQ(ksf.opinion(30), 2);
+  // One full sub-phase of 0-dominant observations flips the opinion.
+  std::uint64_t t = end;
+  bool flipped = false;
+  for (int i = 0; i < 50 && !flipped; ++i, ++t) {
+    ksf.update(30, t, obs({40, 10, 10}), rng);
+    flipped = ksf.opinion(30) == 0;
+  }
+  EXPECT_TRUE(flipped);
+}
+
+TEST(KarySourceFilter, Validation) {
+  const auto p = kpop(60, {0, 1, 0});
+  EXPECT_THROW(KarySourceFilter(p, 0, 0.05), std::invalid_argument);
+  EXPECT_THROW(KarySourceFilter(p, 1, 1.0 / 3.0), std::invalid_argument);
+  EXPECT_THROW(KarySourceFilter(kpop(60, {1, 1, 0}), 1, 0.05),
+               std::invalid_argument);  // tied plurality
+  KarySourceFilter ksf(p, 1, 0.05);
+  Rng rng(4);
+  EXPECT_THROW(ksf.update(60, 0, obs({1, 0, 0}), rng),
+               std::invalid_argument);
+  SymbolCounts wrong(2);
+  EXPECT_THROW(ksf.update(0, 0, wrong, rng), std::invalid_argument);
+  EXPECT_THROW(ksf.score(0, 3), std::invalid_argument);
+}
+
+TEST(KarySourceFilter, BinaryCaseConverges) {
+  const auto p = kpop(400, {0, 1});
+  const double delta = 0.15;
+  KarySourceFilter ksf(p, 400, delta);
+  AggregateEngine engine;
+  Rng rng(5);
+  const auto result = run(ksf, engine, NoiseMatrix::uniform(2, delta),
+                          p.plurality_opinion(), RunConfig{.h = 400}, rng);
+  EXPECT_TRUE(result.all_correct_at_end);
+}
+
+TEST(KarySourceFilter, ThreeOpinionsSingleSource) {
+  const auto p = kpop(500, {0, 0, 1});
+  const double delta = 0.08;
+  KarySourceFilter ksf(p, 500, delta);
+  AggregateEngine engine;
+  Rng rng(6);
+  const auto result = run(ksf, engine, NoiseMatrix::uniform(3, delta),
+                          p.plurality_opinion(), RunConfig{.h = 500}, rng);
+  EXPECT_TRUE(result.all_correct_at_end);
+}
+
+TEST(KarySourceFilter, FourOpinionsConflictingSources) {
+  // 3 vs 2 vs 2 vs 1 sources: plurality (opinion 0) must win and the
+  // outvoted sources must adopt it.
+  const auto p = kpop(600, {3, 2, 2, 1});
+  const double delta = 0.05;
+  KarySourceFilter ksf(p, 600, delta);
+  AggregateEngine engine;
+  Rng rng(7);
+  const auto result = run(ksf, engine, NoiseMatrix::uniform(4, delta),
+                          p.plurality_opinion(), RunConfig{.h = 600}, rng);
+  EXPECT_TRUE(result.all_correct_at_end);
+  EXPECT_EQ(ksf.opinion(7), 0);  // the lone opinion-3 source converged too
+}
+
+TEST(KarySourceFilter, PluralityBiasOneAcrossReps) {
+  const auto p = kpop(500, {2, 1, 1});
+  const double delta = 0.05;
+  int ok = 0;
+  for (int rep = 0; rep < 5; ++rep) {
+    KarySourceFilter ksf(p, 500, delta);
+    AggregateEngine engine;
+    Rng rng(800 + rep);
+    ok += run(ksf, engine, NoiseMatrix::uniform(3, delta),
+              p.plurality_opinion(), RunConfig{.h = 500}, rng)
+              .all_correct_at_end
+              ? 1
+              : 0;
+  }
+  EXPECT_GE(ok, 4);
+}
+
+}  // namespace
+}  // namespace noisypull

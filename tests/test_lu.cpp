@@ -1,0 +1,92 @@
+#include "noisypull/linalg/lu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace noisypull {
+namespace {
+
+TEST(Lu, SolvesKnownSystem) {
+  // [2 1; 1 3] x = [3; 5]  →  x = [0.8, 1.4]
+  const Matrix a{2, 1, 1, 3};
+  const auto d = lu_decompose(a);
+  ASSERT_TRUE(d.has_value());
+  const std::array<double, 2> b = {3, 5};
+  const auto x = d->solve(b);
+  EXPECT_NEAR(x[0], 0.8, 1e-12);
+  EXPECT_NEAR(x[1], 1.4, 1e-12);
+}
+
+TEST(Lu, SolveChecksRhsSize) {
+  const auto d = lu_decompose(Matrix::identity(2));
+  ASSERT_TRUE(d.has_value());
+  const std::array<double, 3> bad = {1, 2, 3};
+  EXPECT_THROW(d->solve(bad), std::invalid_argument);
+}
+
+TEST(Lu, Determinant) {
+  const Matrix a{2, 1, 1, 3};
+  const auto d = lu_decompose(a);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_NEAR(d->determinant(), 5.0, 1e-12);
+
+  // A permutation-heavy matrix with a negative determinant.
+  const Matrix p{0, 1, 1, 0};
+  const auto dp = lu_decompose(p);
+  ASSERT_TRUE(dp.has_value());
+  EXPECT_NEAR(dp->determinant(), -1.0, 1e-12);
+}
+
+TEST(Lu, DetectsSingularMatrix) {
+  const Matrix singular{1, 2, 2, 4};
+  EXPECT_FALSE(lu_decompose(singular).has_value());
+  EXPECT_FALSE(invert(singular).has_value());
+}
+
+TEST(Lu, RequiresSquare) {
+  Matrix rect(2, 3);
+  EXPECT_THROW(lu_decompose(rect), std::invalid_argument);
+}
+
+TEST(Invert, IdentityIsItsOwnInverse) {
+  const auto inv = invert(Matrix::identity(4));
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_LT(inv->max_abs_diff(Matrix::identity(4)), 1e-12);
+}
+
+TEST(Invert, Known2x2) {
+  const Matrix a{4, 7, 2, 6};
+  const auto inv = invert(a);
+  ASSERT_TRUE(inv.has_value());
+  const Matrix want{0.6, -0.7, -0.2, 0.4};
+  EXPECT_LT(inv->max_abs_diff(want), 1e-12);
+}
+
+TEST(Invert, ProductWithInverseIsIdentity3x3) {
+  const Matrix a{2, -1, 0, -1, 2, -1, 0, -1, 2};
+  const auto inv = invert(a);
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_LT((a * *inv).max_abs_diff(Matrix::identity(3)), 1e-10);
+  EXPECT_LT((*inv * a).max_abs_diff(Matrix::identity(3)), 1e-10);
+}
+
+TEST(Invert, PivotingHandlesZeroLeadingEntry) {
+  const Matrix a{0, 1, 1, 0};
+  const auto inv = invert(a);
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_LT(inv->max_abs_diff(a), 1e-12);  // swap matrix is an involution
+}
+
+TEST(Invert, Claim12InverseOfWeaklyStochasticIsWeaklyStochastic) {
+  // Claim 12 of the paper: A weakly-stochastic and invertible ⇒ A⁻¹
+  // weakly-stochastic.
+  const Matrix a{0.8, 0.1, 0.1, 0.05, 0.9, 0.05, 0.2, 0.2, 0.6};
+  ASSERT_TRUE(a.is_stochastic());
+  const auto inv = invert(a);
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_TRUE(inv->is_weakly_stochastic(1e-9));
+}
+
+}  // namespace
+}  // namespace noisypull

@@ -1,0 +1,131 @@
+#include "noisypull/linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace noisypull {
+namespace {
+
+TEST(Matrix, ZeroInitialized) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_EQ(m(i, j), 0.0);
+  }
+  EXPECT_FALSE(m.is_square());
+}
+
+TEST(Matrix, InitializerListIsRowMajor) {
+  Matrix m{1, 2, 3, 4};
+  EXPECT_EQ(m(0, 0), 1.0);
+  EXPECT_EQ(m(0, 1), 2.0);
+  EXPECT_EQ(m(1, 0), 3.0);
+  EXPECT_EQ(m(1, 1), 4.0);
+  EXPECT_TRUE(m.is_square());
+}
+
+TEST(Matrix, InitializerListMustBePerfectSquare) {
+  EXPECT_THROW(Matrix({1, 2, 3}), std::invalid_argument);
+  EXPECT_THROW(Matrix(std::initializer_list<double>{}),
+               std::invalid_argument);
+}
+
+TEST(Matrix, ZeroDimensionsRejected) {
+  EXPECT_THROW(Matrix(0, 3), std::invalid_argument);
+  EXPECT_THROW(Matrix(3, 0), std::invalid_argument);
+}
+
+TEST(Matrix, Identity) {
+  const Matrix i3 = Matrix::identity(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(i3(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Matrix, CheckedAccessThrowsOutOfRange) {
+  Matrix m(2, 2);
+  EXPECT_NO_THROW(m.at(1, 1));
+  EXPECT_THROW(m.at(2, 0), std::invalid_argument);
+  EXPECT_THROW(m.at(0, 2), std::invalid_argument);
+}
+
+TEST(Matrix, Product) {
+  const Matrix a{1, 2, 3, 4};
+  const Matrix b{5, 6, 7, 8};
+  const Matrix c = a * b;
+  EXPECT_EQ(c(0, 0), 19.0);
+  EXPECT_EQ(c(0, 1), 22.0);
+  EXPECT_EQ(c(1, 0), 43.0);
+  EXPECT_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, ProductWithIdentityIsNoop) {
+  const Matrix a{1, 2, 3, 4};
+  EXPECT_EQ((a * Matrix::identity(2)).max_abs_diff(a), 0.0);
+  EXPECT_EQ((Matrix::identity(2) * a).max_abs_diff(a), 0.0);
+}
+
+TEST(Matrix, ProductShapeMismatchThrows) {
+  Matrix a(2, 3), b(2, 3);
+  EXPECT_THROW(a * b, std::invalid_argument);
+}
+
+TEST(Matrix, SumAndDifference) {
+  const Matrix a{1, 2, 3, 4};
+  const Matrix b{4, 3, 2, 1};
+  const Matrix s = a + b;
+  const Matrix d = a - b;
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      EXPECT_EQ(s(i, j), 5.0);
+      EXPECT_EQ(d(i, j), a(i, j) - b(i, j));
+    }
+  }
+}
+
+TEST(Matrix, ScalarProduct) {
+  const Matrix a{1, 2, 3, 4};
+  const Matrix b = a * 2.0;
+  EXPECT_EQ(b(1, 1), 8.0);
+}
+
+TEST(Matrix, InfNormIsMaxAbsoluteRowSum) {
+  const Matrix a{1, -2, -3, 0.5};
+  EXPECT_DOUBLE_EQ(a.inf_norm(), 3.5);
+}
+
+TEST(Matrix, MaxAbsDiff) {
+  const Matrix a{1, 2, 3, 4};
+  const Matrix b{1, 2.5, 3, 3};
+  EXPECT_DOUBLE_EQ(a.max_abs_diff(b), 1.0);
+  Matrix c(3, 3);
+  EXPECT_THROW(a.max_abs_diff(c), std::invalid_argument);
+}
+
+TEST(Matrix, StochasticityPredicates) {
+  const Matrix stochastic{0.25, 0.75, 0.5, 0.5};
+  EXPECT_TRUE(stochastic.is_weakly_stochastic());
+  EXPECT_TRUE(stochastic.is_stochastic());
+
+  // Weakly stochastic (rows sum to 1) but with a negative entry.
+  const Matrix weakly{1.5, -0.5, 0.25, 0.75};
+  EXPECT_TRUE(weakly.is_weakly_stochastic());
+  EXPECT_FALSE(weakly.is_stochastic());
+
+  const Matrix neither{1, 1, 1, 1};
+  EXPECT_FALSE(neither.is_weakly_stochastic());
+  EXPECT_FALSE(neither.is_stochastic());
+}
+
+TEST(Matrix, Claim11ProductOfStochasticIsStochastic) {
+  // If A and B are (weakly) stochastic then so is A·B — used implicitly
+  // throughout Section 4.
+  const Matrix a{0.9, 0.1, 0.3, 0.7};
+  const Matrix b{0.6, 0.4, 0.2, 0.8};
+  EXPECT_TRUE((a * b).is_stochastic());
+}
+
+}  // namespace
+}  // namespace noisypull

@@ -1,0 +1,119 @@
+#include "noisypull/noise/noise_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "noisypull/analysis/stats.hpp"
+
+namespace noisypull {
+namespace {
+
+TEST(NoiseMatrix, UniformConstruction) {
+  const auto n = NoiseMatrix::uniform(3, 0.1);
+  EXPECT_EQ(n.alphabet_size(), 3u);
+  for (Symbol i = 0; i < 3; ++i) {
+    for (Symbol j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(n(i, j), i == j ? 0.8 : 0.1);
+    }
+  }
+  EXPECT_TRUE(n.matrix().is_stochastic());
+}
+
+TEST(NoiseMatrix, NoiselessIsIdentity) {
+  const auto n = NoiseMatrix::noiseless(4);
+  EXPECT_LT(n.matrix().max_abs_diff(Matrix::identity(4)), 1e-15);
+}
+
+TEST(NoiseMatrix, UniformValidation) {
+  EXPECT_THROW(NoiseMatrix::uniform(1, 0.1), std::invalid_argument);
+  EXPECT_THROW(NoiseMatrix::uniform(2, -0.1), std::invalid_argument);
+  EXPECT_THROW(NoiseMatrix::uniform(2, 0.6), std::invalid_argument);
+  // δ = 1/d is the degenerate uniform channel and is allowed.
+  EXPECT_NO_THROW(NoiseMatrix::uniform(2, 0.5));
+}
+
+TEST(NoiseMatrix, RejectsNonStochastic) {
+  EXPECT_THROW(NoiseMatrix(Matrix{0.5, 0.4, 0.5, 0.5}),
+               std::invalid_argument);
+  EXPECT_THROW(NoiseMatrix(Matrix{1.5, -0.5, 0.5, 0.5}),
+               std::invalid_argument);
+}
+
+TEST(NoiseMatrix, RejectsTinyOrHugeAlphabets) {
+  EXPECT_THROW(NoiseMatrix(Matrix{1.0}), std::invalid_argument);
+  Matrix big(9, 9);
+  for (std::size_t i = 0; i < 9; ++i) big(i, i) = 1.0;
+  EXPECT_THROW(NoiseMatrix(std::move(big)), std::invalid_argument);
+}
+
+TEST(NoiseMatrix, Definition1PredicatesOnUniform) {
+  const double delta = 0.15;
+  const auto n = NoiseMatrix::uniform(2, delta);
+  EXPECT_TRUE(n.is_uniform(delta));
+  EXPECT_TRUE(n.is_upper_bounded(delta));
+  EXPECT_TRUE(n.is_lower_bounded(delta));
+  EXPECT_FALSE(n.is_uniform(delta + 0.01));
+  EXPECT_TRUE(n.is_upper_bounded(delta + 0.01));   // looser bound still holds
+  EXPECT_FALSE(n.is_upper_bounded(delta - 0.01));  // tighter bound fails
+  EXPECT_TRUE(n.is_lower_bounded(delta - 0.01));
+  EXPECT_FALSE(n.is_lower_bounded(delta + 0.01));
+}
+
+TEST(NoiseMatrix, TightestBoundsOnUniform) {
+  const auto n = NoiseMatrix::uniform(4, 0.05);
+  EXPECT_NEAR(n.tightest_upper_bound(), 0.05, 1e-12);
+  EXPECT_NEAR(n.tightest_lower_bound(), 0.05, 1e-12);
+}
+
+TEST(NoiseMatrix, TightestUpperBoundUsesDiagonalDeficit) {
+  // Off-diagonals small, but a weak diagonal forces a larger δ via
+  // (1 − diag)/(d−1).
+  const Matrix m{0.7, 0.2, 0.1,   //
+                 0.05, 0.9, 0.05,  //
+                 0.1, 0.1, 0.8};
+  const NoiseMatrix n(m);
+  // Row 0: (1 − 0.7)/2 = 0.15, off-diag max = 0.2 → tightest = 0.2.
+  EXPECT_NEAR(n.tightest_upper_bound(), 0.2, 1e-12);
+  EXPECT_TRUE(n.is_upper_bounded(n.tightest_upper_bound()));
+}
+
+TEST(NoiseMatrix, RandomUpperBoundedSatisfiesDefinition) {
+  Rng rng(17);
+  for (std::size_t d : {2u, 3u, 4u, 6u}) {
+    const double delta = 0.8 / static_cast<double>(d);
+    for (int i = 0; i < 20; ++i) {
+      const auto n = NoiseMatrix::random_upper_bounded(d, delta, rng);
+      EXPECT_TRUE(n.matrix().is_stochastic());
+      EXPECT_TRUE(n.is_upper_bounded(delta));
+      EXPECT_LE(n.tightest_upper_bound(), delta + 1e-12);
+    }
+  }
+}
+
+TEST(NoiseMatrix, CorruptMatchesRowDistribution) {
+  const auto n = NoiseMatrix::uniform(4, 0.1);
+  Rng rng(23);
+  std::array<std::uint64_t, 4> counts{};
+  const int kDraws = 120000;
+  for (int i = 0; i < kDraws; ++i) ++counts[n.corrupt(2, rng)];
+  const std::array<double, 4> probs = {0.1, 0.1, 0.7, 0.1};
+  EXPECT_LT(chi_square_statistic(counts, probs), chi_square_critical_999(3));
+}
+
+TEST(NoiseMatrix, CorruptRejectsOutOfAlphabetSymbol) {
+  const auto n = NoiseMatrix::uniform(2, 0.1);
+  Rng rng(1);
+  EXPECT_THROW(n.corrupt(2, rng), std::invalid_argument);
+}
+
+TEST(NoiseMatrix, NoiselessCorruptIsIdentity) {
+  const auto n = NoiseMatrix::noiseless(3);
+  Rng rng(2);
+  for (Symbol s = 0; s < 3; ++s) {
+    for (int i = 0; i < 50; ++i) EXPECT_EQ(n.corrupt(s, rng), s);
+  }
+}
+
+}  // namespace
+}  // namespace noisypull

@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "noisypull/analysis/stats.hpp"
+#include "noisypull/push/push_engine.hpp"
+#include "noisypull/push/push_spread.hpp"
+#include "noisypull/sim/runner.hpp"
+
+namespace noisypull {
+namespace {
+
+PopulationConfig pop(std::uint64_t n, std::uint64_t s1, std::uint64_t s0) {
+  return PopulationConfig{.n = n, .s1 = s1, .s0 = s0};
+}
+
+// Test protocol: a fixed subset of agents push a fixed symbol; deliveries
+// are recorded.
+class StaticPushProtocol : public PushProtocol {
+ public:
+  StaticPushProtocol(std::uint64_t n, std::vector<std::uint64_t> senders,
+                     std::vector<Symbol> messages, std::size_t alphabet = 2)
+      : n_(n),
+        senders_(std::move(senders)),
+        messages_(std::move(messages)),
+        alphabet_(alphabet),
+        inbox_(n, SymbolCounts(alphabet)) {}
+
+  std::size_t alphabet_size() const override { return alphabet_; }
+  std::uint64_t num_agents() const override { return n_; }
+  bool sends(std::uint64_t agent, std::uint64_t) const override {
+    for (auto s : senders_) {
+      if (s == agent) return true;
+    }
+    return false;
+  }
+  Symbol message(std::uint64_t agent, std::uint64_t) const override {
+    for (std::size_t i = 0; i < senders_.size(); ++i) {
+      if (senders_[i] == agent) return messages_[i];
+    }
+    return 0;
+  }
+  void deliver(std::uint64_t agent, std::uint64_t, const SymbolCounts& rcv,
+               Rng&) override {
+    inbox_[agent] = rcv;
+  }
+  Opinion opinion(std::uint64_t) const override { return 0; }
+
+  std::uint64_t n_;
+  std::vector<std::uint64_t> senders_;
+  std::vector<Symbol> messages_;
+  std::size_t alphabet_;
+  std::vector<SymbolCounts> inbox_;
+};
+
+class PushEngineKind : public ::testing::TestWithParam<bool> {
+ protected:
+  std::unique_ptr<PushEngine> make_engine() const {
+    if (GetParam()) return std::make_unique<AggregatePushEngine>();
+    return std::make_unique<ExactPushEngine>();
+  }
+};
+
+TEST_P(PushEngineKind, TotalDeliveredEqualsSendersTimesH) {
+  StaticPushProtocol protocol(20, {0, 3, 7}, {1, 0, 1});
+  const auto noise = NoiseMatrix::uniform(2, 0.1);
+  auto engine = make_engine();
+  Rng rng(1);
+  for (std::uint64_t h : {1ULL, 4ULL, 32ULL}) {
+    engine->step(protocol, noise, h, 0, rng);
+    std::uint64_t total = 0;
+    for (const auto& inbox : protocol.inbox_) total += inbox.total();
+    EXPECT_EQ(total, 3 * h);
+  }
+}
+
+TEST_P(PushEngineKind, SilentRoundDeliversNothing) {
+  StaticPushProtocol protocol(10, {}, {});
+  const auto noise = NoiseMatrix::uniform(2, 0.1);
+  auto engine = make_engine();
+  Rng rng(2);
+  engine->step(protocol, noise, 5, 0, rng);
+  for (const auto& inbox : protocol.inbox_) EXPECT_EQ(inbox.total(), 0u);
+}
+
+TEST_P(PushEngineKind, SymbolDistributionMatchesChannel) {
+  // One sender pushes symbol 1 through δ = 0.2 noise: received symbols are
+  // 1 with probability 0.8.
+  StaticPushProtocol protocol(5, {0}, {1});
+  const auto noise = NoiseMatrix::uniform(2, 0.2);
+  auto engine = make_engine();
+  Rng rng(3);
+  std::array<std::uint64_t, 2> totals{};
+  for (int t = 0; t < 4000; ++t) {
+    engine->step(protocol, noise, 8, t, rng);
+    for (const auto& inbox : protocol.inbox_) {
+      totals[0] += inbox[0];
+      totals[1] += inbox[1];
+    }
+  }
+  const std::array<double, 2> probs = {0.2, 0.8};
+  EXPECT_LT(chi_square_statistic(totals, probs), chi_square_critical_999(1));
+}
+
+TEST_P(PushEngineKind, ReceiversAreUniform) {
+  StaticPushProtocol protocol(8, {0}, {1});
+  const auto noise = NoiseMatrix::noiseless(2);
+  auto engine = make_engine();
+  Rng rng(4);
+  std::array<std::uint64_t, 8> per_receiver{};
+  for (int t = 0; t < 8000; ++t) {
+    engine->step(protocol, noise, 4, t, rng);
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      per_receiver[i] += protocol.inbox_[i].total();
+    }
+  }
+  const std::array<double, 8> uniform = {0.125, 0.125, 0.125, 0.125,
+                                         0.125, 0.125, 0.125, 0.125};
+  EXPECT_LT(chi_square_statistic(per_receiver, uniform),
+            chi_square_critical_999(7));
+}
+
+TEST_P(PushEngineKind, RejectsBadParameters) {
+  StaticPushProtocol protocol(5, {0}, {1});
+  auto engine = make_engine();
+  Rng rng(5);
+  EXPECT_THROW(engine->step(protocol, NoiseMatrix::uniform(3, 0.1), 1, 0, rng),
+               std::invalid_argument);
+  EXPECT_THROW(engine->step(protocol, NoiseMatrix::uniform(2, 0.1), 0, 0, rng),
+               std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothEngines, PushEngineKind, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Aggregate" : "Exact";
+                         });
+
+TEST(PushEngines, PerReceiverCountDistributionsAgree) {
+  // With 3 senders × h = 4, a fixed receiver's delivery count follows
+  // Binomial(12, 1/6) under both engines.
+  const std::uint64_t kH = 4;
+  const auto noise = NoiseMatrix::noiseless(2);
+  auto histogram = [&](PushEngine& engine, std::uint64_t seed) {
+    StaticPushProtocol protocol(6, {0, 1, 2}, {1, 1, 1});
+    Rng rng(seed);
+    std::array<std::uint64_t, 13> hist{};
+    for (int t = 0; t < 20000; ++t) {
+      engine.step(protocol, noise, kH, t, rng);
+      ++hist[protocol.inbox_[5].total()];
+    }
+    return hist;
+  };
+  std::array<double, 13> pmf{};
+  for (std::uint64_t k = 0; k <= 12; ++k) {
+    double c = 1.0;
+    for (std::uint64_t j = 0; j < k; ++j) {
+      c *= static_cast<double>(12 - j) / static_cast<double>(j + 1);
+    }
+    pmf[k] = c * std::pow(1.0 / 6, static_cast<double>(k)) *
+             std::pow(5.0 / 6, static_cast<double>(12 - k));
+  }
+  ExactPushEngine exact;
+  AggregatePushEngine aggregate;
+  EXPECT_LT(chi_square_statistic(histogram(exact, 10), pmf),
+            chi_square_critical_999(12));
+  EXPECT_LT(chi_square_statistic(histogram(aggregate, 20), pmf),
+            chi_square_critical_999(12));
+}
+
+TEST(PushSpread, ConstructionAndParameters) {
+  const auto p = pop(1000, 1, 0);
+  PushSpread ps(p, 1, 0.1);
+  EXPECT_GE(ps.refresh_window(), 3u);
+  EXPECT_EQ(ps.refresh_window() % 2, 1u);  // odd majority window
+  EXPECT_GT(ps.growth_rounds(), 0u);
+  EXPECT_GT(ps.cleanup_rounds(), 0u);
+  EXPECT_EQ(ps.planned_rounds(), ps.growth_rounds() + ps.cleanup_rounds());
+  EXPECT_THROW(PushSpread(p, 0, 0.1), std::invalid_argument);
+  EXPECT_THROW(PushSpread(p, 1, 0.5), std::invalid_argument);
+  EXPECT_THROW(PushSpread(p, 1, 0.1, 0.0), std::invalid_argument);
+}
+
+TEST(PushSpread, OnlySourcesSendInitially) {
+  const auto p = pop(50, 2, 0);
+  PushSpread ps(p, 1, 0.1);
+  EXPECT_EQ(ps.active_count(), 2u);
+  EXPECT_TRUE(ps.sends(0, 0));
+  EXPECT_TRUE(ps.sends(1, 0));
+  EXPECT_FALSE(ps.sends(10, 0));
+  EXPECT_EQ(ps.message(0, 0), 1);
+}
+
+TEST(PushSpread, FirstContactActivates) {
+  const auto p = pop(50, 1, 0);
+  PushSpread ps(p, 1, 0.1);
+  Rng rng(6);
+  SymbolCounts one(2);
+  one[1] = 1;
+  ps.deliver(10, 0, one, rng);
+  EXPECT_TRUE(ps.sends(10, 1));
+  EXPECT_EQ(ps.message(10, 1), 1);  // copied the delivered bit
+  // Empty deliveries never activate.
+  SymbolCounts empty(2);
+  ps.deliver(11, 0, empty, rng);
+  EXPECT_FALSE(ps.sends(11, 1));
+}
+
+TEST(PushSpread, RefreshReestimatesByMajority) {
+  const auto p = pop(50, 1, 0);
+  PushSpread ps(p, 1, 0.0);
+  Rng rng(7);
+  SymbolCounts one(2);
+  one[1] = 1;
+  ps.deliver(10, 0, one, rng);
+  ASSERT_EQ(ps.message(10, 1), 1);
+  // Feed k_ zeros: the running tally majority flips the estimate.
+  SymbolCounts zeros(2);
+  zeros[0] = ps.refresh_window();
+  ps.deliver(10, 1, zeros, rng);
+  EXPECT_EQ(ps.message(10, 2), 0);
+}
+
+TEST(PushSpread, SpreadsWithSingleSourceLowNoise) {
+  const auto p = pop(1500, 1, 0);
+  const double delta = 0.1;
+  const auto noise = NoiseMatrix::uniform(2, delta);
+  int ok = 0;
+  for (int rep = 0; rep < 4; ++rep) {
+    PushSpread ps(p, 1, delta);
+    AggregatePushEngine engine;
+    Rng rng(100 + rep);
+    ok += run_push(ps, engine, noise, p.correct_opinion(),
+                   RunConfig{.h = 1}, rng)
+              .all_correct_at_end
+              ? 1
+              : 0;
+  }
+  EXPECT_GE(ok, 3);
+}
+
+TEST(PushSpread, SpreadsZeroAsWellAsOne) {
+  const auto p = pop(1500, 0, 1);  // single 0-source
+  const double delta = 0.1;
+  PushSpread ps(p, 1, delta);
+  AggregatePushEngine engine;
+  Rng rng(8);
+  const auto result = run_push(ps, engine, NoiseMatrix::uniform(2, delta),
+                               p.correct_opinion(), RunConfig{.h = 1}, rng);
+  EXPECT_TRUE(result.all_correct_at_end);
+}
+
+TEST(PushSpread, LargerFanoutShortensSchedule) {
+  const auto p = pop(4000, 1, 0);
+  PushSpread h1(p, 1, 0.1);
+  PushSpread h16(p, 16, 0.1);
+  EXPECT_LT(h16.planned_rounds(), h1.planned_rounds());
+}
+
+TEST(PushSpread, ExactEngineAgreesOnOutcome) {
+  const auto p = pop(600, 1, 0);
+  const double delta = 0.05;
+  PushSpread ps(p, 1, delta);
+  ExactPushEngine engine;
+  Rng rng(9);
+  const auto result = run_push(ps, engine, NoiseMatrix::uniform(2, delta),
+                               p.correct_opinion(), RunConfig{.h = 1}, rng);
+  EXPECT_TRUE(result.all_correct_at_end);
+}
+
+}  // namespace
+}  // namespace noisypull

@@ -1,0 +1,182 @@
+#include "noisypull/noise/reduction.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "noisypull/linalg/lu.hpp"
+#include "noisypull/model/engine.hpp"
+
+namespace noisypull {
+namespace {
+
+TEST(UniformNoiseLevel, ZeroMapsToZero) {
+  EXPECT_EQ(uniform_noise_level(2, 0.0), 0.0);
+  EXPECT_EQ(uniform_noise_level(5, 0.0), 0.0);
+}
+
+TEST(UniformNoiseLevel, ClosedFormForBinaryAlphabet) {
+  // For d = 2, f(δ) = (2 + ½·(1−2δ)/δ)⁻¹ = 2δ/(1+2δ).
+  for (double delta : {0.05, 0.1, 0.2, 0.3, 0.45}) {
+    EXPECT_NEAR(uniform_noise_level(2, delta), 2 * delta / (1 + 2 * delta),
+                1e-12);
+  }
+}
+
+TEST(UniformNoiseLevel, Claim15Bounds) {
+  // Claim 15: δ ≤ f(δ) < 1/d on [0, 1/d).
+  for (std::size_t d : {2u, 3u, 4u, 8u}) {
+    const double cap = 1.0 / static_cast<double>(d);
+    for (double frac : {0.01, 0.1, 0.5, 0.9, 0.99}) {
+      const double delta = frac * cap;
+      const double f = uniform_noise_level(d, delta);
+      EXPECT_GE(f, delta) << "d=" << d << " delta=" << delta;
+      EXPECT_LT(f, cap) << "d=" << d << " delta=" << delta;
+    }
+  }
+}
+
+TEST(UniformNoiseLevel, Claim15Monotone) {
+  for (std::size_t d : {2u, 4u}) {
+    const double cap = 1.0 / static_cast<double>(d);
+    double prev = -1.0;
+    for (int i = 0; i < 50; ++i) {
+      const double delta = cap * (static_cast<double>(i) / 50.0);
+      const double f = uniform_noise_level(d, delta);
+      EXPECT_GT(f, prev);
+      prev = f;
+    }
+  }
+}
+
+TEST(UniformNoiseLevel, DomainChecks) {
+  EXPECT_THROW(uniform_noise_level(1, 0.1), std::invalid_argument);
+  EXPECT_THROW(uniform_noise_level(2, -0.01), std::invalid_argument);
+  EXPECT_THROW(uniform_noise_level(2, 0.5), std::invalid_argument);  // = 1/d
+  EXPECT_THROW(uniform_noise_level(4, 0.25), std::invalid_argument);
+}
+
+TEST(ReduceToUniform, UniformInputIsAFixedPointUpToLevel) {
+  // A δ-uniform N reduced at level δ yields effective f(δ)-uniform noise.
+  const double delta = 0.1;
+  const auto n = NoiseMatrix::uniform(2, delta);
+  const auto red = reduce_to_uniform(n);
+  EXPECT_NEAR(red.delta_prime, uniform_noise_level(2, delta), 1e-9);
+  EXPECT_TRUE(red.artificial.is_stochastic(1e-9));
+  EXPECT_TRUE(red.effective.is_uniform(red.delta_prime, 1e-9));
+}
+
+TEST(ReduceToUniform, NoiselessChannelNeedsNoArtificialNoise) {
+  const auto n = NoiseMatrix::noiseless(3);
+  const auto red = reduce_to_uniform(n);
+  EXPECT_EQ(red.delta_prime, 0.0);
+  EXPECT_LT(red.artificial.max_abs_diff(Matrix::identity(3)), 1e-9);
+}
+
+TEST(ReduceToUniform, AsymmetricBinaryChannel) {
+  // Binary channel with unequal flip probabilities: δ-upper-bounded with
+  // δ = 0.2, and the reduction must equalize it.
+  const NoiseMatrix n(Matrix{0.9, 0.1, 0.2, 0.8});
+  const auto red = reduce_to_uniform(n);
+  EXPECT_NEAR(red.delta_prime, uniform_noise_level(2, 0.2), 1e-9);
+  EXPECT_TRUE(red.artificial.is_stochastic(1e-9));
+  EXPECT_TRUE(red.effective.is_uniform(red.delta_prime, 1e-9));
+  // Composition really is N·P.
+  EXPECT_LT((n.matrix() * red.artificial)
+                .max_abs_diff(red.effective.matrix()),
+            1e-12);
+}
+
+TEST(ReduceToUniform, ExplicitLooserLevel) {
+  // Reducing at a looser δ than the tightest one is allowed and yields the
+  // (larger) corresponding f(δ).
+  const auto n = NoiseMatrix::uniform(2, 0.1);
+  const auto red = reduce_to_uniform(n, 0.3);
+  EXPECT_NEAR(red.delta_prime, uniform_noise_level(2, 0.3), 1e-9);
+  EXPECT_TRUE(red.effective.is_uniform(red.delta_prime, 1e-9));
+}
+
+TEST(ReduceToUniform, RejectsTooTightLevel) {
+  const auto n = NoiseMatrix::uniform(2, 0.2);
+  EXPECT_THROW(reduce_to_uniform(n, 0.1), std::invalid_argument);
+}
+
+TEST(ReduceToUniform, RejectsLevelAtOrAboveOneOverD) {
+  const auto n = NoiseMatrix::uniform(2, 0.2);
+  EXPECT_THROW(reduce_to_uniform(n, 0.5), std::invalid_argument);
+}
+
+TEST(ReduceToUniform, RandomMatricesAcrossAlphabets) {
+  Rng rng(99);
+  for (std::size_t d : {2u, 3u, 4u, 5u}) {
+    const double delta = 0.7 / static_cast<double>(d);
+    for (int rep = 0; rep < 10; ++rep) {
+      const auto n = NoiseMatrix::random_upper_bounded(d, delta, rng);
+      const auto red = reduce_to_uniform(n, delta);
+      EXPECT_TRUE(red.artificial.is_stochastic(1e-8));
+      EXPECT_TRUE(red.effective.is_uniform(red.delta_prime, 1e-7));
+      EXPECT_NEAR(red.delta_prime, uniform_noise_level(d, delta), 1e-9);
+    }
+  }
+}
+
+TEST(ReduceToUniform, Definition6LiteralSimulationMatchesComposedChannel) {
+  // Theorem 8 end-to-end: an ExactEngine that literally re-corrupts every
+  // received message with P (Definition 6) must produce observations that
+  // follow the f(δ)-uniform law.  One agent displays 1, the rest display 0,
+  // under an asymmetric channel.
+  const NoiseMatrix raw(Matrix{0.9, 0.1, 0.25, 0.75});
+  const auto red = reduce_to_uniform(raw);
+
+  class Recorder : public PullProtocol {
+   public:
+    std::size_t alphabet_size() const override { return 2; }
+    std::uint64_t num_agents() const override { return 4; }
+    Symbol display(std::uint64_t agent, std::uint64_t) const override {
+      return agent == 0 ? 1 : 0;
+    }
+    void update(std::uint64_t, std::uint64_t, const SymbolCounts& obs,
+                Rng&) override {
+      ones += obs[1];
+      total += obs.total();
+    }
+    Opinion opinion(std::uint64_t) const override { return 0; }
+    std::uint64_t ones = 0, total = 0;
+  };
+
+  Recorder protocol;
+  ExactEngine engine;
+  engine.set_artificial_noise(red.artificial);
+  Rng rng(2718);
+  for (int t = 0; t < 4000; ++t) {
+    engine.step(protocol, raw, 8, t, rng);
+  }
+  // Under the composed δ'-uniform channel T: P(observe 1) =
+  // (1/4)·T(1,1) + (3/4)·T(0,1) = 1/4·(1−δ') + 3/4·δ'.
+  const double dp = red.delta_prime;
+  const double want = 0.25 * (1 - dp) + 0.75 * dp;
+  const double got =
+      static_cast<double>(protocol.ones) / static_cast<double>(protocol.total);
+  const double sigma =
+      std::sqrt(want * (1 - want) / static_cast<double>(protocol.total));
+  EXPECT_NEAR(got, want, 6 * sigma);
+}
+
+TEST(ReduceToUniform, Corollary14NormBoundHolds) {
+  // ‖N⁻¹‖∞ ≤ (d−1)/(1−dδ) for every δ-upper-bounded N.
+  Rng rng(123);
+  for (std::size_t d : {2u, 3u, 4u}) {
+    const double delta = 0.5 / static_cast<double>(d);
+    for (int rep = 0; rep < 25; ++rep) {
+      const auto n = NoiseMatrix::random_upper_bounded(d, delta, rng);
+      const auto inv = invert(n.matrix());
+      ASSERT_TRUE(inv.has_value());
+      const double bound = static_cast<double>(d - 1) /
+                           (1.0 - static_cast<double>(d) * delta);
+      EXPECT_LE(inv->inf_norm(), bound + 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace noisypull

@@ -1,0 +1,156 @@
+#include "noisypull/sim/repeat.hpp"
+
+#include <gtest/gtest.h>
+
+#include "noisypull/core/source_filter.hpp"
+
+namespace noisypull {
+namespace {
+
+PopulationConfig pop(std::uint64_t n, std::uint64_t s1, std::uint64_t s0) {
+  return PopulationConfig{.n = n, .s1 = s1, .s0 = s0};
+}
+
+ProtocolFactory sf_factory(const PopulationConfig& p, double delta) {
+  return [p, delta](Rng&) -> std::unique_ptr<PullProtocol> {
+    return std::make_unique<SourceFilter>(p, p.n, delta, 2.0);
+  };
+}
+
+TEST(Repeat, ProducesOneResultPerRepetition) {
+  const auto p = pop(100, 1, 0);
+  const auto noise = NoiseMatrix::uniform(2, 0.1);
+  const auto results =
+      run_repetitions(sf_factory(p, 0.1), noise, 1, RunConfig{.h = p.n},
+                      RepeatOptions{.repetitions = 5, .seed = 1});
+  EXPECT_EQ(results.size(), 5u);
+  for (const auto& r : results) EXPECT_GT(r.rounds_run, 0u);
+}
+
+TEST(Repeat, DeterministicForSameSeed) {
+  const auto p = pop(100, 1, 0);
+  const auto noise = NoiseMatrix::uniform(2, 0.1);
+  const RepeatOptions opts{.repetitions = 4, .seed = 33};
+  const auto a =
+      run_repetitions(sf_factory(p, 0.1), noise, 1, RunConfig{.h = p.n}, opts);
+  const auto b =
+      run_repetitions(sf_factory(p, 0.1), noise, 1, RunConfig{.h = p.n}, opts);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].correct_at_end, b[i].correct_at_end);
+    EXPECT_EQ(a[i].first_all_correct, b[i].first_all_correct);
+  }
+}
+
+TEST(Repeat, ThreadCountDoesNotChangeResults) {
+  const auto p = pop(100, 1, 0);
+  const auto noise = NoiseMatrix::uniform(2, 0.1);
+  RepeatOptions seq{.repetitions = 6, .seed = 44, .threads = 1};
+  RepeatOptions par{.repetitions = 6, .seed = 44, .threads = 4};
+  const auto a =
+      run_repetitions(sf_factory(p, 0.1), noise, 1, RunConfig{.h = p.n}, seq);
+  const auto b =
+      run_repetitions(sf_factory(p, 0.1), noise, 1, RunConfig{.h = p.n}, par);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].correct_at_end, b[i].correct_at_end);
+    EXPECT_EQ(a[i].first_all_correct, b[i].first_all_correct);
+  }
+}
+
+TEST(Repeat, RepetitionsAreIndependentAcrossSeeds) {
+  // Truncate the run right after the weak opinions are formed so
+  // correct_at_end is a high-entropy random count — different seeds must
+  // then disagree somewhere.
+  const auto p = pop(100, 1, 0);
+  const auto noise = NoiseMatrix::uniform(2, 0.3);
+  const SourceFilter ref(p, p.n, 0.3, 2.0);
+  const RunConfig cfg{.h = p.n,
+                      .max_rounds = ref.schedule().boosting_start()};
+  const auto a = run_repetitions(sf_factory(p, 0.3), noise, 1, cfg,
+                                 RepeatOptions{.repetitions = 4, .seed = 1});
+  const auto b = run_repetitions(sf_factory(p, 0.3), noise, 1, cfg,
+                                 RepeatOptions{.repetitions = 4, .seed = 2});
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].correct_at_end != b[i].correct_at_end ||
+        a[i].first_all_correct != b[i].first_all_correct) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Repeat, ExactEngineOptionRuns) {
+  const auto p = pop(60, 1, 0);
+  const auto noise = NoiseMatrix::uniform(2, 0.1);
+  const auto results = run_repetitions(
+      sf_factory(p, 0.1), noise, 1, RunConfig{.h = 4},
+      RepeatOptions{.repetitions = 2, .seed = 5, .use_aggregate_engine = false});
+  EXPECT_EQ(results.size(), 2u);
+}
+
+TEST(Repeat, FactoryExceptionsPropagateToTheCaller) {
+  const auto p = pop(50, 1, 0);
+  const auto noise = NoiseMatrix::uniform(2, 0.1);
+  const ProtocolFactory broken = [](Rng&) -> std::unique_ptr<PullProtocol> {
+    throw std::invalid_argument("factory failure");
+  };
+  for (unsigned threads : {1u, 4u}) {
+    EXPECT_THROW(
+        run_repetitions(broken, noise, 1, RunConfig{.h = p.n},
+                        RepeatOptions{.repetitions = 6,
+                                      .seed = 1,
+                                      .threads = threads}),
+        std::invalid_argument);
+  }
+}
+
+TEST(Repeat, RunExceptionsPropagateToTheCaller) {
+  // Alphabet mismatch between protocol (binary) and noise (3 symbols)
+  // surfaces from inside the worker threads.
+  const auto p = pop(50, 1, 0);
+  const auto noise = NoiseMatrix::uniform(3, 0.1);
+  EXPECT_THROW(run_repetitions(sf_factory(p, 0.1), noise, 1,
+                               RunConfig{.h = p.n},
+                               RepeatOptions{.repetitions = 4,
+                                             .seed = 1,
+                                             .threads = 4}),
+               std::invalid_argument);
+}
+
+TEST(Repeat, RejectsZeroRepetitions) {
+  const auto p = pop(50, 1, 0);
+  const auto noise = NoiseMatrix::uniform(2, 0.1);
+  EXPECT_THROW(run_repetitions(sf_factory(p, 0.1), noise, 1,
+                               RunConfig{.h = p.n},
+                               RepeatOptions{.repetitions = 0}),
+               std::invalid_argument);
+}
+
+TEST(Aggregation, SuccessRate) {
+  std::vector<RunResult> results(4);
+  results[0].all_correct_at_end = true;
+  results[1].all_correct_at_end = true;
+  results[2].all_correct_at_end = false;
+  results[3].all_correct_at_end = true;
+  EXPECT_DOUBLE_EQ(success_rate(results), 0.75);
+
+  results[0].stable = true;
+  EXPECT_DOUBLE_EQ(success_rate(results, /*require_stability=*/true), 0.25);
+  EXPECT_THROW(success_rate({}), std::invalid_argument);
+}
+
+TEST(Aggregation, MeanConvergenceRound) {
+  std::vector<RunResult> results(3);
+  results[0].first_all_correct = 10;
+  results[1].first_all_correct = 20;
+  results[2].first_all_correct = kNever;  // excluded from the mean
+  EXPECT_DOUBLE_EQ(mean_convergence_round(results), 15.0);
+
+  std::vector<RunResult> none(2);
+  none[0].first_all_correct = kNever;
+  none[1].first_all_correct = kNever;
+  EXPECT_EQ(mean_convergence_round(none), static_cast<double>(kNever));
+}
+
+}  // namespace
+}  // namespace noisypull

@@ -1,0 +1,128 @@
+#include "noisypull/rng/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace noisypull {
+namespace {
+
+TEST(Splitmix64, MatchesReferenceVectors) {
+  // Reference outputs of splitmix64 for state = 0 (Vigna's test vectors).
+  std::uint64_t state = 0;
+  EXPECT_EQ(splitmix64_next(state), 0xE220A8397B1DCDAFULL);
+  EXPECT_EQ(splitmix64_next(state), 0x6E789E6AA1B965F4ULL);
+  EXPECT_EQ(splitmix64_next(state), 0x06C45D188009454FULL);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(12345), b(12345);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, StreamsAreDistinctAndDeterministic) {
+  Rng a(7, 0), b(7, 1), a2(7, 0);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next();
+    EXPECT_EQ(va, a2.next());
+    if (va == b.next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, NextDoubleMeanIsHalf) {
+  Rng rng(99);
+  double sum = 0.0;
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(5);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000003ULL}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowOneIsAlwaysZero) {
+  Rng rng(8);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextBelowIsUniform) {
+  Rng rng(31);
+  constexpr std::uint64_t kBound = 7;
+  constexpr int kDraws = 70000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.next_below(kBound)];
+  const double expected = static_cast<double>(kDraws) / kBound;
+  for (auto c : counts) {
+    EXPECT_NEAR(c, expected, 5 * std::sqrt(expected));  // ~5 sigma
+  }
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(77);
+  const double p = 0.3;
+  int hits = 0;
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) hits += rng.bernoulli(p) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, p, 0.01);
+}
+
+TEST(Rng, NextBoolIsFair) {
+  Rng rng(123);
+  int heads = 0;
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) heads += rng.next_bool() ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(heads) / kDraws, 0.5, 0.01);
+}
+
+TEST(Rng, JumpChangesStateDeterministically) {
+  Rng a(4), b(4);
+  a.jump();
+  EXPECT_NE(a.state(), b.state());
+  Rng c(4);
+  c.jump();
+  EXPECT_EQ(a.state(), c.state());
+}
+
+TEST(Rng, JumpedStreamsDoNotCollide) {
+  Rng a(4);
+  Rng b = a;
+  b.jump();
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(a.next());
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(seen.contains(b.next()));
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  EXPECT_EQ(Rng::min(), 0u);
+  EXPECT_EQ(Rng::max(), ~0ULL);
+}
+
+}  // namespace
+}  // namespace noisypull

@@ -1,0 +1,145 @@
+#include "noisypull/sim/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace noisypull {
+namespace {
+
+// Scripted protocol: opinions follow a fixed per-round script, independent
+// of observations — lets the runner's bookkeeping be tested deterministically.
+class ScriptedProtocol : public PullProtocol {
+ public:
+  // script[t] = number of agents holding opinion 1 after round t.
+  ScriptedProtocol(std::uint64_t n, std::vector<std::uint64_t> script)
+      : n_(n), script_(std::move(script)) {}
+
+  std::size_t alphabet_size() const override { return 2; }
+  std::uint64_t num_agents() const override { return n_; }
+  Symbol display(std::uint64_t, std::uint64_t) const override { return 0; }
+  void update(std::uint64_t agent, std::uint64_t round, const SymbolCounts&,
+              Rng&) override {
+    if (agent + 1 == n_) {  // advance once per round, after the last agent
+      const std::size_t idx =
+          std::min<std::size_t>(round, script_.size() - 1);
+      ones_ = script_[idx];
+    }
+  }
+  Opinion opinion(std::uint64_t agent) const override {
+    return agent < ones_ ? 1 : 0;
+  }
+
+ private:
+  std::uint64_t n_;
+  std::vector<std::uint64_t> script_;
+  std::uint64_t ones_ = 0;
+};
+
+const NoiseMatrix kNoiseless = NoiseMatrix::noiseless(2);
+
+TEST(Runner, CountCorrect) {
+  ScriptedProtocol protocol(10, {7});
+  Rng rng(1);
+  ExactEngine engine;
+  engine.step(protocol, kNoiseless, 1, 0, rng);
+  EXPECT_EQ(count_correct(protocol, 1), 7u);
+  EXPECT_EQ(count_correct(protocol, 0), 3u);
+}
+
+TEST(Runner, TrajectoryRecordsEveryRound) {
+  ScriptedProtocol protocol(4, {1, 2, 3, 4, 4});
+  ExactEngine engine;
+  Rng rng(2);
+  const auto result = run(protocol, engine, kNoiseless, 1,
+                          RunConfig{.h = 1, .max_rounds = 5,
+                                    .record_trajectory = true},
+                          rng);
+  ASSERT_EQ(result.trajectory.size(), 5u);
+  EXPECT_EQ(result.trajectory, (std::vector<std::uint64_t>{1, 2, 3, 4, 4}));
+}
+
+TEST(Runner, FirstAllCorrectIsStartOfFinalStreak) {
+  // Reaches consensus at round 2, loses it at round 3, regains at round 4.
+  ScriptedProtocol protocol(4, {1, 2, 4, 3, 4, 4});
+  ExactEngine engine;
+  Rng rng(3);
+  const auto result = run(protocol, engine, kNoiseless, 1,
+                          RunConfig{.h = 1, .max_rounds = 6}, rng);
+  EXPECT_TRUE(result.all_correct_at_end);
+  EXPECT_EQ(result.first_all_correct, 4u);
+  EXPECT_EQ(result.correct_at_end, 4u);
+  EXPECT_EQ(result.rounds_run, 6u);
+}
+
+TEST(Runner, NeverConverged) {
+  ScriptedProtocol protocol(4, {1, 2, 3});
+  ExactEngine engine;
+  Rng rng(4);
+  const auto result = run(protocol, engine, kNoiseless, 1,
+                          RunConfig{.h = 1, .max_rounds = 3}, rng);
+  EXPECT_FALSE(result.all_correct_at_end);
+  EXPECT_EQ(result.first_all_correct, kNever);
+  EXPECT_EQ(result.correct_at_end, 3u);
+}
+
+TEST(Runner, StabilityWindowPasses) {
+  ScriptedProtocol protocol(4, {4});
+  ExactEngine engine;
+  Rng rng(5);
+  const auto result = run(protocol, engine, kNoiseless, 1,
+                          RunConfig{.h = 1, .max_rounds = 2,
+                                    .stability_window = 10},
+                          rng);
+  EXPECT_TRUE(result.stable);
+  EXPECT_EQ(result.rounds_run, 12u);
+}
+
+TEST(Runner, StabilityWindowFailsWhenConsensusBreaks) {
+  // Consensus at rounds 0-3, broken from round 4 on.
+  ScriptedProtocol protocol(4, {4, 4, 4, 4, 2});
+  ExactEngine engine;
+  Rng rng(6);
+  const auto result = run(protocol, engine, kNoiseless, 1,
+                          RunConfig{.h = 1, .max_rounds = 3,
+                                    .stability_window = 5},
+                          rng);
+  EXPECT_TRUE(result.all_correct_at_end);
+  EXPECT_FALSE(result.stable);
+  EXPECT_LT(result.rounds_run, 8u);  // stopped early at the break
+}
+
+TEST(Runner, StabilityNotCheckedWithoutWindow) {
+  ScriptedProtocol protocol(4, {4});
+  ExactEngine engine;
+  Rng rng(7);
+  const auto result = run(protocol, engine, kNoiseless, 1,
+                          RunConfig{.h = 1, .max_rounds = 2}, rng);
+  EXPECT_FALSE(result.stable);  // default-false when window is 0
+}
+
+TEST(Runner, UsesPlannedRoundsWhenMaxRoundsIsZero) {
+  class Planned : public ScriptedProtocol {
+   public:
+    Planned() : ScriptedProtocol(2, {2}) {}
+    std::uint64_t planned_rounds() const override { return 7; }
+  };
+  Planned protocol;
+  ExactEngine engine;
+  Rng rng(8);
+  const auto result =
+      run(protocol, engine, kNoiseless, 1, RunConfig{.h = 1}, rng);
+  EXPECT_EQ(result.rounds_run, 7u);
+}
+
+TEST(Runner, RejectsZeroHorizon) {
+  ScriptedProtocol protocol(2, {2});  // planned_rounds() == 0
+  ExactEngine engine;
+  Rng rng(9);
+  EXPECT_THROW(
+      run(protocol, engine, kNoiseless, 1, RunConfig{.h = 1}, rng),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace noisypull

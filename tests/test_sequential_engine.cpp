@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "noisypull/analysis/stats.hpp"
+#include "noisypull/core/ssf.hpp"
+#include "noisypull/model/engine.hpp"
+#include "noisypull/sim/adversary.hpp"
+#include "noisypull/sim/runner.hpp"
+
+namespace noisypull {
+namespace {
+
+PopulationConfig pop(std::uint64_t n, std::uint64_t s1, std::uint64_t s0) {
+  return PopulationConfig{.n = n, .s1 = s1, .s0 = s0};
+}
+
+// Records observations; display follows a mutable per-agent value.
+class MutableDisplayProtocol : public PullProtocol {
+ public:
+  explicit MutableDisplayProtocol(std::vector<Symbol> values)
+      : values_(std::move(values)),
+        last_obs_(values_.size(), SymbolCounts(2)) {}
+
+  std::size_t alphabet_size() const override { return 2; }
+  std::uint64_t num_agents() const override { return values_.size(); }
+  Symbol display(std::uint64_t agent, std::uint64_t) const override {
+    return values_[agent];
+  }
+  void update(std::uint64_t agent, std::uint64_t, const SymbolCounts& obs,
+              Rng&) override {
+    last_obs_[agent] = obs;
+    if (flip_on_update_) values_[agent] = 1;
+  }
+  Opinion opinion(std::uint64_t agent) const override {
+    return values_[agent];
+  }
+
+  std::vector<Symbol> values_;
+  std::vector<SymbolCounts> last_obs_;
+  bool flip_on_update_ = false;
+};
+
+TEST(SequentialEngine, DeliversHObservationsToEveryAgent) {
+  MutableDisplayProtocol protocol(std::vector<Symbol>(10, 0));
+  SequentialEngine engine;
+  const auto noise = NoiseMatrix::uniform(2, 0.1);
+  Rng rng(1);
+  engine.step(protocol, noise, 7, 0, rng);
+  for (const auto& obs : protocol.last_obs_) EXPECT_EQ(obs.total(), 7u);
+}
+
+TEST(SequentialEngine, UpdatesAreVisibleWithinTheRound) {
+  // All agents start displaying 0 and flip to 1 when updated.  Under
+  // ascending order with noiseless full sampling, the last agent must see a
+  // majority of 1s (everyone before it already flipped) — impossible under
+  // the synchronous snapshot engine.
+  MutableDisplayProtocol protocol(std::vector<Symbol>(9, 0));
+  protocol.flip_on_update_ = true;
+  SequentialEngine engine(SequentialEngine::Order::FixedAscending);
+  const auto noise = NoiseMatrix::noiseless(2);
+  Rng rng(2);
+  engine.step(protocol, noise, 512, 0, rng);
+  const auto& first = protocol.last_obs_[0];
+  const auto& last = protocol.last_obs_[8];
+  EXPECT_EQ(first[1], 0u);     // agent 0 saw the all-zeros population
+  EXPECT_GT(last[1], last[0]);  // agent 8 saw 8/9 flipped agents
+}
+
+TEST(SequentialEngine, FixedDescendingReversesActivation) {
+  MutableDisplayProtocol protocol(std::vector<Symbol>(9, 0));
+  protocol.flip_on_update_ = true;
+  SequentialEngine engine(SequentialEngine::Order::FixedDescending);
+  const auto noise = NoiseMatrix::noiseless(2);
+  Rng rng(3);
+  engine.step(protocol, noise, 512, 0, rng);
+  EXPECT_EQ(protocol.last_obs_[8][1], 0u);  // agent 8 activated first
+  EXPECT_GT(protocol.last_obs_[0][1], protocol.last_obs_[0][0]);
+}
+
+TEST(SequentialEngine, StaticDisplaysMatchChannelDistribution) {
+  // With displays that never change, the sequential engine's observation
+  // law equals the synchronous one.
+  std::vector<Symbol> displays(10, 0);
+  displays[0] = displays[1] = displays[2] = 1;  // 30% ones
+  MutableDisplayProtocol protocol(displays);
+  SequentialEngine engine;
+  const auto noise = NoiseMatrix::uniform(2, 0.1);
+  Rng rng(4);
+  std::array<std::uint64_t, 2> totals{};
+  for (int t = 0; t < 400; ++t) {
+    engine.step(protocol, noise, 50, t, rng);
+    for (const auto& obs : protocol.last_obs_) {
+      totals[0] += obs[0];
+      totals[1] += obs[1];
+    }
+  }
+  const std::array<double, 2> probs = {0.66, 0.34};  // 0.3·0.9 + 0.7·0.1
+  EXPECT_LT(chi_square_statistic(totals, probs), chi_square_critical_999(1));
+}
+
+TEST(SequentialEngine, RandomOrderIsDeterministicGivenSeed) {
+  auto trace = [](std::uint64_t seed) {
+    MutableDisplayProtocol protocol(std::vector<Symbol>(20, 0));
+    SequentialEngine engine;
+    Rng rng(seed);
+    std::vector<std::uint64_t> out;
+    const auto noise = NoiseMatrix::uniform(2, 0.2);
+    for (int t = 0; t < 5; ++t) {
+      engine.step(protocol, noise, 3, t, rng);
+      for (const auto& obs : protocol.last_obs_) out.push_back(obs[1]);
+    }
+    return out;
+  };
+  EXPECT_EQ(trace(5), trace(5));
+  EXPECT_NE(trace(5), trace(6));
+}
+
+class SsfUnderSchedule
+    : public ::testing::TestWithParam<SequentialEngine::Order> {};
+
+TEST_P(SsfUnderSchedule, SsfConvergesUnderAsynchronousActivation) {
+  // The self-stabilizing protocol needs no synchrony: it converges under
+  // random and adversarially regular sequential schedules alike, from a
+  // wrong-consensus corruption.
+  const auto p = pop(300, 2, 0);
+  const double delta = 0.05;
+  SelfStabilizingSourceFilter ssf(p, p.n, delta, 2.0);
+  Rng init(7);
+  corrupt_population(ssf, CorruptionPolicy::WrongConsensus,
+                     p.correct_opinion(), init);
+  SequentialEngine engine(GetParam());
+  Rng rng(8);
+  const auto result =
+      run(ssf, engine, NoiseMatrix::uniform(4, delta), p.correct_opinion(),
+          RunConfig{.h = p.n, .max_rounds = ssf.convergence_deadline()}, rng);
+  EXPECT_TRUE(result.all_correct_at_end);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOrders, SsfUnderSchedule,
+    ::testing::Values(SequentialEngine::Order::Random,
+                      SequentialEngine::Order::FixedAscending,
+                      SequentialEngine::Order::FixedDescending),
+    [](const ::testing::TestParamInfo<SequentialEngine::Order>& info) {
+      switch (info.param) {
+        case SequentialEngine::Order::Random:
+          return "Random";
+        case SequentialEngine::Order::FixedAscending:
+          return "Ascending";
+        case SequentialEngine::Order::FixedDescending:
+          return "Descending";
+      }
+      return "Unknown";
+    });
+
+TEST(SequentialEngine, SupportsArtificialNoise) {
+  MutableDisplayProtocol protocol(std::vector<Symbol>(10, 1));
+  SequentialEngine engine;
+  engine.set_artificial_noise(Matrix{0.5, 0.5, 0.5, 0.5});
+  const auto noise = NoiseMatrix::noiseless(2);
+  Rng rng(9);
+  std::array<std::uint64_t, 2> totals{};
+  for (int t = 0; t < 500; ++t) {
+    engine.step(protocol, noise, 20, t, rng);
+    for (const auto& obs : protocol.last_obs_) {
+      totals[0] += obs[0];
+      totals[1] += obs[1];
+    }
+  }
+  const std::array<double, 2> probs = {0.5, 0.5};
+  EXPECT_LT(chi_square_statistic(totals, probs), chi_square_critical_999(1));
+}
+
+}  // namespace
+}  // namespace noisypull

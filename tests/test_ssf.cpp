@@ -1,0 +1,187 @@
+#include "noisypull/core/ssf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "noisypull/model/engine.hpp"
+#include "noisypull/sim/runner.hpp"
+
+namespace noisypull {
+namespace {
+
+using Ssf = SelfStabilizingSourceFilter;
+
+PopulationConfig pop(std::uint64_t n, std::uint64_t s1, std::uint64_t s0) {
+  return PopulationConfig{.n = n, .s1 = s1, .s0 = s0};
+}
+
+SymbolCounts obs4(std::uint64_t s00, std::uint64_t s01, std::uint64_t s10,
+                  std::uint64_t s11) {
+  SymbolCounts c(4);
+  c[0] = s00;  // (0,0)
+  c[1] = s01;  // (0,1)
+  c[2] = s10;  // (1,0)
+  c[3] = s11;  // (1,1)
+  return c;
+}
+
+TEST(Ssf, SymbolEncoding) {
+  EXPECT_EQ(Ssf::encode(false, 0), 0);
+  EXPECT_EQ(Ssf::encode(false, 1), 1);
+  EXPECT_EQ(Ssf::encode(true, 0), 2);
+  EXPECT_EQ(Ssf::encode(true, 1), 3);
+  for (Symbol s = 0; s < 4; ++s) {
+    EXPECT_EQ(Ssf::encode(Ssf::first_bit(s), Ssf::second_bit(s)), s);
+  }
+}
+
+TEST(Ssf, SourcesDisplayTagAndPreference) {
+  const auto p = pop(10, 1, 1);
+  Ssf ssf = Ssf::with_memory_budget(p, 2, 100);
+  EXPECT_EQ(ssf.display(0, 0), Ssf::encode(true, 1));   // 1-source
+  EXPECT_EQ(ssf.display(1, 0), Ssf::encode(true, 0));   // 0-source
+  EXPECT_EQ(ssf.display(5, 0), Ssf::encode(false, 0));  // weak opinion 0
+}
+
+TEST(Ssf, NonSourceDisplayTracksWeakOpinion) {
+  const auto p = pop(10, 1, 0);
+  Ssf ssf = Ssf::with_memory_budget(p, 4, 8);
+  Rng rng(1);
+  // Fill memory with fake source messages carrying second bit 1: the next
+  // update sets the weak opinion to 1 and the display follows.
+  ssf.update(5, 0, obs4(0, 0, 0, 8), rng);
+  EXPECT_EQ(ssf.weak_opinion(5), 1);
+  EXPECT_EQ(ssf.display(5, 1), Ssf::encode(false, 1));
+}
+
+TEST(Ssf, UpdateTriggersExactlyAtBudget) {
+  const auto p = pop(10, 1, 0);
+  Ssf ssf = Ssf::with_memory_budget(p, 2, 6);
+  Rng rng(2);
+  // Two rounds of h = 2 leave the memory below m = 6: no update yet.
+  ssf.update(4, 0, obs4(0, 0, 0, 2), rng);
+  ssf.update(4, 1, obs4(0, 0, 0, 2), rng);
+  EXPECT_EQ(ssf.memory(4).total(), 4u);
+  EXPECT_EQ(ssf.weak_opinion(4), 0);  // untouched default
+  // Third round reaches 6 → update fires and memory empties.
+  ssf.update(4, 2, obs4(0, 0, 0, 2), rng);
+  EXPECT_EQ(ssf.memory(4).total(), 0u);
+  EXPECT_EQ(ssf.weak_opinion(4), 1);
+  EXPECT_EQ(ssf.opinion(4), 1);
+}
+
+TEST(Ssf, WeakOpinionUsesOnlySourceTaggedMessages) {
+  const auto p = pop(10, 1, 0);
+  Ssf ssf = Ssf::with_memory_budget(p, 1, 10);
+  Rng rng(3);
+  // 7 untagged messages say 1, but the 3 tagged messages say 0: the weak
+  // opinion must follow the tagged ones; the opinion follows the overall
+  // majority.
+  ssf.update(4, 0, obs4(0, 7, 3, 0), rng);
+  EXPECT_EQ(ssf.weak_opinion(4), 0);
+  EXPECT_EQ(ssf.opinion(4), 1);
+}
+
+TEST(Ssf, OpinionUsesAllSecondBits) {
+  const auto p = pop(10, 1, 0);
+  Ssf ssf = Ssf::with_memory_budget(p, 1, 10);
+  Rng rng(4);
+  // Second bits: six 0s — (0,0) ×4, (1,0) ×2 — vs four 1s.
+  ssf.update(4, 0, obs4(4, 2, 2, 2), rng);
+  EXPECT_EQ(ssf.opinion(4), 0);
+  // Tagged messages tied 2–2, so the weak opinion came from a coin; just
+  // check it is a valid opinion.
+  EXPECT_LE(ssf.weak_opinion(4), 1);
+}
+
+TEST(Ssf, TieBreaksAreFair) {
+  const auto p = pop(10, 1, 0);
+  int weak_ones = 0;
+  const int kReps = 2000;
+  for (int rep = 0; rep < kReps; ++rep) {
+    Ssf ssf = Ssf::with_memory_budget(p, 1, 4);
+    Rng rng(5000 + rep);
+    ssf.update(4, 0, obs4(1, 1, 1, 1), rng);  // tagged tie and overall tie
+    weak_ones += ssf.weak_opinion(4);
+  }
+  EXPECT_GT(weak_ones, kReps / 2 - 150);
+  EXPECT_LT(weak_ones, kReps / 2 + 150);
+}
+
+TEST(Ssf, CorruptInjectsArbitraryState) {
+  const auto p = pop(10, 1, 0);
+  Ssf ssf = Ssf::with_memory_budget(p, 2, 100);
+  ssf.corrupt(7, obs4(5, 6, 7, 8), 1, 0);
+  const auto mem = ssf.memory(7);
+  EXPECT_EQ(mem[0], 5u);
+  EXPECT_EQ(mem[1], 6u);
+  EXPECT_EQ(mem[2], 7u);
+  EXPECT_EQ(mem[3], 8u);
+  EXPECT_EQ(mem.total(), 26u);
+  EXPECT_EQ(ssf.weak_opinion(7), 1);
+  EXPECT_EQ(ssf.opinion(7), 0);
+}
+
+TEST(Ssf, OverfilledCorruptMemoryFlushesOnFirstUpdate) {
+  const auto p = pop(10, 1, 0);
+  Ssf ssf = Ssf::with_memory_budget(p, 1, 10);
+  Rng rng(6);
+  ssf.corrupt(4, obs4(1000, 0, 0, 0), 0, 0);
+  ssf.update(4, 0, obs4(0, 1, 0, 0), rng);  // pushes past m → update + flush
+  EXPECT_EQ(ssf.memory(4).total(), 0u);
+  EXPECT_EQ(ssf.opinion(4), 0);  // the fake 0s dominated this one update
+}
+
+TEST(Ssf, ConvergenceDeadlineCoversFourCycles) {
+  const auto p = pop(100, 1, 0);
+  Ssf ssf = Ssf::with_memory_budget(p, 7, 100);
+  EXPECT_EQ(ssf.convergence_deadline(), 4 * ((100 + 6) / 7) + 1);
+}
+
+TEST(Ssf, InputValidation) {
+  const auto p = pop(10, 1, 0);
+  EXPECT_THROW(Ssf::with_memory_budget(p, 0, 10), std::invalid_argument);
+  EXPECT_THROW(Ssf::with_memory_budget(p, 1, 0), std::invalid_argument);
+  Ssf ssf = Ssf::with_memory_budget(p, 1, 10);
+  Rng rng(1);
+  EXPECT_THROW(ssf.update(10, 0, obs4(0, 0, 0, 1), rng),
+               std::invalid_argument);
+  SymbolCounts wrong(2);
+  EXPECT_THROW(ssf.update(0, 0, wrong, rng), std::invalid_argument);
+  EXPECT_THROW(ssf.opinion(99), std::invalid_argument);
+  EXPECT_THROW(ssf.corrupt(99, obs4(0, 0, 0, 0), 0, 0),
+               std::invalid_argument);
+}
+
+TEST(Ssf, ConvergesFromCleanStart) {
+  const auto p = pop(300, 1, 0);
+  const double delta = 0.05;
+  const auto noise = NoiseMatrix::uniform(4, delta);
+  Ssf ssf(p, p.n, delta, 2.0);
+  AggregateEngine engine;
+  Rng rng(21);
+  const auto result = run(ssf, engine, noise, p.correct_opinion(),
+                          RunConfig{.h = p.n, .max_rounds =
+                                        ssf.convergence_deadline()},
+                          rng);
+  EXPECT_TRUE(result.all_correct_at_end);
+}
+
+TEST(Ssf, StaysConvergedThroughStabilityWindow) {
+  const auto p = pop(200, 2, 0);
+  const double delta = 0.05;
+  const auto noise = NoiseMatrix::uniform(4, delta);
+  Ssf ssf(p, p.n, delta, 2.0);
+  AggregateEngine engine;
+  Rng rng(22);
+  const auto result =
+      run(ssf, engine, noise, p.correct_opinion(),
+          RunConfig{.h = p.n,
+                    .max_rounds = ssf.convergence_deadline(),
+                    .stability_window = 2 * ssf.convergence_deadline()},
+          rng);
+  EXPECT_TRUE(result.all_correct_at_end);
+  EXPECT_TRUE(result.stable);
+}
+
+}  // namespace
+}  // namespace noisypull

@@ -1,0 +1,197 @@
+// Statistical closure tests: protocol-level simulated quantities are checked
+// against the theory module's *exact* closed forms — the strongest
+// end-to-end validation the reproduction offers (a bug in the engines, the
+// protocols, or the formulas would break the agreement).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "noisypull/noisypull.hpp"
+
+namespace noisypull {
+namespace {
+
+TEST(StatisticalValidation, SfWeakOpinionMatchesExactFormula) {
+  // Run only the listening stage of SF and compare the population fraction
+  // of correct weak opinions to sf_weak_opinion_exact at the same message
+  // budget.  Weak opinions are i.i.d. across agents (Lemma 28), so the
+  // pooled fraction concentrates tightly.
+  const PopulationConfig pop{.n = 400, .s1 = 2, .s0 = 0};
+  const double delta = 0.2;
+  const auto noise = NoiseMatrix::uniform(2, delta);
+  const auto sched = make_sf_schedule_with_m(pop, pop.n, delta, 3 * pop.n);
+  ASSERT_EQ(sched.phase_rounds * pop.n, 3 * pop.n);  // exact budget
+
+  std::uint64_t correct = 0, total = 0;
+  for (int rep = 0; rep < 25; ++rep) {
+    SourceFilter sf(pop, sched);
+    AggregateEngine engine;
+    Rng rng(7000 + rep);
+    for (std::uint64_t t = 0; t < sched.boosting_start(); ++t) {
+      engine.step(sf, noise, pop.n, t, rng);
+    }
+    for (std::uint64_t i = 0; i < pop.n; ++i) {
+      correct += sf.weak_opinion(i) == 1 ? 1 : 0;
+    }
+    total += pop.n;
+  }
+  const double simulated =
+      static_cast<double>(correct) / static_cast<double>(total);
+  const double exact =
+      sf_weak_opinion_exact(pop.n, 3 * pop.n, delta, pop.s1, pop.s0);
+  const double sigma = std::sqrt(exact * (1 - exact) /
+                                 static_cast<double>(total));
+  EXPECT_NEAR(simulated, exact, 6 * sigma + 1e-6);
+}
+
+TEST(StatisticalValidation, SsfWeakOpinionMatchesExactFormula) {
+  // SSF weak opinions after the second update cycle vs
+  // ssf_weak_opinion_exact.  h divides m so each update sees exactly m
+  // messages, matching the formula's assumption.
+  const PopulationConfig pop{.n = 200, .s1 = 2, .s0 = 0};
+  const double delta = 0.05;
+  const auto noise = NoiseMatrix::uniform(4, delta);
+  const std::uint64_t m = 120;
+  const std::uint64_t h = 40;  // 3 rounds per cycle
+
+  std::uint64_t correct = 0, total = 0;
+  for (int rep = 0; rep < 40; ++rep) {
+    auto ssf =
+        SelfStabilizingSourceFilter::with_memory_budget(pop, h, m);
+    AggregateEngine engine;
+    Rng rng(8000 + rep);
+    for (std::uint64_t t = 0; t < 2 * (m / h); ++t) {
+      engine.step(ssf, noise, h, t, rng);
+    }
+    // Non-sources only: sources' weak opinions also follow the formula but
+    // their displays are pinned, keeping the message mix exact.
+    for (std::uint64_t i = pop.num_sources(); i < pop.n; ++i) {
+      correct += ssf.weak_opinion(i) == 1 ? 1 : 0;
+      ++total;
+    }
+  }
+  const double simulated =
+      static_cast<double>(correct) / static_cast<double>(total);
+  const double exact =
+      ssf_weak_opinion_exact(pop.n, m, delta, pop.s1, pop.s0);
+  const double sigma =
+      std::sqrt(exact * (1 - exact) / static_cast<double>(total));
+  // The formula assumes all non-source second bits are noise-independent,
+  // which holds exactly for the tagged messages the weak opinion reads.
+  EXPECT_NEAR(simulated, exact, 6 * sigma + 1e-6);
+}
+
+TEST(StatisticalValidation, TwoPartyErrorMatchesVoterOverChannel) {
+  // A single repeated noisy transmission decoded by majority: the empirical
+  // error of an m-sample majority read through the exact engine equals the
+  // two-party closed form.
+  const std::uint64_t m = 11;
+  const double delta = 0.3;
+  const auto noise = NoiseMatrix::uniform(2, delta);
+
+  // One "sender" population: everyone displays 1; a reader takes majority
+  // of m pulls.
+  class Sender : public PullProtocol {
+   public:
+    std::size_t alphabet_size() const override { return 2; }
+    std::uint64_t num_agents() const override { return 4; }
+    Symbol display(std::uint64_t, std::uint64_t) const override { return 1; }
+    void update(std::uint64_t agent, std::uint64_t, const SymbolCounts& obs,
+                Rng& rng) override {
+      if (agent != 0) return;
+      if (obs[0] > obs[1]) {
+        wrong += 1.0;
+      } else if (obs[0] == obs[1]) {
+        wrong += rng.next_bool() ? 1.0 : 0.0;
+      }
+      ++reads;
+    }
+    Opinion opinion(std::uint64_t) const override { return 0; }
+    double wrong = 0.0;
+    std::uint64_t reads = 0;
+  };
+
+  Sender protocol;
+  ExactEngine engine;
+  Rng rng(9);
+  for (int t = 0; t < 40000; ++t) engine.step(protocol, noise, m, t, rng);
+  const double simulated = protocol.wrong / static_cast<double>(protocol.reads);
+  const double exact = two_party_error_exact(m, delta);
+  EXPECT_NEAR(simulated, exact, 0.01);
+}
+
+TEST(StatisticalValidation, MultinomialJointDistribution) {
+  // Full joint chi-square for Multinomial(3, {0.5, 0.3, 0.2}): all 10
+  // outcomes enumerated.
+  Rng rng(10);
+  const std::array<double, 3> w = {0.5, 0.3, 0.2};
+  std::array<std::uint64_t, 3> counts{};
+  // Index outcomes (a,b,c), a+b+c = 3, by a·16 + b·4 + c → map to 0..9.
+  std::array<std::uint64_t, 10> observed{};
+  std::array<double, 10> expected{};
+  auto index = [](std::uint64_t a, std::uint64_t b) {
+    // a ∈ 0..3, b ∈ 0..3−a: triangular indexing.
+    std::uint64_t idx = 0;
+    for (std::uint64_t i = 0; i < a; ++i) idx += 4 - i;
+    return idx + b;
+  };
+  auto factorial = [](std::uint64_t k) {
+    double f = 1;
+    for (std::uint64_t i = 2; i <= k; ++i) f *= static_cast<double>(i);
+    return f;
+  };
+  for (std::uint64_t a = 0; a <= 3; ++a) {
+    for (std::uint64_t b = 0; a + b <= 3; ++b) {
+      const std::uint64_t c = 3 - a - b;
+      expected[index(a, b)] =
+          factorial(3) / (factorial(a) * factorial(b) * factorial(c)) *
+          std::pow(w[0], static_cast<double>(a)) *
+          std::pow(w[1], static_cast<double>(b)) *
+          std::pow(w[2], static_cast<double>(c));
+    }
+  }
+  const int kDraws = 120000;
+  for (int i = 0; i < kDraws; ++i) {
+    sample_multinomial(rng, 3, w, counts);
+    ++observed[index(counts[0], counts[1])];
+  }
+  EXPECT_LT(chi_square_statistic(observed, expected),
+            chi_square_critical_999(9));
+}
+
+TEST(StatisticalValidation, KaryListeningScoreMeansMatchDerivation) {
+  // The k-ary design's core identity: E[score_σ] = (k−1)·m·(δ + (1−kδ)s_σ/n)
+  // — identical across σ except for the source term.  Measured over many
+  // repetitions of the listening stage.
+  KaryPopulation pop{.n = 100, .sources = {0, 3, 1}};
+  const double delta = 0.08;
+  const auto noise = NoiseMatrix::uniform(3, delta);
+  KarySourceFilter probe(pop, pop.n, delta, 1.0);
+  const std::uint64_t m_eff = probe.phase_rounds() * pop.n;
+
+  std::array<double, 3> sums{};
+  const int kReps = 60;
+  for (int rep = 0; rep < kReps; ++rep) {
+    KarySourceFilter ksf(pop, pop.n, delta, 1.0);
+    AggregateEngine engine;
+    Rng rng(11000 + rep);
+    for (std::uint64_t t = 0; t < ksf.listening_rounds(); ++t) {
+      engine.step(ksf, noise, pop.n, t, rng);
+    }
+    for (std::size_t o = 0; o < 3; ++o) {
+      sums[o] += static_cast<double>(ksf.score(50, static_cast<Opinion>(o)));
+    }
+  }
+  for (std::size_t o = 0; o < 3; ++o) {
+    const double mean = sums[o] / kReps;
+    const double want =
+        2.0 * static_cast<double>(m_eff) *
+        (delta + (1 - 3 * delta) *
+                     static_cast<double>(pop.sources[o]) / 100.0);
+    EXPECT_NEAR(mean, want, 0.05 * want + 3.0) << "sigma=" << o;
+  }
+}
+
+}  // namespace
+}  // namespace noisypull

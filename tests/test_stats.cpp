@@ -1,0 +1,120 @@
+#include "noisypull/analysis/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+namespace noisypull {
+namespace {
+
+TEST(Summarize, KnownSample) {
+  const std::array<double, 5> v = {2, 4, 4, 4, 6};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.0), 1e-12);  // sample variance = 8/4
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 6.0);
+  EXPECT_DOUBLE_EQ(s.median, 4.0);
+  EXPECT_NEAR(s.ci95_half_width, 1.959964 * std::sqrt(2.0 / 5.0), 1e-9);
+}
+
+TEST(Summarize, SingleValue) {
+  const std::array<double, 1> v = {3.5};
+  const Summary s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.mean, 3.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.5);
+}
+
+TEST(Summarize, EmptyThrows) {
+  EXPECT_THROW(summarize({}), std::invalid_argument);
+}
+
+TEST(Quantile, InterpolatesLinearly) {
+  const std::array<double, 4> v = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0 / 3.0), 2.0);
+}
+
+TEST(Quantile, UnsortedInputIsHandled) {
+  const std::array<double, 3> v = {9, 1, 5};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 5.0);
+}
+
+TEST(Quantile, Validation) {
+  const std::array<double, 2> v = {1, 2};
+  EXPECT_THROW(quantile(v, -0.1), std::invalid_argument);
+  EXPECT_THROW(quantile(v, 1.1), std::invalid_argument);
+  EXPECT_THROW(quantile({}, 0.5), std::invalid_argument);
+}
+
+TEST(Wilson, CentersNearPointEstimateForLargeN) {
+  const auto iv = wilson_interval(500, 1000);
+  EXPECT_NEAR((iv.lower + iv.upper) / 2, 0.5, 0.01);
+  EXPECT_GT(iv.lower, 0.46);
+  EXPECT_LT(iv.upper, 0.54);
+}
+
+TEST(Wilson, NeverLeavesUnitInterval) {
+  for (std::uint64_t k : {0ULL, 1ULL, 5ULL}) {
+    const auto iv = wilson_interval(k, 5);
+    EXPECT_GE(iv.lower, 0.0);
+    EXPECT_LE(iv.upper, 1.0);
+    EXPECT_LE(iv.lower, iv.upper);
+  }
+}
+
+TEST(Wilson, ExtremeCountsHaveNonDegenerateIntervals) {
+  const auto zero = wilson_interval(0, 20);
+  EXPECT_DOUBLE_EQ(zero.lower, 0.0);
+  EXPECT_GT(zero.upper, 0.05);
+  const auto all = wilson_interval(20, 20);
+  EXPECT_LT(all.lower, 0.95);
+  EXPECT_DOUBLE_EQ(all.upper, 1.0);
+}
+
+TEST(Wilson, Validation) {
+  EXPECT_THROW(wilson_interval(1, 0), std::invalid_argument);
+  EXPECT_THROW(wilson_interval(5, 4), std::invalid_argument);
+}
+
+TEST(ChiSquare, ZeroForPerfectFit) {
+  const std::array<std::uint64_t, 2> obs = {30, 70};
+  const std::array<double, 2> probs = {0.3, 0.7};
+  EXPECT_DOUBLE_EQ(chi_square_statistic(obs, probs), 0.0);
+}
+
+TEST(ChiSquare, KnownStatistic) {
+  // obs = {60, 40} vs p = {0.5, 0.5}: stat = 100/50 + 100/50 = 4.
+  const std::array<std::uint64_t, 2> obs = {60, 40};
+  const std::array<double, 2> probs = {0.5, 0.5};
+  EXPECT_DOUBLE_EQ(chi_square_statistic(obs, probs), 4.0);
+}
+
+TEST(ChiSquare, ZeroProbabilityCellWithMassThrows) {
+  const std::array<std::uint64_t, 2> obs = {1, 1};
+  const std::array<double, 2> probs = {0.0, 1.0};
+  EXPECT_THROW(chi_square_statistic(obs, probs), std::invalid_argument);
+}
+
+TEST(ChiSquare, ZeroProbabilityCellWithoutMassIsFine) {
+  const std::array<std::uint64_t, 2> obs = {0, 10};
+  const std::array<double, 2> probs = {0.0, 1.0};
+  EXPECT_DOUBLE_EQ(chi_square_statistic(obs, probs), 0.0);
+}
+
+TEST(ChiSquare, CriticalValuesAreMonotone) {
+  for (std::size_t df = 2; df <= 16; ++df) {
+    EXPECT_GT(chi_square_critical_999(df), chi_square_critical_999(df - 1));
+  }
+  EXPECT_NEAR(chi_square_critical_999(1), 10.828, 1e-3);
+  EXPECT_THROW(chi_square_critical_999(0), std::invalid_argument);
+  EXPECT_THROW(chi_square_critical_999(17), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace noisypull

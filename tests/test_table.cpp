@@ -1,0 +1,89 @@
+#include "noisypull/analysis/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace noisypull {
+namespace {
+
+TEST(Table, BuildsAndCountsRows) {
+  Table t({"n", "rate"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.cell(std::uint64_t{100}).cell(0.5, 2);
+  t.end_row();
+  t.cell(std::uint64_t{200}).cell(0.75, 2);
+  t.end_row();
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.rows()[0][0], "100");
+  EXPECT_EQ(t.rows()[0][1], "0.50");
+}
+
+TEST(Table, PrintAlignsColumns) {
+  Table t({"x", "value"});
+  t.cell(std::uint64_t{1}).cell("a").end_row();
+  t.cell(std::uint64_t{1000}).cell("bb").end_row();
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("|    x | value |"), std::string::npos);
+  EXPECT_NE(out.find("| 1000 |    bb |"), std::string::npos);
+  EXPECT_NE(out.find("|------"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.cell(std::uint64_t{1}).cell(2.5, 1).end_row();
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2.5\n");
+}
+
+TEST(Table, CsvFileRoundtrip) {
+  Table t({"k"});
+  t.cell(std::int64_t{-7}).end_row();
+  const std::string path = "/tmp/noisypull_test_table.csv";
+  ASSERT_TRUE(t.write_csv_file(path));
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "k");
+  std::getline(in, line);
+  EXPECT_EQ(line, "-7");
+  std::remove(path.c_str());
+}
+
+TEST(Table, CsvFileFailureReturnsFalse) {
+  Table t({"k"});
+  EXPECT_FALSE(t.write_csv_file("/nonexistent-dir/x.csv"));
+}
+
+TEST(Table, RowShapeIsEnforced) {
+  Table t({"a", "b"});
+  t.cell("only one");
+  EXPECT_THROW(t.end_row(), std::invalid_argument);
+  t.cell("two");
+  EXPECT_NO_THROW(t.end_row());
+  t.cell("1").cell("2");
+  EXPECT_THROW(t.cell("3"), std::invalid_argument);
+}
+
+TEST(Table, NeedsAtLeastOneColumn) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(BenchArgs, ParsesCsvFlag) {
+  const char* argv[] = {"prog", "--csv", "/tmp/out"};
+  const auto args = BenchArgs::parse(3, const_cast<char**>(argv));
+  EXPECT_TRUE(args.csv);
+  EXPECT_EQ(args.csv_path, "/tmp/out");
+
+  const char* argv2[] = {"prog"};
+  const auto none = BenchArgs::parse(1, const_cast<char**>(argv2));
+  EXPECT_FALSE(none.csv);
+}
+
+}  // namespace
+}  // namespace noisypull

@@ -1,0 +1,302 @@
+// Numerical validation of the paper's probability toolbox (Section 5.1) and
+// bound expressions: the inequalities of Claim 19 and Lemmas 21/22 are
+// checked against exact binomial computations over parameter grids.
+#include "noisypull/theory/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "noisypull/core/schedule.hpp"
+#include "noisypull/rng/binomial.hpp"
+
+namespace noisypull {
+namespace {
+
+TEST(BinomialPmf, MatchesHandComputedValues) {
+  EXPECT_NEAR(binomial_pmf(4, 2, 0.5), 6.0 / 16.0, 1e-12);
+  EXPECT_NEAR(binomial_pmf(3, 0, 0.25), 27.0 / 64.0, 1e-12);
+  EXPECT_NEAR(binomial_pmf(3, 3, 0.25), 1.0 / 64.0, 1e-12);
+  EXPECT_DOUBLE_EQ(binomial_pmf(5, 0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(5, 3, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(5, 5, 1.0), 1.0);
+}
+
+TEST(BinomialPmf, SumsToOne) {
+  for (std::uint64_t n : {1ULL, 7ULL, 100ULL, 1000ULL}) {
+    for (double p : {0.01, 0.3, 0.77}) {
+      double sum = 0.0;
+      for (std::uint64_t k = 0; k <= n; ++k) sum += binomial_pmf(n, k, p);
+      EXPECT_NEAR(sum, 1.0, 1e-9);
+    }
+  }
+}
+
+TEST(Claim19, HoldsExactly) {
+  // P(X = 1) = n·p·(1−p)^(n−1) ≥ n·p/e whenever n·p ≤ 1.
+  for (std::uint64_t n : {1ULL, 2ULL, 5ULL, 20ULL, 100ULL, 10000ULL}) {
+    for (double frac : {0.1, 0.5, 0.9, 1.0}) {
+      const double p = frac / static_cast<double>(n);
+      const double exact = binomial_pmf(n, 1, p);
+      EXPECT_GE(exact + 1e-15, claim19_lower_bound(n, p))
+          << "n=" << n << " np=" << frac;
+    }
+  }
+}
+
+TEST(Lemma21, GIsAValidLowerBound) {
+  // P(B ≥ m/2) − P(B < m/2) ≥ g(θ, m), exactly, over a grid.
+  for (std::uint64_t m : {1ULL, 2ULL, 3ULL, 5ULL, 10ULL, 41ULL, 100ULL,
+                          400ULL}) {
+    for (double theta : {0.001, 0.01, 0.05, 0.1, 0.2, 0.4, 0.5}) {
+      const double p = 0.5 + theta;
+      double above_eq = 0.0, below = 0.0;
+      for (std::uint64_t k = 0; k <= m; ++k) {
+        const double pmf = binomial_pmf(m, k, p);
+        if (2.0 * static_cast<double>(k) >= static_cast<double>(m)) {
+          above_eq += pmf;
+        } else {
+          below += pmf;
+        }
+      }
+      EXPECT_GE(above_eq - below + 1e-12, lemma21_g(theta, m))
+          << "m=" << m << " theta=" << theta;
+    }
+  }
+}
+
+TEST(Lemma22, HoldsAgainstExactComputation) {
+  for (std::uint64_t m : {1ULL, 2ULL, 5ULL, 17ULL, 64ULL, 333ULL, 1000ULL}) {
+    for (double theta : {0.0, 0.001, 0.01, 0.05, 0.1, 0.25, 0.49}) {
+      const double exact = rademacher_sum_advantage_exact(theta, m);
+      EXPECT_GE(exact + 1e-12, lemma22_lower_bound(theta, m))
+          << "m=" << m << " theta=" << theta;
+    }
+  }
+}
+
+TEST(Lemma22, ExactAdvantageMatchesSimulation) {
+  // Sanity-check the exact computation itself against Monte Carlo.
+  Rng rng(77);
+  const std::uint64_t m = 31;
+  const double theta = 0.08;
+  const int kReps = 200000;
+  int above = 0, below = 0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const std::uint64_t b = sample_binomial(rng, m, 0.5 + theta);
+    if (2 * b > m) {
+      ++above;
+    } else if (2 * b < m) {
+      ++below;
+    }
+  }
+  const double simulated =
+      static_cast<double>(above - below) / static_cast<double>(kReps);
+  EXPECT_NEAR(simulated, rademacher_sum_advantage_exact(theta, m), 0.01);
+}
+
+TEST(Theorem3, LowerBoundShape) {
+  // Halving h doubles the bound; doubling s quarters it; larger alphabet
+  // margin raises it.
+  const double base = theorem3_lower_bound(10000, 4, 0.2, 1, 2);
+  EXPECT_NEAR(theorem3_lower_bound(10000, 2, 0.2, 1, 2), 2 * base, 1e-9);
+  EXPECT_NEAR(theorem3_lower_bound(10000, 4, 0.2, 2, 2), base / 4, 1e-9);
+  EXPECT_GT(theorem3_lower_bound(10000, 4, 0.2, 1, 4), base);
+  // Degenerate channel (delta = 1/|Sigma|) carries no information: vacuous.
+  EXPECT_EQ(theorem3_lower_bound(10000, 4, 0.5, 1, 2), 0.0);
+}
+
+TEST(Theorem4, UpperBoundDominatesLowerBound) {
+  // On the shared domain, the Theorem 4 expression is at least the
+  // Theorem 3 expression (up to constants, which both omit — the paper's
+  // claim is a log-factor gap, so a plain >= holds comfortably here).
+  for (std::uint64_t n : {1000ULL, 100000ULL}) {
+    for (std::uint64_t h : {1ULL, 32ULL, 1000ULL}) {
+      for (double delta : {0.05, 0.2, 0.4}) {
+        EXPECT_GE(theorem4_upper_bound(n, h, delta, 1, 0),
+                  theorem3_lower_bound(n, h, delta, 1, 2));
+      }
+    }
+  }
+}
+
+TEST(Theorem4, MatchesRemarkRegime) {
+  // Remark: for delta >= 4/sqrt(n) and s0,s1 <= sqrt(n), the bound is
+  // O(n delta log n/(s^2(1-2delta)^2 h) + log n) — i.e., the noise term
+  // dominates the sqrt and source terms.
+  const std::uint64_t n = 1 << 20;
+  const double delta = 0.3;
+  const double t = theorem4_upper_bound(n, 1, delta, 1, 0);
+  const double noise_term = static_cast<double>(n) * delta /
+                            ((1 - 2 * delta) * (1 - 2 * delta)) *
+                            std::log(static_cast<double>(n));
+  EXPECT_GT(t, noise_term);            // contains it
+  EXPECT_LT(t, 1.1 * noise_term);      // ...and little else
+}
+
+TEST(Theorem5, UpperBoundShape) {
+  // Linear in n at fixed h; divided by h; diverges as delta → 1/4.
+  const double base = theorem5_upper_bound(10000, 1, 0.1);
+  EXPECT_NEAR(theorem5_upper_bound(10000, 10, 0.1), base / 10, base * 0.01);
+  EXPECT_GT(theorem5_upper_bound(10000, 1, 0.24), base);
+  EXPECT_EQ(theorem5_upper_bound(10000, 1, 0.0), 10000.0);  // pure n/h term
+}
+
+TEST(WeakOpinionCondition, MarginSignTracksEq2) {
+  // Large (p−1/2)·√ℓ → condition holds; tiny → fails.
+  EXPECT_GT(weak_opinion_condition_margin(0.6, 10000, 1000), 0.0);
+  EXPECT_LT(weak_opinion_condition_margin(0.5001, 1.0, 1000), 0.0);
+}
+
+TEST(SfWeakOpinionExact, MatchesSimulation) {
+  // The closed-form Lemma 28 quantity vs Monte Carlo over the actual
+  // counter construction (Counter1/Counter0 binomials).
+  Rng rng(42);
+  const std::uint64_t n = 200, m = 60, s1 = 3, s0 = 1;
+  const double delta = 0.2;
+  const double pa1 = (3.0 / 200) * 0.8 + (197.0 / 200) * 0.2;
+  const double pb0 = (1.0 / 200) * 0.8 + (199.0 / 200) * 0.2;
+  const int kReps = 200000;
+  double correct = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const auto c1 = sample_binomial(rng, m, pa1);
+    const auto c0 = sample_binomial(rng, m, pb0);
+    if (c1 > c0) {
+      correct += 1.0;
+    } else if (c1 == c0) {
+      correct += 0.5;
+    }
+  }
+  EXPECT_NEAR(correct / kReps, sf_weak_opinion_exact(n, m, delta, s1, s0),
+              0.005);
+}
+
+TEST(SfWeakOpinionExact, AlwaysAboveOneHalf) {
+  for (std::uint64_t n : {100ULL, 1000ULL, 10000ULL}) {
+    for (std::uint64_t m : {10ULL, 100ULL, 2000ULL}) {
+      for (double delta : {0.0, 0.1, 0.3, 0.45}) {
+        EXPECT_GT(sf_weak_opinion_exact(n, m, delta, 1, 0), 0.5)
+            << "n=" << n << " m=" << m << " delta=" << delta;
+      }
+    }
+  }
+}
+
+TEST(SfWeakOpinionExact, MonotoneInBudgetAndBias) {
+  // More messages and a larger bias both sharpen the weak opinion.
+  const double small_m = sf_weak_opinion_exact(1000, 100, 0.2, 1, 0);
+  const double large_m = sf_weak_opinion_exact(1000, 10000, 0.2, 1, 0);
+  EXPECT_GT(large_m, small_m);
+  const double small_s = sf_weak_opinion_exact(1000, 1000, 0.2, 1, 0);
+  const double large_s = sf_weak_opinion_exact(1000, 1000, 0.2, 10, 0);
+  EXPECT_GT(large_s, small_s);
+}
+
+TEST(SfWeakOpinionExact, DegenerateChannelIsAFairCoin) {
+  // δ = 1/2 destroys all information: both counters are Binomial(m, 1/2).
+  EXPECT_NEAR(sf_weak_opinion_exact(1000, 500, 0.5, 1, 0), 0.5, 1e-9);
+}
+
+TEST(SfWeakOpinionExact, SatisfiesLemma28AtTheoreticalBudget) {
+  // The weak-opinion advantage scales as √c1 (it is (signal/√m)·m-shaped):
+  // at the calibrated c1 = 2 it sits at ≈ 0.46·√(log n/n); with a
+  // theory-sized constant (c1 = 16) it must clear the Ω(√(log n/n)) bound
+  // of Lemma 28.
+  for (std::uint64_t n : {1000ULL, 10000ULL}) {
+    const PopulationConfig pop{.n = n, .s1 = 1, .s0 = 0};
+    const double yardstick =
+        std::sqrt(std::log(static_cast<double>(n)) / static_cast<double>(n));
+    const auto calibrated = make_sf_schedule(pop, 1, 0.2, 2.0);
+    EXPECT_GE(sf_weak_opinion_exact(n, calibrated.m, 0.2, 1, 0) - 0.5,
+              0.3 * yardstick)
+        << "n=" << n;
+    const auto theory = make_sf_schedule(pop, 1, 0.2, 16.0);
+    EXPECT_GE(sf_weak_opinion_exact(n, theory.m, 0.2, 1, 0) - 0.5, yardstick)
+        << "n=" << n;
+  }
+}
+
+TEST(SsfWeakOpinionExact, MatchesSimulation) {
+  // Monte Carlo over the Eq. 33 trinomial slots vs the closed form.
+  Rng rng(55);
+  const std::uint64_t n = 150, m = 80, s1 = 2, s0 = 1;
+  const double delta = 0.05;
+  const double p_plus = (2.0 / 150) * 0.85 + (148.0 / 150) * 0.05;
+  const double p_minus = (1.0 / 150) * 0.85 + (149.0 / 150) * 0.05;
+  const int kReps = 150000;
+  double correct = 0.0;
+  std::array<std::uint64_t, 3> counts{};
+  const std::array<double, 3> w = {p_plus, p_minus,
+                                   1.0 - p_plus - p_minus};
+  for (int rep = 0; rep < kReps; ++rep) {
+    sample_multinomial(rng, m, w, counts);
+    if (counts[0] > counts[1]) {
+      correct += 1.0;
+    } else if (counts[0] == counts[1]) {
+      correct += 0.5;
+    }
+  }
+  EXPECT_NEAR(correct / kReps, ssf_weak_opinion_exact(n, m, delta, s1, s0),
+              0.005);
+}
+
+TEST(SsfWeakOpinionExact, AboveOneHalfAndMonotone) {
+  for (std::uint64_t n : {100ULL, 1000ULL}) {
+    for (std::uint64_t m : {20ULL, 200ULL}) {
+      for (double delta : {0.0, 0.05, 0.2}) {
+        EXPECT_GT(ssf_weak_opinion_exact(n, m, delta, 1, 0), 0.5)
+            << "n=" << n << " m=" << m << " delta=" << delta;
+      }
+    }
+  }
+  EXPECT_GT(ssf_weak_opinion_exact(500, 800, 0.05, 1, 0),
+            ssf_weak_opinion_exact(500, 80, 0.05, 1, 0));
+  EXPECT_GT(ssf_weak_opinion_exact(500, 200, 0.05, 5, 0),
+            ssf_weak_opinion_exact(500, 200, 0.05, 1, 0));
+}
+
+TEST(SsfWeakOpinionExact, NoiselessSingleSourceIsClaim19Shaped) {
+  // With δ = 0 a non-zero slot can only be an uncorrupted source message,
+  // so the weak opinion errs only when no source was sampled (coin):
+  // P(correct) = 1 − ½·(1−s/n)^m.
+  const std::uint64_t n = 100, m = 30;
+  const double want =
+      1.0 - 0.5 * std::pow(1.0 - 1.0 / static_cast<double>(n),
+                           static_cast<double>(m));
+  EXPECT_NEAR(ssf_weak_opinion_exact(n, m, 0.0, 1, 0), want, 1e-9);
+}
+
+TEST(SsfWeakOpinionExact, Validation) {
+  EXPECT_THROW(ssf_weak_opinion_exact(100, 10, 0.05, 1, 1),
+               std::invalid_argument);
+  EXPECT_THROW(ssf_weak_opinion_exact(100, 10, 0.3, 1, 0),
+               std::invalid_argument);
+  EXPECT_THROW(ssf_weak_opinion_exact(100, 0, 0.05, 1, 0),
+               std::invalid_argument);
+}
+
+TEST(SfWeakOpinionExact, Validation) {
+  EXPECT_THROW(sf_weak_opinion_exact(100, 10, 0.2, 1, 1),
+               std::invalid_argument);
+  EXPECT_THROW(sf_weak_opinion_exact(100, 0, 0.2, 1, 0),
+               std::invalid_argument);
+  EXPECT_THROW(sf_weak_opinion_exact(100, 10, 0.6, 1, 0),
+               std::invalid_argument);
+  EXPECT_THROW(sf_weak_opinion_exact(4, 10, 0.2, 3, 2),
+               std::invalid_argument);
+}
+
+TEST(TheoryBounds, InputValidation) {
+  EXPECT_THROW(theorem3_lower_bound(10, 0, 0.1, 1, 2), std::invalid_argument);
+  EXPECT_THROW(theorem3_lower_bound(10, 1, 0.6, 1, 2), std::invalid_argument);
+  EXPECT_THROW(theorem4_upper_bound(10, 1, 0.5, 1, 0), std::invalid_argument);
+  EXPECT_THROW(theorem4_upper_bound(10, 1, 0.1, 1, 1), std::invalid_argument);
+  EXPECT_THROW(theorem5_upper_bound(10, 1, 0.25), std::invalid_argument);
+  EXPECT_THROW(claim19_lower_bound(10, 0.5), std::invalid_argument);
+  EXPECT_THROW(lemma21_g(0.6, 10), std::invalid_argument);
+  EXPECT_THROW(binomial_pmf(3, 4, 0.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace noisypull

@@ -1,0 +1,194 @@
+#include "noisypull/core/variants.hpp"
+
+#include <gtest/gtest.h>
+
+#include "noisypull/model/engine.hpp"
+#include "noisypull/sim/runner.hpp"
+
+namespace noisypull {
+namespace {
+
+PopulationConfig pop(std::uint64_t n, std::uint64_t s1, std::uint64_t s0) {
+  return PopulationConfig{.n = n, .s1 = s1, .s0 = s0};
+}
+
+SymbolCounts obs2(std::uint64_t zeros, std::uint64_t ones) {
+  SymbolCounts c(2);
+  c[0] = zeros;
+  c[1] = ones;
+  return c;
+}
+
+TEST(EagerSourceFilter, DisplaysInitialOpinionsInsteadOfNeutralBlocks) {
+  const auto p = pop(50, 1, 0);
+  const auto sched = make_sf_schedule_with_m(p, 2, 0.1, 8);
+  Rng init(42);
+  EagerSourceFilter eager(p, sched, init);
+
+  // Sources still display their preference.
+  EXPECT_EQ(eager.display(0, 0), 1);
+  // Non-sources display the same (random) value in both listening phases —
+  // not the 0-block/1-block of SF.
+  int ones_phase0 = 0;
+  for (std::uint64_t i = 1; i < p.n; ++i) {
+    const Symbol d0 = eager.display(i, 0);
+    const Symbol d1 = eager.display(i, sched.phase_rounds);  // Phase 1
+    EXPECT_EQ(d0, d1);
+    ones_phase0 += d0;
+  }
+  // Random initialization: some of each.
+  EXPECT_GT(ones_phase0, 5);
+  EXPECT_LT(ones_phase0, 44);
+}
+
+TEST(AlternatingSourceFilter, AlternatesStartingFromTheCoin) {
+  const auto p = pop(50, 1, 0);
+  const auto sched = make_sf_schedule_with_m(p, 2, 0.1, 8);
+  Rng init(43);
+  AlternatingSourceFilter alt(p, sched, init);
+
+  for (std::uint64_t i = 1; i < p.n; ++i) {
+    const Symbol first = alt.display(i, 0);
+    for (std::uint64_t t = 1; t < sched.boosting_start(); ++t) {
+      EXPECT_EQ(alt.display(i, t), (first + t) % 2);
+    }
+  }
+}
+
+TEST(AlternatingSourceFilter, CountsAgainstOwnDisplayedBit) {
+  const auto p = pop(50, 1, 0);
+  const auto sched = make_sf_schedule_with_m(p, 1, 0.1, 4);
+  Rng init(44);
+  AlternatingSourceFilter alt(p, sched, init);
+  Rng rng(45);
+
+  const std::uint64_t agent = 10;
+  std::uint64_t want1 = 0, want0 = 0;
+  for (std::uint64_t t = 0; t < sched.boosting_start(); ++t) {
+    // Every observation is a 1: it should increment counter1 only on the
+    // agent's 0-display rounds.
+    if (alt.display(agent, t) == 0) ++want1;
+    alt.update(agent, t, obs2(0, 1), rng);
+  }
+  EXPECT_EQ(alt.counter1(agent), want1);
+  EXPECT_EQ(alt.counter0(agent), want0);
+  // Half the rounds displayed 0.
+  EXPECT_EQ(want1, sched.boosting_start() / 2);
+}
+
+TEST(AlternatingSourceFilter, ComputesWeakOpinionAtListeningEnd) {
+  const auto p = pop(50, 1, 0);
+  const auto sched = make_sf_schedule_with_m(p, 1, 0.1, 4);
+  Rng init(46);
+  AlternatingSourceFilter alt(p, sched, init);
+  Rng rng(47);
+  const std::uint64_t agent = 10;
+  for (std::uint64_t t = 0; t < sched.boosting_start(); ++t) {
+    alt.update(agent, t, obs2(0, 1), rng);  // all 1s → counter1 > counter0
+  }
+  EXPECT_EQ(alt.weak_opinion(agent), 1);
+  EXPECT_EQ(alt.opinion(agent), 1);
+}
+
+TEST(AlternatingSourceFilter, ConvergesLikeSourceFilter) {
+  // The §2.1 remark conjectures the alternating scheme works as well; check
+  // a mid-size instance converges.
+  const auto p = pop(300, 2, 0);
+  const double delta = 0.1;
+  const auto noise = NoiseMatrix::uniform(2, delta);
+  const auto sched = make_sf_schedule(p, p.n, delta, 2.0);
+  Rng init(48);
+  AlternatingSourceFilter alt(p, sched, init);
+  AggregateEngine engine;
+  Rng rng(49);
+  const auto result =
+      run(alt, engine, noise, p.correct_opinion(), RunConfig{.h = p.n}, rng);
+  EXPECT_TRUE(result.all_correct_at_end);
+}
+
+TEST(EagerSourceFilter, UnreliableAtSmallBiasWhereSfIsReliable) {
+  // The ablation's measurable consequence (see tab_ablations): at bias 1
+  // the no-listening variant fails a large fraction of runs while SF does
+  // not — the relayed-opinion noise floor of the paper's design argument.
+  const auto p = pop(500, 1, 0);
+  const double delta = 0.15;
+  const auto noise = NoiseMatrix::uniform(2, delta);
+  const auto sched = make_sf_schedule(p, p.n, delta, 2.0);
+  int sf_ok = 0, eager_ok = 0;
+  const int kReps = 12;
+  for (int rep = 0; rep < kReps; ++rep) {
+    {
+      SourceFilter sf(p, sched);
+      AggregateEngine engine;
+      Rng rng(600 + rep);
+      sf_ok += run(sf, engine, noise, p.correct_opinion(),
+                   RunConfig{.h = p.n}, rng)
+                   .all_correct_at_end
+                   ? 1
+                   : 0;
+    }
+    {
+      Rng init(700 + rep);
+      EagerSourceFilter eager(p, sched, init);
+      AggregateEngine engine;
+      Rng rng(800 + rep);
+      eager_ok += run(eager, engine, noise, p.correct_opinion(),
+                      RunConfig{.h = p.n}, rng)
+                      .all_correct_at_end
+                      ? 1
+                      : 0;
+    }
+  }
+  EXPECT_GE(sf_ok, kReps - 1);
+  EXPECT_LE(eager_ok, kReps - 3);  // fails a visible fraction of the time
+  EXPECT_GT(sf_ok, eager_ok);
+}
+
+TEST(TaglessSsf, DisplaysPreferenceOrWeakOpinion) {
+  const auto p = pop(10, 1, 1);
+  TaglessSsf tagless(p, 2, 10);
+  EXPECT_EQ(tagless.display(0, 0), 1);
+  EXPECT_EQ(tagless.display(1, 0), 0);
+  EXPECT_EQ(tagless.display(5, 0), 0);  // default weak opinion
+}
+
+TEST(TaglessSsf, MajorityUpdateAndFlush) {
+  const auto p = pop(10, 1, 0);
+  TaglessSsf tagless(p, 1, 5);
+  Rng rng(50);
+  SymbolCounts ones(2);
+  ones[1] = 3;
+  tagless.update(4, 0, ones, rng);
+  EXPECT_EQ(tagless.opinion(4), 0);  // below budget: unchanged
+  SymbolCounts more(2);
+  more[1] = 2;
+  tagless.update(4, 1, more, rng);
+  EXPECT_EQ(tagless.opinion(4), 1);  // 5 ones vs 0 zeros
+  EXPECT_EQ(tagless.display(4, 2), 1);
+}
+
+TEST(TaglessSsf, CorruptSetsState) {
+  const auto p = pop(10, 1, 0);
+  TaglessSsf tagless(p, 1, 5);
+  tagless.corrupt(4, 3, 0, 1, 1);
+  EXPECT_EQ(tagless.opinion(4), 1);
+  Rng rng(51);
+  SymbolCounts zeros(2);
+  zeros[0] = 2;
+  tagless.update(4, 0, zeros, rng);  // 3+2 = 5 zeros ≥ m → majority 0
+  EXPECT_EQ(tagless.opinion(4), 0);
+}
+
+TEST(TaglessSsf, InputValidation) {
+  const auto p = pop(10, 1, 0);
+  EXPECT_THROW(TaglessSsf(p, 0, 5), std::invalid_argument);
+  EXPECT_THROW(TaglessSsf(p, 1, 0), std::invalid_argument);
+  TaglessSsf tagless(p, 1, 5);
+  Rng rng(1);
+  SymbolCounts wrong(4);
+  EXPECT_THROW(tagless.update(0, 0, wrong, rng), std::invalid_argument);
+  EXPECT_THROW(tagless.opinion(10), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace noisypull

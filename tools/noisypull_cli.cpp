@@ -1,0 +1,347 @@
+// noisypull_cli — run any protocol/configuration from the command line.
+//
+//   noisypull_cli --protocol sf --n 10000 --h 10000 --delta 0.2 --s1 1
+//   noisypull_cli --protocol ssf --n 2000 --delta 0.05
+//                 --corruption wrong-consensus --reps 16 --stability 50
+//   noisypull_cli --protocol kary --n 2000 --sources 3,2,2,1 --delta 0.05
+//   noisypull_cli --protocol push --n 4000 --delta 0.1 --h 1
+//   noisypull_cli --protocol sf --n 1000 --delta 0.2 --trajectory
+//
+// Prints one row per repetition plus a summary; `--csv <path>` mirrors the
+// rows to CSV.  Run with --help for the full flag list.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "noisypull/noisypull.hpp"
+
+namespace {
+
+using namespace noisypull;
+
+struct CliOptions {
+  std::string protocol = "sf";
+  std::uint64_t n = 1000;
+  std::uint64_t h = 0;  // 0 → n
+  double delta = 0.1;
+  std::uint64_t s1 = 1;
+  std::uint64_t s0 = 0;
+  std::vector<std::uint64_t> kary_sources;  // --sources a,b,c (kary only)
+  double c1 = 2.0;
+  std::uint64_t seed = 1;
+  std::uint64_t reps = 8;
+  std::uint64_t max_rounds = 0;       // 0 → protocol's planned horizon
+  std::uint64_t stability = 0;        // extra all-correct rounds required
+  std::uint64_t window = 0;           // repeated-majority window (0 → n)
+  std::string corruption = "none";    // ssf corruption policy
+  std::string engine = "aggregate";   // aggregate | exact | sequential
+  std::string order = "random";       // sequential activation order
+  bool trajectory = false;            // print per-round correct counts
+  bool csv = false;
+  std::string csv_path;
+};
+
+[[noreturn]] void usage(int code) {
+  std::printf(R"(noisypull_cli — noisy PULL/PUSH information-spreading simulator
+
+  --protocol P    sf | ssf | kary | voter | majority | repeated | push | tagless
+  --n N           population size                      (default 1000)
+  --h H           sample size / push fan-out; 0 = n    (default 0)
+  --delta D       uniform noise level                  (default 0.1)
+  --s1 K --s0 K   sources preferring 1 / 0             (default 1 / 0)
+  --sources a,b,c per-opinion source counts (kary only)
+  --c1 C          schedule constant                    (default 2.0)
+  --seed S        base RNG seed                        (default 1)
+  --reps R        independent repetitions              (default 8)
+  --max-rounds T  round budget; 0 = protocol horizon   (default 0)
+  --stability W   require consensus to hold W extra rounds
+  --window K      repeated-majority window; 0 = n
+  --corruption C  none | random-state | wrong-consensus |
+                  overflow-memory | desync-clocks      (ssf/tagless)
+  --engine E      aggregate | exact | sequential       (default aggregate)
+  --order O       random | ascending | descending      (sequential engine)
+  --trajectory    print per-round correct counts of repetition 0
+  --csv PATH      mirror the result table to PATH.csv
+  --help
+)");
+  std::exit(code);
+}
+
+std::uint64_t parse_u64(const char* value) {
+  char* end = nullptr;
+  const auto v = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0') {
+    std::fprintf(stderr, "error: expected integer, got '%s'\n", value);
+    std::exit(2);
+  }
+  return v;
+}
+
+double parse_double(const char* value) {
+  char* end = nullptr;
+  const double v = std::strtod(value, &end);
+  if (end == value || *end != '\0') {
+    std::fprintf(stderr, "error: expected number, got '%s'\n", value);
+    std::exit(2);
+  }
+  return v;
+}
+
+std::vector<std::uint64_t> parse_list(const std::string& value) {
+  std::vector<std::uint64_t> out;
+  std::size_t start = 0;
+  while (start <= value.size()) {
+    const std::size_t comma = value.find(',', start);
+    const std::string token =
+        value.substr(start, comma == std::string::npos ? std::string::npos
+                                                       : comma - start);
+    out.push_back(parse_u64(token.c_str()));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+CliOptions parse_args(int argc, char** argv) {
+  CliOptions opt;
+  auto need_value = [&](int i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "error: %s needs a value\n", argv[i]);
+      std::exit(2);
+    }
+    return argv[i + 1];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--help" || a == "-h") usage(0);
+    else if (a == "--protocol") opt.protocol = need_value(i++);
+    else if (a == "--n") opt.n = parse_u64(need_value(i++));
+    else if (a == "--h") opt.h = parse_u64(need_value(i++));
+    else if (a == "--delta") opt.delta = parse_double(need_value(i++));
+    else if (a == "--s1") opt.s1 = parse_u64(need_value(i++));
+    else if (a == "--s0") opt.s0 = parse_u64(need_value(i++));
+    else if (a == "--sources") opt.kary_sources = parse_list(need_value(i++));
+    else if (a == "--c1") opt.c1 = parse_double(need_value(i++));
+    else if (a == "--seed") opt.seed = parse_u64(need_value(i++));
+    else if (a == "--reps") opt.reps = parse_u64(need_value(i++));
+    else if (a == "--max-rounds") opt.max_rounds = parse_u64(need_value(i++));
+    else if (a == "--stability") opt.stability = parse_u64(need_value(i++));
+    else if (a == "--window") opt.window = parse_u64(need_value(i++));
+    else if (a == "--corruption") opt.corruption = need_value(i++);
+    else if (a == "--engine") opt.engine = need_value(i++);
+    else if (a == "--order") opt.order = need_value(i++);
+    else if (a == "--trajectory") opt.trajectory = true;
+    else if (a == "--csv") {
+      opt.csv = true;
+      opt.csv_path = need_value(i++);
+    } else {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", a.c_str());
+      usage(2);
+    }
+  }
+  return opt;
+}
+
+CorruptionPolicy parse_policy(const std::string& name) {
+  for (const auto policy : kAllCorruptionPolicies) {
+    if (name == to_string(policy)) return policy;
+  }
+  std::fprintf(stderr, "error: unknown corruption policy '%s'\n",
+               name.c_str());
+  std::exit(2);
+}
+
+std::unique_ptr<Engine> make_engine(const CliOptions& opt) {
+  if (opt.engine == "aggregate") return std::make_unique<AggregateEngine>();
+  if (opt.engine == "exact") return std::make_unique<ExactEngine>();
+  if (opt.engine == "sequential") {
+    auto order = SequentialEngine::Order::Random;
+    if (opt.order == "ascending") {
+      order = SequentialEngine::Order::FixedAscending;
+    } else if (opt.order == "descending") {
+      order = SequentialEngine::Order::FixedDescending;
+    } else if (opt.order != "random") {
+      std::fprintf(stderr, "error: unknown order '%s'\n", opt.order.c_str());
+      std::exit(2);
+    }
+    return std::make_unique<SequentialEngine>(order);
+  }
+  std::fprintf(stderr, "error: unknown engine '%s'\n", opt.engine.c_str());
+  std::exit(2);
+}
+
+struct PullSetup {
+  std::unique_ptr<PullProtocol> protocol;
+  NoiseMatrix noise;
+  Opinion correct;
+  std::uint64_t default_rounds = 0;  // budget when the protocol has no horizon
+};
+
+PullSetup make_pull_setup(const CliOptions& opt, std::uint64_t h, Rng& init) {
+  const PopulationConfig pop{.n = opt.n, .s1 = opt.s1, .s0 = opt.s0};
+  const CorruptionPolicy policy = parse_policy(opt.corruption);
+
+  if (opt.protocol == "kary") {
+    KaryPopulation kpop{.n = opt.n, .sources = opt.kary_sources};
+    if (kpop.sources.empty()) kpop.sources = {opt.s0, opt.s1};
+    auto protocol =
+        std::make_unique<KarySourceFilter>(kpop, h, opt.delta, opt.c1);
+    const auto d = kpop.num_opinions();
+    return {std::move(protocol), NoiseMatrix::uniform(d, opt.delta),
+            kpop.plurality_opinion()};
+  }
+
+  const Opinion correct = pop.correct_opinion();
+  if (opt.protocol == "sf") {
+    return {std::make_unique<SourceFilter>(pop, h, opt.delta, opt.c1),
+            NoiseMatrix::uniform(2, opt.delta), correct};
+  }
+  // Budget for protocols with no intrinsic horizon: 20 memory cycles for
+  // the self-stabilizing family, 50·n/h rounds for the baselines.
+  const std::uint64_t baseline_budget =
+      std::max<std::uint64_t>(100, 50 * ((pop.n + h - 1) / h));
+  if (opt.protocol == "ssf") {
+    auto ssf = std::make_unique<SelfStabilizingSourceFilter>(pop, h, opt.delta,
+                                                             opt.c1);
+    corrupt_population(*ssf, policy, correct, init);
+    const std::uint64_t deadline = ssf->convergence_deadline();
+    return {std::move(ssf), NoiseMatrix::uniform(4, opt.delta), correct,
+            deadline};
+  }
+  if (opt.protocol == "tagless") {
+    const auto m = ssf_memory_budget(pop, opt.delta, opt.c1);
+    auto tagless = std::make_unique<TaglessSsf>(pop, h, m);
+    corrupt_population(*tagless, policy, correct, init);
+    return {std::move(tagless), NoiseMatrix::uniform(2, opt.delta), correct,
+            4 * ((m + h - 1) / h) + 1};
+  }
+  if (opt.protocol == "voter") {
+    return {std::make_unique<VoterProtocol>(pop, init),
+            NoiseMatrix::uniform(2, opt.delta), correct, baseline_budget};
+  }
+  if (opt.protocol == "majority") {
+    return {std::make_unique<MajorityDynamics>(pop, init),
+            NoiseMatrix::uniform(2, opt.delta), correct, baseline_budget};
+  }
+  if (opt.protocol == "repeated") {
+    const std::uint64_t window = opt.window == 0 ? opt.n : opt.window;
+    return {std::make_unique<RepeatedMajority>(pop, window, init),
+            NoiseMatrix::uniform(2, opt.delta), correct, baseline_budget};
+  }
+  std::fprintf(stderr, "error: unknown protocol '%s'\n",
+               opt.protocol.c_str());
+  std::exit(2);
+}
+
+int run_push_protocol(const CliOptions& opt, std::uint64_t h) {
+  const PopulationConfig pop{.n = opt.n, .s1 = opt.s1, .s0 = opt.s0};
+  const auto noise = NoiseMatrix::uniform(2, opt.delta);
+  Table table({"rep", "converged", "first-correct", "rounds", "correct"});
+  std::uint64_t successes = 0;
+  for (std::uint64_t rep = 0; rep < opt.reps; ++rep) {
+    PushSpread push(pop, h, opt.delta);
+    AggregatePushEngine engine;
+    Rng rng(opt.seed, 2 * rep + 1);
+    const auto r = run_push(push, engine, noise, pop.correct_opinion(),
+                            RunConfig{.h = h,
+                                      .max_rounds = opt.max_rounds,
+                                      .stability_window = opt.stability,
+                                      .record_trajectory = opt.trajectory &&
+                                                           rep == 0},
+                            rng);
+    successes += r.all_correct_at_end ? 1 : 0;
+    table.cell(rep)
+        .cell(r.all_correct_at_end ? "yes" : "no")
+        .cell(r.first_all_correct == kNever
+                  ? std::string("never")
+                  : std::to_string(r.first_all_correct))
+        .cell(r.rounds_run)
+        .cell(r.correct_at_end)
+        .end_row();
+    if (opt.trajectory && rep == 0) {
+      for (std::size_t t = 0; t < r.trajectory.size(); ++t) {
+        std::printf("round %zu: %llu correct\n", t,
+                    static_cast<unsigned long long>(r.trajectory[t]));
+      }
+    }
+  }
+  table.print(std::cout);
+  const auto iv = wilson_interval(successes, opt.reps);
+  std::printf("\nsuccess %llu/%llu (95%% CI [%.2f, %.2f])\n",
+              static_cast<unsigned long long>(successes),
+              static_cast<unsigned long long>(opt.reps), iv.lower, iv.upper);
+  if (opt.csv) {
+    std::ofstream file(opt.csv_path + ".csv");
+    if (file) table.write_csv(file);
+  }
+  return successes == opt.reps ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions opt = parse_args(argc, argv);
+  const std::uint64_t h = opt.h == 0 ? opt.n : opt.h;
+
+  std::printf("protocol=%s n=%llu h=%llu delta=%.3f seed=%llu reps=%llu\n\n",
+              opt.protocol.c_str(), static_cast<unsigned long long>(opt.n),
+              static_cast<unsigned long long>(h), opt.delta,
+              static_cast<unsigned long long>(opt.seed),
+              static_cast<unsigned long long>(opt.reps));
+
+  if (opt.protocol == "push") return run_push_protocol(opt, h);
+
+  Table table({"rep", "converged", "stable", "first-correct", "rounds",
+               "correct"});
+  std::uint64_t successes = 0;
+  std::vector<std::uint64_t> trajectory;
+  for (std::uint64_t rep = 0; rep < opt.reps; ++rep) {
+    Rng init(opt.seed, 2 * rep);
+    Rng rng(opt.seed, 2 * rep + 1);
+    auto setup = make_pull_setup(opt, h, init);
+    auto engine = make_engine(opt);
+    std::uint64_t budget = opt.max_rounds;
+    if (budget == 0 && setup.protocol->planned_rounds() == 0) {
+      budget = setup.default_rounds;
+    }
+    const auto r =
+        run(*setup.protocol, *engine, setup.noise, setup.correct,
+            RunConfig{.h = h,
+                      .max_rounds = budget,
+                      .stability_window = opt.stability,
+                      .record_trajectory = opt.trajectory && rep == 0},
+            rng);
+    successes += r.all_correct_at_end ? 1 : 0;
+    if (rep == 0) trajectory = r.trajectory;
+    table.cell(rep)
+        .cell(r.all_correct_at_end ? "yes" : "no")
+        .cell(opt.stability == 0 ? "-" : (r.stable ? "yes" : "no"))
+        .cell(r.first_all_correct == kNever
+                  ? std::string("never")
+                  : std::to_string(r.first_all_correct))
+        .cell(r.rounds_run)
+        .cell(r.correct_at_end)
+        .end_row();
+  }
+  if (opt.trajectory) {
+    for (std::size_t t = 0; t < trajectory.size(); ++t) {
+      std::printf("round %zu: %llu correct\n", t,
+                  static_cast<unsigned long long>(trajectory[t]));
+    }
+    std::printf("\n");
+  }
+  table.print(std::cout);
+  const auto iv = wilson_interval(successes, opt.reps);
+  std::printf("\nsuccess %llu/%llu (95%% CI [%.2f, %.2f])\n",
+              static_cast<unsigned long long>(successes),
+              static_cast<unsigned long long>(opt.reps), iv.lower, iv.upper);
+  if (opt.csv) {
+    std::ofstream file(opt.csv_path + ".csv");
+    if (file) table.write_csv(file);
+  }
+  return successes == opt.reps ? 0 : 1;
+}
