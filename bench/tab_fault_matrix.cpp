@@ -1,0 +1,262 @@
+// FAULT — runtime fault-injection matrix (an extension experiment: every
+// other adversary in this repo strikes before the run; here the corruption
+// is ongoing).  For each fault class of FaultPlan — Byzantine displays,
+// message omissions, crash/sleep stalls, noise bursts — the steady-state
+// fraction of correct agents is swept against the fault rate for SSF, SF,
+// and the voter/majority baselines, and the collapse threshold (first swept
+// rate with correct fraction < 0.9) is located per protocol.  The paper's
+// robustness claim predicts SSF degrades last: its rate-free, memory-count
+// design has no schedule to desynchronize and no single sample to lose.
+//
+// A supplementary table sweeps the mimic-source Byzantine strategy against
+// SSF: forging the source *tag* collapses SSF at fractions comparable to
+// the true source bias s/n — the empirical face of the model's assumption
+// that sourcehood is an input the adversary cannot fake.
+#include <cmath>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace noisypull;
+using namespace noisypull::bench;
+
+enum class FaultType { Byzantine, Drop, Stall, Burst };
+
+constexpr FaultType kAllTypes[] = {FaultType::Byzantine, FaultType::Drop,
+                                   FaultType::Stall, FaultType::Burst};
+
+const char* name(FaultType type) {
+  switch (type) {
+    case FaultType::Byzantine:
+      return "byzantine";
+    case FaultType::Drop:
+      return "drop";
+    case FaultType::Stall:
+      return "stall";
+    case FaultType::Burst:
+      return "burst";
+  }
+  return "?";
+}
+
+std::vector<double> rates(FaultType type) {
+  switch (type) {
+    case FaultType::Byzantine:  // fraction of Byzantine agents
+      return {0.0, 0.1, 0.2, 0.3, 0.4, 0.48};
+    case FaultType::Drop:  // per-observation loss probability
+      return {0.0, 0.3, 0.6, 0.9, 0.99, 1.0};
+    case FaultType::Stall:  // per-round crash probability (stall 2-10 rounds)
+      return {0.0, 0.1, 0.25, 0.5, 0.75, 1.0};
+    case FaultType::Burst:  // per-round burst-start probability (2 rounds)
+      return {0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
+  }
+  return {};
+}
+
+constexpr std::uint64_t kN = 1000;
+constexpr double kDelta = 0.05;
+constexpr std::uint64_t kReps = 5;
+constexpr std::uint64_t kMeasure = 40;
+constexpr double kCollapseBar = 0.9;
+
+FaultPlan make_plan(FaultType type, double rate, bool tagged_alphabet,
+                    Opinion correct, std::uint64_t sources,
+                    std::uint64_t seed) {
+  FaultPlan plan =
+      tagged_alphabet ? FaultPlan::for_ssf(correct) : FaultPlan::for_binary(correct);
+  plan.seed = seed;
+  plan.first_eligible = sources;
+  switch (type) {
+    case FaultType::Byzantine:
+      plan.byzantine.fraction = rate;
+      plan.byzantine.strategy = ByzantineStrategy::AlwaysWrong;
+      break;
+    case FaultType::Drop:
+      plan.drop.p = rate;
+      break;
+    case FaultType::Stall:
+      plan.stall.crash_rate = rate;
+      plan.stall.min_rounds = 2;
+      plan.stall.max_rounds = 10;
+      break;
+    case FaultType::Burst:
+      plan.burst.rate = rate;
+      plan.burst.rounds = 2;
+      // Spike severity matched across alphabets by the payload-bit flip
+      // probability: uniform(4, 0.2) flips the second bit w.p. 0.4, as does
+      // uniform(2, 0.4) — both far above the tuned bound δ = 0.05.
+      plan.burst.delta = tagged_alphabet ? 0.2 : 0.4;
+      break;
+  }
+  return plan;
+}
+
+// Steady-state correct fraction of one faulted run.
+double one_run(const std::string& proto, FaultType type, double rate,
+               std::uint64_t stream) {
+  const PopulationConfig pop{.n = kN, .s1 = 2, .s0 = 0};
+  const Opinion correct = pop.correct_opinion();
+  const bool tagged = proto == "ssf";
+  const FaultPlan plan = make_plan(type, rate, tagged, correct,
+                                   pop.num_sources(), 7700 + stream);
+  Rng init(4100, stream);
+  Rng rng(4200, stream);
+  AggregateEngine inner;
+  FaultyEngine engine(inner, plan);
+  const auto noise = NoiseMatrix::uniform(tagged ? 4 : 2, kDelta);
+
+  if (proto == "ssf") {
+    SelfStabilizingSourceFilter ssf(pop, kN, kDelta, kC1);
+    std::uint64_t warmup = 2 * ssf.convergence_deadline();
+    // Omissions stretch the memory-fill time by 1/(1-p); stalls park agents
+    // for stretches of the warmup.  Scale the warmup so the measured window
+    // is genuinely steady state (capped to keep the sweep fast).
+    if (type == FaultType::Drop && rate < 1.0) {
+      warmup = std::min<std::uint64_t>(
+          2000, static_cast<std::uint64_t>(
+                    std::ceil(static_cast<double>(warmup) / (1.0 - rate))));
+    }
+    if (type == FaultType::Stall) warmup *= 3;
+    return measure_steady_state(ssf, engine, noise, correct, kN, warmup,
+                                kMeasure, rng)
+        .mean_correct_fraction;
+  }
+  if (proto == "sf") {
+    // SF has a fixed horizon; it freezes afterwards, so the "steady state"
+    // is its final answer under the faults that hit its schedule.
+    SourceFilter sf(pop, kN, kDelta, kC1);
+    return measure_steady_state(sf, engine, noise, correct, kN,
+                                sf.planned_rounds(), 5, rng)
+        .mean_correct_fraction;
+  }
+  if (proto == "voter") {
+    VoterProtocol voter(pop, init);
+    return measure_steady_state(voter, engine, noise, correct, kN, 60,
+                                kMeasure, rng)
+        .mean_correct_fraction;
+  }
+  MajorityDynamics majority(pop, init);
+  return measure_steady_state(majority, engine, noise, correct, kN, 60,
+                              kMeasure, rng)
+      .mean_correct_fraction;
+}
+
+double cell(const std::string& proto, FaultType type, double rate,
+            std::uint64_t type_idx, std::uint64_t rate_idx) {
+  double sum = 0.0;
+  for (std::uint64_t rep = 0; rep < kReps; ++rep) {
+    const std::uint64_t stream =
+        ((type_idx * 10 + rate_idx) * 10 + rep) * 8 +
+        static_cast<std::uint64_t>(proto.size());  // distinct per cell & proto
+    sum += one_run(proto, type, rate, stream);
+  }
+  return sum / static_cast<double>(kReps);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = BenchArgs::parse(argc, argv);
+  const std::vector<std::string> protos = {"ssf", "sf", "voter", "majority"};
+
+  header("FAULT / tab_fault_matrix",
+         "Runtime fault matrix: steady-state correct fraction vs fault rate "
+         "for each fault class, and the per-protocol collapse threshold "
+         "(first rate below 0.9).");
+  std::printf("n = %llu, h = n, delta = %.2f, s = 2, %llu reps per cell; "
+              "byzantine strategy always-wrong;\nstall duration U[2,10]; "
+              "burst = 2 rounds at delta 0.2 (4-symbol) / 0.4 (binary)\n\n",
+              static_cast<unsigned long long>(kN), kDelta,
+              static_cast<unsigned long long>(kReps));
+
+  Table table({"fault", "rate", "ssf", "sf", "voter", "majority"});
+  // collapse[type][proto]: first swept rate with fraction < 0.9 (or -1).
+  double collapse[4][4];
+  for (auto& row : collapse)
+    for (auto& v : row) v = -1.0;
+
+  std::uint64_t type_idx = 0;
+  for (const FaultType type : kAllTypes) {
+    std::uint64_t rate_idx = 0;
+    for (const double rate : rates(type)) {
+      table.cell(name(type)).cell(rate, 2);
+      for (std::size_t p = 0; p < protos.size(); ++p) {
+        const double f = cell(protos[p], type, rate, type_idx, rate_idx);
+        table.cell(f, 3);
+        if (f < kCollapseBar && collapse[type_idx][p] < 0.0) {
+          collapse[type_idx][p] = rate;
+        }
+      }
+      table.end_row();
+      ++rate_idx;
+    }
+    ++type_idx;
+  }
+  args.emit(table);
+
+  std::printf("\ncollapse thresholds (first swept rate with correct fraction "
+              "< %.1f; '-' = none up to the sweep maximum):\n\n",
+              kCollapseBar);
+  Table summary({"fault", "ssf", "sf", "voter", "majority"});
+  type_idx = 0;
+  for (const FaultType type : kAllTypes) {
+    summary.cell(name(type));
+    for (std::size_t p = 0; p < protos.size(); ++p) {
+      if (collapse[type_idx][p] < 0.0) {
+        summary.cell("-");
+      } else {
+        summary.cell(collapse[type_idx][p], 2);
+      }
+    }
+    summary.end_row();
+    ++type_idx;
+  }
+  summary.print(std::cout);
+
+  std::printf(
+      "\nexpected shape: SSF holds 1.0 deep into every sweep (no schedule to "
+      "desynchronize,\nno single sample to lose) and collapses last; SF's "
+      "fixed schedule breaks earlier;\nvoter hovers near 0.5 even fault-free; "
+      "majority locks onto a coin-flip consensus.\n\n");
+
+  // Supplementary: the identity attack SSF cannot survive — mimic-source
+  // Byzantine agents forge the source tag, and the filter amplifies them
+  // exactly as it amplifies true sources.
+  std::printf("mimic-source vs SSF (forged source tags; true bias s = 2):\n\n");
+  Table mimic({"byz fraction", "byz agents", "correct fraction"});
+  const std::vector<double> fractions = {0.0, 0.002, 0.005, 0.01, 0.02, 0.05};
+  std::uint64_t idx = 0;
+  for (const double f : fractions) {
+    const PopulationConfig pop{.n = kN, .s1 = 2, .s0 = 0};
+    double sum = 0.0;
+    for (std::uint64_t rep = 0; rep < kReps; ++rep) {
+      FaultPlan plan = FaultPlan::for_ssf(pop.correct_opinion());
+      plan.seed = 880 + idx * 16 + rep;
+      plan.first_eligible = pop.num_sources();
+      plan.byzantine.fraction = f;
+      plan.byzantine.strategy = ByzantineStrategy::MimicSource;
+      SelfStabilizingSourceFilter ssf(pop, kN, kDelta, kC1);
+      AggregateEngine inner;
+      FaultyEngine engine(inner, plan);
+      Rng rng(4300, idx * 16 + rep);
+      sum += measure_steady_state(ssf, engine, NoiseMatrix::uniform(4, kDelta),
+                                  pop.correct_opinion(), kN,
+                                  2 * ssf.convergence_deadline(), kMeasure,
+                                  rng)
+                 .mean_correct_fraction;
+    }
+    mimic.cell(f, 3)
+        .cell(static_cast<std::uint64_t>(f * static_cast<double>(kN - 2)))
+        .cell(sum / static_cast<double>(kReps), 3)
+        .end_row();
+    ++idx;
+  }
+  mimic.print(std::cout);
+  std::printf(
+      "\nexpected shape: correct while forged tags are rare relative to the "
+      "true bias,\ncollapsing once fake sources outvote real ones — why the "
+      "model must treat\nsourcehood as an unforgeable input (Section 1.3).\n");
+  return 0;
+}

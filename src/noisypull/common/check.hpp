@@ -6,6 +6,8 @@
 // NOISYPULL_ASSERT, which aborts.  Neither is used for control flow.
 #pragma once
 
+#include <cstdio>
+#include <cstdlib>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -21,6 +23,16 @@ namespace noisypull::detail {
   throw std::invalid_argument(os.str());
 }
 
+[[noreturn]] inline void abort_assert_failure(const char* expr,
+                                              const char* file,
+                                              int line) noexcept {
+  std::fprintf(stderr,
+               "noisypull: internal invariant violated: (%s) at %s:%d\n", expr,
+               file, line);
+  std::fflush(stderr);
+  std::abort();
+}
+
 }  // namespace noisypull::detail
 
 // Checks a user-facing precondition; throws std::invalid_argument on failure.
@@ -33,11 +45,12 @@ namespace noisypull::detail {
     }                                                                    \
   } while (false)
 
-// Internal invariant; failure indicates a library bug.
-#define NOISYPULL_ASSERT(expr)                                            \
-  do {                                                                    \
-    if (!(expr)) {                                                        \
-      ::noisypull::detail::throw_check_failure(#expr, __FILE__, __LINE__, \
-                                               "internal invariant");     \
-    }                                                                     \
+// Internal invariant; failure indicates a library bug.  Prints the failed
+// expression to stderr and aborts (invariant violations are never
+// recoverable, unlike API misuse).
+#define NOISYPULL_ASSERT(expr)                                               \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::noisypull::detail::abort_assert_failure(#expr, __FILE__, __LINE__);  \
+    }                                                                        \
   } while (false)

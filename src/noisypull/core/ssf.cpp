@@ -35,7 +35,7 @@ Opinion SelfStabilizingSourceFilter::majority(std::uint64_t ones,
 }
 
 void SelfStabilizingSourceFilter::update(std::uint64_t agent,
-                                         std::uint64_t /*round*/,
+                                         std::uint64_t round,
                                          const SymbolCounts& obs, Rng& rng) {
   NOISYPULL_CHECK(agent < pop_.n, "agent index out of range");
   NOISYPULL_CHECK(obs.size == 4, "SSF expects the {0,1}^2 alphabet");
@@ -44,7 +44,12 @@ void SelfStabilizingSourceFilter::update(std::uint64_t agent,
     a.mem[s] += obs[s];
     a.mem_total += obs[s];
   }
-  if (a.mem_total < m_) return;
+  // obs.total() may be anything from 0 to h: omission and stall faults
+  // deliver partial batches, which simply stretch the fill time.
+  const bool full = a.mem_total >= m_;
+  const bool stale = stale_flush_ > 0 && a.mem_total > 0 &&
+                     round >= a.last_flush + stale_flush_;
+  if (!full && !stale) return;
 
   // Update round: recompute weak opinion and opinion, then empty the memory.
   // Messages tagged as coming from a source are symbols (1,0)=2 and (1,1)=3.
@@ -52,6 +57,7 @@ void SelfStabilizingSourceFilter::update(std::uint64_t agent,
   a.current = majority(a.mem[1] + a.mem[3], a.mem[0] + a.mem[2], rng);
   a.mem.fill(0);
   a.mem_total = 0;
+  a.last_flush = round;
 }
 
 Opinion SelfStabilizingSourceFilter::opinion(std::uint64_t agent) const {

@@ -69,6 +69,19 @@ class SelfStabilizingSourceFilter : public PullProtocol {
 
   Opinion weak_opinion(std::uint64_t agent) const;
 
+  // Partial-sample robustness.  update() accepts observation batches of any
+  // size (obs.total() need not equal h) — under message-omission or stall
+  // faults the engine legitimately delivers fewer than h samples, so the
+  // memory fills more slowly and update rounds stretch out.  Under extreme
+  // omission the memory may effectively never reach m; a stale flush bounds
+  // that starvation: if `rounds` rounds pass after a flush without the
+  // memory reaching m, the agent updates from whatever it holds.  0 (the
+  // default) disables the timeout, leaving behavior bit-identical to
+  // Algorithm 2.  A timeout of at least 2·⌈m/h⌉ never fires in a fault-free
+  // run (the memory refills within ⌈m/h⌉ rounds of any state).
+  void set_stale_flush(std::uint64_t rounds) noexcept { stale_flush_ = rounds; }
+  std::uint64_t stale_flush() const noexcept { return stale_flush_; }
+
   // Adversarial state injection (the self-stabilization model): overwrites
   // the agent's memory counts, weak opinion and opinion.  Sourcehood and
   // preferences are not corruptible (they are inputs, per Section 1.3).
@@ -86,10 +99,12 @@ class SelfStabilizingSourceFilter : public PullProtocol {
   struct AgentState {
     std::array<std::uint64_t, 4> mem{};  // multiset as per-symbol counts
     std::uint64_t mem_total = 0;
+    std::uint64_t last_flush = 0;  // round of the last memory flush
     Opinion weak = 0;
     Opinion current = 0;
   };
   std::vector<AgentState> agents_;
+  std::uint64_t stale_flush_ = 0;  // 0 = disabled (see set_stale_flush)
 
  private:
   struct ExplicitBudget {};

@@ -1,0 +1,82 @@
+#include "noisypull/fault/fault_plan.hpp"
+
+#include "noisypull/common/check.hpp"
+
+namespace noisypull {
+
+const char* to_string(ByzantineStrategy strategy) noexcept {
+  switch (strategy) {
+    case ByzantineStrategy::AlwaysWrong:
+      return "always-wrong";
+    case ByzantineStrategy::FlipFlop:
+      return "flip-flop";
+    case ByzantineStrategy::MimicSource:
+      return "mimic-source";
+  }
+  return "unknown";
+}
+
+bool FaultPlan::any() const noexcept {
+  return byzantine.fraction > 0.0 || drop.p > 0.0 || stall.crash_rate > 0.0 ||
+         stall.blackout_fraction > 0.0 || burst.rate > 0.0;
+}
+
+void FaultPlan::validate(std::size_t alphabet_size) const {
+  NOISYPULL_CHECK(
+      byzantine.fraction >= 0.0 && byzantine.fraction <= 1.0,
+      "Byzantine fraction must be in [0, 1]");
+  NOISYPULL_CHECK(drop.p >= 0.0 && drop.p <= 1.0,
+                  "drop probability must be in [0, 1]");
+  NOISYPULL_CHECK(stall.crash_rate >= 0.0 && stall.crash_rate <= 1.0,
+                  "crash rate must be in [0, 1]");
+  NOISYPULL_CHECK(
+      stall.blackout_fraction >= 0.0 && stall.blackout_fraction <= 1.0,
+      "blackout fraction must be in [0, 1]");
+  NOISYPULL_CHECK(burst.rate >= 0.0 && burst.rate <= 1.0,
+                  "burst rate must be in [0, 1]");
+  if (stall.crash_rate > 0.0) {
+    NOISYPULL_CHECK(stall.min_rounds >= 1 &&
+                        stall.min_rounds <= stall.max_rounds,
+                    "stall duration range must satisfy 1 <= min <= max");
+  }
+  if (stall.blackout_fraction > 0.0) {
+    NOISYPULL_CHECK(stall.blackout_rounds >= 1,
+                    "blackout needs a positive duration");
+  }
+  if (burst.rate > 0.0) {
+    NOISYPULL_CHECK(burst.rounds >= 1, "burst needs a positive duration");
+    NOISYPULL_CHECK(
+        burst.delta >= 0.0 &&
+            burst.delta <= 1.0 / static_cast<double>(alphabet_size),
+        "burst delta must be in [0, 1/|alphabet|] (a uniform noise level)");
+  }
+  if (byzantine.fraction > 0.0) {
+    NOISYPULL_CHECK(byzantine.wrong_symbol < alphabet_size &&
+                        byzantine.honest_symbol < alphabet_size &&
+                        byzantine.mimic_symbol < alphabet_size,
+                    "Byzantine display symbols must fit the alphabet");
+  }
+}
+
+FaultPlan FaultPlan::for_binary(Opinion correct) {
+  const Symbol wrong = static_cast<Symbol>(1 - (correct & 1));
+  FaultPlan plan;
+  plan.byzantine.wrong_symbol = wrong;
+  plan.byzantine.honest_symbol = correct & 1;
+  plan.byzantine.mimic_symbol = wrong;  // binary sources just display wrong
+  return plan;
+}
+
+FaultPlan FaultPlan::for_ssf(Opinion correct) {
+  // SSF's alphabet is {0,1}² encoded as first_bit·2 + second_bit (see
+  // core/ssf.hpp): the first bit claims sourcehood, the second carries the
+  // opinion payload.
+  const Symbol wrong = static_cast<Symbol>(1 - (correct & 1));
+  FaultPlan plan;
+  plan.byzantine.wrong_symbol = wrong;                          // (0, wrong)
+  plan.byzantine.honest_symbol = correct & 1;                   // (0, correct)
+  plan.byzantine.mimic_symbol = static_cast<Symbol>(2 | wrong); // (1, wrong)
+  return plan;
+}
+
+}  // namespace noisypull

@@ -1,0 +1,127 @@
+// Runtime fault model for the noisy PULL(h) simulator.
+//
+// Every adversary the repo had before this module strikes *before* the run:
+// sim/adversary.hpp corrupts initial state (Theorem 5's time-0 adversary) and
+// sim/churn.hpp resets state between rounds.  A FaultPlan instead describes
+// *ongoing* corruption injected while a round executes, in the spirit of the
+// faulty/omitting channels of Feinerman–Haeupler–Korman (arXiv:1311.3425) and
+// the adversarial senders of Boczkowski et al. (arXiv:1712.08507):
+//
+//   Byzantine   a fixed fraction of agents whose *displayed* message is
+//               adversarially chosen each round (the agent's internal state
+//               still evolves honestly; only what others sample is forged),
+//   Drop        each pulled observation is independently lost with
+//               probability p, so agents receive fewer than h samples,
+//   Stall       crash/sleep faults: agents stop sampling and updating for a
+//               random interval (or one synchronized adversarial blackout),
+//               then resume with stale state; their stale display remains
+//               visible to others throughout,
+//   Burst       rounds where the effective noise level δ spikes — the
+//               channel is replaced by uniform noise at `delta`, which may
+//               exceed the δ-upper-bound the protocol was tuned to.
+//
+// All fault randomness is drawn from dedicated substreams of `seed`, never
+// from the run's Rng: a FaultyEngine wrapping any engine with an all-zero
+// plan reproduces the bare engine bit-for-bit under the same run seed, and
+// the realized fault schedule is a deterministic function of (plan, round,
+// agent) independent of the wrapped engine's activation order.
+#pragma once
+
+#include <cstdint>
+
+#include "noisypull/model/types.hpp"
+
+namespace noisypull {
+
+// How a Byzantine agent chooses the message it displays.
+enum class ByzantineStrategy {
+  AlwaysWrong,  // `wrong_symbol` every round (steady wrong-opinion pressure)
+  FlipFlop,     // `wrong_symbol` on even rounds, `honest_symbol` on odd ones
+                // (destabilizes protocols that average across rounds)
+  MimicSource,  // `mimic_symbol` every round — for tagged alphabets (SSF)
+                // this impersonates a source with the wrong preference,
+                // attacking the source filter itself
+};
+
+const char* to_string(ByzantineStrategy strategy) noexcept;
+
+struct ByzantineFault {
+  // Fraction of eligible agents (see FaultPlan::first_eligible) that are
+  // Byzantine.  The ⌊fraction · eligible⌋ highest-indexed agents are chosen:
+  // sampling is uniform over the population, so placement is irrelevant, and
+  // a deterministic choice keeps the schedule engine-order independent.
+  double fraction = 0.0;
+  ByzantineStrategy strategy = ByzantineStrategy::AlwaysWrong;
+  Symbol wrong_symbol = 1;   // AlwaysWrong / FlipFlop even rounds
+  Symbol honest_symbol = 0;  // FlipFlop odd rounds
+  Symbol mimic_symbol = 1;   // MimicSource
+};
+
+struct DropFault {
+  // Per-observation loss probability.  Applied receiver-side to every agent
+  // (sources included): each of the h pulled messages is independently
+  // discarded before the update sees it.
+  double p = 0.0;
+};
+
+struct StallFault {
+  // Each awake eligible agent crashes with probability `crash_rate` per
+  // round; a crashed agent skips its sampling/update for a duration drawn
+  // uniformly from [min_rounds, max_rounds], then resumes with stale state.
+  double crash_rate = 0.0;
+  std::uint64_t min_rounds = 1;
+  std::uint64_t max_rounds = 8;
+
+  // Adversarial synchronized blackout: starting at `blackout_start`, the
+  // ⌊blackout_fraction · eligible⌋ lowest-indexed eligible agents all stall
+  // for `blackout_rounds` rounds at once (disjoint from the Byzantine set,
+  // which takes the highest-indexed agents).
+  double blackout_fraction = 0.0;
+  std::uint64_t blackout_start = 0;
+  std::uint64_t blackout_rounds = 0;
+};
+
+struct BurstFault {
+  // Each non-burst round starts a burst with probability `rate`; a burst
+  // lasts `rounds` rounds during which the channel passed to the wrapped
+  // engine is replaced by NoiseMatrix::uniform(alphabet, delta).
+  double rate = 0.0;
+  std::uint64_t rounds = 1;
+  double delta = 0.0;
+};
+
+struct FaultPlan {
+  // Seed of the fault schedule's private random streams (independent of the
+  // run seed so faulted and fault-free runs share sampling randomness).
+  std::uint64_t seed = 0;
+
+  // Agents with index < first_eligible are immune to Byzantine conversion
+  // and stalls (callers typically pass the number of sources: sourcehood is
+  // an input in the paper's model, not corruptible state).  Drops and noise
+  // bursts are channel faults and apply to everyone.
+  std::uint64_t first_eligible = 0;
+
+  ByzantineFault byzantine;
+  DropFault drop;
+  StallFault stall;
+  BurstFault burst;
+
+  // True if any fault class can ever fire.  An all-zero plan makes a
+  // FaultyEngine a transparent pass-through.
+  bool any() const noexcept;
+
+  // Throws std::invalid_argument on out-of-range rates/durations or
+  // Byzantine symbols outside the alphabet.
+  void validate(std::size_t alphabet_size) const;
+
+  // Byzantine symbol presets for binary-alphabet protocols (SF, voter,
+  // majority, repeated majority, tagless SSF): wrong = 1 − correct.
+  static FaultPlan for_binary(Opinion correct);
+
+  // Presets for SSF's tagged {0,1}² alphabet: AlwaysWrong displays an
+  // untagged wrong weak opinion, MimicSource a source-tagged wrong
+  // preference (the strictly stronger identity attack).
+  static FaultPlan for_ssf(Opinion correct);
+};
+
+}  // namespace noisypull

@@ -1,0 +1,79 @@
+// FaultyEngine — an Engine decorator that injects runtime faults.
+//
+// Wraps any existing engine (Exact, Aggregate, Sequential, Heterogeneous)
+// and realizes a FaultPlan per round without the inner engine knowing:
+//
+//   * Byzantine displays and crash stalls are applied through a PullProtocol
+//     proxy handed to the inner engine — display() is forged for Byzantine
+//     agents and update() is swallowed for stalled agents / binomially
+//     thinned for drops, so every engine's sampling logic works unchanged,
+//   * noise bursts swap the channel matrix passed down for the burst rounds.
+//
+// Determinism contract: fault decisions come from substreams of the plan's
+// own seed, keyed by (round, agent) where per-agent, so the realized fault
+// schedule is identical across engines and activation orders; the run Rng is
+// never touched by the fault layer.  With FaultPlan::any() == false the
+// decorator forwards the step verbatim — bit-for-bit identical to running
+// the inner engine directly (tests/test_fault.cpp holds this as the
+// identity requirement).
+//
+// Composition: FaultyEngine is itself an Engine, so it drops into run(),
+// measure_steady_state(), and run_with_churn() unchanged — churn resets and
+// runtime faults compose by passing a FaultyEngine to the churn runner.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "noisypull/fault/fault_plan.hpp"
+#include "noisypull/model/engine.hpp"
+
+namespace noisypull {
+
+// Counters of realized fault events, for reporting and tests.
+struct FaultStats {
+  std::uint64_t byzantine_agents = 0;   // current Byzantine-set size
+  std::uint64_t crashes = 0;            // random crash events
+  std::uint64_t stalled_updates = 0;    // update calls swallowed by stalls
+  std::uint64_t dropped_observations = 0;
+  std::uint64_t burst_rounds = 0;       // rounds run under spiked noise
+};
+
+class FaultyEngine final : public Engine {
+ public:
+  // Non-owning: `inner` must outlive the decorator.
+  FaultyEngine(Engine& inner, FaultPlan plan);
+
+  void step(PullProtocol& protocol, const NoiseMatrix& noise, std::uint64_t h,
+            std::uint64_t round, Rng& rng) override;
+  void set_artificial_noise(std::optional<Matrix> p) override;
+
+  const FaultPlan& plan() const noexcept { return plan_; }
+  const FaultStats& stats() const noexcept { return stats_; }
+
+  // Fault-set membership, exposed for tests and reporting.  Stall state is
+  // as of the most recently executed round.
+  bool is_byzantine(std::uint64_t agent) const noexcept;
+  bool is_stalled(std::uint64_t agent) const noexcept;
+
+ private:
+  friend class FaultedProtocolView;
+
+  void bind_population(std::uint64_t n, std::size_t alphabet);
+  void advance_stall_schedule(std::uint64_t round);
+  Symbol byzantine_display(std::uint64_t round) const noexcept;
+
+  Engine& inner_;
+  FaultPlan plan_;
+  FaultStats stats_;
+
+  std::uint64_t n_ = 0;            // population bound at first step
+  std::uint64_t byz_count_ = 0;    // Byzantine set = agents [n − count, n)
+  std::uint64_t current_round_ = 0;
+  std::vector<std::uint64_t> stalled_until_;  // per agent, exclusive bound
+  std::uint64_t burst_until_ = 0;
+  bool validated_ = false;
+};
+
+}  // namespace noisypull

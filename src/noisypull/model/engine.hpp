@@ -17,6 +17,11 @@
 // (Definition 6) — ExactEngine by literally re-corrupting each message,
 // AggregateEngine by composing the channel to N·P — which is how Theorem 8's
 // reduction is exercised end to end.
+//
+// Engine is also the decoration seam for runtime faults: FaultyEngine
+// (fault/faulty_engine.hpp) wraps any of the engines below and injects
+// Byzantine displays, observation drops, stalls, and noise bursts without
+// the inner engine noticing.
 #pragma once
 
 #include <cstdint>

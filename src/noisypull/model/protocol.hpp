@@ -32,8 +32,11 @@ class PullProtocol {
   // Message displayed by `agent` at the start of round `round` (0-based).
   virtual Symbol display(std::uint64_t agent, std::uint64_t round) const = 0;
 
-  // Delivers the noisy observations of one round; obs.total() == h.
-  // `rng` supplies the agent's private coin tosses (tie-breaks etc.).
+  // Delivers the noisy observations of one round.  In the fault-free model
+  // obs.total() == h; fault decorators (fault/faulty_engine.hpp) may deliver
+  // fewer — any total in [0, h] — when observations are dropped, so
+  // implementations must not assume a full sample.  `rng` supplies the
+  // agent's private coin tosses (tie-breaks etc.).
   virtual void update(std::uint64_t agent, std::uint64_t round,
                       const SymbolCounts& obs, Rng& rng) = 0;
 

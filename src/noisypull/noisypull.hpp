@@ -21,6 +21,8 @@
 #include "noisypull/core/source_filter.hpp"
 #include "noisypull/core/ssf.hpp"
 #include "noisypull/core/variants.hpp"
+#include "noisypull/fault/fault_plan.hpp"
+#include "noisypull/fault/faulty_engine.hpp"
 #include "noisypull/linalg/lu.hpp"
 #include "noisypull/linalg/matrix.hpp"
 #include "noisypull/model/engine.hpp"

@@ -16,31 +16,25 @@ ChurnResult run_with_churn(SelfStabilizingSourceFilter& protocol,
   const std::uint64_t n = protocol.num_agents();
   const std::uint64_t sources = protocol.population().num_sources();
   ChurnResult result;
-  double fraction_sum = 0.0;
 
-  for (std::uint64_t t = 0; t < warmup + measure; ++t) {
-    // Churn strikes between rounds: each eligible agent resets with
-    // probability `rate` (binomially thinned for speed).
-    if (churn.rate > 0.0) {
-      const std::uint64_t first = churn.churn_sources ? 0 : sources;
-      for (std::uint64_t i = first; i < n; ++i) {
-        if (!rng.bernoulli(churn.rate)) continue;
-        corrupt_agent(protocol, i, churn.policy, correct, rng);
-        ++result.resets;
-      }
+  // Churn strikes between rounds: each eligible agent resets with
+  // probability `rate`.  Expressed as a pre-round hook of the generic
+  // steady-state runner so churn composes with any engine — including a
+  // FaultyEngine injecting runtime faults on top of the resets.
+  const RoundHook churn_hook = [&](std::uint64_t /*round*/, Rng& hook_rng) {
+    if (churn.rate <= 0.0) return;
+    const std::uint64_t first = churn.churn_sources ? 0 : sources;
+    for (std::uint64_t i = first; i < n; ++i) {
+      if (!hook_rng.bernoulli(churn.rate)) continue;
+      corrupt_agent(protocol, i, churn.policy, correct, hook_rng);
+      ++result.resets;
     }
-    engine.step(protocol, noise, h, t, rng);
-    if (t >= warmup) {
-      const double fraction =
-          static_cast<double>(count_correct(protocol, correct)) /
-          static_cast<double>(n);
-      fraction_sum += fraction;
-      result.min_correct_fraction =
-          std::min(result.min_correct_fraction, fraction);
-    }
-    ++result.rounds_run;
-  }
-  result.mean_correct_fraction = fraction_sum / static_cast<double>(measure);
+  };
+  const SteadyStateResult steady = measure_steady_state(
+      protocol, engine, noise, correct, h, warmup, measure, rng, churn_hook);
+  result.rounds_run = steady.rounds_run;
+  result.mean_correct_fraction = steady.mean_correct_fraction;
+  result.min_correct_fraction = steady.min_correct_fraction;
   return result;
 }
 

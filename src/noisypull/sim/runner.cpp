@@ -1,5 +1,7 @@
 #include "noisypull/sim/runner.hpp"
 
+#include <algorithm>
+
 #include "noisypull/common/check.hpp"
 
 namespace noisypull {
@@ -78,6 +80,34 @@ RunResult run_push(PushProtocol& protocol, PushEngine& engine,
                    const NoiseMatrix& noise, Opinion correct,
                    const RunConfig& cfg, Rng& rng) {
   return run_impl(protocol, engine, noise, correct, cfg, rng);
+}
+
+SteadyStateResult measure_steady_state(PullProtocol& protocol, Engine& engine,
+                                       const NoiseMatrix& noise,
+                                       Opinion correct, std::uint64_t h,
+                                       std::uint64_t warmup,
+                                       std::uint64_t measure, Rng& rng,
+                                       const RoundHook& pre_round) {
+  NOISYPULL_CHECK(measure >= 1, "need at least one measured round");
+
+  const double n = static_cast<double>(protocol.num_agents());
+  SteadyStateResult result;
+  double fraction_sum = 0.0;
+  double fraction = 0.0;
+  for (std::uint64_t t = 0; t < warmup + measure; ++t) {
+    if (pre_round) pre_round(t, rng);
+    engine.step(protocol, noise, h, t, rng);
+    if (t >= warmup) {
+      fraction = static_cast<double>(count_correct(protocol, correct)) / n;
+      fraction_sum += fraction;
+      result.min_correct_fraction =
+          std::min(result.min_correct_fraction, fraction);
+    }
+    ++result.rounds_run;
+  }
+  result.mean_correct_fraction = fraction_sum / static_cast<double>(measure);
+  result.final_correct_fraction = fraction;
+  return result;
 }
 
 }  // namespace noisypull

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <vector>
 
@@ -62,5 +63,31 @@ RunResult run(PullProtocol& protocol, Engine& engine, const NoiseMatrix& noise,
 RunResult run_push(PushProtocol& protocol, PushEngine& engine,
                    const NoiseMatrix& noise, Opinion correct,
                    const RunConfig& cfg, Rng& rng);
+
+// Steady-state measurement for runs under ongoing perturbation (churn,
+// runtime faults): perfect, permanent consensus is unattainable there, so
+// the meaningful metric is the correct fraction once the dynamics has
+// equilibrated.
+struct SteadyStateResult {
+  std::uint64_t rounds_run = 0;
+  double mean_correct_fraction = 0.0;   // averaged over the measure window
+  double min_correct_fraction = 1.0;    // worst round in the measure window
+  double final_correct_fraction = 0.0;  // after the last round
+};
+
+// Invoked before every round (round index, run rng).  The churn runner
+// injects per-round resets through this hook; fault experiments can add
+// custom interventions.  Faults injected by a FaultyEngine need no hook —
+// the engine decorator applies them inside step().
+using RoundHook = std::function<void(std::uint64_t, Rng&)>;
+
+// Runs `warmup + measure` rounds; statistics are taken over the final
+// `measure` rounds (the steady state).  Requires measure >= 1.
+SteadyStateResult measure_steady_state(PullProtocol& protocol, Engine& engine,
+                                       const NoiseMatrix& noise,
+                                       Opinion correct, std::uint64_t h,
+                                       std::uint64_t warmup,
+                                       std::uint64_t measure, Rng& rng,
+                                       const RoundHook& pre_round = {});
 
 }  // namespace noisypull

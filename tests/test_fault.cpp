@@ -1,0 +1,496 @@
+#include "noisypull/fault/faulty_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "noisypull/analysis/stats.hpp"
+#include "noisypull/core/ssf.hpp"
+#include "noisypull/sim/churn.hpp"
+#include "noisypull/sim/runner.hpp"
+
+namespace noisypull {
+namespace {
+
+// Fixed displays; records every delivered observation batch and the number
+// of update calls per agent (the fault layer manipulates exactly those).
+class RecordingProtocol : public PullProtocol {
+ public:
+  RecordingProtocol(std::vector<Symbol> displays, std::size_t alphabet)
+      : displays_(std::move(displays)),
+        alphabet_(alphabet),
+        last_obs_(displays_.size(), SymbolCounts(alphabet)),
+        updates_(displays_.size(), 0) {}
+
+  std::size_t alphabet_size() const override { return alphabet_; }
+  std::uint64_t num_agents() const override { return displays_.size(); }
+  Symbol display(std::uint64_t agent, std::uint64_t) const override {
+    return displays_[agent];
+  }
+  void update(std::uint64_t agent, std::uint64_t, const SymbolCounts& obs,
+              Rng&) override {
+    last_obs_[agent] = obs;
+    ++updates_[agent];
+  }
+  Opinion opinion(std::uint64_t) const override { return 0; }
+
+  const SymbolCounts& last_obs(std::uint64_t agent) const {
+    return last_obs_[agent];
+  }
+  std::uint64_t updates(std::uint64_t agent) const { return updates_[agent]; }
+
+ private:
+  std::vector<Symbol> displays_;
+  std::size_t alphabet_;
+  std::vector<SymbolCounts> last_obs_;
+  std::vector<std::uint64_t> updates_;
+};
+
+std::vector<Symbol> half_and_half(std::uint64_t n) {
+  std::vector<Symbol> d(n);
+  for (std::uint64_t i = 0; i < n; ++i) d[i] = i < n / 2 ? 0 : 1;
+  return d;
+}
+
+std::array<double, 9> binomial_pmf_9(double p) {
+  std::array<double, 9> pmf{};
+  for (std::uint64_t k = 0; k <= 8; ++k) {
+    double c = 1.0;
+    for (std::uint64_t j = 0; j < k; ++j) {
+      c *= static_cast<double>(8 - j) / static_cast<double>(j + 1);
+    }
+    pmf[k] = c * std::pow(p, static_cast<double>(k)) *
+             std::pow(1 - p, static_cast<double>(8 - k));
+  }
+  return pmf;
+}
+
+// --- Identity: an all-zero plan is a bit-for-bit transparent wrapper. ----
+
+TEST(FaultyEngine, ZeroPlanIsBitForBitIdentity) {
+  const auto noise = NoiseMatrix::uniform(4, 0.1);
+  const PopulationConfig pop{.n = 50, .s1 = 2, .s0 = 1};
+
+  auto run_ssf = [&](bool wrapped, std::uint64_t seed) {
+    SelfStabilizingSourceFilter ssf(pop, /*h=*/16, /*delta=*/0.1);
+    AggregateEngine inner;
+    FaultyEngine faulty(inner, FaultPlan{});
+    Engine& engine = wrapped ? static_cast<Engine&>(faulty)
+                             : static_cast<Engine&>(inner);
+    Rng rng(seed);
+    for (std::uint64_t t = 0; t < 40; ++t) {
+      engine.step(ssf, noise, 16, t, rng);
+    }
+    std::vector<Opinion> state;
+    for (std::uint64_t i = 0; i < pop.n; ++i) {
+      state.push_back(ssf.opinion(i));
+      state.push_back(ssf.weak_opinion(i));
+    }
+    return std::make_pair(state, rng.state());
+  };
+
+  const auto bare = run_ssf(false, 77);
+  const auto wrapped = run_ssf(true, 77);
+  EXPECT_EQ(bare.first, wrapped.first);
+  // Same final rng state: the fault layer consumed zero run randomness.
+  EXPECT_EQ(bare.second, wrapped.second);
+}
+
+TEST(FaultyEngine, ZeroPlanIdentityHoldsForExactEngine) {
+  const auto noise = NoiseMatrix::uniform(2, 0.2);
+  auto trace = [&](bool wrapped) {
+    RecordingProtocol protocol(half_and_half(20), 2);
+    ExactEngine inner;
+    FaultyEngine faulty(inner, FaultPlan{});
+    Engine& engine = wrapped ? static_cast<Engine&>(faulty)
+                             : static_cast<Engine&>(inner);
+    Rng rng(5);
+    std::vector<std::uint64_t> out;
+    for (std::uint64_t t = 0; t < 10; ++t) {
+      engine.step(protocol, noise, 9, t, rng);
+      for (std::uint64_t i = 0; i < 20; ++i) {
+        out.push_back(protocol.last_obs(i)[1]);
+      }
+    }
+    return out;
+  };
+  EXPECT_EQ(trace(false), trace(true));
+}
+
+// --- Cross-engine fault equivalence (same seed, same FaultPlan): Exact ---
+// --- and Aggregate must agree statistically, extending the pattern of  ---
+// --- tests/test_engines.cpp.                                           ---
+
+class FaultedEngineKind : public ::testing::TestWithParam<bool> {
+ protected:
+  std::unique_ptr<Engine> make_inner() const {
+    if (GetParam()) return std::make_unique<AggregateEngine>();
+    return std::make_unique<ExactEngine>();
+  }
+};
+
+TEST_P(FaultedEngineKind, DropThinnedTotalsAreBinomial) {
+  // c = (4, 2) displays, δ = 0.25, h = 8, p_drop = 0.25: the delivered
+  // batch size is Binomial(8, 0.75) and the delivered count of 1s is
+  // Binomial(8, 0.75 · 5/12) regardless of the engine.
+  std::vector<Symbol> displays = {0, 0, 0, 0, 1, 1};
+  const auto noise = NoiseMatrix::uniform(2, 0.25);
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.drop.p = 0.25;
+
+  RecordingProtocol protocol(displays, 2);
+  auto inner = make_inner();
+  FaultyEngine engine(*inner, plan);
+  Rng rng(GetParam() ? 100 : 200);
+
+  std::array<std::uint64_t, 9> total_hist{};
+  std::array<std::uint64_t, 9> ones_hist{};
+  for (int t = 0; t < 30000; ++t) {
+    engine.step(protocol, noise, 8, t, rng);
+    ++total_hist[protocol.last_obs(0).total()];
+    ++ones_hist[protocol.last_obs(0)[1]];
+  }
+  EXPECT_LT(chi_square_statistic(total_hist, binomial_pmf_9(0.75)),
+            chi_square_critical_999(8));
+  EXPECT_LT(chi_square_statistic(ones_hist, binomial_pmf_9(0.75 * 5.0 / 12.0)),
+            chi_square_critical_999(8));
+  EXPECT_GT(engine.stats().dropped_observations, 0u);
+}
+
+TEST_P(FaultedEngineKind, ByzantineDisplaysSkewTheObservationLaw) {
+  // Half the agents are Byzantine (always displaying 1) while honest agents
+  // display 0; noiseless channel, so P(observe 1) = 1/2 for every engine.
+  RecordingProtocol protocol(std::vector<Symbol>(10, 0), 2);
+  FaultPlan plan;
+  plan.byzantine.fraction = 0.5;
+  plan.byzantine.wrong_symbol = 1;
+
+  auto inner = make_inner();
+  FaultyEngine engine(*inner, plan);
+  Rng rng(GetParam() ? 31 : 32);
+  const auto noise = NoiseMatrix::noiseless(2);
+
+  std::array<std::uint64_t, 2> totals{};
+  for (int t = 0; t < 400; ++t) {
+    engine.step(protocol, noise, 20, t, rng);
+    for (std::uint64_t i = 0; i < 10; ++i) {
+      totals[0] += protocol.last_obs(i)[0];
+      totals[1] += protocol.last_obs(i)[1];
+    }
+  }
+  const std::array<double, 2> probs = {0.5, 0.5};
+  EXPECT_LT(chi_square_statistic(totals, probs), chi_square_critical_999(1));
+  EXPECT_EQ(engine.stats().byzantine_agents, 5u);
+  EXPECT_TRUE(engine.is_byzantine(9));
+  EXPECT_FALSE(engine.is_byzantine(4));
+}
+
+INSTANTIATE_TEST_SUITE_P(BothEngines, FaultedEngineKind, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Aggregate" : "Exact";
+                         });
+
+// --- Byzantine strategies. ----------------------------------------------
+
+TEST(FaultyEngine, FlipFlopAlternatesByRoundParity) {
+  RecordingProtocol protocol(std::vector<Symbol>(6, 0), 2);
+  FaultPlan plan;
+  plan.byzantine.fraction = 1.0;
+  plan.byzantine.strategy = ByzantineStrategy::FlipFlop;
+  plan.byzantine.wrong_symbol = 1;
+  plan.byzantine.honest_symbol = 0;
+
+  ExactEngine inner;
+  FaultyEngine engine(inner, plan);
+  const auto noise = NoiseMatrix::noiseless(2);
+  Rng rng(8);
+  for (std::uint64_t t = 0; t < 6; ++t) {
+    engine.step(protocol, noise, 16, t, rng);
+    // All agents are Byzantine: even rounds expose only 1s, odd only 0s.
+    const std::uint64_t expect_ones = t % 2 == 0 ? 16u : 0u;
+    for (std::uint64_t i = 0; i < 6; ++i) {
+      EXPECT_EQ(protocol.last_obs(i)[1], expect_ones) << "round " << t;
+    }
+  }
+}
+
+TEST(FaultyEngine, MimicSourceForgesTheSourceTag) {
+  // With correct opinion 1, for_ssf's mimic symbol is (1,0) = 2: a fake
+  // source with the wrong preference.  Noiseless, all-Byzantine: every
+  // observation carries the forged tag.
+  FaultPlan plan = FaultPlan::for_ssf(/*correct=*/1);
+  plan.byzantine.fraction = 1.0;
+  plan.byzantine.strategy = ByzantineStrategy::MimicSource;
+  EXPECT_EQ(plan.byzantine.mimic_symbol, Symbol{2});
+
+  RecordingProtocol protocol(std::vector<Symbol>(5, 1), 4);
+  ExactEngine inner;
+  FaultyEngine engine(inner, plan);
+  Rng rng(4);
+  engine.step(protocol, NoiseMatrix::noiseless(4), 12, 0, rng);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(protocol.last_obs(i)[2], 12u);
+  }
+}
+
+// --- Stalls. -------------------------------------------------------------
+
+TEST(FaultyEngine, CertainCrashesSuppressEligibleUpdates) {
+  RecordingProtocol protocol(half_and_half(6), 2);
+  FaultPlan plan;
+  plan.first_eligible = 2;
+  plan.stall.crash_rate = 1.0;
+  plan.stall.min_rounds = 3;
+  plan.stall.max_rounds = 3;
+
+  AggregateEngine inner;
+  FaultyEngine engine(inner, plan);
+  const auto noise = NoiseMatrix::uniform(2, 0.1);
+  Rng rng(21);
+  const std::uint64_t kRounds = 12;
+  for (std::uint64_t t = 0; t < kRounds; ++t) {
+    engine.step(protocol, noise, 4, t, rng);
+  }
+  // Immune agents update every round; eligible agents re-crash on every
+  // wake-up round (crash_rate = 1) and never get an update through.
+  EXPECT_EQ(protocol.updates(0), kRounds);
+  EXPECT_EQ(protocol.updates(1), kRounds);
+  for (std::uint64_t i = 2; i < 6; ++i) {
+    EXPECT_EQ(protocol.updates(i), 0u);
+    EXPECT_TRUE(engine.is_stalled(i));
+  }
+  EXPECT_EQ(engine.stats().stalled_updates, 4 * kRounds);
+}
+
+TEST(FaultyEngine, BlackoutStallsExactWindow) {
+  RecordingProtocol protocol(half_and_half(4), 2);
+  FaultPlan plan;
+  plan.stall.blackout_fraction = 1.0;
+  plan.stall.blackout_start = 2;
+  plan.stall.blackout_rounds = 3;
+
+  AggregateEngine inner;
+  FaultyEngine engine(inner, plan);
+  const auto noise = NoiseMatrix::uniform(2, 0.1);
+  Rng rng(22);
+  for (std::uint64_t t = 0; t < 8; ++t) {
+    engine.step(protocol, noise, 4, t, rng);
+  }
+  // Rounds 0-1 and 5-7 update; rounds 2-4 are blacked out.
+  EXPECT_EQ(protocol.updates(0), 5u);
+  EXPECT_EQ(engine.stats().stalled_updates, 4 * 3u);
+}
+
+// --- Noise bursts. -------------------------------------------------------
+
+TEST(FaultyEngine, BurstReplacesTheChannelWithSpikedUniformNoise) {
+  // All agents display 1 over a noiseless channel, but every round bursts
+  // at δ = 0.5 (full scramble for a binary alphabet): observations are
+  // uniform — the decorator swapped the channel.
+  RecordingProtocol protocol(std::vector<Symbol>(10, 1), 2);
+  FaultPlan plan;
+  plan.burst.rate = 1.0;
+  plan.burst.rounds = 1;
+  plan.burst.delta = 0.5;
+
+  AggregateEngine inner;
+  FaultyEngine engine(inner, plan);
+  Rng rng(13);
+  std::array<std::uint64_t, 2> totals{};
+  for (int t = 0; t < 300; ++t) {
+    engine.step(protocol, NoiseMatrix::noiseless(2), 20, t, rng);
+    for (std::uint64_t i = 0; i < 10; ++i) {
+      totals[0] += protocol.last_obs(i)[0];
+      totals[1] += protocol.last_obs(i)[1];
+    }
+  }
+  const std::array<double, 2> probs = {0.5, 0.5};
+  EXPECT_LT(chi_square_statistic(totals, probs), chi_square_critical_999(1));
+  EXPECT_EQ(engine.stats().burst_rounds, 300u);
+}
+
+TEST(FaultyEngine, RareBurstsCoverRoughlyRateFractionOfRounds) {
+  RecordingProtocol protocol(half_and_half(4), 2);
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.burst.rate = 0.1;
+  plan.burst.rounds = 2;
+  plan.burst.delta = 0.4;
+
+  AggregateEngine inner;
+  FaultyEngine engine(inner, plan);
+  Rng rng(14);
+  const std::uint64_t kRounds = 3000;
+  for (std::uint64_t t = 0; t < kRounds; ++t) {
+    engine.step(protocol, NoiseMatrix::uniform(2, 0.05), 4, t, rng);
+  }
+  // Expected burst coverage ≈ rate·duration/(1 + rate·duration) ≈ 0.17;
+  // loose sanity bounds only.
+  const double coverage =
+      static_cast<double>(engine.stats().burst_rounds) /
+      static_cast<double>(kRounds);
+  EXPECT_GT(coverage, 0.08);
+  EXPECT_LT(coverage, 0.35);
+}
+
+// --- Determinism and validation. ----------------------------------------
+
+TEST(FaultyEngine, FaultScheduleIsDeterministicGivenPlanSeed) {
+  auto trace = [&](std::uint64_t plan_seed) {
+    RecordingProtocol protocol(half_and_half(12), 2);
+    FaultPlan plan;
+    plan.seed = plan_seed;
+    plan.drop.p = 0.3;
+    plan.stall.crash_rate = 0.1;
+    ExactEngine inner;
+    FaultyEngine engine(inner, plan);
+    Rng rng(7);
+    std::vector<std::uint64_t> out;
+    for (std::uint64_t t = 0; t < 20; ++t) {
+      engine.step(protocol, NoiseMatrix::uniform(2, 0.1), 6, t, rng);
+      for (std::uint64_t i = 0; i < 12; ++i) {
+        out.push_back(protocol.last_obs(i).total());
+      }
+    }
+    return out;
+  };
+  EXPECT_EQ(trace(42), trace(42));
+  EXPECT_NE(trace(42), trace(43));
+}
+
+TEST(FaultPlanTest, ValidateRejectsOutOfRangeConfigs) {
+  RecordingProtocol protocol(half_and_half(4), 2);
+  const auto noise = NoiseMatrix::uniform(2, 0.1);
+  Rng rng(1);
+
+  auto step_with = [&](FaultPlan plan) {
+    AggregateEngine inner;
+    FaultyEngine engine(inner, plan);
+    engine.step(protocol, noise, 4, 0, rng);
+  };
+
+  FaultPlan bad_drop;
+  bad_drop.drop.p = 1.5;
+  EXPECT_THROW(step_with(bad_drop), std::invalid_argument);
+
+  FaultPlan bad_symbol;
+  bad_symbol.byzantine.fraction = 0.5;
+  bad_symbol.byzantine.wrong_symbol = 7;  // alphabet is 2
+  EXPECT_THROW(step_with(bad_symbol), std::invalid_argument);
+
+  FaultPlan bad_stall;
+  bad_stall.stall.crash_rate = 0.1;
+  bad_stall.stall.min_rounds = 5;
+  bad_stall.stall.max_rounds = 2;
+  EXPECT_THROW(step_with(bad_stall), std::invalid_argument);
+
+  FaultPlan bad_burst;
+  bad_burst.burst.rate = 0.5;
+  bad_burst.burst.delta = 0.9;  // > 1/|alphabet|
+  EXPECT_THROW(step_with(bad_burst), std::invalid_argument);
+}
+
+// --- SSF partial-sample tolerance (stale flush). -------------------------
+
+TEST(SsfStaleFlush, FlushesStarvedMemoryAfterTimeout) {
+  const PopulationConfig pop{.n = 4, .s1 = 1, .s0 = 0};
+  auto ssf = SelfStabilizingSourceFilter::with_memory_budget(pop, /*h=*/8,
+                                                             /*m=*/100);
+  ssf.set_stale_flush(3);
+  Rng rng(3);
+  SymbolCounts partial(4);
+  partial[3] = 1;  // one source-tagged 1 per round — far below m = 100
+  for (std::uint64_t round = 0; round < 3; ++round) {
+    ssf.update(3, round, partial, rng);
+  }
+  EXPECT_EQ(ssf.memory(3).total(), 3u);  // not yet flushed
+  ssf.update(3, 3, partial, rng);        // round 3 >= last_flush(0) + 3
+  EXPECT_EQ(ssf.memory(3).total(), 0u);  // flushed from partial memory
+  EXPECT_EQ(ssf.weak_opinion(3), Opinion{1});
+  EXPECT_EQ(ssf.opinion(3), Opinion{1});
+}
+
+TEST(SsfStaleFlush, DisabledByDefaultKeepsAlgorithmTwoSemantics) {
+  const PopulationConfig pop{.n = 4, .s1 = 1, .s0 = 0};
+  auto ssf = SelfStabilizingSourceFilter::with_memory_budget(pop, /*h=*/8,
+                                                             /*m=*/100);
+  Rng rng(3);
+  SymbolCounts partial(4);
+  partial[3] = 1;
+  for (std::uint64_t round = 0; round < 50; ++round) {
+    ssf.update(3, round, partial, rng);
+  }
+  EXPECT_EQ(ssf.memory(3).total(), 50u);  // still accumulating toward m
+  EXPECT_EQ(ssf.opinion(3), Opinion{0});  // never updated
+}
+
+// --- Composition with the steady-state runner and churn. -----------------
+
+TEST(FaultyEngine, SteadyStateUnderDropsStaysNearConsensus) {
+  // Mild omission (p = 0.3) only stretches SSF's memory-fill time; the
+  // steady-state correct fraction must stay essentially 1.
+  const PopulationConfig pop{.n = 400, .s1 = 2, .s0 = 0};
+  SelfStabilizingSourceFilter ssf(pop, pop.n, /*delta=*/0.05);
+  const auto noise = NoiseMatrix::uniform(4, 0.05);
+
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.first_eligible = pop.num_sources();
+  plan.drop.p = 0.3;
+
+  AggregateEngine inner;
+  FaultyEngine engine(inner, plan);
+  Rng rng(55);
+  const auto r = measure_steady_state(
+      ssf, engine, noise, pop.correct_opinion(), pop.n,
+      /*warmup=*/3 * ssf.convergence_deadline(), /*measure=*/30, rng);
+  EXPECT_GT(r.mean_correct_fraction, 0.95);
+  EXPECT_GT(engine.stats().dropped_observations, 0u);
+}
+
+TEST(FaultyEngine, ComposesWithChurnRunner) {
+  // Runtime faults and churn resets are orthogonal layers: a FaultyEngine
+  // drops straight into run_with_churn.
+  const PopulationConfig pop{.n = 300, .s1 = 2, .s0 = 0};
+  SelfStabilizingSourceFilter ssf(pop, pop.n, /*delta=*/0.05);
+  const auto noise = NoiseMatrix::uniform(4, 0.05);
+
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.first_eligible = pop.num_sources();
+  plan.drop.p = 0.2;
+
+  AggregateEngine inner;
+  FaultyEngine engine(inner, plan);
+  Rng rng(66);
+  const auto r = run_with_churn(
+      ssf, engine, noise, pop.correct_opinion(), pop.n,
+      /*warmup=*/3 * ssf.convergence_deadline(), /*measure=*/25,
+      ChurnConfig{.rate = 0.005, .policy = CorruptionPolicy::WrongConsensus},
+      rng);
+  EXPECT_GT(r.resets, 0u);
+  EXPECT_GT(r.mean_correct_fraction, 0.8);
+  EXPECT_GT(engine.stats().dropped_observations, 0u);
+}
+
+TEST(SteadyState, HookRunsOncePerRound) {
+  const PopulationConfig pop{.n = 100, .s1 = 1, .s0 = 0};
+  SelfStabilizingSourceFilter ssf(pop, pop.n, /*delta=*/0.05);
+  const auto noise = NoiseMatrix::uniform(4, 0.05);
+  AggregateEngine engine;
+  Rng rng(9);
+  std::uint64_t hook_calls = 0;
+  const auto r = measure_steady_state(
+      ssf, engine, noise, pop.correct_opinion(), pop.n, /*warmup=*/10,
+      /*measure=*/5, rng,
+      [&](std::uint64_t, Rng&) { ++hook_calls; });
+  EXPECT_EQ(hook_calls, 15u);
+  EXPECT_EQ(r.rounds_run, 15u);
+}
+
+}  // namespace
+}  // namespace noisypull

@@ -15,6 +15,7 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <stdexcept>
 #include <string>
 
 #include "noisypull/noisypull.hpp"
@@ -43,6 +44,20 @@ struct CliOptions {
   bool trajectory = false;            // print per-round correct counts
   bool csv = false;
   std::string csv_path;
+
+  // Runtime fault injection (fault/fault_plan.hpp); any non-zero rate wraps
+  // the engine in a FaultyEngine.
+  double byz = 0.0;                   // Byzantine fraction
+  std::string byz_strategy = "always-wrong";
+  double p_drop = 0.0;                // per-observation loss probability
+  double crash_rate = 0.0;            // per-agent per-round crash probability
+  std::uint64_t stall_min = 2;
+  std::uint64_t stall_max = 10;
+  double burst_rate = 0.0;            // per-round burst-start probability
+  double burst_delta = 0.0;           // spiked uniform noise level
+  std::uint64_t burst_rounds = 2;
+  std::uint64_t fault_seed = 0;
+  std::uint64_t stale_flush = 0;      // SSF stale-flush timeout (0 = off)
 };
 
 [[noreturn]] void usage(int code) {
@@ -66,6 +81,20 @@ struct CliOptions {
   --order O       random | ascending | descending      (sequential engine)
   --trajectory    print per-round correct counts of repetition 0
   --csv PATH      mirror the result table to PATH.csv
+
+ runtime fault injection (any non-zero rate wraps the engine in a
+ FaultyEngine; pull protocols only):
+  --byz F           fraction of Byzantine agents        (default 0)
+  --byz-strategy S  always-wrong | flip-flop | mimic-source
+  --p-drop P        per-observation loss probability    (default 0)
+  --crash-rate P    per-agent per-round crash probability
+  --stall-min K     min stall duration in rounds        (default 2)
+  --stall-max K     max stall duration in rounds        (default 10)
+  --burst-rate P    per-round burst-start probability   (default 0)
+  --burst-delta D   noise level during a burst; 0 = 1/|alphabet|
+  --burst-rounds K  burst duration in rounds            (default 2)
+  --fault-seed S    fault-schedule seed; 0 = --seed     (default 0)
+  --stale-flush R   SSF: flush partial memory after R stale rounds
   --help
 )");
   std::exit(code);
@@ -135,6 +164,17 @@ CliOptions parse_args(int argc, char** argv) {
     else if (a == "--engine") opt.engine = need_value(i++);
     else if (a == "--order") opt.order = need_value(i++);
     else if (a == "--trajectory") opt.trajectory = true;
+    else if (a == "--byz") opt.byz = parse_double(need_value(i++));
+    else if (a == "--byz-strategy") opt.byz_strategy = need_value(i++);
+    else if (a == "--p-drop") opt.p_drop = parse_double(need_value(i++));
+    else if (a == "--crash-rate") opt.crash_rate = parse_double(need_value(i++));
+    else if (a == "--stall-min") opt.stall_min = parse_u64(need_value(i++));
+    else if (a == "--stall-max") opt.stall_max = parse_u64(need_value(i++));
+    else if (a == "--burst-rate") opt.burst_rate = parse_double(need_value(i++));
+    else if (a == "--burst-delta") opt.burst_delta = parse_double(need_value(i++));
+    else if (a == "--burst-rounds") opt.burst_rounds = parse_u64(need_value(i++));
+    else if (a == "--fault-seed") opt.fault_seed = parse_u64(need_value(i++));
+    else if (a == "--stale-flush") opt.stale_flush = parse_u64(need_value(i++));
     else if (a == "--csv") {
       opt.csv = true;
       opt.csv_path = need_value(i++);
@@ -153,6 +193,52 @@ CorruptionPolicy parse_policy(const std::string& name) {
   std::fprintf(stderr, "error: unknown corruption policy '%s'\n",
                name.c_str());
   std::exit(2);
+}
+
+ByzantineStrategy parse_strategy(const std::string& name) {
+  for (const auto strategy :
+       {ByzantineStrategy::AlwaysWrong, ByzantineStrategy::FlipFlop,
+        ByzantineStrategy::MimicSource}) {
+    if (name == to_string(strategy)) return strategy;
+  }
+  std::fprintf(stderr, "error: unknown Byzantine strategy '%s'\n",
+               name.c_str());
+  std::exit(2);
+}
+
+bool wants_faults(const CliOptions& opt) {
+  return opt.byz > 0.0 || opt.p_drop > 0.0 || opt.crash_rate > 0.0 ||
+         opt.burst_rate > 0.0;
+}
+
+// Translate the fault flags into a FaultPlan for the chosen protocol: the
+// Byzantine display symbols come from the protocol family's preset (tagged
+// for ssf, plain wrong-vs-correct otherwise) and sources stay immune.
+FaultPlan make_fault_plan(const CliOptions& opt, Opinion correct,
+                          std::size_t alphabet, std::uint64_t sources) {
+  FaultPlan plan = opt.protocol == "ssf" ? FaultPlan::for_ssf(correct)
+                                         : FaultPlan::for_binary(correct);
+  if (alphabet > 2 && opt.protocol != "ssf") {
+    // k-ary alphabet without tags: any other opinion is "wrong".
+    plan.byzantine.wrong_symbol =
+        static_cast<Symbol>((correct + 1) % alphabet);
+    plan.byzantine.honest_symbol = static_cast<Symbol>(correct);
+    plan.byzantine.mimic_symbol = plan.byzantine.wrong_symbol;
+  }
+  plan.seed = opt.fault_seed == 0 ? opt.seed : opt.fault_seed;
+  plan.first_eligible = sources;
+  plan.byzantine.fraction = opt.byz;
+  plan.byzantine.strategy = parse_strategy(opt.byz_strategy);
+  plan.drop.p = opt.p_drop;
+  plan.stall.crash_rate = opt.crash_rate;
+  plan.stall.min_rounds = opt.stall_min;
+  plan.stall.max_rounds = opt.stall_max;
+  plan.burst.rate = opt.burst_rate;
+  plan.burst.rounds = opt.burst_rounds;
+  plan.burst.delta = opt.burst_delta == 0.0
+                         ? 1.0 / static_cast<double>(alphabet)
+                         : opt.burst_delta;
+  return plan;
 }
 
 std::unique_ptr<Engine> make_engine(const CliOptions& opt) {
@@ -207,6 +293,7 @@ PullSetup make_pull_setup(const CliOptions& opt, std::uint64_t h, Rng& init) {
   if (opt.protocol == "ssf") {
     auto ssf = std::make_unique<SelfStabilizingSourceFilter>(pop, h, opt.delta,
                                                              opt.c1);
+    if (opt.stale_flush > 0) ssf->set_stale_flush(opt.stale_flush);
     corrupt_population(*ssf, policy, correct, init);
     const std::uint64_t deadline = ssf->convergence_deadline();
     return {std::move(ssf), NoiseMatrix::uniform(4, opt.delta), correct,
@@ -293,23 +380,52 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(opt.seed),
               static_cast<unsigned long long>(opt.reps));
 
-  if (opt.protocol == "push") return run_push_protocol(opt, h);
+  if (opt.protocol == "push") {
+    if (wants_faults(opt)) {
+      std::fprintf(stderr,
+                   "error: fault injection targets pull engines; "
+                   "--protocol push is not supported\n");
+      return 2;
+    }
+    return run_push_protocol(opt, h);
+  }
+
+  std::uint64_t num_sources = opt.s1 + opt.s0;
+  if (opt.protocol == "kary" && !opt.kary_sources.empty()) {
+    num_sources = 0;
+    for (const auto s : opt.kary_sources) num_sources += s;
+  }
 
   Table table({"rep", "converged", "stable", "first-correct", "rounds",
                "correct"});
   std::uint64_t successes = 0;
   std::vector<std::uint64_t> trajectory;
+  FaultStats fault_totals{};
   for (std::uint64_t rep = 0; rep < opt.reps; ++rep) {
     Rng init(opt.seed, 2 * rep);
     Rng rng(opt.seed, 2 * rep + 1);
     auto setup = make_pull_setup(opt, h, init);
     auto engine = make_engine(opt);
+    std::unique_ptr<FaultyEngine> faulty;
+    Engine* eng = engine.get();
+    if (wants_faults(opt)) {
+      const FaultPlan plan = make_fault_plan(
+          opt, setup.correct, setup.protocol->alphabet_size(), num_sources);
+      try {
+        plan.validate(setup.protocol->alphabet_size());
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+      }
+      faulty = std::make_unique<FaultyEngine>(*engine, plan);
+      eng = faulty.get();
+    }
     std::uint64_t budget = opt.max_rounds;
     if (budget == 0 && setup.protocol->planned_rounds() == 0) {
       budget = setup.default_rounds;
     }
     const auto r =
-        run(*setup.protocol, *engine, setup.noise, setup.correct,
+        run(*setup.protocol, *eng, setup.noise, setup.correct,
             RunConfig{.h = h,
                       .max_rounds = budget,
                       .stability_window = opt.stability,
@@ -317,6 +433,14 @@ int main(int argc, char** argv) {
             rng);
     successes += r.all_correct_at_end ? 1 : 0;
     if (rep == 0) trajectory = r.trajectory;
+    if (faulty) {
+      const auto& fs = faulty->stats();
+      fault_totals.byzantine_agents = fs.byzantine_agents;
+      fault_totals.crashes += fs.crashes;
+      fault_totals.stalled_updates += fs.stalled_updates;
+      fault_totals.dropped_observations += fs.dropped_observations;
+      fault_totals.burst_rounds += fs.burst_rounds;
+    }
     table.cell(rep)
         .cell(r.all_correct_at_end ? "yes" : "no")
         .cell(opt.stability == 0 ? "-" : (r.stable ? "yes" : "no"))
@@ -339,6 +463,17 @@ int main(int argc, char** argv) {
   std::printf("\nsuccess %llu/%llu (95%% CI [%.2f, %.2f])\n",
               static_cast<unsigned long long>(successes),
               static_cast<unsigned long long>(opt.reps), iv.lower, iv.upper);
+  if (wants_faults(opt)) {
+    std::printf("faults (all reps): %llu byzantine agents/rep, %llu crashes, "
+                "%llu stalled updates,\n  %llu dropped observations, "
+                "%llu burst rounds\n",
+                static_cast<unsigned long long>(fault_totals.byzantine_agents),
+                static_cast<unsigned long long>(fault_totals.crashes),
+                static_cast<unsigned long long>(fault_totals.stalled_updates),
+                static_cast<unsigned long long>(
+                    fault_totals.dropped_observations),
+                static_cast<unsigned long long>(fault_totals.burst_rounds));
+  }
   if (opt.csv) {
     std::ofstream file(opt.csv_path + ".csv");
     if (file) table.write_csv(file);
