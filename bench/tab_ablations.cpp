@@ -91,13 +91,13 @@ int main(int argc, char** argv) {
             pop.correct_opinion(),
             RunConfig{.h = n, .max_rounds = ref.convergence_deadline()},
             RepeatOptions{.repetitions = reps,
-                          .seed = 14000 + static_cast<int>(policy)}));
+                          .seed = 14000 + static_cast<std::uint64_t>(policy)}));
         const auto tagless_rate = success_rate(run_repetitions(
             tagless_factory(pop, ref.memory_budget(), policy),
             NoiseMatrix::uniform(2, dssf), pop.correct_opinion(),
             RunConfig{.h = n, .max_rounds = ref.convergence_deadline()},
             RepeatOptions{.repetitions = reps,
-                          .seed = 14100 + static_cast<int>(policy)}));
+                          .seed = 14100 + static_cast<std::uint64_t>(policy)}));
         table.cell(n).cell("SSF (2-bit)").cell(to_string(policy)).cell(
             ssf_rate, 2);
         table.end_row();

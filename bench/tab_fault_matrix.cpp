@@ -41,25 +41,39 @@ const char* name(FaultType type) {
   return "?";
 }
 
+constexpr double kDelta = 0.05;
+constexpr double kCollapseBar = 0.9;
+
+// Sweep scale; `--smoke` (the CI sanitizer job) shrinks it to one cheap
+// nonzero-rate row per fault class so ASan/UBSan exercise every fault code
+// path without paying for the full matrix.
+struct SweepConfig {
+  std::uint64_t n = 1000;
+  std::uint64_t reps = 5;
+  std::uint64_t measure = 40;
+  bool smoke = false;
+};
+SweepConfig cfg;
+
 std::vector<double> rates(FaultType type) {
+  std::vector<double> swept;
   switch (type) {
     case FaultType::Byzantine:  // fraction of Byzantine agents
-      return {0.0, 0.1, 0.2, 0.3, 0.4, 0.48};
+      swept = {0.0, 0.1, 0.2, 0.3, 0.4, 0.48};
+      break;
     case FaultType::Drop:  // per-observation loss probability
-      return {0.0, 0.3, 0.6, 0.9, 0.99, 1.0};
+      swept = {0.0, 0.3, 0.6, 0.9, 0.99, 1.0};
+      break;
     case FaultType::Stall:  // per-round crash probability (stall 2-10 rounds)
-      return {0.0, 0.1, 0.25, 0.5, 0.75, 1.0};
+      swept = {0.0, 0.1, 0.25, 0.5, 0.75, 1.0};
+      break;
     case FaultType::Burst:  // per-round burst-start probability (2 rounds)
-      return {0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
+      swept = {0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
+      break;
   }
-  return {};
+  if (cfg.smoke) swept.resize(2);  // zero + the first nonzero rate
+  return swept;
 }
-
-constexpr std::uint64_t kN = 1000;
-constexpr double kDelta = 0.05;
-constexpr std::uint64_t kReps = 5;
-constexpr std::uint64_t kMeasure = 40;
-constexpr double kCollapseBar = 0.9;
 
 FaultPlan make_plan(FaultType type, double rate, bool tagged_alphabet,
                     Opinion correct, std::uint64_t sources,
@@ -96,7 +110,7 @@ FaultPlan make_plan(FaultType type, double rate, bool tagged_alphabet,
 // Steady-state correct fraction of one faulted run.
 double one_run(const std::string& proto, FaultType type, double rate,
                std::uint64_t stream) {
-  const PopulationConfig pop{.n = kN, .s1 = 2, .s0 = 0};
+  const PopulationConfig pop{.n = cfg.n, .s1 = 2, .s0 = 0};
   const Opinion correct = pop.correct_opinion();
   const bool tagged = proto == "ssf";
   const FaultPlan plan = make_plan(type, rate, tagged, correct,
@@ -108,7 +122,7 @@ double one_run(const std::string& proto, FaultType type, double rate,
   const auto noise = NoiseMatrix::uniform(tagged ? 4 : 2, kDelta);
 
   if (proto == "ssf") {
-    SelfStabilizingSourceFilter ssf(pop, kN, kDelta, kC1);
+    SelfStabilizingSourceFilter ssf(pop, cfg.n, kDelta, kC1);
     std::uint64_t warmup = 2 * ssf.convergence_deadline();
     // Omissions stretch the memory-fill time by 1/(1-p); stalls park agents
     // for stretches of the warmup.  Scale the warmup so the measured window
@@ -119,46 +133,51 @@ double one_run(const std::string& proto, FaultType type, double rate,
                     std::ceil(static_cast<double>(warmup) / (1.0 - rate))));
     }
     if (type == FaultType::Stall) warmup *= 3;
-    return measure_steady_state(ssf, engine, noise, correct, kN, warmup,
-                                kMeasure, rng)
+    return measure_steady_state(ssf, engine, noise, correct, cfg.n, warmup,
+                                cfg.measure, rng)
         .mean_correct_fraction;
   }
   if (proto == "sf") {
     // SF has a fixed horizon; it freezes afterwards, so the "steady state"
     // is its final answer under the faults that hit its schedule.
-    SourceFilter sf(pop, kN, kDelta, kC1);
-    return measure_steady_state(sf, engine, noise, correct, kN,
+    SourceFilter sf(pop, cfg.n, kDelta, kC1);
+    return measure_steady_state(sf, engine, noise, correct, cfg.n,
                                 sf.planned_rounds(), 5, rng)
         .mean_correct_fraction;
   }
   if (proto == "voter") {
     VoterProtocol voter(pop, init);
-    return measure_steady_state(voter, engine, noise, correct, kN, 60,
-                                kMeasure, rng)
+    return measure_steady_state(voter, engine, noise, correct, cfg.n, 60,
+                                cfg.measure, rng)
         .mean_correct_fraction;
   }
   MajorityDynamics majority(pop, init);
-  return measure_steady_state(majority, engine, noise, correct, kN, 60,
-                              kMeasure, rng)
+  return measure_steady_state(majority, engine, noise, correct, cfg.n, 60,
+                              cfg.measure, rng)
       .mean_correct_fraction;
 }
 
 double cell(const std::string& proto, FaultType type, double rate,
             std::uint64_t type_idx, std::uint64_t rate_idx) {
   double sum = 0.0;
-  for (std::uint64_t rep = 0; rep < kReps; ++rep) {
+  for (std::uint64_t rep = 0; rep < cfg.reps; ++rep) {
     const std::uint64_t stream =
         ((type_idx * 10 + rate_idx) * 10 + rep) * 8 +
         static_cast<std::uint64_t>(proto.size());  // distinct per cell & proto
     sum += one_run(proto, type, rate, stream);
   }
-  return sum / static_cast<double>(kReps);
+  return sum / static_cast<double>(cfg.reps);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const auto args = BenchArgs::parse(argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") {
+      cfg = SweepConfig{.n = 200, .reps = 1, .measure = 10, .smoke = true};
+    }
+  }
   const std::vector<std::string> protos = {"ssf", "sf", "voter", "majority"};
 
   header("FAULT / tab_fault_matrix",
@@ -168,8 +187,8 @@ int main(int argc, char** argv) {
   std::printf("n = %llu, h = n, delta = %.2f, s = 2, %llu reps per cell; "
               "byzantine strategy always-wrong;\nstall duration U[2,10]; "
               "burst = 2 rounds at delta 0.2 (4-symbol) / 0.4 (binary)\n\n",
-              static_cast<unsigned long long>(kN), kDelta,
-              static_cast<unsigned long long>(kReps));
+              static_cast<unsigned long long>(cfg.n), kDelta,
+              static_cast<unsigned long long>(cfg.reps));
 
   Table table({"fault", "rate", "ssf", "sf", "voter", "majority"});
   // collapse[type][proto]: first swept rate with fraction < 0.9 (or -1).
@@ -226,30 +245,31 @@ int main(int argc, char** argv) {
   // exactly as it amplifies true sources.
   std::printf("mimic-source vs SSF (forged source tags; true bias s = 2):\n\n");
   Table mimic({"byz fraction", "byz agents", "correct fraction"});
-  const std::vector<double> fractions = {0.0, 0.002, 0.005, 0.01, 0.02, 0.05};
+  std::vector<double> fractions = {0.0, 0.002, 0.005, 0.01, 0.02, 0.05};
+  if (cfg.smoke) fractions = {0.0, 0.05};
   std::uint64_t idx = 0;
   for (const double f : fractions) {
-    const PopulationConfig pop{.n = kN, .s1 = 2, .s0 = 0};
+    const PopulationConfig pop{.n = cfg.n, .s1 = 2, .s0 = 0};
     double sum = 0.0;
-    for (std::uint64_t rep = 0; rep < kReps; ++rep) {
+    for (std::uint64_t rep = 0; rep < cfg.reps; ++rep) {
       FaultPlan plan = FaultPlan::for_ssf(pop.correct_opinion());
       plan.seed = 880 + idx * 16 + rep;
       plan.first_eligible = pop.num_sources();
       plan.byzantine.fraction = f;
       plan.byzantine.strategy = ByzantineStrategy::MimicSource;
-      SelfStabilizingSourceFilter ssf(pop, kN, kDelta, kC1);
+      SelfStabilizingSourceFilter ssf(pop, cfg.n, kDelta, kC1);
       AggregateEngine inner;
       FaultyEngine engine(inner, plan);
       Rng rng(4300, idx * 16 + rep);
       sum += measure_steady_state(ssf, engine, NoiseMatrix::uniform(4, kDelta),
-                                  pop.correct_opinion(), kN,
-                                  2 * ssf.convergence_deadline(), kMeasure,
+                                  pop.correct_opinion(), cfg.n,
+                                  2 * ssf.convergence_deadline(), cfg.measure,
                                   rng)
                  .mean_correct_fraction;
     }
     mimic.cell(f, 3)
-        .cell(static_cast<std::uint64_t>(f * static_cast<double>(kN - 2)))
-        .cell(sum / static_cast<double>(kReps), 3)
+        .cell(static_cast<std::uint64_t>(f * static_cast<double>(cfg.n - 2)))
+        .cell(sum / static_cast<double>(cfg.reps), 3)
         .end_row();
     ++idx;
   }

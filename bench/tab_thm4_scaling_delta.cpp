@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
         sf_factory(pop, n, delta), NoiseMatrix::uniform(2, delta),
         pop.correct_opinion(), RunConfig{.h = n},
         RepeatOptions{.repetitions = 8,
-                      .seed = 3000 + static_cast<int>(delta * 100)});
+                      .seed = 3000 + static_cast<std::uint64_t>(delta * 100)});
     const double t = static_cast<double>(results.front().rounds_run);
     const double shape =
         delta / ((1 - 2 * delta) * (1 - 2 * delta)) + 1.0;  // +1: log n floor

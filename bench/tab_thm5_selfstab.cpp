@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
                     .max_rounds = ref.convergence_deadline(),
                     .stability_window = 3 * ref.convergence_deadline()},
           RepeatOptions{.repetitions = 6,
-                        .seed = 8000 + static_cast<int>(policy)});
+                        .seed = 8000 + static_cast<std::uint64_t>(policy)});
       table.cell(to_string(policy))
           .cell(success_rate(results), 2)
           .cell(success_rate(results, /*require_stability=*/true), 2)

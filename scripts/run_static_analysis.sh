@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# One-shot static-analysis gate for the noisypull tree.
+#
+# Configures a build with compile_commands.json and the strict warning set,
+# then runs, in order:
+#   1. the full NOISYPULL_WERROR build (-Werror -Wshadow -Wconversion
+#      -Wdouble-promotion promoted to errors),
+#   2. the repo-specific invariant linter (noisypull_lint: fixtures
+#      self-test, then the real tree),
+#   3. clang-tidy with the curated .clang-tidy config (if installed),
+#   4. cppcheck (if installed).
+#
+# Exits nonzero on the first layer with findings.  Tools that are not
+# installed are reported and skipped — the builtin layers (1-2) always run,
+# so the gate never silently passes on a machine without LLVM.
+#
+# Usage: scripts/run_static_analysis.sh [build-dir]   (default: build-sa)
+set -u -o pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build-sa}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+FAILED=0
+
+note() { printf '\n== %s ==\n' "$*"; }
+
+note "configure ($BUILD, NOISYPULL_WERROR=ON, compile_commands.json)"
+cmake -B "$BUILD" -S "$ROOT" -DNOISYPULL_WERROR=ON \
+      -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null || exit 2
+
+note "build with -Werror -Wshadow -Wconversion -Wdouble-promotion"
+if ! cmake --build "$BUILD" -j "$JOBS"; then
+  echo "run_static_analysis: strict build FAILED"
+  exit 1
+fi
+
+note "noisypull_lint self-test (every rule must fire on its fixture)"
+if ! "$BUILD/tools/noisypull_lint" --self-test "$ROOT/tests/lint_fixtures"; then
+  FAILED=1
+fi
+
+note "noisypull_lint over the real tree"
+if ! "$BUILD/tools/noisypull_lint" \
+    "$ROOT/src" "$ROOT/bench" "$ROOT/tools" "$ROOT/tests" "$ROOT/examples"; then
+  FAILED=1
+fi
+
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  note "clang-tidy (curated .clang-tidy, warnings-as-errors)"
+  if ! run-clang-tidy -p "$BUILD" -quiet \
+      "$ROOT/src/.*\.cpp" "$ROOT/tools/.*\.cpp"; then
+    FAILED=1
+  fi
+elif command -v clang-tidy >/dev/null 2>&1; then
+  note "clang-tidy (curated .clang-tidy, warnings-as-errors)"
+  while IFS= read -r tu; do
+    clang-tidy -p "$BUILD" -quiet "$tu" || FAILED=1
+  done < <(find "$ROOT/src" "$ROOT/tools" -name '*.cpp' | sort)
+else
+  note "clang-tidy not installed — skipped (CI runs it; see ci.yml)"
+fi
+
+if command -v cppcheck >/dev/null 2>&1; then
+  note "cppcheck"
+  if ! cppcheck --project="$BUILD/compile_commands.json" \
+      --enable=warning,performance,portability --inline-suppr \
+      --suppress='*:*/_deps/*' --error-exitcode=1 --quiet; then
+    FAILED=1
+  fi
+else
+  note "cppcheck not installed — skipped"
+fi
+
+if [ "$FAILED" -ne 0 ]; then
+  echo
+  echo "run_static_analysis: FAILED (findings above)"
+  exit 1
+fi
+echo
+echo "run_static_analysis: all layers clean"

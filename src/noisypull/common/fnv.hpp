@@ -1,0 +1,36 @@
+// FNV-1a 64-bit hashing for replay-digest auditing.
+//
+// The engines fold every round's display vector into a chained FNV-1a
+// digest (engine.hpp).  Two runs of the same configuration and seed must
+// produce identical digests; any divergence pinpoints nondeterminism —
+// unseeded randomness, hash-order iteration, uninitialized reads — that
+// neither the compiler gate nor noisypull_lint can prove absent.  FNV-1a is
+// used for its trivial constexpr implementation and byte-order independence,
+// not for adversarial collision resistance (the auditor compares a run
+// against itself, not against attackers).
+#pragma once
+
+#include <cstdint>
+
+namespace noisypull::fnv {
+
+inline constexpr std::uint64_t kOffsetBasis = 14695981039346656037ULL;
+inline constexpr std::uint64_t kPrime = 1099511628211ULL;
+
+// Folds one byte into the running digest.
+constexpr std::uint64_t hash_byte(std::uint64_t digest,
+                                  std::uint8_t byte) noexcept {
+  return (digest ^ byte) * kPrime;
+}
+
+// Folds a 64-bit value, little-endian byte order (explicitly, so digests are
+// comparable across platforms).
+constexpr std::uint64_t hash_u64(std::uint64_t digest,
+                                 std::uint64_t value) noexcept {
+  for (int shift = 0; shift < 64; shift += 8) {
+    digest = hash_byte(digest, static_cast<std::uint8_t>(value >> shift));
+  }
+  return digest;
+}
+
+}  // namespace noisypull::fnv

@@ -49,6 +49,13 @@ class FaultyEngine final : public Engine {
             std::uint64_t round, Rng& rng) override;
   void set_artificial_noise(std::optional<Matrix> p) override;
 
+  // The inner engine runs against the fault proxy, so its digest observes
+  // the *decorated* (forged) displays — exactly what a replay must
+  // reproduce.
+  std::uint64_t replay_digest() const noexcept override {
+    return inner_.replay_digest();
+  }
+
   const FaultPlan& plan() const noexcept { return plan_; }
   const FaultStats& stats() const noexcept { return stats_; }
 

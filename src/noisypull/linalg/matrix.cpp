@@ -97,14 +97,15 @@ bool Matrix::is_weakly_stochastic(double tol) const noexcept {
   for (std::size_t i = 0; i < rows_; ++i) {
     double row = 0.0;
     for (std::size_t j = 0; j < cols_; ++j) row += (*this)(i, j);
-    if (std::fabs(row - 1.0) > tol) return false;
+    // NaN-rejecting form: a NaN entry makes `row` NaN, which must fail.
+    if (!(std::fabs(row - 1.0) <= tol)) return false;
   }
   return true;
 }
 
 bool Matrix::is_stochastic(double tol) const noexcept {
   for (double v : data_) {
-    if (v < -tol) return false;
+    if (!(v >= -tol)) return false;  // NaN-rejecting form
   }
   return is_weakly_stochastic(tol);
 }

@@ -7,23 +7,21 @@
 #include "noisypull/rng/binomial.hpp"
 
 namespace noisypull {
-namespace {
 
-// Display histogram: c[σ] = number of agents displaying σ this round.
-std::array<std::uint64_t, kMaxAlphabet> display_histogram(
+std::array<std::uint64_t, kMaxAlphabet> Engine::display_histogram(
     const PullProtocol& protocol, std::uint64_t round) {
   std::array<std::uint64_t, kMaxAlphabet> c{};
   const std::uint64_t n = protocol.num_agents();
   const std::size_t d = protocol.alphabet_size();
+  absorb_round(round);
   for (std::uint64_t i = 0; i < n; ++i) {
     const Symbol s = protocol.display(i, round);
     NOISYPULL_ASSERT(s < d);
+    absorb_display(s);
     ++c[s];
   }
   return c;
 }
-
-}  // namespace
 
 void ExactEngine::set_artificial_noise(std::optional<Matrix> p) {
   if (p) {
@@ -44,9 +42,11 @@ void ExactEngine::step(PullProtocol& protocol, const NoiseMatrix& noise,
   // Snapshot displays: all messages of a round are chosen before any
   // observation of that round is delivered (model step 1 precedes step 4).
   displays_.resize(n);
+  absorb_round(round);
   for (std::uint64_t i = 0; i < n; ++i) {
     displays_[i] = protocol.display(i, round);
     NOISYPULL_ASSERT(displays_[i] < d);
+    absorb_display(displays_[i]);
   }
 
   SymbolCounts obs(d);

@@ -24,10 +24,12 @@
 // the inner engine noticing.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <vector>
 
+#include "noisypull/common/fnv.hpp"
 #include "noisypull/model/protocol.hpp"
 #include "noisypull/noise/noise_matrix.hpp"
 #include "noisypull/rng/rng.hpp"
@@ -46,6 +48,34 @@ class Engine {
   // Installs artificial noise applied after the channel (Definition 6), or
   // removes it when called with std::nullopt.
   virtual void set_artificial_noise(std::optional<Matrix> p) = 0;
+
+  // Replay auditor: chained FNV-1a digest over (round number, start-of-round
+  // display vector) of every round stepped so far.  Identical configurations
+  // and seeds must yield identical digests — the dynamic complement to the
+  // static determinism lints (tools/noisypull_lint.cpp); exercised by the
+  // CLI's --verify-replay mode and tests/test_replay_digest.cpp.  Decorators
+  // (FaultyEngine) report their inner engine's digest, which observes the
+  // decorated displays.
+  virtual std::uint64_t replay_digest() const noexcept { return digest_; }
+
+ protected:
+  // Folds the round header into the digest; engines then fold each display
+  // symbol via absorb_display().
+  void absorb_round(std::uint64_t round) noexcept {
+    digest_ = fnv::hash_u64(digest_, round);
+  }
+  void absorb_display(Symbol s) noexcept {
+    digest_ = fnv::hash_byte(digest_, s);
+  }
+
+  // Snapshot display histogram of one round (c[σ] = number of agents
+  // displaying σ), folded into the replay digest along the way — the shared
+  // first step of every aggregate-style engine.
+  std::array<std::uint64_t, kMaxAlphabet> display_histogram(
+      const PullProtocol& protocol, std::uint64_t round);
+
+ private:
+  std::uint64_t digest_ = fnv::kOffsetBasis;
 };
 
 class ExactEngine final : public Engine {

@@ -72,7 +72,8 @@ void AggregatePushEngine::step(PushProtocol& protocol,
     std::array<double, kMaxAlphabet> q{};
     for (std::size_t to = 0; to < d; ++to) {
       for (std::size_t from = 0; from < d; ++from) {
-        q[to] += static_cast<double>(c[from]) * noise(from, to);
+        q[to] += static_cast<double>(c[from]) *
+                 noise(static_cast<Symbol>(from), static_cast<Symbol>(to));
       }
     }
     sample_multinomial(rng, total_messages,

@@ -29,7 +29,7 @@ struct RepeatOptions {
 
   // Artificial noise matrix P applied by agents to every observation
   // (Definition 6 / Theorem 8 reduction), if any.
-  std::optional<Matrix> artificial_noise;
+  std::optional<Matrix> artificial_noise = std::nullopt;
 };
 
 // Builds a fresh protocol instance for one repetition.  `init_rng` must be

@@ -94,9 +94,9 @@ double rademacher_sum_advantage_exact(double theta, std::uint64_t m) {
   for (std::uint64_t k = 0; k <= m; ++k) {
     const double pmf = binomial_pmf(m, k, p);
     const double twice = 2.0 * static_cast<double>(k);
-    if (twice > m) {
+    if (twice > static_cast<double>(m)) {
       above += pmf;
-    } else if (twice < m) {
+    } else if (twice < static_cast<double>(m)) {
       below += pmf;
     }
   }

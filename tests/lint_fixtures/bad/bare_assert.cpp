@@ -1,0 +1,8 @@
+// lint-path: src/noisypull/core/bad_assert_fixture.cpp
+// Fixture: bare assert() and the <cassert> include behind it.
+#include <cassert>  // expect: bare-assert
+
+int fixture_bare_assert(int x) {
+  assert(x > 0);  // expect: bare-assert
+  return x - 1;
+}

@@ -1,0 +1,6 @@
+// lint-path: src/noisypull/analysis/bad_float_fixture.cpp
+// Fixture: single-precision types and literals in a probability path.
+double fixture_bad_float(double p) {
+  float q = 0.25f;  // expect: float-type
+  return p * static_cast<double>(q) + 1.5e0F;  // expect: float-type
+}

@@ -1,0 +1,7 @@
+// lint-path: src/noisypull/fake/iostream_header_fixture.hpp
+// Fixture: a core library header dragging in <iostream>.
+#pragma once
+
+#include <iostream>  // expect: iostream-in-header
+
+inline void fixture_iostream_header() { std::cout << "hi\n"; }

@@ -1,0 +1,6 @@
+// lint-path: src/noisypull/fake/missing_pragma_fixture.hpp
+// expect-anywhere: pragma-once
+// Fixture: a header whose first directive is an include, not #pragma once.
+#include <cstdint>
+
+inline std::uint64_t fixture_missing_pragma() { return 7; }

@@ -1,0 +1,17 @@
+// lint-path: src/noisypull/sim/bad_rng_fixture.cpp
+// Fixture: every nondeterministic randomness source the linter must catch.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int fixture_bad_rng() {
+  std::srand(42);                       // expect: nondeterministic-rng
+  int x = std::rand();                  // expect: nondeterministic-rng
+  std::random_device rd;                // expect: nondeterministic-rng
+  std::mt19937 gen;                     // expect: nondeterministic-rng
+  std::mt19937_64 gen64{};              // expect: nondeterministic-rng
+  unsigned long t =
+      static_cast<unsigned long>(time(nullptr));  // expect: nondeterministic-rng
+  return x + static_cast<int>(rd()) + static_cast<int>(gen()) +
+         static_cast<int>(gen64()) + static_cast<int>(t);
+}

@@ -1,0 +1,15 @@
+// lint-path: src/noisypull/analysis/bad_unordered_fixture.cpp
+// Fixture: hash-ordered containers in a deterministic simulation path.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+std::uint64_t fixture_bad_unordered() {
+  std::unordered_map<std::uint64_t, double> totals;  // expect: unordered-container
+  std::unordered_set<std::uint64_t> seen;            // expect: unordered-container
+  totals[1] = 0.5;
+  seen.insert(1);
+  std::uint64_t acc = 0;
+  for (const auto& kv : totals) acc += kv.first;  // hash-order iteration
+  return acc + seen.size();
+}

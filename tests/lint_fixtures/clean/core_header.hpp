@@ -1,0 +1,11 @@
+// lint-path: src/noisypull/fake/clean_header_fixture.hpp
+// Fixture: the blessed header shape — #pragma once first, stream interfaces
+// via <ostream>, and the project assert macro spelled out.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+
+inline void fixture_clean_header(std::ostream& os, std::uint64_t v) {
+  os << v;
+}

@@ -1,0 +1,8 @@
+// lint-path: src/noisypull/analysis/clean_double_fixture.cpp
+// Fixture: double-only arithmetic; hex literals ending in F and identifiers
+// containing "float" as a substring must not fire.
+constexpr unsigned kMaskF = 0x1F;
+double fixture_clean_double(double p, bool afloat_flag) {
+  const double q = 0.25;
+  return afloat_flag ? p * q : static_cast<double>(kMaskF) * 1.5e0;
+}

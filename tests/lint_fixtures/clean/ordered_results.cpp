@@ -1,0 +1,21 @@
+// lint-path: src/noisypull/analysis/clean_ordered_fixture.cpp
+// Fixture: ordered containers in simulation paths, a justified suppression,
+// and unordered containers outside the deterministic tree (helper tools) —
+// none may fire.
+#include <cstdint>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+std::uint64_t fixture_clean_ordered() {
+  std::map<std::uint64_t, double> totals;
+  std::set<std::uint64_t> seen;
+  // Membership-only probe, never iterated — deterministic by construction.
+  std::unordered_set<std::uint64_t> probe;  // nplint: allow(unordered-container)
+  totals[1] = 0.5;
+  seen.insert(1);
+  probe.insert(1);
+  std::uint64_t acc = 0;
+  for (const auto& kv : totals) acc += kv.first;
+  return acc + seen.size() + probe.size();
+}

@@ -1,0 +1,12 @@
+// lint-path: src/noisypull/core/clean_assert_fixture.cpp
+// Fixture: project macros and gtest-style ASSERT_* identifiers must not
+// fire the bare-assert rule; static_assert is a distinct keyword.
+static_assert(sizeof(int) >= 4, "ILP32 or wider");
+
+#define FIXTURE_ASSERT_EQ(a, b) ((a) == (b) ? 0 : 1)
+
+int fixture_project_assert(int x) {
+  // NOISYPULL_ASSERT(x > 0) would be the real spelling; any macro whose name
+  // merely contains "assert" is fine.
+  return FIXTURE_ASSERT_EQ(x, 3);
+}

@@ -189,8 +189,8 @@ TEST_P(EngineKind, DeterministicGivenSeed) {
 }
 
 INSTANTIATE_TEST_SUITE_P(BothEngines, EngineKind, ::testing::Bool(),
-                         [](const ::testing::TestParamInfo<bool>& info) {
-                           return info.param ? "Aggregate" : "Exact";
+                         [](const ::testing::TestParamInfo<bool>& param_info) {
+                           return param_info.param ? "Aggregate" : "Exact";
                          });
 
 TEST(ExactEngine, DisplaysAreSnapshottedBeforeUpdates) {
@@ -230,9 +230,8 @@ TEST(Engines, ExactAndAggregateAgreeInDistribution) {
   // The central cross-validation: per-round observation counts of one agent
   // must follow the same law under both engines.  We compare the count-of-1s
   // histograms with h = 8 over many rounds via chi-square on 9 cells.
-  const std::uint64_t n = 6;
   const std::uint64_t h = 8;
-  std::vector<Symbol> displays = {0, 0, 0, 0, 1, 1};  // c = (4, 2)
+  std::vector<Symbol> displays = {0, 0, 0, 0, 1, 1};  // n = 6, c = (4, 2)
   const auto noise = NoiseMatrix::uniform(2, 0.25);
   // P(observe 1) = (2/6)·0.75 + (4/6)·0.25 = 5/12.
   const double p1 = 5.0 / 12.0;

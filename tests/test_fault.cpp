@@ -190,8 +190,8 @@ TEST_P(FaultedEngineKind, ByzantineDisplaysSkewTheObservationLaw) {
 }
 
 INSTANTIATE_TEST_SUITE_P(BothEngines, FaultedEngineKind, ::testing::Bool(),
-                         [](const ::testing::TestParamInfo<bool>& info) {
-                           return info.param ? "Aggregate" : "Exact";
+                         [](const ::testing::TestParamInfo<bool>& param_info) {
+                           return param_info.param ? "Aggregate" : "Exact";
                          });
 
 // --- Byzantine strategies. ----------------------------------------------

@@ -143,12 +143,12 @@ TEST(FuzzInvariants, KaryScoresFrozenAfterListening) {
     ksf.update(agent, t, random_obs(rng, 3, 9), rng);
   }
   std::array<std::uint64_t, 3> frozen{};
-  for (std::size_t o = 0; o < 3; ++o) frozen[o] = ksf.score(agent, o);
+  for (std::size_t o = 0; o < 3; ++o) frozen[o] = ksf.score(agent, static_cast<Opinion>(o));
   for (std::uint64_t t = ksf.listening_rounds();
        t < ksf.planned_rounds() + 5; ++t) {
     ksf.update(agent, t, random_obs(rng, 3, 9), rng);
     for (std::size_t o = 0; o < 3; ++o) {
-      ASSERT_EQ(ksf.score(agent, o), frozen[o]);
+      ASSERT_EQ(ksf.score(agent, static_cast<Opinion>(o)), frozen[o]);
     }
   }
 }

@@ -1,0 +1,122 @@
+// NaN / out-of-range rejection tests for every probability-taking entry
+// point: noise matrix delta, fault plan rates, churn rates, and the
+// protocol schedule's delta.
+//
+// All range checks are written in the NaN-rejecting form
+// `x >= lo && x <= hi` (every comparison with NaN is false, so a NaN
+// parameter fails the check and throws).  These tests pin that property:
+// a refactor to `!(x < lo || x > hi)` would silently start accepting NaN
+// and poison the whole run, and nothing else in the suite would notice.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <stdexcept>
+
+#include "noisypull/core/schedule.hpp"
+#include "noisypull/core/source_filter.hpp"
+#include "noisypull/fault/fault_plan.hpp"
+#include "noisypull/model/engine.hpp"
+#include "noisypull/noise/noise_matrix.hpp"
+#include "noisypull/sim/churn.hpp"
+
+namespace noisypull {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(ParamValidation, NoiseMatrixUniformRejectsBadDelta) {
+  EXPECT_THROW(NoiseMatrix::uniform(2, kNaN), std::invalid_argument);
+  EXPECT_THROW(NoiseMatrix::uniform(2, kInf), std::invalid_argument);
+  EXPECT_THROW(NoiseMatrix::uniform(2, -0.1), std::invalid_argument);
+  // delta must not exceed 1/d (uniform noise cannot be more confusing
+  // than the uniform distribution itself).
+  EXPECT_THROW(NoiseMatrix::uniform(2, 0.6), std::invalid_argument);
+  EXPECT_THROW(NoiseMatrix::uniform(4, 0.3), std::invalid_argument);
+  EXPECT_NO_THROW(NoiseMatrix::uniform(2, 0.5));
+  EXPECT_NO_THROW(NoiseMatrix::uniform(4, 0.25));
+}
+
+TEST(ParamValidation, NoiseMatrixRejectsNaNEntries) {
+  // A NaN entry makes the row sum NaN, so the stochasticity check fails.
+  Matrix m(2, 2);
+  m(0, 0) = kNaN;
+  m(0, 1) = 0.5;
+  m(1, 0) = 0.5;
+  m(1, 1) = 0.5;
+  EXPECT_THROW(NoiseMatrix{m}, std::invalid_argument);
+}
+
+TEST(ParamValidation, FaultPlanRejectsNaNAndOutOfRangeRates) {
+  const auto reject = [](void (*mutate)(FaultPlan&)) {
+    FaultPlan plan = FaultPlan::for_binary(/*correct=*/1);
+    mutate(plan);
+    EXPECT_THROW(plan.validate(/*alphabet_size=*/2), std::invalid_argument);
+  };
+  reject([](FaultPlan& p) { p.byzantine.fraction = kNaN; });
+  reject([](FaultPlan& p) { p.byzantine.fraction = -0.1; });
+  reject([](FaultPlan& p) { p.byzantine.fraction = 1.5; });
+  reject([](FaultPlan& p) { p.drop.p = kNaN; });
+  reject([](FaultPlan& p) { p.drop.p = kInf; });
+  reject([](FaultPlan& p) { p.drop.p = 2.0; });
+  reject([](FaultPlan& p) { p.stall.crash_rate = kNaN; });
+  reject([](FaultPlan& p) { p.stall.crash_rate = -1.0; });
+  reject([](FaultPlan& p) { p.stall.blackout_fraction = kNaN; });
+  reject([](FaultPlan& p) { p.stall.blackout_fraction = 1.01; });
+  reject([](FaultPlan& p) { p.burst.rate = kNaN; });
+  reject([](FaultPlan& p) { p.burst.rate = -0.5; });
+  reject([](FaultPlan& p) {
+    p.burst.rate = 0.1;
+    p.burst.rounds = 2;
+    p.burst.delta = kNaN;
+  });
+  reject([](FaultPlan& p) {
+    p.burst.rate = 0.1;
+    p.burst.rounds = 2;
+    p.burst.delta = 0.75;  // > 1/|alphabet| for the binary alphabet
+  });
+}
+
+TEST(ParamValidation, FaultPlanAcceptsBoundaryRates) {
+  FaultPlan plan = FaultPlan::for_binary(/*correct=*/1);
+  plan.byzantine.fraction = 1.0;
+  plan.drop.p = 0.0;
+  plan.stall.crash_rate = 1.0;
+  plan.stall.min_rounds = 1;
+  plan.stall.max_rounds = 1;
+  plan.burst.rate = 1.0;
+  plan.burst.rounds = 1;
+  plan.burst.delta = 0.5;
+  EXPECT_NO_THROW(plan.validate(/*alphabet_size=*/2));
+}
+
+TEST(ParamValidation, ChurnRejectsNaNAndOutOfRangeRate) {
+  const PopulationConfig pop{.n = 20, .s1 = 1, .s0 = 0};
+  const double delta = 0.05;
+  SelfStabilizingSourceFilter ssf(pop, pop.n, delta, 2.0);
+  AggregateEngine engine;
+  const auto noise = NoiseMatrix::uniform(4, delta);
+  Rng rng(1);
+  const auto run = [&](double rate) {
+    run_with_churn(ssf, engine, noise, pop.correct_opinion(), pop.n,
+                   /*warmup=*/1, /*measure=*/1, ChurnConfig{.rate = rate},
+                   rng);
+  };
+  EXPECT_THROW(run(kNaN), std::invalid_argument);
+  EXPECT_THROW(run(kInf), std::invalid_argument);
+  EXPECT_THROW(run(-0.01), std::invalid_argument);
+  EXPECT_THROW(run(1.01), std::invalid_argument);
+}
+
+TEST(ParamValidation, ScheduleRejectsNaNDeltaAndC1) {
+  const PopulationConfig pop{.n = 100, .s1 = 1, .s0 = 0};
+  EXPECT_THROW(make_sf_schedule(pop, 10, kNaN, 2.0), std::invalid_argument);
+  EXPECT_THROW(make_sf_schedule(pop, 10, 0.5, 2.0), std::invalid_argument);
+  EXPECT_THROW(make_sf_schedule(pop, 10, -0.1, 2.0), std::invalid_argument);
+  EXPECT_THROW(make_sf_schedule(pop, 10, 0.1, kNaN), std::invalid_argument);
+  EXPECT_THROW(make_sf_schedule(pop, 10, 0.1, 0.0), std::invalid_argument);
+  EXPECT_THROW(SourceFilter(pop, 10, kNaN, 2.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace noisypull

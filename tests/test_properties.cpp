@@ -45,9 +45,9 @@ INSTANTIATE_TEST_SUITE_P(
                       AlphabetLevel{2, 0.95}, AlphabetLevel{3, 0.5},
                       AlphabetLevel{4, 0.5}, AlphabetLevel{4, 0.9},
                       AlphabetLevel{6, 0.6}, AlphabetLevel{8, 0.8}),
-    [](const ::testing::TestParamInfo<AlphabetLevel>& info) {
-      return "d" + std::to_string(info.param.d) + "_frac" +
-             std::to_string(static_cast<int>(info.param.frac * 100));
+    [](const ::testing::TestParamInfo<AlphabetLevel>& param_info) {
+      return "d" + std::to_string(param_info.param.d) + "_frac" +
+             std::to_string(static_cast<int>(param_info.param.frac * 100));
     });
 
 // ---------------------------------------------------------------------------
@@ -75,9 +75,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(AlphabetLevel{2, 0.4}, AlphabetLevel{2, 0.9},
                       AlphabetLevel{3, 0.6}, AlphabetLevel{4, 0.4},
                       AlphabetLevel{4, 0.9}, AlphabetLevel{5, 0.7}),
-    [](const ::testing::TestParamInfo<AlphabetLevel>& info) {
-      return "d" + std::to_string(info.param.d) + "_frac" +
-             std::to_string(static_cast<int>(info.param.frac * 100));
+    [](const ::testing::TestParamInfo<AlphabetLevel>& param_info) {
+      return "d" + std::to_string(param_info.param.d) + "_frac" +
+             std::to_string(static_cast<int>(param_info.param.frac * 100));
     });
 
 // ---------------------------------------------------------------------------
@@ -129,9 +129,10 @@ TEST_P(EngineEquivalence, MeanObservedOnesAgree) {
   AggregateEngine aggregate;
   const double fe = fraction(exact, 1);
   const double fa = fraction(aggregate, 2);
-  const double ones_displayed = std::floor((n + 3) / 4.0);
-  const double p1 = (ones_displayed / n) * (1 - delta) +
-                    (1 - ones_displayed / n) * delta;
+  const double nd = static_cast<double>(n);
+  const double ones_displayed = std::floor((nd + 3) / 4.0);
+  const double p1 = (ones_displayed / nd) * (1 - delta) +
+                    (1 - ones_displayed / nd) * delta;
   const double sigma =
       std::sqrt(p1 * (1 - p1) / (40.0 * static_cast<double>(n * h)));
   EXPECT_NEAR(fe, p1, 6 * sigma + 1e-6);
@@ -144,10 +145,10 @@ INSTANTIATE_TEST_SUITE_P(
                       EngineEquivalenceCase{16, 4, 0.25},
                       EngineEquivalenceCase{64, 16, 0.4},
                       EngineEquivalenceCase{100, 100, 0.05}),
-    [](const ::testing::TestParamInfo<EngineEquivalenceCase>& info) {
-      return "n" + std::to_string(info.param.n) + "_h" +
-             std::to_string(info.param.h) + "_d" +
-             std::to_string(static_cast<int>(info.param.delta * 100));
+    [](const ::testing::TestParamInfo<EngineEquivalenceCase>& param_info) {
+      return "n" + std::to_string(param_info.param.n) + "_h" +
+             std::to_string(param_info.param.h) + "_d" +
+             std::to_string(static_cast<int>(param_info.param.delta * 100));
     });
 
 // ---------------------------------------------------------------------------
@@ -189,8 +190,8 @@ INSTANTIATE_TEST_SUITE_P(
                       SfCase{400, 0, 0.1, 10, 0},   // many sources
                       SfCase{100, 0, 0.1, 25, 0},   // s = n/4 boundary
                       SfCase{300, 0, 0.2, 0, 1}),   // correct opinion is 0
-    [](const ::testing::TestParamInfo<SfCase>& info) {
-      const auto& c = info.param;
+    [](const ::testing::TestParamInfo<SfCase>& param_info) {
+      const auto& c = param_info.param;
       return "n" + std::to_string(c.n) + "_h" + std::to_string(c.h) + "_d" +
              std::to_string(static_cast<int>(c.delta * 100)) + "_s" +
              std::to_string(c.s1) + "v" + std::to_string(c.s0);
@@ -237,13 +238,13 @@ INSTANTIATE_TEST_SUITE_P(
         SsfCase{200, 0.05, CorruptionPolicy::DesyncClocks},
         SsfCase{400, 0.1, CorruptionPolicy::WrongConsensus},
         SsfCase{400, 0.0, CorruptionPolicy::WrongConsensus}),
-    [](const ::testing::TestParamInfo<SsfCase>& info) {
-      std::string name = to_string(info.param.policy);
+    [](const ::testing::TestParamInfo<SsfCase>& param_info) {
+      std::string name = to_string(param_info.param.policy);
       for (auto& ch : name) {
         if (ch == '-') ch = '_';
       }
-      return "n" + std::to_string(info.param.n) + "_d" +
-             std::to_string(static_cast<int>(info.param.delta * 100)) + "_" +
+      return "n" + std::to_string(param_info.param.n) + "_d" +
+             std::to_string(static_cast<int>(param_info.param.delta * 100)) + "_" +
              name;
     });
 

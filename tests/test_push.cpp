@@ -133,8 +133,8 @@ TEST_P(PushEngineKind, RejectsBadParameters) {
 }
 
 INSTANTIATE_TEST_SUITE_P(BothEngines, PushEngineKind, ::testing::Bool(),
-                         [](const ::testing::TestParamInfo<bool>& info) {
-                           return info.param ? "Aggregate" : "Exact";
+                         [](const ::testing::TestParamInfo<bool>& param_info) {
+                           return param_info.param ? "Aggregate" : "Exact";
                          });
 
 TEST(PushEngines, PerReceiverCountDistributionsAgree) {

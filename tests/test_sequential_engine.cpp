@@ -142,8 +142,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(SequentialEngine::Order::Random,
                       SequentialEngine::Order::FixedAscending,
                       SequentialEngine::Order::FixedDescending),
-    [](const ::testing::TestParamInfo<SequentialEngine::Order>& info) {
-      switch (info.param) {
+    [](const ::testing::TestParamInfo<SequentialEngine::Order>& param_info) {
+      switch (param_info.param) {
         case SequentialEngine::Order::Random:
           return "Random";
         case SequentialEngine::Order::FixedAscending:

@@ -40,8 +40,10 @@ struct CliOptions {
   std::uint64_t window = 0;           // repeated-majority window (0 → n)
   std::string corruption = "none";    // ssf corruption policy
   std::string engine = "aggregate";   // aggregate | exact | sequential
+                                      // | heterogeneous
   std::string order = "random";       // sequential activation order
   bool trajectory = false;            // print per-round correct counts
+  bool verify_replay = false;         // run twice, compare replay digests
   bool csv = false;
   std::string csv_path;
 
@@ -77,9 +79,13 @@ struct CliOptions {
   --window K      repeated-majority window; 0 = n
   --corruption C  none | random-state | wrong-consensus |
                   overflow-memory | desync-clocks      (ssf/tagless)
-  --engine E      aggregate | exact | sequential       (default aggregate)
+  --engine E      aggregate | exact | sequential | heterogeneous
+                                                       (default aggregate)
   --order O       random | ascending | descending      (sequential engine)
   --trajectory    print per-round correct counts of repetition 0
+  --verify-replay run the whole configuration twice with identical seeds and
+                  compare per-repetition replay digests (FNV-1a over every
+                  round's display vector); exits 0 iff bit-for-bit identical
   --csv PATH      mirror the result table to PATH.csv
 
  runtime fault injection (any non-zero rate wraps the engine in a
@@ -164,6 +170,7 @@ CliOptions parse_args(int argc, char** argv) {
     else if (a == "--engine") opt.engine = need_value(i++);
     else if (a == "--order") opt.order = need_value(i++);
     else if (a == "--trajectory") opt.trajectory = true;
+    else if (a == "--verify-replay") opt.verify_replay = true;
     else if (a == "--byz") opt.byz = parse_double(need_value(i++));
     else if (a == "--byz-strategy") opt.byz_strategy = need_value(i++);
     else if (a == "--p-drop") opt.p_drop = parse_double(need_value(i++));
@@ -241,9 +248,16 @@ FaultPlan make_fault_plan(const CliOptions& opt, Opinion correct,
   return plan;
 }
 
-std::unique_ptr<Engine> make_engine(const CliOptions& opt) {
+std::unique_ptr<Engine> make_engine(const CliOptions& opt,
+                                    std::size_t alphabet) {
   if (opt.engine == "aggregate") return std::make_unique<AggregateEngine>();
   if (opt.engine == "exact") return std::make_unique<ExactEngine>();
+  if (opt.engine == "heterogeneous") {
+    // Uniform per-agent channels at the configured delta — enough to route
+    // the run (and its replay digest) through the per-agent code path.
+    return std::make_unique<HeterogeneousEngine>(std::vector<NoiseMatrix>(
+        opt.n, NoiseMatrix::uniform(alphabet, opt.delta)));
+  }
   if (opt.engine == "sequential") {
     auto order = SequentialEngine::Order::Random;
     if (opt.order == "ascending") {
@@ -368,44 +382,30 @@ int run_push_protocol(const CliOptions& opt, std::uint64_t h) {
   return successes == opt.reps ? 0 : 1;
 }
 
-}  // namespace
+// One full pull experiment: all repetitions of the configured protocol /
+// engine / fault plan.  Factored out of main() so --verify-replay can run
+// the identical configuration twice and compare per-repetition digests.
+struct PullOutcome {
+  std::uint64_t successes = 0;
+  std::vector<std::uint64_t> digests;  // replay digest per repetition
+  std::vector<std::uint64_t> trajectory;
+  FaultStats fault_totals{};
+  Table table{{"rep", "converged", "stable", "first-correct", "rounds",
+               "correct"}};
+};
 
-int main(int argc, char** argv) {
-  const CliOptions opt = parse_args(argc, argv);
-  const std::uint64_t h = opt.h == 0 ? opt.n : opt.h;
-
-  std::printf("protocol=%s n=%llu h=%llu delta=%.3f seed=%llu reps=%llu\n\n",
-              opt.protocol.c_str(), static_cast<unsigned long long>(opt.n),
-              static_cast<unsigned long long>(h), opt.delta,
-              static_cast<unsigned long long>(opt.seed),
-              static_cast<unsigned long long>(opt.reps));
-
-  if (opt.protocol == "push") {
-    if (wants_faults(opt)) {
-      std::fprintf(stderr,
-                   "error: fault injection targets pull engines; "
-                   "--protocol push is not supported\n");
-      return 2;
-    }
-    return run_push_protocol(opt, h);
-  }
-
+int run_pull_reps(const CliOptions& opt, std::uint64_t h, PullOutcome& out) {
   std::uint64_t num_sources = opt.s1 + opt.s0;
   if (opt.protocol == "kary" && !opt.kary_sources.empty()) {
     num_sources = 0;
     for (const auto s : opt.kary_sources) num_sources += s;
   }
 
-  Table table({"rep", "converged", "stable", "first-correct", "rounds",
-               "correct"});
-  std::uint64_t successes = 0;
-  std::vector<std::uint64_t> trajectory;
-  FaultStats fault_totals{};
   for (std::uint64_t rep = 0; rep < opt.reps; ++rep) {
     Rng init(opt.seed, 2 * rep);
     Rng rng(opt.seed, 2 * rep + 1);
     auto setup = make_pull_setup(opt, h, init);
-    auto engine = make_engine(opt);
+    auto engine = make_engine(opt, setup.protocol->alphabet_size());
     std::unique_ptr<FaultyEngine> faulty;
     Engine* eng = engine.get();
     if (wants_faults(opt)) {
@@ -431,17 +431,18 @@ int main(int argc, char** argv) {
                       .stability_window = opt.stability,
                       .record_trajectory = opt.trajectory && rep == 0},
             rng);
-    successes += r.all_correct_at_end ? 1 : 0;
-    if (rep == 0) trajectory = r.trajectory;
+    out.successes += r.all_correct_at_end ? 1 : 0;
+    out.digests.push_back(eng->replay_digest());
+    if (rep == 0) out.trajectory = r.trajectory;
     if (faulty) {
       const auto& fs = faulty->stats();
-      fault_totals.byzantine_agents = fs.byzantine_agents;
-      fault_totals.crashes += fs.crashes;
-      fault_totals.stalled_updates += fs.stalled_updates;
-      fault_totals.dropped_observations += fs.dropped_observations;
-      fault_totals.burst_rounds += fs.burst_rounds;
+      out.fault_totals.byzantine_agents = fs.byzantine_agents;
+      out.fault_totals.crashes += fs.crashes;
+      out.fault_totals.stalled_updates += fs.stalled_updates;
+      out.fault_totals.dropped_observations += fs.dropped_observations;
+      out.fault_totals.burst_rounds += fs.burst_rounds;
     }
-    table.cell(rep)
+    out.table.cell(rep)
         .cell(r.all_correct_at_end ? "yes" : "no")
         .cell(opt.stability == 0 ? "-" : (r.stable ? "yes" : "no"))
         .cell(r.first_all_correct == kNever
@@ -451,6 +452,77 @@ int main(int argc, char** argv) {
         .cell(r.correct_at_end)
         .end_row();
   }
+  return 0;
+}
+
+// Runs the configured experiment twice from identical seeds and compares
+// the per-repetition replay digests — the dynamic determinism audit.
+int run_verify_replay(const CliOptions& opt, std::uint64_t h) {
+  PullOutcome first, second;
+  if (const int rc = run_pull_reps(opt, h, first); rc != 0) return rc;
+  if (const int rc = run_pull_reps(opt, h, second); rc != 0) return rc;
+
+  Table table({"rep", "digest-run-1", "digest-run-2", "match"});
+  std::uint64_t mismatches = 0;
+  for (std::uint64_t rep = 0; rep < opt.reps; ++rep) {
+    char d1[32], d2[32];
+    std::snprintf(d1, sizeof d1, "%016llx",
+                  static_cast<unsigned long long>(first.digests[rep]));
+    std::snprintf(d2, sizeof d2, "%016llx",
+                  static_cast<unsigned long long>(second.digests[rep]));
+    const bool match = first.digests[rep] == second.digests[rep];
+    mismatches += match ? 0 : 1;
+    table.cell(rep).cell(d1).cell(d2).cell(match ? "yes" : "NO").end_row();
+  }
+  table.print(std::cout);
+  if (mismatches == 0 && first.successes == second.successes) {
+    std::printf("\nverify-replay: OK — %llu repetition(s) bit-for-bit "
+                "reproducible\n",
+                static_cast<unsigned long long>(opt.reps));
+    return 0;
+  }
+  std::printf("\nverify-replay: FAILED — %llu digest mismatch(es); "
+              "nondeterminism in the simulation path\n",
+              static_cast<unsigned long long>(mismatches));
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions opt = parse_args(argc, argv);
+  const std::uint64_t h = opt.h == 0 ? opt.n : opt.h;
+
+  std::printf("protocol=%s n=%llu h=%llu delta=%.3f seed=%llu reps=%llu\n\n",
+              opt.protocol.c_str(), static_cast<unsigned long long>(opt.n),
+              static_cast<unsigned long long>(h), opt.delta,
+              static_cast<unsigned long long>(opt.seed),
+              static_cast<unsigned long long>(opt.reps));
+
+  if (opt.protocol == "push") {
+    if (wants_faults(opt)) {
+      std::fprintf(stderr,
+                   "error: fault injection targets pull engines; "
+                   "--protocol push is not supported\n");
+      return 2;
+    }
+    if (opt.verify_replay) {
+      std::fprintf(stderr,
+                   "error: --verify-replay audits the pull engines; "
+                   "--protocol push is not supported\n");
+      return 2;
+    }
+    return run_push_protocol(opt, h);
+  }
+
+  if (opt.verify_replay) return run_verify_replay(opt, h);
+
+  PullOutcome out;
+  if (const int rc = run_pull_reps(opt, h, out); rc != 0) return rc;
+  const std::uint64_t successes = out.successes;
+  const std::vector<std::uint64_t>& trajectory = out.trajectory;
+  const FaultStats& fault_totals = out.fault_totals;
+  Table& table = out.table;
   if (opt.trajectory) {
     for (std::size_t t = 0; t < trajectory.size(); ++t) {
       std::printf("round %zu: %llu correct\n", t,

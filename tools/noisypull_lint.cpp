@@ -1,0 +1,666 @@
+// noisypull_lint — repo-specific invariant linter for the noisypull tree.
+//
+// Generic compilers and clang-tidy cannot check the invariants this
+// reproduction's empirical claims rest on: bit-for-bit deterministic
+// simulation from salted (round, agent) RNG substreams, double-only
+// probability arithmetic, and the project's own assertion discipline.  This
+// tool enforces them with a lightweight tokenizer (comments, strings, raw
+// strings, and preprocessor directives are handled; no libclang) and a
+// declarative rules table:
+//
+//   nondeterministic-rng   std::rand / srand / std::random_device / time() /
+//                          clock() / random_shuffle / default-seeded
+//                          std::mt19937 anywhere outside src/noisypull/rng/.
+//                          All simulation randomness must flow through the
+//                          seeded noisypull::Rng substreams.
+//   float-type             `float` types or float literals (0.5f) anywhere:
+//                          probability/statistics arithmetic is double-only,
+//                          so tables cannot drift with optimization levels.
+//   pragma-once            every .hpp starts (first directive) with
+//                          `#pragma once`.
+//   bare-assert            bare assert() or <cassert>/<assert.h> includes;
+//                          internal invariants use NOISYPULL_ASSERT (aborts
+//                          in every build type), preconditions NOISYPULL_CHECK.
+//   unordered-container    std::unordered_{map,set,...} under src/noisypull/
+//                          or bench/: hash-order iteration feeding results is
+//                          a nondeterminism hazard, so deterministic paths
+//                          use ordered containers or suppress explicitly.
+//   iostream-in-header     #include <iostream> in src/noisypull/ headers
+//                          (static-init cost and hidden I/O in the core
+//                          library; use <ostream>/<iosfwd> in interfaces).
+//
+// Suppression: a comment `nplint: allow(rule-name)` on the offending line.
+//
+// Usage:
+//   noisypull_lint <file-or-dir>...          lint; nonzero exit on findings
+//   noisypull_lint --self-test <fixture-dir> verify rules against fixtures
+//
+// Fixture files declare their virtual location and expected findings in
+// comments (`lint-path:`, `expect: rule`, `expect-anywhere: rule`); the
+// self-test fails if any expected finding does not fire or any unexpected
+// one does — which is how each rule is proven to both fire and stay silent
+// (tests/lint_fixtures/, wired as a ctest in tools/CMakeLists.txt).
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Lexing
+
+enum class TokKind { Identifier, Number, Punct };
+
+struct Token {
+  std::string text;
+  int line = 0;
+  TokKind kind = TokKind::Punct;
+};
+
+struct Directive {
+  std::vector<std::string> words;  // e.g. {"#", "pragma", "once"}
+  int line = 0;
+};
+
+struct Comment {
+  std::string text;
+  int line = 0;  // line where the comment starts
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<Directive> directives;
+  std::vector<Comment> comments;
+};
+
+bool is_ident_start(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+bool is_ident_char(char c) { return is_ident_start(c) || (c >= '0' && c <= '9'); }
+bool is_digit(char c) { return c >= '0' && c <= '9'; }
+
+// Splits a preprocessor directive body into whitespace-separated words,
+// keeping <...> / "..." include arguments as single words.
+std::vector<std::string> directive_words(const std::string& body) {
+  std::vector<std::string> words{"#"};
+  std::size_t i = 0;
+  while (i < body.size()) {
+    if (body[i] == ' ' || body[i] == '\t') {
+      ++i;
+      continue;
+    }
+    std::size_t j = i;
+    while (j < body.size() && body[j] != ' ' && body[j] != '\t') ++j;
+    words.push_back(body.substr(i, j - i));
+    i = j;
+  }
+  return words;
+}
+
+// One pass over the source: produces identifier/number/punct tokens with
+// comments, string literals, and preprocessor directives separated out so
+// rules never false-positive on prose or quoted rule names.
+LexedFile lex(const std::string& src) {
+  LexedFile out;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  bool at_line_start = true;  // only whitespace seen on this line so far
+
+  auto advance = [&](std::size_t count) {
+    for (std::size_t k = 0; k < count && i < n; ++k, ++i) {
+      if (src[i] == '\n') {
+        ++line;
+        at_line_start = true;
+      }
+    }
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n' || c == ' ' || c == '\t' || c == '\r') {
+      advance(1);
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      const int start_line = line;
+      std::size_t j = i;
+      while (j < n && src[j] != '\n') ++j;
+      out.comments.push_back({src.substr(i, j - i), start_line});
+      advance(j - i);
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const int start_line = line;
+      std::size_t j = i + 2;
+      while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/')) ++j;
+      j = std::min(n, j + 2);
+      out.comments.push_back({src.substr(i, j - i), start_line});
+      advance(j - i);
+      continue;
+    }
+    // Preprocessor directive: consume the whole (continued) logical line.
+    if (c == '#' && at_line_start) {
+      const int start_line = line;
+      std::size_t j = i;
+      while (j < n) {
+        if (src[j] == '\n') {
+          if (j > i && src[j - 1] == '\\') {
+            ++j;
+            continue;
+          }
+          break;
+        }
+        ++j;
+      }
+      std::string body = src.substr(i + 1, j - i - 1);
+      // Strip trailing line comment from the directive body.
+      if (const auto pos = body.find("//"); pos != std::string::npos) {
+        out.comments.push_back({body.substr(pos), start_line});
+        body.resize(pos);
+      }
+      out.directives.push_back({directive_words(body), start_line});
+      advance(j - i);
+      continue;
+    }
+    at_line_start = false;
+    // Raw string literal.
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && src[j] != '(') delim.push_back(src[j++]);
+      const std::string close = ")" + delim + "\"";
+      const auto end = src.find(close, j);
+      advance((end == std::string::npos ? n : end + close.size()) - i);
+      continue;
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      std::size_t j = i + 1;
+      while (j < n && src[j] != c) {
+        if (src[j] == '\\' && j + 1 < n) ++j;
+        ++j;
+      }
+      advance(std::min(n, j + 1) - i);
+      continue;
+    }
+    if (is_ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && is_ident_char(src[j])) ++j;
+      // A string literal prefixed by an encoding (u8"...") lexes as an
+      // identifier followed by the string — good enough for these rules.
+      out.tokens.push_back({src.substr(i, j - i), line, TokKind::Identifier});
+      advance(j - i);
+      continue;
+    }
+    if (is_digit(c)) {
+      std::size_t j = i;
+      while (j < n && (is_ident_char(src[j]) || src[j] == '.' || src[j] == '\'' ||
+                       ((src[j] == '+' || src[j] == '-') && j > i &&
+                        (src[j - 1] == 'e' || src[j - 1] == 'E' ||
+                         src[j - 1] == 'p' || src[j - 1] == 'P')))) {
+        ++j;
+      }
+      out.tokens.push_back({src.substr(i, j - i), line, TokKind::Number});
+      advance(j - i);
+      continue;
+    }
+    // Punctuation; merge the two-char tokens the rules care about.
+    if (c == ':' && i + 1 < n && src[i + 1] == ':') {
+      out.tokens.push_back({"::", line, TokKind::Punct});
+      advance(2);
+      continue;
+    }
+    if (c == '-' && i + 1 < n && src[i + 1] == '>') {
+      out.tokens.push_back({"->", line, TokKind::Punct});
+      advance(2);
+      continue;
+    }
+    out.tokens.push_back({std::string(1, c), line, TokKind::Punct});
+    advance(1);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Findings and rules
+
+struct Finding {
+  std::string rule;
+  int line = 0;
+  std::string message;
+};
+
+struct FileContext {
+  std::string path;     // effective (virtual in self-test) repo path, '/' sep
+  bool is_header = false;
+  const LexedFile* lexed = nullptr;
+};
+
+bool path_contains(const FileContext& ctx, const std::string& fragment) {
+  return ctx.path.find(fragment) != std::string::npos;
+}
+
+bool is_member_access(const std::vector<Token>& toks, std::size_t idx) {
+  return idx > 0 && (toks[idx - 1].text == "." || toks[idx - 1].text == "->");
+}
+
+bool next_is(const std::vector<Token>& toks, std::size_t idx,
+             const std::string& text) {
+  return idx + 1 < toks.size() && toks[idx + 1].text == text;
+}
+
+// nondeterministic-rng: unseeded / wall-clock randomness outside rng/.
+void rule_nondeterministic_rng(const FileContext& ctx,
+                               std::vector<Finding>& findings) {
+  if (path_contains(ctx, "src/noisypull/rng/")) return;
+  const auto& toks = ctx.lexed->tokens;
+  static const std::set<std::string> kBannedIdents = {
+      "srand", "random_device", "random_shuffle"};
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::Identifier) continue;
+    if (kBannedIdents.count(t.text) != 0) {
+      findings.push_back({"nondeterministic-rng", t.line,
+                          t.text + " is nondeterministic; use the seeded "
+                                   "noisypull::Rng substreams"});
+      continue;
+    }
+    if (t.text == "rand" && !is_member_access(toks, i)) {
+      findings.push_back({"nondeterministic-rng", t.line,
+                          "std::rand is nondeterministic; use the seeded "
+                          "noisypull::Rng substreams"});
+      continue;
+    }
+    if ((t.text == "time" || t.text == "clock") && next_is(toks, i, "(") &&
+        !is_member_access(toks, i)) {
+      findings.push_back({"nondeterministic-rng", t.line,
+                          t.text + "() reads the wall clock; simulations must "
+                                   "be reproducible from the seed alone"});
+      continue;
+    }
+    if (t.text == "mt19937" || t.text == "mt19937_64") {
+      // Default-seeded declaration: `std::mt19937 gen;` / `gen{}` / `gen()`.
+      std::size_t j = i + 1;
+      if (j < toks.size() && toks[j].kind == TokKind::Identifier) ++j;
+      const bool argless =
+          j < toks.size() &&
+          (toks[j].text == ";" ||
+           (toks[j].text == "(" && next_is(toks, j, ")")) ||
+           (toks[j].text == "{" && next_is(toks, j, "}")));
+      if (argless) {
+        findings.push_back({"nondeterministic-rng", t.line,
+                            "default-seeded std::" + t.text +
+                                " is nondeterministic across standard "
+                                "libraries; seed noisypull::Rng instead"});
+      }
+    }
+  }
+}
+
+// float-type: probability/statistics arithmetic is double-only.
+void rule_float_type(const FileContext& ctx, std::vector<Finding>& findings) {
+  for (const Token& t : ctx.lexed->tokens) {
+    if (t.kind == TokKind::Identifier && t.text == "float") {
+      findings.push_back({"float-type", t.line,
+                          "probability paths are double-only; single "
+                          "precision silently degrades noise statistics"});
+      continue;
+    }
+    if (t.kind == TokKind::Number && !t.text.empty() &&
+        (t.text.back() == 'f' || t.text.back() == 'F') &&
+        t.text.compare(0, 2, "0x") != 0 && t.text.compare(0, 2, "0X") != 0 &&
+        (t.text.find('.') != std::string::npos ||
+         t.text.find('e') != std::string::npos ||
+         t.text.find('E') != std::string::npos)) {
+      findings.push_back({"float-type", t.line,
+                          "float literal " + t.text +
+                              "; probability paths are double-only"});
+    }
+  }
+}
+
+// pragma-once: the first directive of every header is `#pragma once`.
+void rule_pragma_once(const FileContext& ctx, std::vector<Finding>& findings) {
+  if (!ctx.is_header) return;
+  const auto& dirs = ctx.lexed->directives;
+  if (dirs.empty() || dirs.front().words.size() < 3 ||
+      dirs.front().words[1] != "pragma" || dirs.front().words[2] != "once") {
+    findings.push_back({"pragma-once", dirs.empty() ? 1 : dirs.front().line,
+                        "header must open with #pragma once before any other "
+                        "directive"});
+  }
+}
+
+// bare-assert: internal invariants go through NOISYPULL_ASSERT.
+void rule_bare_assert(const FileContext& ctx, std::vector<Finding>& findings) {
+  const auto& toks = ctx.lexed->tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind == TokKind::Identifier && t.text == "assert" &&
+        next_is(toks, i, "(") && !is_member_access(toks, i)) {
+      findings.push_back({"bare-assert", t.line,
+                          "bare assert() compiles out under NDEBUG; use "
+                          "NOISYPULL_ASSERT (invariants) or NOISYPULL_CHECK "
+                          "(preconditions)"});
+    }
+  }
+  for (const Directive& d : ctx.lexed->directives) {
+    if (d.words.size() >= 3 && d.words[1] == "include" &&
+        (d.words[2] == "<cassert>" || d.words[2] == "<assert.h>")) {
+      findings.push_back({"bare-assert", d.line,
+                          "include of " + d.words[2] +
+                              "; use noisypull/common/check.hpp"});
+    }
+  }
+}
+
+// unordered-container: hash-order iteration in deterministic paths.
+void rule_unordered_container(const FileContext& ctx,
+                              std::vector<Finding>& findings) {
+  if (!path_contains(ctx, "src/noisypull/") && !path_contains(ctx, "bench/")) {
+    return;
+  }
+  static const std::set<std::string> kUnordered = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+  for (const Token& t : ctx.lexed->tokens) {
+    if (t.kind == TokKind::Identifier && kUnordered.count(t.text) != 0) {
+      findings.push_back({"unordered-container", t.line,
+                          "std::" + t.text +
+                              " iterates in hash order — nondeterminism "
+                              "hazard in simulation paths; use an ordered "
+                              "container or suppress with justification"});
+    }
+  }
+}
+
+// iostream-in-header: no <iostream> in core library headers.
+void rule_iostream_in_header(const FileContext& ctx,
+                             std::vector<Finding>& findings) {
+  if (!ctx.is_header || !path_contains(ctx, "src/noisypull/")) return;
+  for (const Directive& d : ctx.lexed->directives) {
+    if (d.words.size() >= 3 && d.words[1] == "include" &&
+        d.words[2] == "<iostream>") {
+      findings.push_back({"iostream-in-header", d.line,
+                          "<iostream> in a core header drags global stream "
+                          "objects into every TU; use <ostream> or <iosfwd>"});
+    }
+  }
+}
+
+using RuleFn = void (*)(const FileContext&, std::vector<Finding>&);
+
+struct Rule {
+  const char* name;
+  RuleFn fn;
+};
+
+constexpr Rule kRules[] = {
+    {"nondeterministic-rng", rule_nondeterministic_rng},
+    {"float-type", rule_float_type},
+    {"pragma-once", rule_pragma_once},
+    {"bare-assert", rule_bare_assert},
+    {"unordered-container", rule_unordered_container},
+    {"iostream-in-header", rule_iostream_in_header},
+};
+
+// ---------------------------------------------------------------------------
+// Annotations (suppressions + fixture expectations) from comments
+
+struct Annotations {
+  std::map<int, std::set<std::string>> allow;   // line → suppressed rules
+  std::map<int, std::set<std::string>> expect;  // line → expected rules
+  std::set<std::string> expect_anywhere;        // rules expected on any line
+  std::string lint_path;                        // fixture virtual path
+};
+
+// Extracts comma/space-separated rule names following `key` in comment text.
+void parse_rule_list(const std::string& text, std::size_t after,
+                     std::set<std::string>& out) {
+  std::size_t i = after;
+  while (i < text.size()) {
+    while (i < text.size() && (text[i] == ' ' || text[i] == ',' ||
+                               text[i] == '(' ))
+      ++i;
+    std::size_t j = i;
+    while (j < text.size() &&
+           (is_ident_char(text[j]) || text[j] == '-'))
+      ++j;
+    if (j == i) break;
+    out.insert(text.substr(i, j - i));
+    i = j;
+    if (i < text.size() && text[i] == ')') break;
+  }
+}
+
+Annotations parse_annotations(const LexedFile& lexed) {
+  Annotations a;
+  for (const Comment& c : lexed.comments) {
+    if (auto pos = c.text.find("nplint: allow"); pos != std::string::npos) {
+      parse_rule_list(c.text, pos + 13, a.allow[c.line]);
+    }
+    if (auto pos = c.text.find("expect-anywhere:"); pos != std::string::npos) {
+      parse_rule_list(c.text, pos + 16, a.expect_anywhere);
+    } else if (auto pos2 = c.text.find("expect:"); pos2 != std::string::npos) {
+      parse_rule_list(c.text, pos2 + 7, a.expect[c.line]);
+    }
+    if (auto pos = c.text.find("lint-path:"); pos != std::string::npos) {
+      std::size_t i = pos + 10;
+      while (i < c.text.size() && c.text[i] == ' ') ++i;
+      std::size_t j = i;
+      while (j < c.text.size() && c.text[j] != ' ' && c.text[j] != '\n') ++j;
+      a.lint_path = c.text.substr(i, j - i);
+    }
+  }
+  return a;
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+
+struct LintResult {
+  std::vector<Finding> findings;  // after suppression
+  Annotations annotations;
+};
+
+bool read_file(const fs::path& p, std::string& out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+LintResult lint_file(const fs::path& real_path, const std::string& src) {
+  const LexedFile lexed = lex(src);
+  LintResult result;
+  result.annotations = parse_annotations(lexed);
+
+  FileContext ctx;
+  ctx.path = result.annotations.lint_path.empty()
+                 ? real_path.generic_string()
+                 : result.annotations.lint_path;
+  ctx.is_header = fs::path(ctx.path).extension() == ".hpp";
+  ctx.lexed = &lexed;
+
+  std::vector<Finding> raw;
+  for (const Rule& rule : kRules) rule.fn(ctx, raw);
+
+  for (Finding& f : raw) {
+    const auto it = result.annotations.allow.find(f.line);
+    if (it != result.annotations.allow.end() && it->second.count(f.rule) != 0) {
+      continue;
+    }
+    result.findings.push_back(std::move(f));
+  }
+  std::sort(result.findings.begin(), result.findings.end(),
+            [](const Finding& a, const Finding& b) { return a.line < b.line; });
+  return result;
+}
+
+bool should_skip(const fs::path& p) {
+  const std::string s = p.generic_string();
+  return s.find("lint_fixtures") != std::string::npos ||
+         s.find("/build") != std::string::npos;
+}
+
+std::vector<fs::path> collect_files(const std::vector<std::string>& roots,
+                                    bool include_fixtures) {
+  std::vector<fs::path> files;
+  for (const std::string& root : roots) {
+    const fs::path rp(root);
+    if (fs::is_regular_file(rp)) {
+      files.push_back(rp);
+      continue;
+    }
+    if (!fs::is_directory(rp)) {
+      std::fprintf(stderr, "noisypull_lint: no such path: %s\n", root.c_str());
+      std::exit(2);
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(rp)) {
+      if (!entry.is_regular_file()) continue;
+      const fs::path& p = entry.path();
+      const auto ext = p.extension();
+      if (ext != ".cpp" && ext != ".hpp") continue;
+      if (!include_fixtures && should_skip(p)) continue;
+      files.push_back(p);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+int run_lint(const std::vector<std::string>& roots) {
+  std::size_t total = 0;
+  for (const fs::path& p : collect_files(roots, /*include_fixtures=*/false)) {
+    std::string src;
+    if (!read_file(p, src)) {
+      std::fprintf(stderr, "noisypull_lint: cannot read %s\n",
+                   p.generic_string().c_str());
+      return 2;
+    }
+    const LintResult r = lint_file(p, src);
+    for (const Finding& f : r.findings) {
+      std::printf("%s:%d: [%s] %s\n", p.generic_string().c_str(), f.line,
+                  f.rule.c_str(), f.message.c_str());
+      ++total;
+    }
+  }
+  if (total != 0) {
+    std::printf("noisypull_lint: %zu finding(s)\n", total);
+    return 1;
+  }
+  return 0;
+}
+
+// Self-test: every `expect:` annotation must produce exactly that finding on
+// that line, every `expect-anywhere:` at least once per file, and nothing
+// unexpected may fire.  Clean fixtures simply carry no annotations.
+int run_self_test(const std::vector<std::string>& roots) {
+  std::size_t errors = 0;
+  std::size_t files = 0;
+  std::set<std::string> rules_exercised;
+  for (const fs::path& p : collect_files(roots, /*include_fixtures=*/true)) {
+    ++files;
+    std::string src;
+    if (!read_file(p, src)) {
+      std::fprintf(stderr, "noisypull_lint: cannot read %s\n",
+                   p.generic_string().c_str());
+      return 2;
+    }
+    const std::string name = p.generic_string();
+    const LintResult r = lint_file(p, src);
+    const Annotations& a = r.annotations;
+
+    // An expectation is satisfied by one or more findings of that rule (on
+    // that line for `expect:`, anywhere for `expect-anywhere:`); findings
+    // matching no expectation, and expectations matching no finding, fail.
+    std::set<std::pair<int, std::string>> matched;
+    std::set<std::string> matched_anywhere;
+    for (const Finding& f : r.findings) {
+      rules_exercised.insert(f.rule);
+      if (auto it = a.expect.find(f.line);
+          it != a.expect.end() && it->second.count(f.rule) != 0) {
+        matched.insert({f.line, f.rule});
+        continue;
+      }
+      if (a.expect_anywhere.count(f.rule) != 0) {
+        matched_anywhere.insert(f.rule);
+        continue;
+      }
+      std::printf("self-test: %s:%d: unexpected finding [%s] %s\n",
+                  name.c_str(), f.line, f.rule.c_str(), f.message.c_str());
+      ++errors;
+    }
+    for (const auto& [line, rules] : a.expect) {
+      for (const std::string& rule : rules) {
+        if (matched.count({line, rule}) == 0) {
+          std::printf("self-test: %s:%d: expected [%s] did not fire\n",
+                      name.c_str(), line, rule.c_str());
+          ++errors;
+        }
+      }
+    }
+    for (const std::string& rule : a.expect_anywhere) {
+      if (matched_anywhere.count(rule) == 0) {
+        std::printf("self-test: %s: expected [%s] somewhere; did not fire\n",
+                    name.c_str(), rule.c_str());
+        ++errors;
+      }
+    }
+  }
+  if (files == 0) {
+    std::fprintf(stderr, "noisypull_lint: self-test found no fixtures\n");
+    return 2;
+  }
+  // Every rule in the table must be exercised by at least one bad fixture —
+  // a rule nobody can trip is a rule that silently rotted.
+  for (const Rule& rule : kRules) {
+    if (rules_exercised.count(rule.name) == 0) {
+      std::printf("self-test: rule [%s] has no firing fixture\n", rule.name);
+      ++errors;
+    }
+  }
+  std::printf("noisypull_lint self-test: %zu fixture file(s), %zu error(s)\n",
+              files, errors);
+  return errors == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  bool self_test = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--self-test") {
+      self_test = true;
+    } else if (a == "--help" || a == "-h") {
+      std::printf(
+          "usage: noisypull_lint [--self-test] <file-or-dir>...\n"
+          "lints the noisypull tree for determinism invariants; exits 1 on\n"
+          "findings, 2 on usage/IO errors.\n");
+      return 0;
+    } else {
+      roots.push_back(a);
+    }
+  }
+  if (roots.empty()) {
+    std::fprintf(stderr, "noisypull_lint: no paths given (try --help)\n");
+    return 2;
+  }
+  return self_test ? run_self_test(roots) : run_lint(roots);
+}
