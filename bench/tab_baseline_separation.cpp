@@ -76,11 +76,9 @@ int main(int argc, char** argv) {
             .cell(h)
             .cell(row.name)
             .cell(success_rate(results), 2)
-            .cell(mean_convergence_round(results) >
-                          static_cast<double>(budget)
-                      ? -1.0
-                      : mean_convergence_round(results),
-                  1)
+            // Renders "never" when no repetition converged (the old -1.0
+            // sentinel existed only to mask the kNever cast).
+            .cell(mean_convergence_round(results), 1)
             .cell(max_rounds == 0 ? ref.planned_rounds() : budget)
             .end_row();
       }
@@ -91,6 +89,6 @@ int main(int argc, char** argv) {
       "expected shape: SF success ~1 everywhere; voter/majority/repeated-\n"
       "majority succeed only ~coin-flip often (they reach *some* consensus\n"
       "fast, but not the source's) — the separation that motivates SF's\n"
-      "listening phase.  (first-correct = -1 means never converged.)\n");
+      "listening phase.  (first-correct = never: no repetition converged.)\n");
   return 0;
 }

@@ -58,12 +58,15 @@ int main(int argc, char** argv) {
           noise, pop.correct_opinion(),
           RunConfig{.h = n, .max_rounds = ref.convergence_deadline()},
           RepeatOptions{.repetitions = 6, .seed = 8100 + n});
-      const double fc = mean_convergence_round(results);
+      const std::optional<double> fc = mean_convergence_round(results);
+      const std::optional<double> fc_over_logn =
+          fc ? std::optional<double>(*fc / std::log(static_cast<double>(n)))
+             : std::nullopt;
       table.cell(n)
           .cell(success_rate(results), 2)
           .cell(fc, 1)
           .cell(ref.convergence_deadline())
-          .cell(fc / std::log(static_cast<double>(n)), 2)
+          .cell(fc_over_logn, 2)
           .end_row();
     }
     args.emit(table, "_scaling");

@@ -29,6 +29,11 @@ Table& Table::cell(double value, int precision) {
 Table& Table::cell(std::uint64_t value) { return cell(std::to_string(value)); }
 Table& Table::cell(std::int64_t value) { return cell(std::to_string(value)); }
 
+Table& Table::cell(std::optional<double> value, int precision) {
+  if (!value) return cell(std::string("never"));
+  return cell(*value, precision);
+}
+
 void Table::end_row() {
   NOISYPULL_CHECK(current_.size() == headers_.size(),
                   "row does not fill every column");

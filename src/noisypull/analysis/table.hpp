@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -20,6 +21,9 @@ class Table {
   Table& cell(double value, int precision = 3);
   Table& cell(std::uint64_t value);
   Table& cell(std::int64_t value);
+  // Empty optionals (e.g. mean_convergence_round when no run converged)
+  // render as "never" — in the table and in the CSV.
+  Table& cell(std::optional<double> value, int precision = 3);
   void end_row();
 
   std::size_t num_rows() const noexcept { return rows_.size(); }

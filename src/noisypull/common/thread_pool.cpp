@@ -1,0 +1,83 @@
+#include "noisypull/common/thread_pool.hpp"
+
+#include "noisypull/common/check.hpp"
+
+namespace noisypull {
+
+ThreadPool::ThreadPool(unsigned lanes) : lanes_(lanes) {
+  NOISYPULL_CHECK(lanes >= 1, "thread pool needs at least one lane");
+  workers_.reserve(lanes - 1);
+  for (unsigned i = 1; i < lanes; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::drain() {
+  for (;;) {
+    const std::uint64_t i = cursor_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= jobs_) return;
+    try {
+      (*job_)(i);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+      // Skip the remaining indices; blocks are independent so a partial
+      // round is safe to abandon once the caller is going to rethrow.
+      cursor_.store(jobs_, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+    }
+    drain();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (--busy_ == 0) done_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::uint64_t jobs,
+                              const std::function<void(std::uint64_t)>& job) {
+  if (jobs == 0) return;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &job;
+    jobs_ = jobs;
+    cursor_.store(0, std::memory_order_relaxed);
+    first_error_ = nullptr;
+    busy_ = static_cast<unsigned>(workers_.size());
+    ++generation_;
+  }
+  wake_.notify_all();
+  drain();  // the caller is lane 0
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_.wait(lock, [&] { return busy_ == 0; });
+  job_ = nullptr;
+  if (first_error_) {
+    auto err = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+}  // namespace noisypull

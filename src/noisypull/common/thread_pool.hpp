@@ -1,0 +1,75 @@
+// Reusable fixed-size worker pool for intra-round block parallelism.
+//
+// The block-parallel engines (model/engine.cpp) split each round's n agents
+// into fixed-size blocks and hand the blocks to a ThreadPool.  Work is
+// distributed dynamically (an atomic cursor), so lane scheduling is
+// arbitrary — which is exactly why the engines derive each block's RNG from
+// a counter substream rather than from any per-lane state: the simulation
+// trajectory must be a function of the block index alone, never of which
+// lane happened to run it (DESIGN.md §9).
+//
+// The pool is deliberately tiny: parallel_for() over an index range, the
+// calling thread participates as a lane, exceptions from jobs are captured
+// and the first one is rethrown on the caller.  Workers persist across
+// calls (engines step millions of rounds; per-round thread spawn would
+// dominate), parked on a condition variable between rounds.
+//
+// This header is one of the few under src/noisypull/ allowed to touch
+// <thread>/<atomic> — tools/noisypull_lint.cpp's threading-header rule keeps
+// concurrency primitives out of every other simulation path by an explicit
+// allowlist, not a blanket exclusion.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace noisypull {
+
+class ThreadPool {
+ public:
+  // A pool with `lanes` execution lanes total; the calling thread of
+  // parallel_for() is lane 0, so `lanes - 1` workers are spawned.
+  // Requires lanes >= 1.
+  explicit ThreadPool(unsigned lanes);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned lanes() const noexcept { return lanes_; }
+
+  // Invokes job(i) exactly once for every i in [0, jobs), distributing
+  // indices dynamically over all lanes (including the caller).  Returns when
+  // every invocation has finished; the first exception thrown by any job is
+  // rethrown here (remaining indices are skipped once a job has thrown).
+  // Not reentrant: one parallel_for at a time per pool.
+  void parallel_for(std::uint64_t jobs,
+                    const std::function<void(std::uint64_t)>& job);
+
+ private:
+  void worker_loop();
+  void drain();  // pulls indices until the cursor runs past jobs_
+
+  unsigned lanes_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable wake_;   // workers wait for a new generation
+  std::condition_variable done_;   // caller waits for the round to finish
+  std::uint64_t generation_ = 0;   // bumped once per parallel_for
+  unsigned busy_ = 0;              // workers still draining this generation
+  bool stop_ = false;
+
+  const std::function<void(std::uint64_t)>* job_ = nullptr;
+  std::uint64_t jobs_ = 0;
+  std::atomic<std::uint64_t> cursor_{0};
+  std::exception_ptr first_error_;
+};
+
+}  // namespace noisypull

@@ -37,11 +37,15 @@ class FaultedProtocolView final : public PullProtocol {
     return base_.display(agent, round);
   }
 
+  // May run concurrently for different agents (the inner engine's
+  // block-parallel update phase), so shared counters are relaxed atomics;
+  // everything else touched here is per-(round, agent).
   void update(std::uint64_t agent, std::uint64_t round,
               const SymbolCounts& obs, Rng& rng) override {
     if (agent >= eng_.plan_.first_eligible &&
         round < eng_.stalled_until_[agent]) {
-      ++eng_.stats_.stalled_updates;  // crashed: no sampling, no update
+      // Crashed: no sampling, no update.
+      eng_.stalled_updates_accum_.fetch_add(1, std::memory_order_relaxed);
       return;
     }
     const double p = eng_.plan_.drop.p;
@@ -55,10 +59,14 @@ class FaultedProtocolView final : public PullProtocol {
     // activation order and never perturb the run Rng.
     Rng drop_rng(eng_.plan_.seed ^ kDropSalt, round * eng_.n_ + agent);
     SymbolCounts thinned(obs.size);
+    std::uint64_t lost_total = 0;
     for (std::size_t s = 0; s < obs.size; ++s) {
       const std::uint64_t lost = sample_binomial(drop_rng, obs[s], p);
       thinned[s] = obs[s] - lost;
-      eng_.stats_.dropped_observations += lost;
+      lost_total += lost;
+    }
+    if (lost_total > 0) {
+      eng_.dropped_accum_.fetch_add(lost_total, std::memory_order_relaxed);
     }
     base_.update(agent, round, thinned, rng);
   }
@@ -174,6 +182,12 @@ void FaultyEngine::step(PullProtocol& protocol, const NoiseMatrix& noise,
   } else {
     inner_.step(view, noise, h, round, rng);
   }
+  // Fold the proxy's concurrent counters into the plain stats snapshot now
+  // that the round's update phase has quiesced.
+  stats_.stalled_updates +=
+      stalled_updates_accum_.exchange(0, std::memory_order_relaxed);
+  stats_.dropped_observations +=
+      dropped_accum_.exchange(0, std::memory_order_relaxed);
 }
 
 }  // namespace noisypull

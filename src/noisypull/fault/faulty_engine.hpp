@@ -22,6 +22,12 @@
 // runtime faults compose by passing a FaultyEngine to the churn runner.
 #pragma once
 
+// <atomic> is allowlisted here by tools/noisypull_lint.cpp's threading-header
+// rule: the fault proxy's event counters are incremented from the inner
+// engine's block-parallel update phase (model/engine.hpp), so they must be
+// race-free.  Relaxed additions of non-negative event counts commute, which
+// keeps the totals deterministic across thread counts.
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -49,6 +55,17 @@ class FaultyEngine final : public Engine {
             std::uint64_t round, Rng& rng) override;
   void set_artificial_noise(std::optional<Matrix> p) override;
 
+  // The decorator never steps agents itself: thread-count and sampler-cache
+  // settings belong to the inner engine doing the work.
+  void set_threads(unsigned lanes) override { inner_.set_threads(lanes); }
+  unsigned threads() const noexcept override { return inner_.threads(); }
+  void set_sampler_cache(bool enabled) override {
+    inner_.set_sampler_cache(enabled);
+  }
+  bool sampler_cache() const noexcept override {
+    return inner_.sampler_cache();
+  }
+
   // The inner engine runs against the fault proxy, so its digest observes
   // the *decorated* (forged) displays — exactly what a replay must
   // reproduce.
@@ -74,6 +91,11 @@ class FaultyEngine final : public Engine {
   Engine& inner_;
   FaultPlan plan_;
   FaultStats stats_;
+  // Counters the proxy bumps from inside the (possibly parallel) update
+  // phase; folded into stats_ after each step.  The folded totals are
+  // order-independent sums, hence identical for every thread count.
+  std::atomic<std::uint64_t> stalled_updates_accum_{0};
+  std::atomic<std::uint64_t> dropped_accum_{0};
 
   std::uint64_t n_ = 0;            // population bound at first step
   std::uint64_t byz_count_ = 0;    // Byzantine set = agents [n − count, n)

@@ -1,12 +1,48 @@
 #include "noisypull/model/engine.hpp"
 
+#include <algorithm>
 #include <array>
+#include <map>
 #include <span>
 
 #include "noisypull/common/check.hpp"
+#include "noisypull/common/thread_pool.hpp"
 #include "noisypull/rng/binomial.hpp"
 
 namespace noisypull {
+
+Engine::Engine() = default;
+Engine::~Engine() = default;  // out of line: ~unique_ptr<ThreadPool> needs
+                              // the complete type
+
+void Engine::set_threads(unsigned lanes) {
+  NOISYPULL_CHECK(lanes >= 1, "engine needs at least one lane");
+  lanes_ = lanes;
+  if (lanes == 1) {
+    pool_.reset();
+  } else if (!pool_ || pool_->lanes() != lanes) {
+    pool_ = std::make_unique<ThreadPool>(lanes);
+  }
+}
+
+void Engine::for_each_block(std::uint64_t n, std::uint64_t round_key,
+                            const BlockBody& body) {
+  const std::uint64_t blocks = (n + kBlockSize - 1) / kBlockSize;
+  const auto run_block = [&](std::uint64_t b) {
+    // Counter substream: a function of (round_key, b) only — never of the
+    // lane that happens to execute the block — so serial and pooled
+    // execution realize identical trajectories.
+    Rng block_rng(round_key, b);
+    const std::uint64_t begin = b * kBlockSize;
+    const std::uint64_t end = std::min(n, begin + kBlockSize);
+    body(begin, end, block_rng);
+  };
+  if (!pool_ || blocks <= 1) {
+    for (std::uint64_t b = 0; b < blocks; ++b) run_block(b);
+    return;
+  }
+  pool_->parallel_for(blocks, run_block);
+}
 
 std::array<std::uint64_t, kMaxAlphabet> Engine::display_histogram(
     const PullProtocol& protocol, std::uint64_t round) {
@@ -41,6 +77,7 @@ void ExactEngine::step(PullProtocol& protocol, const NoiseMatrix& noise,
 
   // Snapshot displays: all messages of a round are chosen before any
   // observation of that round is delivered (model step 1 precedes step 4).
+  // Serial, in agent-index order — this is the digest-absorbing phase.
   displays_.resize(n);
   absorb_round(round);
   for (std::uint64_t i = 0; i < n; ++i) {
@@ -49,17 +86,24 @@ void ExactEngine::step(PullProtocol& protocol, const NoiseMatrix& noise,
     absorb_display(displays_[i]);
   }
 
-  SymbolCounts obs(d);
-  for (std::uint64_t i = 0; i < n; ++i) {
-    obs.clear();
-    for (std::uint64_t k = 0; k < h; ++k) {
-      const std::uint64_t j = rng.next_below(n);  // with replacement; may be i
-      Symbol received = noise.corrupt(displays_[j], rng);
-      if (artificial_) received = artificial_->corrupt(received, rng);
-      ++obs[received];
-    }
-    protocol.update(i, round, obs, rng);
-  }
+  // Sampling + update phase: reads the frozen display snapshot, writes only
+  // per-agent protocol state — block-parallel on counter substreams.
+  const std::uint64_t round_key = rng.next();
+  for_each_block(
+      n, round_key, [&](std::uint64_t begin, std::uint64_t end, Rng& brng) {
+        SymbolCounts obs(d);
+        for (std::uint64_t i = begin; i < end; ++i) {
+          obs.clear();
+          for (std::uint64_t k = 0; k < h; ++k) {
+            const std::uint64_t j =
+                brng.next_below(n);  // with replacement; may be i
+            Symbol received = noise.corrupt(displays_[j], brng);
+            if (artificial_) received = artificial_->corrupt(received, brng);
+            ++obs[received];
+          }
+          protocol.update(i, round, obs, brng);
+        }
+      });
 }
 
 void AggregateEngine::set_artificial_noise(std::optional<Matrix> p) {
@@ -91,14 +135,20 @@ void AggregateEngine::step(PullProtocol& protocol, const NoiseMatrix& noise,
     q[to] = w;
   }
 
-  SymbolCounts obs(d);
-  const std::span<const double> weights(q.data(), d);
-  for (std::uint64_t i = 0; i < n; ++i) {
-    obs.clear();
-    sample_multinomial(rng, h, weights,
-                       std::span<std::uint64_t>(obs.c.data(), d));
-    protocol.update(i, round, obs, rng);
-  }
+  // q is one distribution for all n agents: build the per-round sampler once
+  // and draw each agent's count vector from it with a single uniform.
+  sampler_.reset(h, std::span<const double>(q.data(), d), sampler_cache());
+
+  const std::uint64_t round_key = rng.next();
+  for_each_block(
+      n, round_key, [&](std::uint64_t begin, std::uint64_t end, Rng& brng) {
+        SymbolCounts obs(d);
+        for (std::uint64_t i = begin; i < end; ++i) {
+          obs.clear();
+          sampler_.sample(brng, obs);
+          protocol.update(i, round, obs, brng);
+        }
+      });
 }
 
 HeterogeneousEngine::HeterogeneousEngine(std::vector<NoiseMatrix> per_agent)
@@ -118,7 +168,8 @@ void HeterogeneousEngine::set_artificial_noise(std::optional<Matrix> p) {
 
 void HeterogeneousEngine::rebuild_channel_cache() {
   const std::size_t d = per_agent_.front().alphabet_size();
-  channels_.resize(per_agent_.size() * d * d);
+  const std::size_t dd = d * d;
+  channels_.resize(per_agent_.size() * dd);
   for (std::size_t i = 0; i < per_agent_.size(); ++i) {
     Matrix channel = per_agent_[i].matrix();
     if (artificial_) channel = channel * *artificial_;
@@ -128,6 +179,25 @@ void HeterogeneousEngine::rebuild_channel_cache() {
       }
     }
   }
+  // Deduplicate bit-identical effective channels so agents with the same
+  // matrix share one per-round sampler.  Ordered map: group ids must not
+  // depend on hash iteration order (and unordered containers are lint-banned
+  // on simulation paths).
+  std::map<std::vector<double>, std::uint32_t> ids;
+  group_of_.resize(per_agent_.size());
+  group_channels_.clear();
+  std::vector<double> key(dd);
+  for (std::size_t i = 0; i < per_agent_.size(); ++i) {
+    std::copy_n(channels_.begin() + static_cast<std::ptrdiff_t>(i * dd), dd,
+                key.begin());
+    const auto [it, inserted] =
+        ids.emplace(key, static_cast<std::uint32_t>(ids.size()));
+    if (inserted) {
+      group_channels_.insert(group_channels_.end(), key.begin(), key.end());
+    }
+    group_of_[i] = it->second;
+  }
+  num_groups_ = ids.size();
   cache_valid_ = true;
 }
 
@@ -155,10 +225,12 @@ void HeterogeneousEngine::step(PullProtocol& protocol,
   const auto c = display_histogram(protocol, round);
   if (!cache_valid_) rebuild_channel_cache();
 
-  SymbolCounts obs(d);
+  // One sampler per distinct channel per round; q_g ∝ cᵀ·channel_g.  Built
+  // serially before the parallel phase, read-only during it.
+  samplers_.resize(num_groups_);
   std::array<double, kMaxAlphabet> q{};
-  for (std::uint64_t i = 0; i < n; ++i) {
-    const double* channel = &channels_[i * d * d];
+  for (std::size_t g = 0; g < num_groups_; ++g) {
+    const double* channel = &group_channels_[g * d * d];
     for (std::size_t to = 0; to < d; ++to) {
       double w = 0.0;
       for (std::size_t from = 0; from < d; ++from) {
@@ -166,11 +238,20 @@ void HeterogeneousEngine::step(PullProtocol& protocol,
       }
       q[to] = w;
     }
-    obs.clear();
-    sample_multinomial(rng, h, std::span<const double>(q.data(), d),
-                       std::span<std::uint64_t>(obs.c.data(), d));
-    protocol.update(i, round, obs, rng);
+    samplers_[g].reset(h, std::span<const double>(q.data(), d),
+                       sampler_cache());
   }
+
+  const std::uint64_t round_key = rng.next();
+  for_each_block(
+      n, round_key, [&](std::uint64_t begin, std::uint64_t end, Rng& brng) {
+        SymbolCounts obs(d);
+        for (std::uint64_t i = begin; i < end; ++i) {
+          obs.clear();
+          samplers_[group_of_[i]].sample(brng, obs);
+          protocol.update(i, round, obs, brng);
+        }
+      });
 }
 
 void SequentialEngine::set_artificial_noise(std::optional<Matrix> p) {

@@ -11,7 +11,22 @@
 // The count vector is therefore exactly Multinomial(h, q); drawing it
 // directly is identical in distribution and costs O(|Σ|) per agent, making
 // n = 10⁶ with h = n feasible.  Tests cross-validate the two engines
-// statistically (tests/test_engines.cpp).
+// statistically (tests/test_engines.cpp).  Because q is one distribution
+// shared by all n agents, AggregateEngine further funnels the per-agent draw
+// through an ObservationSampler (rng/observation_cache.hpp): one per-round
+// inverse-CDF table, one uniform per agent.  HeterogeneousEngine reuses the
+// same cache per *distinct* effective channel.
+//
+// Block-parallel kernel (DESIGN.md §9): ExactEngine, AggregateEngine, and
+// HeterogeneousEngine split each round's sampling+update phase into fixed
+// kBlockSize-agent blocks.  Per round the engine draws ONE 64-bit round key
+// from the caller's rng and block b runs on the substream Rng(round_key, b) —
+// the same derivation whether the blocks execute serially or on a ThreadPool,
+// so the trajectory (and hence the replay digest) is a function of seed and
+// configuration alone, bit-identical for 1 and T threads.  The serial
+// display/digest phase precedes the parallel phase, which only writes
+// per-agent protocol state (the update() contract in model/protocol.hpp).
+// SequentialEngine is inherently order-dependent and ignores set_threads().
 //
 // Both engines can apply an "artificial noise" matrix P to every observation
 // (Definition 6) — ExactEngine by literally re-corrupting each message,
@@ -20,25 +35,32 @@
 //
 // Engine is also the decoration seam for runtime faults: FaultyEngine
 // (fault/faulty_engine.hpp) wraps any of the engines below and injects
-// Byzantine displays, observation drops, stalls, and noise bursts without
+// Byzantine displays, message drops, stalls, and noise bursts without
 // the inner engine noticing.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "noisypull/common/fnv.hpp"
 #include "noisypull/model/protocol.hpp"
 #include "noisypull/noise/noise_matrix.hpp"
+#include "noisypull/rng/observation_cache.hpp"
 #include "noisypull/rng/rng.hpp"
 
 namespace noisypull {
 
+class ThreadPool;  // common/thread_pool.hpp; kept out of this header so the
+                   // threading-header lint allowlist stays minimal
+
 class Engine {
  public:
-  virtual ~Engine() = default;
+  Engine();
+  virtual ~Engine();
 
   // Executes one full round: displays → sampling → noise → updates.
   // `h` is the sample size of the PULL(h) model.
@@ -48,6 +70,20 @@ class Engine {
   // Installs artificial noise applied after the channel (Definition 6), or
   // removes it when called with std::nullopt.
   virtual void set_artificial_noise(std::optional<Matrix> p) = 0;
+
+  // Number of execution lanes for the block-parallel round phase; lanes == 1
+  // (the default) runs fully serial with no pool.  The trajectory is
+  // independent of this setting by construction (see the header comment);
+  // only wall-clock changes.  Requires lanes >= 1.  Decorators forward to
+  // their inner engine; SequentialEngine accepts but ignores the setting.
+  virtual void set_threads(unsigned lanes);
+  virtual unsigned threads() const noexcept { return lanes_; }
+
+  // Toggles per-round observation-sampler table caching in the aggregate
+  // engines (rng/observation_cache.hpp).  Trajectory-invariant: both
+  // settings realize the identical uniform→outcome map.  On by default.
+  virtual void set_sampler_cache(bool enabled) { sampler_cache_ = enabled; }
+  virtual bool sampler_cache() const noexcept { return sampler_cache_; }
 
   // Replay auditor: chained FNV-1a digest over (round number, start-of-round
   // display vector) of every round stepped so far.  Identical configurations
@@ -59,6 +95,12 @@ class Engine {
   virtual std::uint64_t replay_digest() const noexcept { return digest_; }
 
  protected:
+  // Agents per RNG block.  Fixed — NOT derived from the thread count — so the
+  // block↦substream map, and with it the trajectory, is thread-invariant.
+  // 4096 agents amortize the substream setup while leaving enough blocks for
+  // load balancing at bench scales (n = 10⁶ → 245 blocks).
+  static constexpr std::uint64_t kBlockSize = 4096;
+
   // Folds the round header into the digest; engines then fold each display
   // symbol via absorb_display().
   void absorb_round(std::uint64_t round) noexcept {
@@ -74,8 +116,21 @@ class Engine {
   std::array<std::uint64_t, kMaxAlphabet> display_histogram(
       const PullProtocol& protocol, std::uint64_t round);
 
+  // Runs body(begin, end, block_rng) for every block [begin, end) of
+  // [0, n), where block b's rng is Rng(round_key, b) — serially when lanes
+  // == 1, on the pool otherwise.  The caller draws round_key from the run
+  // rng (exactly one draw per round) so the master stream advances the same
+  // way regardless of lane count.
+  using BlockBody =
+      std::function<void(std::uint64_t, std::uint64_t, Rng&)>;
+  void for_each_block(std::uint64_t n, std::uint64_t round_key,
+                      const BlockBody& body);
+
  private:
   std::uint64_t digest_ = fnv::kOffsetBasis;
+  unsigned lanes_ = 1;
+  bool sampler_cache_ = true;
+  std::unique_ptr<ThreadPool> pool_;  // null when lanes_ == 1
 };
 
 class ExactEngine final : public Engine {
@@ -97,6 +152,7 @@ class AggregateEngine final : public Engine {
 
  private:
   std::optional<Matrix> artificial_;
+  ObservationSampler sampler_;  // reset per round; read-only during blocks
 };
 
 // Asynchronous (sequential-activation) engine: instead of the synchronous
@@ -106,7 +162,9 @@ class AggregateEngine final : public Engine {
 // population-protocol-style scheduler; protocols without a global clock
 // (SSF, the baselines) should behave the same under it, while SF's phase
 // synchrony is not required to survive it.  The display histogram is
-// maintained incrementally, so a round still costs O(n·|Σ|).
+// maintained incrementally, so a round still costs O(n·|Σ|).  Inherently
+// serial: later activations observe earlier updates, so there is no
+// order-free decomposition to parallelize; set_threads() is ignored.
 class SequentialEngine final : public Engine {
  public:
   enum class Order {
@@ -135,6 +193,11 @@ class SequentialEngine final : public Engine {
 // at construction are what corrupt observations.  The THM4-D style
 // robustness claim this enables: SF tuned to the worst agent's δ_max still
 // converges when most agents are much cleaner (bench tab_heterogeneous).
+//
+// Agents sharing a bit-identical effective channel share one per-round
+// ObservationSampler, so the per-agent cost drops from O(|Σ|²) plus a
+// multinomial to a single cached inverse-CDF draw whenever the number of
+// distinct channels is small (the realistic sensor-tier case).
 class HeterogeneousEngine final : public Engine {
  public:
   // One noise matrix per agent (size must equal the protocol's n; all
@@ -149,12 +212,21 @@ class HeterogeneousEngine final : public Engine {
   // level a protocol must be tuned to.
   double worst_upper_bound() const noexcept;
 
+  // Number of distinct effective channels (valid after the first step).
+  std::size_t distinct_channels() const noexcept { return num_groups_; }
+
  private:
   void rebuild_channel_cache();
 
   std::vector<NoiseMatrix> per_agent_;
   std::optional<Matrix> artificial_;
   std::vector<double> channels_;  // n·d·d flattened effective channels
+  // Channel deduplication: agent i draws from group group_of_[i], whose
+  // effective channel is group_channels_[g·d² .. (g+1)·d²).
+  std::vector<std::uint32_t> group_of_;
+  std::vector<double> group_channels_;
+  std::size_t num_groups_ = 0;
+  std::vector<ObservationSampler> samplers_;  // one per group, reset per round
   bool cache_valid_ = false;
 };
 

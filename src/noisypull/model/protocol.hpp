@@ -37,6 +37,15 @@ class PullProtocol {
   // fewer — any total in [0, h] — when observations are dropped, so
   // implementations must not assume a full sample.  `rng` supplies the
   // agent's private coin tosses (tie-breaks etc.).
+  //
+  // Concurrency contract: the block-parallel engines (model/engine.hpp) call
+  // update() for *different* agents concurrently within one round.
+  // Implementations must therefore only write state owned by `agent` (its
+  // own slot in per-agent arrays); reads of shared round-constant state
+  // (parameters, the round number) are fine.  Every protocol in this repo
+  // satisfies this naturally — agents are anonymous and only see their own
+  // observation counts — but a protocol maintaining global mutable
+  // statistics inside update() would need its own synchronization.
   virtual void update(std::uint64_t agent, std::uint64_t round,
                       const SymbolCounts& obs, Rng& rng) = 0;
 

@@ -13,6 +13,7 @@
 #include "noisypull/analysis/stats.hpp"
 #include "noisypull/analysis/sweep.hpp"
 #include "noisypull/analysis/table.hpp"
+#include "noisypull/common/thread_pool.hpp"
 #include "noisypull/baselines/majority_dynamics.hpp"
 #include "noisypull/baselines/repeated_majority.hpp"
 #include "noisypull/baselines/voter.hpp"
@@ -34,6 +35,7 @@
 #include "noisypull/push/push_protocol.hpp"
 #include "noisypull/push/push_spread.hpp"
 #include "noisypull/rng/binomial.hpp"
+#include "noisypull/rng/observation_cache.hpp"
 #include "noisypull/rng/rng.hpp"
 #include "noisypull/sim/adversary.hpp"
 #include "noisypull/sim/churn.hpp"

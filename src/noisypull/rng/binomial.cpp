@@ -25,6 +25,16 @@ double stirling_approx_tail(double k) noexcept {
 // Inversion ("BINV"): walk the cdf from 0.  Expected O(n p) iterations.
 // Requires p <= 0.5 and n * p small enough that q^n does not underflow
 // (guaranteed by the caller's cutoff).
+//
+// Round-off in the running pmf recurrence can push the walk past x = n with
+// residual mass left; the classic remedy restarts the whole inversion with a
+// fresh uniform.  For a healthy (n, p) the restart probability is ~ the
+// accumulated rounding error (≪ 1e-10), so consecutive restarts certify a
+// pathological input rather than bad luck — after kMaxRestarts the sampler
+// returns the mode-adjacent boundary n (where the unaccounted mass lives)
+// instead of looping unboundedly.
+constexpr int kBinvMaxRestarts = 64;
+
 std::uint64_t binv(Rng& rng, std::uint64_t n, double p) {
   const double q = 1.0 - p;
   const double s = p / q;
@@ -32,10 +42,12 @@ std::uint64_t binv(Rng& rng, std::uint64_t n, double p) {
   double r = std::pow(q, static_cast<double>(n));
   double u = rng.next_double();
   std::uint64_t x = 0;
+  int restarts = 0;
   while (u > r) {
     u -= r;
     ++x;
     if (x > n) {  // numeric guard against accumulated round-off
+      if (++restarts >= kBinvMaxRestarts) return n;
       x = 0;
       r = std::pow(q, static_cast<double>(n));
       u = rng.next_double();

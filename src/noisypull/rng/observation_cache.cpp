@@ -1,0 +1,171 @@
+#include "noisypull/rng/observation_cache.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "noisypull/common/check.hpp"
+#include "noisypull/rng/binomial.hpp"
+
+namespace noisypull {
+
+namespace {
+
+// Number of count vectors over d symbols summing to h, i.e. C(h+d-1, d-1),
+// computed incrementally (each partial product is itself a binomial
+// coefficient, so the division is exact).  Saturates at cap+1 to avoid
+// overflow for large h.
+std::uint64_t composition_count(std::uint64_t h, std::size_t d,
+                                std::uint64_t cap) {
+  std::uint64_t num = 1;
+  for (std::uint64_t i = 1; i + 1 <= static_cast<std::uint64_t>(d); ++i) {
+    num = num * (h + i) / i;
+    if (num > cap) return cap + 1;
+  }
+  return num;
+}
+
+}  // namespace
+
+void ObservationSampler::reset(std::uint64_t h, std::span<const double> weights,
+                               bool cache) {
+  const std::size_t d = weights.size();
+  NOISYPULL_CHECK(d >= 2 && d <= kMaxAlphabet,
+                  "observation sampler needs an alphabet in [2, kMaxAlphabet]");
+  h_ = h;
+  d_ = d;
+  cum_.clear();
+  outcomes_.clear();
+
+  double total_weight = 0.0;
+  for (std::size_t s = 0; s < d; ++s) {
+    NOISYPULL_CHECK(weights[s] >= 0.0, "negative observation weight");
+    weights_[s] = weights[s];
+    total_weight += weights[s];
+  }
+  NOISYPULL_CHECK(h == 0 || total_weight > 0.0,
+                  "observation weights must have positive total mass");
+
+  if (h == 0 || composition_count(h, d, kMaxOutcomes) > kMaxOutcomes) {
+    // Outcome space too large (or degenerate h = 0): conditional-binomial
+    // decomposition, identical with and without the cache.
+    mode_ = Mode::Decomposition;
+    return;
+  }
+  mode_ = Mode::InverseCdf;
+
+  for (std::size_t s = 0; s < d; ++s) {
+    has_mass_[s] = weights_[s] > 0.0;
+    logp_[s] = has_mass_[s] ? std::log(weights_[s] / total_weight) : 0.0;
+  }
+  log_factorial_.resize(h + 1);
+  log_factorial_[0] = 0.0;
+  for (std::uint64_t k = 1; k <= h; ++k) {
+    log_factorial_[k] =
+        log_factorial_[k - 1] + std::log(static_cast<double>(k));
+  }
+
+  // One enumeration pass computes total_mass_ (the walk's normalizer); the
+  // cached mode additionally records every partial sum and, for d > 2, the
+  // outcome count vectors.  The partial sums are exactly the values the
+  // uncached walk recomputes per draw, so the cache toggle cannot move any
+  // draw across an outcome boundary.
+  total_mass_ = 0.0;
+  if (cache) {
+    const auto count = composition_count(h, d, kMaxOutcomes);
+    cum_.reserve(count);
+    if (d > 2) outcomes_.reserve(count);
+  }
+  enumerate([&](double pmf, std::span<const std::uint64_t> counts) {
+    total_mass_ += pmf;
+    if (cache) {
+      cum_.push_back(total_mass_);
+      if (d_ > 2) {
+        std::array<std::uint32_t, kMaxAlphabet> packed{};
+        for (std::size_t s = 0; s < d_; ++s) {
+          packed[s] = static_cast<std::uint32_t>(counts[s]);
+        }
+        outcomes_.push_back(packed);
+      }
+    }
+    return true;
+  });
+  NOISYPULL_ASSERT(total_mass_ > 0.0);
+}
+
+template <typename Visit>
+void ObservationSampler::enumerate(Visit&& visit) const {
+  // Weak compositions of h over d parts in NEXCOM order (Nijenhuis–Wilf):
+  // (h,0,...,0), ..., (0,...,0,h).  Both the table build and the uncached
+  // walk use this exact loop.
+  std::array<std::uint64_t, kMaxAlphabet> c{};
+  c[0] = h_;
+  for (;;) {
+    if (!visit(outcome_pmf(std::span<const std::uint64_t>(c.data(), d_)),
+               std::span<const std::uint64_t>(c.data(), d_))) {
+      return;
+    }
+    std::size_t j = 0;
+    while (c[j] == 0) ++j;
+    if (j + 1 == d_) return;  // (0,...,0,h) is the last composition
+    const std::uint64_t v = c[j];
+    c[j] = 0;
+    c[0] = v - 1;
+    c[j + 1] += 1;
+  }
+}
+
+double ObservationSampler::outcome_pmf(
+    std::span<const std::uint64_t> counts) const {
+  double logpmf = log_factorial_[h_];
+  for (std::size_t s = 0; s < d_; ++s) {
+    const std::uint64_t cs = counts[s];
+    if (cs == 0) continue;  // skip: avoids 0 * log(0) for zero-weight symbols
+    if (!has_mass_[s]) return 0.0;
+    logpmf += static_cast<double>(cs) * logp_[s] - log_factorial_[cs];
+  }
+  return std::exp(logpmf);
+}
+
+void ObservationSampler::sample(Rng& rng, SymbolCounts& obs) const {
+  NOISYPULL_CHECK(obs.size == d_,
+                  "observation buffer does not match the sampler alphabet");
+  if (mode_ == Mode::Decomposition) {
+    sample_multinomial(rng, h_, std::span<const double>(weights_.data(), d_),
+                       std::span<std::uint64_t>(obs.c.data(), d_));
+    return;
+  }
+
+  const double target = rng.next_double() * total_mass_;
+  if (!cum_.empty()) {
+    // Cached: binary search the precomputed partial sums.  upper_bound finds
+    // the first index with cum_[i] > target — the same index the walk below
+    // stops at — clamped to the last outcome for target at/above the total.
+    std::size_t idx = static_cast<std::size_t>(
+        std::upper_bound(cum_.begin(), cum_.end(), target) - cum_.begin());
+    if (idx >= cum_.size()) idx = cum_.size() - 1;
+    if (d_ == 2) {
+      obs.c[0] = h_ - static_cast<std::uint64_t>(idx);
+      obs.c[1] = static_cast<std::uint64_t>(idx);
+    } else {
+      for (std::size_t s = 0; s < d_; ++s) obs.c[s] = outcomes_[idx][s];
+    }
+    return;
+  }
+
+  // Uncached: linear walk over the identical partial sums.
+  double acc = 0.0;
+  bool found = false;
+  enumerate([&](double pmf, std::span<const std::uint64_t> counts) {
+    acc += pmf;
+    const bool last = counts[d_ - 1] == h_;
+    if (acc > target || last) {
+      for (std::size_t s = 0; s < d_; ++s) obs.c[s] = counts[s];
+      found = true;
+      return false;  // stop enumeration
+    }
+    return true;
+  });
+  NOISYPULL_ASSERT(found);
+}
+
+}  // namespace noisypull

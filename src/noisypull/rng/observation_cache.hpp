@@ -1,0 +1,91 @@
+// Per-round cached observation sampler for the aggregate-style engines.
+//
+// In AggregateEngine (and per distinct channel in HeterogeneousEngine) the
+// law of one agent's observation counts is fixed for the whole round:
+// SymbolCounts ~ Multinomial(h, q) with the same q for all n agents.  The
+// conditional-binomial decomposition (rng/binomial.hpp) pays d−1 binomial
+// draws per agent; this sampler instead treats the *outcome space* — the
+// C(h+d−1, d−1) count vectors summing to h (h+1 outcomes for the binary
+// alphabet) — as one discrete distribution and inverts its CDF: one uniform
+// per agent, one table lookup.  The table is built once per round and
+// amortized over all n agents.
+//
+// Determinism contract (tests/test_parallel_kernel.cpp): toggling the cache
+// may not change the trajectory.  Both modes therefore realize the *same*
+// map (uniform u → outcome): the cumulative masses are the partial sums of
+// the outcome pmfs in one canonical enumeration order, and
+//   cached    = precompute the partial sums, binary-search them,
+//   uncached  = recompute the identical partial-sum walk per draw.
+// Same u, same sums, same outcome — bit for bit.  When the outcome space
+// exceeds kMaxOutcomes (large h with a k-ary alphabet, or h > 16383 binary)
+// both modes fall back to the conditional-binomial decomposition, which is
+// again identical on both sides of the toggle.
+//
+// Exactness: outcome pmfs are evaluated in log space from a log-factorial
+// table, so the distribution is the true multinomial up to double rounding
+// (~1e-15 relative) — held to the same chi-square harness as the BINV/BTRS
+// samplers (tests/test_observation_cache.cpp).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "noisypull/model/types.hpp"
+#include "noisypull/rng/rng.hpp"
+
+namespace noisypull {
+
+class ObservationSampler {
+ public:
+  enum class Mode {
+    InverseCdf,     // outcome-level inversion (cacheable)
+    Decomposition,  // conditional-binomial fallback (outcome space too big)
+  };
+
+  // Outcome-space cap for the inverse-CDF path; above it the per-round table
+  // would dwarf the n agents it amortizes over.
+  static constexpr std::uint64_t kMaxOutcomes = 1ULL << 14;
+
+  // Prepares the sampler for one round of i.i.d. Multinomial(h, weights)
+  // draws.  weights must be non-negative with a positive sum when h > 0;
+  // their length is the alphabet size d (2 <= d <= kMaxAlphabet).  `cache`
+  // selects table memoization; it never changes the sampled values.
+  void reset(std::uint64_t h, std::span<const double> weights, bool cache);
+
+  Mode mode() const noexcept { return mode_; }
+  bool cached() const noexcept { return !cum_.empty(); }
+
+  // Draws one count vector into obs (obs.size must equal d).  Thread-safe:
+  // const, touches only the given rng and obs.  InverseCdf mode consumes
+  // exactly one uniform per draw in both cache settings.
+  void sample(Rng& rng, SymbolCounts& obs) const;
+
+ private:
+  // Walks the canonical outcome enumeration; visit(pmf, counts) for every
+  // outcome in order.  Both the reset-time table build and the uncached
+  // per-draw walk run exactly this code, which is what makes the cache
+  // toggle trajectory-invariant.
+  template <typename Visit>
+  void enumerate(Visit&& visit) const;
+
+  double outcome_pmf(std::span<const std::uint64_t> counts) const;
+
+  std::uint64_t h_ = 0;
+  std::size_t d_ = 0;
+  Mode mode_ = Mode::Decomposition;
+  std::array<double, kMaxAlphabet> weights_{};  // decomposition fallback
+  std::array<double, kMaxAlphabet> logp_{};     // log(w_i / W); 0-weight cells
+  std::array<bool, kMaxAlphabet> has_mass_{};   //   flagged instead of -inf
+  std::vector<double> log_factorial_;           // lf[k] = log k!, k <= h
+  double total_mass_ = 0.0;  // full pmf sum in enumeration order (~1)
+
+  // Cached inverse CDF (empty when the cache is disabled).
+  std::vector<double> cum_;
+  // Outcome decode for d > 2 (binary outcomes decode analytically:
+  // index k → counts (h−k, k) under the canonical enumeration).
+  std::vector<std::array<std::uint32_t, kMaxAlphabet>> outcomes_;
+};
+
+}  // namespace noisypull

@@ -21,6 +21,14 @@ std::vector<RunResult> run_repetitions(const ProtocolFactory& make_protocol,
   threads = static_cast<unsigned>(
       std::min<std::uint64_t>(threads, opts.repetitions));
 
+  // Inner (per-engine) lanes: explicit value, or auto-split the machine
+  // across the outer workers so outer × inner never oversubscribes.
+  unsigned engine_threads = opts.engine_threads;
+  if (engine_threads == 0) {
+    engine_threads =
+        std::max(1u, std::thread::hardware_concurrency() / threads);
+  }
+
   std::atomic<std::uint64_t> next{0};
   std::exception_ptr first_error;
   std::mutex error_mutex;
@@ -35,6 +43,7 @@ std::vector<RunResult> run_repetitions(const ProtocolFactory& make_protocol,
       if (opts.artificial_noise) {
         engine->set_artificial_noise(*opts.artificial_noise);
       }
+      engine->set_threads(engine_threads);
       for (;;) {
         const std::uint64_t r = next.fetch_add(1);
         if (r >= opts.repetitions) return;
@@ -69,14 +78,19 @@ double success_rate(const std::vector<RunResult>& results,
   NOISYPULL_CHECK(!results.empty(), "no results to aggregate");
   std::uint64_t good = 0;
   for (const auto& r : results) {
-    const bool ok =
-        require_stability ? r.stable : r.all_correct_at_end;
+    // run_impl only sets stable after an all-correct final round, but a
+    // RunResult can also be built by hand (tests, future engines): a run
+    // stable on the *wrong* opinion must never count as success, so the
+    // predicate requires both.
+    const bool ok = require_stability ? (r.stable && r.all_correct_at_end)
+                                      : r.all_correct_at_end;
     if (ok) ++good;
   }
   return static_cast<double>(good) / static_cast<double>(results.size());
 }
 
-double mean_convergence_round(const std::vector<RunResult>& results) {
+std::optional<double> mean_convergence_round(
+    const std::vector<RunResult>& results) {
   NOISYPULL_CHECK(!results.empty(), "no results to aggregate");
   double sum = 0.0;
   std::uint64_t count = 0;
@@ -86,7 +100,7 @@ double mean_convergence_round(const std::vector<RunResult>& results) {
       ++count;
     }
   }
-  if (count == 0) return static_cast<double>(kNever);
+  if (count == 0) return std::nullopt;
   return sum / static_cast<double>(count);
 }
 

@@ -24,8 +24,18 @@ struct RepeatOptions {
   // false → ExactEngine (literal per-message simulation).
   bool use_aggregate_engine = true;
 
+  // Worker threads for the outer repetition loop.
   // 0 → std::thread::hardware_concurrency().
   unsigned threads = 0;
+
+  // Execution lanes for the block-parallel engine *inside* each repetition
+  // (Engine::set_threads).  Default 1: repetition-level parallelism is
+  // embarrassingly parallel and preferred when R is large.  0 → auto:
+  // hardware_concurrency / outer workers (at least 1), so outer × inner
+  // parallelism composes without oversubscribing the machine — the intended
+  // setting for few huge repetitions (R < cores, n ≥ 10⁶).  Either way the
+  // results are bit-identical to engine_threads = 1.
+  unsigned engine_threads = 1;
 
   // Artificial noise matrix P applied by agents to every observation
   // (Definition 6 / Theorem 8 reduction), if any.
@@ -43,12 +53,19 @@ std::vector<RunResult> run_repetitions(const ProtocolFactory& make_protocol,
                                        Opinion correct, const RunConfig& cfg,
                                        const RepeatOptions& opts);
 
-// Fraction of runs with all_correct_at_end (and stable, when a stability
-// window was configured).
+// Fraction of runs with all_correct_at_end; with require_stability, a run
+// must additionally be stable (consensus held through the whole stability
+// window).  A stable run is never counted unless it is also correct at the
+// end — stability on the wrong opinion is failure, not success
+// (tests/test_repeat.cpp pins this).
 double success_rate(const std::vector<RunResult>& results,
                     bool require_stability = false);
 
-// Mean first_all_correct over converged runs; kNever if none converged.
-double mean_convergence_round(const std::vector<RunResult>& results);
+// Mean first_all_correct over converged runs; std::nullopt if none
+// converged (rendered as "never" by Table::cell — never a numeric
+// sentinel that could leak into tables or CSVs as if it were a round
+// count).
+std::optional<double> mean_convergence_round(
+    const std::vector<RunResult>& results);
 
 }  // namespace noisypull

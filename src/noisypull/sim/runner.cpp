@@ -28,6 +28,14 @@ RunResult run_impl(Protocol& protocol, EngineT& engine,
   NOISYPULL_CHECK(rounds > 0,
                   "max_rounds is 0 and the protocol has no planned horizon");
 
+  if (cfg.engine_threads != 0) {
+    // PushEngine has no block-parallel kernel; the constraint keeps the
+    // shared loop compiling for both engine families.
+    if constexpr (requires { engine.set_threads(cfg.engine_threads); }) {
+      engine.set_threads(cfg.engine_threads);
+    }
+  }
+
   const std::uint64_t n = protocol.num_agents();
   RunResult result;
   if (cfg.record_trajectory) result.trajectory.reserve(rounds);

@@ -35,6 +35,12 @@ struct RunConfig {
   // Record, for every executed round, how many agents hold the correct
   // opinion (used by the boosting-trajectory experiment).
   bool record_trajectory = false;
+
+  // Execution lanes for the engine's block-parallel round phase
+  // (Engine::set_threads); 0 leaves the engine's current setting untouched.
+  // Trajectory-invariant — only wall-clock changes.  Ignored by engines
+  // without the knob (PushEngine, SequentialEngine).
+  unsigned engine_threads = 0;
 };
 
 struct RunResult {

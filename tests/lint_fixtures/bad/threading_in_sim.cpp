@@ -1,0 +1,12 @@
+// lint-path: src/noisypull/sim/adhoc_threads_fixture.cpp
+// Fixture: ad-hoc threading primitives on a simulation path.  Parallelism
+// must route through Engine::set_threads and the shared ThreadPool so the
+// counter-substream kernel stays the only concurrency surface.
+#include <thread>              // expect: threading-header
+#include <atomic>              // expect: threading-header
+#include <mutex>               // expect: threading-header
+#include <condition_variable>  // expect: threading-header
+
+int fixture_adhoc_threads() {
+  return static_cast<int>(std::thread::hardware_concurrency());
+}

@@ -1,0 +1,12 @@
+// lint-path: src/noisypull/common/thread_pool.cpp
+// Fixture: the thread pool implementation itself is allowlisted for the
+// threading headers it exists to encapsulate — the scoped allow must keep
+// the rule silent here (no expectations in this file).
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+int fixture_pool_lanes() {
+  return static_cast<int>(std::thread::hardware_concurrency());
+}

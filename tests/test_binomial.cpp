@@ -4,12 +4,44 @@
 
 #include <array>
 #include <cmath>
+#include <span>
 #include <vector>
 
 #include "noisypull/analysis/stats.hpp"
 
 namespace noisypull {
 namespace {
+
+// Binned chi-square statistic of `draws` samples from sample_binomial(n, p)
+// against the exact binned pmf (log-pmf accumulation).  edges are inclusive
+// upper bounds; bins = edges.size() + 1.
+double binned_binomial_chi_square(std::uint64_t n, double p,
+                                  std::uint64_t seed,
+                                  std::span<const std::uint64_t> edges,
+                                  int draws) {
+  Rng rng(seed);
+  std::vector<std::uint64_t> observed(edges.size() + 1, 0);
+  for (int i = 0; i < draws; ++i) {
+    const std::uint64_t x = sample_binomial(rng, n, p);
+    std::size_t bin = 0;
+    while (bin < edges.size() && x > edges[bin]) ++bin;
+    ++observed[bin];
+  }
+  std::vector<double> expected(edges.size() + 1, 0.0);
+  double logc = 0.0;  // log C(n, k), updated incrementally
+  for (std::uint64_t k = 0; k <= n; ++k) {
+    const double logp = logc + static_cast<double>(k) * std::log(p) +
+                        static_cast<double>(n - k) * std::log(1 - p);
+    std::size_t bin = 0;
+    while (bin < edges.size() && k > edges[bin]) ++bin;
+    expected[bin] += std::exp(logp);
+    if (k < n) {
+      logc += std::log(static_cast<double>(n - k)) -
+              std::log(static_cast<double>(k + 1));
+    }
+  }
+  return chi_square_statistic(observed, expected);
+}
 
 TEST(Binomial, EdgeCases) {
   Rng rng(1);
@@ -121,6 +153,28 @@ TEST(Binomial, BtrsGoodnessOfFitBinned) {
   }
   const double stat = chi_square_statistic(observed, expected);
   EXPECT_LT(stat, chi_square_critical_999(7));
+}
+
+TEST(Binomial, GoodnessOfFitAtTheBinvBtrsCrossover) {
+  // The dispatch in sample_binomial switches BINV → BTRS at n·p = 10; both
+  // sides of the boundary must be exact in distribution.  n = 50, p = 0.19
+  // (np = 9.5, BINV) and p = 0.21 (np = 10.5, BTRS), binned around the mean.
+  const std::array<std::uint64_t, 6> binv_edges = {6, 8, 9, 10, 11, 13};
+  EXPECT_LT(binned_binomial_chi_square(50, 0.19, 777, binv_edges, 120000),
+            chi_square_critical_999(6));
+  const std::array<std::uint64_t, 6> btrs_edges = {7, 9, 10, 11, 12, 14};
+  EXPECT_LT(binned_binomial_chi_square(50, 0.21, 778, btrs_edges, 120000),
+            chi_square_critical_999(6));
+}
+
+TEST(Binomial, GoodnessOfFitAtTheReflectionBoundary) {
+  // p > 0.5 is handled by reflection (n − B(n, 1−p)); hold both sides of
+  // p = 0.5 to the same exact-fit bar so the reflected path cannot drift.
+  const std::array<std::uint64_t, 6> edges = {24, 27, 29, 31, 33, 36};
+  EXPECT_LT(binned_binomial_chi_square(60, 0.499, 779, edges, 120000),
+            chi_square_critical_999(6));
+  EXPECT_LT(binned_binomial_chi_square(60, 0.501, 780, edges, 120000),
+            chi_square_critical_999(6));
 }
 
 TEST(Multinomial, CountsSumToN) {

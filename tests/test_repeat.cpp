@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "noisypull/analysis/table.hpp"
 #include "noisypull/core/source_filter.hpp"
 
 namespace noisypull {
@@ -139,17 +140,61 @@ TEST(Aggregation, SuccessRate) {
   EXPECT_THROW(success_rate({}), std::invalid_argument);
 }
 
+TEST(Aggregation, StabilityOnTheWrongOpinionIsNotSuccess) {
+  // run_impl can only set stable after an all-correct final round, but
+  // RunResult is a plain struct: pin the aggregation semantics so a run
+  // that settled (stable) on the WRONG consensus never counts as success.
+  std::vector<RunResult> results(2);
+  results[0].stable = true;
+  results[0].all_correct_at_end = false;  // stable, but on the wrong opinion
+  results[1].stable = true;
+  results[1].all_correct_at_end = true;
+  EXPECT_DOUBLE_EQ(success_rate(results, /*require_stability=*/true), 0.5);
+  EXPECT_DOUBLE_EQ(success_rate(results), 0.5);
+}
+
 TEST(Aggregation, MeanConvergenceRound) {
   std::vector<RunResult> results(3);
   results[0].first_all_correct = 10;
   results[1].first_all_correct = 20;
   results[2].first_all_correct = kNever;  // excluded from the mean
-  EXPECT_DOUBLE_EQ(mean_convergence_round(results), 15.0);
+  ASSERT_TRUE(mean_convergence_round(results).has_value());
+  EXPECT_DOUBLE_EQ(*mean_convergence_round(results), 15.0);
 
+  // No converged run → empty optional, never a numeric sentinel (the old
+  // static_cast<double>(kNever) leaked ~1.8e19 into tables as if it were a
+  // round count).
   std::vector<RunResult> none(2);
   none[0].first_all_correct = kNever;
   none[1].first_all_correct = kNever;
-  EXPECT_EQ(mean_convergence_round(none), static_cast<double>(kNever));
+  EXPECT_FALSE(mean_convergence_round(none).has_value());
+}
+
+TEST(Aggregation, MeanConvergenceRoundRendersAsNeverInTables) {
+  std::vector<RunResult> none(1);
+  none[0].first_all_correct = kNever;
+  Table table({"mcr"});
+  table.cell(mean_convergence_round(none), 1).end_row();
+  EXPECT_EQ(table.rows()[0][0], "never");
+}
+
+TEST(Repeat, EngineThreadsDoNotChangeResults) {
+  // Inner (block-parallel) lanes compose with outer repetition workers
+  // without changing a single result bit.
+  const auto p = pop(100, 1, 0);
+  const auto noise = NoiseMatrix::uniform(2, 0.1);
+  RepeatOptions serial{.repetitions = 4, .seed = 77, .threads = 2,
+                       .engine_threads = 1};
+  RepeatOptions inner_par{.repetitions = 4, .seed = 77, .threads = 2,
+                          .engine_threads = 3};
+  const auto a = run_repetitions(sf_factory(p, 0.1), noise, 1,
+                                 RunConfig{.h = p.n}, serial);
+  const auto b = run_repetitions(sf_factory(p, 0.1), noise, 1,
+                                 RunConfig{.h = p.n}, inner_par);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].correct_at_end, b[i].correct_at_end);
+    EXPECT_EQ(a[i].first_all_correct, b[i].first_all_correct);
+  }
 }
 
 }  // namespace

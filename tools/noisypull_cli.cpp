@@ -41,6 +41,7 @@ struct CliOptions {
   std::string corruption = "none";    // ssf corruption policy
   std::string engine = "aggregate";   // aggregate | exact | sequential
                                       // | heterogeneous
+  std::uint64_t threads = 1;          // block-parallel lanes inside the engine
   std::string order = "random";       // sequential activation order
   bool trajectory = false;            // print per-round correct counts
   bool verify_replay = false;         // run twice, compare replay digests
@@ -81,6 +82,8 @@ struct CliOptions {
                   overflow-memory | desync-clocks      (ssf/tagless)
   --engine E      aggregate | exact | sequential | heterogeneous
                                                        (default aggregate)
+  --threads T     block-parallel lanes inside the engine (default 1);
+                  results are bit-identical for every T
   --order O       random | ascending | descending      (sequential engine)
   --trajectory    print per-round correct counts of repetition 0
   --verify-replay run the whole configuration twice with identical seeds and
@@ -168,6 +171,7 @@ CliOptions parse_args(int argc, char** argv) {
     else if (a == "--window") opt.window = parse_u64(need_value(i++));
     else if (a == "--corruption") opt.corruption = need_value(i++);
     else if (a == "--engine") opt.engine = need_value(i++);
+    else if (a == "--threads") opt.threads = parse_u64(need_value(i++));
     else if (a == "--order") opt.order = need_value(i++);
     else if (a == "--trajectory") opt.trajectory = true;
     else if (a == "--verify-replay") opt.verify_replay = true;
@@ -406,6 +410,11 @@ int run_pull_reps(const CliOptions& opt, std::uint64_t h, PullOutcome& out) {
     Rng rng(opt.seed, 2 * rep + 1);
     auto setup = make_pull_setup(opt, h, init);
     auto engine = make_engine(opt, setup.protocol->alphabet_size());
+    if (opt.threads == 0 || opt.threads > 256) {
+      std::fprintf(stderr, "error: --threads must be in [1, 256]\n");
+      return 2;
+    }
+    engine->set_threads(static_cast<unsigned>(opt.threads));
     std::unique_ptr<FaultyEngine> faulty;
     Engine* eng = engine.get();
     if (wants_faults(opt)) {

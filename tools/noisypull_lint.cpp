@@ -28,6 +28,14 @@
 //   iostream-in-header     #include <iostream> in src/noisypull/ headers
 //                          (static-init cost and hidden I/O in the core
 //                          library; use <ostream>/<iosfwd> in interfaces).
+//   threading-header       #include <thread>/<atomic>/<mutex>/
+//                          <condition_variable> under src/noisypull/ or
+//                          bench/ outside an explicit allowlist (the shared
+//                          ThreadPool, the repetition runner, the fault
+//                          accumulators, and the kernel bench).  Ad-hoc
+//                          threading is a determinism hazard; parallelism
+//                          routes through Engine::set_threads and the
+//                          counter-substream block kernel.
 //
 // Suppression: a comment `nplint: allow(rule-name)` on the offending line.
 //
@@ -400,6 +408,44 @@ void rule_iostream_in_header(const FileContext& ctx,
   }
 }
 
+// threading-header: raw threading primitives stay confined to the files
+// that implement or drive the shared ThreadPool.  A scoped allowlist, not a
+// directory exclusion: a new file wanting <thread> must either route its
+// parallelism through Engine::set_threads / RepeatOptions or be added here
+// with a reason.
+void rule_threading_header(const FileContext& ctx,
+                           std::vector<Finding>& findings) {
+  if (!path_contains(ctx, "src/noisypull/") && !path_contains(ctx, "bench/")) {
+    return;
+  }
+  static constexpr const char* kAllowedSuffixes[] = {
+      // the pool itself
+      "src/noisypull/common/thread_pool.hpp",
+      "src/noisypull/common/thread_pool.cpp",
+      // outer repetition workers (join the pool-less std::thread fan-out)
+      "src/noisypull/sim/repeat.cpp",
+      // relaxed fault-stat accumulators read under block parallelism
+      "src/noisypull/fault/faulty_engine.hpp",
+      // reports hardware_concurrency next to its measurements
+      "bench/perf_round_kernel.cpp",
+  };
+  for (const char* suffix : kAllowedSuffixes) {
+    if (ctx.path.ends_with(suffix)) return;
+  }
+  static const std::set<std::string> kThreadingHeaders = {
+      "<thread>", "<atomic>", "<mutex>", "<condition_variable>"};
+  for (const Directive& d : ctx.lexed->directives) {
+    if (d.words.size() >= 3 && d.words[1] == "include" &&
+        kThreadingHeaders.count(d.words[2]) != 0) {
+      findings.push_back(
+          {"threading-header", d.line,
+           d.words[2] +
+               " outside the thread-pool allowlist; route parallelism "
+               "through Engine::set_threads / the shared ThreadPool"});
+    }
+  }
+}
+
 using RuleFn = void (*)(const FileContext&, std::vector<Finding>&);
 
 struct Rule {
@@ -414,6 +460,7 @@ constexpr Rule kRules[] = {
     {"bare-assert", rule_bare_assert},
     {"unordered-container", rule_unordered_container},
     {"iostream-in-header", rule_iostream_in_header},
+    {"threading-header", rule_threading_header},
 };
 
 // ---------------------------------------------------------------------------
