@@ -42,4 +42,55 @@ inline ProtocolFactory ssf_factory(const PopulationConfig& pop,
   };
 }
 
+// Cache-key digests over everything the factories above capture (protocol
+// type + every construction parameter) — the caller-supplied half of the
+// content-addressed result cache (ExperimentCell::protocol_digest).
+inline std::uint64_t sf_digest(const PopulationConfig& pop, std::uint64_t h,
+                               double delta, double c1 = kC1) {
+  return CellKey()
+      .str("SourceFilter")
+      .u64(pop.n)
+      .u64(pop.s1)
+      .u64(pop.s0)
+      .u64(h)
+      .f64(delta)
+      .f64(c1)
+      .digest();
+}
+
+inline std::uint64_t ssf_digest(const PopulationConfig& pop, std::uint64_t h,
+                                double delta, CorruptionPolicy policy,
+                                double c1 = kC1) {
+  return CellKey()
+      .str("SelfStabilizingSourceFilter")
+      .u64(pop.n)
+      .u64(pop.s1)
+      .u64(pop.s0)
+      .u64(h)
+      .f64(delta)
+      .str(to_string(policy))
+      .f64(c1)
+      .digest();
+}
+
+// Folds the shared scheduler flags (BenchArgs) into SchedulerOptions.
+// `default_reps` is the bench's built-in per-cell repetition count; the
+// default StopRule reproduces the pre-scheduler behavior exactly (fixed
+// repetitions, no early stopping) until the user opts in via
+// --ci-halfwidth / --max-reps.
+inline SchedulerOptions scheduler_options(const BenchArgs& args,
+                                          std::uint64_t default_reps,
+                                          bool require_stability = false) {
+  SchedulerOptions opts;
+  opts.threads = args.threads;
+  opts.stop.max_reps = args.max_reps > 0 ? args.max_reps : default_reps;
+  if (opts.stop.min_reps > opts.stop.max_reps) {
+    opts.stop.min_reps = opts.stop.max_reps;
+  }
+  opts.stop.ci_halfwidth = args.ci_halfwidth;
+  opts.stop.require_stability = require_stability;
+  if (!args.no_cache) opts.cache_dir = args.cache_dir;
+  return opts;
+}
+
 }  // namespace noisypull::bench

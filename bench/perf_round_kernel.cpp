@@ -183,12 +183,23 @@ ConfigResult run_config(const Config& cfg, bool smoke,
 
 void emit_json(std::FILE* out, bool smoke,
                std::span<const ConfigResult> results) {
+  const unsigned hw = std::thread::hardware_concurrency();
   std::fprintf(out, "{\n");
   std::fprintf(out, "  \"bench\": \"round_kernel\",\n");
-  std::fprintf(out, "  \"schema_version\": 1,\n");
+  std::fprintf(out, "  \"schema_version\": 2,\n");
   std::fprintf(out, "  \"smoke\": %s,\n", smoke ? "true" : "false");
-  std::fprintf(out, "  \"hardware_threads\": %u,\n",
-               std::thread::hardware_concurrency());
+  std::fprintf(out, "  \"hardware_threads\": %u,\n", hw);
+  // Honest-reporting fields: on a 1-core machine no threads>1 row can beat
+  // its threads=1 sibling, so lane scaling simply was not measured — the
+  // multi-lane rows quantify pool overhead, nothing else.
+  std::fprintf(out, "  \"lane_scaling_measured\": %s,\n",
+               hw > 1 ? "true" : "false");
+  if (hw <= 1) {
+    std::fprintf(out,
+                 "  \"caveat\": \"single hardware thread: threads>1 rows "
+                 "measure pool overhead only; lane scaling requires a "
+                 "multi-core runner\",\n");
+  }
   std::fprintf(out, "  \"block_size\": 4096,\n");
   std::fprintf(out, "  \"configs\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
@@ -223,6 +234,47 @@ void emit_json(std::FILE* out, bool smoke,
   std::fprintf(out, "}\n");
 }
 
+// Deterministic check of the observation-sampler amortization gate
+// (rng/observation_cache.hpp): the sampler must pick its mode from
+// (h, d, expected_draws) alone — inverse CDF only when the outcome space
+// amortizes over the round's draws — and never from the cache toggle.
+// Returns false (and prints) on any violation; wired into --smoke so the CI
+// perf gate fails loudly if the gate regresses.
+bool check_sampler_gate() {
+  const double w[2] = {0.7, 0.3};
+  const std::span<const double> weights(w, 2);
+  ObservationSampler s;
+  struct Case {
+    std::uint64_t h;
+    std::uint64_t draws;
+    ObservationSampler::Mode want;
+  };
+  const Case cases[] = {
+      // h+1 = 65 outcomes over 4 draws: table build would dominate.
+      {64, 4, ObservationSampler::Mode::Decomposition},
+      // Same outcome space amortized over 20000 draws: inverse CDF.
+      {64, 20000, ObservationSampler::Mode::InverseCdf},
+      // Outcome space above kMaxOutcomes: decomposition regardless of draws.
+      {ObservationSampler::kMaxOutcomes + 1, 1000000,
+       ObservationSampler::Mode::Decomposition},
+  };
+  for (const auto& c : cases) {
+    for (const bool cache : {false, true}) {
+      s.reset(c.h, weights, cache, c.draws);
+      if (s.mode() != c.want) {
+        std::fprintf(stderr,
+                     "sampler gate violation: h=%llu draws=%llu cache=%d "
+                     "picked mode %d\n",
+                     static_cast<unsigned long long>(c.h),
+                     static_cast<unsigned long long>(c.draws),
+                     cache ? 1 : 0, static_cast<int>(s.mode()));
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -239,6 +291,16 @@ int main(int argc, char** argv) {
                    "usage: perf_round_kernel [--smoke] [--out PATH]\n");
       return 2;
     }
+  }
+
+  if (smoke && !check_sampler_gate()) {
+    std::fprintf(stderr, "perf_round_kernel: sampler gate check FAILED\n");
+    return 1;
+  }
+  if (std::thread::hardware_concurrency() <= 1) {
+    std::printf(
+        "perf_round_kernel: WARNING: 1 hardware thread — threads>1 rows "
+        "measure pool overhead only (lane_scaling_measured=false)\n");
   }
 
   std::vector<Config> configs;

@@ -3,6 +3,10 @@
 // up to a log factor; we print the measured SF running time divided by the
 // lower-bound expression and show the ratio grows only ~logarithmically
 // with n (it would blow up polynomially if SF were not near-optimal).
+//
+// The (n × h) grid drains through one experiment-scheduler queue
+// (analysis/scheduler.hpp); `--threads`, `--ci-halfwidth`, `--max-reps`,
+// and `--cache-dir` apply as in every tab_* bench.
 #include "bench_common.hpp"
 
 #include <cmath>
@@ -19,31 +23,47 @@ int main(int argc, char** argv) {
   const double delta = 0.25;
   const std::uint64_t s = 1;
 
-  Table table({"n", "h", "rounds T", "LB = n*d/(s^2(1-2d)^2 h)", "T/LB",
-               "(T/LB)/ln n", "success"});
+  struct Row {
+    std::uint64_t n;
+    std::uint64_t h;
+  };
+  std::vector<Row> grid;
+  std::vector<ExperimentCell> cells;
   for (std::uint64_t n : {512ULL, 1024ULL, 2048ULL, 4096ULL, 8192ULL,
                           16384ULL}) {
     const PopulationConfig pop{.n = n, .s1 = s, .s0 = 0};
     for (std::uint64_t h : {std::uint64_t{n / 16}, n}) {
-      const auto results = run_repetitions(
-          sf_factory(pop, h, delta), NoiseMatrix::uniform(2, delta),
-          pop.correct_opinion(), RunConfig{.h = h},
-          RepeatOptions{.repetitions = 6, .seed = 7000 + n + h});
-      const double t = static_cast<double>(results.front().rounds_run);
-      const double lb =
-          static_cast<double>(n) * delta /
-          (static_cast<double>(s * s) * (1 - 2 * delta) * (1 - 2 * delta) *
-           static_cast<double>(h));
-      const double logn = std::log(static_cast<double>(n));
-      table.cell(n)
-          .cell(h)
-          .cell(t, 0)
-          .cell(lb, 2)
-          .cell(t / lb, 1)
-          .cell(t / lb / logn, 2)
-          .cell(success_rate(results), 2)
-          .end_row();
+      grid.push_back({n, h});
+      cells.push_back(ExperimentCell{
+          .label = "n=" + std::to_string(n) + " h=" + std::to_string(h),
+          .make_protocol = sf_factory(pop, h, delta),
+          .noise = NoiseMatrix::uniform(2, delta),
+          .correct = pop.correct_opinion(),
+          .cfg = RunConfig{.h = h},
+          .seed = 7000 + n + h,
+          .protocol_digest = sf_digest(pop, h, delta)});
     }
+  }
+  const auto stats = run_experiment(cells, scheduler_options(args, 6));
+
+  Table table({"n", "h", "rounds T", "LB = n*d/(s^2(1-2d)^2 h)", "T/LB",
+               "(T/LB)/ln n", "success"});
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const auto& [n, h] = grid[i];
+    const double t = stats[i].mean_rounds_run;
+    const double lb =
+        static_cast<double>(n) * delta /
+        (static_cast<double>(s * s) * (1 - 2 * delta) * (1 - 2 * delta) *
+         static_cast<double>(h));
+    const double logn = std::log(static_cast<double>(n));
+    table.cell(n)
+        .cell(h)
+        .cell(t, 0)
+        .cell(lb, 2)
+        .cell(t / lb, 1)
+        .cell(t / lb / logn, 2)
+        .cell(stats[i].success_rate, 2)
+        .end_row();
   }
   args.emit(table);
   std::printf(

@@ -2,6 +2,10 @@
 // linearly accelerate information spreading".  Fixed n, sweep h in powers
 // of 4; Theorem 4 predicts T ≈ C/h + O(log n), so T·h should stay roughly
 // constant until the additive log n floor is reached.
+//
+// The sweep runs through the experiment scheduler (analysis/scheduler.hpp):
+// one global (cell × repetition) queue, `--ci-halfwidth` early stopping,
+// `--cache-dir` result reuse.
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
@@ -18,18 +22,28 @@ int main(int argc, char** argv) {
   const PopulationConfig pop{.n = n, .s1 = 1, .s0 = 0};
   const auto noise = NoiseMatrix::uniform(2, delta);
 
+  const auto hs = geometric_grid(4, n, 4.0);
+  std::vector<ExperimentCell> cells;
+  for (std::uint64_t h : hs) {
+    cells.push_back(ExperimentCell{
+        .label = "h=" + std::to_string(h),
+        .make_protocol = sf_factory(pop, h, delta),
+        .noise = noise,
+        .correct = pop.correct_opinion(),
+        .cfg = RunConfig{.h = h},
+        .seed = 500 + h,
+        .protocol_digest = sf_digest(pop, h, delta)});
+  }
+  const auto stats = run_experiment(cells, scheduler_options(args, 8));
+
   Table table({"h", "success", "rounds T", "first-correct", "T*h"});
-  for (std::uint64_t h : geometric_grid(4, n, 4.0)) {
-    const auto results = run_repetitions(
-        sf_factory(pop, h, delta), noise, pop.correct_opinion(),
-        RunConfig{.h = h},
-        RepeatOptions{.repetitions = 8, .seed = 500 + h});
-    const double t = static_cast<double>(results.front().rounds_run);
-    table.cell(h)
-        .cell(success_rate(results), 2)
+  for (std::size_t i = 0; i < hs.size(); ++i) {
+    const double t = stats[i].mean_rounds_run;
+    table.cell(hs[i])
+        .cell(stats[i].success_rate, 2)
         .cell(t, 0)
-        .cell(mean_convergence_round(results), 1)
-        .cell(t * static_cast<double>(h), 0)
+        .cell(stats[i].mean_convergence_round, 1)
+        .cell(t * static_cast<double>(hs[i]), 0)
         .end_row();
   }
   args.emit(table);

@@ -9,6 +9,11 @@
 // normalizations the theorem predicts to be ~flat:
 //   h = n   → T / ln n           (logarithmic time),
 //   h = √n  → T·h / (n·ln n)     (linear speedup in h).
+//
+// All cells of the grid go through one experiment-scheduler queue
+// (analysis/scheduler.hpp): `--threads` drains cells concurrently,
+// `--ci-halfwidth`/`--max-reps` opt into adaptive early stopping, and
+// `--cache-dir` reuses previously computed repetitions.
 #include "bench_common.hpp"
 
 #include <cmath>
@@ -25,31 +30,46 @@ int main(int argc, char** argv) {
   const double delta = 0.2;
   const std::uint64_t reps = 8;
 
-  Table table({"n", "h", "success", "rounds T", "first-correct",
-               "T*h/(n ln n)", "T/ln n"});
+  struct Row {
+    std::uint64_t n;
+    std::uint64_t h;
+  };
+  std::vector<Row> grid;
+  std::vector<ExperimentCell> cells;
   for (std::uint64_t n : {250ULL, 500ULL, 1000ULL, 2000ULL, 4000ULL,
                           8000ULL, 16000ULL}) {
     const PopulationConfig pop{.n = n, .s1 = 1, .s0 = 0};
-    const double logn = std::log(static_cast<double>(n));
     std::vector<std::uint64_t> hs = {
         static_cast<std::uint64_t>(std::llround(std::sqrt(n))), n};
     if (n <= 500) hs.insert(hs.begin(), 1);  // h = 1 is Θ(n log n) rounds
     for (std::uint64_t h : hs) {
-      const auto results = run_repetitions(
-          sf_factory(pop, h, delta), NoiseMatrix::uniform(2, delta),
-          pop.correct_opinion(), RunConfig{.h = h},
-          RepeatOptions{.repetitions = reps, .seed = 1000 + n + h});
-      const double t = static_cast<double>(results.front().rounds_run);
-      table.cell(n)
-          .cell(h)
-          .cell(success_rate(results), 2)
-          .cell(t, 0)
-          .cell(mean_convergence_round(results), 1)
-          .cell(t * static_cast<double>(h) / (static_cast<double>(n) * logn),
-                3)
-          .cell(t / logn, 2)
-          .end_row();
+      grid.push_back({n, h});
+      cells.push_back(ExperimentCell{
+          .label = "n=" + std::to_string(n) + " h=" + std::to_string(h),
+          .make_protocol = sf_factory(pop, h, delta),
+          .noise = NoiseMatrix::uniform(2, delta),
+          .correct = pop.correct_opinion(),
+          .cfg = RunConfig{.h = h},
+          .seed = 1000 + n + h,
+          .protocol_digest = sf_digest(pop, h, delta)});
     }
+  }
+  const auto stats = run_experiment(cells, scheduler_options(args, reps));
+
+  Table table({"n", "h", "success", "rounds T", "first-correct",
+               "T*h/(n ln n)", "T/ln n"});
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const auto& [n, h] = grid[i];
+    const double logn = std::log(static_cast<double>(n));
+    const double t = stats[i].mean_rounds_run;
+    table.cell(n)
+        .cell(h)
+        .cell(stats[i].success_rate, 2)
+        .cell(t, 0)
+        .cell(stats[i].mean_convergence_round, 1)
+        .cell(t * static_cast<double>(h) / (static_cast<double>(n) * logn), 3)
+        .cell(t / logn, 2)
+        .end_row();
   }
   args.emit(table);
   std::printf(

@@ -2,6 +2,10 @@
 // all the way down to s = 1 (unlike the Ω(√n log n)-bias requirements common
 // in population-protocol majority results).  Eq. 19's budget shrinks like
 // 1/s² until the √n·log n/s term takes over.
+//
+// Both sweeps run through one experiment-scheduler queue
+// (analysis/scheduler.hpp) with the shared `--threads` / `--ci-halfwidth` /
+// `--cache-dir` flags.
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
@@ -18,19 +22,43 @@ int main(int argc, char** argv) {
   const double delta = 0.25;
   const auto noise = NoiseMatrix::uniform(2, delta);
 
+  const std::vector<std::uint64_t> clean_s = {1, 2, 4, 8, 16, 32, 64};
+  const std::vector<std::uint64_t> conflict_s0 = {0, 10, 18, 19};
+
+  std::vector<ExperimentCell> cells;
+  for (std::uint64_t s : clean_s) {
+    const PopulationConfig pop{.n = n, .s1 = s, .s0 = 0};
+    cells.push_back(ExperimentCell{
+        .label = "s=" + std::to_string(s),
+        .make_protocol = sf_factory(pop, h, delta),
+        .noise = noise,
+        .correct = pop.correct_opinion(),
+        .cfg = RunConfig{.h = h},
+        .seed = 6000 + s,
+        .protocol_digest = sf_digest(pop, h, delta)});
+  }
+  for (std::uint64_t s0 : conflict_s0) {
+    const PopulationConfig pop{.n = n, .s1 = 40 - s0, .s0 = s0};
+    cells.push_back(ExperimentCell{
+        .label = "s0=" + std::to_string(s0),
+        .make_protocol = sf_factory(pop, h, delta),
+        .noise = noise,
+        .correct = pop.correct_opinion(),
+        .cfg = RunConfig{.h = h},
+        .seed = 6100 + s0,
+        .protocol_digest = sf_digest(pop, h, delta)});
+  }
+  const auto stats = run_experiment(cells, scheduler_options(args, 8));
+
   Table table({"s1", "s0", "bias s", "success", "rounds T", "T*s^2",
                "T*s"});
-  for (std::uint64_t s : {1ULL, 2ULL, 4ULL, 8ULL, 16ULL, 32ULL, 64ULL}) {
-    const PopulationConfig pop{.n = n, .s1 = s, .s0 = 0};
-    const auto results = run_repetitions(
-        sf_factory(pop, h, delta), noise, pop.correct_opinion(),
-        RunConfig{.h = h},
-        RepeatOptions{.repetitions = 8, .seed = 6000 + s});
-    const double t = static_cast<double>(results.front().rounds_run);
+  for (std::size_t i = 0; i < clean_s.size(); ++i) {
+    const std::uint64_t s = clean_s[i];
+    const double t = stats[i].mean_rounds_run;
     table.cell(s)
         .cell(std::uint64_t{0})
         .cell(s)
-        .cell(success_rate(results), 2)
+        .cell(stats[i].success_rate, 2)
         .cell(t, 0)
         .cell(t * static_cast<double>(s * s), 0)
         .cell(t * static_cast<double>(s), 0)
@@ -41,18 +69,15 @@ int main(int argc, char** argv) {
   // The same sweep with conflicting sources at fixed total s0+s1 = 40:
   // only the *bias* matters for correctness; more conflict = slower.
   Table conflict({"s1", "s0", "bias s", "success", "rounds T"});
-  for (std::uint64_t s0 : {0ULL, 10ULL, 18ULL, 19ULL}) {
-    const std::uint64_t s1 = 40 - s0;
-    const PopulationConfig pop{.n = n, .s1 = s1, .s0 = s0};
-    const auto results = run_repetitions(
-        sf_factory(pop, h, delta), noise, pop.correct_opinion(),
-        RunConfig{.h = h},
-        RepeatOptions{.repetitions = 8, .seed = 6100 + s0});
-    conflict.cell(s1)
+  for (std::size_t i = 0; i < conflict_s0.size(); ++i) {
+    const std::uint64_t s0 = conflict_s0[i];
+    const PopulationConfig pop{.n = n, .s1 = 40 - s0, .s0 = s0};
+    const auto& st = stats[clean_s.size() + i];
+    conflict.cell(pop.s1)
         .cell(s0)
         .cell(pop.bias())
-        .cell(success_rate(results), 2)
-        .cell(static_cast<double>(results.front().rounds_run), 0)
+        .cell(st.success_rate, 2)
+        .cell(st.mean_rounds_run, 0)
         .end_row();
   }
   args.emit(conflict, "_conflict");

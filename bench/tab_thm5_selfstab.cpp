@@ -5,6 +5,10 @@
 // Two tables: (a) recovery across every corruption policy at fixed size,
 // with a stability window of 3 deadlines; (b) scaling of the convergence
 // round with n at h = n under the hardest (wrong-consensus) corruption.
+//
+// Both tables' cells share one experiment-scheduler queue
+// (analysis/scheduler.hpp) with the shared `--threads` / `--ci-halfwidth` /
+// `--cache-dir` flags.
 #include "bench_common.hpp"
 
 #include <cmath>
@@ -21,49 +25,72 @@ int main(int argc, char** argv) {
   const double delta = 0.05;
   const auto noise = NoiseMatrix::uniform(4, delta);
 
+  const std::vector<std::uint64_t> scaling_n = {500, 1000, 2000, 4000, 8000};
+
+  std::vector<ExperimentCell> cells;
   // (a) every corruption policy, n = 2000, h = n.
+  const PopulationConfig pop_a{.n = 2000, .s1 = 2, .s0 = 0};
+  const SelfStabilizingSourceFilter ref_a(pop_a, pop_a.n, delta, kC1);
+  for (const auto policy : kAllCorruptionPolicies) {
+    cells.push_back(ExperimentCell{
+        .label = std::string("policy ") + to_string(policy),
+        .make_protocol = ssf_factory(pop_a, pop_a.n, delta, policy),
+        .noise = noise,
+        .correct = pop_a.correct_opinion(),
+        .cfg = RunConfig{.h = pop_a.n,
+                         .max_rounds = ref_a.convergence_deadline(),
+                         .stability_window = 3 * ref_a.convergence_deadline()},
+        .seed = 8000 + static_cast<std::uint64_t>(policy),
+        .protocol_digest = ssf_digest(pop_a, pop_a.n, delta, policy)});
+  }
+  // (b) scaling in n under wrong-consensus corruption.
+  for (std::uint64_t n : scaling_n) {
+    const PopulationConfig pop{.n = n, .s1 = 2, .s0 = 0};
+    const SelfStabilizingSourceFilter ref(pop, n, delta, kC1);
+    cells.push_back(ExperimentCell{
+        .label = "n=" + std::to_string(n),
+        .make_protocol =
+            ssf_factory(pop, n, delta, CorruptionPolicy::WrongConsensus),
+        .noise = noise,
+        .correct = pop.correct_opinion(),
+        .cfg = RunConfig{.h = n, .max_rounds = ref.convergence_deadline()},
+        .seed = 8100 + n,
+        .protocol_digest =
+            ssf_digest(pop, n, delta, CorruptionPolicy::WrongConsensus)});
+  }
+  const auto stats = run_experiment(cells, scheduler_options(args, 6));
+
   {
-    const PopulationConfig pop{.n = 2000, .s1 = 2, .s0 = 0};
-    const SelfStabilizingSourceFilter ref(pop, pop.n, delta, kC1);
     Table table({"corruption", "success", "stable", "mean first-correct",
                  "deadline"});
+    std::size_t i = 0;
     for (const auto policy : kAllCorruptionPolicies) {
-      const auto results = run_repetitions(
-          ssf_factory(pop, pop.n, delta, policy), noise,
-          pop.correct_opinion(),
-          RunConfig{.h = pop.n,
-                    .max_rounds = ref.convergence_deadline(),
-                    .stability_window = 3 * ref.convergence_deadline()},
-          RepeatOptions{.repetitions = 6,
-                        .seed = 8000 + static_cast<std::uint64_t>(policy)});
+      const auto& st = stats[i++];
       table.cell(to_string(policy))
-          .cell(success_rate(results), 2)
-          .cell(success_rate(results, /*require_stability=*/true), 2)
-          .cell(mean_convergence_round(results), 1)
-          .cell(ref.convergence_deadline())
+          .cell(st.success_rate, 2)
+          .cell(st.stable_success_rate, 2)
+          .cell(st.mean_convergence_round, 1)
+          .cell(ref_a.convergence_deadline())
           .end_row();
     }
     args.emit(table, "_policies");
   }
 
-  // (b) scaling in n under wrong-consensus corruption.
   {
     Table table({"n", "success", "mean first-correct", "deadline",
                  "first-correct/ln n"});
-    for (std::uint64_t n : {500ULL, 1000ULL, 2000ULL, 4000ULL, 8000ULL}) {
+    const std::size_t base = std::size(kAllCorruptionPolicies);
+    for (std::size_t i = 0; i < scaling_n.size(); ++i) {
+      const std::uint64_t n = scaling_n[i];
       const PopulationConfig pop{.n = n, .s1 = 2, .s0 = 0};
       const SelfStabilizingSourceFilter ref(pop, n, delta, kC1);
-      const auto results = run_repetitions(
-          ssf_factory(pop, n, delta, CorruptionPolicy::WrongConsensus),
-          noise, pop.correct_opinion(),
-          RunConfig{.h = n, .max_rounds = ref.convergence_deadline()},
-          RepeatOptions{.repetitions = 6, .seed = 8100 + n});
-      const std::optional<double> fc = mean_convergence_round(results);
+      const auto& st = stats[base + i];
+      const std::optional<double> fc = st.mean_convergence_round;
       const std::optional<double> fc_over_logn =
           fc ? std::optional<double>(*fc / std::log(static_cast<double>(n)))
              : std::nullopt;
       table.cell(n)
-          .cell(success_rate(results), 2)
+          .cell(st.success_rate, 2)
           .cell(fc, 1)
           .cell(ref.convergence_deadline())
           .cell(fc_over_logn, 2)

@@ -1,0 +1,484 @@
+#include "noisypull/analysis/scheduler.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+// The scheduler's shared queue state is guarded by one mutex and a condition
+// variable (workers park when every remaining repetition is already in
+// flight).  Allowlisted by tools/noisypull_lint.cpp's threading-header rule:
+// like sim/repeat.cpp, this file *drives* the shared ThreadPool rather than
+// opening a new parallelism seam.
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "noisypull/common/check.hpp"
+#include "noisypull/common/thread_pool.hpp"
+#include "noisypull/fault/faulty_engine.hpp"
+
+namespace noisypull {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// Cache files are named by the cell's content digest; the format is a small
+// line-oriented text record (version line, key echo, then one line per
+// repetition in index order).  A file that fails any parse step is treated
+// as a miss, never an error — the cache is an accelerator, not a store of
+// record.
+constexpr const char* kCacheMagic = "noisypull-cell-cache";
+
+std::string cache_file_name(std::uint64_t key) {
+  std::ostringstream os;
+  os << "cell-" << std::hex << std::setfill('0') << std::setw(16) << key
+     << ".npsum";
+  return os.str();
+}
+
+std::vector<RepOutcome> load_cache_file(const fs::path& path,
+                                        std::uint64_t key) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::string magic;
+  std::uint64_t version = 0;
+  std::uint64_t stored_key = 0;
+  std::uint64_t reps = 0;
+  in >> magic >> version >> std::hex >> stored_key >> std::dec >> reps;
+  if (!in || magic != kCacheMagic || version != kCellCacheSchemaVersion ||
+      stored_key != key) {
+    return {};
+  }
+  std::vector<RepOutcome> outcomes;
+  outcomes.reserve(reps);
+  for (std::uint64_t r = 0; r < reps; ++r) {
+    std::uint64_t index = 0;
+    int correct = 0;
+    int stable = 0;
+    RepOutcome o;
+    in >> index >> correct >> stable >> o.rounds_run >> o.first_all_correct >>
+        o.correct_at_end;
+    if (!in || index != r || (correct != 0 && correct != 1) ||
+        (stable != 0 && stable != 1)) {
+      return {};
+    }
+    o.all_correct_at_end = correct == 1;
+    o.stable = stable == 1;
+    outcomes.push_back(o);
+  }
+  return outcomes;
+}
+
+void store_cache_file(const fs::path& dir, std::uint64_t key,
+                      const std::vector<RepOutcome>& outcomes,
+                      std::uint64_t reps) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) return;  // cache is best-effort; the run already succeeded
+  const fs::path final_path = dir / cache_file_name(key);
+  const fs::path tmp_path = final_path.string() + ".tmp";
+  {
+    std::ofstream out(tmp_path);
+    if (!out) return;
+    out << kCacheMagic << " " << kCellCacheSchemaVersion << " " << std::hex
+        << key << std::dec << " " << reps << "\n";
+    for (std::uint64_t r = 0; r < reps; ++r) {
+      const RepOutcome& o = outcomes[r];
+      out << r << " " << (o.all_correct_at_end ? 1 : 0) << " "
+          << (o.stable ? 1 : 0) << " " << o.rounds_run << " "
+          << o.first_all_correct << " " << o.correct_at_end << "\n";
+    }
+    if (!out) return;
+  }
+  fs::rename(tmp_path, final_path, ec);  // atomic publish on POSIX
+}
+
+StopRule normalized(StopRule rule) {
+  NOISYPULL_CHECK(rule.max_reps >= 1, "stop rule needs at least one rep");
+  rule.min_reps = std::clamp<std::uint64_t>(rule.min_reps, 1, rule.max_reps);
+  return rule;
+}
+
+bool outcome_success(const RepOutcome& o, bool require_stability) noexcept {
+  // Mirrors success_rate() in sim/repeat.cpp: stability on the wrong
+  // opinion is failure, not success.
+  return require_stability ? (o.stable && o.all_correct_at_end)
+                           : o.all_correct_at_end;
+}
+
+// Mutable scheduling state of one cell.  `outcomes[r]` is valid iff
+// `have[r]`; `frontier` is the length of the contiguous completed prefix,
+// which is the only thing stopping decisions and statistics ever read.
+struct CellState {
+  std::vector<RepOutcome> outcomes;
+  std::vector<char> have;
+  std::uint64_t frontier = 0;
+  std::uint64_t next_issue = 0;   // next repetition index to hand out
+  std::uint64_t issue_cap = 0;    // reps allowed to issue right now
+  std::uint64_t eval_cursor = 0;  // successes folded into eval_successes
+  std::uint64_t eval_successes = 0;
+  std::uint64_t stop_at = 0;      // decided prefix length (valid iff decided)
+  bool decided = false;
+  std::uint64_t computed = 0;     // fresh simulations
+  std::uint64_t cached = 0;       // outcomes replayed from the cache file
+  std::uint64_t cached_file_reps = 0;  // reps the loaded file already held
+};
+
+}  // namespace
+
+CellKey& CellKey::f64(double v) noexcept {
+  return u64(std::bit_cast<std::uint64_t>(v));
+}
+
+CellKey& CellKey::str(std::string_view s) noexcept {
+  for (const char c : s) {
+    digest_ = fnv::hash_byte(digest_, static_cast<std::uint8_t>(c));
+  }
+  // Length terminator: distinguishes str("ab").str("c") from str("a").str("bc").
+  return u64(s.size());
+}
+
+CellKey& CellKey::matrix(const Matrix& m) noexcept {
+  u64(m.rows());
+  u64(m.cols());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) f64(m(i, j));
+  }
+  return *this;
+}
+
+RepOutcome to_outcome(const RunResult& r) noexcept {
+  return RepOutcome{.all_correct_at_end = r.all_correct_at_end,
+                    .stable = r.stable,
+                    .rounds_run = r.rounds_run,
+                    .first_all_correct = r.first_all_correct,
+                    .correct_at_end = r.correct_at_end};
+}
+
+std::uint64_t stop_point(const std::vector<RepOutcome>& outcomes,
+                         const StopRule& rule_in) {
+  const StopRule rule = normalized(rule_in);
+  if (rule.ci_halfwidth <= 0.0) return rule.max_reps;
+  NOISYPULL_CHECK(outcomes.size() >= rule.min_reps,
+                  "stop_point needs at least min_reps outcomes");
+  std::uint64_t successes = 0;
+  for (std::uint64_t m = 1; m <= rule.max_reps; ++m) {
+    if (outcomes.size() < m) break;
+    if (outcome_success(outcomes[m - 1], rule.require_stability)) ++successes;
+    if (m >= rule.min_reps &&
+        wilson_halfwidth(successes, m) <= rule.ci_halfwidth) {
+      return m;
+    }
+  }
+  return rule.max_reps;
+}
+
+CellStats finalize_prefix(const std::vector<RepOutcome>& outcomes,
+                          std::uint64_t reps, const StopRule& rule_in) {
+  const StopRule rule = normalized(rule_in);
+  NOISYPULL_CHECK(reps >= 1 && reps <= outcomes.size(),
+                  "finalize_prefix needs a non-empty completed prefix");
+  CellStats stats;
+  stats.reps = reps;
+  Welford convergence;
+  double rounds_sum = 0.0;
+  for (std::uint64_t r = 0; r < reps; ++r) {
+    const RepOutcome& o = outcomes[r];
+    if (o.all_correct_at_end) {
+      ++stats.successes;
+      if (o.stable) ++stats.stable_successes;
+    }
+    if (o.first_all_correct != kNever) {
+      convergence.push(static_cast<double>(o.first_all_correct));
+    }
+    rounds_sum += static_cast<double>(o.rounds_run);
+  }
+  const double denom = static_cast<double>(reps);
+  stats.success_rate = static_cast<double>(stats.successes) / denom;
+  stats.stable_success_rate =
+      static_cast<double>(stats.stable_successes) / denom;
+  const std::uint64_t metric =
+      rule.require_stability ? stats.stable_successes : stats.successes;
+  stats.wilson = wilson_interval(metric, reps);
+  stats.ci_halfwidth = (stats.wilson.upper - stats.wilson.lower) / 2.0;
+  if (convergence.count() > 0) {
+    stats.mean_convergence_round = convergence.mean();
+    stats.convergence_stddev = convergence.sample_stddev();
+  }
+  stats.mean_rounds_run = rounds_sum / denom;
+  stats.early_stopped = reps < rule.max_reps;
+  return stats;
+}
+
+std::uint64_t cell_cache_key(const ExperimentCell& cell) {
+  CellKey key;
+  key.u64(kCellCacheSchemaVersion);
+  key.u64(cell.protocol_digest);
+  key.matrix(cell.noise.matrix());
+  if (cell.artificial_noise) {
+    key.u64(1).matrix(*cell.artificial_noise);
+  } else {
+    key.u64(0);
+  }
+  if (cell.fault_plan) {
+    const FaultPlan& p = *cell.fault_plan;
+    key.u64(1)
+        .u64(p.seed)
+        .u64(p.first_eligible)
+        .f64(p.byzantine.fraction)
+        .u64(static_cast<std::uint64_t>(p.byzantine.strategy))
+        .u64(p.byzantine.wrong_symbol)
+        .u64(p.byzantine.honest_symbol)
+        .u64(p.byzantine.mimic_symbol)
+        .f64(p.drop.p)
+        .f64(p.stall.crash_rate)
+        .u64(p.stall.min_rounds)
+        .u64(p.stall.max_rounds)
+        .f64(p.stall.blackout_fraction)
+        .u64(p.stall.blackout_start)
+        .u64(p.stall.blackout_rounds)
+        .f64(p.burst.rate)
+        .u64(p.burst.rounds)
+        .f64(p.burst.delta);
+  } else {
+    key.u64(0);
+  }
+  // RunConfig: engine_threads is trajectory-invariant and deliberately
+  // excluded (the header comment's invalidation contract).
+  key.u64(cell.cfg.h)
+      .u64(cell.cfg.max_rounds)
+      .u64(cell.cfg.stability_window)
+      .u64(cell.use_aggregate_engine ? 1 : 0)
+      .u64(cell.seed);
+  return key.digest();
+}
+
+std::vector<CellStats> run_experiment(const std::vector<ExperimentCell>& cells,
+                                      const SchedulerOptions& opts) {
+  NOISYPULL_CHECK(!cells.empty(), "run_experiment needs at least one cell");
+  const StopRule rule = normalized(opts.stop);
+  for (const ExperimentCell& cell : cells) {
+    NOISYPULL_CHECK(!cell.cfg.record_trajectory,
+                    "the scheduler does not record trajectories; use "
+                    "run_repetitions for trajectory experiments");
+  }
+
+  unsigned threads = opts.threads;
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  const std::uint64_t total_reps =
+      rule.max_reps * static_cast<std::uint64_t>(cells.size());
+  threads = static_cast<unsigned>(
+      std::min<std::uint64_t>(threads, std::max<std::uint64_t>(1, total_reps)));
+  unsigned engine_threads = opts.engine_threads;
+  if (engine_threads == 0) {
+    engine_threads =
+        std::max(1u, std::thread::hardware_concurrency() / threads);
+  }
+
+  // With early stopping on, keep at most `lookahead` repetitions beyond the
+  // decided prefix in flight per cell: enough to keep every worker busy,
+  // bounded so a cell that is about to stop does not flood the queue with
+  // work its statistics will never use.  Wasted overshoot changes wall-clock
+  // only — never statistics, which read the prefix [0, stop_at).
+  const bool adaptive = rule.ci_halfwidth > 0.0;
+  const std::uint64_t lookahead =
+      adaptive ? std::max<std::uint64_t>(2 * threads, 4) : rule.max_reps;
+
+  std::vector<CellState> states(cells.size());
+  const bool use_cache = !opts.cache_dir.empty();
+  const fs::path cache_dir(opts.cache_dir);
+  std::vector<std::uint64_t> keys(cells.size(), 0);
+
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    CellState& st = states[c];
+    st.outcomes.resize(rule.max_reps);
+    st.have.assign(rule.max_reps, 0);
+    if (use_cache) {
+      keys[c] = cell_cache_key(cells[c]);
+      const auto cached =
+          load_cache_file(cache_dir / cache_file_name(keys[c]), keys[c]);
+      const std::uint64_t usable =
+          std::min<std::uint64_t>(cached.size(), rule.max_reps);
+      for (std::uint64_t r = 0; r < usable; ++r) {
+        st.outcomes[r] = cached[r];
+        st.have[r] = 1;
+      }
+      st.frontier = usable;
+      st.next_issue = usable;  // the cached prefix is never recomputed
+      st.cached = usable;
+      st.cached_file_reps = cached.size();
+    }
+  }
+
+  std::mutex mutex;
+  std::condition_variable work_cv;
+  std::size_t incomplete = 0;
+  std::exception_ptr first_error;
+  bool aborted = false;
+
+  // Prefix-order decision advance for one cell; caller holds the mutex.
+  // Folds newly contiguous outcomes into the running success count and
+  // decides the stopping point the moment the deciding prefix completes.
+  const auto advance_decision = [&](CellState& st) {
+    while (!st.decided && st.eval_cursor < st.frontier) {
+      const std::uint64_t m = st.eval_cursor + 1;
+      if (outcome_success(st.outcomes[st.eval_cursor],
+                          rule.require_stability)) {
+        ++st.eval_successes;
+      }
+      st.eval_cursor = m;
+      if (adaptive && m >= rule.min_reps && m < rule.max_reps &&
+          wilson_halfwidth(st.eval_successes, m) <= rule.ci_halfwidth) {
+        st.decided = true;
+        st.stop_at = m;
+      }
+      if (m == rule.max_reps) {
+        st.decided = true;
+        st.stop_at = rule.max_reps;
+      }
+    }
+    st.issue_cap =
+        st.decided ? 0
+                   : std::min(rule.max_reps,
+                              std::max<std::uint64_t>(rule.min_reps,
+                                                      st.frontier + lookahead));
+  };
+
+  {
+    const std::lock_guard<std::mutex> lock(mutex);
+    for (CellState& st : states) {
+      advance_decision(st);
+      if (!st.decided) ++incomplete;
+    }
+  }
+
+  const auto run_one = [&](const ExperimentCell& cell, std::uint64_t r,
+                           Engine& engine_for_run) -> RepOutcome {
+    Rng init_rng(cell.seed, 2 * r);
+    Rng run_rng(cell.seed, 2 * r + 1);
+    auto protocol = cell.make_protocol(init_rng);
+    return to_outcome(run(*protocol, engine_for_run, cell.noise, cell.correct,
+                          cell.cfg, run_rng));
+  };
+
+  const auto worker = [&](std::uint64_t lane) {
+    // One engine per worker, rebuilt only when the worker switches cells:
+    // repetitions of one cell reuse the engine's scratch buffers exactly as
+    // the run_repetitions workers do.  Workers start spread across the grid
+    // (lane-seeded cursor) and stay on their cell until it has no issuable
+    // work — depth-first per worker completes decision prefixes early, and
+    // the cursor only moves (work stealing) when the current cell is
+    // drained.  None of this affects results: statistics are a function of
+    // outcome prefixes, not of who computed them.
+    std::unique_ptr<Engine> engine;
+    std::size_t engine_cell = std::numeric_limits<std::size_t>::max();
+    std::size_t cursor = static_cast<std::size_t>(lane) % states.size();
+    for (;;) {
+      std::size_t cell_index = 0;
+      std::uint64_t rep = 0;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        for (;;) {
+          if (aborted || incomplete == 0) return;
+          bool found = false;
+          for (std::size_t i = 0; i < states.size(); ++i) {
+            const std::size_t c = (cursor + i) % states.size();
+            CellState& st = states[c];
+            if (st.next_issue < st.issue_cap) {
+              cell_index = c;
+              rep = st.next_issue++;
+              cursor = c;  // affinity: keep drawing from this cell
+              found = true;
+              break;
+            }
+          }
+          if (found) break;
+          // Every runnable repetition is in flight; completions may raise
+          // issue caps (or finish the experiment), so park until one lands.
+          work_cv.wait(lock);
+        }
+      }
+
+      const ExperimentCell& cell = cells[cell_index];
+      try {
+        if (engine_cell != cell_index || !engine) {
+          if (cell.use_aggregate_engine) {
+            engine = std::make_unique<AggregateEngine>();
+          } else {
+            engine = std::make_unique<ExactEngine>();
+          }
+          if (cell.artificial_noise) {
+            engine->set_artificial_noise(*cell.artificial_noise);
+          }
+          engine->set_threads(engine_threads);
+          engine_cell = cell_index;
+        }
+        RepOutcome outcome;
+        if (cell.fault_plan) {
+          // Fresh decorator per repetition: stall schedules and fault stats
+          // must not leak across runs.
+          FaultyEngine faulty(*engine, *cell.fault_plan);
+          faulty.set_threads(engine_threads);
+          outcome = run_one(cell, rep, faulty);
+        } else {
+          outcome = run_one(cell, rep, *engine);
+        }
+
+        const std::lock_guard<std::mutex> lock(mutex);
+        CellState& st = states[cell_index];
+        st.outcomes[rep] = outcome;
+        st.have[rep] = 1;
+        ++st.computed;
+        while (st.frontier < rule.max_reps && st.have[st.frontier] != 0) {
+          ++st.frontier;
+        }
+        const bool was_decided = st.decided;
+        advance_decision(st);
+        if (!was_decided && st.decided) --incomplete;
+        work_cv.notify_all();
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(mutex);
+        if (!first_error) first_error = std::current_exception();
+        aborted = true;
+        work_cv.notify_all();
+        return;
+      }
+    }
+  };
+
+  if (incomplete > 0) {
+    if (threads == 1) {
+      worker(0);
+    } else {
+      ThreadPool pool(threads);
+      pool.parallel_for(threads, worker);
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+
+  std::vector<CellStats> results;
+  results.reserve(cells.size());
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    CellState& st = states[c];
+    NOISYPULL_ASSERT(st.decided && st.stop_at >= 1);
+    CellStats stats = finalize_prefix(st.outcomes, st.stop_at, rule);
+    stats.reps_computed = st.computed;
+    stats.reps_cached = std::min(st.cached, stats.reps);
+    stats.cache_key = use_cache ? keys[c] : cell_cache_key(cells[c]);
+    // Persist the full contiguous prefix — including lookahead overshoot
+    // beyond the stopping point: those repetitions are valid under this key
+    // and may serve a future run with a tighter CI target.
+    if (use_cache && st.frontier > st.cached_file_reps) {
+      store_cache_file(cache_dir, keys[c], st.outcomes, st.frontier);
+    }
+    results.push_back(stats);
+  }
+  return results;
+}
+
+}  // namespace noisypull

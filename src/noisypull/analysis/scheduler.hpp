@@ -1,0 +1,177 @@
+// Experiment-level scheduler: one global (cell × repetition) work queue.
+//
+// Every theorem table in bench/ estimates success probabilities over a
+// parameter grid.  Before this module, each grid cell called
+// run_repetitions() with a fixed repetition count and synchronized before
+// the next cell started, so a table's wall-clock was the sum of per-cell
+// barriers — and easy cells burned exactly as many repetitions as hard
+// ones.  The scheduler flattens the whole table into one queue of
+// (cell, repetition) work items drained by a fixed worker pool
+// (common/thread_pool.hpp), and optionally stops issuing repetitions for a
+// cell once its success-rate confidence interval is tight enough.
+//
+// Determinism contract (tests/test_scheduler.cpp):
+//   * Repetition r of a cell runs on the substreams Rng(seed, 2r) /
+//     Rng(seed, 2r+1) — the exact derivation of run_repetitions() — so each
+//     repetition's trajectory is a function of (cell, r) alone, never of
+//     which worker ran it or when.
+//   * The early-stopping decision is evaluated on completed-repetition
+//     *prefixes in repetition-index order*: the rule stops a cell at the
+//     smallest prefix length m ∈ [min_reps, max_reps] whose Wilson interval
+//     half-width is ≤ the target.  Scheduling order can change which
+//     repetitions beyond m happen to be computed (and wasted), but never
+//     the stopping point or any reported statistic — cell statistics are
+//     bit-identical for every worker count and cache setting.
+//
+// Result cache: with a non-empty cache_dir, each cell's per-repetition
+// outcomes are persisted in a file named by an FNV-1a digest of everything
+// that determines the trajectories — schema version, protocol-construction
+// digest (caller-supplied via CellKey), noise matrix, artificial noise,
+// FaultPlan, RunConfig, engine kind, and seed.  Worker count, engine lanes,
+// the sampler-cache toggle, and the stopping rule are deliberately NOT part
+// of the key: they are trajectory-invariant, so cached outcomes remain
+// valid under any of them.  A warm run replays outcomes from the file and
+// only computes repetitions the file does not cover (e.g. after tightening
+// --ci-halfwidth); statistics are identical cold, warm, and with the cache
+// bypassed (tests pin all three).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "noisypull/analysis/stats.hpp"
+#include "noisypull/common/fnv.hpp"
+#include "noisypull/fault/fault_plan.hpp"
+#include "noisypull/sim/repeat.hpp"
+
+namespace noisypull {
+
+// Bumped whenever engine or runner semantics change in a way that alters
+// trajectories for identical inputs (it is folded into every cache key, so
+// a bump invalidates all previously cached cells at once).
+inline constexpr std::uint64_t kCellCacheSchemaVersion = 1;
+
+// Incremental FNV-1a digest builder for cache keys.  The scheduler folds
+// every input it can see (noise, config, seed, ...); the caller folds the
+// parts hidden inside the ProtocolFactory closure — the protocol type name
+// and every construction parameter — via this builder and passes the result
+// as ExperimentCell::protocol_digest.
+class CellKey {
+ public:
+  CellKey& u64(std::uint64_t v) noexcept {
+    digest_ = fnv::hash_u64(digest_, v);
+    return *this;
+  }
+  // Doubles are folded by bit pattern: the key must distinguish exactly the
+  // inputs the simulation distinguishes, no epsilon semantics.
+  CellKey& f64(double v) noexcept;
+  CellKey& str(std::string_view s) noexcept;
+  CellKey& matrix(const Matrix& m) noexcept;
+
+  std::uint64_t digest() const noexcept { return digest_; }
+
+ private:
+  std::uint64_t digest_ = fnv::kOffsetBasis;
+};
+
+// Adaptive early-stopping rule, evaluated on prefixes in repetition-index
+// order (header comment).  ci_halfwidth <= 0 disables early stopping: every
+// cell runs exactly max_reps repetitions.
+struct StopRule {
+  std::uint64_t max_reps = 32;
+  std::uint64_t min_reps = 8;    // clamped into [1, max_reps]
+  double ci_halfwidth = 0.0;     // Wilson 95% half-width target; <= 0 = off
+  bool require_stability = false;  // success = correct AND stable
+};
+
+// One grid cell: everything needed to run (and cache) its repetitions.
+// Field order tracks how often benches set each field (designated
+// initializers must follow declaration order, and skipping a *middle*
+// field trips -Wmissing-field-initializers under the -Werror build).
+struct ExperimentCell {
+  std::string label{};  // for logs/errors only; not part of the cache key
+  ProtocolFactory make_protocol{};
+  NoiseMatrix noise = NoiseMatrix::noiseless(2);
+  Opinion correct = 1;
+  RunConfig cfg{};  // record_trajectory is not supported by the scheduler
+  std::uint64_t seed = 1;
+  // CellKey digest over the protocol type and construction parameters
+  // captured inside make_protocol.  Required when caching is enabled.
+  std::uint64_t protocol_digest = 0;
+  bool use_aggregate_engine = true;
+  std::optional<Matrix> artificial_noise{};
+  // Wraps the engine in a FaultyEngine realizing this plan (a fresh
+  // decorator per repetition, so stall state never leaks across runs).
+  std::optional<FaultPlan> fault_plan{};
+};
+
+// Compact per-repetition outcome — the unit the cache stores.  Everything
+// the table benches derive from a RunResult, minus trajectories.
+struct RepOutcome {
+  bool all_correct_at_end = false;
+  bool stable = false;
+  std::uint64_t rounds_run = 0;
+  std::uint64_t first_all_correct = kNever;
+  std::uint64_t correct_at_end = 0;
+};
+
+RepOutcome to_outcome(const RunResult& r) noexcept;
+
+// Statistics of one cell over the prefix [0, reps) selected by the stop
+// rule.  All fields are deterministic functions of the outcomes in index
+// order (never of scheduling or cache state).
+struct CellStats {
+  std::uint64_t reps = 0;       // prefix length the statistics cover
+  std::uint64_t successes = 0;  // all_correct_at_end within the prefix
+  std::uint64_t stable_successes = 0;  // ... AND stable
+  double success_rate = 0.0;
+  double stable_success_rate = 0.0;
+  Interval wilson;              // 95% Wilson interval of the stop metric
+  double ci_halfwidth = 0.0;    // (wilson.upper - wilson.lower) / 2
+  // Welford accumulation over first_all_correct of converged repetitions,
+  // in index order; nullopt when none converged.
+  std::optional<double> mean_convergence_round;
+  double convergence_stddev = 0.0;
+  double mean_rounds_run = 0.0;
+  bool early_stopped = false;   // reps < max_reps due to the CI rule
+  std::uint64_t reps_computed = 0;  // fresh simulations this invocation
+  std::uint64_t reps_cached = 0;    // repetitions replayed from the cache
+  std::uint64_t cache_key = 0;      // full content digest of the cell
+};
+
+struct SchedulerOptions {
+  // Worker lanes draining the global queue; 0 = hardware_concurrency.
+  unsigned threads = 0;
+  StopRule stop{};
+  // Directory of the content-addressed result cache; empty disables it.
+  std::string cache_dir{};
+  // Engine lanes inside each repetition (Engine::set_threads); 0 = auto
+  // anti-oversubscription split as in RepeatOptions::engine_threads.
+  unsigned engine_threads = 1;
+};
+
+// The deterministic stopping point: smallest m in [min_reps, max_reps] whose
+// Wilson half-width over outcomes[0, m) meets rule.ci_halfwidth, else
+// max_reps (also when early stopping is disabled).  outcomes.size() must be
+// >= the returned value; exposed for tests.
+std::uint64_t stop_point(const std::vector<RepOutcome>& outcomes,
+                         const StopRule& rule);
+
+// Statistics over the prefix [0, reps) of outcomes; exposed for tests.
+CellStats finalize_prefix(const std::vector<RepOutcome>& outcomes,
+                          std::uint64_t reps, const StopRule& rule);
+
+// Full content digest of one cell (schema version + protocol_digest + every
+// scheduler-visible input).  This is the cache file's identity.
+std::uint64_t cell_cache_key(const ExperimentCell& cell);
+
+// Runs every cell's repetitions through one global work queue and returns
+// one CellStats per cell, in input order.  Throws the first repetition
+// error, if any (remaining work is abandoned).
+std::vector<CellStats> run_experiment(const std::vector<ExperimentCell>& cells,
+                                      const SchedulerOptions& opts);
+
+}  // namespace noisypull

@@ -56,6 +56,23 @@ Interval wilson_interval(std::uint64_t successes, std::uint64_t trials) {
   return Interval{std::max(0.0, center - half), std::min(1.0, center + half)};
 }
 
+double wilson_halfwidth(std::uint64_t successes, std::uint64_t trials) {
+  const Interval iv = wilson_interval(successes, trials);
+  return (iv.upper - iv.lower) / 2.0;
+}
+
+void Welford::push(double value) noexcept {
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double Welford::sample_stddev() const noexcept {
+  if (count_ < 2) return 0.0;
+  return std::sqrt(m2_ / static_cast<double>(count_ - 1));
+}
+
 double chi_square_statistic(std::span<const std::uint64_t> observed,
                             std::span<const double> expected_probs) {
   NOISYPULL_CHECK(observed.size() == expected_probs.size(),

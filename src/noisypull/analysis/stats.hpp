@@ -31,6 +31,32 @@ struct Interval {
 };
 Interval wilson_interval(std::uint64_t successes, std::uint64_t trials);
 
+// Half-width of the Wilson interval — the quantity the experiment
+// scheduler's adaptive stopping rule compares against its target
+// (analysis/scheduler.hpp).
+double wilson_halfwidth(std::uint64_t successes, std::uint64_t trials);
+
+// Streaming mean/variance accumulator (Welford's algorithm).  Used by the
+// experiment scheduler to fold per-repetition convergence rounds without
+// materializing a vector; numerically stable for long streams.  The result
+// depends on the order values are pushed, so deterministic consumers must
+// push in a canonical order (the scheduler pushes in repetition-index
+// order).
+class Welford {
+ public:
+  void push(double value) noexcept;
+
+  std::uint64_t count() const noexcept { return count_; }
+  double mean() const noexcept { return mean_; }
+  // Sample standard deviation (n−1 denominator); 0 for fewer than 2 values.
+  double sample_stddev() const noexcept;
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;  // sum of squared deviations from the running mean
+};
+
 // Pearson chi-square statistic of observed counts against expected
 // probabilities (same length, probabilities summing to ~1).  Used by the
 // statistical tests that cross-validate samplers and engines.

@@ -92,6 +92,16 @@ BenchArgs BenchArgs::parse(int argc, char** argv) {
     if (a == "--csv" && i + 1 < argc) {
       args.csv = true;
       args.csv_path = argv[++i];
+    } else if (a == "--ci-halfwidth" && i + 1 < argc) {
+      args.ci_halfwidth = std::stod(argv[++i]);
+    } else if (a == "--max-reps" && i + 1 < argc) {
+      args.max_reps = std::stoull(argv[++i]);
+    } else if (a == "--cache-dir" && i + 1 < argc) {
+      args.cache_dir = argv[++i];
+    } else if (a == "--no-cache") {
+      args.no_cache = true;
+    } else if (a == "--threads" && i + 1 < argc) {
+      args.threads = static_cast<unsigned>(std::stoul(argv[++i]));
     }
   }
   return args;

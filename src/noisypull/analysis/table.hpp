@@ -49,10 +49,26 @@ class Table {
 
 // Shared argv convention of the bench binaries: `--csv <path>` mirrors the
 // printed table(s) to CSV files (a numeric suffix is appended when a binary
-// emits several tables).
+// emits several tables).  The scheduler flags below tune the experiment
+// scheduler (analysis/scheduler.hpp) in the tab_* benches; they are stored
+// raw here (this module prints tables, it does not schedule) and folded
+// into SchedulerOptions by bench::scheduler_options (bench_common.hpp).
 struct BenchArgs {
   bool csv = false;
   std::string csv_path;
+
+  // --ci-halfwidth <w>: enable adaptive early stopping at Wilson 95%
+  // half-width <= w (0 = off, every cell runs its full repetition count).
+  double ci_halfwidth = 0.0;
+  // --max-reps <n>: override a bench's repetition budget per cell (0 =
+  // keep the bench's built-in default).
+  std::uint64_t max_reps = 0;
+  // --cache-dir <path>: content-addressed result cache directory.
+  // --no-cache: ignore --cache-dir even if given.
+  std::string cache_dir;
+  bool no_cache = false;
+  // --threads <n>: scheduler worker lanes (0 = hardware concurrency).
+  unsigned threads = 0;
 
   static BenchArgs parse(int argc, char** argv);
 

@@ -136,8 +136,11 @@ void AggregateEngine::step(PullProtocol& protocol, const NoiseMatrix& noise,
   }
 
   // q is one distribution for all n agents: build the per-round sampler once
-  // and draw each agent's count vector from it with a single uniform.
-  sampler_.reset(h, std::span<const double>(q.data(), d), sampler_cache());
+  // and draw each agent's count vector from it with a single uniform.  The
+  // draw count n lets the sampler skip table construction when the outcome
+  // space would not amortize over the population (amortization gate,
+  // rng/observation_cache.hpp).
+  sampler_.reset(h, std::span<const double>(q.data(), d), sampler_cache(), n);
 
   const std::uint64_t round_key = rng.next();
   for_each_block(
@@ -186,6 +189,7 @@ void HeterogeneousEngine::rebuild_channel_cache() {
   std::map<std::vector<double>, std::uint32_t> ids;
   group_of_.resize(per_agent_.size());
   group_channels_.clear();
+  group_sizes_.clear();
   std::vector<double> key(dd);
   for (std::size_t i = 0; i < per_agent_.size(); ++i) {
     std::copy_n(channels_.begin() + static_cast<std::ptrdiff_t>(i * dd), dd,
@@ -194,8 +198,10 @@ void HeterogeneousEngine::rebuild_channel_cache() {
         ids.emplace(key, static_cast<std::uint32_t>(ids.size()));
     if (inserted) {
       group_channels_.insert(group_channels_.end(), key.begin(), key.end());
+      group_sizes_.push_back(0);
     }
     group_of_[i] = it->second;
+    ++group_sizes_[static_cast<std::size_t>(it->second)];
   }
   num_groups_ = ids.size();
   cache_valid_ = true;
@@ -238,8 +244,10 @@ void HeterogeneousEngine::step(PullProtocol& protocol,
       }
       q[to] = w;
     }
+    // A group's sampler serves exactly group_sizes_[g] draws this round, so
+    // the amortization gate sees the per-group (not whole-population) count.
     samplers_[g].reset(h, std::span<const double>(q.data(), d),
-                       sampler_cache());
+                       sampler_cache(), group_sizes_[g]);
   }
 
   const std::uint64_t round_key = rng.next();
@@ -248,7 +256,10 @@ void HeterogeneousEngine::step(PullProtocol& protocol,
         SymbolCounts obs(d);
         for (std::uint64_t i = begin; i < end; ++i) {
           obs.clear();
-          samplers_[group_of_[i]].sample(brng, obs);
+          // group_of_ holds 32-bit ids; widen explicitly so every index
+          // expression in the engines is 64-bit before arithmetic
+          // (clang-tidy bugprone-implicit-widening gate, .clang-tidy).
+          samplers_[static_cast<std::size_t>(group_of_[i])].sample(brng, obs);
           protocol.update(i, round, obs, brng);
         }
       });

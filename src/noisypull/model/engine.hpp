@@ -225,6 +225,8 @@ class HeterogeneousEngine final : public Engine {
   // effective channel is group_channels_[g·d² .. (g+1)·d²).
   std::vector<std::uint32_t> group_of_;
   std::vector<double> group_channels_;
+  std::vector<std::uint64_t> group_sizes_;  // agents per group: the draw
+                                            // count its sampler amortizes over
   std::size_t num_groups_ = 0;
   std::vector<ObservationSampler> samplers_;  // one per group, reset per round
   bool cache_valid_ = false;

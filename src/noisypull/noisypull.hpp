@@ -10,6 +10,7 @@
 //                     RunConfig{.h = pop.n}, rng);
 #pragma once
 
+#include "noisypull/analysis/scheduler.hpp"
 #include "noisypull/analysis/stats.hpp"
 #include "noisypull/analysis/sweep.hpp"
 #include "noisypull/analysis/table.hpp"

@@ -27,7 +27,7 @@ std::uint64_t composition_count(std::uint64_t h, std::size_t d,
 }  // namespace
 
 void ObservationSampler::reset(std::uint64_t h, std::span<const double> weights,
-                               bool cache) {
+                               bool cache, std::uint64_t expected_draws) {
   const std::size_t d = weights.size();
   NOISYPULL_CHECK(d >= 2 && d <= kMaxAlphabet,
                   "observation sampler needs an alphabet in [2, kMaxAlphabet]");
@@ -45,9 +45,13 @@ void ObservationSampler::reset(std::uint64_t h, std::span<const double> weights,
   NOISYPULL_CHECK(h == 0 || total_weight > 0.0,
                   "observation weights must have positive total mass");
 
-  if (h == 0 || composition_count(h, d, kMaxOutcomes) > kMaxOutcomes) {
-    // Outcome space too large (or degenerate h = 0): conditional-binomial
-    // decomposition, identical with and without the cache.
+  const std::uint64_t outcome_count = composition_count(h, d, kMaxOutcomes);
+  if (h == 0 || outcome_count > kMaxOutcomes ||
+      outcome_count > expected_draws) {
+    // Outcome space too large for the table cap, too large to amortize over
+    // the round's draws (the gate in the header comment), or degenerate
+    // h = 0: conditional-binomial decomposition, identical with and without
+    // the cache.
     mode_ = Mode::Decomposition;
     return;
   }

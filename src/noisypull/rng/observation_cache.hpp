@@ -21,6 +21,18 @@
 // both modes fall back to the conditional-binomial decomposition, which is
 // again identical on both sides of the toggle.
 //
+// Amortization gate: the inverse-CDF table costs one full enumeration of
+// the outcome space per round, which only pays for itself when at least as
+// many draws as outcomes will amortize it.  reset() therefore takes the
+// expected number of draws this round (the engines pass their agent count,
+// or the per-channel group size in HeterogeneousEngine) and falls back to
+// the decomposition when the outcome space is larger.  The chosen mode is a
+// function of (h, d, expected_draws) only — NEVER of the cache toggle — so
+// the cache on/off trajectory-invariance contract above is preserved; the
+// gate itself changes trajectories only across releases, which is why the
+// experiment result cache folds a schema version into its keys
+// (analysis/scheduler.hpp).
+//
 // Exactness: outcome pmfs are evaluated in log space from a log-factorial
 // table, so the distribution is the true multinomial up to double rounding
 // (~1e-15 relative) — held to the same chi-square harness as the BINV/BTRS
@@ -52,7 +64,15 @@ class ObservationSampler {
   // draws.  weights must be non-negative with a positive sum when h > 0;
   // their length is the alphabet size d (2 <= d <= kMaxAlphabet).  `cache`
   // selects table memoization; it never changes the sampled values.
-  void reset(std::uint64_t h, std::span<const double> weights, bool cache);
+  // `expected_draws` is the number of draws this reset will serve (see the
+  // amortization gate above); the default keeps the inverse-CDF path for
+  // any outcome space within kMaxOutcomes.
+  void reset(std::uint64_t h, std::span<const double> weights, bool cache,
+             std::uint64_t expected_draws = kNoDrawEstimate);
+
+  // Sentinel for reset(): no draw-count estimate, gate on kMaxOutcomes only.
+  static constexpr std::uint64_t kNoDrawEstimate =
+      ~static_cast<std::uint64_t>(0);
 
   Mode mode() const noexcept { return mode_; }
   bool cached() const noexcept { return !cum_.empty(); }

@@ -52,6 +52,43 @@ TEST(ObservationSampler, ModeSelection) {
   EXPECT_EQ(s.mode(), ObservationSampler::Mode::Decomposition);
 }
 
+TEST(ObservationSampler, AmortizationGateUsesExpectedDraws) {
+  // The mode is a function of (h, d, expected_draws) alone — never of the
+  // cache flag.  A table whose build cost cannot amortize over the draws it
+  // will serve this round is skipped in favor of direct decomposition.
+  ObservationSampler s;
+  const std::vector<double> q2 = {0.7, 0.3};
+
+  for (const bool cache : {true, false}) {
+    // Plenty of draws: the 65-outcome table pays for itself.
+    s.reset(64, q2, cache, /*expected_draws=*/20000);
+    EXPECT_EQ(s.mode(), ObservationSampler::Mode::InverseCdf);
+    // 65 outcomes but only 4 draws: building the table costs more than it
+    // saves, so the gate picks decomposition.
+    s.reset(64, q2, cache, /*expected_draws=*/4);
+    EXPECT_EQ(s.mode(), ObservationSampler::Mode::Decomposition);
+    // No estimate: the gate defaults to building the table.
+    s.reset(64, q2, cache);
+    EXPECT_EQ(s.mode(), ObservationSampler::Mode::InverseCdf);
+  }
+
+  // The outcome cap dominates regardless of how many draws are promised.
+  s.reset(ObservationSampler::kMaxOutcomes, q2, /*cache=*/true,
+          /*expected_draws=*/1000000);
+  EXPECT_EQ(s.mode(), ObservationSampler::Mode::Decomposition);
+
+  // With identical estimates the cache flag never changes the draw stream.
+  ObservationSampler a, b;
+  a.reset(64, q2, /*cache=*/true, /*expected_draws=*/4);
+  b.reset(64, q2, /*cache=*/false, /*expected_draws=*/4);
+  Rng rng_a(7), rng_b(7);
+  for (int i = 0; i < 100; ++i) {
+    const auto x = draw(a, rng_a, 2);
+    const auto y = draw(b, rng_b, 2);
+    ASSERT_EQ(x[1], y[1]) << "draw " << i;
+  }
+}
+
 TEST(ObservationSampler, DrawsSumToHAndRespectZeroWeights) {
   ObservationSampler s;
   const std::vector<double> q = {0.5, 0.0, 0.5};

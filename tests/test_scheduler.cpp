@@ -1,0 +1,324 @@
+#include "noisypull/analysis/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "noisypull/core/source_filter.hpp"
+#include "noisypull/sim/repeat.hpp"
+
+namespace noisypull {
+namespace {
+
+namespace fs = std::filesystem;
+
+PopulationConfig pop(std::uint64_t n, std::uint64_t s1, std::uint64_t s0) {
+  return PopulationConfig{.n = n, .s1 = s1, .s0 = s0};
+}
+
+ProtocolFactory sf_factory(const PopulationConfig& p, double delta) {
+  return [p, delta](Rng&) -> std::unique_ptr<PullProtocol> {
+    return std::make_unique<SourceFilter>(p, p.n, delta, 2.0);
+  };
+}
+
+std::uint64_t sf_digest(const PopulationConfig& p, double delta) {
+  return CellKey()
+      .str("SourceFilter")
+      .u64(p.n)
+      .u64(p.s1)
+      .u64(p.s0)
+      .u64(p.n)
+      .f64(delta)
+      .f64(2.0)
+      .digest();
+}
+
+ExperimentCell sf_cell(const PopulationConfig& p, double delta,
+                       std::uint64_t seed) {
+  return ExperimentCell{.label = "sf n=" + std::to_string(p.n),
+                        .make_protocol = sf_factory(p, delta),
+                        .noise = NoiseMatrix::uniform(2, delta),
+                        .correct = p.correct_opinion(),
+                        .cfg = RunConfig{.h = p.n},
+                        .seed = seed,
+                        .protocol_digest = sf_digest(p, delta)};
+}
+
+// A truncated cell: the run stops right after weak opinions form, so
+// correct_at_end (and success) is genuinely random across repetitions —
+// the interesting regime for early stopping and cache tests.
+ExperimentCell truncated_cell(const PopulationConfig& p, double delta,
+                              std::uint64_t seed) {
+  const SourceFilter ref(p, p.n, delta, 2.0);
+  ExperimentCell cell = sf_cell(p, delta, seed);
+  cell.cfg.max_rounds = ref.schedule().boosting_start();
+  return cell;
+}
+
+// Field-by-field bit equality: the scheduler's determinism contract is
+// "identical statistics", not "statistically close".
+void expect_same(const CellStats& a, const CellStats& b) {
+  EXPECT_EQ(a.reps, b.reps);
+  EXPECT_EQ(a.successes, b.successes);
+  EXPECT_EQ(a.stable_successes, b.stable_successes);
+  EXPECT_EQ(a.success_rate, b.success_rate);
+  EXPECT_EQ(a.stable_success_rate, b.stable_success_rate);
+  EXPECT_EQ(a.wilson.lower, b.wilson.lower);
+  EXPECT_EQ(a.wilson.upper, b.wilson.upper);
+  EXPECT_EQ(a.ci_halfwidth, b.ci_halfwidth);
+  EXPECT_EQ(a.mean_convergence_round, b.mean_convergence_round);
+  EXPECT_EQ(a.convergence_stddev, b.convergence_stddev);
+  EXPECT_EQ(a.mean_rounds_run, b.mean_rounds_run);
+  EXPECT_EQ(a.early_stopped, b.early_stopped);
+  EXPECT_EQ(a.cache_key, b.cache_key);
+}
+
+std::vector<RepOutcome> synthetic_outcomes(const std::string& pattern) {
+  std::vector<RepOutcome> outcomes;
+  for (const char c : pattern) {
+    RepOutcome o;
+    o.all_correct_at_end = c == '1';
+    o.stable = o.all_correct_at_end;
+    o.rounds_run = 10;
+    outcomes.push_back(o);
+  }
+  return outcomes;
+}
+
+TEST(StopPoint, DisabledRuleAlwaysRunsMaxReps) {
+  const auto outcomes = synthetic_outcomes("0101");
+  const StopRule rule{.max_reps = 4, .min_reps = 2, .ci_halfwidth = 0.0};
+  EXPECT_EQ(stop_point(outcomes, rule), 4u);
+}
+
+TEST(StopPoint, StopsAtSmallestQualifyingPrefix) {
+  const auto outcomes = synthetic_outcomes(std::string(32, '1'));
+  const StopRule rule{.max_reps = 32, .min_reps = 4, .ci_halfwidth = 0.15};
+  const std::uint64_t m = stop_point(outcomes, rule);
+  ASSERT_GE(m, rule.min_reps);
+  ASSERT_LE(m, rule.max_reps);
+  // The returned prefix qualifies...
+  EXPECT_LE(wilson_halfwidth(m, m), rule.ci_halfwidth);
+  // ...and no shorter prefix >= min_reps does (all-success prefixes have
+  // monotonically shrinking half-widths, so checking m-1 suffices).
+  if (m > rule.min_reps) {
+    EXPECT_GT(wilson_halfwidth(m - 1, m - 1), rule.ci_halfwidth);
+  }
+  // An all-success run at this target must stop well before 32.
+  EXPECT_LT(m, 32u);
+}
+
+TEST(StopPoint, MixedPrefixNeverStopsBelowTarget) {
+  // Alternating outcomes keep p-hat at 1/2, where Wilson intervals are
+  // widest; a tight target cannot be met within 16 reps.
+  const auto outcomes = synthetic_outcomes("0101010101010101");
+  const StopRule rule{.max_reps = 16, .min_reps = 4, .ci_halfwidth = 0.05};
+  EXPECT_EQ(stop_point(outcomes, rule), 16u);
+}
+
+TEST(FinalizePrefix, MatchesRepeatHelpers) {
+  const auto p = pop(120, 1, 0);
+  const auto results = run_repetitions(
+      sf_factory(p, 0.25), NoiseMatrix::uniform(2, 0.25), 1,
+      RunConfig{.h = p.n}, RepeatOptions{.repetitions = 6, .seed = 7});
+  std::vector<RepOutcome> outcomes;
+  for (const auto& r : results) outcomes.push_back(to_outcome(r));
+  const StopRule rule{.max_reps = 6};
+  const CellStats stats = finalize_prefix(outcomes, 6, rule);
+  EXPECT_EQ(stats.success_rate, success_rate(results));
+  EXPECT_EQ(stats.stable_success_rate,
+            success_rate(results, /*require_stability=*/true));
+  EXPECT_EQ(stats.mean_convergence_round, mean_convergence_round(results));
+}
+
+TEST(Scheduler, MatchesRunRepetitions) {
+  const auto p = pop(150, 1, 0);
+  const std::vector<ExperimentCell> cells = {sf_cell(p, 0.2, 21),
+                                             truncated_cell(p, 0.3, 22)};
+  const SchedulerOptions opts{.threads = 2, .stop = StopRule{.max_reps = 5}};
+  const auto stats = run_experiment(cells, opts);
+  ASSERT_EQ(stats.size(), cells.size());
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    const auto results = run_repetitions(
+        cells[c].make_protocol, cells[c].noise, cells[c].correct, cells[c].cfg,
+        RepeatOptions{.repetitions = 5, .seed = cells[c].seed});
+    std::vector<RepOutcome> outcomes;
+    for (const auto& r : results) outcomes.push_back(to_outcome(r));
+    const CellStats expected = finalize_prefix(outcomes, 5, opts.stop);
+    EXPECT_EQ(stats[c].success_rate, expected.success_rate);
+    EXPECT_EQ(stats[c].mean_convergence_round,
+              expected.mean_convergence_round);
+    EXPECT_EQ(stats[c].mean_rounds_run, expected.mean_rounds_run);
+    EXPECT_EQ(stats[c].reps, 5u);
+    EXPECT_EQ(stats[c].reps_computed, 5u);
+    EXPECT_EQ(stats[c].reps_cached, 0u);
+  }
+}
+
+TEST(Scheduler, BitIdenticalAcrossWorkerCounts) {
+  // The determinism contract's core test: identical statistics AND stop
+  // points for 1, 2, and 8 workers, with adaptive early stopping on and a
+  // nonzero fault plan in the mix.
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.first_eligible = 1;
+  plan.drop.p = 0.1;
+  plan.byzantine.fraction = 0.05;
+
+  std::vector<ExperimentCell> cells;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    ExperimentCell cell = truncated_cell(pop(100 + 30 * i, 1, 0), 0.3, 40 + i);
+    if (i % 2 == 1) cell.fault_plan = plan;
+    cells.push_back(cell);
+  }
+  const StopRule rule{.max_reps = 12, .min_reps = 3, .ci_halfwidth = 0.22};
+
+  std::vector<std::vector<CellStats>> runs;
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    runs.push_back(run_experiment(
+        cells, SchedulerOptions{.threads = threads, .stop = rule}));
+  }
+  bool any_early = false;
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    expect_same(runs[0][c], runs[1][c]);
+    expect_same(runs[0][c], runs[2][c]);
+    any_early |= runs[0][c].early_stopped;
+  }
+  // The rule must actually have fired somewhere, or this test exercises
+  // nothing adaptive.
+  EXPECT_TRUE(any_early);
+}
+
+TEST(Scheduler, CacheColdWarmAndBypassAgree) {
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / "noisypull_sched_cache";
+  fs::remove_all(dir);
+
+  const std::vector<ExperimentCell> cells = {
+      truncated_cell(pop(100, 1, 0), 0.3, 60),
+      truncated_cell(pop(140, 1, 0), 0.25, 61)};
+  const StopRule rule{.max_reps = 8, .min_reps = 3, .ci_halfwidth = 0.25};
+  SchedulerOptions cached{.threads = 2, .stop = rule,
+                          .cache_dir = dir.string()};
+  SchedulerOptions bypass{.threads = 2, .stop = rule};
+
+  const auto cold = run_experiment(cells, cached);
+  const auto warm = run_experiment(cells, cached);
+  const auto off = run_experiment(cells, bypass);
+
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    expect_same(cold[c], warm[c]);
+    expect_same(cold[c], off[c]);
+    EXPECT_EQ(warm[c].reps_computed, 0u);
+    EXPECT_EQ(warm[c].reps_cached, warm[c].reps);
+    EXPECT_EQ(off[c].reps_cached, 0u);
+  }
+  fs::remove_all(dir);
+}
+
+TEST(Scheduler, WarmRunExtendsCachedPrefixWhenBudgetGrows) {
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / "noisypull_sched_extend";
+  fs::remove_all(dir);
+
+  const std::vector<ExperimentCell> cells = {
+      truncated_cell(pop(100, 1, 0), 0.3, 70)};
+  SchedulerOptions small{.threads = 1,
+                         .stop = StopRule{.max_reps = 4},
+                         .cache_dir = dir.string()};
+  SchedulerOptions large{.threads = 1,
+                         .stop = StopRule{.max_reps = 9},
+                         .cache_dir = dir.string()};
+
+  const auto first = run_experiment(cells, small);
+  EXPECT_EQ(first[0].reps_computed, 4u);
+  const auto second = run_experiment(cells, large);
+  // The 4 cached repetitions are replayed; only the 5 new ones simulate.
+  EXPECT_EQ(second[0].reps, 9u);
+  EXPECT_EQ(second[0].reps_cached, 4u);
+  EXPECT_EQ(second[0].reps_computed, 5u);
+
+  // And the superset must match a cache-bypassing run bit for bit.
+  const auto reference = run_experiment(
+      cells, SchedulerOptions{.threads = 1, .stop = StopRule{.max_reps = 9}});
+  expect_same(second[0], reference[0]);
+  fs::remove_all(dir);
+}
+
+TEST(Scheduler, CorruptCacheFileIsAMissNotAnError) {
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / "noisypull_sched_corrupt";
+  fs::remove_all(dir);
+
+  const std::vector<ExperimentCell> cells = {
+      truncated_cell(pop(100, 1, 0), 0.3, 80)};
+  SchedulerOptions opts{.threads = 1,
+                        .stop = StopRule{.max_reps = 3},
+                        .cache_dir = dir.string()};
+  const auto cold = run_experiment(cells, opts);
+
+  // Truncate the cell's cache file mid-record.
+  std::string file;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    file = entry.path().string();
+  }
+  ASSERT_FALSE(file.empty());
+  {
+    std::ofstream out(file, std::ios::trunc);
+    out << "noisypull-cell-cache 1 deadbeef 3\n0 1";
+  }
+  const auto recovered = run_experiment(cells, opts);
+  expect_same(cold[0], recovered[0]);
+  EXPECT_EQ(recovered[0].reps_computed, 3u);  // full recompute, no crash
+  fs::remove_all(dir);
+}
+
+TEST(Scheduler, CacheKeyDistinguishesEveryTrajectoryInput) {
+  const ExperimentCell base = sf_cell(pop(100, 1, 0), 0.2, 90);
+  const std::uint64_t key = cell_cache_key(base);
+
+  ExperimentCell changed = base;
+  changed.seed = 91;
+  EXPECT_NE(cell_cache_key(changed), key);
+
+  changed = base;
+  changed.cfg.max_rounds = 17;
+  EXPECT_NE(cell_cache_key(changed), key);
+
+  changed = base;
+  changed.noise = NoiseMatrix::uniform(2, 0.21);
+  EXPECT_NE(cell_cache_key(changed), key);
+
+  changed = base;
+  changed.use_aggregate_engine = false;
+  EXPECT_NE(cell_cache_key(changed), key);
+
+  changed = base;
+  changed.protocol_digest ^= 1;
+  EXPECT_NE(cell_cache_key(changed), key);
+
+  changed = base;
+  changed.fault_plan = FaultPlan{};
+  EXPECT_NE(cell_cache_key(changed), key);
+
+  // Trajectory-invariant knobs must NOT shift the key: a cache filled on
+  // one machine serves another with a different worker count.
+  changed = base;
+  changed.label = "different label";
+  EXPECT_EQ(cell_cache_key(changed), key);
+}
+
+TEST(Scheduler, RejectsTrajectoryRecording) {
+  ExperimentCell cell = sf_cell(pop(100, 1, 0), 0.2, 95);
+  cell.cfg.record_trajectory = true;
+  EXPECT_THROW(run_experiment({cell}, SchedulerOptions{.threads = 1}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace noisypull

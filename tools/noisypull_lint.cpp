@@ -424,10 +424,13 @@ void rule_threading_header(const FileContext& ctx,
       "src/noisypull/common/thread_pool.cpp",
       // outer repetition workers (join the pool-less std::thread fan-out)
       "src/noisypull/sim/repeat.cpp",
+      // experiment scheduler: drives the pool; queue state under one mutex
+      "src/noisypull/analysis/scheduler.cpp",
       // relaxed fault-stat accumulators read under block parallelism
       "src/noisypull/fault/faulty_engine.hpp",
       // reports hardware_concurrency next to its measurements
       "bench/perf_round_kernel.cpp",
+      "bench/perf_sweep_scheduler.cpp",
   };
   for (const char* suffix : kAllowedSuffixes) {
     if (ctx.path.ends_with(suffix)) return;
