@@ -90,7 +90,32 @@ inline SchedulerOptions scheduler_options(const BenchArgs& args,
   opts.stop.ci_halfwidth = args.ci_halfwidth;
   opts.stop.require_stability = require_stability;
   if (!args.no_cache) opts.cache_dir = args.cache_dir;
+  opts.manifest_path = args.manifest_path;
+  opts.rep_timeout = args.rep_timeout;
+  opts.max_retries = args.max_retries;
+  opts.report_path = args.report_path;
   return opts;
+}
+
+// Prints a warning when any cell finished degraded (retry budget exhausted
+// under --rep-timeout); the table still prints — the statistics cover the
+// shortened prefixes — but the run must not masquerade as clean.
+inline void warn_if_degraded(const std::vector<CellStats>& stats) {
+  std::uint64_t cells = 0;
+  std::uint64_t failed = 0;
+  for (const CellStats& s : stats) {
+    if (s.degraded) {
+      ++cells;
+      failed += s.failed_reps;
+    }
+  }
+  if (cells != 0) {
+    std::fprintf(stderr,
+                 "warning: %llu cell(s) degraded (%llu repetition(s) failed "
+                 "permanently); statistics cover the shortened prefixes\n",
+                 static_cast<unsigned long long>(cells),
+                 static_cast<unsigned long long>(failed));
+  }
 }
 
 }  // namespace noisypull::bench

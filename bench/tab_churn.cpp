@@ -4,6 +4,10 @@
 // The steady-state correct fraction is mapped against ρ; the collapse point
 // should track one-reset-per-memory-cycle, ρ* ≈ h/m (an agent must live
 // through a full update cycle to re-learn the truth).
+//
+// The rate sweep runs as steady-state+churn cells on one experiment-
+// scheduler queue (analysis/scheduler.hpp), so the bench honors the shared
+// --threads / --cache-dir / --resume / --rep-timeout / --sweep-report flags.
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
@@ -27,23 +31,38 @@ int main(int argc, char** argv) {
               "1/cycle = %.3f\n\n",
               cycle, 1.0 / cycle);
 
+  const std::vector<double> churn_rates = {0.0,  0.001, 0.005, 0.01, 0.02,
+                                           0.05, 0.1,   0.2,   0.4};
+  std::vector<ExperimentCell> cells;
+  for (const double rate : churn_rates) {
+    ExperimentCell cell{
+        .label = "churn rate=" + std::to_string(rate),
+        .make_protocol = ssf_factory(pop, n, delta, CorruptionPolicy::None),
+        .noise = noise,
+        .correct = pop.correct_opinion(),
+        .cfg = RunConfig{.h = n},
+        .seed = 19000 + static_cast<std::uint64_t>(rate * 1000),
+        .protocol_digest = ssf_digest(pop, n, delta, CorruptionPolicy::None)};
+    cell.steady_state =
+        SteadyStateSpec{.warmup = 4 * ref.convergence_deadline(),
+                        .measure = 60,
+                        .churn = ChurnConfig{
+                            .rate = rate,
+                            .policy = CorruptionPolicy::WrongConsensus}};
+    cells.push_back(std::move(cell));
+  }
+  const auto stats = run_experiment(cells, scheduler_options(args, 1));
+  warn_if_degraded(stats);
+
   Table table({"churn rate", "rate x cycle", "mean correct fraction",
                "min correct fraction", "resets"});
-  for (double rate : {0.0, 0.001, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.4}) {
-    SelfStabilizingSourceFilter ssf(pop, n, delta, kC1);
-    AggregateEngine engine;
-    Rng rng(19000 + static_cast<int>(rate * 1000));
-    const auto r = run_with_churn(
-        ssf, engine, noise, pop.correct_opinion(), n,
-        /*warmup=*/4 * ref.convergence_deadline(), /*measure=*/60,
-        ChurnConfig{.rate = rate,
-                    .policy = CorruptionPolicy::WrongConsensus},
-        rng);
+  for (std::size_t i = 0; i < churn_rates.size(); ++i) {
+    const double rate = churn_rates[i];
     table.cell(rate, 3)
         .cell(rate * cycle, 2)
-        .cell(r.mean_correct_fraction, 3)
-        .cell(r.min_correct_fraction, 3)
-        .cell(r.resets)
+        .cell(stats[i].mean_steady_fraction, 3)
+        .cell(stats[i].min_steady_fraction, 3)
+        .cell(stats[i].total_resets)
         .end_row();
   }
   args.emit(table);

@@ -12,6 +12,11 @@
 // SSF: forging the source *tag* collapses SSF at fractions comparable to
 // the true source bias s/n — the empirical face of the model's assumption
 // that sourcehood is an input the adversary cannot fake.
+//
+// Every cell — the full matrix and the mimic supplement — rides one
+// experiment-scheduler queue (analysis/scheduler.hpp, steady-state mode),
+// so the bench honors the shared --threads / --ci-halfwidth / --cache-dir /
+// --resume / --rep-timeout / --sweep-report flags like the theorem tables.
 #include <cmath>
 #include <vector>
 
@@ -107,23 +112,59 @@ FaultPlan make_plan(FaultType type, double rate, bool tagged_alphabet,
   return plan;
 }
 
-// Steady-state correct fraction of one faulted run.
-double one_run(const std::string& proto, FaultType type, double rate,
-               std::uint64_t stream) {
+ProtocolFactory voter_factory(const PopulationConfig& pop) {
+  return [pop](Rng& init) -> std::unique_ptr<PullProtocol> {
+    return std::make_unique<VoterProtocol>(pop, init);
+  };
+}
+
+ProtocolFactory majority_factory(const PopulationConfig& pop) {
+  return [pop](Rng& init) -> std::unique_ptr<PullProtocol> {
+    return std::make_unique<MajorityDynamics>(pop, init);
+  };
+}
+
+std::uint64_t voter_digest(const PopulationConfig& pop) {
+  return CellKey()
+      .str("VoterProtocol")
+      .u64(pop.n)
+      .u64(pop.s1)
+      .u64(pop.s0)
+      .digest();
+}
+
+std::uint64_t majority_digest(const PopulationConfig& pop) {
+  return CellKey()
+      .str("MajorityDynamics")
+      .u64(pop.n)
+      .u64(pop.s1)
+      .u64(pop.s0)
+      .digest();
+}
+
+// One matrix cell: protocol `proto` under fault class `type` at `rate`.
+// The per-protocol warmup logic reproduces the pre-scheduler bench: the
+// measured window must be genuinely steady state for each protocol's own
+// timescale, and SF — whose fixed schedule freezes — is measured right
+// after its planned horizon.
+ExperimentCell make_cell(const std::string& proto, FaultType type, double rate,
+                         std::uint64_t type_idx, std::uint64_t rate_idx,
+                         std::size_t proto_idx) {
   const PopulationConfig pop{.n = cfg.n, .s1 = 2, .s0 = 0};
   const Opinion correct = pop.correct_opinion();
   const bool tagged = proto == "ssf";
-  const FaultPlan plan = make_plan(type, rate, tagged, correct,
-                                   pop.num_sources(), 7700 + stream);
-  Rng init(4100, stream);
-  Rng rng(4200, stream);
-  AggregateEngine inner;
-  FaultyEngine engine(inner, plan);
+  const std::uint64_t cell_id = (type_idx * 10 + rate_idx) * 8 + proto_idx;
+  const FaultPlan plan =
+      make_plan(type, rate, tagged, correct, pop.num_sources(), 7700 + cell_id);
   const auto noise = NoiseMatrix::uniform(tagged ? 4 : 2, kDelta);
 
+  std::uint64_t warmup = 60;  // voter/majority mixing time at this scale
+  std::uint64_t measure = cfg.measure;
+  ProtocolFactory factory;
+  std::uint64_t digest = 0;
   if (proto == "ssf") {
-    SelfStabilizingSourceFilter ssf(pop, cfg.n, kDelta, kC1);
-    std::uint64_t warmup = 2 * ssf.convergence_deadline();
+    const SelfStabilizingSourceFilter ref(pop, cfg.n, kDelta, kC1);
+    warmup = 2 * ref.convergence_deadline();
     // Omissions stretch the memory-fill time by 1/(1-p); stalls park agents
     // for stretches of the warmup.  Scale the warmup so the measured window
     // is genuinely steady state (capped to keep the sweep fast).
@@ -133,40 +174,36 @@ double one_run(const std::string& proto, FaultType type, double rate,
                     std::ceil(static_cast<double>(warmup) / (1.0 - rate))));
     }
     if (type == FaultType::Stall) warmup *= 3;
-    return measure_steady_state(ssf, engine, noise, correct, cfg.n, warmup,
-                                cfg.measure, rng)
-        .mean_correct_fraction;
-  }
-  if (proto == "sf") {
+    factory = ssf_factory(pop, cfg.n, kDelta, CorruptionPolicy::None);
+    digest = ssf_digest(pop, cfg.n, kDelta, CorruptionPolicy::None);
+  } else if (proto == "sf") {
     // SF has a fixed horizon; it freezes afterwards, so the "steady state"
     // is its final answer under the faults that hit its schedule.
-    SourceFilter sf(pop, cfg.n, kDelta, kC1);
-    return measure_steady_state(sf, engine, noise, correct, cfg.n,
-                                sf.planned_rounds(), 5, rng)
-        .mean_correct_fraction;
+    const SourceFilter ref(pop, cfg.n, kDelta, kC1);
+    warmup = ref.planned_rounds();
+    measure = 5;
+    factory = sf_factory(pop, cfg.n, kDelta);
+    digest = sf_digest(pop, cfg.n, kDelta);
+  } else if (proto == "voter") {
+    factory = voter_factory(pop);
+    digest = voter_digest(pop);
+  } else {
+    factory = majority_factory(pop);
+    digest = majority_digest(pop);
   }
-  if (proto == "voter") {
-    VoterProtocol voter(pop, init);
-    return measure_steady_state(voter, engine, noise, correct, cfg.n, 60,
-                                cfg.measure, rng)
-        .mean_correct_fraction;
-  }
-  MajorityDynamics majority(pop, init);
-  return measure_steady_state(majority, engine, noise, correct, cfg.n, 60,
-                              cfg.measure, rng)
-      .mean_correct_fraction;
-}
 
-double cell(const std::string& proto, FaultType type, double rate,
-            std::uint64_t type_idx, std::uint64_t rate_idx) {
-  double sum = 0.0;
-  for (std::uint64_t rep = 0; rep < cfg.reps; ++rep) {
-    const std::uint64_t stream =
-        ((type_idx * 10 + rate_idx) * 10 + rep) * 8 +
-        static_cast<std::uint64_t>(proto.size());  // distinct per cell & proto
-    sum += one_run(proto, type, rate, stream);
-  }
-  return sum / static_cast<double>(cfg.reps);
+  ExperimentCell cell{
+      .label = std::string(name(type)) + " r=" + std::to_string(rate) + " " +
+               proto,
+      .make_protocol = std::move(factory),
+      .noise = noise,
+      .correct = correct,
+      .cfg = RunConfig{.h = cfg.n},
+      .seed = 4000 + cell_id,
+      .protocol_digest = digest};
+  cell.fault_plan = plan;
+  cell.steady_state = SteadyStateSpec{.warmup = warmup, .measure = measure};
+  return cell;
 }
 
 }  // namespace
@@ -190,26 +227,74 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(cfg.n), kDelta,
               static_cast<unsigned long long>(cfg.reps));
 
+  // Build every cell — the full matrix, then the mimic supplement — and run
+  // them through ONE scheduler queue: a hard cell (drop 0.99 needs a 2000-
+  // round warmup) no longer serializes the rows behind it.
+  std::vector<ExperimentCell> cells;
+  std::uint64_t type_idx = 0;
+  for (const FaultType type : kAllTypes) {
+    std::uint64_t rate_idx = 0;
+    for (const double rate : rates(type)) {
+      for (std::size_t p = 0; p < protos.size(); ++p) {
+        cells.push_back(make_cell(protos[p], type, rate, type_idx, rate_idx, p));
+      }
+      ++rate_idx;
+    }
+    ++type_idx;
+  }
+  const std::size_t mimic_base = cells.size();
+  std::vector<double> fractions = {0.0, 0.002, 0.005, 0.01, 0.02, 0.05};
+  if (cfg.smoke) fractions = {0.0, 0.05};
+  {
+    const PopulationConfig pop{.n = cfg.n, .s1 = 2, .s0 = 0};
+    const SelfStabilizingSourceFilter ref(pop, cfg.n, kDelta, kC1);
+    std::uint64_t idx = 0;
+    for (const double f : fractions) {
+      FaultPlan plan = FaultPlan::for_ssf(pop.correct_opinion());
+      plan.seed = 880 + idx;
+      plan.first_eligible = pop.num_sources();
+      plan.byzantine.fraction = f;
+      plan.byzantine.strategy = ByzantineStrategy::MimicSource;
+      ExperimentCell cell{
+          .label = "mimic f=" + std::to_string(f),
+          .make_protocol = ssf_factory(pop, cfg.n, kDelta,
+                                       CorruptionPolicy::None),
+          .noise = NoiseMatrix::uniform(4, kDelta),
+          .correct = pop.correct_opinion(),
+          .cfg = RunConfig{.h = cfg.n},
+          .seed = 4300 + idx,
+          .protocol_digest =
+              ssf_digest(pop, cfg.n, kDelta, CorruptionPolicy::None)};
+      cell.fault_plan = plan;
+      cell.steady_state =
+          SteadyStateSpec{.warmup = 2 * ref.convergence_deadline(),
+                          .measure = cfg.measure};
+      cells.push_back(std::move(cell));
+      ++idx;
+    }
+  }
+  const auto stats = run_experiment(cells, scheduler_options(args, cfg.reps));
+  warn_if_degraded(stats);
+
   Table table({"fault", "rate", "ssf", "sf", "voter", "majority"});
   // collapse[type][proto]: first swept rate with fraction < 0.9 (or -1).
   double collapse[4][4];
   for (auto& row : collapse)
     for (auto& v : row) v = -1.0;
 
-  std::uint64_t type_idx = 0;
+  std::size_t cell_index = 0;
+  type_idx = 0;
   for (const FaultType type : kAllTypes) {
-    std::uint64_t rate_idx = 0;
     for (const double rate : rates(type)) {
       table.cell(name(type)).cell(rate, 2);
       for (std::size_t p = 0; p < protos.size(); ++p) {
-        const double f = cell(protos[p], type, rate, type_idx, rate_idx);
+        const double f = stats[cell_index++].mean_steady_fraction;
         table.cell(f, 3);
         if (f < kCollapseBar && collapse[type_idx][p] < 0.0) {
           collapse[type_idx][p] = rate;
         }
       }
       table.end_row();
-      ++rate_idx;
     }
     ++type_idx;
   }
@@ -245,33 +330,12 @@ int main(int argc, char** argv) {
   // exactly as it amplifies true sources.
   std::printf("mimic-source vs SSF (forged source tags; true bias s = 2):\n\n");
   Table mimic({"byz fraction", "byz agents", "correct fraction"});
-  std::vector<double> fractions = {0.0, 0.002, 0.005, 0.01, 0.02, 0.05};
-  if (cfg.smoke) fractions = {0.0, 0.05};
-  std::uint64_t idx = 0;
-  for (const double f : fractions) {
-    const PopulationConfig pop{.n = cfg.n, .s1 = 2, .s0 = 0};
-    double sum = 0.0;
-    for (std::uint64_t rep = 0; rep < cfg.reps; ++rep) {
-      FaultPlan plan = FaultPlan::for_ssf(pop.correct_opinion());
-      plan.seed = 880 + idx * 16 + rep;
-      plan.first_eligible = pop.num_sources();
-      plan.byzantine.fraction = f;
-      plan.byzantine.strategy = ByzantineStrategy::MimicSource;
-      SelfStabilizingSourceFilter ssf(pop, cfg.n, kDelta, kC1);
-      AggregateEngine inner;
-      FaultyEngine engine(inner, plan);
-      Rng rng(4300, idx * 16 + rep);
-      sum += measure_steady_state(ssf, engine, NoiseMatrix::uniform(4, kDelta),
-                                  pop.correct_opinion(), cfg.n,
-                                  2 * ssf.convergence_deadline(), cfg.measure,
-                                  rng)
-                 .mean_correct_fraction;
-    }
-    mimic.cell(f, 3)
-        .cell(static_cast<std::uint64_t>(f * static_cast<double>(cfg.n - 2)))
-        .cell(sum / static_cast<double>(cfg.reps), 3)
+  for (std::size_t i = 0; i < fractions.size(); ++i) {
+    mimic.cell(fractions[i], 3)
+        .cell(static_cast<std::uint64_t>(fractions[i] *
+                                         static_cast<double>(cfg.n - 2)))
+        .cell(stats[mimic_base + i].mean_steady_fraction, 3)
         .end_row();
-    ++idx;
   }
   mimic.print(std::cout);
   std::printf(

@@ -1,0 +1,136 @@
+#include "noisypull/analysis/manifest.hpp"
+
+#include <bit>
+#include <iomanip>
+#include <sstream>
+#include <string>
+
+namespace noisypull {
+namespace {
+
+constexpr const char* kManifestMagic = "noisypull-sweep-manifest";
+constexpr std::uint64_t kManifestVersion = 1;
+
+std::string hex16(std::uint64_t v) {
+  std::ostringstream os;
+  os << std::hex << std::setfill('0') << std::setw(16) << v;
+  return os.str();
+}
+
+std::string header_line(std::uint64_t digest) {
+  std::ostringstream os;
+  os << kManifestMagic << " " << kManifestVersion << " " << hex16(digest);
+  return os.str();
+}
+
+// Record body without the trailing CRC token.
+std::string record_body(std::uint64_t cell_key, std::uint64_t rep,
+                        const RepOutcome& o) {
+  std::ostringstream os;
+  os << hex16(cell_key) << " " << std::dec << rep << " "
+     << (o.all_correct_at_end ? 1 : 0) << " " << (o.stable ? 1 : 0) << " "
+     << o.rounds_run << " " << o.first_all_correct << " " << o.correct_at_end
+     << " " << hex16(std::bit_cast<std::uint64_t>(o.mean_correct_fraction))
+     << " " << hex16(std::bit_cast<std::uint64_t>(o.min_correct_fraction))
+     << " " << o.resets;
+  return os.str();
+}
+
+std::string record_line(std::uint64_t cell_key, std::uint64_t rep,
+                        const RepOutcome& o) {
+  const std::string body = record_body(cell_key, rep, o);
+  std::ostringstream os;
+  os << body << " " << std::hex << std::setfill('0') << std::setw(8)
+     << io::crc32(body);
+  return os.str();
+}
+
+// Parses one record line; false on any malformation or CRC mismatch (the
+// expected shape of a torn tail).
+bool parse_record(const std::string& line, std::uint64_t& cell_key,
+                  std::uint64_t& rep, RepOutcome& o) {
+  const std::size_t cut = line.find_last_of(' ');
+  if (cut == std::string::npos || cut + 1 >= line.size()) return false;
+  const std::string body = line.substr(0, cut);
+  std::uint32_t stored_crc = 0;
+  {
+    std::istringstream crc_in(line.substr(cut + 1));
+    crc_in >> std::hex >> stored_crc;
+    if (!crc_in) return false;
+  }
+  if (io::crc32(body) != stored_crc) return false;
+
+  std::istringstream in(body);
+  int correct = 0;
+  int stable = 0;
+  std::uint64_t mean_bits = 0;
+  std::uint64_t min_bits = 0;
+  in >> std::hex >> cell_key >> std::dec >> rep >> correct >> stable >>
+      o.rounds_run >> o.first_all_correct >> o.correct_at_end >> std::hex >>
+      mean_bits >> min_bits >> std::dec >> o.resets;
+  if (!in || (correct != 0 && correct != 1) || (stable != 0 && stable != 1)) {
+    return false;
+  }
+  o.all_correct_at_end = correct == 1;
+  o.stable = stable == 1;
+  o.mean_correct_fraction = std::bit_cast<double>(mean_bits);
+  o.min_correct_fraction = std::bit_cast<double>(min_bits);
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t sweep_digest(const std::vector<std::uint64_t>& cell_keys) {
+  std::uint64_t d = fnv::kOffsetBasis;
+  for (const std::uint64_t key : cell_keys) d = fnv::hash_u64(d, key);
+  return fnv::hash_u64(d, cell_keys.size());
+}
+
+void SweepManifest::open(const std::filesystem::path& path,
+                         std::uint64_t digest, const io::IoOptions& io) {
+  path_ = path;
+  io_ = io;
+  enabled_ = true;
+  records_.clear();
+
+  const auto payload = io::read_file(path_, io_);
+  if (payload) {
+    std::istringstream in(*payload);
+    std::string first;
+    std::getline(in, first);
+    if (first != header_line(digest)) {
+      // Different sweep, older version, or torn header: this journal can
+      // not seed the current sweep.  Preserve it for diagnosis and start
+      // fresh rather than silently mixing outcomes across sweeps.
+      io::quarantine_file(path_, "stale-manifest");
+    } else {
+      std::string line;
+      while (std::getline(in, line)) {
+        if (line.empty()) continue;
+        std::uint64_t cell_key = 0;
+        std::uint64_t rep = 0;
+        RepOutcome o;
+        if (!parse_record(line, cell_key, rep, o)) continue;  // torn tail
+        records_[{cell_key, rep}] = o;
+      }
+    }
+  }
+
+  // Compact the surviving records back to disk: heals torn tails, drops
+  // duplicate lines from earlier resume cycles, and (re)writes the header.
+  std::string compacted = header_line(digest);
+  compacted += '\n';
+  for (const auto& [key, outcome] : records_) {
+    compacted += record_line(key.first, key.second, outcome);
+    compacted += '\n';
+  }
+  io::atomic_write_file(path_, compacted, io_);  // best-effort
+}
+
+void SweepManifest::record(std::uint64_t cell_key, std::uint64_t rep,
+                           const RepOutcome& o) {
+  if (!enabled_) return;
+  io::append_line(path_, record_line(cell_key, rep, o), io_);  // best-effort
+}
+
+}  // namespace noisypull

@@ -1,0 +1,78 @@
+// Per-sweep checkpoint manifest: the crash-recovery journal of the
+// experiment scheduler.
+//
+// While a sweep runs, every completed (cell × repetition) outcome is
+// appended as one self-checksummed line.  A restarted sweep replays the
+// manifest, seeds its outcome tables with the recorded repetitions, and
+// recomputes only what is missing — statistically indistinguishable from an
+// uninterrupted run because every repetition is a pure function of
+// (cell, r) and all statistics read outcome prefixes in index order.
+//
+// File format (line-oriented text, all integers decimal unless noted):
+//
+//   noisypull-sweep-manifest 1 <sweep-digest hex16>
+//   <cell-key hex16> <rep> <c> <s> <rounds> <first> <corr> \
+//       <mean-bits hex16> <min-bits hex16> <resets> <crc hex8>
+//
+// The sweep digest is an FNV-1a fold of the cell cache keys in input
+// order: a manifest written for a different sweep (different grid, seeds,
+// or cell order) never replays into this one — it is quarantined and a
+// fresh manifest started.  Each record line carries a CRC-32 over its own
+// body, so the torn tail line of a SIGKILLed append is detected and
+// dropped (that repetition is simply recomputed).  Doubles are stored as
+// bit patterns for exact round-trips.
+//
+// Crash-safety discipline: appends go through io::append_line (a torn
+// append loses at most the line being written); open() compacts the
+// surviving valid records back to disk via io::atomic_write_file, healing
+// torn tails and bounding file growth across many resume cycles.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "noisypull/analysis/scheduler.hpp"
+#include "noisypull/common/atomic_io.hpp"
+
+namespace noisypull {
+
+// Identity of a sweep: FNV-1a over the cell cache keys in input order.
+std::uint64_t sweep_digest(const std::vector<std::uint64_t>& cell_keys);
+
+class SweepManifest {
+ public:
+  // Default-constructed manifest is disabled: record() is a no-op and
+  // records() is empty.
+  SweepManifest() = default;
+
+  // Opens (creating or resuming) the manifest at `path` for the sweep
+  // identified by `digest`.  Valid records are replayed into records();
+  // a manifest for a different sweep or with a corrupt header is
+  // quarantined and a fresh one started.  Torn tail lines are dropped.
+  void open(const std::filesystem::path& path, std::uint64_t digest,
+            const io::IoOptions& io);
+
+  bool enabled() const noexcept { return enabled_; }
+
+  // Completed outcomes replayed from disk, keyed by (cell key, rep).
+  const std::map<std::pair<std::uint64_t, std::uint64_t>, RepOutcome>&
+  records() const noexcept {
+    return records_;
+  }
+
+  // Appends one completed repetition.  Best-effort: a failed append only
+  // means a future resume recomputes this repetition.  NOT thread-safe —
+  // the scheduler serializes calls.
+  void record(std::uint64_t cell_key, std::uint64_t rep, const RepOutcome& o);
+
+ private:
+  bool enabled_ = false;
+  std::filesystem::path path_{};
+  io::IoOptions io_{};
+  std::map<std::pair<std::uint64_t, std::uint64_t>, RepOutcome> records_{};
+};
+
+}  // namespace noisypull

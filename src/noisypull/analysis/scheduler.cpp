@@ -2,23 +2,34 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
+#include <cstdio>
 #include <filesystem>
-#include <fstream>
 #include <iomanip>
+#include <iterator>
 #include <limits>
+#include <list>
+#include <memory>
+#include <map>
 #include <sstream>
 
 // The scheduler's shared queue state is guarded by one mutex and a condition
 // variable (workers park when every remaining repetition is already in
 // flight).  Allowlisted by tools/noisypull_lint.cpp's threading-header rule:
 // like sim/repeat.cpp, this file *drives* the shared ThreadPool rather than
-// opening a new parallelism seam.
+// opening a new parallelism seam.  The additional thread is the watchdog,
+// which only reads steady_clock and flips CancelTokens — it never touches
+// outcomes, so it cannot influence statistics.
+#include <atomic>
 #include <condition_variable>
 #include <mutex>
 #include <thread>
 
+#include "noisypull/analysis/manifest.hpp"
+#include "noisypull/common/cancel.hpp"
 #include "noisypull/common/check.hpp"
 #include "noisypull/common/thread_pool.hpp"
+#include "noisypull/core/ssf.hpp"
 #include "noisypull/fault/faulty_engine.hpp"
 
 namespace noisypull {
@@ -28,11 +39,12 @@ namespace {
 namespace fs = std::filesystem;
 
 // Cache files are named by the cell's content digest; the format is a small
-// line-oriented text record (version line, key echo, then one line per
-// repetition in index order).  A file that fails any parse step is treated
-// as a miss, never an error — the cache is an accelerator, not a store of
-// record.
+// line-oriented text record (see serialize_cache_entry).  A file that fails
+// to parse is quarantined and recomputed — the cache is an accelerator, not
+// a store of record, but corruption is preserved as evidence, never
+// silently swallowed.
 constexpr const char* kCacheMagic = "noisypull-cell-cache";
+constexpr std::uint64_t kLegacyRecordFormatVersion = 1;
 
 std::string cache_file_name(std::uint64_t key) {
   std::ostringstream os;
@@ -41,20 +53,15 @@ std::string cache_file_name(std::uint64_t key) {
   return os.str();
 }
 
-std::vector<RepOutcome> load_cache_file(const fs::path& path,
-                                        std::uint64_t key) {
-  std::ifstream in(path);
-  if (!in) return {};
-  std::string magic;
-  std::uint64_t version = 0;
-  std::uint64_t stored_key = 0;
-  std::uint64_t reps = 0;
-  in >> magic >> version >> std::hex >> stored_key >> std::dec >> reps;
-  if (!in || magic != kCacheMagic || version != kCellCacheSchemaVersion ||
-      stored_key != key) {
-    return {};
-  }
-  std::vector<RepOutcome> outcomes;
+std::string hex16(std::uint64_t v) {
+  std::ostringstream os;
+  os << std::hex << std::setfill('0') << std::setw(16) << v;
+  return os.str();
+}
+
+// Legacy v1 body: one line per repetition, no checksum, no steady fields.
+bool parse_v1_body(std::istream& in, std::uint64_t reps,
+                   std::vector<RepOutcome>& outcomes) {
   outcomes.reserve(reps);
   for (std::uint64_t r = 0; r < reps; ++r) {
     std::uint64_t index = 0;
@@ -65,37 +72,39 @@ std::vector<RepOutcome> load_cache_file(const fs::path& path,
         o.correct_at_end;
     if (!in || index != r || (correct != 0 && correct != 1) ||
         (stable != 0 && stable != 1)) {
-      return {};
+      return false;
     }
     o.all_correct_at_end = correct == 1;
     o.stable = stable == 1;
     outcomes.push_back(o);
   }
-  return outcomes;
+  return true;
 }
 
-void store_cache_file(const fs::path& dir, std::uint64_t key,
-                      const std::vector<RepOutcome>& outcomes,
-                      std::uint64_t reps) {
-  std::error_code ec;
-  fs::create_directories(dir, ec);
-  if (ec) return;  // cache is best-effort; the run already succeeded
-  const fs::path final_path = dir / cache_file_name(key);
-  const fs::path tmp_path = final_path.string() + ".tmp";
-  {
-    std::ofstream out(tmp_path);
-    if (!out) return;
-    out << kCacheMagic << " " << kCellCacheSchemaVersion << " " << std::hex
-        << key << std::dec << " " << reps << "\n";
-    for (std::uint64_t r = 0; r < reps; ++r) {
-      const RepOutcome& o = outcomes[r];
-      out << r << " " << (o.all_correct_at_end ? 1 : 0) << " "
-          << (o.stable ? 1 : 0) << " " << o.rounds_run << " "
-          << o.first_all_correct << " " << o.correct_at_end << "\n";
+bool parse_v2_body(std::istream& in, std::uint64_t reps,
+                   std::vector<RepOutcome>& outcomes) {
+  outcomes.reserve(reps);
+  for (std::uint64_t r = 0; r < reps; ++r) {
+    std::uint64_t index = 0;
+    int correct = 0;
+    int stable = 0;
+    std::uint64_t mean_bits = 0;
+    std::uint64_t min_bits = 0;
+    RepOutcome o;
+    in >> index >> correct >> stable >> o.rounds_run >> o.first_all_correct >>
+        o.correct_at_end >> std::hex >> mean_bits >> min_bits >> std::dec >>
+        o.resets;
+    if (!in || index != r || (correct != 0 && correct != 1) ||
+        (stable != 0 && stable != 1)) {
+      return false;
     }
-    if (!out) return;
+    o.all_correct_at_end = correct == 1;
+    o.stable = stable == 1;
+    o.mean_correct_fraction = std::bit_cast<double>(mean_bits);
+    o.min_correct_fraction = std::bit_cast<double>(min_bits);
+    outcomes.push_back(o);
   }
-  fs::rename(tmp_path, final_path, ec);  // atomic publish on POSIX
+  return true;
 }
 
 StopRule normalized(StopRule rule) {
@@ -111,6 +120,9 @@ bool outcome_success(const RepOutcome& o, bool require_stability) noexcept {
                            : o.all_correct_at_end;
 }
 
+// Sentinel for "no repetition has permanently failed".
+constexpr std::uint64_t kNoFailure = std::numeric_limits<std::uint64_t>::max();
+
 // Mutable scheduling state of one cell.  `outcomes[r]` is valid iff
 // `have[r]`; `frontier` is the length of the contiguous completed prefix,
 // which is the only thing stopping decisions and statistics ever read.
@@ -124,10 +136,62 @@ struct CellState {
   std::uint64_t eval_successes = 0;
   std::uint64_t stop_at = 0;      // decided prefix length (valid iff decided)
   bool decided = false;
+  bool degraded = false;          // decided because of a permanent failure
   std::uint64_t computed = 0;     // fresh simulations
-  std::uint64_t cached = 0;       // outcomes replayed from the cache file
+  std::uint64_t cached = 0;       // outcomes replayed from cache or manifest
   std::uint64_t cached_file_reps = 0;  // reps the loaded file already held
+  // Fault-tolerance bookkeeping.
+  std::vector<std::uint64_t> attempts;  // per-rep claim count
+  std::vector<std::uint64_t> retry;     // requeued transient failures
+  std::uint64_t first_failed = kNoFailure;  // smallest permanently failed rep
+  std::uint64_t failed_reps = 0;
+  std::uint64_t transient_retries = 0;
+  std::uint64_t quarantined = 0;
 };
+
+// In-flight repetition registry entry the watchdog scans.
+struct InFlightRep {
+  std::chrono::steady_clock::time_point start;
+  CancelToken token;
+};
+
+// Reads and parses the cache entry for `key`, retrying statuses a short
+// read can produce and quarantining anything that stays corrupt.
+CacheEntry load_cache_entry(const fs::path& path, std::uint64_t key,
+                            const io::IoOptions& io, std::uint64_t& quarantined) {
+  CacheEntry entry;
+  for (std::uint64_t attempt = 0; attempt <= io.max_retries; ++attempt) {
+    const auto payload = io::read_file(path, io);
+    if (!payload) {
+      entry = CacheEntry{};  // kMissing
+      return entry;
+    }
+    entry = parse_cache_entry(*payload, key);
+    switch (entry.status) {
+      case CacheEntryStatus::kHit:
+      case CacheEntryStatus::kMigrated:
+        return entry;
+      case CacheEntryStatus::kTruncatedHeader:
+      case CacheEntryStatus::kChecksumMismatch:
+      case CacheEntryStatus::kMalformedRecord:
+        // Could be an injected/real short read: re-read before concluding
+        // the file itself is damaged.
+        continue;
+      case CacheEntryStatus::kWrongFormatVersion:
+      case CacheEntryStatus::kKeyMismatch:
+      case CacheEntryStatus::kMissing:
+        // Definitive: the content is wrong, not the read.
+        attempt = io.max_retries;  // fall through to quarantine
+        continue;
+    }
+  }
+  // Still corrupt after the read retries: preserve the evidence and treat
+  // the entry as a miss.
+  io::quarantine_file(path, to_string(entry.status));
+  ++quarantined;
+  entry.outcomes.clear();
+  return entry;
+}
 
 }  // namespace
 
@@ -160,6 +224,147 @@ RepOutcome to_outcome(const RunResult& r) noexcept {
                     .correct_at_end = r.correct_at_end};
 }
 
+RepOutcome to_outcome(const SteadyStateResult& r) noexcept {
+  const bool held = r.min_correct_fraction >= 1.0;
+  return RepOutcome{.all_correct_at_end = held,
+                    .stable = held,
+                    .rounds_run = r.rounds_run,
+                    .first_all_correct = kNever,
+                    .correct_at_end = 0,
+                    .mean_correct_fraction = r.mean_correct_fraction,
+                    .min_correct_fraction = r.min_correct_fraction,
+                    .resets = 0};
+}
+
+RepOutcome to_outcome(const ChurnResult& r) noexcept {
+  const bool held = r.min_correct_fraction >= 1.0;
+  return RepOutcome{.all_correct_at_end = held,
+                    .stable = held,
+                    .rounds_run = r.rounds_run,
+                    .first_all_correct = kNever,
+                    .correct_at_end = 0,
+                    .mean_correct_fraction = r.mean_correct_fraction,
+                    .min_correct_fraction = r.min_correct_fraction,
+                    .resets = r.resets};
+}
+
+std::string_view to_string(CacheEntryStatus status) noexcept {
+  switch (status) {
+    case CacheEntryStatus::kHit: return "hit";
+    case CacheEntryStatus::kMigrated: return "migrated";
+    case CacheEntryStatus::kMissing: return "missing";
+    case CacheEntryStatus::kTruncatedHeader: return "truncated-header";
+    case CacheEntryStatus::kWrongFormatVersion: return "wrong-format-version";
+    case CacheEntryStatus::kKeyMismatch: return "key-mismatch";
+    case CacheEntryStatus::kChecksumMismatch: return "checksum-mismatch";
+    case CacheEntryStatus::kMalformedRecord: return "malformed-record";
+  }
+  return "?";
+}
+
+CacheEntry parse_cache_entry(std::string_view payload, std::uint64_t key) {
+  CacheEntry entry;
+  const std::string text(payload);
+  std::istringstream in(text);
+
+  std::string header;
+  if (!std::getline(in, header)) {
+    entry.status = CacheEntryStatus::kTruncatedHeader;
+    return entry;
+  }
+  std::istringstream head(header);
+  std::string magic;
+  std::uint64_t version = 0;
+  if (!(head >> magic >> version)) {
+    entry.status = CacheEntryStatus::kTruncatedHeader;
+    return entry;
+  }
+  if (magic != kCacheMagic) {
+    entry.status = CacheEntryStatus::kMalformedRecord;
+    return entry;
+  }
+
+  if (version == kLegacyRecordFormatVersion) {
+    std::uint64_t stored_key = 0;
+    std::uint64_t reps = 0;
+    if (!(head >> std::hex >> stored_key >> std::dec >> reps)) {
+      entry.status = CacheEntryStatus::kTruncatedHeader;
+      return entry;
+    }
+    if (stored_key != key) {
+      entry.status = CacheEntryStatus::kKeyMismatch;
+      return entry;
+    }
+    if (!parse_v1_body(in, reps, entry.outcomes)) {
+      entry.outcomes.clear();
+      entry.status = CacheEntryStatus::kMalformedRecord;
+      return entry;
+    }
+    entry.status = CacheEntryStatus::kMigrated;
+    return entry;
+  }
+
+  if (version != kCacheRecordFormatVersion) {
+    entry.status = CacheEntryStatus::kWrongFormatVersion;
+    return entry;
+  }
+
+  std::uint64_t stored_key = 0;
+  std::uint64_t reps = 0;
+  std::uint32_t stored_crc = 0;
+  if (!(head >> std::hex >> stored_key >> std::dec >> reps >> std::hex >>
+        stored_crc)) {
+    entry.status = CacheEntryStatus::kTruncatedHeader;
+    return entry;
+  }
+  if (stored_key != key) {
+    entry.status = CacheEntryStatus::kKeyMismatch;
+    return entry;
+  }
+  // The CRC covers the raw body bytes (everything after the header line),
+  // so any torn write or bit flip below the header is caught here before
+  // the parser ever sees it.
+  const std::size_t body_start = text.find('\n');
+  const std::string_view body =
+      body_start == std::string::npos ? std::string_view{}
+                                      : payload.substr(body_start + 1);
+  if (io::crc32(body) != stored_crc) {
+    entry.status = CacheEntryStatus::kChecksumMismatch;
+    return entry;
+  }
+  if (!parse_v2_body(in, reps, entry.outcomes)) {
+    entry.outcomes.clear();
+    entry.status = CacheEntryStatus::kMalformedRecord;
+    return entry;
+  }
+  entry.status = CacheEntryStatus::kHit;
+  return entry;
+}
+
+std::string serialize_cache_entry(std::uint64_t key,
+                                  const std::vector<RepOutcome>& outcomes,
+                                  std::uint64_t reps) {
+  NOISYPULL_CHECK(reps <= outcomes.size(),
+                  "serialize_cache_entry: reps exceeds outcomes");
+  std::ostringstream body;
+  for (std::uint64_t r = 0; r < reps; ++r) {
+    const RepOutcome& o = outcomes[r];
+    body << r << " " << (o.all_correct_at_end ? 1 : 0) << " "
+         << (o.stable ? 1 : 0) << " " << o.rounds_run << " "
+         << o.first_all_correct << " " << o.correct_at_end << " "
+         << hex16(std::bit_cast<std::uint64_t>(o.mean_correct_fraction))
+         << " " << hex16(std::bit_cast<std::uint64_t>(o.min_correct_fraction))
+         << " " << o.resets << "\n";
+  }
+  const std::string body_str = body.str();
+  std::ostringstream out;
+  out << kCacheMagic << " " << kCacheRecordFormatVersion << " " << hex16(key)
+      << " " << reps << " " << std::hex << std::setfill('0') << std::setw(8)
+      << io::crc32(body_str) << "\n"
+      << body_str;
+  return out.str();
+}
+
 std::uint64_t stop_point(const std::vector<RepOutcome>& outcomes,
                          const StopRule& rule_in) {
   const StopRule rule = normalized(rule_in);
@@ -181,12 +386,14 @@ std::uint64_t stop_point(const std::vector<RepOutcome>& outcomes,
 CellStats finalize_prefix(const std::vector<RepOutcome>& outcomes,
                           std::uint64_t reps, const StopRule& rule_in) {
   const StopRule rule = normalized(rule_in);
-  NOISYPULL_CHECK(reps >= 1 && reps <= outcomes.size(),
-                  "finalize_prefix needs a non-empty completed prefix");
+  NOISYPULL_CHECK(reps <= outcomes.size(),
+                  "finalize_prefix needs a completed prefix");
   CellStats stats;
   stats.reps = reps;
+  if (reps == 0) return stats;  // degraded cell with no usable prefix
   Welford convergence;
   double rounds_sum = 0.0;
+  double steady_sum = 0.0;
   for (std::uint64_t r = 0; r < reps; ++r) {
     const RepOutcome& o = outcomes[r];
     if (o.all_correct_at_end) {
@@ -197,6 +404,10 @@ CellStats finalize_prefix(const std::vector<RepOutcome>& outcomes,
       convergence.push(static_cast<double>(o.first_all_correct));
     }
     rounds_sum += static_cast<double>(o.rounds_run);
+    steady_sum += o.mean_correct_fraction;
+    stats.min_steady_fraction =
+        std::min(stats.min_steady_fraction, o.min_correct_fraction);
+    stats.total_resets += o.resets;
   }
   const double denom = static_cast<double>(reps);
   stats.success_rate = static_cast<double>(stats.successes) / denom;
@@ -211,6 +422,7 @@ CellStats finalize_prefix(const std::vector<RepOutcome>& outcomes,
     stats.convergence_stddev = convergence.sample_stddev();
   }
   stats.mean_rounds_run = rounds_sum / denom;
+  stats.mean_steady_fraction = steady_sum / denom;
   stats.early_stopped = reps < rule.max_reps;
   return stats;
 }
@@ -255,7 +467,87 @@ std::uint64_t cell_cache_key(const ExperimentCell& cell) {
       .u64(cell.cfg.stability_window)
       .u64(cell.use_aggregate_engine ? 1 : 0)
       .u64(cell.seed);
+  // The steady-state block is folded only when present: convergence cells
+  // keep the exact keys they had before the mode existed, so no previously
+  // cached trajectory is orphaned.
+  if (cell.steady_state) {
+    const SteadyStateSpec& ss = *cell.steady_state;
+    key.u64(0x5354454144595353ULL)  // "STEADYSS" tag
+        .u64(ss.warmup)
+        .u64(ss.measure);
+    if (ss.churn) {
+      key.u64(1)
+          .f64(ss.churn->rate)
+          .u64(static_cast<std::uint64_t>(ss.churn->policy))
+          .u64(ss.churn->churn_sources ? 1 : 0);
+    } else {
+      key.u64(0);
+    }
+  }
   return key.digest();
+}
+
+std::string sweep_report_json(const std::vector<ExperimentCell>& cells,
+                              const std::vector<CellStats>& stats) {
+  NOISYPULL_CHECK(cells.size() == stats.size(),
+                  "sweep_report_json: cells/stats size mismatch");
+  // Shortest exact decimal round-trip would suffice; %.17g is exact for
+  // every double and trivially reproducible, which is all the byte-identity
+  // contract needs.
+  const auto num = [](double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return std::string(buf);
+  };
+  const auto escape = [](std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(c) < 0x20) continue;  // labels are ASCII
+      out.push_back(c);
+    }
+    return out;
+  };
+
+  bool any_degraded = false;
+  for (const CellStats& s : stats) any_degraded |= s.degraded;
+
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"schema\": \"noisypull-sweep-report/1\",\n"
+     << "  \"degraded\": " << (any_degraded ? "true" : "false") << ",\n"
+     << "  \"cells\": [\n";
+  for (std::size_t c = 0; c < stats.size(); ++c) {
+    const CellStats& s = stats[c];
+    os << "    {\n"
+       << "      \"label\": \"" << escape(cells[c].label) << "\",\n"
+       << "      \"cache_key\": \"" << hex16(s.cache_key) << "\",\n"
+       << "      \"reps\": " << s.reps << ",\n"
+       << "      \"successes\": " << s.successes << ",\n"
+       << "      \"stable_successes\": " << s.stable_successes << ",\n"
+       << "      \"success_rate\": " << num(s.success_rate) << ",\n"
+       << "      \"stable_success_rate\": " << num(s.stable_success_rate)
+       << ",\n"
+       << "      \"wilson_lower\": " << num(s.wilson.lower) << ",\n"
+       << "      \"wilson_upper\": " << num(s.wilson.upper) << ",\n"
+       << "      \"mean_convergence_round\": "
+       << (s.mean_convergence_round ? num(*s.mean_convergence_round) : "null")
+       << ",\n"
+       << "      \"mean_rounds_run\": " << num(s.mean_rounds_run) << ",\n"
+       << "      \"mean_steady_fraction\": " << num(s.mean_steady_fraction)
+       << ",\n"
+       << "      \"min_steady_fraction\": " << num(s.min_steady_fraction)
+       << ",\n"
+       << "      \"total_resets\": " << s.total_resets << ",\n"
+       << "      \"early_stopped\": " << (s.early_stopped ? "true" : "false")
+       << ",\n"
+       << "      \"failed_reps\": " << s.failed_reps << ",\n"
+       << "      \"degraded\": " << (s.degraded ? "true" : "false") << "\n"
+       << "    }" << (c + 1 < stats.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
 }
 
 std::vector<CellStats> run_experiment(const std::vector<ExperimentCell>& cells,
@@ -266,7 +558,12 @@ std::vector<CellStats> run_experiment(const std::vector<ExperimentCell>& cells,
     NOISYPULL_CHECK(!cell.cfg.record_trajectory,
                     "the scheduler does not record trajectories; use "
                     "run_repetitions for trajectory experiments");
+    if (cell.steady_state) {
+      NOISYPULL_CHECK(cell.steady_state->measure >= 1,
+                      "steady-state cells need at least one measured round");
+    }
   }
+  opts.fs_faults.validate();
 
   unsigned threads = opts.threads;
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
@@ -289,29 +586,73 @@ std::vector<CellStats> run_experiment(const std::vector<ExperimentCell>& cells,
   const std::uint64_t lookahead =
       adaptive ? std::max<std::uint64_t>(2 * threads, 4) : rule.max_reps;
 
+  // One FsFaults realization shared by all durable I/O of this sweep; all
+  // its call sites are serialized (setup, the manifest mutex, teardown).
+  io::FsFaults fs_faults(opts.fs_faults);
+  io::IoOptions io;
+  io.faults = opts.fs_faults.any() ? &fs_faults : nullptr;
+
   std::vector<CellState> states(cells.size());
   const bool use_cache = !opts.cache_dir.empty();
   const fs::path cache_dir(opts.cache_dir);
   std::vector<std::uint64_t> keys(cells.size(), 0);
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    keys[c] = cell_cache_key(cells[c]);
+  }
 
   for (std::size_t c = 0; c < cells.size(); ++c) {
     CellState& st = states[c];
     st.outcomes.resize(rule.max_reps);
     st.have.assign(rule.max_reps, 0);
+    st.attempts.assign(rule.max_reps, 0);
     if (use_cache) {
-      keys[c] = cell_cache_key(cells[c]);
-      const auto cached =
-          load_cache_file(cache_dir / cache_file_name(keys[c]), keys[c]);
+      const CacheEntry entry = load_cache_entry(
+          cache_dir / cache_file_name(keys[c]), keys[c], io, st.quarantined);
       const std::uint64_t usable =
-          std::min<std::uint64_t>(cached.size(), rule.max_reps);
+          std::min<std::uint64_t>(entry.outcomes.size(), rule.max_reps);
       for (std::uint64_t r = 0; r < usable; ++r) {
-        st.outcomes[r] = cached[r];
+        st.outcomes[r] = entry.outcomes[r];
         st.have[r] = 1;
       }
       st.frontier = usable;
       st.next_issue = usable;  // the cached prefix is never recomputed
       st.cached = usable;
-      st.cached_file_reps = cached.size();
+      // A migrated v1 entry is valid data in a stale layout: claiming zero
+      // on-disk reps forces the final store to rewrite it as v2 even when
+      // this run computes nothing new.
+      st.cached_file_reps = entry.status == CacheEntryStatus::kMigrated
+                                ? 0
+                                : entry.outcomes.size();
+    }
+  }
+
+  // Checkpoint/resume: replay the manifest's completed (cell, rep) outcomes
+  // into the outcome tables.  Replayed repetitions are bit-equal to what
+  // this sweep would compute (each is a pure function of (cell, r)), so
+  // every downstream statistic is unchanged — the resume contract.
+  SweepManifest manifest;
+  std::mutex manifest_mutex;
+  if (!opts.manifest_path.empty()) {
+    std::map<std::uint64_t, std::size_t> by_key;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      by_key.emplace(keys[c], c);  // duplicate cells share a key; first wins
+    }
+    manifest.open(opts.manifest_path, sweep_digest(keys), io);
+    for (const auto& [key_rep, outcome] : manifest.records()) {
+      const auto it = by_key.find(key_rep.first);
+      if (it == by_key.end()) continue;
+      CellState& st = states[it->second];
+      const std::uint64_t r = key_rep.second;
+      if (r >= rule.max_reps || st.have[r] != 0) continue;
+      st.outcomes[r] = outcome;
+      st.have[r] = 1;
+      ++st.cached;
+    }
+    for (CellState& st : states) {
+      while (st.frontier < rule.max_reps && st.have[st.frontier] != 0) {
+        ++st.frontier;
+      }
+      if (st.next_issue < st.frontier) st.next_issue = st.frontier;
     }
   }
 
@@ -320,10 +661,14 @@ std::vector<CellStats> run_experiment(const std::vector<ExperimentCell>& cells,
   std::size_t incomplete = 0;
   std::exception_ptr first_error;
   bool aborted = false;
+  std::uint64_t running_total = 0;  // in-flight reps (watchdog bookkeeping)
 
   // Prefix-order decision advance for one cell; caller holds the mutex.
   // Folds newly contiguous outcomes into the running success count and
   // decides the stopping point the moment the deciding prefix completes.
+  // A cell whose prefix is pinned by a permanently failed repetition
+  // decides "degraded" with the statistics of the shorter prefix — the
+  // sweep always completes.
   const auto advance_decision = [&](CellState& st) {
     while (!st.decided && st.eval_cursor < st.frontier) {
       const std::uint64_t m = st.eval_cursor + 1;
@@ -342,6 +687,16 @@ std::vector<CellStats> run_experiment(const std::vector<ExperimentCell>& cells,
         st.stop_at = rule.max_reps;
       }
     }
+    if (!st.decided && st.first_failed != kNoFailure &&
+        st.frontier >= st.first_failed) {
+      // Every repetition below the first permanent failure has landed; no
+      // future completion can extend the usable prefix.
+      st.decided = true;
+      st.degraded = true;
+      st.stop_at = st.frontier;
+      st.retry.clear();
+    }
+    if (st.decided) st.retry.clear();
     st.issue_cap =
         st.decided ? 0
                    : std::min(rule.max_reps,
@@ -357,13 +712,62 @@ std::vector<CellStats> run_experiment(const std::vector<ExperimentCell>& cells,
     }
   }
 
-  const auto run_one = [&](const ExperimentCell& cell, std::uint64_t r,
-                           Engine& engine_for_run) -> RepOutcome {
+  // Watchdog: in-flight registry plus a poller that cancels overdue
+  // repetitions.  Tokens live in a std::list so their addresses are stable
+  // while workers hold them.
+  const bool watchdog_on = opts.rep_timeout > 0.0;
+  std::mutex wd_mutex;
+  std::list<InFlightRep> inflight;
+  std::atomic<bool> wd_stop{false};
+
+  const auto run_cell_rep = [&](const ExperimentCell& cell, std::uint64_t r,
+                                Engine& engine_for_run,
+                                const CancelToken* cancel) -> RepOutcome {
     Rng init_rng(cell.seed, 2 * r);
     Rng run_rng(cell.seed, 2 * r + 1);
     auto protocol = cell.make_protocol(init_rng);
-    return to_outcome(run(*protocol, engine_for_run, cell.noise, cell.correct,
-                          cell.cfg, run_rng));
+    if (!cell.steady_state) {
+      RunConfig cfg = cell.cfg;
+      cfg.cancel = cancel;
+      return to_outcome(run(*protocol, engine_for_run, cell.noise,
+                            cell.correct, cfg, run_rng));
+    }
+    const SteadyStateSpec& ss = *cell.steady_state;
+    if (ss.churn) {
+      auto* ssf = dynamic_cast<SelfStabilizingSourceFilter*>(protocol.get());
+      NOISYPULL_CHECK(ssf != nullptr,
+                      "churn cells require a SelfStabilizingSourceFilter");
+      return to_outcome(run_with_churn(*ssf, engine_for_run, cell.noise,
+                                       cell.correct, cell.cfg.h, ss.warmup,
+                                       ss.measure, *ss.churn, run_rng, cancel));
+    }
+    return to_outcome(measure_steady_state(*protocol, engine_for_run,
+                                           cell.noise, cell.correct, cell.cfg.h,
+                                           ss.warmup, ss.measure, run_rng, {},
+                                           cancel));
+  };
+
+  // Transient-failure handler: requeue within the retry budget, otherwise
+  // mark the repetition permanently failed (which pins the cell's usable
+  // prefix and eventually decides it degraded).  A decided cell drops the
+  // failure entirely — its statistics are already fixed.
+  const auto on_transient = [&](std::size_t cell_index, std::uint64_t rep) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    CellState& st = states[cell_index];
+    --running_total;
+    if (!st.decided) {
+      if (st.attempts[rep] <= opts.max_retries) {
+        st.retry.push_back(rep);
+        ++st.transient_retries;
+      } else {
+        ++st.failed_reps;
+        st.first_failed = std::min(st.first_failed, rep);
+        const bool was_decided = st.decided;
+        advance_decision(st);
+        if (!was_decided && st.decided) --incomplete;
+      }
+    }
+    work_cv.notify_all();
   };
 
   const auto worker = [&](std::uint64_t lane) {
@@ -389,7 +793,24 @@ std::vector<CellStats> run_experiment(const std::vector<ExperimentCell>& cells,
           for (std::size_t i = 0; i < states.size(); ++i) {
             const std::size_t c = (cursor + i) % states.size();
             CellState& st = states[c];
-            if (st.next_issue < st.issue_cap) {
+            if (st.decided) continue;
+            if (!st.retry.empty()) {
+              // Requeued transient failures outrank fresh issuance: they
+              // sit on the critical path of this cell's decision prefix.
+              cell_index = c;
+              rep = st.retry.back();
+              st.retry.pop_back();
+              cursor = c;
+              found = true;
+              break;
+            }
+            // Issuing beyond the first permanent failure is pure waste —
+            // the frontier can never cross it.
+            const std::uint64_t cap = std::min(st.issue_cap, st.first_failed);
+            while (st.next_issue < cap && st.have[st.next_issue] != 0) {
+              ++st.next_issue;  // skip outcomes replayed from the manifest
+            }
+            if (st.next_issue < cap) {
               cell_index = c;
               rep = st.next_issue++;
               cursor = c;  // affinity: keep drawing from this cell
@@ -397,7 +818,11 @@ std::vector<CellStats> run_experiment(const std::vector<ExperimentCell>& cells,
               break;
             }
           }
-          if (found) break;
+          if (found) {
+            ++states[cell_index].attempts[rep];
+            ++running_total;
+            break;
+          }
           // Every runnable repetition is in flight; completions may raise
           // issue caps (or finish the experiment), so park until one lands.
           work_cv.wait(lock);
@@ -405,7 +830,27 @@ std::vector<CellStats> run_experiment(const std::vector<ExperimentCell>& cells,
       }
 
       const ExperimentCell& cell = cells[cell_index];
+
+      // Register with the watchdog before the repetition starts so a hung
+      // simulation cannot outlive its deadline unobserved.
+      std::list<InFlightRep>::iterator wd_entry;
+      const CancelToken* cancel = nullptr;
+      if (watchdog_on) {
+        const std::lock_guard<std::mutex> wd_lock(wd_mutex);
+        inflight.emplace_back();
+        wd_entry = std::prev(inflight.end());
+        wd_entry->start = std::chrono::steady_clock::now();
+        cancel = &wd_entry->token;
+      }
+      const auto deregister = [&] {
+        if (watchdog_on) {
+          const std::lock_guard<std::mutex> wd_lock(wd_mutex);
+          inflight.erase(wd_entry);
+        }
+      };
+
       try {
+        if (opts.rep_hook) opts.rep_hook(cell_index, rep);
         if (engine_cell != cell_index || !engine) {
           if (cell.use_aggregate_engine) {
             engine = std::make_unique<AggregateEngine>();
@@ -424,25 +869,41 @@ std::vector<CellStats> run_experiment(const std::vector<ExperimentCell>& cells,
           // must not leak across runs.
           FaultyEngine faulty(*engine, *cell.fault_plan);
           faulty.set_threads(engine_threads);
-          outcome = run_one(cell, rep, faulty);
+          outcome = run_cell_rep(cell, rep, faulty, cancel);
         } else {
-          outcome = run_one(cell, rep, *engine);
+          outcome = run_cell_rep(cell, rep, *engine, cancel);
         }
+        deregister();
 
-        const std::lock_guard<std::mutex> lock(mutex);
-        CellState& st = states[cell_index];
-        st.outcomes[rep] = outcome;
-        st.have[rep] = 1;
-        ++st.computed;
-        while (st.frontier < rule.max_reps && st.have[st.frontier] != 0) {
-          ++st.frontier;
+        {
+          const std::lock_guard<std::mutex> lock(mutex);
+          CellState& st = states[cell_index];
+          --running_total;
+          st.outcomes[rep] = outcome;
+          st.have[rep] = 1;
+          ++st.computed;
+          while (st.frontier < rule.max_reps && st.have[st.frontier] != 0) {
+            ++st.frontier;
+          }
+          const bool was_decided = st.decided;
+          advance_decision(st);
+          if (!was_decided && st.decided) --incomplete;
+          work_cv.notify_all();
         }
-        const bool was_decided = st.decided;
-        advance_decision(st);
-        if (!was_decided && st.decided) --incomplete;
-        work_cv.notify_all();
+        if (manifest.enabled()) {
+          const std::lock_guard<std::mutex> m_lock(manifest_mutex);
+          manifest.record(keys[cell_index], rep, outcome);
+        }
+      } catch (const OperationCancelled&) {
+        deregister();
+        on_transient(cell_index, rep);
+      } catch (const TransientRepFailure&) {
+        deregister();
+        on_transient(cell_index, rep);
       } catch (...) {
+        deregister();
         const std::lock_guard<std::mutex> lock(mutex);
+        --running_total;
         if (!first_error) first_error = std::current_exception();
         aborted = true;
         work_cv.notify_all();
@@ -450,6 +911,29 @@ std::vector<CellStats> run_experiment(const std::vector<ExperimentCell>& cells,
       }
     }
   };
+
+  std::thread watchdog;
+  if (watchdog_on) {
+    const auto timeout = std::chrono::duration_cast<
+        std::chrono::steady_clock::duration>(
+        std::chrono::duration<double>(opts.rep_timeout));
+    auto poll = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::duration<double>(opts.rep_timeout / 4.0));
+    poll = std::clamp(poll, std::chrono::milliseconds(1),
+                      std::chrono::milliseconds(20));
+    watchdog = std::thread([&, timeout, poll] {
+      while (!wd_stop.load(std::memory_order_relaxed)) {
+        {
+          const std::lock_guard<std::mutex> wd_lock(wd_mutex);
+          const auto now = std::chrono::steady_clock::now();
+          for (InFlightRep& entry : inflight) {
+            if (now - entry.start > timeout) entry.token.cancel();
+          }
+        }
+        std::this_thread::sleep_for(poll);
+      }
+    });
+  }
 
   if (incomplete > 0) {
     if (threads == 1) {
@@ -459,24 +943,39 @@ std::vector<CellStats> run_experiment(const std::vector<ExperimentCell>& cells,
       pool.parallel_for(threads, worker);
     }
   }
+  if (watchdog_on) {
+    wd_stop.store(true, std::memory_order_relaxed);
+    watchdog.join();
+  }
   if (first_error) std::rethrow_exception(first_error);
 
   std::vector<CellStats> results;
   results.reserve(cells.size());
   for (std::size_t c = 0; c < cells.size(); ++c) {
     CellState& st = states[c];
-    NOISYPULL_ASSERT(st.decided && st.stop_at >= 1);
+    NOISYPULL_ASSERT(st.decided && (st.stop_at >= 1 || st.degraded));
     CellStats stats = finalize_prefix(st.outcomes, st.stop_at, rule);
+    stats.degraded = st.degraded;
+    stats.failed_reps = st.failed_reps;
+    stats.transient_retries = st.transient_retries;
+    stats.cache_quarantined = st.quarantined;
     stats.reps_computed = st.computed;
     stats.reps_cached = std::min(st.cached, stats.reps);
-    stats.cache_key = use_cache ? keys[c] : cell_cache_key(cells[c]);
+    stats.cache_key = keys[c];
     // Persist the full contiguous prefix — including lookahead overshoot
     // beyond the stopping point: those repetitions are valid under this key
     // and may serve a future run with a tighter CI target.
     if (use_cache && st.frontier > st.cached_file_reps) {
-      store_cache_file(cache_dir, keys[c], st.outcomes, st.frontier);
+      io::atomic_write_file(
+          cache_dir / cache_file_name(keys[c]),
+          serialize_cache_entry(keys[c], st.outcomes, st.frontier), io);
     }
     results.push_back(stats);
+  }
+
+  if (!opts.report_path.empty()) {
+    io::atomic_write_file(opts.report_path, sweep_report_json(cells, results),
+                          io);
   }
   return results;
 }

@@ -1,10 +1,10 @@
 #include "noisypull/analysis/table.hpp"
 
-#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
 
+#include "noisypull/common/atomic_io.hpp"
 #include "noisypull/common/check.hpp"
 
 namespace noisypull {
@@ -79,10 +79,11 @@ void Table::write_csv(std::ostream& os) const {
 }
 
 bool Table::write_csv_file(const std::string& path) const {
-  std::ofstream file(path);
-  if (!file) return false;
-  write_csv(file);
-  return static_cast<bool>(file);
+  // Published through the crash-safe seam: a bench killed mid-emit leaves
+  // either the previous CSV or the new one, never a torn file.
+  std::ostringstream os;
+  write_csv(os);
+  return io::atomic_write_file(path, os.str());
 }
 
 BenchArgs BenchArgs::parse(int argc, char** argv) {
@@ -102,6 +103,14 @@ BenchArgs BenchArgs::parse(int argc, char** argv) {
       args.no_cache = true;
     } else if (a == "--threads" && i + 1 < argc) {
       args.threads = static_cast<unsigned>(std::stoul(argv[++i]));
+    } else if (a == "--resume" && i + 1 < argc) {
+      args.manifest_path = argv[++i];
+    } else if (a == "--rep-timeout" && i + 1 < argc) {
+      args.rep_timeout = std::stod(argv[++i]);
+    } else if (a == "--max-retries" && i + 1 < argc) {
+      args.max_retries = std::stoull(argv[++i]);
+    } else if (a == "--sweep-report" && i + 1 < argc) {
+      args.report_path = argv[++i];
     }
   }
   return args;

@@ -69,6 +69,18 @@ struct BenchArgs {
   bool no_cache = false;
   // --threads <n>: scheduler worker lanes (0 = hardware concurrency).
   unsigned threads = 0;
+  // --resume <path>: checkpoint/resume manifest file.  A killed sweep
+  // rerun with the same path replays completed repetitions and recomputes
+  // only what is missing (bit-identical statistics).
+  std::string manifest_path;
+  // --rep-timeout <seconds>: watchdog deadline per repetition (0 = off).
+  double rep_timeout = 0.0;
+  // --max-retries <n>: requeue budget per repetition after transient
+  // failures before the cell degrades.
+  std::uint64_t max_retries = 2;
+  // --sweep-report <path>: write the deterministic sweep-report JSON
+  // (per-cell statistics + degraded/failure accounting).
+  std::string report_path;
 
   static BenchArgs parse(int argc, char** argv);
 

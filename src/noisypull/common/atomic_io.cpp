@@ -1,0 +1,247 @@
+#include "noisypull/common/atomic_io.hpp"
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <system_error>
+#include <thread>
+
+#include "noisypull/common/check.hpp"
+
+namespace noisypull::io {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::uint32_t kCrcPolynomial = 0xEDB88320u;
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? (kCrcPolynomial ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+// splitmix64: the per-kind fault streams need statistical independence and
+// a trivially serializable state, not simulation-grade quality, so they do
+// not share the xoshiro Rng used by the protocols.
+std::uint64_t splitmix_next(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+// Uniform draw in [0, 1) from the top 53 bits, matching Rng::next_double.
+bool fire(double rate, std::uint64_t& state) {
+  if (rate <= 0.0) {
+    return false;  // no draw: a zero-rate class never perturbs its stream
+  }
+  const double u =
+      static_cast<double>(splitmix_next(state) >> 11) * 0x1.0p-53;
+  return u < rate;
+}
+
+void check_rate(double rate, const char* name) {
+  NOISYPULL_CHECK(std::isfinite(rate) && rate >= 0.0 && rate <= 1.0,
+                  std::string("FsFaultPlan: ") + name +
+                      " must be a probability in [0, 1]");
+}
+
+void backoff_sleep(std::uint64_t attempt, const IoOptions& opts) {
+  if (!opts.backoff) {
+    return;
+  }
+  const std::uint64_t shift = attempt < 4 ? attempt : 4;
+  std::this_thread::sleep_for(std::chrono::milliseconds(1ULL << shift));
+}
+
+// Unique tmp names keep concurrent writers of the same artifact from
+// clobbering each other's in-flight payloads; the rename still races, but
+// both payloads are complete so either winner is valid.
+fs::path tmp_sibling(const fs::path& path) {
+  static std::atomic<std::uint64_t> counter{0};
+  const std::uint64_t id = counter.fetch_add(1, std::memory_order_relaxed);
+  fs::path tmp = path;
+  tmp += ".tmp" + std::to_string(id);
+  return tmp;
+}
+
+bool write_payload(const fs::path& tmp, std::string_view payload) {
+  // nplint: allow(raw-file-io) — this is the one sanctioned write site.
+  std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return false;
+  }
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data) noexcept {
+  static const std::array<std::uint32_t, 256> kTable = make_crc_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const char ch : data) {
+    crc = kTable[(crc ^ static_cast<std::uint8_t>(ch)) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+bool FsFaultPlan::any() const noexcept {
+  return torn_write > 0.0 || short_read > 0.0 || rename_failure > 0.0 ||
+         enospc > 0.0;
+}
+
+void FsFaultPlan::validate() const {
+  check_rate(torn_write, "torn_write");
+  check_rate(short_read, "short_read");
+  check_rate(rename_failure, "rename_failure");
+  check_rate(enospc, "enospc");
+}
+
+FsFaults::FsFaults(const FsFaultPlan& plan) : plan_(plan) {
+  plan.validate();
+  // Distinct odd offsets give each fault class its own splitmix stream.
+  torn_state_ = plan.seed ^ 0x746F726E00000001ULL;
+  short_state_ = plan.seed ^ 0x73686F7200000003ULL;
+  rename_state_ = plan.seed ^ 0x72656E6100000005ULL;
+  enospc_state_ = plan.seed ^ 0x656E6F7300000007ULL;
+}
+
+bool FsFaults::fire_torn_write() noexcept {
+  return fire(plan_.torn_write, torn_state_);
+}
+bool FsFaults::fire_short_read() noexcept {
+  return fire(plan_.short_read, short_state_);
+}
+bool FsFaults::fire_rename_failure() noexcept {
+  return fire(plan_.rename_failure, rename_state_);
+}
+bool FsFaults::fire_enospc() noexcept {
+  return fire(plan_.enospc, enospc_state_);
+}
+
+bool atomic_write_file(const fs::path& path, std::string_view payload,
+                       const IoOptions& opts) {
+  std::error_code ec;
+  if (path.has_parent_path()) {
+    fs::create_directories(path.parent_path(), ec);  // best-effort
+  }
+  for (std::uint64_t attempt = 0; attempt <= opts.max_retries; ++attempt) {
+    if (attempt > 0) {
+      backoff_sleep(attempt - 1, opts);
+    }
+    const fs::path tmp = tmp_sibling(path);
+    if (opts.faults != nullptr && opts.faults->fire_enospc()) {
+      fs::remove(tmp, ec);
+      continue;  // transient write failure: retry from scratch
+    }
+    std::string_view effective = payload;
+    if (opts.faults != nullptr && opts.faults->fire_torn_write()) {
+      // A torn write is a *successful* syscall sequence whose payload was
+      // cut short by a crash, so it still publishes and reports success;
+      // the reader's checksum is the layer that catches it.
+      effective = FsFaults::tear(payload);
+    }
+    if (!write_payload(tmp, effective)) {
+      fs::remove(tmp, ec);
+      continue;
+    }
+    if (opts.faults != nullptr && opts.faults->fire_rename_failure()) {
+      fs::remove(tmp, ec);
+      continue;
+    }
+    fs::rename(tmp, path, ec);  // nplint: allow(raw-file-io)
+    if (ec) {
+      fs::remove(tmp, ec);
+      continue;
+    }
+    return true;
+  }
+  return false;
+}
+
+std::optional<std::string> read_file(const fs::path& path,
+                                     const IoOptions& opts) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return std::nullopt;
+  }
+  std::string payload((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  if (!in.good() && !in.eof()) {
+    return std::nullopt;
+  }
+  if (opts.faults != nullptr && opts.faults->fire_short_read()) {
+    payload.resize(FsFaults::tear(payload).size());
+  }
+  return payload;
+}
+
+bool append_line(const fs::path& path, std::string_view line,
+                 const IoOptions& opts) {
+  std::error_code ec;
+  if (path.has_parent_path()) {
+    fs::create_directories(path.parent_path(), ec);
+  }
+  for (std::uint64_t attempt = 0; attempt <= opts.max_retries; ++attempt) {
+    if (attempt > 0) {
+      backoff_sleep(attempt - 1, opts);
+    }
+    if (opts.faults != nullptr && opts.faults->fire_enospc()) {
+      continue;
+    }
+    // nplint: allow(raw-file-io) — the sanctioned append site.
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    if (!out) {
+      continue;
+    }
+    if (opts.faults != nullptr && opts.faults->fire_torn_write()) {
+      const std::string_view torn = FsFaults::tear(line);
+      out.write(torn.data(), static_cast<std::streamsize>(torn.size()));
+      out.flush();
+      return true;  // torn append: the line loses its newline + checksum
+    }
+    out.write(line.data(), static_cast<std::streamsize>(line.size()));
+    out.put('\n');
+    out.flush();
+    if (out) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool quarantine_file(const fs::path& path, std::string_view tag) {
+  std::error_code ec;
+  if (!fs::exists(path, ec)) {
+    return false;
+  }
+  const fs::path dir =
+      (path.has_parent_path() ? path.parent_path() : fs::path(".")) /
+      ".quarantine";
+  fs::create_directories(dir, ec);
+  fs::path dest = dir / path.filename();
+  dest += ".";
+  dest += std::string(tag);
+  fs::rename(path, dest, ec);  // nplint: allow(raw-file-io)
+  if (!ec) {
+    return true;
+  }
+  // Cross-device or permission trouble: removing the corrupt artifact is
+  // worse for forensics but keeps the runtime self-healing.
+  fs::remove(path, ec);
+  return false;
+}
+
+}  // namespace noisypull::io

@@ -1,0 +1,140 @@
+// Crash-safe file I/O seam for every durable artifact the harness writes.
+//
+// The result cache, the sweep manifest, and the CSV/JSON emitters all funnel
+// their filesystem traffic through this module, for two reasons:
+//
+//   1. One choke point for crash safety.  Whole-file writes publish via
+//      tmp + rename (atomic on POSIX), transient failures (EINTR-class
+//      stream errors, ENOSPC, rename races between concurrent writers) get
+//      a bounded retry with a deterministic backoff schedule, and corrupt
+//      artifacts can be quarantined instead of silently deleted.  The
+//      tools/noisypull_lint.cpp `raw-file-io` rule forbids raw
+//      std::ofstream / rename outside this module, so future cache or
+//      manifest writers cannot bypass the seam.
+//
+//   2. One choke point for fault injection.  FsFaultPlan mirrors the
+//      simulation FaultPlan design (fault/fault_plan.hpp): seeded,
+//      deterministic, and an all-zero plan is a bit-identical passthrough.
+//      tests/test_chaos.cpp drives torn writes, short reads, rename
+//      failures, and ENOSPC through this seam and asserts the sweep runtime
+//      never crashes, never hangs, and never changes statistics.
+//
+// Determinism note: retries and backoff affect timing only.  Nothing in
+// this module feeds simulation statistics — a failed write means a missing
+// or quarantined artifact, which callers treat as "recompute".
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace noisypull::io {
+
+// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) over `data`.  Used
+// as the per-entry checksum of the cache and manifest record formats; it
+// detects torn writes and bit rot, not adversaries.
+std::uint32_t crc32(std::string_view data) noexcept;
+
+// Seeded fault-injection plan for the filesystem seam.  All rates are
+// probabilities in [0, 1]; an all-zero plan never fires and never draws
+// from its streams, so behavior is bit-identical to no plan at all.
+struct FsFaultPlan {
+  std::uint64_t seed = 0;
+
+  // A write "succeeds" but only a prefix of the payload reaches the final
+  // path — the crash-mid-write case the entry checksums exist to catch.
+  double torn_write = 0.0;
+
+  // A read returns only a prefix of the file.  Transient: callers retry
+  // reads a bounded number of times before declaring the file corrupt.
+  double short_read = 0.0;
+
+  // The tmp -> final rename fails (rename race / transient EIO).  Retried.
+  double rename_failure = 0.0;
+
+  // The payload write fails outright (ENOSPC / EINTR-class).  Retried.
+  double enospc = 0.0;
+
+  bool any() const noexcept;
+
+  // Throws std::invalid_argument on rates outside [0, 1] or NaN.
+  void validate() const;
+};
+
+// Deterministic realization of an FsFaultPlan: the k-th operation of each
+// kind fires independently with its class rate, drawn from a dedicated
+// substream of `seed` — which operations fail is a function of (plan,
+// per-kind operation index) alone.  NOT thread-safe: callers serialize
+// access (the scheduler performs all cache/manifest I/O under its own lock
+// or on the coordinating thread).
+class FsFaults {
+ public:
+  FsFaults() = default;  // all-zero plan: every fire_* is false, no draws
+  explicit FsFaults(const FsFaultPlan& plan);
+
+  bool fire_torn_write() noexcept;
+  bool fire_short_read() noexcept;
+  bool fire_rename_failure() noexcept;
+  bool fire_enospc() noexcept;
+
+  // The prefix a torn write / short read leaves behind: half the payload,
+  // rounded down — enough to destroy the trailing checksum of any record
+  // format built on this seam.
+  static std::string_view tear(std::string_view payload) noexcept {
+    return payload.substr(0, payload.size() / 2);
+  }
+
+ private:
+  FsFaultPlan plan_{};
+  // Per-kind splitmix64 states; advanced only when the class rate is > 0.
+  std::uint64_t torn_state_ = 0;
+  std::uint64_t short_state_ = 0;
+  std::uint64_t rename_state_ = 0;
+  std::uint64_t enospc_state_ = 0;
+};
+
+struct IoOptions {
+  // Additional attempts after the first transient failure; total attempts
+  // per operation = 1 + max_retries.
+  std::uint64_t max_retries = 3;
+
+  // Sleep between retry attempts following the deterministic schedule
+  // 1ms, 2ms, 4ms, 8ms, 16ms (capped).  Timing only — never statistics.
+  bool backoff = true;
+
+  // Injection point; nullptr disables injection entirely.
+  FsFaults* faults = nullptr;
+};
+
+// Atomically publishes `payload` at `path`: parent directories are created,
+// the payload is written to a uniquely named sibling tmp file, and the tmp
+// is renamed over `path`.  Transient failures are retried per `opts`.
+// Returns false only when every attempt failed (callers treat the artifact
+// as best-effort and carry on).  An injected torn write reports success —
+// that is the fault being modeled; readers detect it by checksum.
+bool atomic_write_file(const std::filesystem::path& path,
+                       std::string_view payload, const IoOptions& opts = {});
+
+// Reads the whole file; std::nullopt when the file does not exist or could
+// not be opened.  An injected short read truncates the returned payload —
+// callers validate (checksum/parse) and re-read a bounded number of times.
+std::optional<std::string> read_file(const std::filesystem::path& path,
+                                     const IoOptions& opts = {});
+
+// Appends `line` plus a newline to `path` (created if missing).  Appends
+// are NOT atomic across crashes: a torn tail line is an expected artifact,
+// which is why the journal formats built on this give every line its own
+// checksum.  Transient failures are retried per `opts`; returns false when
+// every attempt failed.
+bool append_line(const std::filesystem::path& path, std::string_view line,
+                 const IoOptions& opts = {});
+
+// Moves `path` into a `.quarantine/` sidecar directory next to it, renamed
+// `<name>.<tag>` — preserving the corrupt artifact for diagnosis instead of
+// deleting the evidence or leaving it to fail again.  Best-effort: returns
+// false (and removes the file as a last resort) when the move fails.
+bool quarantine_file(const std::filesystem::path& path, std::string_view tag);
+
+}  // namespace noisypull::io

@@ -1,0 +1,35 @@
+// Cooperative cancellation for long-running repetitions.
+//
+// The scheduler's watchdog cannot kill a thread that is deep inside a
+// simulation round loop; instead every round loop polls a CancelToken and
+// unwinds with OperationCancelled when it is set.  The poll is a single
+// relaxed atomic load per round — invisible next to the per-round sampling
+// work — and a null token (the default everywhere) costs one branch.
+//
+// OperationCancelled is classified as a *transient* repetition failure by
+// the scheduler: the repetition is requeued up to the retry budget, and an
+// exhausted budget degrades the cell instead of aborting the sweep.
+#pragma once
+
+#include <atomic>
+#include <stdexcept>
+
+namespace noisypull {
+
+class CancelToken {
+ public:
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { cancelled_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+struct OperationCancelled : std::runtime_error {
+  OperationCancelled() : std::runtime_error("operation cancelled") {}
+};
+
+}  // namespace noisypull

@@ -8,7 +8,8 @@ ChurnResult run_with_churn(SelfStabilizingSourceFilter& protocol,
                            Engine& engine, const NoiseMatrix& noise,
                            Opinion correct, std::uint64_t h,
                            std::uint64_t warmup, std::uint64_t measure,
-                           const ChurnConfig& churn, Rng& rng) {
+                           const ChurnConfig& churn, Rng& rng,
+                           const CancelToken* cancel) {
   NOISYPULL_CHECK(churn.rate >= 0.0 && churn.rate <= 1.0,
                   "churn rate must be in [0, 1]");
   NOISYPULL_CHECK(measure >= 1, "need at least one measured round");
@@ -30,8 +31,9 @@ ChurnResult run_with_churn(SelfStabilizingSourceFilter& protocol,
       ++result.resets;
     }
   };
-  const SteadyStateResult steady = measure_steady_state(
-      protocol, engine, noise, correct, h, warmup, measure, rng, churn_hook);
+  const SteadyStateResult steady =
+      measure_steady_state(protocol, engine, noise, correct, h, warmup,
+                           measure, rng, churn_hook, cancel);
   result.rounds_run = steady.rounds_run;
   result.mean_correct_fraction = steady.mean_correct_fraction;
   result.min_correct_fraction = steady.min_correct_fraction;

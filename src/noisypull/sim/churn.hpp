@@ -39,6 +39,7 @@ ChurnResult run_with_churn(SelfStabilizingSourceFilter& protocol,
                            Engine& engine, const NoiseMatrix& noise,
                            Opinion correct, std::uint64_t h,
                            std::uint64_t warmup, std::uint64_t measure,
-                           const ChurnConfig& churn, Rng& rng);
+                           const ChurnConfig& churn, Rng& rng,
+                           const CancelToken* cancel = nullptr);
 
 }  // namespace noisypull

@@ -42,6 +42,9 @@ RunResult run_impl(Protocol& protocol, EngineT& engine,
 
   std::uint64_t streak_start = kNever;  // start of the current all-correct run
   for (std::uint64_t t = 0; t < rounds; ++t) {
+    if (cfg.cancel != nullptr && cfg.cancel->cancelled()) {
+      throw OperationCancelled();
+    }
     engine.step(protocol, noise, cfg.h, t, rng);
     const std::uint64_t good = count_correct_impl(protocol, correct);
     if (cfg.record_trajectory) result.trajectory.push_back(good);
@@ -60,6 +63,9 @@ RunResult run_impl(Protocol& protocol, EngineT& engine,
     bool held = result.all_correct_at_end;
     for (std::uint64_t t = rounds; held && t < rounds + cfg.stability_window;
          ++t) {
+      if (cfg.cancel != nullptr && cfg.cancel->cancelled()) {
+        throw OperationCancelled();
+      }
       engine.step(protocol, noise, cfg.h, t, rng);
       held = count_correct_impl(protocol, correct) == n;
       ++result.rounds_run;
@@ -95,7 +101,8 @@ SteadyStateResult measure_steady_state(PullProtocol& protocol, Engine& engine,
                                        Opinion correct, std::uint64_t h,
                                        std::uint64_t warmup,
                                        std::uint64_t measure, Rng& rng,
-                                       const RoundHook& pre_round) {
+                                       const RoundHook& pre_round,
+                                       const CancelToken* cancel) {
   NOISYPULL_CHECK(measure >= 1, "need at least one measured round");
 
   const double n = static_cast<double>(protocol.num_agents());
@@ -103,6 +110,9 @@ SteadyStateResult measure_steady_state(PullProtocol& protocol, Engine& engine,
   double fraction_sum = 0.0;
   double fraction = 0.0;
   for (std::uint64_t t = 0; t < warmup + measure; ++t) {
+    if (cancel != nullptr && cancel->cancelled()) {
+      throw OperationCancelled();
+    }
     if (pre_round) pre_round(t, rng);
     engine.step(protocol, noise, h, t, rng);
     if (t >= warmup) {

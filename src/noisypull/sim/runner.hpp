@@ -12,6 +12,7 @@
 #include <limits>
 #include <vector>
 
+#include "noisypull/common/cancel.hpp"
 #include "noisypull/model/engine.hpp"
 #include "noisypull/model/protocol.hpp"
 #include "noisypull/push/push_engine.hpp"
@@ -41,6 +42,12 @@ struct RunConfig {
   // Trajectory-invariant — only wall-clock changes.  Ignored by engines
   // without the knob (PushEngine, SequentialEngine).
   unsigned engine_threads = 0;
+
+  // Polled once per round; when set, the run unwinds with
+  // OperationCancelled.  Used by the scheduler's --rep-timeout watchdog.
+  // Trajectory-invariant while unset: a run that completes was never
+  // cancelled, so its statistics cannot depend on the token.
+  const CancelToken* cancel = nullptr;
 };
 
 struct RunResult {
@@ -94,6 +101,7 @@ SteadyStateResult measure_steady_state(PullProtocol& protocol, Engine& engine,
                                        Opinion correct, std::uint64_t h,
                                        std::uint64_t warmup,
                                        std::uint64_t measure, Rng& rng,
-                                       const RoundHook& pre_round = {});
+                                       const RoundHook& pre_round = {},
+                                       const CancelToken* cancel = nullptr);
 
 }  // namespace noisypull

@@ -1,0 +1,14 @@
+// lint-path: src/noisypull/analysis/raw_writer_fixture.cpp
+// Fixture: durable writes bypassing the crash-safe common/atomic_io seam.
+// A raw std::ofstream tears on SIGKILL and a bare rename() skips the
+// bounded-retry path, so both must fire everywhere except the seam itself.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+void fixture_raw_writer(const std::filesystem::path& p) {
+  std::ofstream out(p);  // expect: raw-file-io
+  out << "torn on crash\n";
+  std::rename("a.tmp", "a.csv");                   // expect: raw-file-io
+  std::filesystem::rename("b.tmp", "b.csv");       // expect: raw-file-io
+}

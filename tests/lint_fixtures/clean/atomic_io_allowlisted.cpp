@@ -1,0 +1,11 @@
+// lint-path: src/noisypull/common/atomic_io.cpp
+// Fixture: the crash-safe seam itself is the one place allowed to touch
+// std::ofstream and rename() — nothing may fire here.
+#include <filesystem>
+#include <fstream>
+
+void fixture_seam_writer(const std::filesystem::path& p) {
+  std::ofstream out(p, std::ios::binary);
+  out << "payload";
+  std::filesystem::rename(p, p);
+}

@@ -1,0 +1,18 @@
+// lint-path: src/noisypull/analysis/clean_member_rename_fixture.cpp
+// Fixture: a member function *call* spelled rename is not the
+// libc/filesystem rename (the rule keys on non-member calls), and
+// identifiers merely containing "rename" as a substring are not calls at
+// all.  The declaration itself needs a justified suppression — the
+// tokenizer cannot tell a member declaration from a free call.
+struct FixtureJournal {
+  void rename(const char*) {}  // nplint: allow(raw-file-io)
+  FixtureJournal* self() { return this; }
+};
+
+void fixture_member_rename() {
+  FixtureJournal journal;
+  journal.rename("member access, not the libc call");
+  journal.self()->rename("still member access");
+  const bool renamed = true;  // substring of an identifier, not a call
+  (void)renamed;
+}

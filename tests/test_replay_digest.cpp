@@ -12,10 +12,13 @@
 //     nothing);
 //   * a zero fault plan is digest-transparent (FaultyEngine == inner).
 //
-// Digests are intentionally NOT pinned to cross-build golden constants: the
-// trajectory depends on floating-point rounding, which -ffp-contract makes
-// compiler-specific.  Within one binary, bit-for-bit equality is exactly the
-// nondeterminism probe --verify-replay ships.
+// Digests here are intentionally NOT pinned to cross-build golden
+// constants: the trajectory depends on floating-point rounding, which
+// -ffp-contract makes compiler-specific.  Within one binary, bit-for-bit
+// equality is exactly the nondeterminism probe --verify-replay ships.
+// Cross-commit pinning lives in test_golden_digest.cpp, which commits
+// digests for three (engine, seed, FaultPlan) tuples under tests/golden/
+// and gates enforcement on a toolchain-calibration tuple.
 #include <gtest/gtest.h>
 
 #include <cstring>

@@ -57,7 +57,10 @@ TEST(Table, CsvFileRoundtrip) {
 
 TEST(Table, CsvFileFailureReturnsFalse) {
   Table t({"k"});
-  EXPECT_FALSE(t.write_csv_file("/nonexistent-dir/x.csv"));
+  // The parent "directory" is a file, so the path can never be created —
+  // the atomic_io seam auto-creates missing parent *directories* (and the
+  // suite may run as root), so a merely absent directory is not a failure.
+  EXPECT_FALSE(t.write_csv_file("/dev/null/x.csv"));
 }
 
 TEST(Table, RowShapeIsEnforced) {

@@ -36,6 +36,11 @@
 //                          threading is a determinism hazard; parallelism
 //                          routes through Engine::set_threads and the
 //                          counter-substream block kernel.
+//   raw-file-io            std::ofstream or rename() under src/noisypull/
+//                          or bench/ outside common/atomic_io: every durable
+//                          artifact (cache entries, manifests, CSV/JSON)
+//                          must publish through the crash-safe tmp+rename
+//                          seam, or kill-and-resume guarantees silently rot.
 //
 // Suppression: a comment `nplint: allow(rule-name)` on the offending line.
 //
@@ -424,8 +429,13 @@ void rule_threading_header(const FileContext& ctx,
       "src/noisypull/common/thread_pool.cpp",
       // outer repetition workers (join the pool-less std::thread fan-out)
       "src/noisypull/sim/repeat.cpp",
-      // experiment scheduler: drives the pool; queue state under one mutex
+      // experiment scheduler: drives the pool; queue state under one mutex,
+      // plus the watchdog thread cancelling overdue repetitions
       "src/noisypull/analysis/scheduler.cpp",
+      // crash-safe I/O seam: atomic tmp-name counter and backoff sleeps
+      "src/noisypull/common/atomic_io.cpp",
+      // cooperative cancellation token (one relaxed atomic<bool>)
+      "src/noisypull/common/cancel.hpp",
       // relaxed fault-stat accumulators read under block parallelism
       "src/noisypull/fault/faulty_engine.hpp",
       // reports hardware_concurrency next to its measurements
@@ -449,6 +459,44 @@ void rule_threading_header(const FileContext& ctx,
   }
 }
 
+// raw-file-io: durable writes bypassing the crash-safe seam.  Everything
+// the harness persists must go through common/atomic_io (tmp+rename
+// publish, bounded retry, quarantine, fault injection); a raw std::ofstream
+// or rename() elsewhere reopens the torn-write window the chaos tests
+// close.  fopen-based perf loggers are out of scope: the rule targets the
+// artifact writers (cache, manifest, CSV/JSON emitters).
+void rule_raw_file_io(const FileContext& ctx, std::vector<Finding>& findings) {
+  if (!path_contains(ctx, "src/noisypull/") && !path_contains(ctx, "bench/")) {
+    return;
+  }
+  static constexpr const char* kAllowedSuffixes[] = {
+      // the seam itself
+      "src/noisypull/common/atomic_io.hpp",
+      "src/noisypull/common/atomic_io.cpp",
+  };
+  for (const char* suffix : kAllowedSuffixes) {
+    if (ctx.path.ends_with(suffix)) return;
+  }
+  const auto& toks = ctx.lexed->tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::Identifier) continue;
+    if (t.text == "ofstream") {
+      findings.push_back({"raw-file-io", t.line,
+                          "std::ofstream outside common/atomic_io; durable "
+                          "writes must use io::atomic_write_file / "
+                          "io::append_line for crash safety"});
+      continue;
+    }
+    if (t.text == "rename" && next_is(toks, i, "(") &&
+        !is_member_access(toks, i)) {
+      findings.push_back({"raw-file-io", t.line,
+                          "rename() outside common/atomic_io; atomic "
+                          "publishes must go through io::atomic_write_file"});
+    }
+  }
+}
+
 using RuleFn = void (*)(const FileContext&, std::vector<Finding>&);
 
 struct Rule {
@@ -464,6 +512,7 @@ constexpr Rule kRules[] = {
     {"unordered-container", rule_unordered_container},
     {"iostream-in-header", rule_iostream_in_header},
     {"threading-header", rule_threading_header},
+    {"raw-file-io", rule_raw_file_io},
 };
 
 // ---------------------------------------------------------------------------
