@@ -22,19 +22,20 @@ inline void header(const std::string& id, const std::string& claim) {
 }
 
 // Default calibrated schedule constant (see DESIGN.md, substitutions).
-inline constexpr double kC1 = 2.0;
+inline constexpr C1 kC1 = kDefaultC1;
 
-inline ProtocolFactory sf_factory(const PopulationConfig& pop, std::uint64_t h,
-                                  double delta, double c1 = kC1) {
+inline ProtocolFactory sf_factory(const PopulationConfig& pop, Holdings h,
+                                  Delta delta, C1 c1 = kC1) {
   return [pop, h, delta, c1](Rng&) -> std::unique_ptr<PullProtocol> {
     return std::make_unique<SourceFilter>(pop, h, delta, c1);
   };
 }
 
 inline ProtocolFactory ssf_factory(const PopulationConfig& pop,
-                                   std::uint64_t h, double delta,
-                                   CorruptionPolicy policy, double c1 = kC1) {
-  return [pop, h, delta, policy, c1](Rng& init) -> std::unique_ptr<PullProtocol> {
+                                   Holdings h, Delta delta,
+                                   CorruptionPolicy policy, C1 c1 = kC1) {
+  return [pop, h, delta, policy,
+      c1](Rng& init) -> std::unique_ptr<PullProtocol> {
     auto ssf =
         std::make_unique<SelfStabilizingSourceFilter>(pop, h, delta, c1);
     corrupt_population(*ssf, policy, pop.correct_opinion(), init);
@@ -45,31 +46,31 @@ inline ProtocolFactory ssf_factory(const PopulationConfig& pop,
 // Cache-key digests over everything the factories above capture (protocol
 // type + every construction parameter) — the caller-supplied half of the
 // content-addressed result cache (ExperimentCell::protocol_digest).
-inline std::uint64_t sf_digest(const PopulationConfig& pop, std::uint64_t h,
-                               double delta, double c1 = kC1) {
+inline std::uint64_t sf_digest(const PopulationConfig& pop, Holdings h,
+                               Delta delta, C1 c1 = kC1) {
   return CellKey()
       .str("SourceFilter")
       .u64(pop.n)
       .u64(pop.s1)
       .u64(pop.s0)
-      .u64(h)
-      .f64(delta)
-      .f64(c1)
+      .u64(h.get())
+      .f64(delta.get())
+      .f64(c1.get())
       .digest();
 }
 
-inline std::uint64_t ssf_digest(const PopulationConfig& pop, std::uint64_t h,
-                                double delta, CorruptionPolicy policy,
-                                double c1 = kC1) {
+inline std::uint64_t ssf_digest(const PopulationConfig& pop, Holdings h,
+                                Delta delta, CorruptionPolicy policy,
+                                C1 c1 = kC1) {
   return CellKey()
       .str("SelfStabilizingSourceFilter")
       .u64(pop.n)
       .u64(pop.s1)
       .u64(pop.s0)
-      .u64(h)
-      .f64(delta)
+      .u64(h.get())
+      .f64(delta.get())
       .str(to_string(policy))
-      .f64(c1)
+      .f64(c1.get())
       .digest();
 }
 

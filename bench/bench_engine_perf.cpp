@@ -11,8 +11,11 @@ namespace {
 
 using namespace noisypull;
 
+// One substream per micro-benchmark: kBenchSeed + <stream id>.
+constexpr std::uint64_t kBenchSeed = 900;
+
 void BM_BinomialSmallNp(benchmark::State& state) {
-  Rng rng(1);
+  Rng rng(kBenchSeed + 1);
   for (auto _ : state) {
     benchmark::DoNotOptimize(sample_binomial(rng, 20, 0.2));
   }
@@ -20,7 +23,7 @@ void BM_BinomialSmallNp(benchmark::State& state) {
 BENCHMARK(BM_BinomialSmallNp);
 
 void BM_BinomialBtrs(benchmark::State& state) {
-  Rng rng(2);
+  Rng rng(kBenchSeed + 2);
   const auto n = static_cast<std::uint64_t>(state.range(0));
   for (auto _ : state) {
     benchmark::DoNotOptimize(sample_binomial(rng, n, 0.3));
@@ -29,7 +32,7 @@ void BM_BinomialBtrs(benchmark::State& state) {
 BENCHMARK(BM_BinomialBtrs)->Arg(1000)->Arg(1000000)->Arg(1000000000);
 
 void BM_Multinomial4(benchmark::State& state) {
-  Rng rng(3);
+  Rng rng(kBenchSeed + 3);
   const double w[4] = {0.4, 0.3, 0.2, 0.1};
   std::uint64_t c[4];
   const auto n = static_cast<std::uint64_t>(state.range(0));
@@ -41,7 +44,7 @@ void BM_Multinomial4(benchmark::State& state) {
 BENCHMARK(BM_Multinomial4)->Arg(100)->Arg(100000);
 
 void BM_NoiseCorrupt(benchmark::State& state) {
-  Rng rng(4);
+  Rng rng(kBenchSeed + 4);
   const auto noise = NoiseMatrix::uniform(4, 0.1);
   for (auto _ : state) {
     benchmark::DoNotOptimize(noise.corrupt(2, rng));
@@ -56,13 +59,13 @@ void BM_AggregateEngineRound(benchmark::State& state) {
   const auto h = static_cast<std::uint64_t>(state.range(1));
   const PopulationConfig pop{.n = n, .s1 = 1, .s0 = 0};
   const double delta = 0.2;
-  SourceFilter sf(pop, h, delta, 2.0);
+  SourceFilter sf(pop, Holdings{h}, Delta{delta}, C1{2.0});
   AggregateEngine engine;
   const auto noise = NoiseMatrix::uniform(2, delta);
-  Rng rng(5);
+  Rng rng(kBenchSeed + 5);
   std::uint64_t round = 0;
   for (auto _ : state) {
-    engine.step(sf, noise, h, round++ % sf.planned_rounds(), rng);
+    engine.step(sf, noise, Holdings{h}, round++ % sf.planned_rounds(), rng);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n));
@@ -79,13 +82,13 @@ void BM_ExactEngineRound(benchmark::State& state) {
   const auto h = static_cast<std::uint64_t>(state.range(1));
   const PopulationConfig pop{.n = n, .s1 = 1, .s0 = 0};
   const double delta = 0.2;
-  SourceFilter sf(pop, h, delta, 2.0);
+  SourceFilter sf(pop, Holdings{h}, Delta{delta}, C1{2.0});
   ExactEngine engine;
   const auto noise = NoiseMatrix::uniform(2, delta);
-  Rng rng(6);
+  Rng rng(kBenchSeed + 6);
   std::uint64_t round = 0;
   for (auto _ : state) {
-    engine.step(sf, noise, h, round++ % sf.planned_rounds(), rng);
+    engine.step(sf, noise, Holdings{h}, round++ % sf.planned_rounds(), rng);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n * h));

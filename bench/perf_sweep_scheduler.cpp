@@ -118,12 +118,12 @@ int main(int argc, char** argv) {
       cells.push_back(ExperimentCell{
           .label =
               "n=" + std::to_string(n) + " delta=" + std::to_string(delta),
-          .make_protocol = sf_factory(pop, n, delta),
+          .make_protocol = sf_factory(pop, Holdings{n}, Delta{delta}),
           .noise = NoiseMatrix::uniform(2, delta),
           .correct = pop.correct_opinion(),
           .cfg = RunConfig{.h = n},
           .seed = 9000 + n + static_cast<std::uint64_t>(delta * 100),
-          .protocol_digest = sf_digest(pop, n, delta)});
+          .protocol_digest = sf_digest(pop, Holdings{n}, Delta{delta})});
     }
   }
   std::printf("perf_sweep_scheduler: %zu cells x %llu reps, threads=%u\n",

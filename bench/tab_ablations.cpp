@@ -29,7 +29,8 @@ ProtocolFactory alternating_factory(const PopulationConfig& pop,
 ProtocolFactory tagless_factory(const PopulationConfig& pop, std::uint64_t m,
                                 CorruptionPolicy policy) {
   return [pop, m, policy](Rng& init) -> std::unique_ptr<PullProtocol> {
-    auto t = std::make_unique<TaglessSsf>(pop, pop.n, m);
+    auto t = std::make_unique<TaglessSsf>(pop, Holdings{pop.n},
+                                          MemoryBudget{m});
     corrupt_population(*t, policy, pop.correct_opinion(), init);
     return t;
   };
@@ -56,7 +57,8 @@ int main(int argc, char** argv) {
     for (std::uint64_t n : {2000ULL}) {
       for (std::uint64_t s : {1ULL, 4ULL, 64ULL}) {
         const PopulationConfig pop{.n = n, .s1 = s, .s0 = 0};
-        const auto sched = make_sf_schedule(pop, n, delta, kC1);
+        const auto sched = make_sf_schedule(pop, Holdings{n}, Delta{delta},
+                                            kC1);
         auto rate = [&](const ProtocolFactory& f, std::uint64_t seed) {
           return success_rate(run_repetitions(
               f, noise, pop.correct_opinion(), RunConfig{.h = n},
@@ -64,7 +66,8 @@ int main(int argc, char** argv) {
         };
         table.cell(n)
             .cell(s)
-            .cell(rate(sf_factory(pop, n, delta), 13000 + s), 2)
+            .cell(rate(sf_factory(pop, Holdings{n}, Delta{delta}), 13000 + s),
+                  2)
             .cell(rate(alternating_factory(pop, sched), 13100 + s), 2)
             .cell(rate(eager_factory(pop, sched), 13200 + s), 2)
             .end_row();
@@ -83,11 +86,12 @@ int main(int argc, char** argv) {
     Table table({"n", "protocol", "corruption", "success"});
     for (std::uint64_t n : {1000ULL}) {
       const PopulationConfig pop{.n = n, .s1 = 2, .s0 = 0};
-      const SelfStabilizingSourceFilter ref(pop, n, dssf, kC1);
+      const SelfStabilizingSourceFilter ref(pop, Holdings{n}, Delta{dssf}, kC1);
       for (const auto policy :
            {CorruptionPolicy::None, CorruptionPolicy::WrongConsensus}) {
         const auto ssf_rate = success_rate(run_repetitions(
-            ssf_factory(pop, n, dssf, policy), NoiseMatrix::uniform(4, dssf),
+            ssf_factory(pop, Holdings{n}, Delta{dssf},
+                policy), NoiseMatrix::uniform(4, dssf),
             pop.correct_opinion(),
             RunConfig{.h = n, .max_rounds = ref.convergence_deadline()},
             RepeatOptions{.repetitions = reps,
@@ -120,7 +124,8 @@ int main(int argc, char** argv) {
     Table table({"channel handling", "tuned delta", "success"});
 
     const auto with = run_repetitions(
-        sf_factory(pop, pop.n, red.delta_prime), raw, pop.correct_opinion(),
+        sf_factory(pop, Holdings{pop.n},
+            Delta{red.delta_prime}), raw, pop.correct_opinion(),
         RunConfig{.h = pop.n},
         RepeatOptions{.repetitions = reps,
                       .seed = 15000,
@@ -128,7 +133,8 @@ int main(int argc, char** argv) {
     // Without the reduction, tune SF to the tightest upper bound and run on
     // the raw (asymmetric) channel directly.
     const auto without = run_repetitions(
-        sf_factory(pop, pop.n, raw.tightest_upper_bound()), raw,
+        sf_factory(pop, Holdings{pop.n},
+                   Delta{raw.tightest_upper_bound()}), raw,
         pop.correct_opinion(), RunConfig{.h = pop.n},
         RepeatOptions{.repetitions = reps, .seed = 15100});
     table.cell("Theorem 8 reduction (artificial noise)")

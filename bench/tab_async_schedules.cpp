@@ -49,14 +49,17 @@ int main(int argc, char** argv) {
 
   // Synchronous reference row.
   {
-    const SelfStabilizingSourceFilter ref(pop, n, delta_ssf, kC1);
+    const SelfStabilizingSourceFilter ref(pop, Holdings{n}, Delta{delta_ssf},
+                                          kC1);
     const auto ssf_results = run_repetitions(
-        ssf_factory(pop, n, delta_ssf, CorruptionPolicy::WrongConsensus),
+        ssf_factory(pop, Holdings{n}, Delta{delta_ssf},
+                    CorruptionPolicy::WrongConsensus),
         NoiseMatrix::uniform(4, delta_ssf), pop.correct_opinion(),
         RunConfig{.h = n, .max_rounds = ref.convergence_deadline()},
         RepeatOptions{.repetitions = reps, .seed = 18000});
     const auto sf_results = run_repetitions(
-        sf_factory(pop, n, delta_sf), NoiseMatrix::uniform(2, delta_sf),
+        sf_factory(pop, Holdings{n}, Delta{delta_sf}), NoiseMatrix::uniform(2,
+            delta_sf),
         pop.correct_opinion(), RunConfig{.h = n},
         RepeatOptions{.repetitions = reps, .seed = 18100});
     table.cell("synchronous")
@@ -67,12 +70,14 @@ int main(int argc, char** argv) {
   }
 
   for (const auto order : orders) {
-    const SelfStabilizingSourceFilter ref(pop, n, delta_ssf, kC1);
+    const SelfStabilizingSourceFilter ref(pop, Holdings{n}, Delta{delta_ssf},
+                                          kC1);
     double ssf_ok = 0.0, ssf_first = 0.0, sf_ok = 0.0;
     std::uint64_t converged = 0;
     for (std::uint64_t rep = 0; rep < reps; ++rep) {
       {
-        SelfStabilizingSourceFilter ssf(pop, n, delta_ssf, kC1);
+        SelfStabilizingSourceFilter ssf(pop, Holdings{n}, Delta{delta_ssf},
+                                        kC1);
         Rng init(18200 + rep);
         corrupt_population(ssf, CorruptionPolicy::WrongConsensus,
                            pop.correct_opinion(), init);
@@ -90,7 +95,7 @@ int main(int argc, char** argv) {
         }
       }
       {
-        SourceFilter sf(pop, n, delta_sf, kC1);
+        SourceFilter sf(pop, Holdings{n}, Delta{delta_sf}, kC1);
         SequentialEngine engine(order);
         Rng rng(18400 + rep);
         const auto r = run(sf, engine, NoiseMatrix::uniform(2, delta_sf),

@@ -51,7 +51,7 @@ int main(int argc, char** argv) {
     const PopulationConfig pop{.n = n, .s1 = 1, .s0 = 0};
     for (std::uint64_t h : {std::uint64_t{16}, n}) {
       // SF defines the reference budget.
-      SourceFilter ref(pop, h, delta, kC1);
+      SourceFilter ref(pop, Holdings{h}, Delta{delta}, kC1);
       const std::uint64_t budget = 3 * ref.planned_rounds();
 
       struct Row {
@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
         ProtocolFactory factory;
       };
       const Row rows[] = {
-          {"SF", sf_factory(pop, h, delta)},
+          {"SF", sf_factory(pop, Holdings{h}, Delta{delta})},
           {"voter", voter_factory(pop)},
           {"majority", majority_factory(pop)},
           {"repeated-majority", repeated_factory(pop, ref.schedule().m)},

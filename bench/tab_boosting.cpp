@@ -16,6 +16,7 @@
 int main(int argc, char** argv) {
   using namespace noisypull;
   using namespace noisypull::bench;
+  constexpr std::uint64_t kTraceSeed = 31337;
   const auto args = BenchArgs::parse(argc, argv);
 
   header("LEM33 / tab_boosting",
@@ -28,12 +29,12 @@ int main(int argc, char** argv) {
   const auto noise = NoiseMatrix::uniform(2, delta);
 
   // One sub-phase = exactly w messages: set h = w.
-  const auto probe = make_sf_schedule(pop, 1, delta, kC1);
+  const auto probe = make_sf_schedule(pop, Holdings{1}, Delta{delta}, kC1);
   const std::uint64_t h = probe.w;
 
-  SourceFilter sf(pop, h, delta, kC1);
+  SourceFilter sf(pop, Holdings{h}, Delta{delta}, kC1);
   AggregateEngine engine;
-  Rng rng(31337);
+  Rng rng(kTraceSeed);
   const auto result = run(sf, engine, noise, pop.correct_opinion(),
                           RunConfig{.h = h, .record_trajectory = true}, rng);
 

@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
   const PopulationConfig pop{.n = n, .s1 = 2, .s0 = 0};
   const auto noise = NoiseMatrix::uniform(4, delta);
 
-  const SelfStabilizingSourceFilter ref(pop, n, delta, kC1);
+  const SelfStabilizingSourceFilter ref(pop, Holdings{n}, Delta{delta}, kC1);
   const double cycle =
       static_cast<double>((ref.memory_budget() + n - 1) / n);
   std::printf("memory cycle = %.0f rounds -> expected collapse near rate "
@@ -37,12 +37,14 @@ int main(int argc, char** argv) {
   for (const double rate : churn_rates) {
     ExperimentCell cell{
         .label = "churn rate=" + std::to_string(rate),
-        .make_protocol = ssf_factory(pop, n, delta, CorruptionPolicy::None),
+        .make_protocol = ssf_factory(pop, Holdings{n}, Delta{delta},
+                                     CorruptionPolicy::None),
         .noise = noise,
         .correct = pop.correct_opinion(),
         .cfg = RunConfig{.h = n},
         .seed = 19000 + static_cast<std::uint64_t>(rate * 1000),
-        .protocol_digest = ssf_digest(pop, n, delta, CorruptionPolicy::None)};
+        .protocol_digest = ssf_digest(pop, Holdings{n}, Delta{delta},
+                                      CorruptionPolicy::None)};
     cell.steady_state =
         SteadyStateSpec{.warmup = 4 * ref.convergence_deadline(),
                         .measure = 60,

@@ -29,13 +29,16 @@ int main(int argc, char** argv) {
     for (const auto& pr : pairs) {
       const PopulationConfig pop{.n = n, .s1 = pr.s1, .s0 = pr.s0};
       const auto sf_results = run_repetitions(
-          sf_factory(pop, n, delta), NoiseMatrix::uniform(2, delta),
+          sf_factory(pop, Holdings{n}, Delta{delta}), NoiseMatrix::uniform(2,
+              delta),
           pop.correct_opinion(), RunConfig{.h = n},
           RepeatOptions{.repetitions = reps,
                         .seed = 10000 + n + pr.s1 * 7 + pr.s0});
-      const SelfStabilizingSourceFilter ref(pop, n, delta_ssf, kC1);
+      const SelfStabilizingSourceFilter ref(pop, Holdings{n}, Delta{delta_ssf},
+                                            kC1);
       const auto ssf_results = run_repetitions(
-          ssf_factory(pop, n, delta_ssf, CorruptionPolicy::RandomState),
+          ssf_factory(pop, Holdings{n}, Delta{delta_ssf},
+                      CorruptionPolicy::RandomState),
           NoiseMatrix::uniform(4, delta_ssf), pop.correct_opinion(),
           RunConfig{.h = n, .max_rounds = ref.convergence_deadline()},
           RepeatOptions{.repetitions = reps,

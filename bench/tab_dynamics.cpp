@@ -31,6 +31,11 @@ std::uint64_t displays_of(const PullProtocol& p, std::uint64_t round,
 int main(int argc, char** argv) {
   using namespace noisypull;
   using namespace noisypull::bench;
+  // Named trace seeds; the SSF trace splits init/run onto substreams.
+  constexpr std::uint64_t kSfTraceSeed = 2025;
+  constexpr std::uint64_t kSsfTraceSeed = 2025;
+  constexpr std::uint64_t kInitStream = 0;
+  constexpr std::uint64_t kRunStream = 1;
   const auto args = BenchArgs::parse(argc, argv);
 
   header("DYN / tab_dynamics",
@@ -43,9 +48,9 @@ int main(int argc, char** argv) {
     const double delta = 0.2;
     const PopulationConfig pop{.n = n, .s1 = 1, .s0 = 0};
     const auto noise = NoiseMatrix::uniform(2, delta);
-    SourceFilter sf(pop, n, delta, kC1);
+    SourceFilter sf(pop, Holdings{n}, Delta{delta}, kC1);
     AggregateEngine engine;
-    Rng rng(2025);
+    Rng rng(kSfTraceSeed);
 
     const auto& sched = sf.schedule();
     Table table({"round", "phase", "displays of 1", "correct opinions",
@@ -59,7 +64,7 @@ int main(int argc, char** argv) {
           t + 1 == sched.total_rounds();
       std::uint64_t ones = 0;
       if (checkpoint) ones = displays_of(sf, t, 1);
-      engine.step(sf, noise, n, t, rng);
+      engine.step(sf, noise, Holdings{n}, t, rng);
       if (!checkpoint) continue;
       const char* phase = t < sched.phase_rounds ? "listen-0"
                           : t < sched.boosting_start() ? "listen-1"
@@ -85,12 +90,12 @@ int main(int argc, char** argv) {
     const double delta = 0.05;
     const PopulationConfig pop{.n = n, .s1 = 2, .s0 = 0};
     const auto noise = NoiseMatrix::uniform(4, delta);
-    SelfStabilizingSourceFilter ssf(pop, n, delta, kC1);
-    Rng init(11);
+    SelfStabilizingSourceFilter ssf(pop, Holdings{n}, Delta{delta}, kC1);
+    Rng init(kSsfTraceSeed, kInitStream);
     corrupt_population(ssf, CorruptionPolicy::WrongConsensus,
                        pop.correct_opinion(), init);
     AggregateEngine engine;
-    Rng rng(12);
+    Rng rng(kSsfTraceSeed, kRunStream);
 
     Table table({"round", "correct opinions", "displays (0,wrong)",
                  "displays (0,correct)"});
@@ -101,7 +106,7 @@ int main(int argc, char** argv) {
     for (std::uint64_t t = 0; t < ssf.convergence_deadline(); ++t) {
       const std::uint64_t wrong_d = displays_of(ssf, t, wrong_sym);
       const std::uint64_t correct_d = displays_of(ssf, t, correct_sym);
-      engine.step(ssf, noise, n, t, rng);
+      engine.step(ssf, noise, Holdings{n}, t, rng);
       table.cell(t)
           .cell(count_correct(ssf, pop.correct_opinion()))
           .cell(wrong_d)

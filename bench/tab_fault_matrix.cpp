@@ -163,7 +163,8 @@ ExperimentCell make_cell(const std::string& proto, FaultType type, double rate,
   ProtocolFactory factory;
   std::uint64_t digest = 0;
   if (proto == "ssf") {
-    const SelfStabilizingSourceFilter ref(pop, cfg.n, kDelta, kC1);
+    const SelfStabilizingSourceFilter ref(pop, Holdings{cfg.n}, Delta{kDelta},
+                                          kC1);
     warmup = 2 * ref.convergence_deadline();
     // Omissions stretch the memory-fill time by 1/(1-p); stalls park agents
     // for stretches of the warmup.  Scale the warmup so the measured window
@@ -174,16 +175,18 @@ ExperimentCell make_cell(const std::string& proto, FaultType type, double rate,
                     std::ceil(static_cast<double>(warmup) / (1.0 - rate))));
     }
     if (type == FaultType::Stall) warmup *= 3;
-    factory = ssf_factory(pop, cfg.n, kDelta, CorruptionPolicy::None);
-    digest = ssf_digest(pop, cfg.n, kDelta, CorruptionPolicy::None);
+    factory = ssf_factory(pop, Holdings{cfg.n}, Delta{kDelta},
+                          CorruptionPolicy::None);
+    digest = ssf_digest(pop, Holdings{cfg.n}, Delta{kDelta},
+                        CorruptionPolicy::None);
   } else if (proto == "sf") {
     // SF has a fixed horizon; it freezes afterwards, so the "steady state"
     // is its final answer under the faults that hit its schedule.
-    const SourceFilter ref(pop, cfg.n, kDelta, kC1);
+    const SourceFilter ref(pop, Holdings{cfg.n}, Delta{kDelta}, kC1);
     warmup = ref.planned_rounds();
     measure = 5;
-    factory = sf_factory(pop, cfg.n, kDelta);
-    digest = sf_digest(pop, cfg.n, kDelta);
+    factory = sf_factory(pop, Holdings{cfg.n}, Delta{kDelta});
+    digest = sf_digest(pop, Holdings{cfg.n}, Delta{kDelta});
   } else if (proto == "voter") {
     factory = voter_factory(pop);
     digest = voter_digest(pop);
@@ -236,7 +239,8 @@ int main(int argc, char** argv) {
     std::uint64_t rate_idx = 0;
     for (const double rate : rates(type)) {
       for (std::size_t p = 0; p < protos.size(); ++p) {
-        cells.push_back(make_cell(protos[p], type, rate, type_idx, rate_idx, p));
+        cells.push_back(make_cell(protos[p], type, rate, type_idx, rate_idx,
+                                  p));
       }
       ++rate_idx;
     }
@@ -247,7 +251,8 @@ int main(int argc, char** argv) {
   if (cfg.smoke) fractions = {0.0, 0.05};
   {
     const PopulationConfig pop{.n = cfg.n, .s1 = 2, .s0 = 0};
-    const SelfStabilizingSourceFilter ref(pop, cfg.n, kDelta, kC1);
+    const SelfStabilizingSourceFilter ref(pop, Holdings{cfg.n}, Delta{kDelta},
+                                          kC1);
     std::uint64_t idx = 0;
     for (const double f : fractions) {
       FaultPlan plan = FaultPlan::for_ssf(pop.correct_opinion());
@@ -257,14 +262,15 @@ int main(int argc, char** argv) {
       plan.byzantine.strategy = ByzantineStrategy::MimicSource;
       ExperimentCell cell{
           .label = "mimic f=" + std::to_string(f),
-          .make_protocol = ssf_factory(pop, cfg.n, kDelta,
+          .make_protocol = ssf_factory(pop, Holdings{cfg.n}, Delta{kDelta},
                                        CorruptionPolicy::None),
           .noise = NoiseMatrix::uniform(4, kDelta),
           .correct = pop.correct_opinion(),
           .cfg = RunConfig{.h = cfg.n},
           .seed = 4300 + idx,
           .protocol_digest =
-              ssf_digest(pop, cfg.n, kDelta, CorruptionPolicy::None)};
+              ssf_digest(pop, Holdings{cfg.n}, Delta{kDelta},
+                         CorruptionPolicy::None)};
       cell.fault_plan = plan;
       cell.steady_state =
           SteadyStateSpec{.warmup = 2 * ref.convergence_deadline(),

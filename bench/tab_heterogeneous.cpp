@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
         Rng mix_rng(20000 + rep);
         HeterogeneousEngine engine(
             mixture(n, bad_fraction, good, bad, mix_rng));
-        SourceFilter sf(pop, h, tuned, kC1);
+        SourceFilter sf(pop, Holdings{h}, Delta{tuned}, kC1);
         Rng rng(21000 + rep);
         const auto r = run(sf, engine, NoiseMatrix::uniform(2, tuned),
                            pop.correct_opinion(), RunConfig{.h = h}, rng);

@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
     std::uint64_t ok = 0;
     double t = 0.0;
     for (std::uint64_t rep = 0; rep < reps; ++rep) {
-      KarySourceFilter ksf(pop, n, c.delta, kC1);
+      KarySourceFilter ksf(pop, Holdings{n}, Delta{c.delta}, kC1);
       AggregateEngine engine;
       Rng rng(17000 + rep * 31 + pop.num_opinions());
       const auto r = run(ksf, engine, noise, pop.plurality_opinion(),

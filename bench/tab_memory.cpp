@@ -22,8 +22,8 @@ int main(int argc, char** argv) {
   for (std::uint64_t n : {1000ULL, 10000ULL, 100000ULL, 1000000ULL}) {
     const PopulationConfig pop{.n = n, .s1 = 1, .s0 = 0};
     for (std::uint64_t h : {std::uint64_t{1}, n}) {
-      const auto sched = make_sf_schedule(pop, h, delta, kC1);
-      const auto m_ssf = ssf_memory_budget(pop, dssf, kC1);
+      const auto sched = make_sf_schedule(pop, Holdings{h}, Delta{delta}, kC1);
+      const auto m_ssf = ssf_memory_budget(pop, Delta{dssf}, kC1);
       const double logs =
           std::log2(static_cast<double>(sched.total_rounds())) +
           std::log2(static_cast<double>(h));
@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
           .cell(sched.total_rounds())
           .cell(sf_state_bits(sched))
           .cell(m_ssf)
-          .cell(ssf_state_bits(m_ssf, h))
+          .cell(ssf_state_bits(MemoryBudget{m_ssf}, Holdings{h}))
           .cell(logs, 1)
           .end_row();
     }

@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
     double push_t = 0.0;
     std::uint64_t push_ok = 0;
     for (std::uint64_t rep = 0; rep < reps; ++rep) {
-      PushSpread ps(pop, 1, delta);
+      PushSpread ps(pop, Holdings{1}, Delta{delta});
       AggregatePushEngine engine;
       Rng rng(16000 + n + rep);
       const auto r = run_push(ps, engine, noise, pop.correct_opinion(),
@@ -46,9 +46,10 @@ int main(int argc, char** argv) {
     // PULL(1): SF's schedule length (running it to completion at large n
     // costs Θ(n²·log n) work; the schedule is deterministic, and the
     // THM4-N bench validates that it does converge at the smaller sizes).
-    const SourceFilter pull1(pop, 1, delta, kC1);
-    const SourceFilter pulln(pop, n, delta, kC1);
-    const double lb = theorem3_lower_bound(n, 1, delta, 1, 2);
+    const SourceFilter pull1(pop, Holdings{1}, Delta{delta}, kC1);
+    const SourceFilter pulln(pop, Holdings{n}, Delta{delta}, kC1);
+    const double lb = theorem3_lower_bound(AgentCount{n}, Holdings{1},
+                                           Delta{delta}, SourceCount{1}, 2);
     const double logn = std::log(static_cast<double>(n));
 
     table.cell(n)

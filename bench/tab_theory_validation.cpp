@@ -57,8 +57,11 @@ int main(int argc, char** argv) {
   Table gap({"n", "h", "Thm4 UB expr", "Thm3 LB expr", "UB/LB", "ln n"});
   for (std::uint64_t n : {1000ULL, 10000ULL, 100000ULL, 1000000ULL}) {
     for (std::uint64_t h : {std::uint64_t{1}, n}) {
-      const double ub = theorem4_upper_bound(n, h, 0.25, 1, 0);
-      const double lb = theorem3_lower_bound(n, h, 0.25, 1, 2);
+      const double ub =
+          theorem4_upper_bound(AgentCount{n}, Holdings{h}, Delta{0.25},
+                               SourceCount{1}, SourceCount{0});
+      const double lb = theorem3_lower_bound(AgentCount{n}, Holdings{h},
+                                             Delta{0.25}, SourceCount{1}, 2);
       gap.cell(n)
           .cell(h)
           .cell(ub, 0)

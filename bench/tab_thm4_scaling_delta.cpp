@@ -40,12 +40,12 @@ int main(int argc, char** argv) {
   for (double delta : deltas) {
     cells.push_back(ExperimentCell{
         .label = "delta=" + std::to_string(delta),
-        .make_protocol = sf_factory(pop, n, delta),
+        .make_protocol = sf_factory(pop, Holdings{n}, Delta{delta}),
         .noise = NoiseMatrix::uniform(2, delta),
         .correct = pop.correct_opinion(),
         .cfg = RunConfig{.h = n},
         .seed = 3000 + static_cast<std::uint64_t>(delta * 100),
-        .protocol_digest = sf_digest(pop, n, delta)});
+        .protocol_digest = sf_digest(pop, Holdings{n}, Delta{delta})});
   }
   struct Reduced {
     double tightest;
@@ -58,12 +58,12 @@ int main(int argc, char** argv) {
     reduced_info.push_back({raw.tightest_upper_bound(), red.delta_prime});
     cells.push_back(ExperimentCell{
         .label = std::string("channel ") + ch.name,
-        .make_protocol = sf_factory(pop, n, red.delta_prime),
+        .make_protocol = sf_factory(pop, Holdings{n}, Delta{red.delta_prime}),
         .noise = raw,
         .correct = pop.correct_opinion(),
         .cfg = RunConfig{.h = n},
         .seed = 4000,
-        .protocol_digest = sf_digest(pop, n, red.delta_prime),
+        .protocol_digest = sf_digest(pop, Holdings{n}, Delta{red.delta_prime}),
         .use_aggregate_engine = true,
         .artificial_noise = red.artificial});
   }

@@ -27,12 +27,12 @@ int main(int argc, char** argv) {
   for (std::uint64_t h : hs) {
     cells.push_back(ExperimentCell{
         .label = "h=" + std::to_string(h),
-        .make_protocol = sf_factory(pop, h, delta),
+        .make_protocol = sf_factory(pop, Holdings{h}, Delta{delta}),
         .noise = noise,
         .correct = pop.correct_opinion(),
         .cfg = RunConfig{.h = h},
         .seed = 500 + h,
-        .protocol_digest = sf_digest(pop, h, delta)});
+        .protocol_digest = sf_digest(pop, Holdings{h}, Delta{delta})});
   }
   const auto stats = run_experiment(cells, scheduler_options(args, 8));
 

@@ -46,12 +46,12 @@ int main(int argc, char** argv) {
       grid.push_back({n, h});
       cells.push_back(ExperimentCell{
           .label = "n=" + std::to_string(n) + " h=" + std::to_string(h),
-          .make_protocol = sf_factory(pop, h, delta),
+          .make_protocol = sf_factory(pop, Holdings{h}, Delta{delta}),
           .noise = NoiseMatrix::uniform(2, delta),
           .correct = pop.correct_opinion(),
           .cfg = RunConfig{.h = h},
           .seed = 1000 + n + h,
-          .protocol_digest = sf_digest(pop, h, delta)});
+          .protocol_digest = sf_digest(pop, Holdings{h}, Delta{delta})});
     }
   }
   const auto stats = run_experiment(cells, scheduler_options(args, reps));

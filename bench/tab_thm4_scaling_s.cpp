@@ -30,23 +30,23 @@ int main(int argc, char** argv) {
     const PopulationConfig pop{.n = n, .s1 = s, .s0 = 0};
     cells.push_back(ExperimentCell{
         .label = "s=" + std::to_string(s),
-        .make_protocol = sf_factory(pop, h, delta),
+        .make_protocol = sf_factory(pop, Holdings{h}, Delta{delta}),
         .noise = noise,
         .correct = pop.correct_opinion(),
         .cfg = RunConfig{.h = h},
         .seed = 6000 + s,
-        .protocol_digest = sf_digest(pop, h, delta)});
+        .protocol_digest = sf_digest(pop, Holdings{h}, Delta{delta})});
   }
   for (std::uint64_t s0 : conflict_s0) {
     const PopulationConfig pop{.n = n, .s1 = 40 - s0, .s0 = s0};
     cells.push_back(ExperimentCell{
         .label = "s0=" + std::to_string(s0),
-        .make_protocol = sf_factory(pop, h, delta),
+        .make_protocol = sf_factory(pop, Holdings{h}, Delta{delta}),
         .noise = noise,
         .correct = pop.correct_opinion(),
         .cfg = RunConfig{.h = h},
         .seed = 6100 + s0,
-        .protocol_digest = sf_digest(pop, h, delta)});
+        .protocol_digest = sf_digest(pop, Holdings{h}, Delta{delta})});
   }
   const auto stats = run_experiment(cells, scheduler_options(args, 8));
 

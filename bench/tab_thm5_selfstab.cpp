@@ -30,33 +30,38 @@ int main(int argc, char** argv) {
   std::vector<ExperimentCell> cells;
   // (a) every corruption policy, n = 2000, h = n.
   const PopulationConfig pop_a{.n = 2000, .s1 = 2, .s0 = 0};
-  const SelfStabilizingSourceFilter ref_a(pop_a, pop_a.n, delta, kC1);
+  const SelfStabilizingSourceFilter ref_a(pop_a, Holdings{pop_a.n},
+                                          Delta{delta}, kC1);
   for (const auto policy : kAllCorruptionPolicies) {
     cells.push_back(ExperimentCell{
         .label = std::string("policy ") + to_string(policy),
-        .make_protocol = ssf_factory(pop_a, pop_a.n, delta, policy),
+        .make_protocol = ssf_factory(pop_a, Holdings{pop_a.n}, Delta{delta},
+                                     policy),
         .noise = noise,
         .correct = pop_a.correct_opinion(),
         .cfg = RunConfig{.h = pop_a.n,
                          .max_rounds = ref_a.convergence_deadline(),
                          .stability_window = 3 * ref_a.convergence_deadline()},
         .seed = 8000 + static_cast<std::uint64_t>(policy),
-        .protocol_digest = ssf_digest(pop_a, pop_a.n, delta, policy)});
+        .protocol_digest = ssf_digest(pop_a, Holdings{pop_a.n}, Delta{delta},
+                                      policy)});
   }
   // (b) scaling in n under wrong-consensus corruption.
   for (std::uint64_t n : scaling_n) {
     const PopulationConfig pop{.n = n, .s1 = 2, .s0 = 0};
-    const SelfStabilizingSourceFilter ref(pop, n, delta, kC1);
+    const SelfStabilizingSourceFilter ref(pop, Holdings{n}, Delta{delta}, kC1);
     cells.push_back(ExperimentCell{
         .label = "n=" + std::to_string(n),
         .make_protocol =
-            ssf_factory(pop, n, delta, CorruptionPolicy::WrongConsensus),
+            ssf_factory(pop, Holdings{n}, Delta{delta},
+                        CorruptionPolicy::WrongConsensus),
         .noise = noise,
         .correct = pop.correct_opinion(),
         .cfg = RunConfig{.h = n, .max_rounds = ref.convergence_deadline()},
         .seed = 8100 + n,
         .protocol_digest =
-            ssf_digest(pop, n, delta, CorruptionPolicy::WrongConsensus)});
+            ssf_digest(pop, Holdings{n}, Delta{delta},
+                       CorruptionPolicy::WrongConsensus)});
   }
   const auto stats = run_experiment(cells, scheduler_options(args, 6));
 
@@ -83,7 +88,8 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < scaling_n.size(); ++i) {
       const std::uint64_t n = scaling_n[i];
       const PopulationConfig pop{.n = n, .s1 = 2, .s0 = 0};
-      const SelfStabilizingSourceFilter ref(pop, n, delta, kC1);
+      const SelfStabilizingSourceFilter ref(pop, Holdings{n}, Delta{delta},
+                                            kC1);
       const auto& st = stats[base + i];
       const std::optional<double> fc = st.mean_convergence_round;
       const std::optional<double> fc_over_logn =

@@ -42,11 +42,15 @@ int main(int argc, char** argv) {
   for (std::uint64_t n : {1000ULL, 4000ULL, 16000ULL}) {
     const PopulationConfig pop{.n = n, .s1 = 1, .s0 = 0};
     for (std::uint64_t h : {std::uint64_t{1}, n}) {
-      const SourceFilter sf(pop, h, delta, kC1);
+      const SourceFilter sf(pop, Holdings{h}, Delta{delta}, kC1);
       rounds.cell(n)
           .cell(h)
-          .cell(pull_rounds_via_two_party(n, h, 1, delta, x), 0)
-          .cell(theorem3_lower_bound(n, h, delta, 1, 2), 1)
+          .cell(pull_rounds_via_two_party(AgentCount{n}, Holdings{h},
+                                          SourceCount{1}, Delta{delta}, x),
+                0)
+          .cell(theorem3_lower_bound(AgentCount{n}, Holdings{h}, Delta{delta},
+                                     SourceCount{1}, 2),
+                1)
           .cell(sf.planned_rounds())
           .end_row();
     }

@@ -20,11 +20,12 @@ double sf_weak_fraction(const PopulationConfig& pop, double delta,
   const auto noise = NoiseMatrix::uniform(2, delta);
   std::uint64_t correct = 0, total = 0;
   for (int rep = 0; rep < reps; ++rep) {
-    SourceFilter sf(pop, pop.n, delta, noisypull::bench::kC1);
+    SourceFilter sf(pop, Holdings{pop.n}, Delta{delta},
+                    C1{noisypull::bench::kC1});
     AggregateEngine engine;
     Rng rng(seed + rep);
     for (std::uint64_t t = 0; t < sf.schedule().boosting_start(); ++t) {
-      engine.step(sf, noise, pop.n, t, rng);
+      engine.step(sf, noise, Holdings{pop.n}, t, rng);
     }
     for (std::uint64_t i = 0; i < pop.n; ++i) {
       correct += sf.weak_opinion(i) == pop.correct_opinion() ? 1 : 0;
@@ -40,14 +41,14 @@ double ssf_weak_fraction(const PopulationConfig& pop, double delta,
   const auto noise = NoiseMatrix::uniform(4, delta);
   std::uint64_t correct = 0, total = 0;
   for (int rep = 0; rep < reps; ++rep) {
-    SelfStabilizingSourceFilter ssf(pop, pop.n, delta,
-                                    noisypull::bench::kC1);
+    SelfStabilizingSourceFilter ssf(pop, Holdings{pop.n}, Delta{delta},
+                                    C1{noisypull::bench::kC1});
     AggregateEngine engine;
     Rng rng(seed + rep);
     const std::uint64_t cycle =
         (ssf.memory_budget() + pop.n - 1) / pop.n;
     for (std::uint64_t t = 0; t < 3 * cycle; ++t) {
-      engine.step(ssf, noise, pop.n, t, rng);
+      engine.step(ssf, noise, Holdings{pop.n}, t, rng);
     }
     for (std::uint64_t i = 0; i < pop.n; ++i) {
       correct += ssf.weak_opinion(i) == pop.correct_opinion() ? 1 : 0;
@@ -83,9 +84,12 @@ int main(int argc, char** argv) {
         ssf_weak_fraction(pop, delta_ssf, 9500 + n, 4) - 0.5;
     // Closed-form prediction from the Section 5.3.1 message distributions,
     // at the messages-per-phase the protocol actually collects.
-    const auto sched = make_sf_schedule(pop, pop.n, delta, kC1);
+    const auto sched = make_sf_schedule(pop, Holdings{pop.n}, Delta{delta},
+                                        kC1);
     const double exact_adv =
-        sf_weak_opinion_exact(n, sched.phase_rounds * pop.n, delta, 1, 0) -
+        sf_weak_opinion_exact(AgentCount{n},
+                              MemoryBudget{sched.phase_rounds * pop.n},
+                              Delta{delta}, SourceCount{1}, SourceCount{0}) -
         0.5;
     const double yard =
         std::sqrt(std::log(static_cast<double>(n)) / static_cast<double>(n));

@@ -32,7 +32,7 @@ int main() {
   std::printf("swarm size n = %llu, message corruption delta = %.2f\n\n",
               static_cast<unsigned long long>(pop.n), delta);
 
-  SourceFilter protocol(pop, pop.n, delta, 2.0);
+  SourceFilter protocol(pop, Holdings{pop.n}, Delta{delta}, C1{2.0});
   AggregateEngine engine;
   Rng rng(7);
   const auto result = run(protocol, engine, noise, pop.correct_opinion(),
@@ -63,7 +63,8 @@ int main() {
     const PopulationConfig p2{.n = 2'000, .s1 = s0 + 1, .s0 = s0};
     const auto results = run_repetitions(
         [&](Rng&) -> std::unique_ptr<PullProtocol> {
-          return std::make_unique<SourceFilter>(p2, p2.n, delta, 2.0);
+          return std::make_unique<SourceFilter>(p2, Holdings{p2.n},
+                                                Delta{delta}, C1{2.0});
         },
         noise, p2.correct_opinion(), RunConfig{.h = p2.n},
         RepeatOptions{.repetitions = 24, .seed = 99 + s0});

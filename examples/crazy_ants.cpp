@@ -36,7 +36,8 @@ std::optional<double> sf_alignment_rounds(std::uint64_t n, double delta,
   const auto noise = NoiseMatrix::uniform(2, delta);
   const auto results = run_repetitions(
       [&](Rng&) -> std::unique_ptr<PullProtocol> {
-        return std::make_unique<SourceFilter>(pop, n, delta, 2.0);
+        return std::make_unique<SourceFilter>(pop, Holdings{n}, Delta{delta},
+                                              C1{2.0});
       },
       noise, pop.correct_opinion(), RunConfig{.h = n},
       RepeatOptions{.repetitions = 8, .seed = seed});

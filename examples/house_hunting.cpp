@@ -35,11 +35,12 @@ int main() {
     std::printf("%s#%zu: %llu", o ? ", " : "", o,
                 static_cast<unsigned long long>(colony.sources[o]));
   }
-  std::printf("\nbest site: #%d (plurality margin %llu), contact noise %.0f%%\n\n",
-              colony.plurality_opinion(),
-              static_cast<unsigned long long>(colony.bias()), 100 * delta);
+  std::printf(
+      "\nbest site: #%d (plurality margin %llu), contact noise %.0f%%\n\n",
+      colony.plurality_opinion(),
+      static_cast<unsigned long long>(colony.bias()), 100 * delta);
 
-  KarySourceFilter protocol(colony, colony.n, delta);
+  KarySourceFilter protocol(colony, Holdings{colony.n}, Delta{delta});
   AggregateEngine engine;
   Rng rng(1906);  // Pratt et al. would approve of a fixed seed
   const auto result =
@@ -74,7 +75,7 @@ int main() {
     int wins = 0;
     const int kColonies = 16;
     for (int c = 0; c < kColonies; ++c) {
-      KarySourceFilter ksf(pop, pop.n, delta);
+      KarySourceFilter ksf(pop, Holdings{pop.n}, Delta{delta});
       AggregateEngine eng;
       Rng colony_rng(2000 + c);
       wins += run(ksf, eng, noise, pop.plurality_opinion(),

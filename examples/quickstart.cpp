@@ -22,7 +22,8 @@ int main() {
   const NoiseMatrix noise = NoiseMatrix::uniform(2, delta);
 
   // The Source Filter protocol, tuned by Theorem 4's schedule for h = n.
-  SourceFilter protocol(pop, /*h=*/pop.n, delta, /*c1=*/2.0);
+  SourceFilter protocol(pop, Holdings{/*h=*/pop.n}, Delta{delta},
+                        C1{/*c1=*/2.0});
   const auto& schedule = protocol.schedule();
   std::printf("population n = %llu, one source, noise delta = %.2f\n",
               static_cast<unsigned long long>(pop.n), delta);

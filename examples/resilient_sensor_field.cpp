@@ -26,7 +26,8 @@ int main() {
   const double delta = 0.05;
   const auto noise4 = NoiseMatrix::uniform(4, delta);
 
-  SelfStabilizingSourceFilter reference(pop, pop.n, delta, 2.0);
+  SelfStabilizingSourceFilter reference(pop, Holdings{pop.n}, Delta{delta},
+                                        C1{2.0});
   std::printf("sensor field n = %llu, two anchors, delta = %.2f\n",
               static_cast<unsigned long long>(pop.n), delta);
   std::printf("SSF memory budget m = %llu messages, deadline %llu rounds\n\n",
@@ -37,7 +38,8 @@ int main() {
   Table table({"corruption at t=0", "recovered", "first all-correct round",
                "held for 2x deadline"});
   for (const auto policy : kAllCorruptionPolicies) {
-    SelfStabilizingSourceFilter ssf(pop, pop.n, delta, 2.0);
+    SelfStabilizingSourceFilter ssf(pop, Holdings{pop.n}, Delta{delta},
+                                    C1{2.0});
     Rng init(31 + static_cast<int>(policy));
     corrupt_population(ssf, policy, pop.correct_opinion(), init);
 
@@ -63,7 +65,8 @@ int main() {
   std::printf("\nwithout the source-tag bit (1-bit messages), the same "
               "wrong-consensus attack sticks:\n");
   const auto noise2 = NoiseMatrix::uniform(2, delta);
-  TaglessSsf tagless(pop, pop.n, reference.memory_budget());
+  TaglessSsf tagless(pop, Holdings{pop.n},
+                     MemoryBudget{reference.memory_budget()});
   Rng init(51);
   corrupt_population(tagless, CorruptionPolicy::WrongConsensus,
                      pop.correct_opinion(), init);

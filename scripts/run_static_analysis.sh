@@ -1,28 +1,66 @@
 #!/usr/bin/env bash
-# One-shot static-analysis gate for the noisypull tree.
+# One-shot static-analysis gate for the noisypull tree — the single local
+# entry point CI mirrors.
 #
 # Configures a build with compile_commands.json and the strict warning set,
 # then runs, in order:
 #   1. the full NOISYPULL_WERROR build (-Werror -Wshadow -Wconversion
 #      -Wdouble-promotion promoted to errors),
 #   2. the repo-specific invariant linter (noisypull_lint: fixtures
-#      self-test, then the real tree),
-#   3. clang-tidy with the curated .clang-tidy config (if installed),
-#   4. cppcheck (if installed).
+#      self-test, then the real tree — or only changed files with
+#      --changed-only),
+#   3. clang-format on the files --changed-only selected (if installed),
+#   4. clang-tidy with the curated .clang-tidy config (if installed),
+#   5. cppcheck (if installed).
 #
 # Exits nonzero on the first layer with findings.  Tools that are not
 # installed are reported and skipped — the builtin layers (1-2) always run,
 # so the gate never silently passes on a machine without LLVM.
 #
-# Usage: scripts/run_static_analysis.sh [build-dir]   (default: build-sa)
+# Usage: scripts/run_static_analysis.sh [options] [build-dir]
+#   --changed-only       lint/format only files changed vs the merge base
+#                        (origin/main, falling back to HEAD~1); note the
+#                        include-graph cycle check needs the full tree, so
+#                        CI still runs the unrestricted pass
+#   --sarif <file>       also write the tree lint findings as SARIF 2.1.0
+#                        (for CI upload as inline PR annotations)
+#   [build-dir]          defaults to build-sa
 set -u -o pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-BUILD="${1:-$ROOT/build-sa}"
+BUILD=""
+CHANGED_ONLY=0
+SARIF_OUT=""
+while [ "$#" -gt 0 ]; do
+  case "$1" in
+    --changed-only) CHANGED_ONLY=1 ;;
+    --sarif)
+      shift
+      SARIF_OUT="${1:?--sarif needs a file argument}"
+      ;;
+    *) BUILD="$1" ;;
+  esac
+  shift
+done
+BUILD="${BUILD:-$ROOT/build-sa}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 FAILED=0
 
 note() { printf '\n== %s ==\n' "$*"; }
+
+# Files changed relative to the merge base, restricted to lintable C++.
+changed_files() {
+  local base
+  base="$(git -C "$ROOT" merge-base origin/main HEAD 2>/dev/null)" ||
+    base="$(git -C "$ROOT" rev-parse HEAD~1 2>/dev/null)" || return 0
+  git -C "$ROOT" diff --name-only --diff-filter=ACMR "$base" -- \
+    '*.cpp' '*.hpp' | while IFS= read -r f; do
+    case "$f" in
+      */lint_fixtures/*) ;;  # fixtures are linted by the self-test
+      *) [ -f "$ROOT/$f" ] && printf '%s\n' "$ROOT/$f" ;;
+    esac
+  done
+}
 
 note "configure ($BUILD, NOISYPULL_WERROR=ON, compile_commands.json)"
 cmake -B "$BUILD" -S "$ROOT" -DNOISYPULL_WERROR=ON \
@@ -39,10 +77,31 @@ if ! "$BUILD/tools/noisypull_lint" --self-test "$ROOT/tests/lint_fixtures"; then
   FAILED=1
 fi
 
-note "noisypull_lint over the real tree"
-if ! "$BUILD/tools/noisypull_lint" \
-    "$ROOT/src" "$ROOT/bench" "$ROOT/tools" "$ROOT/tests" "$ROOT/examples"; then
-  FAILED=1
+LINT_PATHS=("$ROOT/src" "$ROOT/bench" "$ROOT/tools" "$ROOT/tests"
+            "$ROOT/examples")
+if [ "$CHANGED_ONLY" -eq 1 ]; then
+  mapfile -t LINT_PATHS < <(changed_files)
+  note "noisypull_lint over ${#LINT_PATHS[@]} changed file(s)"
+else
+  note "noisypull_lint over the real tree"
+fi
+if [ "${#LINT_PATHS[@]}" -gt 0 ]; then
+  if ! "$BUILD/tools/noisypull_lint" "${LINT_PATHS[@]}"; then
+    FAILED=1
+  fi
+  if [ -n "$SARIF_OUT" ]; then
+    "$BUILD/tools/noisypull_lint" --format=sarif "${LINT_PATHS[@]}" \
+      > "$SARIF_OUT" || true  # findings already failed the text pass
+    echo "SARIF written to $SARIF_OUT"
+  fi
+fi
+
+if [ "$CHANGED_ONLY" -eq 1 ] && [ "${#LINT_PATHS[@]}" -gt 0 ] &&
+   command -v clang-format >/dev/null 2>&1; then
+  note "clang-format on changed files"
+  if ! clang-format --dry-run --Werror "${LINT_PATHS[@]}"; then
+    FAILED=1
+  fi
 fi
 
 if command -v run-clang-tidy >/dev/null 2>&1; then

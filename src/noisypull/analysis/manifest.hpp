@@ -11,8 +11,9 @@
 // File format (line-oriented text, all integers decimal unless noted):
 //
 //   noisypull-sweep-manifest 1 <sweep-digest hex16>
-//   <cell-key hex16> <rep> <c> <s> <rounds> <first> <corr> \
+//   <cell-key hex16> <rep> <c> <s> <rounds> <first> <corr>
 //       <mean-bits hex16> <min-bits hex16> <resets> <crc hex8>
+//   (one record per line; wrapped above for width)
 //
 // The sweep digest is an FNV-1a fold of the cell cache keys in input
 // order: a manifest written for a different sweep (different grid, seeds,

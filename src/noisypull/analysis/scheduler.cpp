@@ -158,7 +158,8 @@ struct InFlightRep {
 // Reads and parses the cache entry for `key`, retrying statuses a short
 // read can produce and quarantining anything that stays corrupt.
 CacheEntry load_cache_entry(const fs::path& path, std::uint64_t key,
-                            const io::IoOptions& io, std::uint64_t& quarantined) {
+                            const io::IoOptions& io,
+                            std::uint64_t& quarantined) {
   CacheEntry entry;
   for (std::uint64_t attempt = 0; attempt <= io.max_retries; ++attempt) {
     const auto payload = io::read_file(path, io);
@@ -738,13 +739,13 @@ std::vector<CellStats> run_experiment(const std::vector<ExperimentCell>& cells,
       NOISYPULL_CHECK(ssf != nullptr,
                       "churn cells require a SelfStabilizingSourceFilter");
       return to_outcome(run_with_churn(*ssf, engine_for_run, cell.noise,
-                                       cell.correct, cell.cfg.h, ss.warmup,
-                                       ss.measure, *ss.churn, run_rng, cancel));
+                                       cell.correct, Holdings{cell.cfg.h},
+                                       ss.warmup, ss.measure, *ss.churn,
+                                       run_rng, cancel));
     }
-    return to_outcome(measure_steady_state(*protocol, engine_for_run,
-                                           cell.noise, cell.correct, cell.cfg.h,
-                                           ss.warmup, ss.measure, run_rng, {},
-                                           cancel));
+    return to_outcome(measure_steady_state(
+        *protocol, engine_for_run, cell.noise, cell.correct,
+        Holdings{cell.cfg.h}, ss.warmup, ss.measure, run_rng, {}, cancel));
   };
 
   // Transient-failure handler: requeue within the retry budget, otherwise

@@ -15,7 +15,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "noisypull/model/protocol.hpp"
+#include "noisypull/core/protocol.hpp"
 
 namespace noisypull {
 

@@ -161,7 +161,7 @@ bool atomic_write_file(const fs::path& path, std::string_view payload,
       fs::remove(tmp, ec);
       continue;
     }
-    fs::rename(tmp, path, ec);  // nplint: allow(raw-file-io)
+    fs::rename(tmp, path, ec);  // nplint: allow(raw-file-io) -- the seam
     if (ec) {
       fs::remove(tmp, ec);
       continue;
@@ -234,7 +234,7 @@ bool quarantine_file(const fs::path& path, std::string_view tag) {
   fs::path dest = dir / path.filename();
   dest += ".";
   dest += std::string(tag);
-  fs::rename(path, dest, ec);  // nplint: allow(raw-file-io)
+  fs::rename(path, dest, ec);  // nplint: allow(raw-file-io) -- the seam
   if (!ec) {
     return true;
   }

@@ -1,0 +1,129 @@
+// Strong domain types for the paper's parameter vocabulary.
+//
+// Nearly every API in this reproduction is parameterized by some slice of
+// (n, s1, s0, h, delta, c1) — and most of those slices are adjacent
+// same-type parameters, exactly the call-site hazard
+// bugprone-easily-swappable-parameters exists to catch.  Rather than
+// suppressing the check tree-wide (the state of affairs before this
+// header; see .clang-tidy history), the domain quantities get zero-cost
+// explicit wrapper types: a swap of `h` and `m`, or `delta` and `c1`, at a
+// call site is now a type error instead of a silently wrong experiment.
+//
+// Conventions:
+//   * construction is explicit — `Holdings{64}`, never a bare `64`;
+//   * `.get()` is the only way out, `constexpr` and free of any cost;
+//   * the wrappers are deliberately operator-free: arithmetic happens on
+//     the unwrapped value at the point of use, so the types document intent
+//     without growing a units-algebra nobody asked for.
+#pragma once
+
+#include <cstdint>
+
+#include "noisypull/common/check.hpp"
+
+namespace noisypull {
+
+namespace detail {
+
+// CRTP base so each wrapper is a distinct, non-interconvertible type.
+template <typename Tag, typename Rep>
+class StrongValue {
+ public:
+  using rep = Rep;
+
+  constexpr StrongValue() noexcept = default;
+  explicit constexpr StrongValue(Rep value) noexcept : value_(value) {}
+
+  constexpr Rep get() const noexcept { return value_; }
+
+  friend constexpr bool operator==(StrongValue a, StrongValue b) noexcept {
+    return a.value_ == b.value_;
+  }
+  friend constexpr bool operator!=(StrongValue a, StrongValue b) noexcept {
+    return a.value_ != b.value_;
+  }
+
+ private:
+  Rep value_{};
+};
+
+}  // namespace detail
+
+// Total number of agents n.
+struct AgentCount final : detail::StrongValue<AgentCount, std::uint64_t> {
+  using StrongValue::StrongValue;
+};
+
+// A count of source agents (s1 or s0 — the type cannot distinguish the two
+// preferences, but it does stop a source count from landing in an agent- or
+// sample-count slot).
+struct SourceCount final : detail::StrongValue<SourceCount, std::uint64_t> {
+  using StrongValue::StrongValue;
+};
+
+// The PULL(h) sample size: how many displays an agent holds per round.
+struct Holdings final : detail::StrongValue<Holdings, std::uint64_t> {
+  using StrongValue::StrongValue;
+};
+
+// A message/memory budget m (Eq. 19 listening budget, Eq. 30 SSF memory).
+struct MemoryBudget final : detail::StrongValue<MemoryBudget, std::uint64_t> {
+  using StrongValue::StrongValue;
+};
+
+// The noise level δ of Definition 1.
+struct Delta final : detail::StrongValue<Delta, double> {
+  using StrongValue::StrongValue;
+};
+
+// The schedule constant c1 (Eq. 19 / Eq. 30); experiments pass a calibrated
+// small value, see DESIGN.md "substitutions".
+struct C1 final : detail::StrongValue<C1, double> {
+  using StrongValue::StrongValue;
+};
+
+inline constexpr C1 kDefaultC1{2.0};
+
+// Population layout.  Agents are indexed 0..n-1; by convention the first s1
+// agents are sources preferring opinion 1, the next s0 are sources preferring
+// opinion 0, and the remainder are non-sources.  Placement is irrelevant in a
+// well-mixed population (sampling is uniform over all agents).
+//
+// Deliberately an aggregate: construction sites use designated initializers
+// (`PopulationConfig{.n = 1000, .s1 = 10, .s0 = 0}`), which carry the field
+// names and are therefore swap-proof without wrapper types.
+struct PopulationConfig {
+  std::uint64_t n = 0;   // total number of agents
+  std::uint64_t s1 = 0;  // sources preferring opinion 1
+  std::uint64_t s0 = 0;  // sources preferring opinion 0
+
+  void validate() const {
+    NOISYPULL_CHECK(n >= 2, "population needs at least 2 agents");
+    NOISYPULL_CHECK(s0 + s1 <= n, "more sources than agents");
+    NOISYPULL_CHECK(s0 + s1 >= 1, "at least one source is required");
+  }
+
+  std::uint64_t num_sources() const noexcept { return s0 + s1; }
+
+  // The paper's bias s = |s1 − s0|.
+  std::uint64_t bias() const noexcept {
+    return s1 >= s0 ? s1 - s0 : s0 - s1;
+  }
+
+  // Majority preference among sources; requires a strict majority.
+  std::uint8_t correct_opinion() const {
+    NOISYPULL_CHECK(s0 != s1, "correct opinion undefined when s0 == s1");
+    return s1 > s0 ? std::uint8_t{1} : std::uint8_t{0};
+  }
+
+  bool is_source(std::uint64_t agent) const noexcept {
+    return agent < s0 + s1;
+  }
+
+  // Preference of a source agent (undefined semantics for non-sources).
+  std::uint8_t source_preference(std::uint64_t agent) const noexcept {
+    return agent < s1 ? std::uint8_t{1} : std::uint8_t{0};
+  }
+};
+
+}  // namespace noisypull

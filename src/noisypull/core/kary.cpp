@@ -59,9 +59,12 @@ Opinion KaryPopulation::source_preference(std::uint64_t agent) const {
   return 0;
 }
 
-KarySourceFilter::KarySourceFilter(KaryPopulation pop, std::uint64_t h,
-                                   double delta, double c1)
-    : pop_(std::move(pop)), h_(h), agents_(pop_.n) {
+KarySourceFilter::KarySourceFilter(KaryPopulation pop, Holdings h_in,
+                                   Delta delta_in, C1 c1_in)
+    : pop_(std::move(pop)), h_(h_in.get()), agents_(pop_.n) {
+  const std::uint64_t h = h_in.get();
+  const double delta = delta_in.get();
+  const double c1 = c1_in.get();
   pop_.validate();
   const auto k = static_cast<double>(pop_.num_opinions());
   NOISYPULL_CHECK(h >= 1, "sample size h must be at least 1");

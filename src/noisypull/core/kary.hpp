@@ -25,7 +25,7 @@
 #include <vector>
 
 #include "noisypull/core/schedule.hpp"
-#include "noisypull/model/protocol.hpp"
+#include "noisypull/core/protocol.hpp"
 
 namespace noisypull {
 
@@ -58,8 +58,8 @@ class KarySourceFilter final : public PullProtocol {
  public:
   // Schedule derived from the k-ary analogue of Eq. 19, with (1−2δ)
   // replaced by (1−kδ); requires δ ∈ [0, 1/k).
-  KarySourceFilter(KaryPopulation pop, std::uint64_t h, double delta,
-                   double c1 = 2.0);
+  KarySourceFilter(KaryPopulation pop, Holdings h, Delta delta,
+                   C1 c1 = kDefaultC1);
 
   std::size_t alphabet_size() const override { return pop_.num_opinions(); }
   std::uint64_t num_agents() const override { return pop_.n; }

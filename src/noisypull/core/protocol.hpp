@@ -11,11 +11,17 @@
 // ordered list.  This is without loss of generality for every protocol in
 // the paper (SF, SSF, and all baselines aggregate observations by counting
 // or majority), and it is what allows an O(n·|Σ|)-per-round engine.
+//
+// This header lives in core/ (base layer) rather than model/: the concrete
+// protocols of core/ implement it and the engines of model/ consume it, so
+// under the enforced layer DAG (DESIGN.md §8.1) the interface must sit at
+// or below both.
 #pragma once
 
 #include <cstdint>
 
-#include "noisypull/model/types.hpp"
+#include "noisypull/common/symbols.hpp"
+#include "noisypull/common/units.hpp"
 #include "noisypull/rng/rng.hpp"
 
 namespace noisypull {

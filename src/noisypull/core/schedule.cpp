@@ -28,9 +28,11 @@ std::uint64_t bits_for(std::uint64_t v) noexcept {
 
 }  // namespace
 
-SfSchedule make_sf_schedule_with_m(const PopulationConfig& pop,
-                                   std::uint64_t h, double delta,
-                                   std::uint64_t m) {
+SfSchedule make_sf_schedule_with_m(const PopulationConfig& pop, Holdings h_in,
+                                   Delta delta_in, MemoryBudget m_in) {
+  const std::uint64_t h = h_in.get();
+  const double delta = delta_in.get();
+  const std::uint64_t m = m_in.get();
   pop.validate();
   NOISYPULL_CHECK(h >= 1, "sample size h must be at least 1");
   NOISYPULL_CHECK(delta >= 0.0 && delta < 0.5,
@@ -52,8 +54,10 @@ SfSchedule make_sf_schedule_with_m(const PopulationConfig& pop,
   return s;
 }
 
-SfSchedule make_sf_schedule(const PopulationConfig& pop, std::uint64_t h,
-                            double delta, double c1) {
+SfSchedule make_sf_schedule(const PopulationConfig& pop, Holdings h,
+                            Delta delta_in, C1 c1_in) {
+  const double delta = delta_in.get();
+  const double c1 = c1_in.get();
   pop.validate();
   NOISYPULL_CHECK(delta >= 0.0 && delta < 0.5,
                   "SF requires delta in [0, 1/2)");
@@ -70,15 +74,17 @@ SfSchedule make_sf_schedule(const PopulationConfig& pop, std::uint64_t h,
       nd * delta * logn / (std::min(sd * sd, nd) * one_minus * one_minus);
   const double term_sqrt = std::sqrt(nd) * logn / sd;
   const double term_src = srcs * logn / (sd * sd);
-  const double term_h = static_cast<double>(h) * logn;
+  const double term_h = static_cast<double>(h.get()) * logn;
 
   const std::uint64_t m = std::max<std::uint64_t>(
       1, to_count(c1 * (term_noise + term_sqrt + term_src + term_h)));
-  return make_sf_schedule_with_m(pop, h, delta, m);
+  return make_sf_schedule_with_m(pop, h, delta_in, MemoryBudget{m});
 }
 
-std::uint64_t ssf_memory_budget(const PopulationConfig& pop, double delta,
-                                double c1) {
+std::uint64_t ssf_memory_budget(const PopulationConfig& pop, Delta delta_in,
+                                C1 c1_in) {
+  const double delta = delta_in.get();
+  const double c1 = c1_in.get();
   pop.validate();
   NOISYPULL_CHECK(delta >= 0.0 && delta < 0.25,
                   "SSF requires delta in [0, 1/4)");
@@ -95,15 +101,16 @@ std::uint64_t sf_state_bits(const SfSchedule& s) noexcept {
   // (ones, total) pair for boosting bounded by max(w, m) + h slack, the
   // round/phase position, and two opinion bits.
   const std::uint64_t phase_msgs = s.phase_rounds * s.h;
-  const std::uint64_t boost_msgs = std::max(s.subphase_rounds, s.final_rounds) * s.h;
+  const std::uint64_t boost_msgs = std::max(s.subphase_rounds,
+                                            s.final_rounds) * s.h;
   return 2 * bits_for(phase_msgs) + 2 * bits_for(boost_msgs) +
          bits_for(s.total_rounds()) + 2;
 }
 
-std::uint64_t ssf_state_bits(std::uint64_t m, std::uint64_t h) noexcept {
+std::uint64_t ssf_state_bits(MemoryBudget m, Holdings h) noexcept {
   // Four symbol counters bounded by m + h (the overshoot before an update
   // round), plus weak-opinion and opinion bits.
-  return 4 * bits_for(m + h) + 2;
+  return 4 * bits_for(m.get() + h.get()) + 2;
 }
 
 }  // namespace noisypull

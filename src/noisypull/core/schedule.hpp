@@ -19,7 +19,8 @@
 
 #include <cstdint>
 
-#include "noisypull/model/types.hpp"
+#include "noisypull/common/symbols.hpp"
+#include "noisypull/common/units.hpp"
 
 namespace noisypull {
 
@@ -39,22 +40,21 @@ struct SfSchedule {
 };
 
 // Builds the Theorem 4 schedule.  Requires δ ∈ [0, 1/2), h ≥ 1, bias ≥ 1.
-SfSchedule make_sf_schedule(const PopulationConfig& pop, std::uint64_t h,
-                            double delta, double c1 = 2.0);
+SfSchedule make_sf_schedule(const PopulationConfig& pop, Holdings h,
+                            Delta delta, C1 c1 = kDefaultC1);
 
 // As above but with an explicit message budget m (used by tests/ablations).
-SfSchedule make_sf_schedule_with_m(const PopulationConfig& pop,
-                                   std::uint64_t h, double delta,
-                                   std::uint64_t m);
+SfSchedule make_sf_schedule_with_m(const PopulationConfig& pop, Holdings h,
+                                   Delta delta, MemoryBudget m);
 
 // Eq. 30 memory budget for SSF.  Requires δ ∈ [0, 1/4).
-std::uint64_t ssf_memory_budget(const PopulationConfig& pop, double delta,
-                                double c1 = 2.0);
+std::uint64_t ssf_memory_budget(const PopulationConfig& pop, Delta delta,
+                                C1 c1 = kDefaultC1);
 
 // Upper bound on the bits of per-agent state a schedule implies (the
 // O(log T + log h) memory claim of Theorems 4/5): counters are bounded by
 // the number of messages a phase can deliver.
 std::uint64_t sf_state_bits(const SfSchedule& s) noexcept;
-std::uint64_t ssf_state_bits(std::uint64_t m, std::uint64_t h) noexcept;
+std::uint64_t ssf_state_bits(MemoryBudget m, Holdings h) noexcept;
 
 }  // namespace noisypull

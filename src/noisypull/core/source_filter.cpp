@@ -4,8 +4,8 @@
 
 namespace noisypull {
 
-SourceFilter::SourceFilter(const PopulationConfig& pop, std::uint64_t h,
-                           double delta, double c1)
+SourceFilter::SourceFilter(const PopulationConfig& pop, Holdings h,
+                           Delta delta, C1 c1)
     : SourceFilter(pop, make_sf_schedule(pop, h, delta, c1)) {}
 
 SourceFilter::SourceFilter(const PopulationConfig& pop, SfSchedule schedule)

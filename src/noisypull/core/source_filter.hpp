@@ -22,15 +22,15 @@
 #include <vector>
 
 #include "noisypull/core/schedule.hpp"
-#include "noisypull/model/protocol.hpp"
+#include "noisypull/core/protocol.hpp"
 
 namespace noisypull {
 
 class SourceFilter : public PullProtocol {
  public:
   // Builds SF with the Theorem 4 schedule (see make_sf_schedule).
-  SourceFilter(const PopulationConfig& pop, std::uint64_t h, double delta,
-               double c1 = 2.0);
+  SourceFilter(const PopulationConfig& pop, Holdings h, Delta delta,
+               C1 c1 = kDefaultC1);
 
   // Builds SF with an explicit, already-computed schedule.
   SourceFilter(const PopulationConfig& pop, SfSchedule schedule);

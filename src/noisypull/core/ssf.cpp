@@ -5,17 +5,17 @@
 namespace noisypull {
 
 SelfStabilizingSourceFilter::SelfStabilizingSourceFilter(
-    const PopulationConfig& pop, std::uint64_t h, double delta, double c1)
-    : SelfStabilizingSourceFilter(pop, h, ssf_memory_budget(pop, delta, c1),
-                                  ExplicitBudget{}) {}
+    const PopulationConfig& pop, Holdings h, Delta delta, C1 c1)
+    : SelfStabilizingSourceFilter(
+          pop, h, MemoryBudget{ssf_memory_budget(pop, delta, c1)},
+          ExplicitBudget{}) {}
 
 SelfStabilizingSourceFilter::SelfStabilizingSourceFilter(
-    const PopulationConfig& pop, std::uint64_t h, std::uint64_t m,
-    ExplicitBudget)
-    : pop_(pop), h_(h), m_(m), agents_(pop.n) {
+    const PopulationConfig& pop, Holdings h, MemoryBudget m, ExplicitBudget)
+    : pop_(pop), h_(h.get()), m_(m.get()), agents_(pop.n) {
   pop_.validate();
-  NOISYPULL_CHECK(h >= 1, "sample size h must be at least 1");
-  NOISYPULL_CHECK(m >= 1, "memory budget m must be at least 1");
+  NOISYPULL_CHECK(h_ >= 1, "sample size h must be at least 1");
+  NOISYPULL_CHECK(m_ >= 1, "memory budget m must be at least 1");
 }
 
 Symbol SelfStabilizingSourceFilter::display(std::uint64_t agent,

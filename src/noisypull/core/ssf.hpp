@@ -26,7 +26,7 @@
 #include <vector>
 
 #include "noisypull/core/schedule.hpp"
-#include "noisypull/model/protocol.hpp"
+#include "noisypull/core/protocol.hpp"
 
 namespace noisypull {
 
@@ -40,12 +40,12 @@ class SelfStabilizingSourceFilter : public PullProtocol {
   static constexpr Opinion second_bit(Symbol s) noexcept { return s & 1; }
 
   // Builds SSF with the Theorem 5 memory budget (see ssf_memory_budget).
-  SelfStabilizingSourceFilter(const PopulationConfig& pop, std::uint64_t h,
-                              double delta, double c1 = 2.0);
+  SelfStabilizingSourceFilter(const PopulationConfig& pop, Holdings h,
+                              Delta delta, C1 c1 = kDefaultC1);
 
   // Builds SSF with an explicit memory budget m (tests / ablations).
   static SelfStabilizingSourceFilter with_memory_budget(
-      const PopulationConfig& pop, std::uint64_t h, std::uint64_t m) {
+      const PopulationConfig& pop, Holdings h, MemoryBudget m) {
     return SelfStabilizingSourceFilter(pop, h, m, ExplicitBudget{});
   }
 
@@ -108,8 +108,8 @@ class SelfStabilizingSourceFilter : public PullProtocol {
 
  private:
   struct ExplicitBudget {};
-  SelfStabilizingSourceFilter(const PopulationConfig& pop, std::uint64_t h,
-                              std::uint64_t m, ExplicitBudget);
+  SelfStabilizingSourceFilter(const PopulationConfig& pop, Holdings h,
+                              MemoryBudget m, ExplicitBudget);
 
   static Opinion majority(std::uint64_t ones, std::uint64_t zeros, Rng& rng);
 };

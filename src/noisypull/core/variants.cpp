@@ -50,12 +50,12 @@ void AlternatingSourceFilter::update(std::uint64_t agent, std::uint64_t round,
   SourceFilter::update(agent, round, obs, rng);
 }
 
-TaglessSsf::TaglessSsf(const PopulationConfig& pop, std::uint64_t h,
-                       std::uint64_t m)
-    : pop_(pop), m_(m), agents_(pop.n) {
+TaglessSsf::TaglessSsf(const PopulationConfig& pop, Holdings h,
+                       MemoryBudget m)
+    : pop_(pop), m_(m.get()), agents_(pop.n) {
   pop_.validate();
-  NOISYPULL_CHECK(h >= 1, "sample size h must be at least 1");
-  NOISYPULL_CHECK(m >= 1, "memory budget m must be at least 1");
+  NOISYPULL_CHECK(h.get() >= 1, "sample size h must be at least 1");
+  NOISYPULL_CHECK(m_ >= 1, "memory budget m must be at least 1");
 }
 
 Symbol TaglessSsf::display(std::uint64_t agent,

@@ -63,7 +63,7 @@ class AlternatingSourceFilter final : public SourceFilter {
 
 class TaglessSsf final : public PullProtocol {
  public:
-  TaglessSsf(const PopulationConfig& pop, std::uint64_t h, std::uint64_t m);
+  TaglessSsf(const PopulationConfig& pop, Holdings h, MemoryBudget m);
 
   std::size_t alphabet_size() const override { return 2; }
   std::uint64_t num_agents() const override { return pop_.n; }

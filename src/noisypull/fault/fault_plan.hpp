@@ -29,7 +29,8 @@
 
 #include <cstdint>
 
-#include "noisypull/model/types.hpp"
+#include "noisypull/common/symbols.hpp"
+#include "noisypull/common/units.hpp"
 
 namespace noisypull {
 

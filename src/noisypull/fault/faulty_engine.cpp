@@ -153,7 +153,7 @@ void FaultyEngine::advance_stall_schedule(std::uint64_t round) {
 }
 
 void FaultyEngine::step(PullProtocol& protocol, const NoiseMatrix& noise,
-                        std::uint64_t h, std::uint64_t round, Rng& rng) {
+                        Holdings h, std::uint64_t round, Rng& rng) {
   if (!plan_.any()) {
     // Transparent pass-through: the identity contract requires bit-for-bit
     // agreement with the bare engine, so not even the proxy is interposed.

@@ -51,7 +51,7 @@ class FaultyEngine final : public Engine {
   // Non-owning: `inner` must outlive the decorator.
   FaultyEngine(Engine& inner, FaultPlan plan);
 
-  void step(PullProtocol& protocol, const NoiseMatrix& noise, std::uint64_t h,
+  void step(PullProtocol& protocol, const NoiseMatrix& noise, Holdings h,
             std::uint64_t round, Rng& rng) override;
   void set_artificial_noise(std::optional<Matrix> p) override;
 

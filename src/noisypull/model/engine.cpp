@@ -68,7 +68,8 @@ void ExactEngine::set_artificial_noise(std::optional<Matrix> p) {
 }
 
 void ExactEngine::step(PullProtocol& protocol, const NoiseMatrix& noise,
-                       std::uint64_t h, std::uint64_t round, Rng& rng) {
+                       Holdings h_in, std::uint64_t round, Rng& rng) {
+  const std::uint64_t h = h_in.get();
   const std::uint64_t n = protocol.num_agents();
   const std::size_t d = protocol.alphabet_size();
   NOISYPULL_CHECK(noise.alphabet_size() == d,
@@ -111,7 +112,8 @@ void AggregateEngine::set_artificial_noise(std::optional<Matrix> p) {
 }
 
 void AggregateEngine::step(PullProtocol& protocol, const NoiseMatrix& noise,
-                           std::uint64_t h, std::uint64_t round, Rng& rng) {
+                           Holdings h_in, std::uint64_t round, Rng& rng) {
+  const std::uint64_t h = h_in.get();
   const std::uint64_t n = protocol.num_agents();
   const std::size_t d = protocol.alphabet_size();
   NOISYPULL_CHECK(noise.alphabet_size() == d,
@@ -216,8 +218,9 @@ double HeterogeneousEngine::worst_upper_bound() const noexcept {
 }
 
 void HeterogeneousEngine::step(PullProtocol& protocol,
-                               const NoiseMatrix& noise, std::uint64_t h,
+                               const NoiseMatrix& noise, Holdings h_in,
                                std::uint64_t round, Rng& rng) {
+  const std::uint64_t h = h_in.get();
   const std::uint64_t n = protocol.num_agents();
   const std::size_t d = protocol.alphabet_size();
   NOISYPULL_CHECK(noise.alphabet_size() == d,
@@ -270,7 +273,8 @@ void SequentialEngine::set_artificial_noise(std::optional<Matrix> p) {
 }
 
 void SequentialEngine::step(PullProtocol& protocol, const NoiseMatrix& noise,
-                            std::uint64_t h, std::uint64_t round, Rng& rng) {
+                            Holdings h_in, std::uint64_t round, Rng& rng) {
+  const std::uint64_t h = h_in.get();
   const std::uint64_t n = protocol.num_agents();
   const std::size_t d = protocol.alphabet_size();
   NOISYPULL_CHECK(noise.alphabet_size() == d,

@@ -25,7 +25,7 @@
 // so the trajectory (and hence the replay digest) is a function of seed and
 // configuration alone, bit-identical for 1 and T threads.  The serial
 // display/digest phase precedes the parallel phase, which only writes
-// per-agent protocol state (the update() contract in model/protocol.hpp).
+// per-agent protocol state (the update() contract in core/protocol.hpp).
 // SequentialEngine is inherently order-dependent and ignores set_threads().
 //
 // Both engines can apply an "artificial noise" matrix P to every observation
@@ -47,7 +47,7 @@
 #include <vector>
 
 #include "noisypull/common/fnv.hpp"
-#include "noisypull/model/protocol.hpp"
+#include "noisypull/core/protocol.hpp"
 #include "noisypull/noise/noise_matrix.hpp"
 #include "noisypull/rng/observation_cache.hpp"
 #include "noisypull/rng/rng.hpp"
@@ -65,7 +65,7 @@ class Engine {
   // Executes one full round: displays → sampling → noise → updates.
   // `h` is the sample size of the PULL(h) model.
   virtual void step(PullProtocol& protocol, const NoiseMatrix& noise,
-                    std::uint64_t h, std::uint64_t round, Rng& rng) = 0;
+                    Holdings h, std::uint64_t round, Rng& rng) = 0;
 
   // Installs artificial noise applied after the channel (Definition 6), or
   // removes it when called with std::nullopt.
@@ -135,7 +135,7 @@ class Engine {
 
 class ExactEngine final : public Engine {
  public:
-  void step(PullProtocol& protocol, const NoiseMatrix& noise, std::uint64_t h,
+  void step(PullProtocol& protocol, const NoiseMatrix& noise, Holdings h,
             std::uint64_t round, Rng& rng) override;
   void set_artificial_noise(std::optional<Matrix> p) override;
 
@@ -146,7 +146,7 @@ class ExactEngine final : public Engine {
 
 class AggregateEngine final : public Engine {
  public:
-  void step(PullProtocol& protocol, const NoiseMatrix& noise, std::uint64_t h,
+  void step(PullProtocol& protocol, const NoiseMatrix& noise, Holdings h,
             std::uint64_t round, Rng& rng) override;
   void set_artificial_noise(std::optional<Matrix> p) override;
 
@@ -175,7 +175,7 @@ class SequentialEngine final : public Engine {
 
   explicit SequentialEngine(Order order = Order::Random) : order_(order) {}
 
-  void step(PullProtocol& protocol, const NoiseMatrix& noise, std::uint64_t h,
+  void step(PullProtocol& protocol, const NoiseMatrix& noise, Holdings h,
             std::uint64_t round, Rng& rng) override;
   void set_artificial_noise(std::optional<Matrix> p) override;
 
@@ -204,7 +204,7 @@ class HeterogeneousEngine final : public Engine {
   // matrices must share the protocol's alphabet).
   explicit HeterogeneousEngine(std::vector<NoiseMatrix> per_agent);
 
-  void step(PullProtocol& protocol, const NoiseMatrix& noise, std::uint64_t h,
+  void step(PullProtocol& protocol, const NoiseMatrix& noise, Holdings h,
             std::uint64_t round, Rng& rng) override;
   void set_artificial_noise(std::optional<Matrix> p) override;
 

@@ -14,16 +14,11 @@
 
 #include <cstdint>
 
+#include "noisypull/common/symbols.hpp"
 #include "noisypull/linalg/matrix.hpp"
 #include "noisypull/rng/rng.hpp"
 
 namespace noisypull {
-
-using Symbol = std::uint8_t;
-
-// Alphabets in this library are index sets {0, ..., size-1}; protocols define
-// the meaning of each index (for SSF, symbol = first_bit*2 + second_bit).
-inline constexpr std::size_t kMaxAlphabet = 8;
 
 class NoiseMatrix {
  public:

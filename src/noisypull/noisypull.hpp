@@ -14,7 +14,9 @@
 #include "noisypull/analysis/stats.hpp"
 #include "noisypull/analysis/sweep.hpp"
 #include "noisypull/analysis/table.hpp"
+#include "noisypull/common/symbols.hpp"
 #include "noisypull/common/thread_pool.hpp"
+#include "noisypull/common/units.hpp"
 #include "noisypull/baselines/majority_dynamics.hpp"
 #include "noisypull/baselines/repeated_majority.hpp"
 #include "noisypull/baselines/voter.hpp"
@@ -27,9 +29,8 @@
 #include "noisypull/fault/faulty_engine.hpp"
 #include "noisypull/linalg/lu.hpp"
 #include "noisypull/linalg/matrix.hpp"
+#include "noisypull/core/protocol.hpp"
 #include "noisypull/model/engine.hpp"
-#include "noisypull/model/protocol.hpp"
-#include "noisypull/model/types.hpp"
 #include "noisypull/noise/noise_matrix.hpp"
 #include "noisypull/noise/reduction.hpp"
 #include "noisypull/push/push_engine.hpp"

@@ -31,7 +31,8 @@ std::array<std::uint64_t, kMaxAlphabet> sent_histogram(
 }  // namespace
 
 void ExactPushEngine::step(PushProtocol& protocol, const NoiseMatrix& noise,
-                           std::uint64_t h, std::uint64_t round, Rng& rng) {
+                           Holdings h_in, std::uint64_t round, Rng& rng) {
+  const std::uint64_t h = h_in.get();
   const std::uint64_t n = protocol.num_agents();
   const std::size_t d = protocol.alphabet_size();
   NOISYPULL_CHECK(noise.alphabet_size() == d,
@@ -53,8 +54,9 @@ void ExactPushEngine::step(PushProtocol& protocol, const NoiseMatrix& noise,
 }
 
 void AggregatePushEngine::step(PushProtocol& protocol,
-                               const NoiseMatrix& noise, std::uint64_t h,
+                               const NoiseMatrix& noise, Holdings h_in,
                                std::uint64_t round, Rng& rng) {
+  const std::uint64_t h = h_in.get();
   const std::uint64_t n = protocol.num_agents();
   const std::size_t d = protocol.alphabet_size();
   NOISYPULL_CHECK(noise.alphabet_size() == d,

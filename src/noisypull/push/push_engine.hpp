@@ -27,12 +27,12 @@ class PushEngine {
   // Executes one round: send decisions → transmission → noise → deliveries.
   // Every agent gets exactly one deliver() call per round (possibly empty).
   virtual void step(PushProtocol& protocol, const NoiseMatrix& noise,
-                    std::uint64_t h, std::uint64_t round, Rng& rng) = 0;
+                    Holdings h, std::uint64_t round, Rng& rng) = 0;
 };
 
 class ExactPushEngine final : public PushEngine {
  public:
-  void step(PushProtocol& protocol, const NoiseMatrix& noise, std::uint64_t h,
+  void step(PushProtocol& protocol, const NoiseMatrix& noise, Holdings h,
             std::uint64_t round, Rng& rng) override;
 
  private:
@@ -41,7 +41,7 @@ class ExactPushEngine final : public PushEngine {
 
 class AggregatePushEngine final : public PushEngine {
  public:
-  void step(PushProtocol& protocol, const NoiseMatrix& noise, std::uint64_t h,
+  void step(PushProtocol& protocol, const NoiseMatrix& noise, Holdings h,
             std::uint64_t round, Rng& rng) override;
 };
 

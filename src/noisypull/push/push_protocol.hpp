@@ -14,7 +14,8 @@
 
 #include <cstdint>
 
-#include "noisypull/model/types.hpp"
+#include "noisypull/common/symbols.hpp"
+#include "noisypull/common/units.hpp"
 #include "noisypull/rng/rng.hpp"
 
 namespace noisypull {

@@ -6,9 +6,11 @@
 
 namespace noisypull {
 
-PushSpread::PushSpread(const PopulationConfig& pop, std::uint64_t h,
-                       double delta, double c_growth, double c_cleanup)
+PushSpread::PushSpread(const PopulationConfig& pop, Holdings h_in,
+                       Delta delta_in, double c_growth, double c_cleanup)
     : pop_(pop), agents_(pop.n) {
+  const std::uint64_t h = h_in.get();
+  const double delta = delta_in.get();
   pop_.validate();
   NOISYPULL_CHECK(h >= 1, "push fan-out h must be at least 1");
   NOISYPULL_CHECK(delta >= 0.0 && delta < 0.5,

@@ -55,7 +55,7 @@ class PushSpread final : public PushProtocol {
   // Builds the protocol for the given population, fan-out h and uniform
   // noise level δ ∈ [0, 1/2).  `c_growth` and `c_cleanup` are the phase
   // constants (calibrated defaults).
-  PushSpread(const PopulationConfig& pop, std::uint64_t h, double delta,
+  PushSpread(const PopulationConfig& pop, Holdings h, Delta delta,
              double c_growth = 6.0, double c_cleanup = 24.0);
 
   std::size_t alphabet_size() const override { return 2; }

@@ -44,7 +44,7 @@
 #include <span>
 #include <vector>
 
-#include "noisypull/model/types.hpp"
+#include "noisypull/common/symbols.hpp"
 #include "noisypull/rng/rng.hpp"
 
 namespace noisypull {

@@ -37,7 +37,7 @@ struct ChurnResult {
 // over the final `measure` rounds (steady state).
 ChurnResult run_with_churn(SelfStabilizingSourceFilter& protocol,
                            Engine& engine, const NoiseMatrix& noise,
-                           Opinion correct, std::uint64_t h,
+                           Opinion correct, Holdings h,
                            std::uint64_t warmup, std::uint64_t measure,
                            const ChurnConfig& churn, Rng& rng,
                            const CancelToken* cancel = nullptr);

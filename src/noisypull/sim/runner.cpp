@@ -45,7 +45,7 @@ RunResult run_impl(Protocol& protocol, EngineT& engine,
     if (cfg.cancel != nullptr && cfg.cancel->cancelled()) {
       throw OperationCancelled();
     }
-    engine.step(protocol, noise, cfg.h, t, rng);
+    engine.step(protocol, noise, Holdings{cfg.h}, t, rng);
     const std::uint64_t good = count_correct_impl(protocol, correct);
     if (cfg.record_trajectory) result.trajectory.push_back(good);
     if (good == n) {
@@ -66,7 +66,7 @@ RunResult run_impl(Protocol& protocol, EngineT& engine,
       if (cfg.cancel != nullptr && cfg.cancel->cancelled()) {
         throw OperationCancelled();
       }
-      engine.step(protocol, noise, cfg.h, t, rng);
+      engine.step(protocol, noise, Holdings{cfg.h}, t, rng);
       held = count_correct_impl(protocol, correct) == n;
       ++result.rounds_run;
     }
@@ -98,7 +98,7 @@ RunResult run_push(PushProtocol& protocol, PushEngine& engine,
 
 SteadyStateResult measure_steady_state(PullProtocol& protocol, Engine& engine,
                                        const NoiseMatrix& noise,
-                                       Opinion correct, std::uint64_t h,
+                                       Opinion correct, Holdings h,
                                        std::uint64_t warmup,
                                        std::uint64_t measure, Rng& rng,
                                        const RoundHook& pre_round,

@@ -14,7 +14,7 @@
 
 #include "noisypull/common/cancel.hpp"
 #include "noisypull/model/engine.hpp"
-#include "noisypull/model/protocol.hpp"
+#include "noisypull/core/protocol.hpp"
 #include "noisypull/push/push_engine.hpp"
 
 namespace noisypull {
@@ -98,7 +98,7 @@ using RoundHook = std::function<void(std::uint64_t, Rng&)>;
 // `measure` rounds (the steady state).  Requires measure >= 1.
 SteadyStateResult measure_steady_state(PullProtocol& protocol, Engine& engine,
                                        const NoiseMatrix& noise,
-                                       Opinion correct, std::uint64_t h,
+                                       Opinion correct, Holdings h,
                                        std::uint64_t warmup,
                                        std::uint64_t measure, Rng& rng,
                                        const RoundHook& pre_round = {},

@@ -7,8 +7,12 @@
 
 namespace noisypull {
 
-double theorem3_lower_bound(std::uint64_t n, std::uint64_t h, double delta,
-                            std::uint64_t bias, std::size_t alphabet) {
+double theorem3_lower_bound(AgentCount n_in, Holdings h_in, Delta delta_in,
+                            SourceCount bias_in, std::size_t alphabet) {
+  const std::uint64_t n = n_in.get();
+  const std::uint64_t h = h_in.get();
+  const double delta = delta_in.get();
+  const std::uint64_t bias = bias_in.get();
   NOISYPULL_CHECK(n >= 2 && h >= 1 && bias >= 1 && alphabet >= 2,
                   "invalid lower-bound parameters");
   NOISYPULL_CHECK(delta >= 0.0 && delta <= 1.0 / static_cast<double>(alphabet),
@@ -20,8 +24,13 @@ double theorem3_lower_bound(std::uint64_t n, std::uint64_t h, double delta,
   return nd * delta / (sd * sd * margin * margin * static_cast<double>(h));
 }
 
-double theorem4_upper_bound(std::uint64_t n, std::uint64_t h, double delta,
-                            std::uint64_t s1, std::uint64_t s0) {
+double theorem4_upper_bound(AgentCount n_in, Holdings h_in, Delta delta_in,
+                            SourceCount s1_in, SourceCount s0_in) {
+  const std::uint64_t n = n_in.get();
+  const std::uint64_t h = h_in.get();
+  const double delta = delta_in.get();
+  const std::uint64_t s1 = s1_in.get();
+  const std::uint64_t s0 = s0_in.get();
   NOISYPULL_CHECK(n >= 2 && h >= 1, "invalid upper-bound parameters");
   NOISYPULL_CHECK(delta >= 0.0 && delta < 0.5, "delta outside [0, 1/2)");
   const std::uint64_t bias = s1 >= s0 ? s1 - s0 : s0 - s1;
@@ -36,7 +45,10 @@ double theorem4_upper_bound(std::uint64_t n, std::uint64_t h, double delta,
   return inner * logn / static_cast<double>(h) + logn;
 }
 
-double theorem5_upper_bound(std::uint64_t n, std::uint64_t h, double delta) {
+double theorem5_upper_bound(AgentCount n_in, Holdings h_in, Delta delta_in) {
+  const std::uint64_t n = n_in.get();
+  const std::uint64_t h = h_in.get();
+  const double delta = delta_in.get();
   NOISYPULL_CHECK(n >= 2 && h >= 1, "invalid upper-bound parameters");
   NOISYPULL_CHECK(delta >= 0.0 && delta < 0.25, "delta outside [0, 1/4)");
   const double nd = static_cast<double>(n);
@@ -103,8 +115,14 @@ double rademacher_sum_advantage_exact(double theta, std::uint64_t m) {
   return above - below;
 }
 
-double sf_weak_opinion_exact(std::uint64_t n, std::uint64_t m, double delta,
-                             std::uint64_t s1, std::uint64_t s0) {
+double sf_weak_opinion_exact(AgentCount n_in, MemoryBudget m_in,
+                             Delta delta_in, SourceCount s1_in,
+                             SourceCount s0_in) {
+  const std::uint64_t n = n_in.get();
+  const std::uint64_t m = m_in.get();
+  const double delta = delta_in.get();
+  const std::uint64_t s1 = s1_in.get();
+  const std::uint64_t s0 = s0_in.get();
   NOISYPULL_CHECK(n >= 2 && m >= 1, "invalid population / budget");
   NOISYPULL_CHECK(s1 > s0, "assumes the correct opinion is 1 (s1 > s0)");
   NOISYPULL_CHECK(s0 + s1 <= n, "more sources than agents");
@@ -131,8 +149,14 @@ double sf_weak_opinion_exact(std::uint64_t n, std::uint64_t m, double delta,
   return result;
 }
 
-double ssf_weak_opinion_exact(std::uint64_t n, std::uint64_t m, double delta,
-                              std::uint64_t s1, std::uint64_t s0) {
+double ssf_weak_opinion_exact(AgentCount n_in, MemoryBudget m_in,
+                              Delta delta_in, SourceCount s1_in,
+                              SourceCount s0_in) {
+  const std::uint64_t n = n_in.get();
+  const std::uint64_t m = m_in.get();
+  const double delta = delta_in.get();
+  const std::uint64_t s1 = s1_in.get();
+  const std::uint64_t s0 = s0_in.get();
   NOISYPULL_CHECK(n >= 2 && m >= 1, "invalid population / budget");
   NOISYPULL_CHECK(s1 > s0, "assumes the correct opinion is 1 (s1 > s0)");
   NOISYPULL_CHECK(s0 + s1 <= n, "more sources than agents");

@@ -10,21 +10,23 @@
 
 #include <cstdint>
 
+#include "noisypull/common/units.hpp"
+
 namespace noisypull {
 
 // Theorem 3 (Boczkowski et al. 2018): rumor spreading in the noisy PULL(h)
 // model with δ-lower-bounded noise needs Ω(nδ / (s²·(1−δ|Σ|)²·h)) rounds.
-double theorem3_lower_bound(std::uint64_t n, std::uint64_t h, double delta,
-                            std::uint64_t bias, std::size_t alphabet);
+double theorem3_lower_bound(AgentCount n, Holdings h, Delta delta,
+                            SourceCount bias, std::size_t alphabet);
 
 // Theorem 4 upper bound (without the constant):
 //   (1/h)·( nδ/(min{s²,n}(1−2δ)²) + √n/s + (s0+s1)/s² )·log n + log n.
-double theorem4_upper_bound(std::uint64_t n, std::uint64_t h, double delta,
-                            std::uint64_t s1, std::uint64_t s0);
+double theorem4_upper_bound(AgentCount n, Holdings h, Delta delta,
+                            SourceCount s1, SourceCount s0);
 
 // Theorem 5 upper bound (without the constant):
 //   δ·n·log n/(h(1−4δ)²) + n/h.
-double theorem5_upper_bound(std::uint64_t n, std::uint64_t h, double delta);
+double theorem5_upper_bound(AgentCount n, Holdings h, Delta delta);
 
 // Claim 19: X ~ Binomial(n, p) with np ≤ 1 satisfies P(X = 1) ≥ np/e.
 double claim19_lower_bound(std::uint64_t n, double p);
@@ -58,8 +60,8 @@ double weak_opinion_condition_margin(double p, double ell, std::uint64_t n);
 // pB0 = (s0/n)(1−δ) + (1−s0/n)δ (independent), weak opinion = 1 iff
 // Counter1 > Counter0, ties broken by a fair coin.  Assumes correct opinion
 // 1 (s1 > s0).  O(m) time.  Requires δ ∈ [0, 1/2] and m ≥ 1.
-double sf_weak_opinion_exact(std::uint64_t n, std::uint64_t m, double delta,
-                             std::uint64_t s1, std::uint64_t s0);
+double sf_weak_opinion_exact(AgentCount n, MemoryBudget m, Delta delta,
+                             SourceCount s1, SourceCount s0);
 
 // Exact probability that an SSF weak opinion is correct (Lemma 36's
 // quantity), from the Eq. 33 message distributions: each of the m memory
@@ -68,7 +70,7 @@ double sf_weak_opinion_exact(std::uint64_t n, std::uint64_t m, double delta,
 // opinion is correct iff #(+1) > #(−1), ties by coin.  Computed by
 // conditioning on the number of non-zero slots (O(m²) lgamma evaluations —
 // intended for m up to a few thousand).  Assumes s1 > s0, δ ∈ [0, 1/4].
-double ssf_weak_opinion_exact(std::uint64_t n, std::uint64_t m, double delta,
-                              std::uint64_t s1, std::uint64_t s0);
+double ssf_weak_opinion_exact(AgentCount n, MemoryBudget m, Delta delta,
+                              SourceCount s1, SourceCount s0);
 
 }  // namespace noisypull

@@ -32,7 +32,8 @@ std::uint64_t two_party_messages_needed(double x, double delta,
   // Majority error is not monotone in m across parities (adding one message
   // can create ties), but it is monotone along odd m; scan odd values by
   // doubling then binary-search the odd lattice.
-  auto error_at = [&](std::uint64_t m) { return two_party_error_exact(m, delta); };
+  auto error_at = [&](std::uint64_t m) { return two_party_error_exact(m,
+                                                                      delta); };
   if (error_at(1) <= x) return 1;
   std::uint64_t lo = 1, hi = 3;
   while (hi <= limit && error_at(hi) > x) {
@@ -54,15 +55,16 @@ std::uint64_t two_party_messages_needed(double x, double delta,
   return hi;
 }
 
-double pull_rounds_via_two_party(std::uint64_t n, std::uint64_t h,
-                                 std::uint64_t s, double delta, double x) {
-  NOISYPULL_CHECK(n >= 2 && h >= 1 && s >= 1, "invalid model parameters");
-  NOISYPULL_CHECK(s <= n, "more sources than agents");
-  const double useful_per_round = static_cast<double>(h) *
-                                  static_cast<double>(s) /
-                                  static_cast<double>(n);
+double pull_rounds_via_two_party(AgentCount n, Holdings h, SourceCount s,
+                                 Delta delta, double x) {
+  NOISYPULL_CHECK(n.get() >= 2 && h.get() >= 1 && s.get() >= 1,
+                  "invalid model parameters");
+  NOISYPULL_CHECK(s.get() <= n.get(), "more sources than agents");
+  const double useful_per_round = static_cast<double>(h.get()) *
+                                  static_cast<double>(s.get()) /
+                                  static_cast<double>(n.get());
   const double messages =
-      static_cast<double>(two_party_messages_needed(x, delta));
+      static_cast<double>(two_party_messages_needed(x, delta.get()));
   return messages / useful_per_round;
 }
 

@@ -17,6 +17,8 @@
 
 #include <cstdint>
 
+#include "noisypull/common/units.hpp"
+
 namespace noisypull {
 
 // Exact error probability of majority decoding over m copies of a bit, each
@@ -33,7 +35,7 @@ std::uint64_t two_party_messages_needed(double x, double delta,
 // party A needs two_party_messages_needed(x, δ) source-touching samples and
 // collects ~h·s/n of them per round.  (An illustration of the Footnote 3
 // mechanism, not a formal bound — Theorem 3 is the formal statement.)
-double pull_rounds_via_two_party(std::uint64_t n, std::uint64_t h,
-                                 std::uint64_t s, double delta, double x);
+double pull_rounds_via_two_party(AgentCount n, Holdings h, SourceCount s,
+                                 Delta delta, double x);
 
 }  // namespace noisypull

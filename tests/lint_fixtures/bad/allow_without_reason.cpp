@@ -1,0 +1,11 @@
+// lint-path: src/noisypull/analysis/bad_allow_fixture.cpp
+// Fixture: a suppression with no ` -- why` justification.  The
+// suppressed rule stays silent (the suppression works) but the naked
+// allow is itself the finding.
+#include <unordered_set>
+
+int fixture_naked_allow() {
+  // nplint: allow-next-line(unordered-container)
+  std::unordered_set<int> s;  // expect: allow-without-reason
+  return static_cast<int>(s.size());
+}

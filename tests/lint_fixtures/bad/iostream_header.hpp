@@ -1,4 +1,4 @@
-// lint-path: src/noisypull/fake/iostream_header_fixture.hpp
+// lint-path: src/noisypull/core/iostream_header_fixture.hpp
 // Fixture: a core library header dragging in <iostream>.
 #pragma once
 

@@ -1,4 +1,4 @@
-// lint-path: src/noisypull/fake/missing_pragma_fixture.hpp
+// lint-path: src/noisypull/core/missing_pragma_fixture.hpp
 // expect-anywhere: pragma-once
 // Fixture: a header whose first directive is an include, not #pragma once.
 #include <cstdint>

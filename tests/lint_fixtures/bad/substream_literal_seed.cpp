@@ -1,0 +1,15 @@
+// lint-path: src/noisypull/sim/bad_substream_fixture.cpp
+// Fixture: raw integer-literal Rng arguments escaping the
+// counter-substream discipline — the seed position, the stream-id
+// position, and brace initialization must all fire.
+#include <cstdint>
+
+struct Rng {
+  explicit Rng(std::uint64_t seed, std::uint64_t stream = 0);
+};
+
+void fixture_bad_substreams(std::uint64_t seed) {
+  Rng magic(42);        // expect: substream-discipline
+  Rng stream(seed, 7);  // expect: substream-discipline
+  Rng braced{31337};    // expect: substream-discipline
+}

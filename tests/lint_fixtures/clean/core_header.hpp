@@ -1,4 +1,4 @@
-// lint-path: src/noisypull/fake/clean_header_fixture.hpp
+// lint-path: src/noisypull/core/clean_header_fixture.hpp
 // Fixture: the blessed header shape — #pragma once first, stream interfaces
 // via <ostream>, and the project assert macro spelled out.
 #pragma once

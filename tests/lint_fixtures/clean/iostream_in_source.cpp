@@ -1,0 +1,6 @@
+// lint-path: src/noisypull/analysis/clean_iostream_source_fixture.cpp
+// Fixture: <iostream> in a translation unit (not a header) is fine —
+// the rule gates library *headers* only.
+#include <iostream>
+
+void fixture_iostream_source() { std::cout << "table output\n"; }

@@ -11,7 +11,8 @@ std::uint64_t fixture_clean_ordered() {
   std::map<std::uint64_t, double> totals;
   std::set<std::uint64_t> seen;
   // Membership-only probe, never iterated — deterministic by construction.
-  std::unordered_set<std::uint64_t> probe;  // nplint: allow(unordered-container)
+  // nplint: allow-next-line(unordered-container) -- never iterated
+  std::unordered_set<std::uint64_t> probe;
   totals[1] = 0.5;
   seen.insert(1);
   probe.insert(1);

@@ -1,0 +1,10 @@
+// lint-path: tests/fixture_substream_scope.cpp
+// Fixture: test code seeds Rng with plain literals freely — the
+// substream-discipline scope is src/bench/tools only.
+#include <cstdint>
+
+struct Rng {
+  explicit Rng(std::uint64_t seed);
+};
+
+void fixture_test_scope() { Rng rng(12345); }

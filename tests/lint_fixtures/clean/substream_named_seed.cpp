@@ -1,0 +1,17 @@
+// lint-path: src/noisypull/sim/clean_substream_fixture.cpp
+// Fixture: the blessed Rng derivations — named salt constants,
+// 2r / 2r+1 substream splits, and derived expressions; none may fire.
+#include <cstdint>
+
+struct Rng {
+  explicit Rng(std::uint64_t seed, std::uint64_t stream = 0);
+};
+
+inline constexpr std::uint64_t kFixtureSalt = 0x9E3779B97F4A7C15ull;
+
+void fixture_clean_substreams(std::uint64_t seed, std::uint64_t rep) {
+  Rng init(seed, 2 * rep);
+  Rng run(seed, 2 * rep + 1);
+  Rng salted(seed ^ kFixtureSalt, rep);
+  Rng named(kFixtureSalt);
+}

@@ -1,0 +1,10 @@
+// lint-path: tools/fixture_unordered_tool.cpp
+// Fixture: hash containers in helper tools sit outside the rule's
+// src/bench scope — must stay silent without any suppression.
+#include <unordered_set>
+
+int fixture_tool_unordered() {
+  std::unordered_set<int> ids;
+  ids.insert(1);
+  return static_cast<int>(ids.size());
+}

@@ -1,0 +1,8 @@
+// lint-path: src/noisypull/core/cycle_a_fixture.hpp
+// Fixture: half of a two-file include cycle inside one layer; the
+// tree pass must see both files in the same include graph to catch it.
+#pragma once
+
+#include "noisypull/core/cycle_b_fixture.hpp"  // expect: layering
+
+inline int fixture_cycle_a() { return 0; }

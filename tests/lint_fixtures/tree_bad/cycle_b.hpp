@@ -1,0 +1,7 @@
+// lint-path: src/noisypull/core/cycle_b_fixture.hpp
+// Fixture: the other half of the include cycle.
+#pragma once
+
+#include "noisypull/core/cycle_a_fixture.hpp"  // expect: layering
+
+inline int fixture_cycle_b() { return 0; }

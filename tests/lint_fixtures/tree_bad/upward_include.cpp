@@ -1,0 +1,8 @@
+// lint-path: src/noisypull/model/upward_fixture.cpp
+// Fixture: a model/ (layer 1) file reaching up into analysis/
+// (layer 3), plus the external-consumer umbrella from inside the
+// library — both are layering findings.
+#include "noisypull/analysis/stats.hpp"  // expect: layering
+#include "noisypull/noisypull.hpp"       // expect: layering
+
+int fixture_upward_include() { return 1; }

@@ -1,0 +1,5 @@
+// lint-path: src/noisypull/core/acyclic_base_fixture.hpp
+// Fixture: the target of a legal same-layer include.
+#pragma once
+
+inline int fixture_acyclic_base() { return 2; }

@@ -1,0 +1,7 @@
+// lint-path: src/noisypull/core/acyclic_user_fixture.hpp
+// Fixture: a same-layer, acyclic include — no cycle, no upward edge.
+#pragma once
+
+#include "noisypull/core/acyclic_base_fixture.hpp"
+
+inline int fixture_acyclic_user() { return fixture_acyclic_base(); }

@@ -1,0 +1,8 @@
+// lint-path: src/noisypull/analysis/downward_fixture.cpp
+// Fixture: analysis/ (layer 3) may include its own layer and every
+// layer below it; none of these edges may fire.
+#include "noisypull/core/acyclic_base_fixture.hpp"
+#include "noisypull/model/fixture_engine.hpp"
+#include "noisypull/theory/fixture_bounds.hpp"
+
+int fixture_downward_include() { return 3; }

@@ -21,7 +21,7 @@ TEST(Adversary, PolicyNames) {
 
 TEST(Adversary, NoneLeavesStateUntouched) {
   const auto p = pop(20, 1, 0);
-  Ssf ssf = Ssf::with_memory_budget(p, 2, 50);
+  Ssf ssf = Ssf::with_memory_budget(p, Holdings{2}, MemoryBudget{50});
   Rng rng(1);
   corrupt_population(ssf, CorruptionPolicy::None, 1, rng);
   for (std::uint64_t i = 0; i < p.n; ++i) {
@@ -33,7 +33,7 @@ TEST(Adversary, NoneLeavesStateUntouched) {
 
 TEST(Adversary, WrongConsensusFillsMemoriesWithFakeSourceMessages) {
   const auto p = pop(20, 1, 0);  // correct = 1 → adversary pushes 0
-  Ssf ssf = Ssf::with_memory_budget(p, 2, 50);
+  Ssf ssf = Ssf::with_memory_budget(p, Holdings{2}, MemoryBudget{50});
   Rng rng(2);
   corrupt_population(ssf, CorruptionPolicy::WrongConsensus, 1, rng);
   const Symbol fake = Ssf::encode(true, 0);
@@ -47,7 +47,7 @@ TEST(Adversary, WrongConsensusFillsMemoriesWithFakeSourceMessages) {
 
 TEST(Adversary, OverflowMemoryExceedsBudget) {
   const auto p = pop(10, 1, 0);
-  Ssf ssf = Ssf::with_memory_budget(p, 2, 50);
+  Ssf ssf = Ssf::with_memory_budget(p, Holdings{2}, MemoryBudget{50});
   Rng rng(3);
   corrupt_population(ssf, CorruptionPolicy::OverflowMemory, 1, rng);
   for (std::uint64_t i = 0; i < p.n; ++i) {
@@ -57,7 +57,7 @@ TEST(Adversary, OverflowMemoryExceedsBudget) {
 
 TEST(Adversary, RandomStateStaysBelowBudgetAndVaries) {
   const auto p = pop(200, 1, 0);
-  Ssf ssf = Ssf::with_memory_budget(p, 2, 64);
+  Ssf ssf = Ssf::with_memory_budget(p, Holdings{2}, MemoryBudget{64});
   Rng rng(4);
   corrupt_population(ssf, CorruptionPolicy::RandomState, 1, rng);
   std::uint64_t distinct_totals = 0;
@@ -73,7 +73,7 @@ TEST(Adversary, RandomStateStaysBelowBudgetAndVaries) {
 
 TEST(Adversary, DesyncClocksStaggersFillLevels) {
   const auto p = pop(200, 1, 0);
-  Ssf ssf = Ssf::with_memory_budget(p, 2, 97);
+  Ssf ssf = Ssf::with_memory_budget(p, Holdings{2}, MemoryBudget{97});
   Rng rng(5);
   corrupt_population(ssf, CorruptionPolicy::DesyncClocks, 1, rng);
   std::uint64_t min_total = ~0ULL, max_total = 0;
@@ -90,7 +90,7 @@ TEST(Adversary, DesyncClocksStaggersFillLevels) {
 TEST(Adversary, TaglessOverloadCoversAllPolicies) {
   const auto p = pop(50, 1, 0);
   for (const auto policy : kAllCorruptionPolicies) {
-    TaglessSsf tagless(p, 2, 50);
+    TaglessSsf tagless(p, Holdings{2}, MemoryBudget{50});
     Rng rng(6);
     corrupt_population(tagless, policy, 1, rng);
     // Smoke: state is valid enough to keep running.

@@ -49,7 +49,8 @@ PopulationConfig pop(std::uint64_t n, std::uint64_t s1, std::uint64_t s0) {
 
 ProtocolFactory sf_factory(const PopulationConfig& p, double delta) {
   return [p, delta](Rng&) -> std::unique_ptr<PullProtocol> {
-    return std::make_unique<SourceFilter>(p, p.n, delta, 2.0);
+    return std::make_unique<SourceFilter>(p, Holdings{p.n}, Delta{delta},
+                                          C1{2.0});
   };
 }
 
@@ -70,7 +71,7 @@ std::uint64_t sf_digest(const PopulationConfig& p, double delta) {
 // nontrivial decisions to reproduce.
 ExperimentCell truncated_cell(const PopulationConfig& p, double delta,
                               std::uint64_t seed) {
-  const SourceFilter ref(p, p.n, delta, 2.0);
+  const SourceFilter ref(p, Holdings{p.n}, Delta{delta}, C1{2.0});
   return ExperimentCell{
       .label = "sf n=" + std::to_string(p.n),
       .make_protocol = sf_factory(p, delta),
@@ -241,7 +242,9 @@ TEST(CacheEntry, DistinguishesTruncatedHeaderFromWrongFormatVersion) {
             CacheEntryStatus::kTruncatedHeader);
   EXPECT_EQ(parse_cache_entry("noisypull-cell-cache", key).status,
             CacheEntryStatus::kTruncatedHeader);
-  EXPECT_EQ(parse_cache_entry("noisypull-cell-cache 2 000000000000", key).status,
+  EXPECT_EQ(parse_cache_entry("noisypull-cell-cache 2 000000000000",
+                              key).status,
+
             CacheEntryStatus::kTruncatedHeader);
   EXPECT_EQ(
       parse_cache_entry("noisypull-cell-cache 9 0000000000000007 1 00000000\n",
@@ -612,7 +615,8 @@ TEST(Chaos, ExhaustedRetryBudgetDegradesTheCell) {
   EXPECT_EQ(stats[0].reps, 2u);
   // Its surviving prefix matches the clean run's first two repetitions.
   const auto reference = run_experiment(
-      {cells[0]}, SchedulerOptions{.threads = 1, .stop = StopRule{.max_reps = 2}});
+      {cells[0]}, SchedulerOptions{.threads = 1,
+                                   .stop = StopRule{.max_reps = 2}});
   EXPECT_EQ(stats[0].successes, reference[0].successes);
   EXPECT_EQ(stats[0].mean_rounds_run, reference[0].mean_rounds_run);
   // Cell 1 is untouched and not degraded.

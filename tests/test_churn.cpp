@@ -14,11 +14,12 @@ PopulationConfig pop(std::uint64_t n, std::uint64_t s1, std::uint64_t s0) {
 TEST(Churn, ZeroRateBehavesLikePlainRun) {
   const auto p = pop(300, 2, 0);
   const double delta = 0.05;
-  SelfStabilizingSourceFilter ssf(p, p.n, delta, 2.0);
+  SelfStabilizingSourceFilter ssf(p, Holdings{p.n}, Delta{delta}, C1{2.0});
   AggregateEngine engine;
   Rng rng(1);
   const auto result = run_with_churn(
-      ssf, engine, NoiseMatrix::uniform(4, delta), p.correct_opinion(), p.n,
+      ssf, engine, NoiseMatrix::uniform(4,
+          delta), p.correct_opinion(), Holdings{p.n},
       /*warmup=*/ssf.convergence_deadline(), /*measure=*/20,
       ChurnConfig{.rate = 0.0}, rng);
   EXPECT_EQ(result.resets, 0u);
@@ -29,13 +30,14 @@ TEST(Churn, ZeroRateBehavesLikePlainRun) {
 TEST(Churn, ResetsHappenAtTheConfiguredRate) {
   const auto p = pop(1000, 2, 0);
   const double delta = 0.05;
-  SelfStabilizingSourceFilter ssf(p, p.n, delta, 2.0);
+  SelfStabilizingSourceFilter ssf(p, Holdings{p.n}, Delta{delta}, C1{2.0});
   AggregateEngine engine;
   Rng rng(2);
   const double rate = 0.01;
   const std::uint64_t rounds = 50;
   const auto result = run_with_churn(
-      ssf, engine, NoiseMatrix::uniform(4, delta), p.correct_opinion(), p.n,
+      ssf, engine, NoiseMatrix::uniform(4,
+          delta), p.correct_opinion(), Holdings{p.n},
       /*warmup=*/rounds - 10, /*measure=*/10, ChurnConfig{.rate = rate}, rng);
   // Expected resets ≈ rate · (n − sources) · rounds = 499; allow 5 sigma.
   const double expect =
@@ -49,11 +51,12 @@ TEST(Churn, ModerateChurnKeepsMostAgentsCorrect) {
   // steady state stays overwhelmingly correct.
   const auto p = pop(1000, 2, 0);
   const double delta = 0.05;
-  SelfStabilizingSourceFilter ssf(p, p.n, delta, 2.0);
+  SelfStabilizingSourceFilter ssf(p, Holdings{p.n}, Delta{delta}, C1{2.0});
   AggregateEngine engine;
   Rng rng(3);
   const auto result = run_with_churn(
-      ssf, engine, NoiseMatrix::uniform(4, delta), p.correct_opinion(), p.n,
+      ssf, engine, NoiseMatrix::uniform(4,
+          delta), p.correct_opinion(), Holdings{p.n},
       /*warmup=*/3 * ssf.convergence_deadline(), /*measure=*/40,
       ChurnConfig{.rate = 0.005, .policy = CorruptionPolicy::WrongConsensus},
       rng);
@@ -65,11 +68,12 @@ TEST(Churn, ExtremeChurnDegradesCorrectness) {
   // Resetting a third of the population every round must visibly hurt.
   const auto p = pop(600, 2, 0);
   const double delta = 0.05;
-  SelfStabilizingSourceFilter ssf(p, p.n, delta, 2.0);
+  SelfStabilizingSourceFilter ssf(p, Holdings{p.n}, Delta{delta}, C1{2.0});
   AggregateEngine engine;
   Rng rng(4);
   const auto result = run_with_churn(
-      ssf, engine, NoiseMatrix::uniform(4, delta), p.correct_opinion(), p.n,
+      ssf, engine, NoiseMatrix::uniform(4,
+          delta), p.correct_opinion(), Holdings{p.n},
       /*warmup=*/3 * ssf.convergence_deadline(), /*measure=*/40,
       ChurnConfig{.rate = 0.33, .policy = CorruptionPolicy::WrongConsensus},
       rng);
@@ -78,14 +82,14 @@ TEST(Churn, ExtremeChurnDegradesCorrectness) {
 
 TEST(Churn, InputValidation) {
   const auto p = pop(100, 1, 0);
-  SelfStabilizingSourceFilter ssf(p, p.n, 0.05, 2.0);
+  SelfStabilizingSourceFilter ssf(p, Holdings{p.n}, Delta{0.05}, C1{2.0});
   AggregateEngine engine;
   Rng rng(5);
   const auto noise = NoiseMatrix::uniform(4, 0.05);
-  EXPECT_THROW(run_with_churn(ssf, engine, noise, 1, p.n, 1, 0,
+  EXPECT_THROW(run_with_churn(ssf, engine, noise, 1, Holdings{p.n}, 1, 0,
                               ChurnConfig{.rate = 0.1}, rng),
                std::invalid_argument);
-  EXPECT_THROW(run_with_churn(ssf, engine, noise, 1, p.n, 1, 1,
+  EXPECT_THROW(run_with_churn(ssf, engine, noise, 1, Holdings{p.n}, 1, 1,
                               ChurnConfig{.rate = 1.5}, rng),
                std::invalid_argument);
 }
@@ -96,11 +100,12 @@ TEST(Churn, SourceChurnOptionResetsSourceState) {
   // population keeps receiving the signal.
   const auto p = pop(200, 2, 0);
   const double delta = 0.05;
-  SelfStabilizingSourceFilter ssf(p, p.n, delta, 2.0);
+  SelfStabilizingSourceFilter ssf(p, Holdings{p.n}, Delta{delta}, C1{2.0});
   AggregateEngine engine;
   Rng rng(6);
   const auto result = run_with_churn(
-      ssf, engine, NoiseMatrix::uniform(4, delta), p.correct_opinion(), p.n,
+      ssf, engine, NoiseMatrix::uniform(4,
+          delta), p.correct_opinion(), Holdings{p.n},
       /*warmup=*/5, /*measure=*/5,
       ChurnConfig{.rate = 1.0,
                   .policy = CorruptionPolicy::RandomState,

@@ -59,7 +59,7 @@ TEST_P(EngineKind, ObservationTotalsEqualH) {
   auto engine = make_engine();
   Rng rng(1);
   for (std::uint64_t h : {1ULL, 3ULL, 17ULL, 100ULL}) {
-    engine->step(protocol, noise, h, 0, rng);
+    engine->step(protocol, noise, Holdings{h}, 0, rng);
     for (std::uint64_t i = 0; i < 10; ++i) {
       EXPECT_EQ(protocol.last_obs(i).total(), h);
     }
@@ -81,7 +81,7 @@ TEST_P(EngineKind, ObservedDistributionMatchesTheory) {
   const int kRounds = 300;
   const std::uint64_t kH = 50;
   for (int t = 0; t < kRounds; ++t) {
-    engine->step(protocol, noise, kH, t, rng);
+    engine->step(protocol, noise, Holdings{kH}, t, rng);
     for (std::uint64_t i = 0; i < n; ++i) {
       totals[0] += protocol.last_obs(i)[0];
       totals[1] += protocol.last_obs(i)[1];
@@ -106,7 +106,7 @@ TEST_P(EngineKind, FourSymbolDistributionMatchesTheory) {
   const int kRounds = 200;
   const std::uint64_t kH = 64;
   for (int t = 0; t < kRounds; ++t) {
-    engine->step(protocol, noise, kH, t, rng);
+    engine->step(protocol, noise, Holdings{kH}, t, rng);
     for (std::uint64_t i = 0; i < n; ++i) {
       for (int s = 0; s < 4; ++s) totals[s] += protocol.last_obs(i)[s];
     }
@@ -127,7 +127,7 @@ TEST_P(EngineKind, ArtificialNoiseComposesChannel) {
 
   std::array<std::uint64_t, 2> totals{};
   for (int t = 0; t < 300; ++t) {
-    engine->step(protocol, noise, 20, t, rng);
+    engine->step(protocol, noise, Holdings{20}, t, rng);
     for (std::uint64_t i = 0; i < 10; ++i) {
       totals[0] += protocol.last_obs(i)[0];
       totals[1] += protocol.last_obs(i)[1];
@@ -141,7 +141,7 @@ TEST_P(EngineKind, ArtificialNoiseComposesChannel) {
   engine->set_artificial_noise(std::nullopt);
   totals = {0, 0};
   for (int t = 0; t < 300; ++t) {
-    engine->step(protocol, noise, 20, t, rng);
+    engine->step(protocol, noise, Holdings{20}, t, rng);
     for (std::uint64_t i = 0; i < 10; ++i) {
       totals[0] += protocol.last_obs(i)[0];
       totals[1] += protocol.last_obs(i)[1];
@@ -156,7 +156,7 @@ TEST_P(EngineKind, RejectsAlphabetMismatch) {
   const auto noise = NoiseMatrix::uniform(3, 0.1);
   auto engine = make_engine();
   Rng rng(1);
-  EXPECT_THROW(engine->step(protocol, noise, 1, 0, rng),
+  EXPECT_THROW(engine->step(protocol, noise, Holdings{1}, 0, rng),
                std::invalid_argument);
 }
 
@@ -165,7 +165,7 @@ TEST_P(EngineKind, RejectsZeroSampleSize) {
   const auto noise = NoiseMatrix::uniform(2, 0.1);
   auto engine = make_engine();
   Rng rng(1);
-  EXPECT_THROW(engine->step(protocol, noise, 0, 0, rng),
+  EXPECT_THROW(engine->step(protocol, noise, Holdings{0}, 0, rng),
                std::invalid_argument);
 }
 
@@ -177,7 +177,7 @@ TEST_P(EngineKind, DeterministicGivenSeed) {
     Rng rng(seed);
     std::vector<std::uint64_t> trace;
     for (int t = 0; t < 10; ++t) {
-      engine->step(protocol, noise, 9, t, rng);
+      engine->step(protocol, noise, Holdings{9}, t, rng);
       for (std::uint64_t i = 0; i < 20; ++i) {
         trace.push_back(protocol.last_obs(i)[1]);
       }
@@ -219,7 +219,7 @@ TEST(ExactEngine, DisplaysAreSnapshottedBeforeUpdates) {
   ExactEngine engine;
   const auto noise = NoiseMatrix::noiseless(2);
   Rng rng(3);
-  engine.step(protocol, noise, 256, 0, rng);
+  engine.step(protocol, noise, Holdings{256}, 0, rng);
   // Agent 1 updates after agent 0 flipped its value; with a snapshot it must
   // still have seen agent 0's original 0s (256 draws from {0,1} miss agent 0
   // with probability 2^-256).
@@ -241,7 +241,7 @@ TEST(Engines, ExactAndAggregateAgreeInDistribution) {
     Rng rng(seed);
     std::array<std::uint64_t, 9> hist{};
     for (int t = 0; t < 30000; ++t) {
-      engine.step(protocol, noise, h, t, rng);
+      engine.step(protocol, noise, Holdings{h}, t, rng);
       ++hist[protocol.last_obs(0)[1]];
     }
     return hist;

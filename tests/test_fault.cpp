@@ -75,14 +75,15 @@ TEST(FaultyEngine, ZeroPlanIsBitForBitIdentity) {
   const PopulationConfig pop{.n = 50, .s1 = 2, .s0 = 1};
 
   auto run_ssf = [&](bool wrapped, std::uint64_t seed) {
-    SelfStabilizingSourceFilter ssf(pop, /*h=*/16, /*delta=*/0.1);
+    SelfStabilizingSourceFilter ssf(pop, Holdings{/*h=*/16},
+                                    Delta{/*delta=*/0.1});
     AggregateEngine inner;
     FaultyEngine faulty(inner, FaultPlan{});
     Engine& engine = wrapped ? static_cast<Engine&>(faulty)
                              : static_cast<Engine&>(inner);
     Rng rng(seed);
     for (std::uint64_t t = 0; t < 40; ++t) {
-      engine.step(ssf, noise, 16, t, rng);
+      engine.step(ssf, noise, Holdings{16}, t, rng);
     }
     std::vector<Opinion> state;
     for (std::uint64_t i = 0; i < pop.n; ++i) {
@@ -110,7 +111,7 @@ TEST(FaultyEngine, ZeroPlanIdentityHoldsForExactEngine) {
     Rng rng(5);
     std::vector<std::uint64_t> out;
     for (std::uint64_t t = 0; t < 10; ++t) {
-      engine.step(protocol, noise, 9, t, rng);
+      engine.step(protocol, noise, Holdings{9}, t, rng);
       for (std::uint64_t i = 0; i < 20; ++i) {
         out.push_back(protocol.last_obs(i)[1]);
       }
@@ -150,7 +151,7 @@ TEST_P(FaultedEngineKind, DropThinnedTotalsAreBinomial) {
   std::array<std::uint64_t, 9> total_hist{};
   std::array<std::uint64_t, 9> ones_hist{};
   for (int t = 0; t < 30000; ++t) {
-    engine.step(protocol, noise, 8, t, rng);
+    engine.step(protocol, noise, Holdings{8}, t, rng);
     ++total_hist[protocol.last_obs(0).total()];
     ++ones_hist[protocol.last_obs(0)[1]];
   }
@@ -176,7 +177,7 @@ TEST_P(FaultedEngineKind, ByzantineDisplaysSkewTheObservationLaw) {
 
   std::array<std::uint64_t, 2> totals{};
   for (int t = 0; t < 400; ++t) {
-    engine.step(protocol, noise, 20, t, rng);
+    engine.step(protocol, noise, Holdings{20}, t, rng);
     for (std::uint64_t i = 0; i < 10; ++i) {
       totals[0] += protocol.last_obs(i)[0];
       totals[1] += protocol.last_obs(i)[1];
@@ -209,7 +210,7 @@ TEST(FaultyEngine, FlipFlopAlternatesByRoundParity) {
   const auto noise = NoiseMatrix::noiseless(2);
   Rng rng(8);
   for (std::uint64_t t = 0; t < 6; ++t) {
-    engine.step(protocol, noise, 16, t, rng);
+    engine.step(protocol, noise, Holdings{16}, t, rng);
     // All agents are Byzantine: even rounds expose only 1s, odd only 0s.
     const std::uint64_t expect_ones = t % 2 == 0 ? 16u : 0u;
     for (std::uint64_t i = 0; i < 6; ++i) {
@@ -231,7 +232,7 @@ TEST(FaultyEngine, MimicSourceForgesTheSourceTag) {
   ExactEngine inner;
   FaultyEngine engine(inner, plan);
   Rng rng(4);
-  engine.step(protocol, NoiseMatrix::noiseless(4), 12, 0, rng);
+  engine.step(protocol, NoiseMatrix::noiseless(4), Holdings{12}, 0, rng);
   for (std::uint64_t i = 0; i < 5; ++i) {
     EXPECT_EQ(protocol.last_obs(i)[2], 12u);
   }
@@ -253,7 +254,7 @@ TEST(FaultyEngine, CertainCrashesSuppressEligibleUpdates) {
   Rng rng(21);
   const std::uint64_t kRounds = 12;
   for (std::uint64_t t = 0; t < kRounds; ++t) {
-    engine.step(protocol, noise, 4, t, rng);
+    engine.step(protocol, noise, Holdings{4}, t, rng);
   }
   // Immune agents update every round; eligible agents re-crash on every
   // wake-up round (crash_rate = 1) and never get an update through.
@@ -278,7 +279,7 @@ TEST(FaultyEngine, BlackoutStallsExactWindow) {
   const auto noise = NoiseMatrix::uniform(2, 0.1);
   Rng rng(22);
   for (std::uint64_t t = 0; t < 8; ++t) {
-    engine.step(protocol, noise, 4, t, rng);
+    engine.step(protocol, noise, Holdings{4}, t, rng);
   }
   // Rounds 0-1 and 5-7 update; rounds 2-4 are blacked out.
   EXPECT_EQ(protocol.updates(0), 5u);
@@ -302,7 +303,7 @@ TEST(FaultyEngine, BurstReplacesTheChannelWithSpikedUniformNoise) {
   Rng rng(13);
   std::array<std::uint64_t, 2> totals{};
   for (int t = 0; t < 300; ++t) {
-    engine.step(protocol, NoiseMatrix::noiseless(2), 20, t, rng);
+    engine.step(protocol, NoiseMatrix::noiseless(2), Holdings{20}, t, rng);
     for (std::uint64_t i = 0; i < 10; ++i) {
       totals[0] += protocol.last_obs(i)[0];
       totals[1] += protocol.last_obs(i)[1];
@@ -326,7 +327,7 @@ TEST(FaultyEngine, RareBurstsCoverRoughlyRateFractionOfRounds) {
   Rng rng(14);
   const std::uint64_t kRounds = 3000;
   for (std::uint64_t t = 0; t < kRounds; ++t) {
-    engine.step(protocol, NoiseMatrix::uniform(2, 0.05), 4, t, rng);
+    engine.step(protocol, NoiseMatrix::uniform(2, 0.05), Holdings{4}, t, rng);
   }
   // Expected burst coverage ≈ rate·duration/(1 + rate·duration) ≈ 0.17;
   // loose sanity bounds only.
@@ -351,7 +352,7 @@ TEST(FaultyEngine, FaultScheduleIsDeterministicGivenPlanSeed) {
     Rng rng(7);
     std::vector<std::uint64_t> out;
     for (std::uint64_t t = 0; t < 20; ++t) {
-      engine.step(protocol, NoiseMatrix::uniform(2, 0.1), 6, t, rng);
+      engine.step(protocol, NoiseMatrix::uniform(2, 0.1), Holdings{6}, t, rng);
       for (std::uint64_t i = 0; i < 12; ++i) {
         out.push_back(protocol.last_obs(i).total());
       }
@@ -370,7 +371,7 @@ TEST(FaultPlanTest, ValidateRejectsOutOfRangeConfigs) {
   auto step_with = [&](FaultPlan plan) {
     AggregateEngine inner;
     FaultyEngine engine(inner, plan);
-    engine.step(protocol, noise, 4, 0, rng);
+    engine.step(protocol, noise, Holdings{4}, 0, rng);
   };
 
   FaultPlan bad_drop;
@@ -398,8 +399,8 @@ TEST(FaultPlanTest, ValidateRejectsOutOfRangeConfigs) {
 
 TEST(SsfStaleFlush, FlushesStarvedMemoryAfterTimeout) {
   const PopulationConfig pop{.n = 4, .s1 = 1, .s0 = 0};
-  auto ssf = SelfStabilizingSourceFilter::with_memory_budget(pop, /*h=*/8,
-                                                             /*m=*/100);
+  auto ssf = SelfStabilizingSourceFilter::with_memory_budget(
+      pop, Holdings{/*h=*/8}, MemoryBudget{/*m=*/100});
   ssf.set_stale_flush(3);
   Rng rng(3);
   SymbolCounts partial(4);
@@ -416,8 +417,8 @@ TEST(SsfStaleFlush, FlushesStarvedMemoryAfterTimeout) {
 
 TEST(SsfStaleFlush, DisabledByDefaultKeepsAlgorithmTwoSemantics) {
   const PopulationConfig pop{.n = 4, .s1 = 1, .s0 = 0};
-  auto ssf = SelfStabilizingSourceFilter::with_memory_budget(pop, /*h=*/8,
-                                                             /*m=*/100);
+  auto ssf = SelfStabilizingSourceFilter::with_memory_budget(
+      pop, Holdings{/*h=*/8}, MemoryBudget{/*m=*/100});
   Rng rng(3);
   SymbolCounts partial(4);
   partial[3] = 1;
@@ -434,7 +435,7 @@ TEST(FaultyEngine, SteadyStateUnderDropsStaysNearConsensus) {
   // Mild omission (p = 0.3) only stretches SSF's memory-fill time; the
   // steady-state correct fraction must stay essentially 1.
   const PopulationConfig pop{.n = 400, .s1 = 2, .s0 = 0};
-  SelfStabilizingSourceFilter ssf(pop, pop.n, /*delta=*/0.05);
+  SelfStabilizingSourceFilter ssf(pop, Holdings{pop.n}, Delta{/*delta=*/0.05});
   const auto noise = NoiseMatrix::uniform(4, 0.05);
 
   FaultPlan plan;
@@ -446,7 +447,7 @@ TEST(FaultyEngine, SteadyStateUnderDropsStaysNearConsensus) {
   FaultyEngine engine(inner, plan);
   Rng rng(55);
   const auto r = measure_steady_state(
-      ssf, engine, noise, pop.correct_opinion(), pop.n,
+      ssf, engine, noise, pop.correct_opinion(), Holdings{pop.n},
       /*warmup=*/3 * ssf.convergence_deadline(), /*measure=*/30, rng);
   EXPECT_GT(r.mean_correct_fraction, 0.95);
   EXPECT_GT(engine.stats().dropped_observations, 0u);
@@ -456,7 +457,7 @@ TEST(FaultyEngine, ComposesWithChurnRunner) {
   // Runtime faults and churn resets are orthogonal layers: a FaultyEngine
   // drops straight into run_with_churn.
   const PopulationConfig pop{.n = 300, .s1 = 2, .s0 = 0};
-  SelfStabilizingSourceFilter ssf(pop, pop.n, /*delta=*/0.05);
+  SelfStabilizingSourceFilter ssf(pop, Holdings{pop.n}, Delta{/*delta=*/0.05});
   const auto noise = NoiseMatrix::uniform(4, 0.05);
 
   FaultPlan plan;
@@ -468,7 +469,7 @@ TEST(FaultyEngine, ComposesWithChurnRunner) {
   FaultyEngine engine(inner, plan);
   Rng rng(66);
   const auto r = run_with_churn(
-      ssf, engine, noise, pop.correct_opinion(), pop.n,
+      ssf, engine, noise, pop.correct_opinion(), Holdings{pop.n},
       /*warmup=*/3 * ssf.convergence_deadline(), /*measure=*/25,
       ChurnConfig{.rate = 0.005, .policy = CorruptionPolicy::WrongConsensus},
       rng);
@@ -479,13 +480,13 @@ TEST(FaultyEngine, ComposesWithChurnRunner) {
 
 TEST(SteadyState, HookRunsOncePerRound) {
   const PopulationConfig pop{.n = 100, .s1 = 1, .s0 = 0};
-  SelfStabilizingSourceFilter ssf(pop, pop.n, /*delta=*/0.05);
+  SelfStabilizingSourceFilter ssf(pop, Holdings{pop.n}, Delta{/*delta=*/0.05});
   const auto noise = NoiseMatrix::uniform(4, 0.05);
   AggregateEngine engine;
   Rng rng(9);
   std::uint64_t hook_calls = 0;
   const auto r = measure_steady_state(
-      ssf, engine, noise, pop.correct_opinion(), pop.n, /*warmup=*/10,
+      ssf, engine, noise, pop.correct_opinion(), Holdings{pop.n}, /*warmup=*/10,
       /*measure=*/5, rng,
       [&](std::uint64_t, Rng&) { ++hook_calls; });
   EXPECT_EQ(hook_calls, 15u);

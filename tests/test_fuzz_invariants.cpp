@@ -32,7 +32,8 @@ TEST(FuzzInvariants, SourceFilterStateStaysConsistent) {
                        rng.next_below(2));
     const std::uint64_t h = 1 + rng.next_below(8);
     const auto sched =
-        make_sf_schedule_with_m(p, h, 0.1, 1 + rng.next_below(40));
+        make_sf_schedule_with_m(p, Holdings{h}, Delta{0.1},
+                                MemoryBudget{1 + rng.next_below(40)});
     SourceFilter sf(p, sched);
 
     std::uint64_t prev_c1 = 0, prev_c0 = 0;
@@ -65,7 +66,8 @@ TEST(FuzzInvariants, SourceFilterSourceDisplaysNeverWaver) {
   // matter what it observes.
   Rng rng(2);
   const auto p = pop(30, 2, 1);
-  const auto sched = make_sf_schedule_with_m(p, 2, 0.2, 20);
+  const auto sched = make_sf_schedule_with_m(p, Holdings{2}, Delta{0.2},
+                                             MemoryBudget{20});
   SourceFilter sf(p, sched);
   for (std::uint64_t t = 0; t < sched.boosting_start(); ++t) {
     for (std::uint64_t src = 0; src < p.num_sources(); ++src) {
@@ -81,7 +83,7 @@ TEST(FuzzInvariants, SsfMemoryNeverExceedsBudgetPlusDelivery) {
     const auto p = pop(10 + rng.next_below(20), 1, 0);
     const std::uint64_t m = 1 + rng.next_below(50);
     auto ssf = SelfStabilizingSourceFilter::with_memory_budget(
-        p, 1 + rng.next_below(4), m);
+        p, Holdings{1 + rng.next_below(4)}, MemoryBudget{m});
     const std::uint64_t agent = rng.next_below(p.n);
     const std::uint64_t max_batch = 10;
     for (std::uint64_t t = 0; t < 200; ++t) {
@@ -101,7 +103,8 @@ TEST(FuzzInvariants, SsfCorruptThenRunNeverBreaks) {
   // arbitrary deliveries keep the state machine healthy.
   Rng rng(4);
   const auto p = pop(25, 2, 1);
-  auto ssf = SelfStabilizingSourceFilter::with_memory_budget(p, 2, 30);
+  auto ssf = SelfStabilizingSourceFilter::with_memory_budget(p, Holdings{2},
+                                                             MemoryBudget{30});
   for (int trial = 0; trial < 50; ++trial) {
     const std::uint64_t agent = rng.next_below(p.n);
     SymbolCounts mem(4);
@@ -120,7 +123,8 @@ TEST(FuzzInvariants, KaryOutputsStayInOpinionSet) {
     std::vector<std::uint64_t> sources(k, 0);
     sources[rng.next_below(k)] = 1 + rng.next_below(3);
     KaryPopulation p{.n = 30 + rng.next_below(30), .sources = sources};
-    KarySourceFilter ksf(p, 1 + rng.next_below(5), 0.5 / static_cast<double>(k));
+    KarySourceFilter ksf(p, Holdings{1 + rng.next_below(5)},
+                         Delta{0.5 / static_cast<double>(k)});
     const std::uint64_t agent = rng.next_below(p.n);
     for (std::uint64_t t = 0; t < ksf.planned_rounds() + 5; ++t) {
       ASSERT_LT(ksf.display(agent, t), k);
@@ -137,13 +141,15 @@ TEST(FuzzInvariants, KaryOutputsStayInOpinionSet) {
 TEST(FuzzInvariants, KaryScoresFrozenAfterListening) {
   Rng rng(6);
   KaryPopulation p{.n = 40, .sources = {0, 2, 1}};
-  KarySourceFilter ksf(p, 3, 0.05);
+  KarySourceFilter ksf(p, Holdings{3}, Delta{0.05});
   const std::uint64_t agent = 20;
   for (std::uint64_t t = 0; t < ksf.listening_rounds(); ++t) {
     ksf.update(agent, t, random_obs(rng, 3, 9), rng);
   }
   std::array<std::uint64_t, 3> frozen{};
-  for (std::size_t o = 0; o < 3; ++o) frozen[o] = ksf.score(agent, static_cast<Opinion>(o));
+  for (std::size_t o = 0; o < 3; ++o) {
+    frozen[o] = ksf.score(agent, static_cast<Opinion>(o));
+  }
   for (std::uint64_t t = ksf.listening_rounds();
        t < ksf.planned_rounds() + 5; ++t) {
     ksf.update(agent, t, random_obs(rng, 3, 9), rng);
@@ -156,7 +162,7 @@ TEST(FuzzInvariants, KaryScoresFrozenAfterListening) {
 TEST(FuzzInvariants, PushSpreadSilentAgentsStaySilentWithoutContact) {
   Rng rng(7);
   const auto p = pop(40, 1, 0);
-  PushSpread ps(p, 2, 0.1);
+  PushSpread ps(p, Holdings{2}, Delta{0.1});
   SymbolCounts empty(2);
   for (std::uint64_t t = 0; t < ps.planned_rounds(); ++t) {
     for (std::uint64_t i = p.num_sources(); i < p.n; ++i) {
@@ -170,7 +176,7 @@ TEST(FuzzInvariants, PushSpreadSilentAgentsStaySilentWithoutContact) {
 TEST(FuzzInvariants, PushSpreadActivationIsMonotone) {
   Rng rng(8);
   const auto p = pop(40, 1, 0);
-  PushSpread ps(p, 2, 0.1);
+  PushSpread ps(p, Holdings{2}, Delta{0.1});
   std::uint64_t prev_active = ps.active_count();
   for (std::uint64_t t = 0; t < 60; ++t) {
     for (std::uint64_t i = 0; i < p.n; ++i) {
@@ -190,7 +196,7 @@ TEST(FuzzInvariants, BaselinesOutputValidOpinionsUnderGarbageStreams) {
   VoterProtocol voter(p, init);
   MajorityDynamics majority(p, init);
   RepeatedMajority repeated(p, 7, init);
-  TaglessSsf tagless(p, 2, 9);
+  TaglessSsf tagless(p, Holdings{2}, MemoryBudget{9});
   for (std::uint64_t t = 0; t < 100; ++t) {
     const std::uint64_t agent = rng.next_below(p.n);
     const auto obs = random_obs(rng, 2, 15);
@@ -240,7 +246,7 @@ TEST(FuzzInvariants, EnginesAcceptAnyDisplayChurn) {
     if (kind == 2) engine = std::make_unique<SequentialEngine>();
     Rng rng(11 + kind);
     for (std::uint64_t t = 0; t < 50; ++t) {
-      ASSERT_NO_THROW(engine->step(protocol, noise, 5, t, rng));
+      ASSERT_NO_THROW(engine->step(protocol, noise, Holdings{5}, t, rng));
     }
   }
 }

@@ -49,12 +49,12 @@ constexpr double kDelta = 0.2;
 // sampling randomness.
 std::uint64_t digest_of_run(Engine& engine, std::uint64_t seed) {
   const PopulationConfig pop{.n = kN, .s1 = 1, .s0 = 0};
-  SourceFilter protocol(pop, kH, kDelta, 2.0);
+  SourceFilter protocol(pop, Holdings{kH}, Delta{kDelta}, C1{2.0});
   const auto noise = NoiseMatrix::uniform(2, kDelta);
   Rng rng(seed);
   const std::uint64_t rounds = protocol.planned_rounds() + 4;
   for (std::uint64_t r = 0; r < rounds; ++r) {
-    engine.step(protocol, noise, kH, r, rng);
+    engine.step(protocol, noise, Holdings{kH}, r, rng);
   }
   return engine.replay_digest();
 }

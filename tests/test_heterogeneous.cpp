@@ -58,7 +58,8 @@ TEST(HeterogeneousEngine, Validation) {
   Recorder protocol(std::vector<Symbol>(4, 0));
   HeterogeneousEngine engine(mixed_noise(3, 0.0, 0.1));
   Rng rng(1);
-  EXPECT_THROW(engine.step(protocol, NoiseMatrix::uniform(2, 0.1), 1, 0, rng),
+  EXPECT_THROW(engine.step(protocol, NoiseMatrix::uniform(2, 0.1), Holdings{1},
+                           0, rng),
                std::invalid_argument);
 }
 
@@ -79,7 +80,7 @@ TEST(HeterogeneousEngine, PerAgentChannelsAreApplied) {
 
   std::array<std::uint64_t, 2> scrambled{};
   for (int t = 0; t < 600; ++t) {
-    engine.step(protocol, NoiseMatrix::uniform(2, 0.1), 10, t, rng);
+    engine.step(protocol, NoiseMatrix::uniform(2, 0.1), Holdings{10}, t, rng);
     EXPECT_EQ(protocol.last_obs_[0][1], 10u);  // noiseless: all 1s
     scrambled[0] += protocol.last_obs_[1][0];
     scrambled[1] += protocol.last_obs_[1][1];
@@ -101,7 +102,7 @@ TEST(HeterogeneousEngine, UniformSpecialCaseMatchesAggregateLaw) {
   Rng rng(3);
   std::array<std::uint64_t, 2> totals{};
   for (int t = 0; t < 400; ++t) {
-    engine.step(protocol, NoiseMatrix::uniform(2, 0.1), 50, t, rng);
+    engine.step(protocol, NoiseMatrix::uniform(2, 0.1), Holdings{50}, t, rng);
     for (const auto& obs : protocol.last_obs_) {
       totals[0] += obs[0];
       totals[1] += obs[1];
@@ -120,7 +121,7 @@ TEST(HeterogeneousEngine, ArtificialNoiseComposesPerAgent) {
   Rng rng(4);
   std::array<std::uint64_t, 2> totals{};
   for (int t = 0; t < 500; ++t) {
-    engine.step(protocol, NoiseMatrix::noiseless(2), 10, t, rng);
+    engine.step(protocol, NoiseMatrix::noiseless(2), Holdings{10}, t, rng);
     for (const auto& obs : protocol.last_obs_) {
       totals[0] += obs[0];
       totals[1] += obs[1];
@@ -137,7 +138,7 @@ TEST(HeterogeneousEngine, SfTunedToWorstAgentConverges) {
   const auto p = pop(600, 1, 0);
   auto noise = mixed_noise(p.n, 0.02, 0.25);
   HeterogeneousEngine engine(std::move(noise));
-  SourceFilter sf(p, p.n, engine.worst_upper_bound(), 2.0);
+  SourceFilter sf(p, Holdings{p.n}, Delta{engine.worst_upper_bound()}, C1{2.0});
   Rng rng(5);
   const auto result =
       run(sf, engine, NoiseMatrix::uniform(2, engine.worst_upper_bound()),

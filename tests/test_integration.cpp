@@ -16,7 +16,7 @@ TEST(Integration, SfFullSamplingSingleSource) {
   const auto p = pop(1000, 1, 0);
   const double delta = 0.2;
   const auto noise = NoiseMatrix::uniform(2, delta);
-  SourceFilter sf(p, p.n, delta, 2.0);
+  SourceFilter sf(p, Holdings{p.n}, Delta{delta}, C1{2.0});
   AggregateEngine engine;
   Rng rng(1);
   const auto result =
@@ -28,7 +28,7 @@ TEST(Integration, SfSqrtNSampling) {
   const auto p = pop(900, 1, 0);
   const double delta = 0.1;
   const auto noise = NoiseMatrix::uniform(2, delta);
-  SourceFilter sf(p, 30, delta, 2.0);  // h = √n
+  SourceFilter sf(p, Holdings{30}, Delta{delta}, C1{2.0});  // h = √n
   AggregateEngine engine;
   Rng rng(2);
   const auto result =
@@ -44,7 +44,7 @@ TEST(Integration, SfUnderExactEngineMatchesAggregateOutcome) {
   const auto noise = NoiseMatrix::uniform(2, delta);
   int ok = 0;
   for (int rep = 0; rep < 3; ++rep) {
-    SourceFilter sf(p, p.n, delta, 2.0);
+    SourceFilter sf(p, Holdings{p.n}, Delta{delta}, C1{2.0});
     ExactEngine engine;
     Rng rng(100 + rep);
     ok += run(sf, engine, noise, p.correct_opinion(), RunConfig{.h = p.n}, rng)
@@ -61,7 +61,7 @@ TEST(Integration, SfWithNonUniformNoiseViaTheorem8Reduction) {
   const auto p = pop(800, 1, 0);
   const NoiseMatrix raw(Matrix{0.95, 0.05, 0.2, 0.8});
   const auto red = reduce_to_uniform(raw);
-  SourceFilter sf(p, p.n, red.delta_prime, 2.0);
+  SourceFilter sf(p, Holdings{p.n}, Delta{red.delta_prime}, C1{2.0});
   AggregateEngine engine;
   engine.set_artificial_noise(red.artificial);
   Rng rng(3);
@@ -75,7 +75,7 @@ TEST(Integration, SfPluralityWithConflictingSources) {
   const auto p = pop(1000, 6, 4);
   const double delta = 0.15;
   const auto noise = NoiseMatrix::uniform(2, delta);
-  SourceFilter sf(p, p.n, delta, 2.0);
+  SourceFilter sf(p, Holdings{p.n}, Delta{delta}, C1{2.0});
   AggregateEngine engine;
   Rng rng(4);
   const auto result =
@@ -88,7 +88,7 @@ TEST(Integration, SsfRecoversFromEveryCorruptionPolicy) {
   const double delta = 0.05;
   const auto noise = NoiseMatrix::uniform(4, delta);
   for (const auto policy : kAllCorruptionPolicies) {
-    SelfStabilizingSourceFilter ssf(p, p.n, delta, 2.0);
+    SelfStabilizingSourceFilter ssf(p, Holdings{p.n}, Delta{delta}, C1{2.0});
     Rng init(10 + static_cast<int>(policy));
     corrupt_population(ssf, policy, p.correct_opinion(), init);
     AggregateEngine engine;
@@ -109,7 +109,8 @@ TEST(Integration, SsfWithNonUniformNoiseViaReduction) {
   Rng gen(5);
   const auto raw = NoiseMatrix::random_upper_bounded(4, 0.03, gen);
   const auto red = reduce_to_uniform(raw);
-  SelfStabilizingSourceFilter ssf(p, p.n, red.delta_prime, 2.0);
+  SelfStabilizingSourceFilter ssf(p, Holdings{p.n}, Delta{red.delta_prime},
+                                  C1{2.0});
   AggregateEngine engine;
   engine.set_artificial_noise(red.artificial);
   Rng rng(6);
@@ -125,7 +126,8 @@ TEST(Integration, RepeatHarnessEstimatesHighSuccessForSf) {
   const auto noise = NoiseMatrix::uniform(2, delta);
   const auto results = run_repetitions(
       [&](Rng&) -> std::unique_ptr<PullProtocol> {
-        return std::make_unique<SourceFilter>(p, p.n, delta, 2.0);
+        return std::make_unique<SourceFilter>(p, Holdings{p.n}, Delta{delta},
+                                              C1{2.0});
       },
       noise, p.correct_opinion(), RunConfig{.h = p.n},
       RepeatOptions{.repetitions = 10, .seed = 7});
@@ -138,11 +140,11 @@ TEST(Integration, WeakOpinionAdvantageIsPositive) {
   const auto p = pop(2000, 1, 0);
   const double delta = 0.2;
   const auto noise = NoiseMatrix::uniform(2, delta);
-  SourceFilter sf(p, p.n, delta, 2.0);
+  SourceFilter sf(p, Holdings{p.n}, Delta{delta}, C1{2.0});
   AggregateEngine engine;
   Rng rng(8);
   for (std::uint64_t t = 0; t < sf.schedule().boosting_start(); ++t) {
-    engine.step(sf, noise, p.n, t, rng);
+    engine.step(sf, noise, Holdings{p.n}, t, rng);
   }
   std::uint64_t correct_weak = 0;
   for (std::uint64_t i = 0; i < p.n; ++i) {
@@ -157,7 +159,7 @@ TEST(Integration, BoostingTrajectoryGrows) {
   const auto p = pop(1000, 1, 0);
   const double delta = 0.2;
   const auto noise = NoiseMatrix::uniform(2, delta);
-  SourceFilter sf(p, p.n, delta, 2.0);
+  SourceFilter sf(p, Holdings{p.n}, Delta{delta}, C1{2.0});
   AggregateEngine engine;
   Rng rng(9);
   const auto result = run(sf, engine, noise, p.correct_opinion(),

@@ -46,7 +46,7 @@ TEST(KaryPopulation, Validation) {
 
 TEST(KarySourceFilter, ListeningDisplaysCoverSymbols) {
   const auto p = kpop(60, {0, 1, 0});
-  KarySourceFilter ksf(p, 4, 0.05);
+  KarySourceFilter ksf(p, Holdings{4}, Delta{0.05});
   const std::uint64_t pr = ksf.phase_rounds();
   // Source (agent 0, preference 1) always shows its preference.
   EXPECT_EQ(ksf.display(0, 0), 1);
@@ -60,7 +60,7 @@ TEST(KarySourceFilter, ListeningDisplaysCoverSymbols) {
 
 TEST(KarySourceFilter, ScoresExcludeTheCoverSymbol) {
   const auto p = kpop(60, {0, 1, 0});
-  KarySourceFilter ksf(p, 1, 0.05);
+  KarySourceFilter ksf(p, Holdings{1}, Delta{0.05});
   Rng rng(1);
   const std::uint64_t pr = ksf.phase_rounds();
   // Phase 0 (cover 0): observing symbol 0 adds nothing; 1 and 2 count.
@@ -77,7 +77,7 @@ TEST(KarySourceFilter, ScoresExcludeTheCoverSymbol) {
 
 TEST(KarySourceFilter, WeakOpinionIsArgmaxAtListeningEnd) {
   const auto p = kpop(60, {0, 1, 0});
-  KarySourceFilter ksf(p, 1, 0.05);
+  KarySourceFilter ksf(p, Holdings{1}, Delta{0.05});
   Rng rng(2);
   const std::uint64_t end = ksf.listening_rounds();
   for (std::uint64_t t = 0; t < end; ++t) {
@@ -90,7 +90,8 @@ TEST(KarySourceFilter, WeakOpinionIsArgmaxAtListeningEnd) {
 
 TEST(KarySourceFilter, BoostingAdoptsSubphasePlurality) {
   const auto p = kpop(60, {0, 1, 0});
-  KarySourceFilter ksf(p, 60, 0.05);  // h = n → sub-phase length 1 round
+  KarySourceFilter ksf(p, Holdings{60},
+                       Delta{0.05});  // h = n → sub-phase length 1 round
   Rng rng(3);
   const std::uint64_t end = ksf.listening_rounds();
   for (std::uint64_t t = 0; t < end; ++t) {
@@ -109,11 +110,13 @@ TEST(KarySourceFilter, BoostingAdoptsSubphasePlurality) {
 
 TEST(KarySourceFilter, Validation) {
   const auto p = kpop(60, {0, 1, 0});
-  EXPECT_THROW(KarySourceFilter(p, 0, 0.05), std::invalid_argument);
-  EXPECT_THROW(KarySourceFilter(p, 1, 1.0 / 3.0), std::invalid_argument);
-  EXPECT_THROW(KarySourceFilter(kpop(60, {1, 1, 0}), 1, 0.05),
+  EXPECT_THROW(KarySourceFilter(p, Holdings{0}, Delta{0.05}),
+               std::invalid_argument);
+  EXPECT_THROW(KarySourceFilter(p, Holdings{1}, Delta{1.0 / 3.0}),
+               std::invalid_argument);
+  EXPECT_THROW(KarySourceFilter(kpop(60, {1, 1, 0}), Holdings{1}, Delta{0.05}),
                std::invalid_argument);  // tied plurality
-  KarySourceFilter ksf(p, 1, 0.05);
+  KarySourceFilter ksf(p, Holdings{1}, Delta{0.05});
   Rng rng(4);
   EXPECT_THROW(ksf.update(60, 0, obs({1, 0, 0}), rng),
                std::invalid_argument);
@@ -125,7 +128,7 @@ TEST(KarySourceFilter, Validation) {
 TEST(KarySourceFilter, BinaryCaseConverges) {
   const auto p = kpop(400, {0, 1});
   const double delta = 0.15;
-  KarySourceFilter ksf(p, 400, delta);
+  KarySourceFilter ksf(p, Holdings{400}, Delta{delta});
   AggregateEngine engine;
   Rng rng(5);
   const auto result = run(ksf, engine, NoiseMatrix::uniform(2, delta),
@@ -136,7 +139,7 @@ TEST(KarySourceFilter, BinaryCaseConverges) {
 TEST(KarySourceFilter, ThreeOpinionsSingleSource) {
   const auto p = kpop(500, {0, 0, 1});
   const double delta = 0.08;
-  KarySourceFilter ksf(p, 500, delta);
+  KarySourceFilter ksf(p, Holdings{500}, Delta{delta});
   AggregateEngine engine;
   Rng rng(6);
   const auto result = run(ksf, engine, NoiseMatrix::uniform(3, delta),
@@ -149,7 +152,7 @@ TEST(KarySourceFilter, FourOpinionsConflictingSources) {
   // outvoted sources must adopt it.
   const auto p = kpop(600, {3, 2, 2, 1});
   const double delta = 0.05;
-  KarySourceFilter ksf(p, 600, delta);
+  KarySourceFilter ksf(p, Holdings{600}, Delta{delta});
   AggregateEngine engine;
   Rng rng(7);
   const auto result = run(ksf, engine, NoiseMatrix::uniform(4, delta),
@@ -163,7 +166,7 @@ TEST(KarySourceFilter, PluralityBiasOneAcrossReps) {
   const double delta = 0.05;
   int ok = 0;
   for (int rep = 0; rep < 5; ++rep) {
-    KarySourceFilter ksf(p, 500, delta);
+    KarySourceFilter ksf(p, Holdings{500}, Delta{delta});
     AggregateEngine engine;
     Rng rng(800 + rep);
     ok += run(ksf, engine, NoiseMatrix::uniform(3, delta),

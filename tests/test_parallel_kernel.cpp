@@ -64,24 +64,24 @@ std::unique_ptr<Engine> make_engine(EngineKind kind, std::size_t d = 2) {
 // makes the display trajectory depend on the sampling randomness.
 std::uint64_t digest_of_run(Engine& engine, std::uint64_t seed) {
   const PopulationConfig pop{.n = kN, .s1 = 1, .s0 = 0};
-  SourceFilter protocol(pop, kH, kDelta, 2.0);
+  SourceFilter protocol(pop, Holdings{kH}, Delta{kDelta}, C1{2.0});
   const auto noise = NoiseMatrix::uniform(2, kDelta);
   Rng rng(seed);
   const std::uint64_t rounds = protocol.planned_rounds() + 4;
   for (std::uint64_t r = 0; r < rounds; ++r) {
-    engine.step(protocol, noise, kH, r, rng);
+    engine.step(protocol, noise, Holdings{kH}, r, rng);
   }
   return engine.replay_digest();
 }
 
 std::uint64_t digest_of_kary_run(Engine& engine, std::uint64_t seed) {
   const KaryPopulation pop{.n = kN, .sources = {0, 1, 0}};
-  KarySourceFilter protocol(pop, kH, 0.05);
+  KarySourceFilter protocol(pop, Holdings{kH}, Delta{0.05});
   const auto noise = NoiseMatrix::uniform(3, 0.05);
   Rng rng(seed);
   const std::uint64_t rounds = protocol.planned_rounds() + 4;
   for (std::uint64_t r = 0; r < rounds; ++r) {
-    engine.step(protocol, noise, kH, r, rng);
+    engine.step(protocol, noise, Holdings{kH}, r, rng);
   }
   return engine.replay_digest();
 }

@@ -93,12 +93,12 @@ TEST(ParamValidation, FaultPlanAcceptsBoundaryRates) {
 TEST(ParamValidation, ChurnRejectsNaNAndOutOfRangeRate) {
   const PopulationConfig pop{.n = 20, .s1 = 1, .s0 = 0};
   const double delta = 0.05;
-  SelfStabilizingSourceFilter ssf(pop, pop.n, delta, 2.0);
+  SelfStabilizingSourceFilter ssf(pop, Holdings{pop.n}, Delta{delta}, C1{2.0});
   AggregateEngine engine;
   const auto noise = NoiseMatrix::uniform(4, delta);
   Rng rng(1);
   const auto run = [&](double rate) {
-    run_with_churn(ssf, engine, noise, pop.correct_opinion(), pop.n,
+    run_with_churn(ssf, engine, noise, pop.correct_opinion(), Holdings{pop.n},
                    /*warmup=*/1, /*measure=*/1, ChurnConfig{.rate = rate},
                    rng);
   };
@@ -110,12 +110,18 @@ TEST(ParamValidation, ChurnRejectsNaNAndOutOfRangeRate) {
 
 TEST(ParamValidation, ScheduleRejectsNaNDeltaAndC1) {
   const PopulationConfig pop{.n = 100, .s1 = 1, .s0 = 0};
-  EXPECT_THROW(make_sf_schedule(pop, 10, kNaN, 2.0), std::invalid_argument);
-  EXPECT_THROW(make_sf_schedule(pop, 10, 0.5, 2.0), std::invalid_argument);
-  EXPECT_THROW(make_sf_schedule(pop, 10, -0.1, 2.0), std::invalid_argument);
-  EXPECT_THROW(make_sf_schedule(pop, 10, 0.1, kNaN), std::invalid_argument);
-  EXPECT_THROW(make_sf_schedule(pop, 10, 0.1, 0.0), std::invalid_argument);
-  EXPECT_THROW(SourceFilter(pop, 10, kNaN, 2.0), std::invalid_argument);
+  EXPECT_THROW(make_sf_schedule(pop, Holdings{10}, Delta{kNaN}, C1{2.0}),
+               std::invalid_argument);
+  EXPECT_THROW(make_sf_schedule(pop, Holdings{10}, Delta{0.5}, C1{2.0}),
+               std::invalid_argument);
+  EXPECT_THROW(make_sf_schedule(pop, Holdings{10}, Delta{-0.1}, C1{2.0}),
+               std::invalid_argument);
+  EXPECT_THROW(make_sf_schedule(pop, Holdings{10}, Delta{0.1}, C1{kNaN}),
+               std::invalid_argument);
+  EXPECT_THROW(make_sf_schedule(pop, Holdings{10}, Delta{0.1}, C1{0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(SourceFilter(pop, Holdings{10}, Delta{kNaN}, C1{2.0}),
+               std::invalid_argument);
 }
 
 }  // namespace

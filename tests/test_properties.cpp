@@ -120,7 +120,8 @@ TEST_P(EngineEquivalence, MeanObservedOnesAgree) {
   auto fraction = [&](Engine& engine, std::uint64_t seed) {
     Fixed protocol(n);
     Rng rng(seed);
-    for (int t = 0; t < 40; ++t) engine.step(protocol, noise, h, t, rng);
+    for (int t = 0; t < 40; ++t) engine.step(protocol, noise, Holdings{h}, t,
+                                             rng);
     return static_cast<double>(protocol.total_ones) /
            static_cast<double>(protocol.total_msgs);
   };
@@ -173,7 +174,8 @@ TEST_P(SfConvergence, ReachesCorrectConsensus) {
   const auto noise = NoiseMatrix::uniform(2, c.delta);
   const auto results = run_repetitions(
       [&](Rng&) -> std::unique_ptr<PullProtocol> {
-        return std::make_unique<SourceFilter>(p, h, c.delta, 2.0);
+        return std::make_unique<SourceFilter>(p, Holdings{h}, Delta{c.delta},
+                                              C1{2.0});
       },
       noise, p.correct_opinion(), RunConfig{.h = h},
       RepeatOptions{.repetitions = 5, .seed = 77});
@@ -216,13 +218,17 @@ TEST_P(SsfRecovery, ConvergesDespiteCorruption) {
   const auto results = run_repetitions(
       [&](Rng& init) -> std::unique_ptr<PullProtocol> {
         auto ssf =
-            std::make_unique<SelfStabilizingSourceFilter>(p, p.n, c.delta, 2.0);
+            std::make_unique<SelfStabilizingSourceFilter>(p, Holdings{p.n},
+                                                          Delta{c.delta},
+                                                          C1{2.0});
         corrupt_population(*ssf, c.policy, p.correct_opinion(), init);
         return ssf;
       },
       noise, p.correct_opinion(),
       RunConfig{.h = p.n,
-                .max_rounds = SelfStabilizingSourceFilter(p, p.n, c.delta, 2.0)
+                .max_rounds = SelfStabilizingSourceFilter(p, Holdings{p.n},
+                                                          Delta{c.delta},
+                                                          C1{2.0})
                                   .convergence_deadline()},
       RepeatOptions{.repetitions = 4, .seed = 88});
   EXPECT_GE(success_rate(results), 0.75) << to_string(c.policy);
@@ -261,11 +267,11 @@ TEST(WeakOpinionProperties, PairwiseCorrelationIsSmall) {
   const int kReps = 400;
   int a = 0, b = 0, ab = 0;
   for (int rep = 0; rep < kReps; ++rep) {
-    SourceFilter sf(p, p.n, delta, 1.0);
+    SourceFilter sf(p, Holdings{p.n}, Delta{delta}, C1{1.0});
     AggregateEngine engine;
     Rng rng(500 + rep);
     for (std::uint64_t t = 0; t < sf.schedule().boosting_start(); ++t) {
-      engine.step(sf, noise, p.n, t, rng);
+      engine.step(sf, noise, Holdings{p.n}, t, rng);
     }
     const int ya = sf.weak_opinion(10);
     const int yb = sf.weak_opinion(20);

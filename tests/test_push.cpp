@@ -69,7 +69,7 @@ TEST_P(PushEngineKind, TotalDeliveredEqualsSendersTimesH) {
   auto engine = make_engine();
   Rng rng(1);
   for (std::uint64_t h : {1ULL, 4ULL, 32ULL}) {
-    engine->step(protocol, noise, h, 0, rng);
+    engine->step(protocol, noise, Holdings{h}, 0, rng);
     std::uint64_t total = 0;
     for (const auto& inbox : protocol.inbox_) total += inbox.total();
     EXPECT_EQ(total, 3 * h);
@@ -81,7 +81,7 @@ TEST_P(PushEngineKind, SilentRoundDeliversNothing) {
   const auto noise = NoiseMatrix::uniform(2, 0.1);
   auto engine = make_engine();
   Rng rng(2);
-  engine->step(protocol, noise, 5, 0, rng);
+  engine->step(protocol, noise, Holdings{5}, 0, rng);
   for (const auto& inbox : protocol.inbox_) EXPECT_EQ(inbox.total(), 0u);
 }
 
@@ -94,7 +94,7 @@ TEST_P(PushEngineKind, SymbolDistributionMatchesChannel) {
   Rng rng(3);
   std::array<std::uint64_t, 2> totals{};
   for (int t = 0; t < 4000; ++t) {
-    engine->step(protocol, noise, 8, t, rng);
+    engine->step(protocol, noise, Holdings{8}, t, rng);
     for (const auto& inbox : protocol.inbox_) {
       totals[0] += inbox[0];
       totals[1] += inbox[1];
@@ -111,7 +111,7 @@ TEST_P(PushEngineKind, ReceiversAreUniform) {
   Rng rng(4);
   std::array<std::uint64_t, 8> per_receiver{};
   for (int t = 0; t < 8000; ++t) {
-    engine->step(protocol, noise, 4, t, rng);
+    engine->step(protocol, noise, Holdings{4}, t, rng);
     for (std::uint64_t i = 0; i < 8; ++i) {
       per_receiver[i] += protocol.inbox_[i].total();
     }
@@ -126,9 +126,11 @@ TEST_P(PushEngineKind, RejectsBadParameters) {
   StaticPushProtocol protocol(5, {0}, {1});
   auto engine = make_engine();
   Rng rng(5);
-  EXPECT_THROW(engine->step(protocol, NoiseMatrix::uniform(3, 0.1), 1, 0, rng),
+  EXPECT_THROW(engine->step(protocol, NoiseMatrix::uniform(3, 0.1),
+                            Holdings{1}, 0, rng),
                std::invalid_argument);
-  EXPECT_THROW(engine->step(protocol, NoiseMatrix::uniform(2, 0.1), 0, 0, rng),
+  EXPECT_THROW(engine->step(protocol, NoiseMatrix::uniform(2, 0.1),
+                            Holdings{0}, 0, rng),
                std::invalid_argument);
 }
 
@@ -147,7 +149,7 @@ TEST(PushEngines, PerReceiverCountDistributionsAgree) {
     Rng rng(seed);
     std::array<std::uint64_t, 13> hist{};
     for (int t = 0; t < 20000; ++t) {
-      engine.step(protocol, noise, kH, t, rng);
+      engine.step(protocol, noise, Holdings{kH}, t, rng);
       ++hist[protocol.inbox_[5].total()];
     }
     return hist;
@@ -171,20 +173,21 @@ TEST(PushEngines, PerReceiverCountDistributionsAgree) {
 
 TEST(PushSpread, ConstructionAndParameters) {
   const auto p = pop(1000, 1, 0);
-  PushSpread ps(p, 1, 0.1);
+  PushSpread ps(p, Holdings{1}, Delta{0.1});
   EXPECT_GE(ps.refresh_window(), 3u);
   EXPECT_EQ(ps.refresh_window() % 2, 1u);  // odd majority window
   EXPECT_GT(ps.growth_rounds(), 0u);
   EXPECT_GT(ps.cleanup_rounds(), 0u);
   EXPECT_EQ(ps.planned_rounds(), ps.growth_rounds() + ps.cleanup_rounds());
-  EXPECT_THROW(PushSpread(p, 0, 0.1), std::invalid_argument);
-  EXPECT_THROW(PushSpread(p, 1, 0.5), std::invalid_argument);
-  EXPECT_THROW(PushSpread(p, 1, 0.1, 0.0), std::invalid_argument);
+  EXPECT_THROW(PushSpread(p, Holdings{0}, Delta{0.1}), std::invalid_argument);
+  EXPECT_THROW(PushSpread(p, Holdings{1}, Delta{0.5}), std::invalid_argument);
+  EXPECT_THROW(PushSpread(p, Holdings{1}, Delta{0.1}, 0.0),
+               std::invalid_argument);
 }
 
 TEST(PushSpread, OnlySourcesSendInitially) {
   const auto p = pop(50, 2, 0);
-  PushSpread ps(p, 1, 0.1);
+  PushSpread ps(p, Holdings{1}, Delta{0.1});
   EXPECT_EQ(ps.active_count(), 2u);
   EXPECT_TRUE(ps.sends(0, 0));
   EXPECT_TRUE(ps.sends(1, 0));
@@ -194,7 +197,7 @@ TEST(PushSpread, OnlySourcesSendInitially) {
 
 TEST(PushSpread, FirstContactActivates) {
   const auto p = pop(50, 1, 0);
-  PushSpread ps(p, 1, 0.1);
+  PushSpread ps(p, Holdings{1}, Delta{0.1});
   Rng rng(6);
   SymbolCounts one(2);
   one[1] = 1;
@@ -209,7 +212,7 @@ TEST(PushSpread, FirstContactActivates) {
 
 TEST(PushSpread, RefreshReestimatesByMajority) {
   const auto p = pop(50, 1, 0);
-  PushSpread ps(p, 1, 0.0);
+  PushSpread ps(p, Holdings{1}, Delta{0.0});
   Rng rng(7);
   SymbolCounts one(2);
   one[1] = 1;
@@ -228,7 +231,7 @@ TEST(PushSpread, SpreadsWithSingleSourceLowNoise) {
   const auto noise = NoiseMatrix::uniform(2, delta);
   int ok = 0;
   for (int rep = 0; rep < 4; ++rep) {
-    PushSpread ps(p, 1, delta);
+    PushSpread ps(p, Holdings{1}, Delta{delta});
     AggregatePushEngine engine;
     Rng rng(100 + rep);
     ok += run_push(ps, engine, noise, p.correct_opinion(),
@@ -243,7 +246,7 @@ TEST(PushSpread, SpreadsWithSingleSourceLowNoise) {
 TEST(PushSpread, SpreadsZeroAsWellAsOne) {
   const auto p = pop(1500, 0, 1);  // single 0-source
   const double delta = 0.1;
-  PushSpread ps(p, 1, delta);
+  PushSpread ps(p, Holdings{1}, Delta{delta});
   AggregatePushEngine engine;
   Rng rng(8);
   const auto result = run_push(ps, engine, NoiseMatrix::uniform(2, delta),
@@ -253,15 +256,15 @@ TEST(PushSpread, SpreadsZeroAsWellAsOne) {
 
 TEST(PushSpread, LargerFanoutShortensSchedule) {
   const auto p = pop(4000, 1, 0);
-  PushSpread h1(p, 1, 0.1);
-  PushSpread h16(p, 16, 0.1);
+  PushSpread h1(p, Holdings{1}, Delta{0.1});
+  PushSpread h16(p, Holdings{16}, Delta{0.1});
   EXPECT_LT(h16.planned_rounds(), h1.planned_rounds());
 }
 
 TEST(PushSpread, ExactEngineAgreesOnOutcome) {
   const auto p = pop(600, 1, 0);
   const double delta = 0.05;
-  PushSpread ps(p, 1, delta);
+  PushSpread ps(p, Holdings{1}, Delta{delta});
   ExactPushEngine engine;
   Rng rng(9);
   const auto result = run_push(ps, engine, NoiseMatrix::uniform(2, delta),

@@ -149,7 +149,7 @@ TEST(ReduceToUniform, Definition6LiteralSimulationMatchesComposedChannel) {
   engine.set_artificial_noise(red.artificial);
   Rng rng(2718);
   for (int t = 0; t < 4000; ++t) {
-    engine.step(protocol, raw, 8, t, rng);
+    engine.step(protocol, raw, Holdings{8}, t, rng);
   }
   // Under the composed δ'-uniform channel T: P(observe 1) =
   // (1/4)·T(1,1) + (3/4)·T(0,1) = 1/4·(1−δ') + 3/4·δ'.

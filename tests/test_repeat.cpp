@@ -14,7 +14,8 @@ PopulationConfig pop(std::uint64_t n, std::uint64_t s1, std::uint64_t s0) {
 
 ProtocolFactory sf_factory(const PopulationConfig& p, double delta) {
   return [p, delta](Rng&) -> std::unique_ptr<PullProtocol> {
-    return std::make_unique<SourceFilter>(p, p.n, delta, 2.0);
+    return std::make_unique<SourceFilter>(p, Holdings{p.n}, Delta{delta},
+                                          C1{2.0});
   };
 }
 
@@ -63,7 +64,7 @@ TEST(Repeat, RepetitionsAreIndependentAcrossSeeds) {
   // then disagree somewhere.
   const auto p = pop(100, 1, 0);
   const auto noise = NoiseMatrix::uniform(2, 0.3);
-  const SourceFilter ref(p, p.n, 0.3, 2.0);
+  const SourceFilter ref(p, Holdings{p.n}, Delta{0.3}, C1{2.0});
   const RunConfig cfg{.h = p.n,
                       .max_rounds = ref.schedule().boosting_start()};
   const auto a = run_repetitions(sf_factory(p, 0.3), noise, 1, cfg,
@@ -85,7 +86,8 @@ TEST(Repeat, ExactEngineOptionRuns) {
   const auto noise = NoiseMatrix::uniform(2, 0.1);
   const auto results = run_repetitions(
       sf_factory(p, 0.1), noise, 1, RunConfig{.h = 4},
-      RepeatOptions{.repetitions = 2, .seed = 5, .use_aggregate_engine = false});
+      RepeatOptions{.repetitions = 2, .seed = 5,
+                    .use_aggregate_engine = false});
   EXPECT_EQ(results.size(), 2u);
 }
 

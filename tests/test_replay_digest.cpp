@@ -51,7 +51,8 @@ TEST(Fnv1a, MatchesReferenceVectors) {
 
 TEST(Fnv1a, U64LittleEndianOrder) {
   // hash_u64 must fold bytes little-endian first regardless of host order.
-  const std::uint64_t via_u64 = fnv::hash_u64(fnv::kOffsetBasis, 0x0102030405060708ULL);
+  const std::uint64_t via_u64 = fnv::hash_u64(fnv::kOffsetBasis,
+                                              0x0102030405060708ULL);
   std::uint64_t via_bytes = fnv::kOffsetBasis;
   constexpr std::uint8_t kBytes[] = {0x08, 0x07, 0x06, 0x05,
                                      0x04, 0x03, 0x02, 0x01};
@@ -98,12 +99,12 @@ std::unique_ptr<Engine> make_engine(EngineKind kind) {
 // engine's final digest.
 std::uint64_t digest_of_run(Engine& engine, std::uint64_t seed) {
   const PopulationConfig pop{.n = kN, .s1 = 1, .s0 = 0};
-  SourceFilter protocol(pop, kH, kDelta, 2.0);
+  SourceFilter protocol(pop, Holdings{kH}, Delta{kDelta}, C1{2.0});
   const auto noise = NoiseMatrix::uniform(2, kDelta);
   Rng rng(seed);
   const std::uint64_t rounds = protocol.planned_rounds() + 4;
   for (std::uint64_t r = 0; r < rounds; ++r) {
-    engine.step(protocol, noise, kH, r, rng);
+    engine.step(protocol, noise, Holdings{kH}, r, rng);
   }
   return engine.replay_digest();
 }
@@ -132,12 +133,12 @@ TEST_P(ReplayDigest, DifferentSeedsDiverge) {
 TEST_P(ReplayDigest, DigestAdvancesEveryRound) {
   const auto engine = make_engine(GetParam());
   const PopulationConfig pop{.n = kN, .s1 = 1, .s0 = 0};
-  SourceFilter protocol(pop, kH, kDelta, 2.0);
+  SourceFilter protocol(pop, Holdings{kH}, Delta{kDelta}, C1{2.0});
   const auto noise = NoiseMatrix::uniform(2, kDelta);
   Rng rng(11);
   std::uint64_t previous = engine->replay_digest();
   for (std::uint64_t r = 0; r < 4; ++r) {
-    engine->step(protocol, noise, kH, r, rng);
+    engine->step(protocol, noise, Holdings{kH}, r, rng);
     EXPECT_NE(engine->replay_digest(), previous) << "round " << r;
     previous = engine->replay_digest();
   }

@@ -42,7 +42,7 @@ TEST(Runner, CountCorrect) {
   ScriptedProtocol protocol(10, {7});
   Rng rng(1);
   ExactEngine engine;
-  engine.step(protocol, kNoiseless, 1, 0, rng);
+  engine.step(protocol, kNoiseless, Holdings{1}, 0, rng);
   EXPECT_EQ(count_correct(protocol, 1), 7u);
   EXPECT_EQ(count_correct(protocol, 0), 3u);
 }

@@ -12,7 +12,8 @@ PopulationConfig pop(std::uint64_t n, std::uint64_t s1, std::uint64_t s0) {
 }
 
 TEST(SfSchedule, PhaseRoundsAreCeilOfMOverH) {
-  const auto s = make_sf_schedule_with_m(pop(1000, 1, 0), 7, 0.1, 100);
+  const auto s = make_sf_schedule_with_m(pop(1000, 1, 0), Holdings{7},
+                                         Delta{0.1}, MemoryBudget{100});
   EXPECT_EQ(s.m, 100u);
   EXPECT_EQ(s.phase_rounds, 15u);  // ceil(100/7)
   EXPECT_EQ(s.final_rounds, s.phase_rounds);
@@ -20,21 +21,24 @@ TEST(SfSchedule, PhaseRoundsAreCeilOfMOverH) {
 }
 
 TEST(SfSchedule, SubphaseCountIsTenLogN) {
-  const auto s = make_sf_schedule_with_m(pop(1000, 1, 0), 1, 0.1, 10);
+  const auto s = make_sf_schedule_with_m(pop(1000, 1, 0), Holdings{1},
+                                         Delta{0.1}, MemoryBudget{10});
   EXPECT_EQ(s.num_subphases,
             static_cast<std::uint64_t>(std::ceil(10.0 * std::log(1000.0))));
 }
 
 TEST(SfSchedule, SubphaseMessageBudgetMatchesFormula) {
   const double delta = 0.1;
-  const auto s = make_sf_schedule_with_m(pop(1000, 1, 0), 1, delta, 10);
+  const auto s = make_sf_schedule_with_m(pop(1000, 1, 0), Holdings{1},
+                                         Delta{delta}, MemoryBudget{10});
   const double want = 100.0 * std::exp(1.0) / ((1 - 2 * delta) * (1 - 2 * delta));
   EXPECT_EQ(s.w, static_cast<std::uint64_t>(std::ceil(want)));
   EXPECT_EQ(s.subphase_rounds, s.w);  // h = 1
 }
 
 TEST(SfSchedule, TotalRoundsAddsUp) {
-  const auto s = make_sf_schedule_with_m(pop(500, 2, 1), 3, 0.2, 50);
+  const auto s = make_sf_schedule_with_m(pop(500, 2, 1), Holdings{3},
+                                         Delta{0.2}, MemoryBudget{50});
   EXPECT_EQ(s.total_rounds(), 2 * s.phase_rounds +
                                   s.num_subphases * s.subphase_rounds +
                                   s.final_rounds);
@@ -43,8 +47,10 @@ TEST(SfSchedule, TotalRoundsAddsUp) {
 TEST(SfSchedule, Equation19TermsScaleAsExpected) {
   // Doubling n roughly doubles m (noise term dominates at δ = 0.3, s = 1).
   const double delta = 0.3;
-  const auto s1 = make_sf_schedule(pop(10000, 1, 0), 1, delta, 1.0);
-  const auto s2 = make_sf_schedule(pop(20000, 1, 0), 1, delta, 1.0);
+  const auto s1 = make_sf_schedule(pop(10000, 1, 0), Holdings{1}, Delta{delta},
+                                   C1{1.0});
+  const auto s2 = make_sf_schedule(pop(20000, 1, 0), Holdings{1}, Delta{delta},
+                                   C1{1.0});
   const double ratio =
       static_cast<double>(s2.m) / static_cast<double>(s1.m);
   EXPECT_GT(ratio, 1.8);
@@ -52,21 +58,27 @@ TEST(SfSchedule, Equation19TermsScaleAsExpected) {
 }
 
 TEST(SfSchedule, LargerBiasShrinksBudget) {
-  const auto small_bias = make_sf_schedule(pop(10000, 1, 0), 1, 0.3, 1.0);
-  const auto large_bias = make_sf_schedule(pop(10000, 20, 0), 1, 0.3, 1.0);
+  const auto small_bias = make_sf_schedule(pop(10000, 1, 0), Holdings{1},
+                                           Delta{0.3}, C1{1.0});
+  const auto large_bias = make_sf_schedule(pop(10000, 20, 0), Holdings{1},
+                                           Delta{0.3}, C1{1.0});
   EXPECT_LT(large_bias.m, small_bias.m);
 }
 
 TEST(SfSchedule, HigherNoiseGrowsBudget) {
-  const auto low = make_sf_schedule(pop(10000, 1, 0), 1, 0.1, 1.0);
-  const auto high = make_sf_schedule(pop(10000, 1, 0), 1, 0.4, 1.0);
+  const auto low = make_sf_schedule(pop(10000, 1, 0), Holdings{1}, Delta{0.1},
+                                    C1{1.0});
+  const auto high = make_sf_schedule(pop(10000, 1, 0), Holdings{1}, Delta{0.4},
+                                     C1{1.0});
   EXPECT_GT(high.m, low.m);
 }
 
 TEST(SfSchedule, MinS2NClampKicksInForHugeBias) {
   // With s > √n the noise term divides by n, not s².
-  const auto a = make_sf_schedule(pop(10000, 150, 0), 1, 0.3, 1.0);
-  const auto b = make_sf_schedule(pop(10000, 2000, 0), 1, 0.3, 1.0);
+  const auto a = make_sf_schedule(pop(10000, 150, 0), Holdings{1}, Delta{0.3},
+                                  C1{1.0});
+  const auto b = make_sf_schedule(pop(10000, 2000, 0), Holdings{1}, Delta{0.3},
+                                  C1{1.0});
   // Both are clamped at min{s²,n} = n for the noise term; b still gets a
   // smaller √n/s and (s0+s1)/s² contribution but a larger source count.
   EXPECT_GT(a.m, 0u);
@@ -75,8 +87,10 @@ TEST(SfSchedule, MinS2NClampKicksInForHugeBias) {
 
 TEST(SfSchedule, SampleSizeDividesRounds) {
   // The whole point of Theorem 4: rounds scale as m/h.
-  const auto h1 = make_sf_schedule_with_m(pop(1000, 1, 0), 1, 0.2, 1000);
-  const auto h10 = make_sf_schedule_with_m(pop(1000, 1, 0), 10, 0.2, 1000);
+  const auto h1 = make_sf_schedule_with_m(pop(1000, 1, 0), Holdings{1},
+                                          Delta{0.2}, MemoryBudget{1000});
+  const auto h10 = make_sf_schedule_with_m(pop(1000, 1, 0), Holdings{10},
+                                           Delta{0.2}, MemoryBudget{1000});
   EXPECT_EQ(h1.phase_rounds, 1000u);
   EXPECT_EQ(h10.phase_rounds, 100u);
 }
@@ -88,7 +102,8 @@ TEST(SfSchedule, Lemma31BoostingShorterThanListening) {
   for (std::uint64_t n : {100ULL, 10000ULL}) {
     for (std::uint64_t h : {std::uint64_t{1}, std::uint64_t{16}, n}) {
       for (double delta : {0.0, 0.2, 0.4}) {
-        const auto s = make_sf_schedule(pop(n, 1, 0), h, delta, c1);
+        const auto s = make_sf_schedule(pop(n, 1, 0), Holdings{h},
+                                        Delta{delta}, C1{c1});
         EXPECT_LE(s.num_subphases * s.subphase_rounds + s.final_rounds,
                   2 * s.phase_rounds)
             << "n=" << n << " h=" << h << " delta=" << delta;
@@ -98,17 +113,24 @@ TEST(SfSchedule, Lemma31BoostingShorterThanListening) {
 }
 
 TEST(SfSchedule, InputValidation) {
-  EXPECT_THROW(make_sf_schedule(pop(1000, 1, 0), 0, 0.1), std::invalid_argument);
-  EXPECT_THROW(make_sf_schedule(pop(1000, 1, 0), 1, 0.5), std::invalid_argument);
-  EXPECT_THROW(make_sf_schedule(pop(1000, 1, 0), 1, -0.1),
+  EXPECT_THROW(make_sf_schedule(pop(1000, 1, 0), Holdings{0}, Delta{0.1}),
                std::invalid_argument);
-  EXPECT_THROW(make_sf_schedule(pop(1000, 1, 0), 1, 0.1, 0.0),
+  EXPECT_THROW(make_sf_schedule(pop(1000, 1, 0), Holdings{1}, Delta{0.5}),
                std::invalid_argument);
-  EXPECT_THROW(make_sf_schedule(pop(1000, 1, 1), 1, 0.1),
+  EXPECT_THROW(make_sf_schedule(pop(1000, 1, 0), Holdings{1}, Delta{-0.1}),
+               std::invalid_argument);
+  EXPECT_THROW(make_sf_schedule(pop(1000, 1, 0), Holdings{1}, Delta{0.1},
+                                C1{0.0}),
+
+               std::invalid_argument);
+  EXPECT_THROW(make_sf_schedule(pop(1000, 1, 1), Holdings{1}, Delta{0.1}),
                std::invalid_argument);  // bias 0
-  EXPECT_THROW(make_sf_schedule_with_m(pop(1000, 1, 0), 1, 0.1, 0),
+  EXPECT_THROW(make_sf_schedule_with_m(pop(1000, 1, 0), Holdings{1},
+                                       Delta{0.1}, MemoryBudget{0}),
+
                std::invalid_argument);
-  EXPECT_THROW(make_sf_schedule(pop(1, 1, 0), 1, 0.1), std::invalid_argument);
+  EXPECT_THROW(make_sf_schedule(pop(1, 1, 0), Holdings{1}, Delta{0.1}),
+               std::invalid_argument);
 }
 
 TEST(SsfBudget, Equation30Formula) {
@@ -118,20 +140,20 @@ TEST(SsfBudget, Equation30Formula) {
       2.0 * (delta * n * std::log(static_cast<double>(n)) /
                  ((1 - 4 * delta) * (1 - 4 * delta)) +
              n);
-  EXPECT_EQ(ssf_memory_budget(pop(n, 1, 0), delta, 2.0),
+  EXPECT_EQ(ssf_memory_budget(pop(n, 1, 0), Delta{delta}, C1{2.0}),
             static_cast<std::uint64_t>(std::ceil(want)));
 }
 
 TEST(SsfBudget, NoiselessCaseIsLinear) {
-  EXPECT_EQ(ssf_memory_budget(pop(4096, 1, 0), 0.0, 1.0), 4096u);
+  EXPECT_EQ(ssf_memory_budget(pop(4096, 1, 0), Delta{0.0}, C1{1.0}), 4096u);
 }
 
 TEST(SsfBudget, InputValidation) {
-  EXPECT_THROW(ssf_memory_budget(pop(1000, 1, 0), 0.25),
+  EXPECT_THROW(ssf_memory_budget(pop(1000, 1, 0), Delta{0.25}),
                std::invalid_argument);
-  EXPECT_THROW(ssf_memory_budget(pop(1000, 1, 0), -0.1),
+  EXPECT_THROW(ssf_memory_budget(pop(1000, 1, 0), Delta{-0.1}),
                std::invalid_argument);
-  EXPECT_THROW(ssf_memory_budget(pop(1000, 1, 0), 0.1, -1.0),
+  EXPECT_THROW(ssf_memory_budget(pop(1000, 1, 0), Delta{0.1}, C1{-1.0}),
                std::invalid_argument);
 }
 
@@ -139,14 +161,18 @@ TEST(StateBits, GrowLogarithmicallyWithBudget) {
   // O(log T + log h): quadrupling m should add ~4 bits (2 counters × 2),
   // never multiply the footprint.
   const auto pop1k = pop(1000, 1, 0);
-  const auto small = sf_state_bits(make_sf_schedule_with_m(pop1k, 1, 0.1, 1024));
+  const auto small = sf_state_bits(make_sf_schedule_with_m(pop1k, Holdings{1},
+                                                           Delta{0.1},
+                                                           MemoryBudget{1024}));
   const auto large =
-      sf_state_bits(make_sf_schedule_with_m(pop1k, 1, 0.1, 1024 * 1024));
+      sf_state_bits(make_sf_schedule_with_m(pop1k, Holdings{1}, Delta{0.1},
+                                            MemoryBudget{1024 * 1024}));
   EXPECT_GT(large, small);
   EXPECT_LT(large, small + 50);
 
-  EXPECT_GT(ssf_state_bits(1 << 20, 4), ssf_state_bits(1 << 10, 4));
-  EXPECT_LT(ssf_state_bits(1 << 20, 4), 120u);
+  EXPECT_GT(ssf_state_bits(MemoryBudget{1 << 20}, Holdings{4}),
+            ssf_state_bits(MemoryBudget{1 << 10}, Holdings{4}));
+  EXPECT_LT(ssf_state_bits(MemoryBudget{1 << 20}, Holdings{4}), 120u);
 }
 
 }  // namespace

@@ -22,7 +22,8 @@ PopulationConfig pop(std::uint64_t n, std::uint64_t s1, std::uint64_t s0) {
 
 ProtocolFactory sf_factory(const PopulationConfig& p, double delta) {
   return [p, delta](Rng&) -> std::unique_ptr<PullProtocol> {
-    return std::make_unique<SourceFilter>(p, p.n, delta, 2.0);
+    return std::make_unique<SourceFilter>(p, Holdings{p.n}, Delta{delta},
+                                          C1{2.0});
   };
 }
 
@@ -54,7 +55,7 @@ ExperimentCell sf_cell(const PopulationConfig& p, double delta,
 // the interesting regime for early stopping and cache tests.
 ExperimentCell truncated_cell(const PopulationConfig& p, double delta,
                               std::uint64_t seed) {
-  const SourceFilter ref(p, p.n, delta, 2.0);
+  const SourceFilter ref(p, Holdings{p.n}, Delta{delta}, C1{2.0});
   ExperimentCell cell = sf_cell(p, delta, seed);
   cell.cfg.max_rounds = ref.schedule().boosting_start();
   return cell;

@@ -46,7 +46,7 @@ TEST(SequentialEngine, DeliversHObservationsToEveryAgent) {
   SequentialEngine engine;
   const auto noise = NoiseMatrix::uniform(2, 0.1);
   Rng rng(1);
-  engine.step(protocol, noise, 7, 0, rng);
+  engine.step(protocol, noise, Holdings{7}, 0, rng);
   for (const auto& obs : protocol.last_obs_) EXPECT_EQ(obs.total(), 7u);
 }
 
@@ -60,7 +60,7 @@ TEST(SequentialEngine, UpdatesAreVisibleWithinTheRound) {
   SequentialEngine engine(SequentialEngine::Order::FixedAscending);
   const auto noise = NoiseMatrix::noiseless(2);
   Rng rng(2);
-  engine.step(protocol, noise, 512, 0, rng);
+  engine.step(protocol, noise, Holdings{512}, 0, rng);
   const auto& first = protocol.last_obs_[0];
   const auto& last = protocol.last_obs_[8];
   EXPECT_EQ(first[1], 0u);     // agent 0 saw the all-zeros population
@@ -73,7 +73,7 @@ TEST(SequentialEngine, FixedDescendingReversesActivation) {
   SequentialEngine engine(SequentialEngine::Order::FixedDescending);
   const auto noise = NoiseMatrix::noiseless(2);
   Rng rng(3);
-  engine.step(protocol, noise, 512, 0, rng);
+  engine.step(protocol, noise, Holdings{512}, 0, rng);
   EXPECT_EQ(protocol.last_obs_[8][1], 0u);  // agent 8 activated first
   EXPECT_GT(protocol.last_obs_[0][1], protocol.last_obs_[0][0]);
 }
@@ -89,7 +89,7 @@ TEST(SequentialEngine, StaticDisplaysMatchChannelDistribution) {
   Rng rng(4);
   std::array<std::uint64_t, 2> totals{};
   for (int t = 0; t < 400; ++t) {
-    engine.step(protocol, noise, 50, t, rng);
+    engine.step(protocol, noise, Holdings{50}, t, rng);
     for (const auto& obs : protocol.last_obs_) {
       totals[0] += obs[0];
       totals[1] += obs[1];
@@ -107,7 +107,7 @@ TEST(SequentialEngine, RandomOrderIsDeterministicGivenSeed) {
     std::vector<std::uint64_t> out;
     const auto noise = NoiseMatrix::uniform(2, 0.2);
     for (int t = 0; t < 5; ++t) {
-      engine.step(protocol, noise, 3, t, rng);
+      engine.step(protocol, noise, Holdings{3}, t, rng);
       for (const auto& obs : protocol.last_obs_) out.push_back(obs[1]);
     }
     return out;
@@ -125,7 +125,7 @@ TEST_P(SsfUnderSchedule, SsfConvergesUnderAsynchronousActivation) {
   // wrong-consensus corruption.
   const auto p = pop(300, 2, 0);
   const double delta = 0.05;
-  SelfStabilizingSourceFilter ssf(p, p.n, delta, 2.0);
+  SelfStabilizingSourceFilter ssf(p, Holdings{p.n}, Delta{delta}, C1{2.0});
   Rng init(7);
   corrupt_population(ssf, CorruptionPolicy::WrongConsensus,
                      p.correct_opinion(), init);
@@ -162,7 +162,7 @@ TEST(SequentialEngine, SupportsArtificialNoise) {
   Rng rng(9);
   std::array<std::uint64_t, 2> totals{};
   for (int t = 0; t < 500; ++t) {
-    engine.step(protocol, noise, 20, t, rng);
+    engine.step(protocol, noise, Holdings{20}, t, rng);
     for (const auto& obs : protocol.last_obs_) {
       totals[0] += obs[0];
       totals[1] += obs[1];

@@ -21,7 +21,7 @@ SymbolCounts obs2(std::uint64_t zeros, std::uint64_t ones) {
 
 // A small fixed schedule: m = 6, h = 2 → phases of 3 rounds each.
 SfSchedule tiny_schedule(const PopulationConfig& p) {
-  return make_sf_schedule_with_m(p, 2, 0.1, 6);
+  return make_sf_schedule_with_m(p, Holdings{2}, Delta{0.1}, MemoryBudget{6});
 }
 
 TEST(SourceFilter, DisplaysFollowThePhaseScript) {
@@ -167,7 +167,7 @@ TEST(SourceFilter, UpdatesBeyondHorizonAreIgnored) {
 
 TEST(SourceFilter, PlannedRoundsMatchesSchedule) {
   const auto p = pop(100, 1, 0);
-  SourceFilter sf(p, 4, 0.1, 1.0);
+  SourceFilter sf(p, Holdings{4}, Delta{0.1}, C1{1.0});
   EXPECT_EQ(sf.planned_rounds(), sf.schedule().total_rounds());
   EXPECT_GT(sf.planned_rounds(), 0u);
 }
@@ -190,7 +190,7 @@ TEST(SourceFilter, ConvergesWithFullSampling) {
   const auto noise = NoiseMatrix::uniform(2, 0.15);
   int successes = 0;
   for (int rep = 0; rep < 5; ++rep) {
-    SourceFilter sf(p, p.n, 0.15, 2.0);
+    SourceFilter sf(p, Holdings{p.n}, Delta{0.15}, C1{2.0});
     AggregateEngine engine;
     Rng rng(900 + rep);
     const auto result =
@@ -204,7 +204,7 @@ TEST(SourceFilter, ConvergesToZeroWhenZeroSourcesDominate) {
   const auto p = pop(300, 1, 3);  // correct opinion is 0
   ASSERT_EQ(p.correct_opinion(), 0);
   const auto noise = NoiseMatrix::uniform(2, 0.1);
-  SourceFilter sf(p, p.n, 0.1, 2.0);
+  SourceFilter sf(p, Holdings{p.n}, Delta{0.1}, C1{2.0});
   AggregateEngine engine;
   Rng rng(7);
   const auto result =
@@ -217,7 +217,7 @@ TEST(SourceFilter, MinoritySourcesAreOverruled) {
   // preference too (Definition 2).
   const auto p = pop(400, 5, 2);
   const auto noise = NoiseMatrix::uniform(2, 0.1);
-  SourceFilter sf(p, p.n, 0.1, 2.0);
+  SourceFilter sf(p, Holdings{p.n}, Delta{0.1}, C1{2.0});
   AggregateEngine engine;
   Rng rng(11);
   const auto result =

@@ -36,7 +36,7 @@ TEST(Ssf, SymbolEncoding) {
 
 TEST(Ssf, SourcesDisplayTagAndPreference) {
   const auto p = pop(10, 1, 1);
-  Ssf ssf = Ssf::with_memory_budget(p, 2, 100);
+  Ssf ssf = Ssf::with_memory_budget(p, Holdings{2}, MemoryBudget{100});
   EXPECT_EQ(ssf.display(0, 0), Ssf::encode(true, 1));   // 1-source
   EXPECT_EQ(ssf.display(1, 0), Ssf::encode(true, 0));   // 0-source
   EXPECT_EQ(ssf.display(5, 0), Ssf::encode(false, 0));  // weak opinion 0
@@ -44,7 +44,7 @@ TEST(Ssf, SourcesDisplayTagAndPreference) {
 
 TEST(Ssf, NonSourceDisplayTracksWeakOpinion) {
   const auto p = pop(10, 1, 0);
-  Ssf ssf = Ssf::with_memory_budget(p, 4, 8);
+  Ssf ssf = Ssf::with_memory_budget(p, Holdings{4}, MemoryBudget{8});
   Rng rng(1);
   // Fill memory with fake source messages carrying second bit 1: the next
   // update sets the weak opinion to 1 and the display follows.
@@ -55,7 +55,7 @@ TEST(Ssf, NonSourceDisplayTracksWeakOpinion) {
 
 TEST(Ssf, UpdateTriggersExactlyAtBudget) {
   const auto p = pop(10, 1, 0);
-  Ssf ssf = Ssf::with_memory_budget(p, 2, 6);
+  Ssf ssf = Ssf::with_memory_budget(p, Holdings{2}, MemoryBudget{6});
   Rng rng(2);
   // Two rounds of h = 2 leave the memory below m = 6: no update yet.
   ssf.update(4, 0, obs4(0, 0, 0, 2), rng);
@@ -71,7 +71,7 @@ TEST(Ssf, UpdateTriggersExactlyAtBudget) {
 
 TEST(Ssf, WeakOpinionUsesOnlySourceTaggedMessages) {
   const auto p = pop(10, 1, 0);
-  Ssf ssf = Ssf::with_memory_budget(p, 1, 10);
+  Ssf ssf = Ssf::with_memory_budget(p, Holdings{1}, MemoryBudget{10});
   Rng rng(3);
   // 7 untagged messages say 1, but the 3 tagged messages say 0: the weak
   // opinion must follow the tagged ones; the opinion follows the overall
@@ -83,7 +83,7 @@ TEST(Ssf, WeakOpinionUsesOnlySourceTaggedMessages) {
 
 TEST(Ssf, OpinionUsesAllSecondBits) {
   const auto p = pop(10, 1, 0);
-  Ssf ssf = Ssf::with_memory_budget(p, 1, 10);
+  Ssf ssf = Ssf::with_memory_budget(p, Holdings{1}, MemoryBudget{10});
   Rng rng(4);
   // Second bits: six 0s — (0,0) ×4, (1,0) ×2 — vs four 1s.
   ssf.update(4, 0, obs4(4, 2, 2, 2), rng);
@@ -98,7 +98,7 @@ TEST(Ssf, TieBreaksAreFair) {
   int weak_ones = 0;
   const int kReps = 2000;
   for (int rep = 0; rep < kReps; ++rep) {
-    Ssf ssf = Ssf::with_memory_budget(p, 1, 4);
+    Ssf ssf = Ssf::with_memory_budget(p, Holdings{1}, MemoryBudget{4});
     Rng rng(5000 + rep);
     ssf.update(4, 0, obs4(1, 1, 1, 1), rng);  // tagged tie and overall tie
     weak_ones += ssf.weak_opinion(4);
@@ -109,7 +109,7 @@ TEST(Ssf, TieBreaksAreFair) {
 
 TEST(Ssf, CorruptInjectsArbitraryState) {
   const auto p = pop(10, 1, 0);
-  Ssf ssf = Ssf::with_memory_budget(p, 2, 100);
+  Ssf ssf = Ssf::with_memory_budget(p, Holdings{2}, MemoryBudget{100});
   ssf.corrupt(7, obs4(5, 6, 7, 8), 1, 0);
   const auto mem = ssf.memory(7);
   EXPECT_EQ(mem[0], 5u);
@@ -123,7 +123,7 @@ TEST(Ssf, CorruptInjectsArbitraryState) {
 
 TEST(Ssf, OverfilledCorruptMemoryFlushesOnFirstUpdate) {
   const auto p = pop(10, 1, 0);
-  Ssf ssf = Ssf::with_memory_budget(p, 1, 10);
+  Ssf ssf = Ssf::with_memory_budget(p, Holdings{1}, MemoryBudget{10});
   Rng rng(6);
   ssf.corrupt(4, obs4(1000, 0, 0, 0), 0, 0);
   ssf.update(4, 0, obs4(0, 1, 0, 0), rng);  // pushes past m → update + flush
@@ -133,15 +133,17 @@ TEST(Ssf, OverfilledCorruptMemoryFlushesOnFirstUpdate) {
 
 TEST(Ssf, ConvergenceDeadlineCoversFourCycles) {
   const auto p = pop(100, 1, 0);
-  Ssf ssf = Ssf::with_memory_budget(p, 7, 100);
+  Ssf ssf = Ssf::with_memory_budget(p, Holdings{7}, MemoryBudget{100});
   EXPECT_EQ(ssf.convergence_deadline(), 4 * ((100 + 6) / 7) + 1);
 }
 
 TEST(Ssf, InputValidation) {
   const auto p = pop(10, 1, 0);
-  EXPECT_THROW(Ssf::with_memory_budget(p, 0, 10), std::invalid_argument);
-  EXPECT_THROW(Ssf::with_memory_budget(p, 1, 0), std::invalid_argument);
-  Ssf ssf = Ssf::with_memory_budget(p, 1, 10);
+  EXPECT_THROW(Ssf::with_memory_budget(p, Holdings{0}, MemoryBudget{10}),
+               std::invalid_argument);
+  EXPECT_THROW(Ssf::with_memory_budget(p, Holdings{1}, MemoryBudget{0}),
+               std::invalid_argument);
+  Ssf ssf = Ssf::with_memory_budget(p, Holdings{1}, MemoryBudget{10});
   Rng rng(1);
   EXPECT_THROW(ssf.update(10, 0, obs4(0, 0, 0, 1), rng),
                std::invalid_argument);
@@ -156,7 +158,7 @@ TEST(Ssf, ConvergesFromCleanStart) {
   const auto p = pop(300, 1, 0);
   const double delta = 0.05;
   const auto noise = NoiseMatrix::uniform(4, delta);
-  Ssf ssf(p, p.n, delta, 2.0);
+  Ssf ssf(p, Holdings{p.n}, Delta{delta}, C1{2.0});
   AggregateEngine engine;
   Rng rng(21);
   const auto result = run(ssf, engine, noise, p.correct_opinion(),
@@ -170,7 +172,7 @@ TEST(Ssf, StaysConvergedThroughStabilityWindow) {
   const auto p = pop(200, 2, 0);
   const double delta = 0.05;
   const auto noise = NoiseMatrix::uniform(4, delta);
-  Ssf ssf(p, p.n, delta, 2.0);
+  Ssf ssf(p, Holdings{p.n}, Delta{delta}, C1{2.0});
   AggregateEngine engine;
   Rng rng(22);
   const auto result =

@@ -20,7 +20,9 @@ TEST(StatisticalValidation, SfWeakOpinionMatchesExactFormula) {
   const PopulationConfig pop{.n = 400, .s1 = 2, .s0 = 0};
   const double delta = 0.2;
   const auto noise = NoiseMatrix::uniform(2, delta);
-  const auto sched = make_sf_schedule_with_m(pop, pop.n, delta, 3 * pop.n);
+  const auto sched = make_sf_schedule_with_m(pop, Holdings{pop.n},
+                                             Delta{delta},
+                                             MemoryBudget{3 * pop.n});
   ASSERT_EQ(sched.phase_rounds * pop.n, 3 * pop.n);  // exact budget
 
   std::uint64_t correct = 0, total = 0;
@@ -29,7 +31,7 @@ TEST(StatisticalValidation, SfWeakOpinionMatchesExactFormula) {
     AggregateEngine engine;
     Rng rng(7000 + rep);
     for (std::uint64_t t = 0; t < sched.boosting_start(); ++t) {
-      engine.step(sf, noise, pop.n, t, rng);
+      engine.step(sf, noise, Holdings{pop.n}, t, rng);
     }
     for (std::uint64_t i = 0; i < pop.n; ++i) {
       correct += sf.weak_opinion(i) == 1 ? 1 : 0;
@@ -39,7 +41,9 @@ TEST(StatisticalValidation, SfWeakOpinionMatchesExactFormula) {
   const double simulated =
       static_cast<double>(correct) / static_cast<double>(total);
   const double exact =
-      sf_weak_opinion_exact(pop.n, 3 * pop.n, delta, pop.s1, pop.s0);
+      sf_weak_opinion_exact(AgentCount{pop.n}, MemoryBudget{3 * pop.n},
+                            Delta{delta}, SourceCount{pop.s1},
+                            SourceCount{pop.s0});
   const double sigma = std::sqrt(exact * (1 - exact) /
                                  static_cast<double>(total));
   EXPECT_NEAR(simulated, exact, 6 * sigma + 1e-6);
@@ -58,11 +62,12 @@ TEST(StatisticalValidation, SsfWeakOpinionMatchesExactFormula) {
   std::uint64_t correct = 0, total = 0;
   for (int rep = 0; rep < 40; ++rep) {
     auto ssf =
-        SelfStabilizingSourceFilter::with_memory_budget(pop, h, m);
+        SelfStabilizingSourceFilter::with_memory_budget(pop, Holdings{h},
+                                                        MemoryBudget{m});
     AggregateEngine engine;
     Rng rng(8000 + rep);
     for (std::uint64_t t = 0; t < 2 * (m / h); ++t) {
-      engine.step(ssf, noise, h, t, rng);
+      engine.step(ssf, noise, Holdings{h}, t, rng);
     }
     // Non-sources only: sources' weak opinions also follow the formula but
     // their displays are pinned, keeping the message mix exact.
@@ -74,7 +79,8 @@ TEST(StatisticalValidation, SsfWeakOpinionMatchesExactFormula) {
   const double simulated =
       static_cast<double>(correct) / static_cast<double>(total);
   const double exact =
-      ssf_weak_opinion_exact(pop.n, m, delta, pop.s1, pop.s0);
+      ssf_weak_opinion_exact(AgentCount{pop.n}, MemoryBudget{m}, Delta{delta},
+                             SourceCount{pop.s1}, SourceCount{pop.s0});
   const double sigma =
       std::sqrt(exact * (1 - exact) / static_cast<double>(total));
   // The formula assumes all non-source second bits are noise-independent,
@@ -115,7 +121,8 @@ TEST(StatisticalValidation, TwoPartyErrorMatchesVoterOverChannel) {
   Sender protocol;
   ExactEngine engine;
   Rng rng(9);
-  for (int t = 0; t < 40000; ++t) engine.step(protocol, noise, m, t, rng);
+  for (int t = 0; t < 40000; ++t) engine.step(protocol, noise, Holdings{m}, t,
+                                              rng);
   const double simulated = protocol.wrong / static_cast<double>(protocol.reads);
   const double exact = two_party_error_exact(m, delta);
   EXPECT_NEAR(simulated, exact, 0.01);
@@ -167,17 +174,17 @@ TEST(StatisticalValidation, KaryListeningScoreMeansMatchDerivation) {
   KaryPopulation pop{.n = 100, .sources = {0, 3, 1}};
   const double delta = 0.08;
   const auto noise = NoiseMatrix::uniform(3, delta);
-  KarySourceFilter probe(pop, pop.n, delta, 1.0);
+  KarySourceFilter probe(pop, Holdings{pop.n}, Delta{delta}, C1{1.0});
   const std::uint64_t m_eff = probe.phase_rounds() * pop.n;
 
   std::array<double, 3> sums{};
   const int kReps = 60;
   for (int rep = 0; rep < kReps; ++rep) {
-    KarySourceFilter ksf(pop, pop.n, delta, 1.0);
+    KarySourceFilter ksf(pop, Holdings{pop.n}, Delta{delta}, C1{1.0});
     AggregateEngine engine;
     Rng rng(11000 + rep);
     for (std::uint64_t t = 0; t < ksf.listening_rounds(); ++t) {
-      engine.step(ksf, noise, pop.n, t, rng);
+      engine.step(ksf, noise, Holdings{pop.n}, t, rng);
     }
     for (std::size_t o = 0; o < 3; ++o) {
       sums[o] += static_cast<double>(ksf.score(50, static_cast<Opinion>(o)));

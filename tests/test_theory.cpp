@@ -99,12 +99,21 @@ TEST(Lemma22, ExactAdvantageMatchesSimulation) {
 TEST(Theorem3, LowerBoundShape) {
   // Halving h doubles the bound; doubling s quarters it; larger alphabet
   // margin raises it.
-  const double base = theorem3_lower_bound(10000, 4, 0.2, 1, 2);
-  EXPECT_NEAR(theorem3_lower_bound(10000, 2, 0.2, 1, 2), 2 * base, 1e-9);
-  EXPECT_NEAR(theorem3_lower_bound(10000, 4, 0.2, 2, 2), base / 4, 1e-9);
-  EXPECT_GT(theorem3_lower_bound(10000, 4, 0.2, 1, 4), base);
+  const double base = theorem3_lower_bound(AgentCount{10000}, Holdings{4},
+                                           Delta{0.2}, SourceCount{1}, 2);
+  EXPECT_NEAR(theorem3_lower_bound(AgentCount{10000}, Holdings{2}, Delta{0.2},
+                                   SourceCount{1}, 2),
+              2 * base, 1e-9);
+  EXPECT_NEAR(theorem3_lower_bound(AgentCount{10000}, Holdings{4}, Delta{0.2},
+                                   SourceCount{2}, 2),
+              base / 4, 1e-9);
+  EXPECT_GT(theorem3_lower_bound(AgentCount{10000}, Holdings{4}, Delta{0.2},
+                                 SourceCount{1}, 4),
+            base);
   // Degenerate channel (delta = 1/|Sigma|) carries no information: vacuous.
-  EXPECT_EQ(theorem3_lower_bound(10000, 4, 0.5, 1, 2), 0.0);
+  EXPECT_EQ(theorem3_lower_bound(AgentCount{10000}, Holdings{4}, Delta{0.5},
+                                 SourceCount{1}, 2),
+            0.0);
 }
 
 TEST(Theorem4, UpperBoundDominatesLowerBound) {
@@ -114,8 +123,12 @@ TEST(Theorem4, UpperBoundDominatesLowerBound) {
   for (std::uint64_t n : {1000ULL, 100000ULL}) {
     for (std::uint64_t h : {1ULL, 32ULL, 1000ULL}) {
       for (double delta : {0.05, 0.2, 0.4}) {
-        EXPECT_GE(theorem4_upper_bound(n, h, delta, 1, 0),
-                  theorem3_lower_bound(n, h, delta, 1, 2));
+        EXPECT_GE(theorem4_upper_bound(AgentCount{n}, Holdings{h},
+                                       Delta{delta}, SourceCount{1},
+                                       SourceCount{0}),
+
+                  theorem3_lower_bound(AgentCount{n}, Holdings{h},
+                                       Delta{delta}, SourceCount{1}, 2));
       }
     }
   }
@@ -127,7 +140,9 @@ TEST(Theorem4, MatchesRemarkRegime) {
   // dominates the sqrt and source terms.
   const std::uint64_t n = 1 << 20;
   const double delta = 0.3;
-  const double t = theorem4_upper_bound(n, 1, delta, 1, 0);
+  const double t = theorem4_upper_bound(AgentCount{n}, Holdings{1},
+                                        Delta{delta}, SourceCount{1},
+                                        SourceCount{0});
   const double noise_term = static_cast<double>(n) * delta /
                             ((1 - 2 * delta) * (1 - 2 * delta)) *
                             std::log(static_cast<double>(n));
@@ -137,10 +152,14 @@ TEST(Theorem4, MatchesRemarkRegime) {
 
 TEST(Theorem5, UpperBoundShape) {
   // Linear in n at fixed h; divided by h; diverges as delta → 1/4.
-  const double base = theorem5_upper_bound(10000, 1, 0.1);
-  EXPECT_NEAR(theorem5_upper_bound(10000, 10, 0.1), base / 10, base * 0.01);
-  EXPECT_GT(theorem5_upper_bound(10000, 1, 0.24), base);
-  EXPECT_EQ(theorem5_upper_bound(10000, 1, 0.0), 10000.0);  // pure n/h term
+  const double base = theorem5_upper_bound(AgentCount{10000}, Holdings{1},
+                                           Delta{0.1});
+  EXPECT_NEAR(theorem5_upper_bound(AgentCount{10000}, Holdings{10}, Delta{0.1}),
+              base / 10, base * 0.01);
+  EXPECT_GT(theorem5_upper_bound(AgentCount{10000}, Holdings{1}, Delta{0.24}),
+            base);
+  EXPECT_EQ(theorem5_upper_bound(AgentCount{10000}, Holdings{1}, Delta{0.0}),
+            10000.0);  // pure n/h term
 }
 
 TEST(WeakOpinionCondition, MarginSignTracksEq2) {
@@ -168,7 +187,10 @@ TEST(SfWeakOpinionExact, MatchesSimulation) {
       correct += 0.5;
     }
   }
-  EXPECT_NEAR(correct / kReps, sf_weak_opinion_exact(n, m, delta, s1, s0),
+  EXPECT_NEAR(correct / kReps,
+              sf_weak_opinion_exact(AgentCount{n}, MemoryBudget{m},
+                                    Delta{delta}, SourceCount{s1},
+                                    SourceCount{s0}),
               0.005);
 }
 
@@ -176,7 +198,10 @@ TEST(SfWeakOpinionExact, AlwaysAboveOneHalf) {
   for (std::uint64_t n : {100ULL, 1000ULL, 10000ULL}) {
     for (std::uint64_t m : {10ULL, 100ULL, 2000ULL}) {
       for (double delta : {0.0, 0.1, 0.3, 0.45}) {
-        EXPECT_GT(sf_weak_opinion_exact(n, m, delta, 1, 0), 0.5)
+        EXPECT_GT(sf_weak_opinion_exact(AgentCount{n}, MemoryBudget{m},
+                                        Delta{delta}, SourceCount{1},
+                                        SourceCount{0}),
+                  0.5)
             << "n=" << n << " m=" << m << " delta=" << delta;
       }
     }
@@ -185,17 +210,27 @@ TEST(SfWeakOpinionExact, AlwaysAboveOneHalf) {
 
 TEST(SfWeakOpinionExact, MonotoneInBudgetAndBias) {
   // More messages and a larger bias both sharpen the weak opinion.
-  const double small_m = sf_weak_opinion_exact(1000, 100, 0.2, 1, 0);
-  const double large_m = sf_weak_opinion_exact(1000, 10000, 0.2, 1, 0);
+  const double small_m = sf_weak_opinion_exact(AgentCount{1000},
+                                               MemoryBudget{100}, Delta{0.2},
+                                               SourceCount{1}, SourceCount{0});
+  const double large_m = sf_weak_opinion_exact(AgentCount{1000},
+                                               MemoryBudget{10000}, Delta{0.2},
+                                               SourceCount{1}, SourceCount{0});
   EXPECT_GT(large_m, small_m);
-  const double small_s = sf_weak_opinion_exact(1000, 1000, 0.2, 1, 0);
-  const double large_s = sf_weak_opinion_exact(1000, 1000, 0.2, 10, 0);
+  const double small_s = sf_weak_opinion_exact(AgentCount{1000},
+                                               MemoryBudget{1000}, Delta{0.2},
+                                               SourceCount{1}, SourceCount{0});
+  const double large_s = sf_weak_opinion_exact(AgentCount{1000},
+                                               MemoryBudget{1000}, Delta{0.2},
+                                               SourceCount{10}, SourceCount{0});
   EXPECT_GT(large_s, small_s);
 }
 
 TEST(SfWeakOpinionExact, DegenerateChannelIsAFairCoin) {
   // δ = 1/2 destroys all information: both counters are Binomial(m, 1/2).
-  EXPECT_NEAR(sf_weak_opinion_exact(1000, 500, 0.5, 1, 0), 0.5, 1e-9);
+  EXPECT_NEAR(sf_weak_opinion_exact(AgentCount{1000}, MemoryBudget{500},
+                                    Delta{0.5}, SourceCount{1}, SourceCount{0}),
+              0.5, 1e-9);
 }
 
 TEST(SfWeakOpinionExact, SatisfiesLemma28AtTheoreticalBudget) {
@@ -207,12 +242,20 @@ TEST(SfWeakOpinionExact, SatisfiesLemma28AtTheoreticalBudget) {
     const PopulationConfig pop{.n = n, .s1 = 1, .s0 = 0};
     const double yardstick =
         std::sqrt(std::log(static_cast<double>(n)) / static_cast<double>(n));
-    const auto calibrated = make_sf_schedule(pop, 1, 0.2, 2.0);
-    EXPECT_GE(sf_weak_opinion_exact(n, calibrated.m, 0.2, 1, 0) - 0.5,
+    const auto calibrated = make_sf_schedule(pop, Holdings{1}, Delta{0.2},
+                                             C1{2.0});
+    EXPECT_GE(sf_weak_opinion_exact(AgentCount{n}, MemoryBudget{calibrated.m},
+                                    Delta{0.2}, SourceCount{1},
+                                    SourceCount{0}) - 0.5,
+
               0.3 * yardstick)
         << "n=" << n;
-    const auto theory = make_sf_schedule(pop, 1, 0.2, 16.0);
-    EXPECT_GE(sf_weak_opinion_exact(n, theory.m, 0.2, 1, 0) - 0.5, yardstick)
+    const auto theory = make_sf_schedule(pop, Holdings{1}, Delta{0.2},
+                                         C1{16.0});
+    EXPECT_GE(sf_weak_opinion_exact(AgentCount{n}, MemoryBudget{theory.m},
+                                    Delta{0.2}, SourceCount{1},
+                                    SourceCount{0}) - 0.5,
+              yardstick)
         << "n=" << n;
   }
 }
@@ -237,7 +280,10 @@ TEST(SsfWeakOpinionExact, MatchesSimulation) {
       correct += 0.5;
     }
   }
-  EXPECT_NEAR(correct / kReps, ssf_weak_opinion_exact(n, m, delta, s1, s0),
+  EXPECT_NEAR(correct / kReps,
+              ssf_weak_opinion_exact(AgentCount{n}, MemoryBudget{m},
+                                     Delta{delta}, SourceCount{s1},
+                                     SourceCount{s0}),
               0.005);
 }
 
@@ -245,15 +291,26 @@ TEST(SsfWeakOpinionExact, AboveOneHalfAndMonotone) {
   for (std::uint64_t n : {100ULL, 1000ULL}) {
     for (std::uint64_t m : {20ULL, 200ULL}) {
       for (double delta : {0.0, 0.05, 0.2}) {
-        EXPECT_GT(ssf_weak_opinion_exact(n, m, delta, 1, 0), 0.5)
+        EXPECT_GT(ssf_weak_opinion_exact(AgentCount{n}, MemoryBudget{m},
+                                         Delta{delta}, SourceCount{1},
+                                         SourceCount{0}),
+                  0.5)
             << "n=" << n << " m=" << m << " delta=" << delta;
       }
     }
   }
-  EXPECT_GT(ssf_weak_opinion_exact(500, 800, 0.05, 1, 0),
-            ssf_weak_opinion_exact(500, 80, 0.05, 1, 0));
-  EXPECT_GT(ssf_weak_opinion_exact(500, 200, 0.05, 5, 0),
-            ssf_weak_opinion_exact(500, 200, 0.05, 1, 0));
+  EXPECT_GT(ssf_weak_opinion_exact(AgentCount{500}, MemoryBudget{800},
+                                   Delta{0.05}, SourceCount{1}, SourceCount{0}),
+
+            ssf_weak_opinion_exact(AgentCount{500}, MemoryBudget{80},
+                                   Delta{0.05}, SourceCount{1},
+                                   SourceCount{0}));
+  EXPECT_GT(ssf_weak_opinion_exact(AgentCount{500}, MemoryBudget{200},
+                                   Delta{0.05}, SourceCount{5}, SourceCount{0}),
+
+            ssf_weak_opinion_exact(AgentCount{500}, MemoryBudget{200},
+                                   Delta{0.05}, SourceCount{1},
+                                   SourceCount{0}));
 }
 
 TEST(SsfWeakOpinionExact, NoiselessSingleSourceIsClaim19Shaped) {
@@ -264,35 +321,68 @@ TEST(SsfWeakOpinionExact, NoiselessSingleSourceIsClaim19Shaped) {
   const double want =
       1.0 - 0.5 * std::pow(1.0 - 1.0 / static_cast<double>(n),
                            static_cast<double>(m));
-  EXPECT_NEAR(ssf_weak_opinion_exact(n, m, 0.0, 1, 0), want, 1e-9);
+  EXPECT_NEAR(ssf_weak_opinion_exact(AgentCount{n}, MemoryBudget{m},
+                                     Delta{0.0}, SourceCount{1},
+                                     SourceCount{0}),
+              want, 1e-9);
 }
 
 TEST(SsfWeakOpinionExact, Validation) {
-  EXPECT_THROW(ssf_weak_opinion_exact(100, 10, 0.05, 1, 1),
+  EXPECT_THROW(ssf_weak_opinion_exact(AgentCount{100}, MemoryBudget{10},
+                                      Delta{0.05}, SourceCount{1},
+                                      SourceCount{1}),
+
                std::invalid_argument);
-  EXPECT_THROW(ssf_weak_opinion_exact(100, 10, 0.3, 1, 0),
+  EXPECT_THROW(ssf_weak_opinion_exact(AgentCount{100}, MemoryBudget{10},
+                                      Delta{0.3}, SourceCount{1},
+                                      SourceCount{0}),
+
                std::invalid_argument);
-  EXPECT_THROW(ssf_weak_opinion_exact(100, 0, 0.05, 1, 0),
+  EXPECT_THROW(ssf_weak_opinion_exact(AgentCount{100}, MemoryBudget{0},
+                                      Delta{0.05}, SourceCount{1},
+                                      SourceCount{0}),
+
                std::invalid_argument);
 }
 
 TEST(SfWeakOpinionExact, Validation) {
-  EXPECT_THROW(sf_weak_opinion_exact(100, 10, 0.2, 1, 1),
+  EXPECT_THROW(sf_weak_opinion_exact(AgentCount{100}, MemoryBudget{10},
+                                     Delta{0.2}, SourceCount{1},
+                                     SourceCount{1}),
+
                std::invalid_argument);
-  EXPECT_THROW(sf_weak_opinion_exact(100, 0, 0.2, 1, 0),
+  EXPECT_THROW(sf_weak_opinion_exact(AgentCount{100}, MemoryBudget{0},
+                                     Delta{0.2}, SourceCount{1},
+                                     SourceCount{0}),
+
                std::invalid_argument);
-  EXPECT_THROW(sf_weak_opinion_exact(100, 10, 0.6, 1, 0),
+  EXPECT_THROW(sf_weak_opinion_exact(AgentCount{100}, MemoryBudget{10},
+                                     Delta{0.6}, SourceCount{1},
+                                     SourceCount{0}),
+
                std::invalid_argument);
-  EXPECT_THROW(sf_weak_opinion_exact(4, 10, 0.2, 3, 2),
+  EXPECT_THROW(sf_weak_opinion_exact(AgentCount{4}, MemoryBudget{10},
+                                     Delta{0.2}, SourceCount{3},
+                                     SourceCount{2}),
+
                std::invalid_argument);
 }
 
 TEST(TheoryBounds, InputValidation) {
-  EXPECT_THROW(theorem3_lower_bound(10, 0, 0.1, 1, 2), std::invalid_argument);
-  EXPECT_THROW(theorem3_lower_bound(10, 1, 0.6, 1, 2), std::invalid_argument);
-  EXPECT_THROW(theorem4_upper_bound(10, 1, 0.5, 1, 0), std::invalid_argument);
-  EXPECT_THROW(theorem4_upper_bound(10, 1, 0.1, 1, 1), std::invalid_argument);
-  EXPECT_THROW(theorem5_upper_bound(10, 1, 0.25), std::invalid_argument);
+  EXPECT_THROW(theorem3_lower_bound(AgentCount{10}, Holdings{0}, Delta{0.1},
+                                    SourceCount{1}, 2),
+               std::invalid_argument);
+  EXPECT_THROW(theorem3_lower_bound(AgentCount{10}, Holdings{1}, Delta{0.6},
+                                    SourceCount{1}, 2),
+               std::invalid_argument);
+  EXPECT_THROW(theorem4_upper_bound(AgentCount{10}, Holdings{1}, Delta{0.5},
+                                    SourceCount{1}, SourceCount{0}),
+               std::invalid_argument);
+  EXPECT_THROW(theorem4_upper_bound(AgentCount{10}, Holdings{1}, Delta{0.1},
+                                    SourceCount{1}, SourceCount{1}),
+               std::invalid_argument);
+  EXPECT_THROW(theorem5_upper_bound(AgentCount{10}, Holdings{1}, Delta{0.25}),
+               std::invalid_argument);
   EXPECT_THROW(claim19_lower_bound(10, 0.5), std::invalid_argument);
   EXPECT_THROW(lemma21_g(0.6, 10), std::invalid_argument);
   EXPECT_THROW(binomial_pmf(3, 4, 0.5), std::invalid_argument);

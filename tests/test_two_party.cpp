@@ -92,12 +92,20 @@ TEST(TwoParty, PullRoundsTranslationMatchesTheorem3Shape) {
   // inverse in h and s² (one s from fewer useful samples, one s from the
   // smaller per-message requirement is *not* modeled — the heuristic keeps
   // only the 1/s sample-rate factor, so compare at fixed s).
-  const double base = pull_rounds_via_two_party(1000, 1, 1, 0.3, 0.01);
-  EXPECT_NEAR(pull_rounds_via_two_party(2000, 1, 1, 0.3, 0.01), 2 * base,
+  const double base = pull_rounds_via_two_party(AgentCount{1000}, Holdings{1},
+                                                SourceCount{1}, Delta{0.3},
+                                                0.01);
+  EXPECT_NEAR(pull_rounds_via_two_party(AgentCount{2000}, Holdings{1},
+                                        SourceCount{1}, Delta{0.3}, 0.01),
+              2 * base,
               1e-9);
-  EXPECT_NEAR(pull_rounds_via_two_party(1000, 4, 1, 0.3, 0.01), base / 4,
+  EXPECT_NEAR(pull_rounds_via_two_party(AgentCount{1000}, Holdings{4},
+                                        SourceCount{1}, Delta{0.3}, 0.01),
+              base / 4,
               1e-9);
-  EXPECT_NEAR(pull_rounds_via_two_party(1000, 1, 2, 0.3, 0.01), base / 2,
+  EXPECT_NEAR(pull_rounds_via_two_party(AgentCount{1000}, Holdings{1},
+                                        SourceCount{2}, Delta{0.3}, 0.01),
+              base / 2,
               1e-9);
 }
 
@@ -107,7 +115,9 @@ TEST(TwoParty, Validation) {
   EXPECT_THROW(two_party_messages_needed(0.0, 0.1), std::invalid_argument);
   EXPECT_THROW(two_party_messages_needed(0.6, 0.1), std::invalid_argument);
   EXPECT_THROW(two_party_messages_needed(0.01, 0.5), std::invalid_argument);
-  EXPECT_THROW(pull_rounds_via_two_party(10, 1, 11, 0.1, 0.01),
+  EXPECT_THROW(pull_rounds_via_two_party(AgentCount{10}, Holdings{1},
+                                         SourceCount{11}, Delta{0.1}, 0.01),
+
                std::invalid_argument);
 }
 

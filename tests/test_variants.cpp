@@ -21,7 +21,8 @@ SymbolCounts obs2(std::uint64_t zeros, std::uint64_t ones) {
 
 TEST(EagerSourceFilter, DisplaysInitialOpinionsInsteadOfNeutralBlocks) {
   const auto p = pop(50, 1, 0);
-  const auto sched = make_sf_schedule_with_m(p, 2, 0.1, 8);
+  const auto sched = make_sf_schedule_with_m(p, Holdings{2}, Delta{0.1},
+                                             MemoryBudget{8});
   Rng init(42);
   EagerSourceFilter eager(p, sched, init);
 
@@ -43,7 +44,8 @@ TEST(EagerSourceFilter, DisplaysInitialOpinionsInsteadOfNeutralBlocks) {
 
 TEST(AlternatingSourceFilter, AlternatesStartingFromTheCoin) {
   const auto p = pop(50, 1, 0);
-  const auto sched = make_sf_schedule_with_m(p, 2, 0.1, 8);
+  const auto sched = make_sf_schedule_with_m(p, Holdings{2}, Delta{0.1},
+                                             MemoryBudget{8});
   Rng init(43);
   AlternatingSourceFilter alt(p, sched, init);
 
@@ -57,7 +59,8 @@ TEST(AlternatingSourceFilter, AlternatesStartingFromTheCoin) {
 
 TEST(AlternatingSourceFilter, CountsAgainstOwnDisplayedBit) {
   const auto p = pop(50, 1, 0);
-  const auto sched = make_sf_schedule_with_m(p, 1, 0.1, 4);
+  const auto sched = make_sf_schedule_with_m(p, Holdings{1}, Delta{0.1},
+                                             MemoryBudget{4});
   Rng init(44);
   AlternatingSourceFilter alt(p, sched, init);
   Rng rng(45);
@@ -78,7 +81,8 @@ TEST(AlternatingSourceFilter, CountsAgainstOwnDisplayedBit) {
 
 TEST(AlternatingSourceFilter, ComputesWeakOpinionAtListeningEnd) {
   const auto p = pop(50, 1, 0);
-  const auto sched = make_sf_schedule_with_m(p, 1, 0.1, 4);
+  const auto sched = make_sf_schedule_with_m(p, Holdings{1}, Delta{0.1},
+                                             MemoryBudget{4});
   Rng init(46);
   AlternatingSourceFilter alt(p, sched, init);
   Rng rng(47);
@@ -96,7 +100,7 @@ TEST(AlternatingSourceFilter, ConvergesLikeSourceFilter) {
   const auto p = pop(300, 2, 0);
   const double delta = 0.1;
   const auto noise = NoiseMatrix::uniform(2, delta);
-  const auto sched = make_sf_schedule(p, p.n, delta, 2.0);
+  const auto sched = make_sf_schedule(p, Holdings{p.n}, Delta{delta}, C1{2.0});
   Rng init(48);
   AlternatingSourceFilter alt(p, sched, init);
   AggregateEngine engine;
@@ -113,7 +117,7 @@ TEST(EagerSourceFilter, UnreliableAtSmallBiasWhereSfIsReliable) {
   const auto p = pop(500, 1, 0);
   const double delta = 0.15;
   const auto noise = NoiseMatrix::uniform(2, delta);
-  const auto sched = make_sf_schedule(p, p.n, delta, 2.0);
+  const auto sched = make_sf_schedule(p, Holdings{p.n}, Delta{delta}, C1{2.0});
   int sf_ok = 0, eager_ok = 0;
   const int kReps = 12;
   for (int rep = 0; rep < kReps; ++rep) {
@@ -146,7 +150,7 @@ TEST(EagerSourceFilter, UnreliableAtSmallBiasWhereSfIsReliable) {
 
 TEST(TaglessSsf, DisplaysPreferenceOrWeakOpinion) {
   const auto p = pop(10, 1, 1);
-  TaglessSsf tagless(p, 2, 10);
+  TaglessSsf tagless(p, Holdings{2}, MemoryBudget{10});
   EXPECT_EQ(tagless.display(0, 0), 1);
   EXPECT_EQ(tagless.display(1, 0), 0);
   EXPECT_EQ(tagless.display(5, 0), 0);  // default weak opinion
@@ -154,7 +158,7 @@ TEST(TaglessSsf, DisplaysPreferenceOrWeakOpinion) {
 
 TEST(TaglessSsf, MajorityUpdateAndFlush) {
   const auto p = pop(10, 1, 0);
-  TaglessSsf tagless(p, 1, 5);
+  TaglessSsf tagless(p, Holdings{1}, MemoryBudget{5});
   Rng rng(50);
   SymbolCounts ones(2);
   ones[1] = 3;
@@ -169,7 +173,7 @@ TEST(TaglessSsf, MajorityUpdateAndFlush) {
 
 TEST(TaglessSsf, CorruptSetsState) {
   const auto p = pop(10, 1, 0);
-  TaglessSsf tagless(p, 1, 5);
+  TaglessSsf tagless(p, Holdings{1}, MemoryBudget{5});
   tagless.corrupt(4, 3, 0, 1, 1);
   EXPECT_EQ(tagless.opinion(4), 1);
   Rng rng(51);
@@ -181,9 +185,11 @@ TEST(TaglessSsf, CorruptSetsState) {
 
 TEST(TaglessSsf, InputValidation) {
   const auto p = pop(10, 1, 0);
-  EXPECT_THROW(TaglessSsf(p, 0, 5), std::invalid_argument);
-  EXPECT_THROW(TaglessSsf(p, 1, 0), std::invalid_argument);
-  TaglessSsf tagless(p, 1, 5);
+  EXPECT_THROW(TaglessSsf(p, Holdings{0}, MemoryBudget{5}),
+               std::invalid_argument);
+  EXPECT_THROW(TaglessSsf(p, Holdings{1}, MemoryBudget{0}),
+               std::invalid_argument);
+  TaglessSsf tagless(p, Holdings{1}, MemoryBudget{5});
   Rng rng(1);
   SymbolCounts wrong(4);
   EXPECT_THROW(tagless.update(0, 0, wrong, rng), std::invalid_argument);

@@ -293,7 +293,8 @@ PullSetup make_pull_setup(const CliOptions& opt, std::uint64_t h, Rng& init) {
     KaryPopulation kpop{.n = opt.n, .sources = opt.kary_sources};
     if (kpop.sources.empty()) kpop.sources = {opt.s0, opt.s1};
     auto protocol =
-        std::make_unique<KarySourceFilter>(kpop, h, opt.delta, opt.c1);
+        std::make_unique<KarySourceFilter>(kpop, Holdings{h}, Delta{opt.delta},
+                                           C1{opt.c1});
     const auto d = kpop.num_opinions();
     return {std::move(protocol), NoiseMatrix::uniform(d, opt.delta),
             kpop.plurality_opinion()};
@@ -301,7 +302,9 @@ PullSetup make_pull_setup(const CliOptions& opt, std::uint64_t h, Rng& init) {
 
   const Opinion correct = pop.correct_opinion();
   if (opt.protocol == "sf") {
-    return {std::make_unique<SourceFilter>(pop, h, opt.delta, opt.c1),
+    return {std::make_unique<SourceFilter>(pop, Holdings{h}, Delta{opt.delta},
+                                           C1{opt.c1}),
+
             NoiseMatrix::uniform(2, opt.delta), correct};
   }
   // Budget for protocols with no intrinsic horizon: 20 memory cycles for
@@ -309,8 +312,9 @@ PullSetup make_pull_setup(const CliOptions& opt, std::uint64_t h, Rng& init) {
   const std::uint64_t baseline_budget =
       std::max<std::uint64_t>(100, 50 * ((pop.n + h - 1) / h));
   if (opt.protocol == "ssf") {
-    auto ssf = std::make_unique<SelfStabilizingSourceFilter>(pop, h, opt.delta,
-                                                             opt.c1);
+    auto ssf = std::make_unique<SelfStabilizingSourceFilter>(pop, Holdings{h},
+                                                             Delta{opt.delta},
+                                                             C1{opt.c1});
     if (opt.stale_flush > 0) ssf->set_stale_flush(opt.stale_flush);
     corrupt_population(*ssf, policy, correct, init);
     const std::uint64_t deadline = ssf->convergence_deadline();
@@ -318,8 +322,9 @@ PullSetup make_pull_setup(const CliOptions& opt, std::uint64_t h, Rng& init) {
             deadline};
   }
   if (opt.protocol == "tagless") {
-    const auto m = ssf_memory_budget(pop, opt.delta, opt.c1);
-    auto tagless = std::make_unique<TaglessSsf>(pop, h, m);
+    const auto m = ssf_memory_budget(pop, Delta{opt.delta}, C1{opt.c1});
+    auto tagless = std::make_unique<TaglessSsf>(pop, Holdings{h},
+                                                MemoryBudget{m});
     corrupt_population(*tagless, policy, correct, init);
     return {std::move(tagless), NoiseMatrix::uniform(2, opt.delta), correct,
             4 * ((m + h - 1) / h) + 1};
@@ -348,7 +353,7 @@ int run_push_protocol(const CliOptions& opt, std::uint64_t h) {
   Table table({"rep", "converged", "first-correct", "rounds", "correct"});
   std::uint64_t successes = 0;
   for (std::uint64_t rep = 0; rep < opt.reps; ++rep) {
-    PushSpread push(pop, h, opt.delta);
+    PushSpread push(pop, Holdings{h}, Delta{opt.delta});
     AggregatePushEngine engine;
     Rng rng(opt.seed, 2 * rep + 1);
     const auto r = run_push(push, engine, noise, pop.correct_opinion(),
