@@ -44,4 +44,6 @@
 #include "noisypull/sim/repeat.hpp"
 #include "noisypull/sim/runner.hpp"
 #include "noisypull/theory/bounds.hpp"
+#include "noisypull/theory/exact_chain.hpp"
+#include "noisypull/theory/protocol_automata.hpp"
 #include "noisypull/theory/two_party.hpp"

@@ -1,5 +1,6 @@
 #include "noisypull/rng/binomial.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "noisypull/common/check.hpp"
@@ -115,20 +116,32 @@ void sample_multinomial(Rng& rng, std::uint64_t n,
     wsum += w;
   }
   NOISYPULL_CHECK(n == 0 || wsum > 0.0, "zero total weight with n > 0");
-  std::uint64_t remaining = n;
   const std::size_t k = weights.size();
-  for (std::size_t i = 0; i + 1 < k; ++i) {
-    if (remaining == 0 || wsum <= 0.0) {
-      counts[i] = 0;
-      continue;
-    }
+  std::fill(counts.begin(), counts.end(), 0);
+  if (n == 0) return;
+  // The conditional-binomial chain must terminate at the last *positive*
+  // weight.  Handing the remainder to the final bucket unconditionally
+  // leaks counts into zero-probability cells: for the last positive bucket
+  // p = w/wsum rounds to just below 1, sample_binomial undershoots, and the
+  // leftover lands in a bucket whose weight is 0.  For weight vectors whose
+  // final entry is positive the loop below is iteration- and RNG-identical
+  // to the plain 0..k-2 chain (zero-weight middle buckets draw p = 0, which
+  // consumes no randomness).
+  std::size_t last_pos = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    if (weights[i] > 0.0) last_pos = i;
+  }
+  std::uint64_t remaining = n;
+  for (std::size_t i = 0; i < last_pos; ++i) {
+    if (remaining == 0) continue;
+    if (wsum <= 0.0) break;  // running sum exhausted by round-off
     double p = weights[i] / wsum;
     if (p > 1.0) p = 1.0;  // guard round-off in the running weight sum
     counts[i] = sample_binomial(rng, remaining, p);
     remaining -= counts[i];
     wsum -= weights[i];
   }
-  counts[k - 1] = remaining;
+  counts[last_pos] = remaining;
 }
 
 std::size_t sample_discrete(Rng& rng, std::span<const double> weights) {

@@ -1,0 +1,458 @@
+#include "noisypull/theory/exact_chain.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#include "noisypull/common/check.hpp"
+
+namespace noisypull {
+namespace {
+
+// Exact factorials up to the largest count the chain handles (n and h are
+// both far below 20; 20! still fits a double exactly is false, but 170! fits
+// a double's range and n ≤ ~12 keeps us in the exact-integer regime).
+double factorial(std::uint64_t k) {
+  double f = 1.0;
+  for (std::uint64_t i = 2; i <= k; ++i) f *= static_cast<double>(i);
+  return f;
+}
+
+// Multinomial pmf of the count vector `counts` (summing to `total`) under
+// cell probabilities `p`.  Cells with p == 0 and count > 0 yield 0.
+double multinomial_pmf(const std::vector<std::uint64_t>& counts,
+                       std::uint64_t total, const std::vector<double>& p) {
+  double pmf = factorial(total);
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    if (p[i] <= 0.0) return 0.0;
+    pmf *= std::pow(p[i], static_cast<double>(counts[i])) /
+           factorial(counts[i]);
+  }
+  return pmf;
+}
+
+// All length-d count vectors summing to exactly h, in lexicographic order.
+std::vector<std::vector<std::uint64_t>> enumerate_outcomes(std::uint64_t h,
+                                                           std::size_t d) {
+  std::vector<std::vector<std::uint64_t>> out;
+  std::vector<std::uint64_t> cur(d, 0);
+  // Recursive lambda over cells; the last cell absorbs the remainder.
+  auto rec = [&](auto&& self, std::size_t cell, std::uint64_t left) -> void {
+    if (cell + 1 == d) {
+      cur[cell] = left;
+      out.push_back(cur);
+      return;
+    }
+    for (std::uint64_t k = 0; k <= left; ++k) {
+      cur[cell] = k;
+      self(self, cell + 1, left - k);
+    }
+  };
+  rec(rec, 0, h);
+  return out;
+}
+
+}  // namespace
+
+ExactChain::ExactChain(std::vector<ChainClass> classes,
+                       ExactChainOptions options)
+    : classes_(std::move(classes)), options_(options) {
+  NOISYPULL_CHECK(!classes_.empty(), "exact chain needs at least one class");
+  NOISYPULL_CHECK(options_.h.get() >= 1, "h must be at least 1");
+  d_ = 0;
+  for (const auto& cls : classes_) {
+    NOISYPULL_CHECK(cls.size >= 1, "empty chain class");
+    NOISYPULL_CHECK(cls.automaton != nullptr, "chain class needs an automaton");
+    if (d_ == 0) d_ = cls.automaton->alphabet_size();
+    NOISYPULL_CHECK(cls.automaton->alphabet_size() == d_,
+                    "all classes must share one alphabet");
+    NOISYPULL_CHECK(cls.channel.rows() == d_ && cls.channel.cols() == d_,
+                    "channel shape must match the alphabet");
+    NOISYPULL_CHECK(cls.channel.is_stochastic(1e-9),
+                    "channel must be row-stochastic");
+    if (cls.forged.kind != DisplayOverride::Kind::None) {
+      NOISYPULL_CHECK(cls.forged.even < d_ && cls.forged.odd < d_,
+                      "forged symbol outside the alphabet");
+    }
+    n_ += cls.size;
+  }
+  NOISYPULL_CHECK(d_ >= 2 && d_ <= kMaxAlphabet, "unsupported alphabet size");
+  for (const auto& [round, m] : options_.channel_override) {
+    (void)round;
+    NOISYPULL_CHECK(m.rows() == d_ && m.cols() == d_ && m.is_stochastic(1e-9),
+                    "channel override must be a stochastic d x d matrix");
+  }
+  NOISYPULL_CHECK(options_.prune_epsilon >= 0.0 &&
+                      options_.prune_epsilon < 1e-3,
+                  "prune_epsilon out of range");
+
+  // A sequential round breaks within-class exchangeability: agent k updates
+  // against displays that already include the new states of agents < k, so
+  // the post-round joint law inside a class is not permutation-symmetric and
+  // a histogram is not a sufficient statistic for later rounds.  The
+  // sequential kernel therefore runs fully labelled: every class is split
+  // into singletons (identical dynamics, one agent each), making the
+  // configuration the ordered per-agent state vector.
+  if (options_.kernel == ExactChainOptions::Kernel::SequentialAscending) {
+    std::vector<ChainClass> split;
+    split.reserve(n_);
+    for (const auto& cls : classes_) {
+      ChainClass one = cls;
+      one.size = 1;
+      for (std::uint64_t k = 0; k < cls.size; ++k) split.push_back(one);
+    }
+    classes_ = std::move(split);
+  }
+
+  Config init;
+  init.reserve(classes_.size());
+  for (const auto& cls : classes_) {
+    init.push_back({{cls.initial, static_cast<std::uint32_t>(cls.size)}});
+  }
+  dist_.emplace(std::move(init), 1.0);
+  outcomes_ = enumerate_outcomes(options_.h.get(), d_);
+}
+
+Symbol ExactChain::class_display(std::size_t class_index, AutomatonState state,
+                                 std::uint64_t round) const {
+  const ChainClass& cls = classes_[class_index];
+  switch (cls.forged.kind) {
+    case DisplayOverride::Kind::Constant:
+      return cls.forged.even;
+    case DisplayOverride::Kind::EvenOdd:
+      return (round % 2 == 0) ? cls.forged.even : cls.forged.odd;
+    case DisplayOverride::Kind::None:
+      break;
+  }
+  return cls.automaton->display(state, round);
+}
+
+std::vector<std::uint64_t> ExactChain::display_histogram(
+    const Config& config, std::uint64_t round) const {
+  std::vector<std::uint64_t> c(d_, 0);
+  for (std::size_t i = 0; i < classes_.size(); ++i) {
+    for (const auto& [state, count] : config[i]) {
+      c[class_display(i, state, round)] += count;
+    }
+  }
+  return c;
+}
+
+std::vector<double> ExactChain::observation_law(
+    const ChainClass& cls, const std::vector<std::uint64_t>& c,
+    std::uint64_t round) const {
+  const auto it = options_.channel_override.find(round);
+  const Matrix& channel =
+      (it != options_.channel_override.end()) ? it->second : cls.channel;
+  std::vector<double> q(d_, 0.0);
+  double total = 0.0;
+  for (std::size_t to = 0; to < d_; ++to) {
+    double w = 0.0;
+    for (std::size_t from = 0; from < d_; ++from) {
+      w += static_cast<double>(c[from]) * channel(from, to);
+    }
+    q[to] = w;
+    total += w;
+  }
+  NOISYPULL_ASSERT(total > 0.0);
+  for (auto& v : q) v /= total;
+  return q;
+}
+
+std::vector<WeightedState> ExactChain::state_transition_law(
+    const ChainClass& cls, AutomatonState state,
+    const std::vector<double>& q) const {
+  std::map<AutomatonState, double> law;
+  for (const auto& outcome : outcomes_) {
+    const double pmf = multinomial_pmf(outcome, options_.h.get(), q);
+    if (pmf <= 0.0) continue;
+    SymbolCounts obs(d_);
+    for (std::size_t s = 0; s < d_; ++s) obs[s] = outcome[s];
+    for (const auto& ws : cls.automaton->transition(state, round_, obs)) {
+      if (ws.prob > 0.0) law[ws.state] += pmf * ws.prob;
+    }
+  }
+  std::vector<WeightedState> out;
+  out.reserve(law.size());
+  for (const auto& [s, p] : law) out.push_back({s, p});
+  return out;
+}
+
+const std::vector<WeightedState>& ExactChain::cached_law(
+    std::size_t class_index, AutomatonState state,
+    const std::vector<std::uint64_t>& c, const std::vector<double>& q) const {
+  auto key = std::make_tuple(class_index, state, c);
+  const auto it = law_cache_.find(key);
+  if (it != law_cache_.end()) return it->second;
+  return law_cache_
+      .emplace(std::move(key),
+               state_transition_law(classes_[class_index], state, q))
+      .first->second;
+}
+
+std::vector<std::pair<ExactChain::ClassHistogram, double>>
+ExactChain::class_step(std::size_t class_index, const ClassHistogram& hist,
+                       const std::vector<std::uint64_t>& c,
+                       const std::vector<double>& q,
+                       std::uint64_t round) const {
+  const ChainClass& cls = classes_[class_index];
+  if (cls.stall.active(round)) {
+    return {{hist, 1.0}};  // blackout: nobody in the class updates
+  }
+
+  // Convolve, over the class's occupied states, the Multinomial(count, T_s)
+  // splits of each state's agents across its transition law's support.
+  std::map<std::map<AutomatonState, std::uint32_t>, double> acc;
+  acc.emplace(std::map<AutomatonState, std::uint32_t>{}, 1.0);
+  for (const auto& [state, count] : hist) {
+    const auto& law = cached_law(class_index, state, c, q);
+    NOISYPULL_ASSERT(!law.empty());
+    std::map<std::map<AutomatonState, std::uint32_t>, double> next;
+    // Enumerate compositions of `count` across the law's support.
+    std::vector<std::uint32_t> split(law.size(), 0);
+    auto rec = [&](auto&& self, std::size_t cell, std::uint32_t left) -> void {
+      if (cell + 1 == law.size()) {
+        split[cell] = left;
+        double w = factorial(count);
+        for (std::size_t j = 0; j < law.size(); ++j) {
+          if (split[j] == 0) continue;
+          w *= std::pow(law[j].prob, static_cast<double>(split[j])) /
+               factorial(split[j]);
+        }
+        if (w <= 0.0) return;
+        for (const auto& [base, bp] : acc) {
+          auto merged = base;
+          for (std::size_t j = 0; j < law.size(); ++j) {
+            if (split[j] > 0) merged[law[j].state] += split[j];
+          }
+          next[std::move(merged)] += bp * w;
+        }
+        return;
+      }
+      for (std::uint32_t k = 0; k <= left; ++k) {
+        split[cell] = k;
+        self(self, cell + 1, left - k);
+      }
+    };
+    rec(rec, 0, static_cast<std::uint32_t>(count));
+    acc = std::move(next);
+  }
+
+  std::vector<std::pair<ClassHistogram, double>> out;
+  out.reserve(acc.size());
+  for (const auto& [merged, p] : acc) {
+    ClassHistogram hg(merged.begin(), merged.end());
+    out.emplace_back(std::move(hg), p);
+  }
+  return out;
+}
+
+void ExactChain::prune(ConfigDist& dist) {
+  if (options_.prune_epsilon <= 0.0) return;
+  for (auto it = dist.begin(); it != dist.end();) {
+    if (it->second < options_.prune_epsilon) {
+      truncated_ += it->second;
+      it = dist.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ExactChain::step_synchronous() {
+  ConfigDist next;
+  for (const auto& [config, p] : dist_) {
+    const auto c = display_histogram(config, round_);
+    // Per-class outcome lists (memoized on (class, class-histogram, display
+    // histogram) — many configurations share all three), then their cross
+    // product.
+    std::vector<const std::vector<std::pair<ClassHistogram, double>>*> outs;
+    outs.reserve(classes_.size());
+    for (std::size_t i = 0; i < classes_.size(); ++i) {
+      auto key = std::make_tuple(i, config[i], c);
+      auto it = class_step_cache_.find(key);
+      if (it == class_step_cache_.end()) {
+        const auto q = observation_law(classes_[i], c, round_);
+        it = class_step_cache_
+                 .emplace(std::move(key),
+                          class_step(i, config[i], c, q, round_))
+                 .first;
+      }
+      outs.push_back(&it->second);
+    }
+    Config partial(classes_.size());
+    auto rec = [&](auto&& self, std::size_t i, double w) -> void {
+      if (i == classes_.size()) {
+        next[partial] += w;
+        return;
+      }
+      for (const auto& [hg, hp] : *outs[i]) {
+        partial[i] = hg;
+        self(self, i + 1, w * hp);
+      }
+    };
+    rec(rec, 0, p);
+  }
+  prune(next);
+  dist_ = std::move(next);
+}
+
+void ExactChain::step_sequential() {
+  // Mid-round state: per class, (pending old-state histogram, updated
+  // new-state histogram).  Agents activate in index order, i.e. class by
+  // class.  The constructor split every class into singletons for this
+  // kernel, so each activation is a specific labelled agent and the
+  // count/remaining pick below is trivially exact.
+  struct ExtClass {
+    ClassHistogram pending;
+    ClassHistogram updated;
+    bool operator<(const ExtClass& rhs) const {
+      if (pending != rhs.pending) return pending < rhs.pending;
+      return updated < rhs.updated;
+    }
+  };
+  using ExtConfig = std::vector<ExtClass>;
+  std::map<ExtConfig, double> cur;
+  for (const auto& [config, p] : dist_) {
+    ExtConfig ext(classes_.size());
+    for (std::size_t i = 0; i < classes_.size(); ++i) {
+      ext[i].pending = config[i];
+    }
+    cur[std::move(ext)] += p;
+  }
+
+  auto live_histogram = [&](const ExtConfig& ext) {
+    std::vector<std::uint64_t> c(d_, 0);
+    for (std::size_t j = 0; j < classes_.size(); ++j) {
+      for (const auto& [state, count] : ext[j].pending) {
+        c[class_display(j, state, round_)] += count;
+      }
+      for (const auto& [state, count] : ext[j].updated) {
+        c[class_display(j, state, round_)] += count;
+      }
+    }
+    return c;
+  };
+  auto add_count = [](ClassHistogram& hg, AutomatonState s, std::uint32_t k) {
+    auto it = std::lower_bound(
+        hg.begin(), hg.end(), s,
+        [](const auto& e, AutomatonState v) { return e.first < v; });
+    if (it != hg.end() && it->first == s) {
+      it->second += k;
+    } else {
+      hg.insert(it, {s, k});
+    }
+  };
+  auto remove_one = [](ClassHistogram& hg, std::size_t idx) {
+    if (--hg[idx].second == 0) {
+      hg.erase(hg.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+  };
+
+  for (std::size_t i = 0; i < classes_.size(); ++i) {
+    const ChainClass& cls = classes_[i];
+    const bool stalled = cls.stall.active(round_);
+    for (std::uint64_t t = 0; t < cls.size; ++t) {
+      const double remaining = static_cast<double>(cls.size - t);
+      std::map<ExtConfig, double> next;
+      for (const auto& [ext, p] : cur) {
+        const auto c = live_histogram(ext);
+        const auto q = observation_law(cls, c, round_);
+        for (std::size_t si = 0; si < ext[i].pending.size(); ++si) {
+          const auto [state, count] = ext[i].pending[si];
+          const double pick = static_cast<double>(count) / remaining;
+          if (stalled) {
+            ExtConfig moved = ext;
+            remove_one(moved[i].pending, si);
+            add_count(moved[i].updated, state, 1);
+            next[std::move(moved)] += p * pick;
+            continue;
+          }
+          for (const auto& ws : cached_law(i, state, c, q)) {
+            ExtConfig moved = ext;
+            remove_one(moved[i].pending, si);
+            add_count(moved[i].updated, ws.state, 1);
+            next[std::move(moved)] += p * pick * ws.prob;
+          }
+        }
+      }
+      // Prune on the extended distribution too — support peaks mid-round.
+      if (options_.prune_epsilon > 0.0) {
+        for (auto it = next.begin(); it != next.end();) {
+          if (it->second < options_.prune_epsilon) {
+            truncated_ += it->second;
+            it = next.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      }
+      cur = std::move(next);
+    }
+  }
+
+  ConfigDist collapsed;
+  for (const auto& [ext, p] : cur) {
+    Config config(classes_.size());
+    for (std::size_t i = 0; i < classes_.size(); ++i) {
+      NOISYPULL_ASSERT(ext[i].pending.empty());
+      config[i] = ext[i].updated;
+    }
+    collapsed[std::move(config)] += p;
+  }
+  dist_ = std::move(collapsed);
+}
+
+void ExactChain::step() {
+  law_cache_.clear();
+  class_step_cache_.clear();
+  if (options_.kernel == ExactChainOptions::Kernel::Synchronous) {
+    step_synchronous();
+  } else {
+    step_sequential();
+  }
+  ++round_;
+}
+
+DisplayDistribution ExactChain::display_distribution() const {
+  DisplayDistribution out;
+  for (const auto& [config, p] : dist_) {
+    out[display_histogram(config, round_)] += p;
+  }
+  return out;
+}
+
+std::vector<double> ExactChain::display_mean() const {
+  std::vector<double> mean(d_, 0.0);
+  for (const auto& [config, p] : dist_) {
+    const auto c = display_histogram(config, round_);
+    for (std::size_t s = 0; s < d_; ++s) {
+      mean[s] += p * static_cast<double>(c[s]);
+    }
+  }
+  return mean;
+}
+
+double total_variation(const DisplayDistribution& a,
+                       const DisplayDistribution& b) {
+  double tv = 0.0;
+  for (const auto& [key, pa] : a) {
+    const auto it = b.find(key);
+    tv += std::abs(pa - (it == b.end() ? 0.0 : it->second));
+  }
+  for (const auto& [key, pb] : b) {
+    if (a.find(key) == a.end()) tv += pb;
+  }
+  return 0.5 * tv;
+}
+
+double tv_tolerance(std::size_t support, std::uint64_t samples,
+                    double log_inv_alpha) {
+  NOISYPULL_CHECK(samples > 0, "tv_tolerance needs at least one sample");
+  const double m = static_cast<double>(samples);
+  return 0.5 * std::sqrt(static_cast<double>(support) / m) +
+         std::sqrt(log_inv_alpha / (2.0 * m));
+}
+
+}  // namespace noisypull

@@ -1,0 +1,285 @@
+#include "noisypull/theory/protocol_automata.hpp"
+
+#include <utility>
+
+#include "noisypull/common/check.hpp"
+#include "noisypull/core/ssf.hpp"
+
+namespace noisypull {
+namespace {
+
+// ½-½ split between two states, collapsing equal targets.
+std::vector<WeightedState> coin_split(AutomatonState a, AutomatonState b) {
+  if (a == b) return {{a, 1.0}};
+  return {{a, 0.5}, {b, 0.5}};
+}
+
+}  // namespace
+
+// --------------------------------------------------------------------------
+// TableAutomaton
+
+TableAutomaton::TableAutomaton(std::size_t alphabet,
+                               std::vector<TableState> states)
+    : alphabet_(alphabet), states_(std::move(states)) {
+  NOISYPULL_CHECK(alphabet_ >= 2 && alphabet_ <= kMaxAlphabet,
+                  "unsupported alphabet size");
+  NOISYPULL_CHECK(!states_.empty(), "table automaton needs states");
+  for (const auto& s : states_) {
+    NOISYPULL_CHECK(s.show < alphabet_, "display symbol outside the alphabet");
+    NOISYPULL_CHECK(s.watch_a < alphabet_ && s.watch_b < alphabet_,
+                    "watched cell outside the alphabet");
+    NOISYPULL_CHECK(s.if_greater < states_.size() &&
+                        s.if_less < states_.size() &&
+                        s.tie_a < states_.size() && s.tie_b < states_.size(),
+                    "transition target outside the state set");
+  }
+}
+
+Symbol TableAutomaton::display(AutomatonState state,
+                               std::uint64_t /*round*/) const {
+  NOISYPULL_ASSERT(state < states_.size());
+  return states_[state].show;
+}
+
+std::vector<WeightedState> TableAutomaton::transition(
+    AutomatonState state, std::uint64_t /*round*/,
+    const SymbolCounts& obs) const {
+  NOISYPULL_ASSERT(state < states_.size());
+  const TableState& s = states_[state];
+  const std::uint64_t a = obs[s.watch_a];
+  const std::uint64_t b = obs[s.watch_b];
+  if (a > b) return {{s.if_greater, 1.0}};
+  if (a < b) return {{s.if_less, 1.0}};
+  return coin_split(s.tie_a, s.tie_b);
+}
+
+// --------------------------------------------------------------------------
+// SfAutomaton
+
+SfAutomaton::SfAutomaton(SfSchedule schedule, bool is_source,
+                         Opinion preference)
+    : schedule_(schedule), is_source_(is_source),
+      preference_(preference & 1) {
+  NOISYPULL_CHECK(schedule_.phase_rounds >= 1, "SF needs listening rounds");
+  intern(Concrete{});  // state 0: the fresh agent
+}
+
+AutomatonState SfAutomaton::intern(const Concrete& c) const {
+  const auto it = ids_.find(c);
+  if (it != ids_.end()) return it->second;
+  const auto id = static_cast<AutomatonState>(states_.size());
+  states_.push_back(c);
+  ids_.emplace(c, id);
+  return id;
+}
+
+Symbol SfAutomaton::display(AutomatonState state, std::uint64_t round) const {
+  NOISYPULL_ASSERT(state < states_.size());
+  if (round < schedule_.boosting_start()) {
+    if (is_source_) return preference_;
+    return round < schedule_.phase_rounds ? Symbol{0} : Symbol{1};
+  }
+  return states_[state].current;
+}
+
+bool SfAutomaton::is_subphase_end(std::uint64_t round) const noexcept {
+  const std::uint64_t start = schedule_.boosting_start();
+  if (round < start) return false;
+  const std::uint64_t short_span =
+      schedule_.num_subphases * schedule_.subphase_rounds;
+  const std::uint64_t off = round - start;
+  if (off < short_span) {
+    return (off + 1) % schedule_.subphase_rounds == 0;
+  }
+  return off + 1 == short_span + schedule_.final_rounds;
+}
+
+std::vector<WeightedState> SfAutomaton::transition(
+    AutomatonState state, std::uint64_t round, const SymbolCounts& obs) const {
+  NOISYPULL_ASSERT(state < states_.size());
+  NOISYPULL_CHECK(obs.size == 2, "SF expects a binary alphabet");
+  Concrete c = states_[state];
+
+  if (round < schedule_.phase_rounds) {
+    c.counter1 += obs[1];
+    return {{intern(c), 1.0}};
+  }
+  if (round < schedule_.boosting_start()) {
+    c.counter0 += obs[0];
+    if (round + 1 != schedule_.boosting_start()) return {{intern(c), 1.0}};
+    // finish_listening: weak ← majority of the two counters, tie → coin;
+    // current ← weak; boost counters reset (already 0 during listening).
+    // The listening counters are dead state from here on — no later
+    // transition or display reads them — so they are zeroed too: an
+    // exactness-preserving lumping that keeps the chain's support small.
+    const bool tie = c.counter1 == c.counter0;
+    const Opinion majority = c.counter1 > c.counter0 ? 1 : 0;
+    c.counter1 = 0;
+    c.counter0 = 0;
+    c.boost_ones = 0;
+    c.boost_total = 0;
+    if (!tie) {
+      c.weak = majority;
+      c.current = majority;
+      return {{intern(c), 1.0}};
+    }
+    Concrete heads = c;
+    heads.weak = 1;
+    heads.current = 1;
+    Concrete tails = c;
+    tails.weak = 0;
+    tails.current = 0;
+    return coin_split(intern(heads), intern(tails));
+  }
+  if (round >= schedule_.total_rounds()) return {{state, 1.0}};
+  c.boost_ones += obs[1];
+  c.boost_total += obs.total();
+  if (!is_subphase_end(round)) return {{intern(c), 1.0}};
+  // finish_subphase: current ← majority of boost ones vs zeros, tie → coin.
+  const std::uint64_t zeros = c.boost_total - c.boost_ones;
+  const std::uint64_t ones = c.boost_ones;
+  c.boost_ones = 0;
+  c.boost_total = 0;
+  if (ones != zeros) {
+    c.current = ones > zeros ? 1 : 0;
+    return {{intern(c), 1.0}};
+  }
+  Concrete heads = c;
+  heads.current = 1;
+  Concrete tails = c;
+  tails.current = 0;
+  return coin_split(intern(heads), intern(tails));
+}
+
+// --------------------------------------------------------------------------
+// SsfAutomaton
+
+SsfAutomaton::SsfAutomaton(MemoryBudget m, bool is_source, Opinion preference)
+    : m_(m.get()), is_source_(is_source), preference_(preference & 1) {
+  NOISYPULL_CHECK(m_ >= 1, "memory budget m must be at least 1");
+  intern(Concrete{});  // state 0: the fresh agent
+}
+
+AutomatonState SsfAutomaton::intern(const Concrete& c) const {
+  const auto it = ids_.find(c);
+  if (it != ids_.end()) return it->second;
+  const auto id = static_cast<AutomatonState>(states_.size());
+  states_.push_back(c);
+  ids_.emplace(c, id);
+  return id;
+}
+
+Symbol SsfAutomaton::display(AutomatonState state,
+                             std::uint64_t /*round*/) const {
+  NOISYPULL_ASSERT(state < states_.size());
+  if (is_source_) {
+    return SelfStabilizingSourceFilter::encode(true, preference_);
+  }
+  return SelfStabilizingSourceFilter::encode(false, states_[state].weak);
+}
+
+std::vector<WeightedState> SsfAutomaton::transition(
+    AutomatonState state, std::uint64_t /*round*/,
+    const SymbolCounts& obs) const {
+  NOISYPULL_ASSERT(state < states_.size());
+  NOISYPULL_CHECK(obs.size == 4, "SSF expects the {0,1}^2 alphabet");
+  Concrete c = states_[state];
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < 4; ++s) {
+    c.mem[s] += obs[s];
+    total += c.mem[s];
+  }
+  if (total < m_) return {{intern(c), 1.0}};
+
+  // Flush: weak ← majority of second bits among source-tagged messages
+  // (symbols 2, 3); current ← majority of second bits of all messages.  Each
+  // tie breaks with its own independent fair coin, so a double tie splits
+  // the state four ways.
+  const std::uint64_t src_ones = c.mem[3];
+  const std::uint64_t src_zeros = c.mem[2];
+  const std::uint64_t all_ones = c.mem[1] + c.mem[3];
+  const std::uint64_t all_zeros = c.mem[0] + c.mem[2];
+  c.mem.fill(0);
+
+  std::vector<std::pair<Opinion, double>> weaks;
+  if (src_ones != src_zeros) {
+    weaks.emplace_back(src_ones > src_zeros ? 1 : 0, 1.0);
+  } else {
+    weaks.emplace_back(1, 0.5);
+    weaks.emplace_back(0, 0.5);
+  }
+  std::vector<std::pair<Opinion, double>> currents;
+  if (all_ones != all_zeros) {
+    currents.emplace_back(all_ones > all_zeros ? 1 : 0, 1.0);
+  } else {
+    currents.emplace_back(1, 0.5);
+    currents.emplace_back(0, 0.5);
+  }
+
+  std::vector<WeightedState> out;
+  out.reserve(weaks.size() * currents.size());
+  for (const auto& [w, wp] : weaks) {
+    for (const auto& [cur, cp] : currents) {
+      Concrete next = c;
+      next.weak = w;
+      next.current = cur;
+      out.push_back({intern(next), wp * cp});
+    }
+  }
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// AutomatonProtocol
+
+AutomatonProtocol::AutomatonProtocol(std::vector<AutomatonGroup> groups) {
+  NOISYPULL_CHECK(!groups.empty(), "automaton protocol needs agents");
+  for (const auto& g : groups) {
+    NOISYPULL_CHECK(g.count >= 1, "empty automaton group");
+    NOISYPULL_CHECK(g.automaton != nullptr, "group needs an automaton");
+    if (alphabet_ == 0) alphabet_ = g.automaton->alphabet_size();
+    NOISYPULL_CHECK(g.automaton->alphabet_size() == alphabet_,
+                    "all groups must share one alphabet");
+    for (std::uint64_t i = 0; i < g.count; ++i) {
+      agents_.push_back({g.automaton, g.initial});
+    }
+  }
+}
+
+Symbol AutomatonProtocol::display(std::uint64_t agent,
+                                  std::uint64_t round) const {
+  NOISYPULL_CHECK(agent < agents_.size(), "agent index out of range");
+  return agents_[agent].automaton->display(agents_[agent].state, round);
+}
+
+void AutomatonProtocol::update(std::uint64_t agent, std::uint64_t round,
+                               const SymbolCounts& obs, Rng& rng) {
+  NOISYPULL_CHECK(agent < agents_.size(), "agent index out of range");
+  AgentSlot& slot = agents_[agent];
+  const auto law = slot.automaton->transition(slot.state, round, obs);
+  NOISYPULL_ASSERT(!law.empty());
+  // Inverse-CDF sample; the final state absorbs rounding slack.
+  const double u = rng.next_double();
+  double acc = 0.0;
+  for (const auto& ws : law) {
+    acc += ws.prob;
+    if (u < acc) {
+      slot.state = ws.state;
+      return;
+    }
+  }
+  slot.state = law.back().state;
+}
+
+Opinion AutomatonProtocol::opinion(std::uint64_t agent) const {
+  NOISYPULL_CHECK(agent < agents_.size(), "agent index out of range");
+  return static_cast<Opinion>(agents_[agent].state & 1);
+}
+
+AutomatonState AutomatonProtocol::state(std::uint64_t agent) const {
+  NOISYPULL_CHECK(agent < agents_.size(), "agent index out of range");
+  return agents_[agent].state;
+}
+
+}  // namespace noisypull

@@ -167,6 +167,16 @@ TEST(Binomial, GoodnessOfFitAtTheBinvBtrsCrossover) {
             chi_square_critical_999(6));
 }
 
+TEST(Binomial, GoodnessOfFitInTheDeepBinvWalk) {
+  // n = 19, p = 0.5 is the deepest inversion regime the dispatch allows
+  // (n·p = 9.5 just under the BTRS cutoff, q^n ≈ 1.9e−6), so the cdf walk
+  // regularly runs 15+ steps and BINV's round-off restart guard is live on
+  // every draw.  The binned distribution must stay exact regardless.
+  const std::array<std::uint64_t, 6> edges = {6, 8, 9, 10, 11, 13};
+  EXPECT_LT(binned_binomial_chi_square(19, 0.5, 781, edges, 200000),
+            chi_square_critical_999(6));
+}
+
 TEST(Binomial, GoodnessOfFitAtTheReflectionBoundary) {
   // p > 0.5 is handled by reflection (n − B(n, 1−p)); hold both sides of
   // p = 0.5 to the same exact-fit bar so the reflected path cannot drift.
@@ -215,6 +225,24 @@ TEST(Multinomial, ZeroWeightCellsStayEmpty) {
   EXPECT_EQ(counts[0], 0u);
   EXPECT_EQ(counts[1], 1000u);
   EXPECT_EQ(counts[2], 0u);
+}
+
+TEST(Multinomial, ZeroWeightTailNeverLeaks) {
+  // Round-off regression: with weights {0.1, 0.1, 0.1, 0.0} the running
+  // weight sum 0.3 − 0.1 − 0.1 lands a few ulps above 0.1, so the last
+  // positive bucket's conditional p is slightly below 1 and, at
+  // astronomical n, its binomial draw undershoots by ~n·3e−16 trials.  The
+  // conditional-binomial chain used to hand that remainder to the final
+  // (zero-weight) bucket; it must terminate at the last positive weight.
+  Rng rng(12);
+  const std::vector<double> w = {0.1, 0.1, 0.1, 0.0};
+  std::vector<std::uint64_t> counts(4);
+  constexpr std::uint64_t kN = 4'000'000'000'000'000'000ULL;
+  for (int i = 0; i < 32; ++i) {
+    sample_multinomial(rng, kN, w, counts);
+    ASSERT_EQ(counts[3], 0u) << "mass leaked into a zero-weight cell";
+    EXPECT_EQ(counts[0] + counts[1] + counts[2], kN);
+  }
 }
 
 TEST(Multinomial, InputValidation) {
