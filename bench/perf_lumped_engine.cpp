@@ -1,0 +1,256 @@
+// PERF — machine-readable benchmark of the lumped population engine
+// (sim/lumped_engine, DESIGN.md §12).
+//
+// For each population size n this runs one full Source-Filter convergence
+// run (the real Theorem 4 schedule at s1 = ⌈√n⌉) and reports rounds/sec,
+// convergence, and the occupied-state support the per-round cost actually
+// scales with.  The point of the table is the n-column: the agent-array
+// engines stop at n ~ 10⁶–10⁷ (memory and per-agent work), while the lumped
+// rows at n = 10⁹…10¹² complete at rounds/sec within a small factor of the
+// n = 10⁶ row — per-round cost is O(#occupied states), not O(n).
+//
+// Output is JSON (schema v2, same conventions as perf_round_kernel) written
+// to --out (default BENCH_lumped_engine.json).  `--smoke` swaps in a
+// shrunken schedule and drops the largest sizes so the CI gate runs in
+// seconds; smoke also runs deterministic self-checks (digest determinism,
+// population conservation) and fails loudly if they regress.
+#include <chrono>
+#include <cinttypes>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>  // hardware_concurrency only; pooling lives in
+                   // common/thread_pool (lint: file is allowlisted)
+#include <vector>
+
+#include "noisypull/noisypull.hpp"
+
+namespace {
+
+using namespace noisypull;
+using Clock = std::chrono::steady_clock;
+
+// All timing runs share one named seed: throughput, not the stream
+// identity, is what these measurements compare.
+constexpr std::uint64_t kTimingSeed = 1;
+
+struct Config {
+  std::uint64_t n;
+  std::uint64_t h;
+  double delta;
+};
+
+struct ConfigResult {
+  Config config;
+  std::uint64_t s1;
+  std::uint64_t total_rounds;
+  std::uint64_t rounds_run;
+  double seconds;
+  double rounds_per_sec;
+  bool all_correct;
+  double correct_fraction;
+  std::size_t max_support;
+  std::uint64_t digest;
+};
+
+std::uint64_t isqrt_ceil(std::uint64_t n) {
+  auto r = static_cast<std::uint64_t>(std::ceil(std::sqrt(static_cast<double>(n))));
+  while (r > 1 && (r - 1) * (r - 1) >= n) --r;
+  while (r * r < n) ++r;
+  return r;
+}
+
+SfSchedule schedule_for(const PopulationConfig& pop, const Config& cfg,
+                        bool smoke) {
+  if (!smoke) {
+    return make_sf_schedule(pop, Holdings{cfg.h}, Delta{cfg.delta});
+  }
+  // Smoke: the real schedule shape at a fraction of the length — enough to
+  // exercise listening, boosting, and the final sub-phase in seconds.
+  const std::uint64_t m = 8 * cfg.h;
+  return make_sf_schedule_with_m(pop, Holdings{cfg.h}, Delta{cfg.delta},
+                                 MemoryBudget{m});
+}
+
+ConfigResult run_config(const Config& cfg, bool smoke) {
+  const PopulationConfig pop{.n = cfg.n, .s1 = isqrt_ceil(cfg.n), .s0 = 0};
+  SfSchedule sched = schedule_for(pop, cfg, smoke);
+  if (smoke && sched.num_subphases > 20) sched.num_subphases = 20;
+  auto setup = make_lumped_sf(pop, sched, NoiseMatrix::uniform(2, cfg.delta));
+  LumpedEngine& engine = *setup.engine;
+
+  const std::uint64_t rounds = sched.total_rounds();
+  std::size_t max_support = engine.support_size();
+  Rng rng(kTimingSeed);
+  const auto start = Clock::now();
+  for (std::uint64_t round = 0; round < rounds; ++round) {
+    engine.step(Holdings{cfg.h}, round, rng);
+    max_support = std::max(max_support, engine.support_size());
+  }
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  const std::uint64_t correct = engine.count_correct(pop.correct_opinion());
+  return ConfigResult{
+      .config = cfg,
+      .s1 = pop.s1,
+      .total_rounds = rounds,
+      .rounds_run = rounds,
+      .seconds = elapsed,
+      .rounds_per_sec =
+          static_cast<double>(rounds) / (elapsed > 0.0 ? elapsed : 1e-9),
+      .all_correct = correct == cfg.n,
+      .correct_fraction =
+          static_cast<double>(correct) / static_cast<double>(cfg.n),
+      .max_support = max_support,
+      .digest = engine.replay_digest()};
+}
+
+void emit_json(std::FILE* out, bool smoke,
+               const std::vector<ConfigResult>& results) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"lumped_engine\",\n");
+  std::fprintf(out, "  \"schema_version\": 2,\n");
+  std::fprintf(out, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(out, "  \"hardware_threads\": %u,\n", hw);
+  // The engine is O(#occupied states) serial by construction — there are no
+  // lanes to scale, so the field is pinned false with the reason.
+  std::fprintf(out, "  \"lane_scaling_measured\": false,\n");
+  std::fprintf(out,
+               "  \"caveat\": \"lumped engine is serial by design: per-round "
+               "cost is O(#occupied states), so thread lanes do not apply; "
+               "compare rounds_per_sec across n instead\",\n");
+  std::fprintf(out, "  \"configs\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::fprintf(out, "    {\n");
+    std::fprintf(out, "      \"engine\": \"lumped\",\n");
+    std::fprintf(out, "      \"n\": %" PRIu64 ",\n", r.config.n);
+    std::fprintf(out, "      \"h\": %" PRIu64 ",\n", r.config.h);
+    std::fprintf(out, "      \"delta\": %.4f,\n", r.config.delta);
+    std::fprintf(out, "      \"s1\": %" PRIu64 ",\n", r.s1);
+    std::fprintf(out, "      \"rounds_timed\": %" PRIu64 ",\n", r.rounds_run);
+    std::fprintf(out, "      \"seconds\": %.4f,\n", r.seconds);
+    std::fprintf(out, "      \"rounds_per_sec\": %.4f,\n", r.rounds_per_sec);
+    std::fprintf(out, "      \"all_correct_at_end\": %s,\n",
+                 r.all_correct ? "true" : "false");
+    std::fprintf(out, "      \"correct_fraction\": %.6f,\n",
+                 r.correct_fraction);
+    std::fprintf(out, "      \"max_support\": %zu,\n", r.max_support);
+    std::fprintf(out, "      \"replay_digest\": \"%016" PRIx64 "\"\n",
+                 r.digest);
+    std::fprintf(out, "    }%s\n", i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n");
+  std::fprintf(out, "}\n");
+}
+
+// Deterministic self-checks for the CI smoke gate: digest determinism across
+// identical runs, seed sensitivity, and exact population conservation.
+bool check_lumped_invariants() {
+  const PopulationConfig pop{.n = 1'000'000'000ULL, .s1 = 31'623, .s0 = 0};
+  const auto sched =
+      make_sf_schedule_with_m(pop, Holdings{16}, Delta{0.2}, MemoryBudget{64});
+  const NoiseMatrix noise = NoiseMatrix::uniform(2, 0.2);
+  const auto run = [&](std::uint64_t seed) {
+    auto setup = make_lumped_sf(pop, sched, noise);
+    Rng rng(seed);
+    for (std::uint64_t round = 0; round < sched.total_rounds(); ++round) {
+      setup.engine->step(Holdings{16}, round, rng);
+      const auto hist = setup.engine->display_histogram(round + 1);
+      std::uint64_t sum = 0;
+      for (const std::uint64_t c : hist) sum += c;
+      if (sum != pop.n) {
+        std::fprintf(stderr,
+                     "lumped invariant violation: round %" PRIu64
+                     " histogram sums to %" PRIu64 " != n\n",
+                     round, sum);
+        return std::uint64_t{0};
+      }
+    }
+    return setup.engine->replay_digest();
+  };
+  const std::uint64_t a = run(kTimingSeed);
+  const std::uint64_t b = run(kTimingSeed);
+  const std::uint64_t c = run(kTimingSeed + 1);
+  if (a == 0 || b == 0 || c == 0) return false;
+  if (a != b) {
+    std::fprintf(stderr, "lumped invariant violation: digest not deterministic\n");
+    return false;
+  }
+  if (a == c) {
+    std::fprintf(stderr, "lumped invariant violation: digest seed-insensitive\n");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_lumped_engine.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--smoke") {
+      smoke = true;
+    } else if (a == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: perf_lumped_engine [--smoke] [--out PATH]\n");
+      return 2;
+    }
+  }
+
+  if (smoke && !check_lumped_invariants()) {
+    std::fprintf(stderr, "perf_lumped_engine: invariant check FAILED\n");
+    return 1;
+  }
+
+  std::vector<Config> configs;
+  if (smoke) {
+    configs.push_back(Config{.n = 1'000'000, .h = 64, .delta = 0.2});
+    configs.push_back(Config{.n = 1'000'000'000ULL, .h = 64, .delta = 0.2});
+  } else {
+    configs.push_back(Config{.n = 1'000'000, .h = 64, .delta = 0.2});
+    configs.push_back(Config{.n = 1'000'000'000ULL, .h = 64, .delta = 0.2});
+    configs.push_back(Config{.n = 100'000'000'000ULL, .h = 64, .delta = 0.2});
+    configs.push_back(
+        Config{.n = 1'000'000'000'000ULL, .h = 64, .delta = 0.2});
+  }
+
+  std::vector<ConfigResult> results;
+  for (const auto& cfg : configs) {
+    std::printf("perf_lumped_engine: n=%" PRIu64 " h=%" PRIu64 " ...\n",
+                cfg.n, cfg.h);
+    results.push_back(run_config(cfg, smoke));
+    const auto& r = results.back();
+    std::printf("  %" PRIu64 " rounds in %.2fs: %.2f rounds/s, "
+                "correct_fraction=%.4f, max_support=%zu\n",
+                r.rounds_run, r.seconds, r.rounds_per_sec, r.correct_fraction,
+                r.max_support);
+  }
+  if (results.size() > 1) {
+    const double base = results.front().rounds_per_sec;
+    for (std::size_t i = 1; i < results.size(); ++i) {
+      std::printf("  n=%" PRIu64 " throughput ratio vs n=%" PRIu64
+                  ": %.2fx\n",
+                  results[i].config.n, results.front().config.n,
+                  results[i].rounds_per_sec / base);
+    }
+  }
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "perf_lumped_engine: cannot open %s\n",
+                 out_path.c_str());
+    return 1;
+  }
+  emit_json(out, smoke, results);
+  std::fclose(out);
+  std::printf("perf_lumped_engine: wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -3,6 +3,14 @@
 // plurality, even at bias 1, and including the outvoted sources themselves.
 //
 // Sweeps (s1, s0) pairs at several population sizes, for SF and for SSF.
+//
+// All cells go through one experiment-scheduler queue
+// (analysis/scheduler.hpp): `--threads` drains cells concurrently,
+// `--ci-halfwidth`/`--max-reps` opt into adaptive early stopping, and
+// `--cache-dir` reuses previously computed repetitions.  Cell seeds keep the
+// legacy run_repetitions derivation (SF 10000 + n + s1·7 + s0, SSF
+// 11000 + n + s1·7 + s0), so trajectories are bit-identical to the
+// pre-scheduler bench.
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
@@ -23,35 +31,56 @@ int main(int argc, char** argv) {
   };
   const Pair pairs[] = {{1, 0}, {2, 1}, {6, 5}, {20, 19}, {30, 10}, {0, 3}};
 
-  Table table({"n", "s1", "s0", "bias", "correct op", "SF success",
-               "SSF success"});
+  // Cells interleave SF/SSF per grid row: row r reads stats[2r] / stats[2r+1].
+  struct Row {
+    PopulationConfig pop;
+  };
+  std::vector<Row> grid;
+  std::vector<ExperimentCell> cells;
   for (std::uint64_t n : {1000ULL, 4000ULL}) {
     for (const auto& pr : pairs) {
       const PopulationConfig pop{.n = n, .s1 = pr.s1, .s0 = pr.s0};
-      const auto sf_results = run_repetitions(
-          sf_factory(pop, Holdings{n}, Delta{delta}), NoiseMatrix::uniform(2,
-              delta),
-          pop.correct_opinion(), RunConfig{.h = n},
-          RepeatOptions{.repetitions = reps,
-                        .seed = 10000 + n + pr.s1 * 7 + pr.s0});
+      grid.push_back({pop});
+      const std::string suffix = " n=" + std::to_string(n) +
+                                 " s1=" + std::to_string(pr.s1) +
+                                 " s0=" + std::to_string(pr.s0);
+      cells.push_back(ExperimentCell{
+          .label = "SF" + suffix,
+          .make_protocol = sf_factory(pop, Holdings{n}, Delta{delta}),
+          .noise = NoiseMatrix::uniform(2, delta),
+          .correct = pop.correct_opinion(),
+          .cfg = RunConfig{.h = n},
+          .seed = 10000 + n + pr.s1 * 7 + pr.s0,
+          .protocol_digest = sf_digest(pop, Holdings{n}, Delta{delta})});
       const SelfStabilizingSourceFilter ref(pop, Holdings{n}, Delta{delta_ssf},
                                             kC1);
-      const auto ssf_results = run_repetitions(
-          ssf_factory(pop, Holdings{n}, Delta{delta_ssf},
-                      CorruptionPolicy::RandomState),
-          NoiseMatrix::uniform(4, delta_ssf), pop.correct_opinion(),
-          RunConfig{.h = n, .max_rounds = ref.convergence_deadline()},
-          RepeatOptions{.repetitions = reps,
-                        .seed = 11000 + n + pr.s1 * 7 + pr.s0});
-      table.cell(n)
-          .cell(pr.s1)
-          .cell(pr.s0)
-          .cell(pop.bias())
-          .cell(static_cast<std::uint64_t>(pop.correct_opinion()))
-          .cell(success_rate(sf_results), 2)
-          .cell(success_rate(ssf_results), 2)
-          .end_row();
+      cells.push_back(ExperimentCell{
+          .label = "SSF" + suffix,
+          .make_protocol = ssf_factory(pop, Holdings{n}, Delta{delta_ssf},
+                                       CorruptionPolicy::RandomState),
+          .noise = NoiseMatrix::uniform(4, delta_ssf),
+          .correct = pop.correct_opinion(),
+          .cfg = RunConfig{.h = n, .max_rounds = ref.convergence_deadline()},
+          .seed = 11000 + n + pr.s1 * 7 + pr.s0,
+          .protocol_digest = ssf_digest(pop, Holdings{n}, Delta{delta_ssf},
+                                        CorruptionPolicy::RandomState)});
     }
+  }
+  const auto stats = run_experiment(cells, scheduler_options(args, reps));
+  warn_if_degraded(stats);
+
+  Table table({"n", "s1", "s0", "bias", "correct op", "SF success",
+               "SSF success"});
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const PopulationConfig& pop = grid[i].pop;
+    table.cell(pop.n)
+        .cell(pop.s1)
+        .cell(pop.s0)
+        .cell(pop.bias())
+        .cell(static_cast<std::uint64_t>(pop.correct_opinion()))
+        .cell(stats[2 * i].success_rate, 2)
+        .cell(stats[2 * i + 1].success_rate, 2)
+        .end_row();
   }
   args.emit(table);
   std::printf(

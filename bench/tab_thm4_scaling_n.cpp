@@ -14,6 +14,13 @@
 // (analysis/scheduler.hpp): `--threads` drains cells concurrently,
 // `--ci-halfwidth`/`--max-reps` opt into adaptive early stopping, and
 // `--cache-dir` reuses previously computed repetitions.
+//
+// `--huge` appends lumped-engine rows (sim/lumped_engine, DESIGN.md §12) at
+// n = 10⁹ and 10¹² with s1 = ⌈√n⌉ — populations no agent-array engine can
+// represent.  They ride the same scheduler/cache machinery via
+// ExperimentCell::make_lumped; the rows use fewer repetitions (the runs are
+// single-trajectory but thousands of rounds long) and their h is a constant
+// holding size, so only the T/ln n column is meaningful for them.
 #include "bench_common.hpp"
 
 #include <cmath>
@@ -22,6 +29,11 @@ int main(int argc, char** argv) {
   using namespace noisypull;
   using namespace noisypull::bench;
   const auto args = BenchArgs::parse(argc, argv);
+  // BenchArgs::parse ignores flags it does not know; scan for --huge here.
+  bool huge = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--huge") huge = true;
+  }
 
   header("THM4-N / tab_thm4_scaling_n",
          "Theorem 4: T = O((1/h)(n delta/(s^2(1-2delta)^2)+...)log n + log n);"
@@ -75,5 +87,64 @@ int main(int argc, char** argv) {
   std::printf(
       "expected shape: success ~1 everywhere; T*h/(n ln n) roughly flat for\n"
       "h <= sqrt(n); T/ln n roughly flat (and small) for h = n.\n");
+
+  if (huge) {
+    const std::uint64_t huge_reps = 3;
+    const std::uint64_t h = 64;
+    std::vector<std::uint64_t> huge_ns = {1'000'000'000ULL,
+                                          1'000'000'000'000ULL};
+    std::vector<ExperimentCell> huge_cells;
+    for (std::uint64_t n : huge_ns) {
+      const auto s1 = static_cast<std::uint64_t>(
+          std::ceil(std::sqrt(static_cast<double>(n))));
+      const PopulationConfig pop{.n = n, .s1 = s1, .s0 = 0};
+      ExperimentCell cell;
+      cell.label = "lumped n=" + std::to_string(n);
+      cell.noise = NoiseMatrix::uniform(2, delta);
+      cell.correct = pop.correct_opinion();
+      cell.cfg = RunConfig{.h = h};  // max_rounds 0 → planned schedule
+      cell.seed = 2000 + n % 9973 + h;
+      cell.protocol_digest = CellKey()
+                                 .str("LumpedSourceFilter")
+                                 .u64(pop.n)
+                                 .u64(pop.s1)
+                                 .u64(pop.s0)
+                                 .u64(h)
+                                 .f64(delta)
+                                 .f64(kC1.get())
+                                 .digest();
+      cell.make_lumped = [pop, h, delta]() {
+        const auto sched =
+            make_sf_schedule(pop, Holdings{h}, Delta{delta}, kC1);
+        return make_lumped_sf(pop, sched, NoiseMatrix::uniform(2, delta));
+      };
+      huge_cells.push_back(std::move(cell));
+    }
+    const auto huge_stats =
+        run_experiment(huge_cells, scheduler_options(args, huge_reps));
+    warn_if_degraded(huge_stats);
+
+    Table huge_table({"n", "s1", "h", "success", "rounds T", "first-correct",
+                      "T/ln n"});
+    for (std::size_t i = 0; i < huge_cells.size(); ++i) {
+      const std::uint64_t n = huge_ns[i];
+      const double logn = std::log(static_cast<double>(n));
+      const double t = huge_stats[i].mean_rounds_run;
+      huge_table.cell(n)
+          .cell(static_cast<std::uint64_t>(
+              std::ceil(std::sqrt(static_cast<double>(n)))))
+          .cell(h)
+          .cell(huge_stats[i].success_rate, 2)
+          .cell(t, 0)
+          .cell(huge_stats[i].mean_convergence_round, 1)
+          .cell(t / logn, 2)
+          .end_row();
+    }
+    args.emit(huge_table, "_huge");
+    std::printf(
+        "lumped rows: one-histogram-per-round engine; s1 = ceil(sqrt(n))\n"
+        "keeps the schedule length ~h log n, so T/ln n stays ~flat while n\n"
+        "spans three orders of magnitude past any agent-array engine.\n");
+  }
   return 0;
 }

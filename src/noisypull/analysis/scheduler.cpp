@@ -463,10 +463,16 @@ std::uint64_t cell_cache_key(const ExperimentCell& cell) {
   }
   // RunConfig: engine_threads is trajectory-invariant and deliberately
   // excluded (the header comment's invalidation contract).
+  // Engine kind: 0 = exact, 1 = aggregate, 2 = lumped.  The lumped engine
+  // is distribution-equivalent but not trajectory-identical to the agent
+  // engines, so it must never share cache entries with them; the first two
+  // values keep every pre-lumped key bit-identical.
+  const std::uint64_t engine_kind =
+      cell.make_lumped ? 2 : (cell.use_aggregate_engine ? 1 : 0);
   key.u64(cell.cfg.h)
       .u64(cell.cfg.max_rounds)
       .u64(cell.cfg.stability_window)
-      .u64(cell.use_aggregate_engine ? 1 : 0)
+      .u64(engine_kind)
       .u64(cell.seed);
   // The steady-state block is folded only when present: convergence cells
   // keep the exact keys they had before the mode existed, so no previously
@@ -562,6 +568,14 @@ std::vector<CellStats> run_experiment(const std::vector<ExperimentCell>& cells,
     if (cell.steady_state) {
       NOISYPULL_CHECK(cell.steady_state->measure >= 1,
                       "steady-state cells need at least one measured round");
+    }
+    if (cell.make_lumped) {
+      NOISYPULL_CHECK(!cell.fault_plan,
+                      "lumped cells do not support fault plans (the lumped "
+                      "engine cannot be wrapped by FaultyEngine)");
+      NOISYPULL_CHECK(!cell.steady_state,
+                      "lumped cells do not support steady-state/churn "
+                      "measurements");
     }
   }
   opts.fs_faults.validate();
@@ -852,27 +866,46 @@ std::vector<CellStats> run_experiment(const std::vector<ExperimentCell>& cells,
 
       try {
         if (opts.rep_hook) opts.rep_hook(cell_index, rep);
-        if (engine_cell != cell_index || !engine) {
-          if (cell.use_aggregate_engine) {
-            engine = std::make_unique<AggregateEngine>();
-          } else {
-            engine = std::make_unique<ExactEngine>();
-          }
-          if (cell.artificial_noise) {
-            engine->set_artificial_noise(*cell.artificial_noise);
-          }
-          engine->set_threads(engine_threads);
-          engine_cell = cell_index;
-        }
         RepOutcome outcome;
-        if (cell.fault_plan) {
-          // Fresh decorator per repetition: stall schedules and fault stats
-          // must not leak across runs.
-          FaultyEngine faulty(*engine, *cell.fault_plan);
-          faulty.set_threads(engine_threads);
-          outcome = run_cell_rep(cell, rep, faulty, cancel);
+        if (cell.make_lumped) {
+          // Lumped cells carry their population state inside the engine, so
+          // a fresh setup per repetition is mandatory — there is nothing to
+          // reuse across repetitions the way agent engines reuse buffers.
+          // Initialization is deterministic; only the run substream
+          // Rng(seed, 2r+1) is consumed, matching run_cell_rep's derivation.
+          LumpedSetup setup = cell.make_lumped();
+          NOISYPULL_CHECK(setup.engine != nullptr,
+                          "make_lumped returned a null engine");
+          if (cell.artificial_noise) {
+            setup.engine->set_artificial_noise(*cell.artificial_noise);
+          }
+          Rng run_rng(cell.seed, 2 * rep + 1);
+          RunConfig cfg = cell.cfg;
+          cfg.cancel = cancel;
+          outcome =
+              to_outcome(run_lumped(*setup.engine, cell.correct, cfg, run_rng));
         } else {
-          outcome = run_cell_rep(cell, rep, *engine, cancel);
+          if (engine_cell != cell_index || !engine) {
+            if (cell.use_aggregate_engine) {
+              engine = std::make_unique<AggregateEngine>();
+            } else {
+              engine = std::make_unique<ExactEngine>();
+            }
+            if (cell.artificial_noise) {
+              engine->set_artificial_noise(*cell.artificial_noise);
+            }
+            engine->set_threads(engine_threads);
+            engine_cell = cell_index;
+          }
+          if (cell.fault_plan) {
+            // Fresh decorator per repetition: stall schedules and fault stats
+            // must not leak across runs.
+            FaultyEngine faulty(*engine, *cell.fault_plan);
+            faulty.set_threads(engine_threads);
+            outcome = run_cell_rep(cell, rep, faulty, cancel);
+          } else {
+            outcome = run_cell_rep(cell, rep, *engine, cancel);
+          }
         }
         deregister();
 

@@ -64,6 +64,7 @@
 #include "noisypull/common/fnv.hpp"
 #include "noisypull/fault/fault_plan.hpp"
 #include "noisypull/sim/churn.hpp"
+#include "noisypull/sim/lumped_engine.hpp"
 #include "noisypull/sim/repeat.hpp"
 
 namespace noisypull {
@@ -146,6 +147,17 @@ struct ExperimentCell {
   // When set, repetitions are steady-state measurements instead of
   // convergence runs (cfg.h is the sample size; cfg.max_rounds is unused).
   std::optional<SteadyStateSpec> steady_state{};
+  // Population-dynamics cell: when set, each repetition constructs a fresh
+  // LumpedSetup from this factory and runs run_lumped() on the run substream
+  // Rng(seed, 2r+1) — the init substream Rng(seed, 2r) is unused because
+  // lumped initialization is deterministic.  make_protocol is ignored (pass
+  // an empty factory), and fault_plan / steady_state must be unset: the
+  // lumped engine supports neither decorators nor churn.  The factory bakes
+  // its own NoiseMatrix; keep `noise` equal to the baked matrix (it is part
+  // of the cache key) and fold every factory parameter into protocol_digest.
+  // Lumped cells fold a distinct engine kind into the cache key, so their
+  // entries never alias agent-engine entries for the same parameters.
+  std::function<LumpedSetup()> make_lumped{};
 };
 
 // Compact per-repetition outcome — the unit the cache stores.  Everything

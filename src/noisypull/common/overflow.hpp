@@ -1,0 +1,44 @@
+// Checked 64-bit arithmetic for population-scale accumulation.
+//
+// The lumped engine (sim/lumped_engine.hpp) carries per-class agent counts
+// up to n = 10¹², and its bookkeeping forms sums over classes and products
+// with the holding size h.  At those magnitudes silent wrap-around is a
+// plausible failure mode (n·h exceeds 2⁶⁴ already at n = 2⁵⁴, h = 1024), so
+// every accumulation on the n-scale paths goes through these helpers: the
+// throwing versions reject bad *inputs* (constructor validation), the
+// asserting versions guard *internal invariants* that a correct engine can
+// never violate.
+#pragma once
+
+#include <cstdint>
+
+#include "noisypull/common/check.hpp"
+
+namespace noisypull {
+
+// a + b, throwing std::invalid_argument on wrap-around (input validation).
+inline std::uint64_t checked_add(std::uint64_t a, std::uint64_t b,
+                                 const char* what) {
+  std::uint64_t out = 0;
+  NOISYPULL_CHECK(!__builtin_add_overflow(a, b, &out), what);
+  return out;
+}
+
+// a · b, throwing std::invalid_argument on wrap-around (input validation).
+inline std::uint64_t checked_mul(std::uint64_t a, std::uint64_t b,
+                                 const char* what) {
+  std::uint64_t out = 0;
+  NOISYPULL_CHECK(!__builtin_mul_overflow(a, b, &out), what);
+  return out;
+}
+
+// a + b, aborting on wrap-around (internal-invariant guard: sums of class
+// counts are bounded by the validated population size, so an overflow here
+// is engine corruption, not bad input).
+inline std::uint64_t invariant_add(std::uint64_t a, std::uint64_t b) noexcept {
+  std::uint64_t out = 0;
+  NOISYPULL_ASSERT(!__builtin_add_overflow(a, b, &out));
+  return out;
+}
+
+}  // namespace noisypull

@@ -41,6 +41,7 @@
 #include "noisypull/rng/rng.hpp"
 #include "noisypull/sim/adversary.hpp"
 #include "noisypull/sim/churn.hpp"
+#include "noisypull/sim/lumped_engine.hpp"
 #include "noisypull/sim/repeat.hpp"
 #include "noisypull/sim/runner.hpp"
 #include "noisypull/theory/bounds.hpp"

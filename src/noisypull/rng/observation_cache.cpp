@@ -130,6 +130,49 @@ double ObservationSampler::outcome_pmf(
   return std::exp(logpmf);
 }
 
+void ObservationSampler::split(Rng& rng, std::uint64_t k,
+                               const SplitVisitor& visit) const {
+  NOISYPULL_CHECK(mode_ == Mode::InverseCdf,
+                  "split() requires the inverse-CDF mode: the outcome space "
+                  "must be enumerable (see the reset() amortization gate)");
+  if (k == 0) return;
+  // Conditional-binomial chain over the enumeration, with the last
+  // *positive*-pmf outcome taking the leftover instead of a binomial draw
+  // (sample_multinomial's zero-tail rule).  The last positive outcome is not
+  // known until the walk ends, so emission lags one positive outcome behind:
+  // when a new positive outcome appears, the pending one is finalized with a
+  // binomial draw; whatever is pending at the end absorbs the remainder.
+  double wsum = total_mass_;
+  std::uint64_t remaining = k;
+  std::array<std::uint64_t, kMaxAlphabet> pending{};
+  double pending_pmf = 0.0;
+  bool have_pending = false;
+  enumerate([&](double pmf, std::span<const std::uint64_t> counts) {
+    if (pmf <= 0.0) return true;
+    if (have_pending) {
+      if (remaining == 0) return false;  // leftover 0: nothing more to place
+      if (wsum > 0.0) {
+        double p = pending_pmf / wsum;
+        if (p > 1.0) p = 1.0;  // guard round-off in the running mass
+        const std::uint64_t cnt = sample_binomial(rng, remaining, p);
+        if (cnt > 0) {
+          visit(cnt, std::span<const std::uint64_t>(pending.data(), d_));
+          remaining -= cnt;
+        }
+      }
+      wsum -= pending_pmf;
+    }
+    std::copy(counts.begin(), counts.end(), pending.begin());
+    pending_pmf = pmf;
+    have_pending = true;
+    return true;
+  });
+  NOISYPULL_ASSERT(have_pending);  // total_mass_ > 0 guarantees one outcome
+  if (remaining > 0) {
+    visit(remaining, std::span<const std::uint64_t>(pending.data(), d_));
+  }
+}
+
 void ObservationSampler::sample(Rng& rng, SymbolCounts& obs) const {
   NOISYPULL_CHECK(obs.size == d_,
                   "observation buffer does not match the sampler alphabet");

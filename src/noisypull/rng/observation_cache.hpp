@@ -41,6 +41,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -81,6 +82,24 @@ class ObservationSampler {
   // const, touches only the given rng and obs.  InverseCdf mode consumes
   // exactly one uniform per draw in both cache settings.
   void sample(Rng& rng, SymbolCounts& obs) const;
+
+  // Called by split() once per outcome that received a positive share:
+  // (share, outcome count vector of length d).
+  using SplitVisitor =
+      std::function<void(std::uint64_t, std::span<const std::uint64_t>)>;
+
+  // Splits k i.i.d. Multinomial(h, weights) draws over the outcome space in
+  // one pass — the population-level counterpart of k sample() calls: the
+  // vector of per-outcome shares is exactly Multinomial(k, outcome pmf),
+  // realized as the conditional-binomial chain along the canonical
+  // enumeration (rounding slack lands on the last positive-pmf outcome,
+  // mirroring sample_multinomial's zero-tail rule).  O(#outcomes) binomial
+  // draws regardless of k — the lumped engine's per-round workhorse
+  // (sim/lumped_engine.hpp).  Requires InverseCdf mode: when the gate chose
+  // Decomposition the outcome space is too large to enumerate and callers
+  // must fall back to per-draw sample().  Independent of the cache toggle
+  // (the walk never touches the cached partial sums).
+  void split(Rng& rng, std::uint64_t k, const SplitVisitor& visit) const;
 
  private:
   // Walks the canonical outcome enumeration; visit(pmf, counts) for every

@@ -89,6 +89,15 @@ class AgentAutomaton {
   virtual std::vector<WeightedState> transition(
       AutomatonState state, std::uint64_t round,
       const SymbolCounts& obs) const = 0;
+
+  // Opinion an agent in `state` reports — the PullProtocol::opinion
+  // counterpart, needed wherever convergence is judged from automaton states
+  // (AutomatonProtocol, sim/lumped_engine).  The default matches the
+  // TableAutomaton fuzz family's encoding (opinion = low state bit); the
+  // SF/SSF mirrors override it to read the interned `current` field.
+  virtual Opinion opinion(AutomatonState state) const {
+    return static_cast<Opinion>(state & 1);
+  }
 };
 
 // Deterministic display forgery for a whole class (FaultyEngine's Byzantine

@@ -152,6 +152,11 @@ std::vector<WeightedState> SfAutomaton::transition(
   return coin_split(intern(heads), intern(tails));
 }
 
+Opinion SfAutomaton::opinion(AutomatonState state) const {
+  NOISYPULL_ASSERT(state < states_.size());
+  return states_[state].current;
+}
+
 // --------------------------------------------------------------------------
 // SsfAutomaton
 
@@ -230,6 +235,11 @@ std::vector<WeightedState> SsfAutomaton::transition(
   return out;
 }
 
+Opinion SsfAutomaton::opinion(AutomatonState state) const {
+  NOISYPULL_ASSERT(state < states_.size());
+  return states_[state].current;
+}
+
 // --------------------------------------------------------------------------
 // AutomatonProtocol
 
@@ -274,7 +284,7 @@ void AutomatonProtocol::update(std::uint64_t agent, std::uint64_t round,
 
 Opinion AutomatonProtocol::opinion(std::uint64_t agent) const {
   NOISYPULL_CHECK(agent < agents_.size(), "agent index out of range");
-  return static_cast<Opinion>(agents_[agent].state & 1);
+  return agents_[agent].automaton->opinion(agents_[agent].state);
 }
 
 AutomatonState AutomatonProtocol::state(std::uint64_t agent) const {

@@ -82,6 +82,7 @@ class SfAutomaton final : public AgentAutomaton {
   std::vector<WeightedState> transition(AutomatonState state,
                                         std::uint64_t round,
                                         const SymbolCounts& obs) const override;
+  Opinion opinion(AutomatonState state) const override;
 
  private:
   struct Concrete {
@@ -123,6 +124,7 @@ class SsfAutomaton final : public AgentAutomaton {
   std::vector<WeightedState> transition(AutomatonState state,
                                         std::uint64_t round,
                                         const SymbolCounts& obs) const override;
+  Opinion opinion(AutomatonState state) const override;
 
  private:
   struct Concrete {

@@ -80,8 +80,12 @@ struct CliOptions {
   --window K      repeated-majority window; 0 = n
   --corruption C  none | random-state | wrong-consensus |
                   overflow-memory | desync-clocks      (ssf/tagless)
-  --engine E      aggregate | exact | sequential | heterogeneous
+  --engine E      aggregate | exact | sequential | heterogeneous | lumped
                                                        (default aggregate)
+                  lumped: O(#states)-per-round population dynamics (sf/ssf
+                  only, no faults/corruption; statistically equivalent to
+                  aggregate, not bit-identical — digests only compare
+                  lumped-to-lumped)
   --threads T     block-parallel lanes inside the engine (default 1);
                   results are bit-identical for every T
   --order O       random | ascending | descending      (sequential engine)
@@ -403,7 +407,63 @@ struct PullOutcome {
                "correct"}};
 };
 
+// Lumped-engine repetitions: histogram dynamics instead of agent records,
+// so population size is a configuration value (n = 10¹² works).  SF/SSF
+// only; fault injection and adversarial corruption act on individual agent
+// memories and have no population-level counterpart (sim/lumped_engine.hpp).
+int run_lumped_reps(const CliOptions& opt, std::uint64_t h, PullOutcome& out) {
+  if (opt.protocol != "sf" && opt.protocol != "ssf") {
+    std::fprintf(stderr,
+                 "error: --engine lumped supports --protocol sf | ssf\n");
+    return 2;
+  }
+  if (wants_faults(opt) || opt.corruption != "none") {
+    std::fprintf(stderr,
+                 "error: --engine lumped does not compose with fault "
+                 "injection or corruption (per-agent randomness)\n");
+    return 2;
+  }
+  const PopulationConfig pop{.n = opt.n, .s1 = opt.s1, .s0 = opt.s0};
+  const Opinion correct = pop.correct_opinion();
+  for (std::uint64_t rep = 0; rep < opt.reps; ++rep) {
+    // Same run-substream derivation as the agent engines; the init stream
+    // (2·rep) is unused because lumped initial states are deterministic.
+    Rng rng(opt.seed, 2 * rep + 1);
+    LumpedSetup setup;
+    if (opt.protocol == "sf") {
+      const SfSchedule schedule =
+          make_sf_schedule(pop, Holdings{h}, Delta{opt.delta}, C1{opt.c1});
+      setup = make_lumped_sf(pop, schedule, NoiseMatrix::uniform(2, opt.delta));
+    } else {
+      const auto m = ssf_memory_budget(pop, Delta{opt.delta}, C1{opt.c1});
+      setup = make_lumped_ssf(pop, Holdings{h}, MemoryBudget{m},
+                              NoiseMatrix::uniform(4, opt.delta));
+    }
+    const auto r =
+        run_lumped(*setup.engine, correct,
+                   RunConfig{.h = h,
+                             .max_rounds = opt.max_rounds,
+                             .stability_window = opt.stability,
+                             .record_trajectory = opt.trajectory && rep == 0},
+                   rng);
+    out.successes += r.all_correct_at_end ? 1 : 0;
+    out.digests.push_back(setup.engine->replay_digest());
+    if (rep == 0) out.trajectory = r.trajectory;
+    out.table.cell(rep)
+        .cell(r.all_correct_at_end ? "yes" : "no")
+        .cell(opt.stability == 0 ? "-" : (r.stable ? "yes" : "no"))
+        .cell(r.first_all_correct == kNever
+                  ? std::string("never")
+                  : std::to_string(r.first_all_correct))
+        .cell(r.rounds_run)
+        .cell(r.correct_at_end)
+        .end_row();
+  }
+  return 0;
+}
+
 int run_pull_reps(const CliOptions& opt, std::uint64_t h, PullOutcome& out) {
+  if (opt.engine == "lumped") return run_lumped_reps(opt, h, out);
   std::uint64_t num_sources = opt.s1 + opt.s0;
   if (opt.protocol == "kary" && !opt.kary_sources.empty()) {
     num_sources = 0;
