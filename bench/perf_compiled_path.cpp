@@ -1,0 +1,341 @@
+// PERF — machine-readable benchmark of the compiled-automaton fast path
+// (DESIGN.md §13) against the interpreted cached aggregate path.
+//
+// For each (protocol, n, h) configuration this times, on AggregateEngine
+// with the sampler cache ON and one lane:
+//   * interpreted_cached — the production protocol object (SourceFilter /
+//     SelfStabilizingSourceFilter / AutomatonProtocol) through the virtual
+//     display()/update() path, i.e. the pre-compiled production round loop;
+//   * compiled — the mirrored CompiledPopulation with set_compiled(true):
+//     memoized display table, (state id, outcome index) → packed-edge
+//     update table, no virtual dispatch in the hot loop.  The default build
+//     gate is left in place, so rounds whose fresh states would cost more
+//     to compile than to interpret (SSF memory accumulation) honestly fall
+//     back to the virtual path — the SSF row reports what a user of
+//     --compiled actually gets, not a forced best case.
+//
+// Before any timing, the harness replays every smoke-sized configuration
+// through BOTH paths (plus the compiled population's own virtual fallback)
+// and requires identical replay digests and final opinions — the in-binary
+// half of the bit-identity contract that tests/test_compiled_path.cpp pins
+// under ctest.  A mismatch fails the run before a single number is printed.
+//
+// Output is JSON (schema documented in EXPERIMENTS.md) written to --out
+// (default BENCH_compiled_path.json).  `--smoke` shrinks sizes for the CI
+// gate, whose tolerance check compares the smoke compiled/interpreted
+// throughput ratios against the committed full-run JSON.  hardware_threads
+// is recorded for honest reporting; all rows here are single-lane, so the
+// ratios are core-count-independent by construction.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>  // hardware_concurrency only; pooling lives in
+                   // common/thread_pool (lint: bench is allowlisted)
+#include <vector>
+
+#include "noisypull/noisypull.hpp"
+
+namespace {
+
+using namespace noisypull;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct Config {
+  const char* protocol;  // "table" | "sf" | "ssf"
+  std::uint64_t n;
+  std::uint64_t h;
+};
+
+// SF and Table run the binary channel at δ = 0.2 (the perf_round_kernel
+// operating point); SSF needs δ < 1/4 with headroom for its 4-symbol
+// alphabet, so it runs δ = 0.1 like the CLI's SSF default scenarios.
+constexpr double kSfDelta = 0.2;
+constexpr double kSsfDelta = 0.1;
+
+// A 2-state follow-the-majority table automaton (ties flip a fair coin via
+// the inverse-CDF default of TableAutomaton::compile): the minimal
+// round-homogeneous Table protocol, so the Table row isolates pure
+// dispatch + table-lookup cost with no schedule machinery on top.
+std::shared_ptr<const TableAutomaton> make_majority_automaton() {
+  std::vector<TableState> states(2);
+  states[0] = TableState{.show = 0, .watch_a = 0, .watch_b = 1,
+                         .if_greater = 0, .if_less = 1, .tie_a = 0,
+                         .tie_b = 1};
+  states[1] = TableState{.show = 1, .watch_a = 0, .watch_b = 1,
+                         .if_greater = 0, .if_less = 1, .tie_a = 1,
+                         .tie_b = 0};
+  return std::make_shared<TableAutomaton>(2, std::move(states));
+}
+
+// Interpreted production protocol + its compiled mirror, built with the
+// same agent layout so trajectories are comparable draw for draw.
+struct Setup {
+  std::unique_ptr<PullProtocol> interpreted;
+  std::unique_ptr<CompiledPopulation> compiled;
+  std::shared_ptr<const AgentAutomaton> keepalive;  // table: shared automaton
+  NoiseMatrix noise;
+  std::uint64_t horizon;  // 0: no intrinsic schedule, rounds just count up
+};
+
+Setup make_setup(const Config& cfg) {
+  if (std::strcmp(cfg.protocol, "sf") == 0) {
+    const PopulationConfig pop{.n = cfg.n, .s1 = 1, .s0 = 0};
+    const SfSchedule schedule =
+        make_sf_schedule(pop, Holdings{cfg.h}, Delta{kSfDelta}, C1{2.0});
+    return Setup{.interpreted = std::make_unique<SourceFilter>(pop, schedule),
+                 .compiled = make_compiled_sf(pop, schedule),
+                 .keepalive = nullptr,
+                 .noise = NoiseMatrix::uniform(2, kSfDelta),
+                 .horizon = schedule.total_rounds()};
+  }
+  if (std::strcmp(cfg.protocol, "ssf") == 0) {
+    const PopulationConfig pop{.n = cfg.n, .s1 = 1, .s0 = 0};
+    const MemoryBudget m{ssf_memory_budget(pop, Delta{kSsfDelta}, C1{2.0})};
+    return Setup{
+        .interpreted = std::make_unique<SelfStabilizingSourceFilter>(
+            SelfStabilizingSourceFilter::with_memory_budget(
+                pop, Holdings{cfg.h}, m)),
+        .compiled = make_compiled_ssf(pop, m),
+        .keepalive = nullptr,
+        .noise = NoiseMatrix::uniform(4, kSsfDelta),
+        .horizon = 0};
+  }
+  NOISYPULL_CHECK(std::strcmp(cfg.protocol, "table") == 0,
+                  "unknown bench protocol");
+  auto automaton = make_majority_automaton();
+  const std::uint64_t minority = cfg.n / 16;
+  std::vector<AutomatonGroup> igroups{
+      {cfg.n - minority, automaton.get(), 0}, {minority, automaton.get(), 1}};
+  std::vector<CompiledGroup> cgroups{{cfg.n - minority, automaton, 0},
+                                     {minority, automaton, 1}};
+  return Setup{
+      .interpreted = std::make_unique<AutomatonProtocol>(std::move(igroups)),
+      .compiled =
+          std::make_unique<CompiledPopulation>(std::move(cgroups), 0),
+      .keepalive = automaton,
+      .noise = NoiseMatrix::uniform(2, kSfDelta),
+      .horizon = 0};
+}
+
+// All timing runs share one named seed: throughput, not the stream
+// identity, is what these measurements compare.
+constexpr std::uint64_t kTimingSeed = 1;
+
+enum class Path {
+  Interpreted,      // production protocol, virtual dispatch, cache on
+  CompiledVirtual,  // CompiledPopulation through the virtual path
+  Compiled,         // CompiledPopulation with set_compiled(true)
+};
+
+PullProtocol& pick_protocol(Setup& s, Path path) {
+  return path == Path::Interpreted ? *s.interpreted : *s.compiled;
+}
+
+double time_rounds(const Config& cfg, Path path, std::uint64_t rounds) {
+  Setup s = make_setup(cfg);
+  PullProtocol& protocol = pick_protocol(s, path);
+  AggregateEngine engine;
+  engine.set_compiled(path == Path::Compiled);
+  Rng rng(kTimingSeed);
+  const std::uint64_t horizon = s.horizon;
+  const auto round_at = [horizon](std::uint64_t r) {
+    return horizon > 0 ? r % horizon : r;
+  };
+  engine.step(protocol, s.noise, Holdings{cfg.h}, round_at(0), rng);  // warm-up
+  const auto start = Clock::now();
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    engine.step(protocol, s.noise, Holdings{cfg.h}, round_at(r + 1), rng);
+  }
+  const double elapsed = seconds_since(start);
+  return static_cast<double>(rounds) / (elapsed > 0.0 ? elapsed : 1e-9);
+}
+
+struct RunOut {
+  std::uint64_t digest = 0;
+  std::vector<Opinion> opinions;
+  bool operator==(const RunOut&) const = default;
+};
+
+RunOut replay(const Config& cfg, Path path, std::uint64_t rounds) {
+  Setup s = make_setup(cfg);
+  PullProtocol& protocol = pick_protocol(s, path);
+  AggregateEngine engine;
+  engine.set_compiled(path == Path::Compiled);
+  Rng rng(kTimingSeed);
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    const std::uint64_t round = s.horizon > 0 ? r % s.horizon : r;
+    engine.step(protocol, s.noise, Holdings{cfg.h}, round, rng);
+  }
+  RunOut out{.digest = engine.replay_digest(), .opinions = {}};
+  out.opinions.reserve(protocol.num_agents());
+  for (std::uint64_t i = 0; i < protocol.num_agents(); ++i) {
+    out.opinions.push_back(protocol.opinion(i));
+  }
+  return out;
+}
+
+// The in-binary bit-identity gate: production interpreted, compiled-virtual
+// fallback, and compiled fast path must agree on replay digest AND final
+// opinions for every configuration given.  Runs before any timing so a
+// broken fast path can never publish throughput numbers.
+bool check_identity(std::span<const Config> configs, std::uint64_t rounds) {
+  bool ok = true;
+  for (const Config& cfg : configs) {
+    const RunOut reference = replay(cfg, Path::Interpreted, rounds);
+    for (const Path path : {Path::CompiledVirtual, Path::Compiled}) {
+      const RunOut got = replay(cfg, path, rounds);
+      if (got == reference) continue;
+      ok = false;
+      std::fprintf(stderr,
+                   "identity violation: protocol=%s n=%llu h=%llu path=%s "
+                   "(digest %016llx vs %016llx, opinions %s)\n",
+                   cfg.protocol, static_cast<unsigned long long>(cfg.n),
+                   static_cast<unsigned long long>(cfg.h),
+                   path == Path::Compiled ? "compiled" : "compiled-virtual",
+                   static_cast<unsigned long long>(got.digest),
+                   static_cast<unsigned long long>(reference.digest),
+                   got.opinions == reference.opinions ? "equal" : "DIFFER");
+    }
+  }
+  return ok;
+}
+
+struct ConfigResult {
+  Config config;
+  std::uint64_t rounds_timed;
+  double interpreted_rounds_per_sec;
+  double compiled_rounds_per_sec;
+};
+
+ConfigResult run_config(const Config& cfg, bool smoke) {
+  // Calibrate the repetition count off one interpreted round so both paths
+  // of a config are timed over the same number of rounds.
+  std::uint64_t rounds = 3;
+  if (!smoke) {
+    const double probe = time_rounds(cfg, Path::Interpreted, 1);
+    const double per_round = 1.0 / probe;
+    const double target_seconds = 0.5;
+    double r = target_seconds / (per_round > 0.0 ? per_round : 1e-9);
+    if (r < 3.0) r = 3.0;
+    if (r > 200.0) r = 200.0;
+    rounds = static_cast<std::uint64_t>(r);
+  }
+  return ConfigResult{
+      .config = cfg,
+      .rounds_timed = rounds,
+      .interpreted_rounds_per_sec = time_rounds(cfg, Path::Interpreted, rounds),
+      .compiled_rounds_per_sec = time_rounds(cfg, Path::Compiled, rounds)};
+}
+
+void emit_json(std::FILE* out, bool smoke,
+               std::span<const ConfigResult> results) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"compiled_path\",\n");
+  std::fprintf(out, "  \"schema_version\": 1,\n");
+  std::fprintf(out, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(out, "  \"hardware_threads\": %u,\n", hw);
+  // All rows are single-lane AggregateEngine, sampler cache ON, so the
+  // compiled/interpreted ratio does not depend on the core count; the field
+  // is recorded anyway for honest provenance of the absolute numbers.
+  std::fprintf(out, "  \"threads_per_row\": 1,\n");
+  std::fprintf(out, "  \"identity_checked\": true,\n");
+  std::fprintf(out, "  \"configs\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::fprintf(out, "    {\n");
+    std::fprintf(out, "      \"protocol\": \"%s\",\n", r.config.protocol);
+    std::fprintf(out, "      \"n\": %llu,\n",
+                 static_cast<unsigned long long>(r.config.n));
+    std::fprintf(out, "      \"h\": %llu,\n",
+                 static_cast<unsigned long long>(r.config.h));
+    std::fprintf(out, "      \"rounds_timed\": %llu,\n",
+                 static_cast<unsigned long long>(r.rounds_timed));
+    std::fprintf(out,
+                 "      \"interpreted_cached\": { \"rounds_per_sec\": %.4f "
+                 "},\n",
+                 r.interpreted_rounds_per_sec);
+    std::fprintf(out, "      \"compiled\": { \"rounds_per_sec\": %.4f },\n",
+                 r.compiled_rounds_per_sec);
+    std::fprintf(out, "      \"speedup_compiled_vs_interpreted\": %.4f\n",
+                 r.compiled_rounds_per_sec / r.interpreted_rounds_per_sec);
+    std::fprintf(out, "    }%s\n", i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n");
+  std::fprintf(out, "}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_compiled_path.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--smoke") {
+      smoke = true;
+    } else if (a == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: perf_compiled_path [--smoke] [--out PATH]\n");
+      return 2;
+    }
+  }
+
+  // Identity gate at smoke sizes, in every mode (cheap: a few seconds).
+  const Config identity_configs[] = {
+      {.protocol = "table", .n = 20000, .h = 8},
+      {.protocol = "sf", .n = 20000, .h = 4},
+      {.protocol = "ssf", .n = 2000, .h = 4},
+  };
+  std::printf("perf_compiled_path: identity gate (3 protocols x 3 paths)\n");
+  if (!check_identity(identity_configs, /*rounds=*/48)) {
+    std::fprintf(stderr, "perf_compiled_path: identity gate FAILED\n");
+    return 1;
+  }
+  std::printf("perf_compiled_path: identity gate passed\n");
+
+  std::vector<Config> configs;
+  if (smoke) {
+    configs.assign(std::begin(identity_configs), std::end(identity_configs));
+  } else {
+    configs.push_back(Config{.protocol = "sf", .n = 1000000, .h = 4});
+    configs.push_back(Config{.protocol = "sf", .n = 100000, .h = 16});
+    configs.push_back(Config{.protocol = "table", .n = 1000000, .h = 8});
+    configs.push_back(Config{.protocol = "ssf", .n = 20000, .h = 4});
+  }
+
+  std::vector<ConfigResult> results;
+  for (const Config& cfg : configs) {
+    std::printf("perf_compiled_path: %s n=%llu h=%llu ...\n", cfg.protocol,
+                static_cast<unsigned long long>(cfg.n),
+                static_cast<unsigned long long>(cfg.h));
+    results.push_back(run_config(cfg, smoke));
+    const auto& r = results.back();
+    std::printf("  interpreted cached: %.2f rounds/s\n",
+                r.interpreted_rounds_per_sec);
+    std::printf("  compiled:           %.2f rounds/s (%.2fx)\n",
+                r.compiled_rounds_per_sec,
+                r.compiled_rounds_per_sec / r.interpreted_rounds_per_sec);
+  }
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "perf_compiled_path: cannot open %s\n",
+                 out_path.c_str());
+    return 1;
+  }
+  emit_json(out, smoke, results);
+  std::fclose(out);
+  std::printf("perf_compiled_path: wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -9,7 +9,12 @@
 //     is unchanged);
 //   * the current kernel at several lane counts with the cache on, plus
 //     one lane with the cache off, each reported as rounds/sec and as a
-//     speedup over the legacy serial baseline.
+//     speedup over the legacy serial baseline;
+//   * for aggregate configs, one compiled-fast-path row (DESIGN.md §13):
+//     the mirrored CompiledPopulation under set_compiled(true), one lane,
+//     cache on — the focused compiled-vs-interpreted comparison lives in
+//     perf_compiled_path, this row just keeps the kernel bench's speedup
+//     ladder complete (legacy → kernel → compiled) in one JSON.
 //
 // Output is JSON (schema documented in EXPERIMENTS.md) written to --out
 // (default BENCH_round_kernel.json in the working directory), so CI can
@@ -55,6 +60,7 @@ struct ConfigResult {
   std::uint64_t rounds_timed;
   double legacy_rounds_per_sec;
   std::vector<Variant> variants;
+  double compiled_rounds_per_sec = 0.0;  // 0: no compiled path (exact engine)
 };
 
 SourceFilter make_protocol(const Config& cfg) {
@@ -110,6 +116,28 @@ void legacy_exact_round(SourceFilter& protocol, const NoiseMatrix& noise,
 // All timing runs share one named seed: throughput, not the
 // stream identity, is what these measurements compare.
 constexpr std::uint64_t kTimingSeed = 1;
+
+// The compiled fast path runs the SF population as a CompiledPopulation
+// (same schedule as make_protocol, so the horizon and per-round work match)
+// under AggregateEngine with set_compiled(true): single lane, cache on.
+double time_compiled_rounds(const Config& cfg, std::uint64_t rounds) {
+  const PopulationConfig pop{.n = cfg.n, .s1 = 1, .s0 = 0};
+  const SfSchedule schedule =
+      make_sf_schedule(pop, Holdings{cfg.h}, Delta{0.2}, C1{2.0});
+  const auto protocol = make_compiled_sf(pop, schedule);
+  const auto noise = NoiseMatrix::uniform(2, 0.2);
+  AggregateEngine engine;
+  engine.set_compiled(true);
+  Rng rng(kTimingSeed);
+  const std::uint64_t horizon = protocol->planned_rounds();
+  engine.step(*protocol, noise, Holdings{cfg.h}, 0, rng);  // warm-up (untimed)
+  const auto start = Clock::now();
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    engine.step(*protocol, noise, Holdings{cfg.h}, (r + 1) % horizon, rng);
+  }
+  const double elapsed = seconds_since(start);
+  return static_cast<double>(rounds) / (elapsed > 0.0 ? elapsed : 1e-9);
+}
 
 template <typename RoundFn>
 double time_rounds(const Config& cfg, std::uint64_t rounds, RoundFn&& fn) {
@@ -185,6 +213,9 @@ ConfigResult run_config(const Config& cfg, bool smoke,
   result.variants.push_back(
       Variant{.threads = 1, .cache = false,
               .rounds_per_sec = kernel(1, false)});
+  if (aggregate) {
+    result.compiled_rounds_per_sec = time_compiled_rounds(cfg, rounds);
+  }
   return result;
 }
 
@@ -193,7 +224,7 @@ void emit_json(std::FILE* out, bool smoke,
   const unsigned hw = std::thread::hardware_concurrency();
   std::fprintf(out, "{\n");
   std::fprintf(out, "  \"bench\": \"round_kernel\",\n");
-  std::fprintf(out, "  \"schema_version\": 2,\n");
+  std::fprintf(out, "  \"schema_version\": 3,\n");
   std::fprintf(out, "  \"smoke\": %s,\n", smoke ? "true" : "false");
   std::fprintf(out, "  \"hardware_threads\": %u,\n", hw);
   // Honest-reporting fields: on a 1-core machine no threads>1 row can beat
@@ -234,7 +265,16 @@ void emit_json(std::FILE* out, bool smoke,
                    var.rounds_per_sec / r.legacy_rounds_per_sec,
                    v + 1 < r.variants.size() ? "," : "");
     }
-    std::fprintf(out, "      ]\n");
+    std::fprintf(out, "      ]%s\n",
+                 r.compiled_rounds_per_sec > 0.0 ? "," : "");
+    if (r.compiled_rounds_per_sec > 0.0) {
+      std::fprintf(out,
+                   "      \"compiled\": { \"threads\": 1, \"cache\": true, "
+                   "\"rounds_per_sec\": %.4f, "
+                   "\"speedup_vs_legacy_serial\": %.4f }\n",
+                   r.compiled_rounds_per_sec,
+                   r.compiled_rounds_per_sec / r.legacy_rounds_per_sec);
+    }
     std::fprintf(out, "    }%s\n", i + 1 < results.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n");
@@ -337,6 +377,11 @@ int main(int argc, char** argv) {
       std::printf("  threads=%u cache=%s: %.2f rounds/s (%.2fx)\n", v.threads,
                   v.cache ? "on" : "off", v.rounds_per_sec,
                   v.rounds_per_sec / r.legacy_rounds_per_sec);
+    }
+    if (r.compiled_rounds_per_sec > 0.0) {
+      std::printf("  compiled (1 lane): %.2f rounds/s (%.2fx)\n",
+                  r.compiled_rounds_per_sec,
+                  r.compiled_rounds_per_sec / r.legacy_rounds_per_sec);
     }
   }
 

@@ -6,6 +6,14 @@
 //   3. SSF without the source-tag bit (TaglessSsf): self-stabilization
 //      breaks — a wrong-consensus corruption sticks;
 //   4. SF on a non-uniform channel with vs without the Theorem 8 reduction.
+//
+// All three sections share one experiment-scheduler queue
+// (analysis/scheduler.hpp): `--threads` drains cells concurrently,
+// `--ci-halfwidth`/`--max-reps` opt into adaptive early stopping, and
+// `--cache-dir` reuses previously computed repetitions.  Cell seeds keep
+// the legacy run_repetitions derivations (13000/13100/13200 + s,
+// 14000/14100 + policy, 15000/15100), so every trajectory — and the printed
+// tables — are bit-identical to the pre-scheduler bench.
 #include "bench_common.hpp"
 
 namespace {
@@ -36,6 +44,28 @@ ProtocolFactory tagless_factory(const PopulationConfig& pop, std::uint64_t m,
   };
 }
 
+// Protocol-construction digests for the factories above, mirroring
+// bench_common's sf_digest/ssf_digest: protocol type plus every captured
+// construction parameter.  The listening-phase variants capture a schedule
+// derived from (pop, h, delta, c1), so those are what the key folds.
+std::uint64_t eager_digest(const PopulationConfig& pop, Holdings h,
+                           Delta delta, C1 c1 = kC1) {
+  return CellKey().str("EagerSourceFilter").u64(pop.n).u64(pop.s1).u64(pop.s0)
+      .u64(h.get()).f64(delta.get()).f64(c1.get()).digest();
+}
+
+std::uint64_t alternating_digest(const PopulationConfig& pop, Holdings h,
+                                 Delta delta, C1 c1 = kC1) {
+  return CellKey().str("AlternatingSourceFilter").u64(pop.n).u64(pop.s1)
+      .u64(pop.s0).u64(h.get()).f64(delta.get()).f64(c1.get()).digest();
+}
+
+std::uint64_t tagless_digest(const PopulationConfig& pop, std::uint64_t m,
+                             CorruptionPolicy policy) {
+  return CellKey().str("TaglessSsf").u64(pop.n).u64(pop.s1).u64(pop.s0)
+      .u64(pop.n).u64(m).str(to_string(policy)).digest();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -51,27 +81,124 @@ int main(int argc, char** argv) {
   const auto noise = NoiseMatrix::uniform(2, delta);
   const std::uint64_t reps = 12;
 
-  // (1)+(2): listening-phase variants across bias values.
+  // All sections' cells go into one flat queue; each section remembers the
+  // index range its table reads back.
+  std::vector<ExperimentCell> cells;
+
+  // (1)+(2): listening-phase variants across bias values.  Three cells per
+  // bias in protocol order SF, alternating, eager.
+  const std::uint64_t biases[] = {1, 4, 64};
+  const std::uint64_t listening_n = 2000;
+  for (const std::uint64_t s : biases) {
+    const PopulationConfig pop{.n = listening_n, .s1 = s, .s0 = 0};
+    const std::uint64_t n = pop.n;
+    const auto sched = make_sf_schedule(pop, Holdings{n}, Delta{delta}, kC1);
+    struct Variant {
+      ProtocolFactory factory;
+      std::uint64_t seed;
+      std::uint64_t digest;
+    };
+    const Variant variants[] = {
+        {sf_factory(pop, Holdings{n}, Delta{delta}), 13000 + s,
+         sf_digest(pop, Holdings{n}, Delta{delta})},
+        {alternating_factory(pop, sched), 13100 + s,
+         alternating_digest(pop, Holdings{n}, Delta{delta})},
+        {eager_factory(pop, sched), 13200 + s,
+         eager_digest(pop, Holdings{n}, Delta{delta})},
+    };
+    for (const Variant& v : variants) {
+      cells.push_back(ExperimentCell{
+          .label = "listening s=" + std::to_string(s) + " seed=" +
+                   std::to_string(v.seed),
+          .make_protocol = v.factory,
+          .noise = noise,
+          .correct = pop.correct_opinion(),
+          .cfg = RunConfig{.h = n},
+          .seed = v.seed,
+          .protocol_digest = v.digest});
+    }
+  }
+  const std::size_t tag_base = cells.size();
+
+  // (3): the SSF source tag under wrong-consensus corruption.  Two cells per
+  // policy in protocol order SSF, tagless.
+  const double dssf = 0.05;
+  const std::uint64_t tag_n = 1000;
+  const PopulationConfig tag_pop{.n = tag_n, .s1 = 2, .s0 = 0};
+  const SelfStabilizingSourceFilter tag_ref(tag_pop, Holdings{tag_n},
+                                            Delta{dssf}, kC1);
+  for (const auto policy :
+       {CorruptionPolicy::None, CorruptionPolicy::WrongConsensus}) {
+    cells.push_back(ExperimentCell{
+        .label = std::string("tag ssf ") + std::string(to_string(policy)),
+        .make_protocol = ssf_factory(tag_pop, Holdings{tag_n}, Delta{dssf},
+                                     policy),
+        .noise = NoiseMatrix::uniform(4, dssf),
+        .correct = tag_pop.correct_opinion(),
+        .cfg = RunConfig{.h = tag_n,
+                         .max_rounds = tag_ref.convergence_deadline()},
+        .seed = 14000 + static_cast<std::uint64_t>(policy),
+        .protocol_digest =
+            ssf_digest(tag_pop, Holdings{tag_n}, Delta{dssf}, policy)});
+    cells.push_back(ExperimentCell{
+        .label = std::string("tag tagless ") + std::string(to_string(policy)),
+        .make_protocol = tagless_factory(tag_pop, tag_ref.memory_budget(),
+                                         policy),
+        .noise = NoiseMatrix::uniform(2, dssf),
+        .correct = tag_pop.correct_opinion(),
+        .cfg = RunConfig{.h = tag_n,
+                         .max_rounds = tag_ref.convergence_deadline()},
+        .seed = 14100 + static_cast<std::uint64_t>(policy),
+        .protocol_digest =
+            tagless_digest(tag_pop, tag_ref.memory_budget(), policy)});
+  }
+  const std::size_t reduction_base = cells.size();
+
+  // (4): Theorem 8 reduction on vs off for a skewed channel.  The "with"
+  // cell composes the reduction's artificial noise behind the raw channel —
+  // ExperimentCell::artificial_noise, folded into the cache key by the
+  // scheduler.
+  const NoiseMatrix raw(Matrix{0.97, 0.03, 0.25, 0.75});
+  const auto red = reduce_to_uniform(raw);
+  const PopulationConfig red_pop{.n = 2000, .s1 = 1, .s0 = 0};
+  cells.push_back(ExperimentCell{
+      .label = "reduction artificial",
+      .make_protocol =
+          sf_factory(red_pop, Holdings{red_pop.n}, Delta{red.delta_prime}),
+      .noise = raw,
+      .correct = red_pop.correct_opinion(),
+      .cfg = RunConfig{.h = red_pop.n},
+      .seed = 15000,
+      .protocol_digest =
+          sf_digest(red_pop, Holdings{red_pop.n}, Delta{red.delta_prime}),
+      .use_aggregate_engine = true,
+      .artificial_noise = red.artificial});
+  // Without the reduction, tune SF to the tightest upper bound and run on
+  // the raw (asymmetric) channel directly.
+  cells.push_back(ExperimentCell{
+      .label = "reduction raw",
+      .make_protocol = sf_factory(red_pop, Holdings{red_pop.n},
+                                  Delta{raw.tightest_upper_bound()}),
+      .noise = raw,
+      .correct = red_pop.correct_opinion(),
+      .cfg = RunConfig{.h = red_pop.n},
+      .seed = 15100,
+      .protocol_digest = sf_digest(red_pop, Holdings{red_pop.n},
+                                   Delta{raw.tightest_upper_bound()})});
+
+  const auto stats = run_experiment(cells, scheduler_options(args, reps));
+  warn_if_degraded(stats);
+
   {
     Table table({"n", "bias s", "SF", "alternating", "eager (no listening)"});
-    for (std::uint64_t n : {2000ULL}) {
-      for (std::uint64_t s : {1ULL, 4ULL, 64ULL}) {
-        const PopulationConfig pop{.n = n, .s1 = s, .s0 = 0};
-        const auto sched = make_sf_schedule(pop, Holdings{n}, Delta{delta},
-                                            kC1);
-        auto rate = [&](const ProtocolFactory& f, std::uint64_t seed) {
-          return success_rate(run_repetitions(
-              f, noise, pop.correct_opinion(), RunConfig{.h = n},
-              RepeatOptions{.repetitions = reps, .seed = seed}));
-        };
-        table.cell(n)
-            .cell(s)
-            .cell(rate(sf_factory(pop, Holdings{n}, Delta{delta}), 13000 + s),
-                  2)
-            .cell(rate(alternating_factory(pop, sched), 13100 + s), 2)
-            .cell(rate(eager_factory(pop, sched), 13200 + s), 2)
-            .end_row();
-      }
+    for (std::size_t si = 0; si < sizeof(biases) / sizeof(biases[0]); ++si) {
+      const std::size_t base = si * 3;
+      table.cell(listening_n)
+          .cell(biases[si])
+          .cell(stats[base].success_rate, 2)
+          .cell(stats[base + 1].success_rate, 2)
+          .cell(stats[base + 2].success_rate, 2)
+          .end_row();
     }
     args.emit(table, "_listening");
     std::printf(
@@ -80,35 +207,17 @@ int main(int argc, char** argv) {
         "once s approaches sqrt(n).\n\n");
   }
 
-  // (3): the SSF source tag under wrong-consensus corruption.
   {
-    const double dssf = 0.05;
     Table table({"n", "protocol", "corruption", "success"});
-    for (std::uint64_t n : {1000ULL}) {
-      const PopulationConfig pop{.n = n, .s1 = 2, .s0 = 0};
-      const SelfStabilizingSourceFilter ref(pop, Holdings{n}, Delta{dssf}, kC1);
-      for (const auto policy :
-           {CorruptionPolicy::None, CorruptionPolicy::WrongConsensus}) {
-        const auto ssf_rate = success_rate(run_repetitions(
-            ssf_factory(pop, Holdings{n}, Delta{dssf},
-                policy), NoiseMatrix::uniform(4, dssf),
-            pop.correct_opinion(),
-            RunConfig{.h = n, .max_rounds = ref.convergence_deadline()},
-            RepeatOptions{.repetitions = reps,
-                          .seed = 14000 + static_cast<std::uint64_t>(policy)}));
-        const auto tagless_rate = success_rate(run_repetitions(
-            tagless_factory(pop, ref.memory_budget(), policy),
-            NoiseMatrix::uniform(2, dssf), pop.correct_opinion(),
-            RunConfig{.h = n, .max_rounds = ref.convergence_deadline()},
-            RepeatOptions{.repetitions = reps,
-                          .seed = 14100 + static_cast<std::uint64_t>(policy)}));
-        table.cell(n).cell("SSF (2-bit)").cell(to_string(policy)).cell(
-            ssf_rate, 2);
-        table.end_row();
-        table.cell(n).cell("tagless (1-bit)").cell(to_string(policy)).cell(
-            tagless_rate, 2);
-        table.end_row();
-      }
+    std::size_t idx = tag_base;
+    for (const auto policy :
+         {CorruptionPolicy::None, CorruptionPolicy::WrongConsensus}) {
+      table.cell(tag_n).cell("SSF (2-bit)").cell(to_string(policy)).cell(
+          stats[idx++].success_rate, 2);
+      table.end_row();
+      table.cell(tag_n).cell("tagless (1-bit)").cell(to_string(policy)).cell(
+          stats[idx++].success_rate, 2);
+      table.end_row();
     }
     args.emit(table, "_tag");
     std::printf(
@@ -116,34 +225,15 @@ int main(int argc, char** argv) {
         "from the wrong-consensus corruption (majority locks it in).\n\n");
   }
 
-  // (4): Theorem 8 reduction on vs off for a skewed channel.
   {
-    const NoiseMatrix raw(Matrix{0.97, 0.03, 0.25, 0.75});
-    const auto red = reduce_to_uniform(raw);
-    const PopulationConfig pop{.n = 2000, .s1 = 1, .s0 = 0};
     Table table({"channel handling", "tuned delta", "success"});
-
-    const auto with = run_repetitions(
-        sf_factory(pop, Holdings{pop.n},
-            Delta{red.delta_prime}), raw, pop.correct_opinion(),
-        RunConfig{.h = pop.n},
-        RepeatOptions{.repetitions = reps,
-                      .seed = 15000,
-                      .artificial_noise = red.artificial});
-    // Without the reduction, tune SF to the tightest upper bound and run on
-    // the raw (asymmetric) channel directly.
-    const auto without = run_repetitions(
-        sf_factory(pop, Holdings{pop.n},
-                   Delta{raw.tightest_upper_bound()}), raw,
-        pop.correct_opinion(), RunConfig{.h = pop.n},
-        RepeatOptions{.repetitions = reps, .seed = 15100});
     table.cell("Theorem 8 reduction (artificial noise)")
         .cell(red.delta_prime, 3)
-        .cell(success_rate(with), 2)
+        .cell(stats[reduction_base].success_rate, 2)
         .end_row();
     table.cell("raw asymmetric channel")
         .cell(raw.tightest_upper_bound(), 3)
-        .cell(success_rate(without), 2)
+        .cell(stats[reduction_base + 1].success_rate, 2)
         .end_row();
     args.emit(table, "_reduction");
     std::printf(

@@ -1,0 +1,214 @@
+#include "noisypull/core/automaton/compiled_population.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace noisypull {
+
+CompiledPopulation::CompiledPopulation(std::vector<CompiledGroup> groups,
+                                       std::uint64_t planned_rounds)
+    : planned_rounds_(planned_rounds) {
+  NOISYPULL_CHECK(!groups.empty(), "compiled population needs agents");
+  for (CompiledGroup& cg : groups) {
+    NOISYPULL_CHECK(cg.count >= 1, "empty compiled group");
+    NOISYPULL_CHECK(cg.automaton != nullptr, "group needs an automaton");
+    if (alphabet_ == 0) alphabet_ = cg.automaton->alphabet_size();
+    NOISYPULL_CHECK(cg.automaton->alphabet_size() == alphabet_,
+                    "all groups must share one alphabet");
+    const auto gi = static_cast<std::uint32_t>(groups_.size());
+    Group g;
+    g.automaton = std::move(cg.automaton);
+    g.agent_begin = state_.size();
+    g.agent_end = state_.size() + cg.count;
+    groups_.push_back(std::move(g));
+    for (std::uint64_t i = 0; i < cg.count; ++i) {
+      group_of_.push_back(gi);
+      state_.push_back(cg.initial);
+    }
+  }
+  num_agents_ = state_.size();
+}
+
+Symbol CompiledPopulation::display(std::uint64_t agent,
+                                   std::uint64_t round) const {
+  NOISYPULL_CHECK(agent < num_agents_, "agent index out of range");
+  const Group& g = groups_[group_of_[agent]];
+  return g.automaton->display(state_[agent], round);
+}
+
+void CompiledPopulation::update(std::uint64_t agent, std::uint64_t round,
+                                const SymbolCounts& obs, Rng& rng) {
+  NOISYPULL_CHECK(agent < num_agents_, "agent index out of range");
+  const Group& g = groups_[group_of_[agent]];
+  // compile() handles arbitrary observation totals (fault decorators may
+  // deliver fewer than h) and resolve() consumes the rng exactly as the
+  // mirrored production protocol would — see AgentAutomaton::compile.
+  const CompiledEdge e = g.automaton->compile(state_[agent], round, obs);
+  state_[agent] = e.resolve(rng);
+}
+
+Opinion CompiledPopulation::opinion(std::uint64_t agent) const {
+  NOISYPULL_CHECK(agent < num_agents_, "agent index out of range");
+  const Group& g = groups_[group_of_[agent]];
+  return g.automaton->opinion(state_[agent]);
+}
+
+void CompiledPopulation::begin_display_round(std::uint64_t round) {
+  for (Group& g : groups_) {
+    const std::uint64_t sig = g.automaton->display_signature(round);
+    if (!g.display_sig_valid || g.display_sig != sig) {
+      g.display_table.clear();
+      g.display_sig = sig;
+      g.display_sig_valid = true;
+    }
+  }
+}
+
+void CompiledPopulation::extend_display_table(Group& g, std::uint64_t round,
+                                              AutomatonState s) {
+  // Interned ids are contiguous, so filling [size, s] covers every id the
+  // population can currently hold.  One virtual display() per new state —
+  // the only virtual calls of the whole display phase.
+  for (auto id = static_cast<AutomatonState>(g.display_table.size()); id <= s;
+       ++id) {
+    g.display_table.push_back(g.automaton->display(id, round));
+  }
+}
+
+namespace {
+
+// resize() with geometric capacity growth.  Interned state ids (and with
+// them the row tables) grow a little nearly every round; libstdc++'s
+// resize() allocates exactly the requested size, which would make the
+// repeated extensions quadratic in total copying.
+template <typename Vec>
+void grow_to(Vec& v, std::size_t size, typename Vec::value_type fill = {}) {
+  if (size <= v.size()) return;
+  if (v.capacity() < size) v.reserve(std::max(size, v.capacity() * 2));
+  v.resize(size, fill);
+}
+
+}  // namespace
+
+bool CompiledPopulation::build_update_tables(std::uint64_t round,
+                                             const ObservationSampler& sampler) {
+  NOISYPULL_CHECK(sampler.mode() == ObservationSampler::Mode::InverseCdf,
+                  "compiled update tables need an enumerable outcome space");
+  const std::uint64_t num_out = sampler.num_outcomes();
+  NOISYPULL_ASSERT(num_out >= 1);
+  for (Group& g : groups_) {
+    const std::uint64_t sig = g.automaton->update_signature(round);
+    UpdateTable& t = g.update_tables[sig];  // node-stable across inserts
+    if (t.num_outcomes == 0) t.num_outcomes = num_out;
+    NOISYPULL_CHECK(t.num_outcomes == num_out,
+                    "outcome space changed across rounds sharing an update "
+                    "signature (h and alphabet are fixed per run)");
+    g.active = &t;
+  }
+  // Occupancy pass: find the states agents actually hold at the start of
+  // this round whose rows are not yet compiled.  States created mid-round
+  // are never read back within the round (state writes are only re-read
+  // next round), so this is exhaustive for the coming parallel phase.
+  // row_built doubles as the visited mark (2 = pending this round).  Each
+  // group's agents are one contiguous index run (see the constructor), so
+  // the pass walks group ranges with the table hoisted — this O(n) scan
+  // runs every round and would otherwise pay a group lookup per agent.
+  pending_rows_.clear();
+  for (std::uint32_t gi = 0; gi < groups_.size(); ++gi) {
+    UpdateTable& t = *groups_[gi].active;
+    const std::uint64_t begin = groups_[gi].agent_begin;
+    const std::uint64_t end = groups_[gi].agent_end;
+    for (std::uint64_t i = begin; i < end; ++i) {
+      const AutomatonState s = state_[i];
+      if (s >= t.row_built.size()) grow_to(t.row_built, s + 1);
+      if (t.row_built[s] != 0) continue;
+      t.row_built[s] = 2;
+      pending_rows_.emplace_back(gi, s);
+    }
+  }
+
+  // Build gate (see the header): when compiling the missing rows costs more
+  // than the round they serve, un-mark and decline — the engine runs this
+  // round through the virtual per-agent path instead.
+  const double build_cost =
+      static_cast<double>(pending_rows_.size()) * static_cast<double>(num_out);
+  if (build_cost > table_build_limit_ * static_cast<double>(num_agents_)) {
+    for (const auto& [gi, s] : pending_rows_) {
+      groups_[gi].active->row_built[s] = 0;
+    }
+    return false;
+  }
+
+  for (const auto& [gi, s] : pending_rows_) {
+    Group& g = groups_[gi];
+    UpdateTable& t = *g.active;
+    t.row_built[s] = 1;
+    const std::uint64_t row = static_cast<std::uint64_t>(s) * t.num_outcomes;
+    grow_to(t.edges, row + t.num_outcomes);
+    sampler.for_each_outcome([&](std::uint64_t idx, const SymbolCounts& obs) {
+      const CompiledEdge e = g.automaton->compile(s, round, obs);
+      PackedEdge& p = t.edges[row + idx];
+      p.kind = static_cast<std::uint8_t>(e.kind);
+      p.target = e.target;
+      if (e.kind == CompiledEdge::Kind::InverseCdf) {
+        NOISYPULL_CHECK(!e.law.empty(), "empty transition law");
+        NOISYPULL_CHECK(t.law_prob.size() + e.law.size() <=
+                            static_cast<std::size_t>(~std::uint32_t{0}),
+                        "pooled law storage exceeds 32-bit indexing");
+        p.law_begin = static_cast<std::uint32_t>(t.law_prob.size());
+        p.law_len = static_cast<std::uint32_t>(e.law.size());
+        for (const WeightedState& ws : e.law) {
+          t.law_prob.push_back(ws.prob);
+          t.law_target.push_back(ws.state);
+        }
+      }
+    });
+  }
+  return true;
+}
+
+std::unique_ptr<CompiledPopulation> make_compiled_sf(
+    const PopulationConfig& pop, const SfSchedule& schedule) {
+  pop.validate();
+  std::vector<CompiledGroup> groups;
+  if (pop.s1 > 0) {
+    groups.push_back(
+        {pop.s1, std::make_shared<SfAutomaton>(schedule, true, Opinion{1}), 0});
+  }
+  if (pop.s0 > 0) {
+    groups.push_back(
+        {pop.s0, std::make_shared<SfAutomaton>(schedule, true, Opinion{0}), 0});
+  }
+  const std::uint64_t nonsources = pop.n - pop.num_sources();
+  if (nonsources > 0) {
+    groups.push_back(
+        {nonsources, std::make_shared<SfAutomaton>(schedule, false, Opinion{0}),
+         0});
+  }
+  return std::make_unique<CompiledPopulation>(std::move(groups),
+                                              schedule.total_rounds());
+}
+
+std::unique_ptr<CompiledPopulation> make_compiled_ssf(
+    const PopulationConfig& pop, MemoryBudget m) {
+  pop.validate();
+  std::vector<CompiledGroup> groups;
+  if (pop.s1 > 0) {
+    groups.push_back(
+        {pop.s1, std::make_shared<SsfAutomaton>(m, true, Opinion{1}), 0});
+  }
+  if (pop.s0 > 0) {
+    groups.push_back(
+        {pop.s0, std::make_shared<SsfAutomaton>(m, true, Opinion{0}), 0});
+  }
+  const std::uint64_t nonsources = pop.n - pop.num_sources();
+  if (nonsources > 0) {
+    groups.push_back(
+        {nonsources, std::make_shared<SsfAutomaton>(m, false, Opinion{0}), 0});
+  }
+  // SSF is self-stabilizing: no intrinsic horizon (planned_rounds = 0),
+  // matching SelfStabilizingSourceFilter.
+  return std::make_unique<CompiledPopulation>(std::move(groups), 0);
+}
+
+}  // namespace noisypull

@@ -1,0 +1,256 @@
+// CompiledPopulation — the production-scale adapter from interned automata
+// to the engines' compiled fast path (DESIGN.md §13).
+//
+// Per-agent protocol state is ONE flat std::vector<std::uint32_t> of
+// interned automaton state ids (SoA, cache-linear, no per-agent objects).
+// The engines drive two non-virtual phase APIs per round:
+//
+//   display phase   begin_display_round() + display_at(): a per-state memo
+//                   table (state id → symbol) keyed by the automaton's
+//                   display_signature, so the serial digest loop does one
+//                   array lookup per agent and at most O(#occupied states)
+//                   virtual display() calls per signature change.
+//
+//   update phase    build_update_tables() + apply(): a memoized
+//                   (state id, outcome index) → PackedEdge table per
+//                   (group, update_signature), grown lazily — rows are
+//                   compiled only for states actually occupied at the start
+//                   of a round, one for_each_outcome() sweep per new state.
+//                   apply() is a table lookup plus the edge's exact Rng
+//                   draws: no virtual dispatch anywhere in the hot loop.
+//
+// Bit-identity contract: under an engine running the fast path, the replay
+// digest and final opinions are identical to the same CompiledPopulation
+// run through the virtual PullProtocol path, which in turn mirrors the
+// production protocol (SourceFilter / SelfStabilizingSourceFilter /
+// AutomatonProtocol) draw for draw — see compile() in
+// core/automaton/automaton.hpp and tests/test_compiled_path.cpp.
+//
+// Table growth bounds: a table for signature σ holds (#states occupied
+// during σ-rounds) · num_outcomes packed edges.  With the binary alphabet
+// num_outcomes = h+1, and an SF listening phase of R rounds occupies at most
+// R·h+1 counter states, so tables stay kilobytes at bench scales; every
+// table lives for the run and is reused by every round sharing its
+// signature.  Protocol phases whose states do NOT recur (SSF memory
+// accumulation: almost every histogram is fresh every round) are caught by
+// the build gate — see build_update_tables — and run the virtual per-agent
+// path for that round instead of compiling rows that would never be reused.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "noisypull/common/check.hpp"
+#include "noisypull/common/symbols.hpp"
+#include "noisypull/common/units.hpp"
+#include "noisypull/core/automaton/protocol_automata.hpp"
+#include "noisypull/core/protocol.hpp"
+#include "noisypull/rng/observation_cache.hpp"
+#include "noisypull/rng/rng.hpp"
+
+namespace noisypull {
+
+// A contiguous run of agents sharing one automaton and one initial state —
+// the owning counterpart of AutomatonGroup (the engines outlive any one
+// round, so the population keeps its automata alive).
+struct CompiledGroup {
+  std::uint64_t count = 0;
+  std::shared_ptr<const AgentAutomaton> automaton;
+  AutomatonState initial = 0;
+};
+
+class CompiledPopulation final : public PullProtocol {
+ public:
+  CompiledPopulation(std::vector<CompiledGroup> groups,
+                     std::uint64_t planned_rounds);
+
+  // ---- PullProtocol (the interpreted / fallback path) -------------------
+  std::size_t alphabet_size() const override { return alphabet_; }
+  std::uint64_t num_agents() const override { return num_agents_; }
+  Symbol display(std::uint64_t agent, std::uint64_t round) const override;
+  // One compile() + resolve(): consumes the agent's rng exactly like the
+  // mirrored production protocol, for ANY observation total — this is the
+  // per-agent fallback the engines use for faulted agents (and the whole
+  // path when the round's sampler cannot enumerate its outcome space).
+  void update(std::uint64_t agent, std::uint64_t round,
+              const SymbolCounts& obs, Rng& rng) override;
+  Opinion opinion(std::uint64_t agent) const override;
+  std::uint64_t planned_rounds() const override { return planned_rounds_; }
+  CompiledAccess compiled_access() override { return {.population = this}; }
+
+  // ---- Display phase (serial: the engine's digest loop) -----------------
+  void begin_display_round(std::uint64_t round);
+
+  Symbol display_at(std::uint64_t agent, std::uint64_t round) {
+    Group& g = groups_[group_of_[agent]];
+    const AutomatonState s = state_[agent];
+    if (s >= g.display_table.size()) extend_display_table(g, round, s);
+    return g.display_table[s];
+  }
+
+  // ---- Update phase -----------------------------------------------------
+  // Builds (or extends) this round's transition tables for every state
+  // occupied at the start of the round.  Serial, before the block-parallel
+  // phase; `sampler` must be in InverseCdf mode (the engine falls back to
+  // the virtual path otherwise) and its enumeration must be the one
+  // sample_index() draws from.  All samplers of one round share the outcome
+  // *enumeration* — it is a function of (h, d) only — so the heterogeneous
+  // engine passes any one of its per-channel InverseCdf samplers.
+  //
+  // Build gate: returns false — building nothing — when this round's
+  // uncompiled rows would cost more compile() calls than the round they
+  // serve (new_states · num_outcomes > table_build_limit · num_agents).
+  // Memoization pays when states recur across agents and rounds (Table
+  // states, SF phase counters); it cannot pay mid-accumulation in SSF,
+  // where nearly every occupied memory histogram is new each round and
+  // speculative row compilation would intern outcome states no agent ever
+  // reaches.  On false the engine runs the round through the virtual
+  // per-agent path — bit-identical either way, so the gate (like the
+  // sampler's) is a pure wall-clock decision.  The decision is a function
+  // of the trajectory only, never of threads or cache toggles.
+  bool build_update_tables(std::uint64_t round,
+                           const ObservationSampler& sampler);
+
+  // Overrides the build gate's cost factor (default 1.0: one round's worth
+  // of compile() calls).  Tests force the fast path with a huge factor;
+  // benches may sweep it.
+  void set_table_build_limit(double factor) { table_build_limit_ = factor; }
+
+  // Applies outcome index `outcome` (from ObservationSampler::sample_index
+  // on the agent's sampler) to one agent.  Hot loop: one table row lookup
+  // plus the packed edge's exact draws.  Thread-safe across distinct agents
+  // — tables are read-only during the phase, state_[agent] is owner-written.
+  void apply(std::uint64_t agent, std::uint64_t outcome, Rng& rng) {
+    const Group& g = groups_[group_of_[agent]];
+    const UpdateTable& t = *g.active;
+    const std::uint64_t row =
+        static_cast<std::uint64_t>(state_[agent]) * t.num_outcomes + outcome;
+    state_[agent] = resolve_edge(t, row, rng);
+  }
+
+  // Runs the whole update phase for agents [begin, end) in one call:
+  // per agent, one sample_index() on the agent's rng followed by the packed
+  // edge's exact draws — the same draw sequence, draw for draw, as the
+  // engine calling apply(i, sampler.sample_index(rng), rng) per agent.  The
+  // group's table is hoisted across each contiguous agent run (see Group's
+  // agent_begin/agent_end), so the inner loop carries no per-agent group
+  // lookup or fault check — the engines route blocks here only when no
+  // fault decorator is active for the round.
+  void apply_block(std::uint64_t begin, std::uint64_t end,
+                   const ObservationSampler& sampler, Rng& rng) {
+    std::uint64_t i = begin;
+    std::uint32_t gi = group_of_[begin];
+    while (i < end) {
+      const Group& g = groups_[gi];
+      const std::uint64_t run_end = g.agent_end < end ? g.agent_end : end;
+      const UpdateTable& t = *g.active;
+      for (; i < run_end; ++i) {
+        const std::uint64_t row =
+            static_cast<std::uint64_t>(state_[i]) * t.num_outcomes +
+            sampler.sample_index(rng);
+        state_[i] = resolve_edge(t, row, rng);
+      }
+      ++gi;
+    }
+  }
+
+  AutomatonState state(std::uint64_t agent) const {
+    NOISYPULL_CHECK(agent < num_agents_, "agent index out of range");
+    return state_[agent];
+  }
+
+ private:
+  // One compiled transition row entry.  kind stores a CompiledEdge::Kind;
+  // kUncompiled marks slots of states whose rows were never needed (they
+  // exist only as resize() filler below the highest built row).
+  struct PackedEdge {
+    static constexpr std::uint8_t kUncompiled = 0xff;
+    std::uint8_t kind = kUncompiled;
+    std::array<AutomatonState, 4> target{};
+    std::uint32_t law_begin = 0;  // into law_prob/law_target (InverseCdf)
+    std::uint32_t law_len = 0;
+  };
+
+  struct UpdateTable {
+    std::uint64_t num_outcomes = 0;
+    std::vector<PackedEdge> edges;        // state-major rows
+    std::vector<std::uint8_t> row_built;  // per state id
+    std::vector<double> law_prob;         // pooled InverseCdf laws
+    std::vector<AutomatonState> law_target;
+  };
+
+  struct Group {
+    std::shared_ptr<const AgentAutomaton> automaton;
+    // The group's agents occupy one contiguous index run [begin, end) —
+    // the constructor lays groups out back to back.
+    std::uint64_t agent_begin = 0;
+    std::uint64_t agent_end = 0;
+    // Display memo for the current display signature.
+    bool display_sig_valid = false;
+    std::uint64_t display_sig = 0;
+    std::vector<Symbol> display_table;
+    // Update tables, one per update signature, persistent for the run.
+    // std::map: node stability keeps `active` valid across insertions (and
+    // unordered containers are lint-banned on simulation paths).
+    std::map<std::uint64_t, UpdateTable> update_tables;
+    UpdateTable* active = nullptr;  // this round's table
+  };
+
+  void extend_display_table(Group& g, std::uint64_t round, AutomatonState s);
+
+  // Resolves one compiled transition row on the agent's rng — the shared
+  // tail of apply() and apply_block(), consuming draws exactly as the
+  // mirrored CompiledEdge::resolve would.
+  static AutomatonState resolve_edge(const UpdateTable& t, std::uint64_t row,
+                                     Rng& rng) {
+    const PackedEdge& e = t.edges[row];
+    switch (static_cast<CompiledEdge::Kind>(e.kind)) {
+      case CompiledEdge::Kind::Deterministic:
+        return e.target[0];
+      case CompiledEdge::Kind::Coin:
+        return rng.next_bool() ? e.target[1] : e.target[0];
+      case CompiledEdge::Kind::CoinPair: {
+        const bool b1 = rng.next_bool();
+        const bool b2 = rng.next_bool();
+        return e.target[(b1 ? 2U : 0U) | (b2 ? 1U : 0U)];
+      }
+      case CompiledEdge::Kind::InverseCdf: {
+        const double u = rng.next_double();
+        double acc = 0.0;
+        const std::uint32_t end = e.law_begin + e.law_len;
+        for (std::uint32_t k = e.law_begin; k < end; ++k) {
+          acc += t.law_prob[k];
+          if (u < acc) return t.law_target[k];
+        }
+        return t.law_target[end - 1];
+      }
+    }
+    NOISYPULL_CHECK(false, "apply() hit an uncompiled transition row");
+    return 0;
+  }
+
+  std::size_t alphabet_ = 0;
+  std::uint64_t num_agents_ = 0;
+  std::uint64_t planned_rounds_ = 0;
+  double table_build_limit_ = 1.0;
+  // Scratch for build_update_tables' occupancy pass (kept across rounds to
+  // avoid reallocation): states whose rows this round must compile.
+  std::vector<std::pair<std::uint32_t, AutomatonState>> pending_rows_;
+  std::vector<Group> groups_;
+  std::vector<std::uint32_t> group_of_;  // agent → group index
+  std::vector<std::uint32_t> state_;     // agent → interned state id (SoA)
+};
+
+// Factories mirroring the production populations' agent layout (sources
+// preferring 1 first, then sources preferring 0, then non-sources —
+// PopulationConfig::is_source/source_preference).  The returned population
+// is draw-for-draw interchangeable with the mirrored protocol under any
+// engine.
+std::unique_ptr<CompiledPopulation> make_compiled_sf(
+    const PopulationConfig& pop, const SfSchedule& schedule);
+std::unique_ptr<CompiledPopulation> make_compiled_ssf(
+    const PopulationConfig& pop, MemoryBudget m);
+
+}  // namespace noisypull

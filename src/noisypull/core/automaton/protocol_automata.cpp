@@ -1,4 +1,4 @@
-#include "noisypull/theory/protocol_automata.hpp"
+#include "noisypull/core/automaton/protocol_automata.hpp"
 
 #include <utility>
 
@@ -62,9 +62,11 @@ SfAutomaton::SfAutomaton(SfSchedule schedule, bool is_source,
     : schedule_(schedule), is_source_(is_source),
       preference_(preference & 1) {
   NOISYPULL_CHECK(schedule_.phase_rounds >= 1, "SF needs listening rounds");
+  const std::lock_guard<std::mutex> lock(intern_mutex_);
   intern(Concrete{});  // state 0: the fresh agent
 }
 
+// Callers must hold intern_mutex_.
 AutomatonState SfAutomaton::intern(const Concrete& c) const {
   const auto it = ids_.find(c);
   if (it != ids_.end()) return it->second;
@@ -74,13 +76,18 @@ AutomatonState SfAutomaton::intern(const Concrete& c) const {
   return id;
 }
 
-Symbol SfAutomaton::display(AutomatonState state, std::uint64_t round) const {
+SfAutomaton::Concrete SfAutomaton::concrete(AutomatonState state) const {
+  const std::lock_guard<std::mutex> lock(intern_mutex_);
   NOISYPULL_ASSERT(state < states_.size());
+  return states_[state];
+}
+
+Symbol SfAutomaton::display(AutomatonState state, std::uint64_t round) const {
   if (round < schedule_.boosting_start()) {
     if (is_source_) return preference_;
     return round < schedule_.phase_rounds ? Symbol{0} : Symbol{1};
   }
-  return states_[state].current;
+  return concrete(state).current;
 }
 
 bool SfAutomaton::is_subphase_end(std::uint64_t round) const noexcept {
@@ -95,10 +102,25 @@ bool SfAutomaton::is_subphase_end(std::uint64_t round) const noexcept {
   return off + 1 == short_span + schedule_.final_rounds;
 }
 
+std::uint64_t SfAutomaton::update_signature(std::uint64_t round) const {
+  if (round < schedule_.phase_rounds) return 0;  // Phase 0: count 1s
+  if (round < schedule_.boosting_start()) {      // Phase 1: count 0s, ...
+    return round + 1 == schedule_.boosting_start() ? 2 : 1;  // ... then finish
+  }
+  if (round >= schedule_.total_rounds()) return 5;  // terminated (identity)
+  return is_subphase_end(round) ? 4 : 3;  // boosting: sub-phase end / middle
+}
+
+std::uint64_t SfAutomaton::display_signature(std::uint64_t round) const {
+  if (round < schedule_.phase_rounds) return 0;
+  return round < schedule_.boosting_start() ? 1 : 2;
+}
+
 std::vector<WeightedState> SfAutomaton::transition(
     AutomatonState state, std::uint64_t round, const SymbolCounts& obs) const {
-  NOISYPULL_ASSERT(state < states_.size());
   NOISYPULL_CHECK(obs.size == 2, "SF expects a binary alphabet");
+  const std::lock_guard<std::mutex> lock(intern_mutex_);
+  NOISYPULL_ASSERT(state < states_.size());
   Concrete c = states_[state];
 
   if (round < schedule_.phase_rounds) {
@@ -152,9 +174,67 @@ std::vector<WeightedState> SfAutomaton::transition(
   return coin_split(intern(heads), intern(tails));
 }
 
-Opinion SfAutomaton::opinion(AutomatonState state) const {
+// Same branch structure as transition(), but returning the *sampling
+// procedure* with SourceFilter::update's exact draw pattern: no draw on
+// deterministic moves, one next_bool() per realized tie (heads → opinion 1).
+CompiledEdge SfAutomaton::compile(AutomatonState state, std::uint64_t round,
+                                  const SymbolCounts& obs) const {
+  NOISYPULL_CHECK(obs.size == 2, "SF expects a binary alphabet");
+  const std::lock_guard<std::mutex> lock(intern_mutex_);
   NOISYPULL_ASSERT(state < states_.size());
-  return states_[state].current;
+  Concrete c = states_[state];
+
+  if (round < schedule_.phase_rounds) {
+    c.counter1 += obs[1];
+    return CompiledEdge::deterministic(intern(c));
+  }
+  if (round < schedule_.boosting_start()) {
+    c.counter0 += obs[0];
+    if (round + 1 != schedule_.boosting_start()) {
+      return CompiledEdge::deterministic(intern(c));
+    }
+    const bool tie = c.counter1 == c.counter0;
+    const Opinion majority = c.counter1 > c.counter0 ? 1 : 0;
+    c.counter1 = 0;
+    c.counter0 = 0;
+    c.boost_ones = 0;
+    c.boost_total = 0;
+    if (!tie) {
+      c.weak = majority;
+      c.current = majority;
+      return CompiledEdge::deterministic(intern(c));
+    }
+    Concrete heads = c;
+    heads.weak = 1;
+    heads.current = 1;
+    Concrete tails = c;
+    tails.weak = 0;
+    tails.current = 0;
+    return CompiledEdge::coin(intern(tails), intern(heads));
+  }
+  if (round >= schedule_.total_rounds()) {
+    return CompiledEdge::deterministic(state);
+  }
+  c.boost_ones += obs[1];
+  c.boost_total += obs.total();
+  if (!is_subphase_end(round)) return CompiledEdge::deterministic(intern(c));
+  const std::uint64_t zeros = c.boost_total - c.boost_ones;
+  const std::uint64_t ones = c.boost_ones;
+  c.boost_ones = 0;
+  c.boost_total = 0;
+  if (ones != zeros) {
+    c.current = ones > zeros ? 1 : 0;
+    return CompiledEdge::deterministic(intern(c));
+  }
+  Concrete heads = c;
+  heads.current = 1;
+  Concrete tails = c;
+  tails.current = 0;
+  return CompiledEdge::coin(intern(tails), intern(heads));
+}
+
+Opinion SfAutomaton::opinion(AutomatonState state) const {
+  return concrete(state).current;
 }
 
 // --------------------------------------------------------------------------
@@ -163,9 +243,11 @@ Opinion SfAutomaton::opinion(AutomatonState state) const {
 SsfAutomaton::SsfAutomaton(MemoryBudget m, bool is_source, Opinion preference)
     : m_(m.get()), is_source_(is_source), preference_(preference & 1) {
   NOISYPULL_CHECK(m_ >= 1, "memory budget m must be at least 1");
+  const std::lock_guard<std::mutex> lock(intern_mutex_);
   intern(Concrete{});  // state 0: the fresh agent
 }
 
+// Callers must hold intern_mutex_.
 AutomatonState SsfAutomaton::intern(const Concrete& c) const {
   const auto it = ids_.find(c);
   if (it != ids_.end()) return it->second;
@@ -175,20 +257,26 @@ AutomatonState SsfAutomaton::intern(const Concrete& c) const {
   return id;
 }
 
+SsfAutomaton::Concrete SsfAutomaton::concrete(AutomatonState state) const {
+  const std::lock_guard<std::mutex> lock(intern_mutex_);
+  NOISYPULL_ASSERT(state < states_.size());
+  return states_[state];
+}
+
 Symbol SsfAutomaton::display(AutomatonState state,
                              std::uint64_t /*round*/) const {
-  NOISYPULL_ASSERT(state < states_.size());
   if (is_source_) {
     return SelfStabilizingSourceFilter::encode(true, preference_);
   }
-  return SelfStabilizingSourceFilter::encode(false, states_[state].weak);
+  return SelfStabilizingSourceFilter::encode(false, concrete(state).weak);
 }
 
 std::vector<WeightedState> SsfAutomaton::transition(
     AutomatonState state, std::uint64_t /*round*/,
     const SymbolCounts& obs) const {
-  NOISYPULL_ASSERT(state < states_.size());
   NOISYPULL_CHECK(obs.size == 4, "SSF expects the {0,1}^2 alphabet");
+  const std::lock_guard<std::mutex> lock(intern_mutex_);
+  NOISYPULL_ASSERT(state < states_.size());
   Concrete c = states_[state];
   std::uint64_t total = 0;
   for (std::size_t s = 0; s < 4; ++s) {
@@ -235,9 +323,58 @@ std::vector<WeightedState> SsfAutomaton::transition(
   return out;
 }
 
-Opinion SsfAutomaton::opinion(AutomatonState state) const {
+// Same flush rule as transition(), with SelfStabilizingSourceFilter::update's
+// exact draw pattern: majority() consumes one next_bool() only on a tie, the
+// weak-opinion majority before the opinion majority.
+CompiledEdge SsfAutomaton::compile(AutomatonState state,
+                                   std::uint64_t /*round*/,
+                                   const SymbolCounts& obs) const {
+  NOISYPULL_CHECK(obs.size == 4, "SSF expects the {0,1}^2 alphabet");
+  const std::lock_guard<std::mutex> lock(intern_mutex_);
   NOISYPULL_ASSERT(state < states_.size());
-  return states_[state].current;
+  Concrete c = states_[state];
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < 4; ++s) {
+    c.mem[s] += obs[s];
+    total += c.mem[s];
+  }
+  if (total < m_) return CompiledEdge::deterministic(intern(c));
+
+  const std::uint64_t src_ones = c.mem[3];
+  const std::uint64_t src_zeros = c.mem[2];
+  const std::uint64_t all_ones = c.mem[1] + c.mem[3];
+  const std::uint64_t all_zeros = c.mem[0] + c.mem[2];
+  c.mem.fill(0);
+  const bool weak_tie = src_ones == src_zeros;
+  const bool current_tie = all_ones == all_zeros;
+  const Opinion weak = src_ones > src_zeros ? 1 : 0;
+  const Opinion current = all_ones > all_zeros ? 1 : 0;
+  const auto flushed = [&](Opinion w, Opinion cur) {
+    Concrete next = c;
+    next.weak = w;
+    next.current = cur;
+    return intern(next);
+  };
+  if (!weak_tie && !current_tie) {
+    return CompiledEdge::deterministic(flushed(weak, current));
+  }
+  if (weak_tie && !current_tie) {
+    return CompiledEdge::coin(flushed(0, current), flushed(1, current));
+  }
+  if (!weak_tie) {  // current_tie only
+    return CompiledEdge::coin(flushed(weak, 0), flushed(weak, 1));
+  }
+  CompiledEdge e;
+  e.kind = CompiledEdge::Kind::CoinPair;  // b1 = weak coin, b2 = current coin
+  e.target[0] = flushed(0, 0);
+  e.target[1] = flushed(0, 1);
+  e.target[2] = flushed(1, 0);
+  e.target[3] = flushed(1, 1);
+  return e;
+}
+
+Opinion SsfAutomaton::opinion(AutomatonState state) const {
+  return concrete(state).current;
 }
 
 // --------------------------------------------------------------------------

@@ -1,0 +1,236 @@
+// Finite per-agent automata for the protocols of the paper.
+//
+// core/automaton/automaton.hpp defines the AgentAutomaton interface; this
+// header provides the three families both the exact oracle
+// (theory/exact_chain) and the compiled engine fast path
+// (core/automaton/compiled_population.hpp) run on:
+//
+//  * TableAutomaton — a small synthetic protocol family closed under
+//    fuzzing: each state displays a fixed symbol and transitions by
+//    comparing two observation cells (greater / less / tie, with an
+//    optional fair-coin tie split).  Rich enough to exercise every engine
+//    code path, small enough that the exact chain stays cheap.
+//
+//  * SfAutomaton — the exact mirror of core/SourceFilter for one agent
+//    role (source with a fixed preference, or non-source).  The concrete
+//    state (counter1, counter0, weak, current, boost_ones, boost_total) is
+//    interned on demand; protocol coin tosses (listening / sub-phase ties)
+//    become ½-½ probability splits in transition() and single next_bool()
+//    draws in compile() — exactly the draws SourceFilter::update makes.
+//
+//  * SsfAutomaton — the exact mirror of core/SelfStabilizingSourceFilter
+//    (stale_flush = 0) for one role.  Memory flush ties split the state up
+//    to four ways (weak and current tie-break coins are independent); the
+//    compiled edge consumes one next_bool() per realized tie, weak first.
+//
+// AutomatonProtocol adapts any automaton population to the PullProtocol
+// interface so the Monte-Carlo engines can run the *same* dynamics the
+// oracle enumerates — the differential test for synthetic protocols.  (The
+// production-scale adapter with the flat SoA state and the table-driven
+// round kernel is CompiledPopulation, one header over.)
+//
+// The mirrors are intentionally independent re-implementations from the
+// protocol *specification* (the paper's Algorithms 1–2), not wrappers over
+// the core/ classes: a bug in core/ must show up as a divergence, not be
+// inherited by the oracle.
+#pragma once
+
+// <mutex> is allowlisted here by tools/noisypull_lint.cpp's threading-header
+// rule: the interning tables of the SF/SSF mirrors are grown lazily from the
+// engines' block-parallel update phase (CompiledPopulation::update), so
+// lookup+insert must be atomic.  Ids depend on interleaving; observables
+// never do (see the AgentAutomaton thread-safety contract).
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "noisypull/common/symbols.hpp"
+#include "noisypull/core/automaton/automaton.hpp"
+#include "noisypull/core/protocol.hpp"
+#include "noisypull/core/schedule.hpp"
+
+namespace noisypull {
+
+// One TableAutomaton state: display `show`, then compare obs[watch_a]
+// against obs[watch_b] and move to if_greater / if_less, or on a tie flip a
+// fair coin between tie_a and tie_b (tie_a == tie_b makes the tie
+// deterministic).
+struct TableState {
+  Symbol show = 0;
+  Symbol watch_a = 0;
+  Symbol watch_b = 1;
+  AutomatonState if_greater = 0;
+  AutomatonState if_less = 0;
+  AutomatonState tie_a = 0;
+  AutomatonState tie_b = 0;
+};
+
+class TableAutomaton final : public AgentAutomaton {
+ public:
+  TableAutomaton(std::size_t alphabet, std::vector<TableState> states);
+
+  std::size_t num_states() const noexcept { return states_.size(); }
+
+  std::size_t alphabet_size() const override { return alphabet_; }
+  Symbol display(AutomatonState state, std::uint64_t round) const override;
+  std::vector<WeightedState> transition(AutomatonState state,
+                                        std::uint64_t round,
+                                        const SymbolCounts& obs) const override;
+  // compile() stays the inherited inverse-CDF default: the interpreted
+  // reference for table automata is AutomatonProtocol::update, which draws
+  // one uniform unconditionally — a Deterministic/Coin edge here would
+  // consume differently and break compiled-vs-interpreted bit-identity.
+
+  // Tables are round-homogeneous: one signature for the whole run.
+  std::uint64_t update_signature(std::uint64_t /*round*/) const override {
+    return 0;
+  }
+  std::uint64_t display_signature(std::uint64_t /*round*/) const override {
+    return 0;
+  }
+
+ private:
+  std::size_t alphabet_;
+  std::vector<TableState> states_;
+};
+
+// Exact one-agent mirror of core/SourceFilter (Algorithm 1, Theorem 4).
+// States are interned lazily; state 0 is the fresh agent.
+class SfAutomaton final : public AgentAutomaton {
+ public:
+  SfAutomaton(SfSchedule schedule, bool is_source, Opinion preference);
+
+  std::size_t alphabet_size() const override { return 2; }
+  Symbol display(AutomatonState state, std::uint64_t round) const override;
+  std::vector<WeightedState> transition(AutomatonState state,
+                                        std::uint64_t round,
+                                        const SymbolCounts& obs) const override;
+  Opinion opinion(AutomatonState state) const override;
+
+  // Production-consumption edge: coins only on realized ties, exactly as
+  // SourceFilter::finish_listening / finish_subphase draw them.
+  CompiledEdge compile(AutomatonState state, std::uint64_t round,
+                       const SymbolCounts& obs) const override;
+
+  // Phase alphabet of the update rule: {phase-0, phase-1 middle, listening
+  // finish, boosting middle, sub-phase end, terminated}; displays only
+  // distinguish {phase-0, phase-1, boosting}.
+  std::uint64_t update_signature(std::uint64_t round) const override;
+  std::uint64_t display_signature(std::uint64_t round) const override;
+
+ private:
+  struct Concrete {
+    std::uint64_t counter1 = 0;
+    std::uint64_t counter0 = 0;
+    std::uint64_t boost_ones = 0;
+    std::uint64_t boost_total = 0;
+    Opinion weak = 0;
+    Opinion current = 0;
+
+    bool operator<(const Concrete& rhs) const {
+      if (counter1 != rhs.counter1) return counter1 < rhs.counter1;
+      if (counter0 != rhs.counter0) return counter0 < rhs.counter0;
+      if (boost_ones != rhs.boost_ones) return boost_ones < rhs.boost_ones;
+      if (boost_total != rhs.boost_total) return boost_total < rhs.boost_total;
+      if (weak != rhs.weak) return weak < rhs.weak;
+      return current < rhs.current;
+    }
+  };
+
+  AutomatonState intern(const Concrete& c) const;
+  bool is_subphase_end(std::uint64_t round) const noexcept;
+  Concrete concrete(AutomatonState state) const;
+
+  SfSchedule schedule_;
+  bool is_source_;
+  Opinion preference_;
+  mutable std::mutex intern_mutex_;
+  mutable std::vector<Concrete> states_;
+  mutable std::map<Concrete, AutomatonState> ids_;
+};
+
+// Exact one-agent mirror of core/SelfStabilizingSourceFilter (Algorithm 2,
+// Theorem 5) with stale_flush = 0.  State 0 is the fresh agent.
+class SsfAutomaton final : public AgentAutomaton {
+ public:
+  SsfAutomaton(MemoryBudget m, bool is_source, Opinion preference);
+
+  std::size_t alphabet_size() const override { return 4; }
+  Symbol display(AutomatonState state, std::uint64_t round) const override;
+  std::vector<WeightedState> transition(AutomatonState state,
+                                        std::uint64_t round,
+                                        const SymbolCounts& obs) const override;
+  Opinion opinion(AutomatonState state) const override;
+
+  // Production-consumption edge: one next_bool() per realized flush tie,
+  // weak before current — the order SelfStabilizingSourceFilter::update
+  // calls majority().
+  CompiledEdge compile(AutomatonState state, std::uint64_t round,
+                       const SymbolCounts& obs) const override;
+
+  // SSF has no clock: one signature for displays and updates alike.
+  std::uint64_t update_signature(std::uint64_t /*round*/) const override {
+    return 0;
+  }
+  std::uint64_t display_signature(std::uint64_t /*round*/) const override {
+    return 0;
+  }
+
+ private:
+  struct Concrete {
+    std::array<std::uint64_t, 4> mem{};
+    Opinion weak = 0;
+    Opinion current = 0;
+
+    bool operator<(const Concrete& rhs) const {
+      if (mem != rhs.mem) return mem < rhs.mem;
+      if (weak != rhs.weak) return weak < rhs.weak;
+      return current < rhs.current;
+    }
+  };
+
+  AutomatonState intern(const Concrete& c) const;
+  Concrete concrete(AutomatonState state) const;
+
+  std::uint64_t m_;
+  bool is_source_;
+  Opinion preference_;
+  mutable std::mutex intern_mutex_;
+  mutable std::vector<Concrete> states_;
+  mutable std::map<Concrete, AutomatonState> ids_;
+};
+
+// A contiguous run of agents sharing one automaton and initial state.
+struct AutomatonGroup {
+  std::uint64_t count = 0;
+  const AgentAutomaton* automaton = nullptr;  // non-owning
+  AutomatonState initial = 0;
+};
+
+// Runs an automaton population under the Monte-Carlo engines: display()
+// reads the agent's automaton state, update() samples the next state from
+// the automaton's exact transition law using the engine-provided Rng.
+class AutomatonProtocol final : public PullProtocol {
+ public:
+  explicit AutomatonProtocol(std::vector<AutomatonGroup> groups);
+
+  std::size_t alphabet_size() const override { return alphabet_; }
+  std::uint64_t num_agents() const override { return agents_.size(); }
+  Symbol display(std::uint64_t agent, std::uint64_t round) const override;
+  void update(std::uint64_t agent, std::uint64_t round,
+              const SymbolCounts& obs, Rng& rng) override;
+  Opinion opinion(std::uint64_t agent) const override;
+
+  AutomatonState state(std::uint64_t agent) const;
+
+ private:
+  struct AgentSlot {
+    const AgentAutomaton* automaton = nullptr;
+    AutomatonState state = 0;
+  };
+  std::size_t alphabet_ = 0;
+  std::vector<AgentSlot> agents_;
+};
+
+}  // namespace noisypull

@@ -39,12 +39,14 @@
 // samplers (tests/test_observation_cache.cpp).
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <functional>
 #include <span>
 #include <vector>
 
+#include "noisypull/common/check.hpp"
 #include "noisypull/common/symbols.hpp"
 #include "noisypull/rng/rng.hpp"
 
@@ -83,6 +85,58 @@ class ObservationSampler {
   // exactly one uniform per draw in both cache settings.
   void sample(Rng& rng, SymbolCounts& obs) const;
 
+  // Size of the enumerated outcome space.  InverseCdf mode only.
+  std::uint64_t num_outcomes() const noexcept { return outcome_count_; }
+
+  // Draws one outcome *index* under the canonical enumeration, consuming the
+  // rng exactly like sample(): same uniform, same stopping rule, so
+  // sample_index(rng) == index-of(sample(rng)) draw for draw
+  // (tests/test_compiled_path.cpp pins this).  The compiled engine path
+  // (core/automaton/compiled_population.hpp) keys its memoized transition
+  // tables by this index and never materializes the count vector per agent.
+  // InverseCdf mode only — the decomposition has no enumerable index.
+  // Defined inline: this is the one call per agent of the compiled hot loop,
+  // and the cached branch is just a uniform plus a partial-sum search.
+  std::uint64_t sample_index(Rng& rng) const {
+    NOISYPULL_CHECK(mode_ == Mode::InverseCdf,
+                    "sample_index() requires the inverse-CDF mode: the "
+                    "outcome space must be enumerable (see the reset() gate)");
+    // Mirrors sample() draw for draw: one uniform, and the exact same
+    // stopping rule in both cache settings, so the index returned here names
+    // precisely the outcome sample() would have written.
+    const double target = rng.next_double() * total_mass_;
+    if (!cum_.empty()) {
+      const std::size_t m = cum_.size();
+      std::size_t idx;
+      if (m <= kLinearScanOutcomes) {
+        // Branchless count of partial sums <= target — on a sorted array
+        // this is exactly upper_bound's index, without the data-dependent
+        // branches that mispredict about half the time on random targets.
+        std::size_t le = 0;
+        for (std::size_t i = 0; i < m; ++i) le += cum_[i] <= target ? 1 : 0;
+        idx = le;
+      } else {
+        idx = static_cast<std::size_t>(
+            std::upper_bound(cum_.begin(), cum_.end(), target) - cum_.begin());
+      }
+      if (idx >= m) idx = m - 1;
+      return static_cast<std::uint64_t>(idx);
+    }
+    return sample_index_uncached(target);
+  }
+
+  // Below this outcome count the cached search runs the branchless linear
+  // count instead of binary search; both return the identical index, so the
+  // threshold is wall-clock-only and can never affect a trajectory.
+  static constexpr std::size_t kLinearScanOutcomes = 64;
+
+  // Visits every outcome of the canonical enumeration once, in index order:
+  // visit(index, counts).  Used to build per-round transition tables (one
+  // pass, amortized over all agents).  InverseCdf mode only.
+  using OutcomeVisitor =
+      std::function<void(std::uint64_t, const SymbolCounts&)>;
+  void for_each_outcome(const OutcomeVisitor& visit) const;
+
   // Called by split() once per outcome that received a positive share:
   // (share, outcome count vector of length d).
   using SplitVisitor =
@@ -109,6 +163,10 @@ class ObservationSampler {
   template <typename Visit>
   void enumerate(Visit&& visit) const;
 
+  // Cache-off half of sample_index(): the linear walk over the identical
+  // partial sums, stopping at the first acc > target (or the last outcome).
+  std::uint64_t sample_index_uncached(double target) const;
+
   double outcome_pmf(std::span<const std::uint64_t> counts) const;
 
   std::uint64_t h_ = 0;
@@ -119,6 +177,7 @@ class ObservationSampler {
   std::array<bool, kMaxAlphabet> has_mass_{};   //   flagged instead of -inf
   std::vector<double> log_factorial_;           // lf[k] = log k!, k <= h
   double total_mass_ = 0.0;  // full pmf sum in enumeration order (~1)
+  std::uint64_t outcome_count_ = 0;  // outcome-space size (InverseCdf mode)
 
   // Cached inverse CDF (empty when the cache is disabled).
   std::vector<double> cum_;

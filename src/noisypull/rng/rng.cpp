@@ -1,13 +1,6 @@
 #include "noisypull/rng/rng.hpp"
 
 namespace noisypull {
-namespace {
-
-inline std::uint64_t rotl(std::uint64_t x, int k) noexcept {
-  return (x << k) | (x >> (64 - k));
-}
-
-}  // namespace
 
 std::uint64_t splitmix64_next(std::uint64_t& state) noexcept {
   std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
@@ -28,38 +21,6 @@ Rng::Rng(std::uint64_t seed, std::uint64_t stream) noexcept {
   std::uint64_t mixed = splitmix64_next(sm);
   sm = seed ^ mixed;
   for (auto& w : s_) w = splitmix64_next(sm);
-}
-
-std::uint64_t Rng::next() noexcept {
-  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = rotl(s_[3], 45);
-  return result;
-}
-
-double Rng::next_double() noexcept {
-  return static_cast<double>(next() >> 11) * 0x1.0p-53;
-}
-
-std::uint64_t Rng::next_below(std::uint64_t bound) noexcept {
-  // Lemire's method: multiply-shift with rejection on the low word.
-  std::uint64_t x = next();
-  __uint128_t m = static_cast<__uint128_t>(x) * bound;
-  auto lo = static_cast<std::uint64_t>(m);
-  if (lo < bound) {
-    const std::uint64_t threshold = (0 - bound) % bound;
-    while (lo < threshold) {
-      x = next();
-      m = static_cast<__uint128_t>(x) * bound;
-      lo = static_cast<std::uint64_t>(m);
-    }
-  }
-  return static_cast<std::uint64_t>(m >> 64);
 }
 
 void Rng::jump() noexcept {

@@ -41,16 +41,44 @@ class Rng {
     return std::numeric_limits<result_type>::max();
   }
 
-  // Next raw 64-bit output.
+  // Next raw 64-bit output.  Defined inline (with the other per-draw calls
+  // below): every engine consumes one or more draws per agent per round, and
+  // an out-of-line definition would put a cross-TU call on that hot path.
   result_type operator()() noexcept { return next(); }
-  result_type next() noexcept;
+  result_type next() noexcept {
+    const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
 
   // Uniform double in [0, 1) with 53 bits of precision.
-  double next_double() noexcept;
+  double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
 
   // Uniform integer in [0, bound) using Lemire's nearly-divisionless method;
   // unbiased.  bound must be > 0.
-  std::uint64_t next_below(std::uint64_t bound) noexcept;
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    // Multiply-shift with rejection on the low word.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
 
   // Fair coin.
   bool next_bool() noexcept { return (next() >> 63) != 0; }
@@ -65,6 +93,10 @@ class Rng {
   std::array<std::uint64_t, 4> state() const noexcept { return s_; }
 
  private:
+  static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::array<std::uint64_t, 4> s_;
 };
 

@@ -61,44 +61,17 @@
 
 #include "noisypull/common/symbols.hpp"
 #include "noisypull/common/units.hpp"
+#include "noisypull/core/automaton/automaton.hpp"
 #include "noisypull/linalg/matrix.hpp"
 
 namespace noisypull {
 
-// Identifier of one per-agent automaton state.  Automata intern their own
-// state encodings; the chain only needs equality and ordering.
-using AutomatonState = std::uint32_t;
-
-struct WeightedState {
-  AutomatonState state = 0;
-  double prob = 0.0;
-};
-
-// A finite per-agent state machine: the exact counterpart of one agent's
-// PullProtocol slice.  display() must match PullProtocol::display for the
-// agent's role and transition() must return the *exact* distribution of the
-// next state given one delivered observation batch (protocol coin tosses
-// become probability splits).  Implementations live in
-// theory/protocol_automata.hpp.
-class AgentAutomaton {
- public:
-  virtual ~AgentAutomaton() = default;
-
-  virtual std::size_t alphabet_size() const = 0;
-  virtual Symbol display(AutomatonState state, std::uint64_t round) const = 0;
-  virtual std::vector<WeightedState> transition(
-      AutomatonState state, std::uint64_t round,
-      const SymbolCounts& obs) const = 0;
-
-  // Opinion an agent in `state` reports — the PullProtocol::opinion
-  // counterpart, needed wherever convergence is judged from automaton states
-  // (AutomatonProtocol, sim/lumped_engine).  The default matches the
-  // TableAutomaton fuzz family's encoding (opinion = low state bit); the
-  // SF/SSF mirrors override it to read the interned `current` field.
-  virtual Opinion opinion(AutomatonState state) const {
-    return static_cast<Opinion>(state & 1);
-  }
-};
+// AutomatonState / WeightedState / AgentAutomaton — the per-agent state
+// machine vocabulary this oracle is built on — now live in
+// core/automaton/automaton.hpp (hoisted so the engines' compiled fast path
+// can share the interned automata; DESIGN.md §13).  The chain consumes only
+// the exact-law half: transition() as the per-(state, observation)
+// distribution, never compile().
 
 // Deterministic display forgery for a whole class (FaultyEngine's Byzantine
 // displays: AlwaysWrong/MimicSource are Constant, FlipFlop is EvenOdd).

@@ -42,6 +42,7 @@ struct CliOptions {
   std::string engine = "aggregate";   // aggregate | exact | sequential
                                       // | heterogeneous
   std::uint64_t threads = 1;          // block-parallel lanes inside the engine
+  bool compiled = false;              // compiled automaton fast path (sf/ssf)
   std::string order = "random";       // sequential activation order
   bool trajectory = false;            // print per-round correct counts
   bool verify_replay = false;         // run twice, compare replay digests
@@ -88,6 +89,12 @@ struct CliOptions {
                   lumped-to-lumped)
   --threads T     block-parallel lanes inside the engine (default 1);
                   results are bit-identical for every T
+  --compiled      run the protocol as a CompiledPopulation on the engines'
+                  table-driven fast path (sf/ssf only; bit-identical to the
+                  interpreted run; 2-3x faster for sf, but SLOWER for ssf,
+                  whose fresh-state churn defeats the table memoization —
+                  see DESIGN.md s13; incompatible with --corruption and
+                  --stale-flush, which have no compiled mirror)
   --order O       random | ascending | descending      (sequential engine)
   --trajectory    print per-round correct counts of repetition 0
   --verify-replay run the whole configuration twice with identical seeds and
@@ -176,6 +183,7 @@ CliOptions parse_args(int argc, char** argv) {
     else if (a == "--corruption") opt.corruption = need_value(i++);
     else if (a == "--engine") opt.engine = need_value(i++);
     else if (a == "--threads") opt.threads = parse_u64(need_value(i++));
+    else if (a == "--compiled") opt.compiled = true;
     else if (a == "--order") opt.order = need_value(i++);
     else if (a == "--trajectory") opt.trajectory = true;
     else if (a == "--verify-replay") opt.verify_replay = true;
@@ -306,6 +314,12 @@ PullSetup make_pull_setup(const CliOptions& opt, std::uint64_t h, Rng& init) {
 
   const Opinion correct = pop.correct_opinion();
   if (opt.protocol == "sf") {
+    if (opt.compiled) {
+      const SfSchedule schedule =
+          make_sf_schedule(pop, Holdings{h}, Delta{opt.delta}, C1{opt.c1});
+      return {make_compiled_sf(pop, schedule),
+              NoiseMatrix::uniform(2, opt.delta), correct};
+    }
     return {std::make_unique<SourceFilter>(pop, Holdings{h}, Delta{opt.delta},
                                            C1{opt.c1}),
 
@@ -316,6 +330,15 @@ PullSetup make_pull_setup(const CliOptions& opt, std::uint64_t h, Rng& init) {
   const std::uint64_t baseline_budget =
       std::max<std::uint64_t>(100, 50 * ((pop.n + h - 1) / h));
   if (opt.protocol == "ssf") {
+    if (opt.compiled) {
+      // Same Eq. 30 budget and 4·⌈m/h⌉ + 1 convergence deadline the
+      // production SelfStabilizingSourceFilter derives for itself.
+      const std::uint64_t m =
+          ssf_memory_budget(pop, Delta{opt.delta}, C1{opt.c1});
+      const std::uint64_t deadline = 4 * ((m + h - 1) / h) + 1;
+      return {make_compiled_ssf(pop, MemoryBudget{m}),
+              NoiseMatrix::uniform(4, opt.delta), correct, deadline};
+    }
     auto ssf = std::make_unique<SelfStabilizingSourceFilter>(pop, Holdings{h},
                                                              Delta{opt.delta},
                                                              C1{opt.c1});
@@ -503,7 +526,8 @@ int run_pull_reps(const CliOptions& opt, std::uint64_t h, PullOutcome& out) {
             RunConfig{.h = h,
                       .max_rounds = budget,
                       .stability_window = opt.stability,
-                      .record_trajectory = opt.trajectory && rep == 0},
+                      .record_trajectory = opt.trajectory && rep == 0,
+                      .compiled = opt.compiled},
             rng);
     out.successes += r.all_correct_at_end ? 1 : 0;
     out.digests.push_back(eng->replay_digest());
@@ -566,6 +590,35 @@ int run_verify_replay(const CliOptions& opt, std::uint64_t h) {
 int main(int argc, char** argv) {
   const CliOptions opt = parse_args(argc, argv);
   const std::uint64_t h = opt.h == 0 ? opt.n : opt.h;
+
+  if (opt.compiled) {
+    // The compiled fast path runs the interned SF/SSF mirrors
+    // (core/automaton); the other families and the state-mutation knobs
+    // have no compiled counterpart.
+    if (opt.protocol != "sf" && opt.protocol != "ssf") {
+      std::fprintf(stderr,
+                   "error: --compiled supports --protocol sf | ssf only\n");
+      return 2;
+    }
+    if (opt.corruption != "none") {
+      std::fprintf(stderr,
+                   "error: --compiled does not compose with --corruption "
+                   "(corrupted initial states have no compiled mirror)\n");
+      return 2;
+    }
+    if (opt.stale_flush > 0) {
+      std::fprintf(stderr,
+                   "error: --compiled does not compose with --stale-flush "
+                   "(the compiled SSF mirror runs stale_flush = 0)\n");
+      return 2;
+    }
+    if (opt.engine == "lumped") {
+      std::fprintf(stderr,
+                   "error: --compiled is an agent-engine fast path; "
+                   "--engine lumped already runs O(#states) per round\n");
+      return 2;
+    }
+  }
 
   std::printf("protocol=%s n=%llu h=%llu delta=%.3f seed=%llu reps=%llu\n\n",
               opt.protocol.c_str(), static_cast<unsigned long long>(opt.n),

@@ -94,6 +94,7 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -568,10 +569,14 @@ void rule_threading_header(const FileContext& ctx,
       "src/noisypull/common/cancel.hpp",
       // relaxed fault-stat accumulators read under block parallelism
       "src/noisypull/fault/faulty_engine.hpp",
+      // lazy interning of SF/SSF mirror states from the engines'
+      // block-parallel update phase (one mutex around lookup+insert)
+      "src/noisypull/core/automaton/protocol_automata.hpp",
       // reports hardware_concurrency next to its measurements
       "bench/perf_round_kernel.cpp",
       "bench/perf_sweep_scheduler.cpp",
       "bench/perf_lumped_engine.cpp",
+      "bench/perf_compiled_path.cpp",
   };
   for (const char* suffix : kAllowedSuffixes) {
     if (ctx.path.ends_with(suffix)) return;
@@ -747,21 +752,37 @@ struct LayerDir {
 
 // sim sits above theory because the lumped engine (sim/lumped_engine.hpp)
 // drives the theory/ automaton mirrors; analysis sits above sim because the
-// scheduler dispatches lumped cells.  theory itself only reaches layer 0.
+// scheduler dispatches lumped cells.  theory itself only reaches layer 0:
+// it consumes the hoisted automaton vocabulary in core/automaton (which the
+// compiled engine fast path shares) without ever touching model/.  Nested
+// module directories are declared with their full path and resolved by
+// longest prefix, so "core/automaton" gets its own row instead of silently
+// inheriting "core".
 constexpr LayerDir kLayerDag[] = {
-    {"common", 0}, {"core", 0},  {"linalg", 0},    {"rng", 0},
-    {"model", 1},  {"noise", 1}, {"baselines", 2}, {"fault", 2},
-    {"push", 2},   {"theory", 2}, {"sim", 3},      {"analysis", 4},
+    {"common", 0}, {"core", 0},  {"core/automaton", 0}, {"linalg", 0},
+    {"rng", 0},    {"model", 1}, {"noise", 1},          {"baselines", 2},
+    {"fault", 2},  {"push", 2},  {"theory", 2},         {"sim", 3},
+    {"analysis", 4},
 };
 
 constexpr int kUmbrellaLayer = 100;
 
+// Longest-prefix resolution on '/' boundaries: "core/automaton" matches its
+// own row, a hypothetical "core/automaton/detail" falls back to
+// "core/automaton", and an undeclared sibling like "core2" matches nothing.
 int layer_of_dir(const std::string& dir) {
   if (dir.empty()) return kUmbrellaLayer;  // root-level umbrella header
+  int best_layer = -1;
+  std::size_t best_len = 0;
   for (const LayerDir& d : kLayerDag) {
-    if (dir == d.dir) return d.layer;
+    const std::string_view prefix = d.dir;
+    if (prefix.size() < best_len) continue;
+    if (!dir.starts_with(prefix)) continue;
+    if (dir.size() > prefix.size() && dir[prefix.size()] != '/') continue;
+    best_layer = d.layer;
+    best_len = prefix.size();
   }
-  return -1;
+  return best_layer;
 }
 
 // Module key of a file under src/noisypull/: the "noisypull/..." suffix that
@@ -773,14 +794,17 @@ std::string module_key(const std::string& eff_path) {
   return eff_path.substr(pos + 4);  // keep "noisypull/..."
 }
 
-// Module directory of a key: "noisypull/core/ssf.hpp" → "core"; "" for
-// root-level files (the umbrella).
+// Module directory of a key: the full directory path under noisypull/, so
+// nested modules keep their identity — "noisypull/core/ssf.hpp" → "core",
+// "noisypull/core/automaton/automaton.hpp" → "core/automaton"; "" for
+// root-level files (the umbrella).  layer_of_dir resolves it against the
+// DAG by longest declared prefix.
 std::string module_dir(const std::string& key) {
   const auto slash1 = key.find('/');
   if (slash1 == std::string::npos) return "";
-  const auto slash2 = key.find('/', slash1 + 1);
-  if (slash2 == std::string::npos) return "";
-  return key.substr(slash1 + 1, slash2 - slash1 - 1);
+  const auto last = key.rfind('/');
+  if (last == slash1) return "";
+  return key.substr(slash1 + 1, last - slash1 - 1);
 }
 
 struct IncludeEdge {
@@ -938,8 +962,9 @@ void run_layering(std::vector<SourceFile>& files) {
              "upward include: " + sdir + " (layer " + std::to_string(slayer) +
                  ") may not include " + tdir + " (layer " +
                  std::to_string(tlayer) +
-                 "); the DAG is common/core/linalg/rng <- model/noise <- "
-                 "baselines/fault/push/theory <- sim <- analysis"});
+                 "); the DAG is common/core(/automaton)/linalg/rng <- "
+                 "model/noise <- baselines/fault/push/theory <- sim <- "
+                 "analysis"});
       }
       if (const auto it = node.find(e.target); it != node.end()) {
         adj[i].push_back(it->second);
